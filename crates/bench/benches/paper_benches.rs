@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks over the core engines: per-cycle throughput
+//! of the reference evaluator, the baseline tape, and the machine model,
+//! plus end-to-end compile latency — the raw throughputs behind Table 3.
+//!
+//! Run: `cargo bench -p manticore-bench`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use manticore::compiler::{compile, CompileOptions};
+use manticore::isa::MachineConfig;
+use manticore::machine::Machine;
+use manticore::netlist::eval::Evaluator;
+use manticore::refsim::{SerialSim, Tape};
+use manticore::workloads;
+
+/// The fast and slow extremes of the suite keep bench time in check.
+const BENCH_WORKLOADS: [&str; 3] = ["jpeg", "blur", "cgra"];
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluator_step");
+    for name in BENCH_WORKLOADS {
+        let w = workloads::by_name(name).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            let mut sim = Evaluator::new(&w.netlist);
+            b.iter(|| sim.step());
+        });
+    }
+    g.finish();
+}
+
+fn bench_tape_serial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tape_serial_step");
+    for name in BENCH_WORKLOADS {
+        let w = workloads::by_name(name).unwrap();
+        let tape = Tape::compile(&w.netlist).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &tape, |b, tape| {
+            let mut sim = SerialSim::new(tape);
+            b.iter(|| sim.step());
+        });
+    }
+    g.finish();
+}
+
+fn bench_machine_vcycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_vcycle");
+    g.sample_size(10);
+    // Long-horizon variants so $finish never fires mid-measurement.
+    let far = 1u64 << 40;
+    let variants: [(&str, manticore::netlist::Netlist); 3] = [
+        ("jpeg", workloads::jpeg_sized(far)),
+        ("blur", workloads::blur_sized(64, 4, far)),
+        ("cgra", workloads::cgra_sized(8, 8, far)),
+    ];
+    for (name, netlist) in variants {
+        let config = MachineConfig::with_grid(4, 4);
+        let options = CompileOptions {
+            config: config.clone(),
+            ..Default::default()
+        };
+        let out = compile(&netlist, &options).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut machine = Machine::load(config.clone(), &out.binary).unwrap();
+            b.iter(|| machine.run_vcycles(1).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    for name in ["jpeg", "blur"] {
+        let w = workloads::by_name(name).unwrap();
+        let options = CompileOptions {
+            config: MachineConfig::with_grid(15, 15),
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| compile(&w.netlist, &options).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_evaluator,
+    bench_tape_serial,
+    bench_machine_vcycle,
+    bench_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 6 / Fig. 11 / Fig. 12: the baseline simulator's self-relative
+//! multithreaded speedup vs. thread count on all nine workloads.
+//!
+//! Run: `cargo run --release -p manticore-bench --bin fig06_verilator_scaling`
+
+use manticore::refsim::{ParallelSim, SerialSim, Tape};
+use manticore::workloads;
+use manticore_bench::fmt;
+
+fn main() {
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .min(11);
+    let threads: Vec<usize> = (1..=max_threads).collect();
+
+    println!("# Fig. 6: baseline parallel scaling (speedup vs serial)\n");
+    print!("{:>8} {:>9}", "bench", "ops/cyc");
+    for t in &threads {
+        print!(" {t:>6}");
+    }
+    println!();
+
+    for w in workloads::all() {
+        let tape = Tape::compile(&w.netlist).expect("tape");
+        let cycles = w.bench_cycles;
+        let mut serial = SerialSim::new(&tape);
+        let s = serial.run(cycles);
+        print!("{:>8} {:>9}", w.name, tape.step_size());
+        for &t in &threads {
+            let speedup = if t == 1 {
+                1.0
+            } else {
+                let par = ParallelSim::new(&tape, t, 64);
+                let p = par.run(cycles);
+                p.stats.rate_khz() / s.rate_khz()
+            };
+            print!(" {:>6}", fmt(speedup));
+        }
+        println!();
+    }
+    println!("\nexpected shape (paper Fig. 6): large-step designs (vta, mc) reach ~2-4.6x;");
+    println!("small-step designs (bc, blur, jpeg) run SLOWER with threads (speedup < 1).");
+}

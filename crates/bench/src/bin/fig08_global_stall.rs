@@ -1,0 +1,101 @@
+//! Fig. 8: the cost of going off-chip — FIFO and RAM microbenchmarks at
+//! 1 KiB / 64 KiB / 512 KiB on a 1×1 grid, reporting total machine cycles
+//! (normalized to the 1 KiB run) and cache hit rates from the hardware
+//! performance counters.
+//!
+//! The 1 KiB design fits the scratchpad (no global stalls); 64 KiB spills
+//! to the cache; 512 KiB spreads between cache and DRAM. FIFOs access
+//! sequentially (high spatial locality); RAMs use an xorshift address
+//! stream (as in the paper).
+//!
+//! Run: `cargo run --release -p manticore-bench --bin fig08_global_stall`
+
+use manticore::compiler::{compile, CompileOptions};
+use manticore::isa::MachineConfig;
+use manticore::machine::Machine;
+use manticore::netlist::{Netlist, NetlistBuilder};
+use manticore_bench::{fmt, row};
+
+/// One load + one store per Vcycle against a `words`-word memory.
+/// `sequential` selects FIFO (sequential) vs RAM (xorshift) addressing.
+fn microbench(words: usize, sequential: bool) -> Netlist {
+    let aw = (words as u64).next_power_of_two().trailing_zeros() as usize;
+    let mut b = NetlistBuilder::new(if sequential { "fifo" } else { "ram" });
+    let mem = b.memory("m", words, 16);
+
+    let addr = if sequential {
+        let head = b.reg("head", aw, 0);
+        let one = b.lit(1, aw);
+        let next = b.add(head.q(), one);
+        b.set_next(head, next);
+        head.q()
+    } else {
+        // xorshift32 address stream (wide enough for 512 KiB = 18-bit
+        // word addresses)
+        let s = b.reg("xs", 32, 0xdeadbeef);
+        let s1 = b.shl_const(s.q(), 13);
+        let x1 = b.xor(s.q(), s1);
+        let s2 = b.shr_const(x1, 17);
+        let x2 = b.xor(x1, s2);
+        let s3 = b.shl_const(x2, 5);
+        let x3 = b.xor(x2, s3);
+        b.set_next(s, x3);
+        b.slice(s.q(), 0, aw)
+    };
+
+    // One read and one (shifted-address) write per Vcycle.
+    let rd = b.mem_read(mem, addr);
+    let sink = b.reg("sink", 16, 0);
+    b.set_next(sink, rd);
+    let one = b.lit(1, 16);
+    let data = b.add(rd, one);
+    let en = b.lit(1, 1);
+    b.mem_write(mem, addr, data, en);
+    b.output("sink", sink.q());
+    b.finish_build().expect("microbench netlist valid")
+}
+
+fn main() {
+    // 16-bit words: 1 KiB = 512, 64 KiB = 32768, 512 KiB = 262144.
+    let sizes = [(512usize, "1KiB"), (32 * 1024, "64KiB"), (512 * 1024 / 2, "512KiB")];
+    let vcycles = 20_000u64; // scaled from the paper's 16 Mi
+
+    println!("# Fig. 8: global-stall microbenchmarks (1x1 grid, {vcycles} Vcycles)\n");
+    row(&["design".into(), "size".into(), "cycles".into(), "normalized".into(),
+          "stall %".into(), "hit rate".into()]);
+    println!("|---|---|---|---|---|---|");
+
+    for sequential in [true, false] {
+        let mut baseline = None;
+        for &(words, label) in &sizes {
+            let netlist = microbench(words, sequential);
+            let config = MachineConfig::with_grid(1, 1);
+            let options = CompileOptions {
+                config: config.clone(),
+                ..Default::default()
+            };
+            let out = compile(&netlist, &options).expect("compiles");
+            let mut machine = Machine::load(config, &out.binary).expect("loads");
+            machine.run_vcycles(vcycles).expect("runs");
+            let c = machine.counters();
+            let total = c.total_cycles();
+            let base = *baseline.get_or_insert(total);
+            let stats = machine.cache_stats();
+            row(&[
+                if sequential { "FIFO" } else { "RAM" }.into(),
+                label.to_string(),
+                total.to_string(),
+                fmt(total as f64 / base as f64),
+                fmt(c.stall_fraction() * 100.0),
+                if stats.hits + stats.misses == 0 {
+                    "n/a (on-chip)".into()
+                } else {
+                    format!("{:.2}%", stats.hit_rate() * 100.0)
+                },
+            ]);
+        }
+    }
+    println!("\nexpected shape (paper Fig. 8): FIFO hit rates stay >99.9% at all sizes");
+    println!("(sequential locality); RAM at 512KiB drops toward ~62% and its cycle count");
+    println!("grows the most; even hits cost stalls (every access gates the clock).");
+}

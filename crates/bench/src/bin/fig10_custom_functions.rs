@@ -1,0 +1,46 @@
+//! Fig. 10: the custom-instruction ablation — VCPL with custom-function
+//! synthesis enabled, normalized to disabled, plus the reduction in total
+//! non-NOP instructions across all cores.
+//!
+//! Run: `cargo run --release -p manticore-bench --bin fig10_custom_functions`
+
+use manticore::compiler::{compile, CompileOptions};
+use manticore::isa::MachineConfig;
+use manticore::workloads;
+use manticore_bench::{fmt, row};
+
+fn main() {
+    println!("# Fig. 10: custom-instruction savings (15x15 grid)\n");
+    row(&[
+        "bench".into(), "VCPL off".into(), "VCPL on".into(), "VCPL ratio".into(),
+        "instr off".into(), "instr on".into(), "instr saved %".into(), "custom ops".into(),
+    ]);
+    println!("|---|---|---|---|---|---|---|---|");
+
+    for w in workloads::all() {
+        let mut results = Vec::new();
+        for enable in [false, true] {
+            let options = CompileOptions {
+                config: MachineConfig::default(),
+                custom_functions: enable,
+                ..Default::default()
+            };
+            results.push(compile(&w.netlist, &options).expect("compiles"));
+        }
+        let off = &results[0].report;
+        let on = &results[1].report;
+        let saved = 100.0 * (1.0 - on.total_instructions as f64 / off.total_instructions as f64);
+        row(&[
+            w.name.into(),
+            off.vcpl.to_string(),
+            on.vcpl.to_string(),
+            fmt(on.vcpl as f64 / off.vcpl as f64),
+            off.total_instructions.to_string(),
+            on.total_instructions.to_string(),
+            fmt(saved),
+            on.total_custom.to_string(),
+        ]);
+    }
+    println!("\nexpected shape (paper Fig. 10): total instruction reductions of ~3-18%,");
+    println!("but end-to-end VCPL improves <10% — fused logic may not sit on the straggler.");
+}

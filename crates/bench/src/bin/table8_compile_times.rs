@@ -1,0 +1,56 @@
+//! Table 8 + Fig. 13: compile times with the split-graph sizes (|V|, |E|)
+//! and the per-pass breakdown (the paper's yss/prs/opt/prl/cf/sch bars —
+//! here netlist-opt/lower/lir-opt/partition/custom-functions/schedule/
+//! regalloc-emit).
+//!
+//! Run: `cargo run --release -p manticore-bench --bin table8_compile_times`
+
+use manticore::compiler::PartitionStrategy;
+use manticore::workloads;
+use manticore_bench::{compile_for_grid, fmt, row, timed};
+
+fn main() {
+    println!("# Table 8 / Fig. 13: compilation statistics (15x15 target)\n");
+    row(&[
+        "bench".into(), "|V| split".into(), "|E| merged".into(), "nets".into(),
+        "total (ms)".into(), "dominant pass".into(),
+    ]);
+    println!("|---|---|---|---|---|---|");
+
+    let mut breakdowns = Vec::new();
+    for w in workloads::all() {
+        let (out, secs) = timed(|| compile_for_grid(&w.netlist, 15, PartitionStrategy::Balanced));
+        let dominant = out
+            .report
+            .pass_times
+            .iter()
+            .max_by_key(|(_, d)| *d)
+            .map(|(n, d)| format!("{n} ({:.0}ms)", d.as_secs_f64() * 1e3))
+            .unwrap_or_default();
+        row(&[
+            w.name.into(),
+            out.report.split.vertices.to_string(),
+            out.report.split.edges.to_string(),
+            w.netlist.nets().len().to_string(),
+            fmt(secs * 1e3),
+            dominant,
+        ]);
+        breakdowns.push((w.name, out.report.pass_times.clone()));
+    }
+
+    println!("\n## Fig. 13: per-pass fraction of compile time\n");
+    print!("{:>8}", "bench");
+    for (name, _) in &breakdowns[0].1 {
+        print!(" {name:>18}");
+    }
+    println!();
+    for (bench, passes) in &breakdowns {
+        let total: f64 = passes.iter().map(|(_, d)| d.as_secs_f64()).sum();
+        print!("{bench:>8}");
+        for (_, d) in passes {
+            print!(" {:>17.1}%", 100.0 * d.as_secs_f64() / total);
+        }
+        println!();
+    }
+    println!("\nexpected shape (paper Fig. 13): partitioning dominates compile time.");
+}

@@ -1,0 +1,225 @@
+//! The [`Bits`] container: construction, access, formatting.
+
+use std::fmt;
+
+use crate::MAX_WIDTH;
+
+/// A fixed-width bit vector backed by 64-bit limbs.
+///
+/// All arithmetic wraps modulo `2^width` (Verilog packed-vector semantics).
+/// The invariant maintained by every constructor and operation is that bits
+/// above `width` in the last limb are zero, which lets equality and hashing
+/// be derived structurally.
+///
+/// # Examples
+///
+/// ```
+/// use manticore_bits::Bits;
+/// let x = Bits::from_u64(0b1011, 4);
+/// assert_eq!(x.bit(0), true);
+/// assert_eq!(x.bit(2), false);
+/// assert_eq!(x.to_u64(), 11);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    /// Little-endian limbs; `limbs.len() == ceil(width/64)` (1 for width 0).
+    pub(crate) limbs: Vec<u64>,
+    pub(crate) width: usize,
+}
+
+impl Bits {
+    /// Creates an all-zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn zero(width: usize) -> Self {
+        assert!(width > 0, "Bits width must be non-zero");
+        assert!(width <= MAX_WIDTH, "Bits width {width} exceeds MAX_WIDTH");
+        Bits {
+            limbs: vec![0; width.div_ceil(64)],
+            width,
+        }
+    }
+
+    /// Creates an all-ones value of the given width.
+    pub fn ones(width: usize) -> Self {
+        let mut b = Self::zero(width);
+        for l in &mut b.limbs {
+            *l = u64::MAX;
+        }
+        b.normalize();
+        b
+    }
+
+    /// Creates a value from a `u64`, truncating to `width` bits.
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        let mut b = Self::zero(width);
+        b.limbs[0] = value;
+        b.normalize();
+        b
+    }
+
+    /// Creates a value from a `u128`, truncating to `width` bits.
+    pub fn from_u128(value: u128, width: usize) -> Self {
+        let mut b = Self::zero(width);
+        b.limbs[0] = value as u64;
+        if b.limbs.len() > 1 {
+            b.limbs[1] = (value >> 64) as u64;
+        }
+        b.normalize();
+        b
+    }
+
+    /// Creates a single-bit value.
+    pub fn from_bool(value: bool) -> Self {
+        Self::from_u64(value as u64, 1)
+    }
+
+    /// Creates a value from little-endian 16-bit words, truncating to `width`.
+    ///
+    /// This is the interface between the 16-bit lowered program state and the
+    /// arbitrary-width netlist state.
+    pub fn from_words16(words: &[u16], width: usize) -> Self {
+        let mut b = Self::zero(width);
+        for (i, &w) in words.iter().enumerate() {
+            let limb = i / 4;
+            if limb >= b.limbs.len() {
+                break;
+            }
+            b.limbs[limb] |= (w as u64) << ((i % 4) * 16);
+        }
+        b.normalize();
+        b
+    }
+
+    /// Returns the value as little-endian 16-bit words (`ceil(width/16)` of them).
+    pub fn to_words16(&self) -> Vec<u16> {
+        let n = self.width.div_ceil(16);
+        (0..n)
+            .map(|i| (self.limbs[i / 4] >> ((i % 4) * 16)) as u16)
+            .collect()
+    }
+
+    /// The width of this value in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns the low 64 bits of the value.
+    pub fn to_u64(&self) -> u64 {
+        self.limbs[0] & Self::mask_for(self.width.min(64))
+    }
+
+    /// Returns the low 128 bits of the value.
+    pub fn to_u128(&self) -> u128 {
+        let lo = self.limbs[0] as u128;
+        let hi = if self.limbs.len() > 1 {
+            self.limbs[1] as u128
+        } else {
+            0
+        };
+        let v = lo | (hi << 64);
+        if self.width >= 128 {
+            v
+        } else {
+            v & ((1u128 << self.width) - 1)
+        }
+    }
+
+    /// Returns bit `i` (false if `i >= width`).
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= self.width {
+            return false;
+        }
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.limbs[i / 64] |= mask;
+        } else {
+            self.limbs[i / 64] &= !mask;
+        }
+    }
+
+    /// True if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// The most-significant (sign) bit.
+    pub fn msb(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Mask with the low `bits` bits set (`bits <= 64`).
+    pub(crate) fn mask_for(bits: usize) -> u64 {
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        }
+    }
+
+    /// Clears any bits above `width` in the top limb (restores the invariant).
+    pub(crate) fn normalize(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= Self::mask_for(rem);
+        }
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self)
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut started = false;
+        for limb in self.limbs.iter().rev() {
+            if started {
+                write!(f, "{limb:016x}")?;
+            } else if *limb != 0 {
+                write!(f, "{limb:x}")?;
+                started = true;
+            }
+        }
+        if !started {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", self.bit(i) as u8)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(b: bool) -> Self {
+        Bits::from_bool(b)
+    }
+}

@@ -1,0 +1,33 @@
+//! Arbitrary-width bit vectors with two's-complement semantics.
+//!
+//! RTL designs manipulate values of arbitrary bit widths (a 1-bit valid flag,
+//! a 48-bit DRAM address, a 256-bit SHA word). [`Bits`] is the value type used
+//! throughout the Manticore netlist IR and the netlist-assembly interpreter:
+//! a fixed-width, unsigned-by-default bit vector backed by 64-bit limbs, with
+//! wrapping two's-complement arithmetic exactly like Verilog's packed vectors.
+//!
+//! # Examples
+//!
+//! ```
+//! use manticore_bits::Bits;
+//!
+//! let a = Bits::from_u64(0xfff0, 16);
+//! let b = Bits::from_u64(0x0020, 16);
+//! let sum = a.add(&b);
+//! assert_eq!(sum.to_u64(), 0x0010); // wraps at 16 bits
+//! assert_eq!(sum.width(), 16);
+//! ```
+
+mod bits;
+mod ops;
+
+pub use bits::Bits;
+
+/// Maximum supported width in bits.
+///
+/// RTL buses wider than this are exceedingly rare; the netlist builder
+/// rejects cells that would exceed it.
+pub const MAX_WIDTH: usize = 4096;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,306 @@
+//! Arithmetic, logic, shift, and structural operations on [`Bits`].
+//!
+//! Binary operations require equal operand widths (the netlist IR inserts
+//! explicit extensions); results have the operand width unless documented
+//! otherwise. Everything wraps modulo `2^width`.
+
+use crate::Bits;
+
+impl Bits {
+    fn assert_same_width(&self, rhs: &Bits) {
+        assert_eq!(
+            self.width, rhs.width,
+            "width mismatch: {} vs {}",
+            self.width, rhs.width
+        );
+    }
+
+    /// Wrapping addition.
+    pub fn add(&self, rhs: &Bits) -> Bits {
+        self.assert_same_width(rhs);
+        let mut out = Bits::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Wrapping subtraction (`self - rhs`).
+    pub fn sub(&self, rhs: &Bits) -> Bits {
+        self.assert_same_width(rhs);
+        let mut out = Bits::zero(self.width);
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Wrapping multiplication (result truncated to operand width).
+    pub fn mul(&self, rhs: &Bits) -> Bits {
+        self.assert_same_width(rhs);
+        let n = self.limbs.len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            if self.limbs[i] == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for j in 0..n - i {
+                let p = (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
+                    + acc[i + j] as u128
+                    + carry;
+                acc[i + j] = p as u64;
+                carry = p >> 64;
+            }
+        }
+        let mut out = Bits::zero(self.width);
+        out.limbs = acc;
+        out.normalize();
+        out
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, rhs: &Bits) -> Bits {
+        self.zip_limbs(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, rhs: &Bits) -> Bits {
+        self.zip_limbs(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, rhs: &Bits) -> Bits {
+        self.zip_limbs(rhs, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Bits {
+        let mut out = Bits::zero(self.width);
+        for i in 0..self.limbs.len() {
+            out.limbs[i] = !self.limbs[i];
+        }
+        out.normalize();
+        out
+    }
+
+    fn zip_limbs(&self, rhs: &Bits, f: impl Fn(u64, u64) -> u64) -> Bits {
+        self.assert_same_width(rhs);
+        let mut out = Bits::zero(self.width);
+        for i in 0..self.limbs.len() {
+            out.limbs[i] = f(self.limbs[i], rhs.limbs[i]);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Logical left shift by `amount` bit positions.
+    pub fn shl(&self, amount: usize) -> Bits {
+        let mut out = Bits::zero(self.width);
+        if amount >= self.width {
+            return out;
+        }
+        let limb_shift = amount / 64;
+        let bit_shift = amount % 64;
+        for i in (0..self.limbs.len()).rev() {
+            if i >= limb_shift {
+                let mut v = self.limbs[i - limb_shift] << bit_shift;
+                if bit_shift > 0 && i > limb_shift {
+                    v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+                }
+                out.limbs[i] = v;
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Logical right shift by `amount` bit positions.
+    pub fn shr(&self, amount: usize) -> Bits {
+        let mut out = Bits::zero(self.width);
+        if amount >= self.width {
+            return out;
+        }
+        let limb_shift = amount / 64;
+        let bit_shift = amount % 64;
+        for i in 0..self.limbs.len() {
+            if i + limb_shift < self.limbs.len() {
+                let mut v = self.limbs[i + limb_shift] >> bit_shift;
+                if bit_shift > 0 && i + limb_shift + 1 < self.limbs.len() {
+                    v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+                }
+                out.limbs[i] = v;
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Arithmetic right shift by `amount` bit positions (sign-extending).
+    pub fn ashr(&self, amount: usize) -> Bits {
+        let sign = self.msb();
+        if amount >= self.width {
+            return if sign {
+                Bits::ones(self.width)
+            } else {
+                Bits::zero(self.width)
+            };
+        }
+        let mut out = self.shr(amount);
+        if sign {
+            for i in self.width - amount..self.width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Shift left by a dynamic amount held in another value (Verilog `<<`).
+    pub fn shl_dyn(&self, amount: &Bits) -> Bits {
+        match amount.checked_shift_amount(self.width) {
+            Some(a) => self.shl(a),
+            None => Bits::zero(self.width),
+        }
+    }
+
+    /// Shift right (logical) by a dynamic amount (Verilog `>>`).
+    pub fn shr_dyn(&self, amount: &Bits) -> Bits {
+        match amount.checked_shift_amount(self.width) {
+            Some(a) => self.shr(a),
+            None => Bits::zero(self.width),
+        }
+    }
+
+    /// Shift right (arithmetic) by a dynamic amount (Verilog `>>>`).
+    pub fn ashr_dyn(&self, amount: &Bits) -> Bits {
+        match amount.checked_shift_amount(self.width) {
+            Some(a) => self.ashr(a),
+            None => {
+                if self.msb() {
+                    Bits::ones(self.width)
+                } else {
+                    Bits::zero(self.width)
+                }
+            }
+        }
+    }
+
+    /// Returns the shift amount if it is `< limit`, else `None`.
+    fn checked_shift_amount(&self, limit: usize) -> Option<usize> {
+        if self.limbs.iter().skip(1).any(|&l| l != 0) {
+            return None;
+        }
+        let a = self.limbs[0];
+        if a >= limit as u64 {
+            None
+        } else {
+            Some(a as usize)
+        }
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&self, rhs: &Bits) -> bool {
+        self.assert_same_width(rhs);
+        for i in (0..self.limbs.len()).rev() {
+            if self.limbs[i] != rhs.limbs[i] {
+                return self.limbs[i] < rhs.limbs[i];
+            }
+        }
+        false
+    }
+
+    /// Signed (two's-complement) less-than.
+    pub fn slt(&self, rhs: &Bits) -> bool {
+        match (self.msb(), rhs.msb()) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => self.ult(rhs),
+        }
+    }
+
+    /// Extracts `width` bits starting at `offset` (Verilog `x[offset +: width]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice would read past the end of the value.
+    pub fn slice(&self, offset: usize, width: usize) -> Bits {
+        assert!(
+            offset + width <= self.width,
+            "slice [{offset} +: {width}] out of range for width {}",
+            self.width
+        );
+        self.shr(offset).truncate(width)
+    }
+
+    /// Truncates to the low `width` bits (`width <= self.width()`).
+    pub fn truncate(&self, width: usize) -> Bits {
+        assert!(width <= self.width, "truncate target wider than source");
+        let mut out = Bits::zero(width);
+        let n = out.limbs.len();
+        out.limbs.copy_from_slice(&self.limbs[..n]);
+        out.normalize();
+        out
+    }
+
+    /// Zero-extends to `width` bits (`width >= self.width()`).
+    pub fn zext(&self, width: usize) -> Bits {
+        assert!(width >= self.width, "zext target narrower than source");
+        let mut out = Bits::zero(width);
+        out.limbs[..self.limbs.len()].copy_from_slice(&self.limbs);
+        out
+    }
+
+    /// Sign-extends to `width` bits (`width >= self.width()`).
+    pub fn sext(&self, width: usize) -> Bits {
+        let mut out = self.zext(width);
+        if self.msb() {
+            for i in self.width..width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Concatenates `hi` above `self` (`{hi, self}` in Verilog terms).
+    pub fn concat(&self, hi: &Bits) -> Bits {
+        let w = self.width + hi.width;
+        let lo = self.zext(w);
+        lo.or(&hi.zext(w).shl(self.width))
+    }
+
+    /// Reduction OR: 1-bit result, true if any bit is set.
+    pub fn reduce_or(&self) -> Bits {
+        Bits::from_bool(!self.is_zero())
+    }
+
+    /// Reduction AND: 1-bit result, true if all bits are set.
+    pub fn reduce_and(&self) -> Bits {
+        Bits::from_bool(*self == Bits::ones(self.width))
+    }
+
+    /// Reduction XOR: 1-bit result, parity of the population count.
+    pub fn reduce_xor(&self) -> Bits {
+        let pop: u32 = self.limbs.iter().map(|l| l.count_ones()).sum();
+        Bits::from_bool(pop % 2 == 1)
+    }
+
+    /// Ternary select: `if cond { self } else { other }` where `cond` is 1-bit
+    /// truthiness of `sel` (any non-zero selects `self`).
+    pub fn mux(sel: &Bits, if_true: &Bits, if_false: &Bits) -> Bits {
+        if sel.is_zero() {
+            if_false.clone()
+        } else {
+            if_true.clone()
+        }
+    }
+}

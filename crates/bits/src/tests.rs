@@ -1,0 +1,232 @@
+//! Unit + property tests for `Bits`, checked against `u128` reference math.
+
+use crate::Bits;
+use proptest::prelude::*;
+
+#[test]
+fn construction_and_access() {
+    let b = Bits::from_u64(0b1010, 4);
+    assert_eq!(b.width(), 4);
+    assert!(!b.bit(0));
+    assert!(b.bit(1));
+    assert!(b.bit(3));
+    assert!(!b.bit(100));
+    assert_eq!(b.to_u64(), 10);
+}
+
+#[test]
+fn truncation_on_construction() {
+    let b = Bits::from_u64(0x1ff, 8);
+    assert_eq!(b.to_u64(), 0xff);
+}
+
+#[test]
+fn wide_values_cross_limbs() {
+    let b = Bits::from_u128(u128::MAX, 100);
+    assert_eq!(b.to_u128(), (1u128 << 100) - 1);
+    assert!(b.bit(99));
+    assert!(!b.bit(100));
+}
+
+#[test]
+fn add_wraps() {
+    let a = Bits::from_u64(0xffff, 16);
+    let one = Bits::from_u64(1, 16);
+    assert_eq!(a.add(&one).to_u64(), 0);
+}
+
+#[test]
+fn sub_wraps() {
+    let a = Bits::from_u64(0, 16);
+    let one = Bits::from_u64(1, 16);
+    assert_eq!(a.sub(&one).to_u64(), 0xffff);
+}
+
+#[test]
+fn add_carries_across_limbs() {
+    let a = Bits::from_u128(u64::MAX as u128, 128);
+    let b = Bits::from_u128(1, 128);
+    assert_eq!(a.add(&b).to_u128(), 1u128 << 64);
+}
+
+#[test]
+fn mul_truncates() {
+    let a = Bits::from_u64(0x100, 16);
+    let b = Bits::from_u64(0x100, 16);
+    assert_eq!(a.mul(&b).to_u64(), 0); // 0x10000 wraps to 0 at 16 bits
+}
+
+#[test]
+fn shifts_basic() {
+    let a = Bits::from_u64(0b1, 8);
+    assert_eq!(a.shl(3).to_u64(), 0b1000);
+    assert_eq!(a.shl(8).to_u64(), 0);
+    let b = Bits::from_u64(0x80, 8);
+    assert_eq!(b.shr(7).to_u64(), 1);
+    assert_eq!(b.ashr(7).to_u64(), 0xff);
+}
+
+#[test]
+fn dynamic_shift_overflow_is_zero() {
+    let a = Bits::from_u64(0xff, 8);
+    let big = Bits::from_u64(200, 8);
+    assert_eq!(a.shl_dyn(&big).to_u64(), 0);
+    assert_eq!(a.shr_dyn(&big).to_u64(), 0);
+    assert_eq!(a.ashr_dyn(&big).to_u64(), 0xff); // sign bit set -> all ones
+}
+
+#[test]
+fn slice_and_concat_roundtrip() {
+    let a = Bits::from_u64(0xabcd, 16);
+    let lo = a.slice(0, 8);
+    let hi = a.slice(8, 8);
+    assert_eq!(lo.to_u64(), 0xcd);
+    assert_eq!(hi.to_u64(), 0xab);
+    assert_eq!(lo.concat(&hi).to_u64(), 0xabcd);
+}
+
+#[test]
+fn comparisons() {
+    let a = Bits::from_u64(0x7fff, 16);
+    let b = Bits::from_u64(0x8000, 16);
+    assert!(a.ult(&b));
+    assert!(!b.ult(&a));
+    // signed: 0x8000 is negative
+    assert!(b.slt(&a));
+    assert!(!a.slt(&b));
+}
+
+#[test]
+fn reductions() {
+    assert_eq!(Bits::from_u64(0, 8).reduce_or().to_u64(), 0);
+    assert_eq!(Bits::from_u64(4, 8).reduce_or().to_u64(), 1);
+    assert_eq!(Bits::from_u64(0xff, 8).reduce_and().to_u64(), 1);
+    assert_eq!(Bits::from_u64(0xfe, 8).reduce_and().to_u64(), 0);
+    assert_eq!(Bits::from_u64(0b101, 8).reduce_xor().to_u64(), 0);
+    assert_eq!(Bits::from_u64(0b111, 8).reduce_xor().to_u64(), 1);
+}
+
+#[test]
+fn words16_roundtrip() {
+    let a = Bits::from_u128(0x1234_5678_9abc_def0_1122, 80);
+    let words = a.to_words16();
+    assert_eq!(words.len(), 5);
+    assert_eq!(Bits::from_words16(&words, 80), a);
+}
+
+#[test]
+fn sext_zext() {
+    let a = Bits::from_u64(0x80, 8);
+    assert_eq!(a.zext(16).to_u64(), 0x0080);
+    assert_eq!(a.sext(16).to_u64(), 0xff80);
+}
+
+#[test]
+fn hex_display() {
+    assert_eq!(format!("{}", Bits::from_u64(0xbeef, 16)), "beef");
+    assert_eq!(format!("{:?}", Bits::from_u64(0, 8)), "8'h0");
+    assert_eq!(format!("{:b}", Bits::from_u64(0b101, 3)), "101");
+}
+
+fn ref_mask(w: usize) -> u128 {
+    if w >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << w) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_add_matches_u128(a: u128, b: u128, w in 1usize..128) {
+        let x = Bits::from_u128(a, w);
+        let y = Bits::from_u128(b, w);
+        let expect = (a & ref_mask(w)).wrapping_add(b & ref_mask(w)) & ref_mask(w);
+        prop_assert_eq!(x.add(&y).to_u128(), expect);
+    }
+
+    #[test]
+    fn prop_sub_matches_u128(a: u128, b: u128, w in 1usize..128) {
+        let x = Bits::from_u128(a, w);
+        let y = Bits::from_u128(b, w);
+        let expect = (a & ref_mask(w)).wrapping_sub(b & ref_mask(w)) & ref_mask(w);
+        prop_assert_eq!(x.sub(&y).to_u128(), expect);
+    }
+
+    #[test]
+    fn prop_mul_matches_u128(a: u64, b: u64, w in 1usize..64) {
+        let x = Bits::from_u64(a, w);
+        let y = Bits::from_u64(b, w);
+        let m = ref_mask(w) as u64;
+        let expect = (a & m).wrapping_mul(b & m) & m;
+        prop_assert_eq!(x.mul(&y).to_u64(), expect);
+    }
+
+    #[test]
+    fn prop_logic_matches_u128(a: u128, b: u128, w in 1usize..128) {
+        let x = Bits::from_u128(a, w);
+        let y = Bits::from_u128(b, w);
+        prop_assert_eq!(x.and(&y).to_u128(), a & b & ref_mask(w));
+        prop_assert_eq!(x.or(&y).to_u128(), (a | b) & ref_mask(w));
+        prop_assert_eq!(x.xor(&y).to_u128(), (a ^ b) & ref_mask(w));
+        prop_assert_eq!(x.not().to_u128(), !a & ref_mask(w));
+    }
+
+    #[test]
+    fn prop_shifts_match_u128(a: u128, w in 1usize..128, s in 0usize..140) {
+        let x = Bits::from_u128(a, w);
+        let masked = a & ref_mask(w);
+        let shl = if s >= w { 0 } else { (masked << s) & ref_mask(w) };
+        let shr = if s >= w { 0 } else { masked >> s };
+        prop_assert_eq!(x.shl(s).to_u128(), shl);
+        prop_assert_eq!(x.shr(s).to_u128(), shr);
+    }
+
+    #[test]
+    fn prop_ashr_matches_i128(a: u128, w in 2usize..128, s in 0usize..130) {
+        let x = Bits::from_u128(a, w);
+        // reference: sign-extend to i128, shift, re-mask
+        let masked = a & ref_mask(w);
+        let sign = (masked >> (w - 1)) & 1 == 1;
+        let ext = if sign { masked | !ref_mask(w) } else { masked };
+        let shifted = (ext as i128) >> s.min(127);
+        let expect = (shifted as u128) & ref_mask(w);
+        let got = if s >= w {
+            if sign { ref_mask(w) } else { 0 }
+        } else {
+            expect
+        };
+        prop_assert_eq!(x.ashr(s.min(w)).to_u128(), got);
+        if s < w {
+            prop_assert_eq!(x.ashr(s).to_u128(), expect);
+        }
+    }
+
+    #[test]
+    fn prop_comparisons_match(a: u128, b: u128, w in 1usize..128) {
+        let x = Bits::from_u128(a, w);
+        let y = Bits::from_u128(b, w);
+        let ma = a & ref_mask(w);
+        let mb = b & ref_mask(w);
+        prop_assert_eq!(x.ult(&y), ma < mb);
+        let sign = |v: u128| {
+            if (v >> (w - 1)) & 1 == 1 && w < 128 { (v | !ref_mask(w)) as i128 } else { v as i128 }
+        };
+        prop_assert_eq!(x.slt(&y), sign(ma) < sign(mb));
+    }
+
+    #[test]
+    fn prop_slice_concat_identity(a: u128, w in 2usize..128, cut in 1usize..127) {
+        let cut = cut.min(w - 1);
+        let x = Bits::from_u128(a, w);
+        let lo = x.slice(0, cut);
+        let hi = x.slice(cut, w - cut);
+        prop_assert_eq!(lo.concat(&hi), x);
+    }
+
+    #[test]
+    fn prop_words16_roundtrip(a: u128, w in 1usize..128) {
+        let x = Bits::from_u128(a, w);
+        prop_assert_eq!(Bits::from_words16(&x.to_words16(), w), x);
+    }
+}

@@ -1,0 +1,97 @@
+//! A small fixed-capacity bitset used to represent instruction cones during
+//! partitioning (unions of cones deduplicate shared instructions, which is
+//! what makes merge costs non-linear — §6.1).
+
+/// Fixed-capacity bitset over `usize` indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `n` elements.
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// True if `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Size of the union of two sets without materializing it.
+    pub fn union_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if the sets intersect.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if (w >> b) & 1 == 1 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BitSet;
+
+    #[test]
+    fn basic_ops() {
+        let mut a = BitSet::new(200);
+        a.insert(0);
+        a.insert(63);
+        a.insert(64);
+        a.insert(199);
+        assert!(a.contains(63) && a.contains(64) && !a.contains(65));
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 63, 64, 199]);
+        let mut b = BitSet::new(200);
+        b.insert(64);
+        b.insert(100);
+        assert!(a.intersects(&b));
+        assert_eq!(a.union_len(&b), 5);
+        a.union_with(&b);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+    }
+}

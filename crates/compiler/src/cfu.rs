@@ -1,0 +1,299 @@
+//! Custom function synthesis (§6.2): collapse chains of bitwise logic into
+//! single 4-input LUT instructions.
+//!
+//! The pass runs per partitioned process:
+//!
+//! 1. prune the dependence graph to bitwise-logic vertices (`And`/`Or`/
+//!    `Xor`; `Not` is already `Xor` with a mask constant, so constants are
+//!    absorbed into the per-lane truth tables);
+//! 2. enumerate 4-feasible cuts for every logic vertex (cut enumeration in
+//!    the style of FPGA technology mapping [Cong et al., FPGA'99]);
+//! 3. keep cuts that are MFFCs — no interior result escapes the cone;
+//! 4. compute each cone's truth table by evaluating it over the canonical
+//!    input masks (per lane, so constant leaves contribute their actual
+//!    bits — the paper's 256-bit tables);
+//! 5. group cones by table ("logic equivalence") and select a
+//!    non-overlapping subset maximizing saved instructions under the
+//!    32-tables-per-core budget. The paper solves this with MILP; no MILP
+//!    solver is in our dependency budget, so a greedy weighted selection
+//!    (largest saving first) stands in — see DESIGN.md.
+
+use std::collections::{HashMap, HashSet};
+
+use manticore_isa::AluOp;
+
+use crate::lir::{LirInstr, LirOp, Process, VReg};
+
+/// Canonical truth-table input masks for up to 4 variables.
+const MASKS: [u16; 4] = [0xaaaa, 0xcccc, 0xf0f0, 0xff00];
+
+/// Statistics from one synthesis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CfuStats {
+    /// Custom instructions emitted.
+    pub fused: usize,
+    /// Logic instructions removed (interior + roots).
+    pub removed: usize,
+    /// Distinct truth tables used.
+    pub tables: usize,
+}
+
+/// A candidate cone: a root logic instruction plus interior nodes.
+#[derive(Debug, Clone)]
+struct Cone {
+    root: usize,
+    /// Interior instruction indices (including the root).
+    interior: Vec<usize>,
+    /// Non-constant leaf vregs (≤ 4), in truth-table input order.
+    leaves: Vec<VReg>,
+    table: [u16; 16],
+    savings: usize,
+}
+
+/// Fuses logic chains in `proc`; `max_tables` bounds distinct truth tables
+/// (32 on the hardware). Returns statistics. Run [`crate::lir_opt::dce`]
+/// afterwards to drop the dead interior instructions.
+pub fn synthesize(proc: &mut Process, max_tables: usize) -> CfuStats {
+    let n = proc.instrs.len();
+    let mut def_of: HashMap<VReg, usize> = HashMap::new();
+    for (i, instr) in proc.instrs.iter().enumerate() {
+        if let Some(d) = instr.dest {
+            def_of.insert(d, i);
+        }
+    }
+    // Known constants (for per-lane absorption).
+    let mut const_val: HashMap<VReg, u16> = HashMap::new();
+    for instr in &proc.instrs {
+        if let (LirOp::Const(v), Some(d)) = (&instr.op, instr.dest) {
+            const_val.insert(d, *v);
+        }
+    }
+    // Use lists.
+    let mut uses: HashMap<VReg, Vec<usize>> = HashMap::new();
+    for (i, instr) in proc.instrs.iter().enumerate() {
+        for &a in &instr.args {
+            uses.entry(a).or_default().push(i);
+        }
+    }
+    let is_logic = |i: usize| proc.instrs[i].op.is_bitwise_logic();
+
+    // --- Cut enumeration -------------------------------------------------
+    // cuts[i]: list of leaf sets (non-const vregs, sorted, ≤4).
+    const MAX_CUTS: usize = 12;
+    let mut cuts: Vec<Vec<Vec<VReg>>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if !is_logic(i) {
+            continue;
+        }
+        // Per-operand choice: either the operand as a leaf, or (if the
+        // operand is itself a logic node) each of its cuts.
+        let mut operand_choices: Vec<Vec<Vec<VReg>>> = Vec::new();
+        for &a in &proc.instrs[i].args {
+            let mut choices: Vec<Vec<VReg>> = Vec::new();
+            if const_val.contains_key(&a) {
+                choices.push(vec![]); // constants never consume an input
+            } else {
+                choices.push(vec![a]);
+                if let Some(&d) = def_of.get(&a) {
+                    if is_logic(d) {
+                        choices.extend(cuts[d].iter().cloned());
+                    }
+                }
+            }
+            operand_choices.push(choices);
+        }
+        let mut mine: Vec<Vec<VReg>> = vec![vec![]];
+        for choices in &operand_choices {
+            let mut next = Vec::new();
+            for base in &mine {
+                for c in choices {
+                    let mut merged: Vec<VReg> = base.clone();
+                    for &l in c {
+                        if !merged.contains(&l) {
+                            merged.push(l);
+                        }
+                    }
+                    if merged.len() <= 4 {
+                        merged.sort_unstable();
+                        if !next.contains(&merged) {
+                            next.push(merged);
+                        }
+                    }
+                }
+            }
+            mine = next;
+            if mine.len() > MAX_CUTS * 4 {
+                mine.truncate(MAX_CUTS * 4);
+            }
+        }
+        mine.sort_by_key(|c| c.len());
+        mine.dedup();
+        mine.truncate(MAX_CUTS);
+        cuts[i] = mine;
+    }
+
+    // --- Cone construction + MFFC filter + truth tables ------------------
+    let mut candidates: Vec<Cone> = Vec::new();
+    for root in 0..n {
+        if !is_logic(root) {
+            continue;
+        }
+        for cut in &cuts[root] {
+            let leaf_set: HashSet<VReg> = cut.iter().copied().collect();
+            // Collect interior nodes: walk back from root until leaves.
+            let mut interior: Vec<usize> = Vec::new();
+            let mut stack = vec![root];
+            let mut seen: HashSet<usize> = HashSet::new();
+            seen.insert(root);
+            let mut ok = true;
+            while let Some(i) = stack.pop() {
+                interior.push(i);
+                for &a in &proc.instrs[i].args {
+                    if leaf_set.contains(&a) || const_val.contains_key(&a) {
+                        continue;
+                    }
+                    match def_of.get(&a) {
+                        Some(&d) if is_logic(d) => {
+                            if seen.insert(d) {
+                                stack.push(d);
+                            }
+                        }
+                        // A non-logic, non-leaf operand: this cut is not a
+                        // closed cone over logic ops.
+                        _ => {
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            if !ok || interior.len() < 2 {
+                continue; // no saving from a single instruction
+            }
+            // MFFC: no interior node except the root may be used outside.
+            let interior_set: HashSet<usize> = interior.iter().copied().collect();
+            let escapes = interior.iter().any(|&i| {
+                if i == root {
+                    return false;
+                }
+                let d = proc.instrs[i].dest.unwrap();
+                uses.get(&d)
+                    .map(|us| us.iter().any(|u| !interior_set.contains(u)))
+                    .unwrap_or(false)
+            });
+            if escapes {
+                continue;
+            }
+            // Truth table per lane.
+            let table = match eval_cone(proc, root, &interior_set, cut, &const_val, &def_of) {
+                Some(t) => t,
+                None => continue,
+            };
+            candidates.push(Cone {
+                root,
+                interior: interior.clone(),
+                leaves: cut.clone(),
+                table,
+                savings: interior.len() - 1,
+            });
+        }
+    }
+
+    // --- Selection (greedy stand-in for the paper's MILP) ---------------
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.savings));
+    let mut claimed: HashSet<usize> = HashSet::new();
+    let mut tables: Vec<[u16; 16]> = Vec::new();
+    let mut chosen: Vec<Cone> = Vec::new();
+    for cone in candidates {
+        if cone.interior.iter().any(|i| claimed.contains(i)) {
+            continue;
+        }
+        let table_known = tables.contains(&cone.table);
+        if !table_known && tables.len() >= max_tables {
+            continue;
+        }
+        if !table_known {
+            tables.push(cone.table);
+        }
+        claimed.extend(cone.interior.iter().copied());
+        chosen.push(cone);
+    }
+
+    // --- Rewrite ----------------------------------------------------------
+    let mut stats = CfuStats {
+        fused: chosen.len(),
+        removed: chosen.iter().map(|c| c.interior.len()).sum(),
+        tables: tables.len(),
+    };
+    if chosen.is_empty() {
+        stats.tables = 0;
+        return stats;
+    }
+    for cone in &chosen {
+        let dest = proc.instrs[cone.root].dest;
+        proc.instrs[cone.root] = LirInstr {
+            dest,
+            op: LirOp::Custom { table: cone.table },
+            args: cone.leaves.clone(),
+        };
+        // Interior nodes become dead; DCE removes them.
+    }
+    stats
+}
+
+/// Evaluates the cone over the canonical masks, per lane. Returns `None`
+/// when evaluation hits an unsupported op (defensive; interiors are logic).
+fn eval_cone(
+    proc: &Process,
+    root: usize,
+    interior: &HashSet<usize>,
+    leaves: &[VReg],
+    const_val: &HashMap<VReg, u16>,
+    def_of: &HashMap<VReg, usize>,
+) -> Option<[u16; 16]> {
+    let mut table = [0u16; 16];
+    for (lane, t) in table.iter_mut().enumerate() {
+        // Value of each vreg in truth-table space for this lane.
+        let mut memo: HashMap<VReg, u16> = HashMap::new();
+        for (k, &l) in leaves.iter().enumerate() {
+            memo.insert(l, MASKS[k]);
+        }
+        fn eval(
+            v: VReg,
+            lane: usize,
+            proc: &Process,
+            interior: &HashSet<usize>,
+            const_val: &HashMap<VReg, u16>,
+            def_of: &HashMap<VReg, usize>,
+            memo: &mut HashMap<VReg, u16>,
+        ) -> Option<u16> {
+            if let Some(&x) = memo.get(&v) {
+                return Some(x);
+            }
+            if let Some(&c) = const_val.get(&v) {
+                // Constant: this lane's bit replicated across table space.
+                let bit = (c >> lane) & 1;
+                let x = if bit == 1 { 0xffff } else { 0x0000 };
+                memo.insert(v, x);
+                return Some(x);
+            }
+            let d = *def_of.get(&v)?;
+            if !interior.contains(&d) {
+                return None;
+            }
+            let instr = &proc.instrs[d];
+            let a = eval(instr.args[0], lane, proc, interior, const_val, def_of, memo)?;
+            let b = eval(instr.args[1], lane, proc, interior, const_val, def_of, memo)?;
+            let x = match instr.op {
+                LirOp::Alu(AluOp::And) => a & b,
+                LirOp::Alu(AluOp::Or) => a | b,
+                LirOp::Alu(AluOp::Xor) => a ^ b,
+                _ => return None,
+            };
+            memo.insert(v, x);
+            Some(x)
+        }
+        let root_v = proc.instrs[root].dest?;
+        *t = eval(root_v, lane, proc, interior, const_val, def_of, &mut memo)?;
+    }
+    Some(table)
+}

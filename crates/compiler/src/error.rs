@@ -1,0 +1,71 @@
+//! Compiler errors.
+
+use std::fmt;
+
+/// Errors reported by the compilation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The design has primary inputs; Manticore runs closed, self-driving
+    /// test harnesses (drive stimulus from registers/ROMs instead).
+    UnsupportedInput {
+        /// Name of the offending input.
+        name: String,
+    },
+    /// A core's program (body + epilogue) exceeds the instruction memory.
+    ImemOverflow {
+        /// Instructions required.
+        needed: usize,
+        /// Instruction memory capacity.
+        capacity: usize,
+    },
+    /// A core ran out of machine registers.
+    RegfileOverflow {
+        /// Registers required.
+        needed: usize,
+        /// Register file size.
+        capacity: usize,
+    },
+    /// The local memories assigned to one core exceed its scratchpad.
+    ScratchOverflow {
+        /// Words required.
+        needed: usize,
+        /// Scratchpad capacity in words.
+        capacity: usize,
+    },
+    /// More processes than cores after merging (partitioner bug).
+    TooManyProcesses {
+        /// Processes produced.
+        processes: usize,
+        /// Cores available.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnsupportedInput { name } => write!(
+                f,
+                "design has primary input `{name}`; Manticore requires closed test harnesses"
+            ),
+            CompileError::ImemOverflow { needed, capacity } => write!(
+                f,
+                "program needs {needed} instruction slots but the instruction memory holds {capacity}"
+            ),
+            CompileError::RegfileOverflow { needed, capacity } => write!(
+                f,
+                "program needs {needed} machine registers but the register file holds {capacity}"
+            ),
+            CompileError::ScratchOverflow { needed, capacity } => write!(
+                f,
+                "local memories need {needed} words but the scratchpad holds {capacity}"
+            ),
+            CompileError::TooManyProcesses { processes, cores } => write!(
+                f,
+                "partitioning produced {processes} processes for {cores} cores"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,238 @@
+//! The lower-assembly interpreter (§6: "Both [IRs] can be interpreted in
+//! software... We used the interpreters extensively to validate the
+//! compiler passes").
+//!
+//! Executes a [`LirProgram`] with full RTL-cycle semantics but no machine
+//! timing: all processes run to completion each Vcycle, memory writes and
+//! state commits apply atomically at the cycle boundary. Differential
+//! testing pits this against the netlist evaluator (above it) and the
+//! machine model (below it).
+
+use std::collections::HashMap;
+
+use manticore_bits::Bits;
+
+use crate::lir::{LirExceptionKind, LirOp, LirProgram, MemPlacement, VReg};
+
+/// Side effects of one interpreted Vcycle.
+#[derive(Debug, Clone, Default)]
+pub struct LirEvents {
+    /// Rendered `$display` lines.
+    pub displays: Vec<String>,
+    /// First failed assertion message, if any.
+    pub failed_assert: Option<String>,
+    /// True if `$finish` fired.
+    pub finished: bool,
+}
+
+/// Interpreter state over a lower-assembly program.
+#[derive(Debug, Clone)]
+pub struct LirInterp<'p> {
+    prog: &'p LirProgram,
+    /// Current value of every state word.
+    state: Vec<u16>,
+    /// Backing store for local memories.
+    local_mems: Vec<Vec<u16>>,
+    /// Sparse DRAM for global memories.
+    dram: HashMap<u64, u16>,
+    vcycle: u64,
+}
+
+impl<'p> LirInterp<'p> {
+    /// Creates an interpreter with state and memories at initial values.
+    pub fn new(prog: &'p LirProgram) -> Self {
+        let state = prog.states.iter().map(|s| s.init).collect();
+        let mut local_mems = Vec::with_capacity(prog.mems.len());
+        let mut dram = HashMap::new();
+        for m in &prog.mems {
+            match m.placement {
+                MemPlacement::Local => {
+                    let mut words = m.init_words.clone();
+                    words.resize(m.total_words(), 0);
+                    local_mems.push(words);
+                }
+                MemPlacement::Global { base } => {
+                    local_mems.push(Vec::new());
+                    for (i, &w) in m.init_words.iter().enumerate() {
+                        if w != 0 {
+                            dram.insert(base + i as u64, w);
+                        }
+                    }
+                }
+            }
+        }
+        LirInterp {
+            prog,
+            state,
+            local_mems,
+            dram,
+            vcycle: 0,
+        }
+    }
+
+    /// Vcycles executed so far.
+    pub fn vcycle(&self) -> u64 {
+        self.vcycle
+    }
+
+    /// Current value of a state word.
+    pub fn state_word(&self, index: usize) -> u16 {
+        self.state[index]
+    }
+
+    /// Current value of an RTL register, reassembled from its state words.
+    pub fn rtl_reg_value(&self, rtl_reg: manticore_netlist::RegId, width: usize) -> Bits {
+        let words: Vec<u16> = self
+            .prog
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.rtl_reg == rtl_reg)
+            .map(|(i, _)| self.state[i])
+            .collect();
+        Bits::from_words16(&words, width)
+    }
+
+    /// Executes one Vcycle.
+    pub fn step(&mut self) -> LirEvents {
+        let mut events = LirEvents::default();
+        let mut commits: Vec<(usize, u16)> = Vec::new();
+        let mut local_writes: Vec<(usize, usize, u16)> = Vec::new();
+        let mut dram_writes: Vec<(u64, u16)> = Vec::new();
+
+        for proc in &self.prog.processes {
+            // Value + carry per vreg (bit 16 = carry).
+            let mut vals = vec![0u32; proc.num_vregs as usize];
+            for (&sid, &v) in &proc.state_reads {
+                vals[v.index()] = self.state[sid.index()] as u32;
+            }
+            for instr in &proc.instrs {
+                let a = |i: usize| vals[instr.args[i].index()] as u16;
+                let carry = |i: usize| (vals[instr.args[i].index()] >> 16) & 1;
+                let result: Option<u32> = match instr.op {
+                    LirOp::Const(imm) => Some(imm as u32),
+                    LirOp::Alu(op) => {
+                        let (v, c) = op.eval(a(0), a(1));
+                        Some(v as u32 | ((c as u32) << 16))
+                    }
+                    LirOp::AddCarry => {
+                        let sum = a(0) as u32 + a(1) as u32 + carry(2);
+                        Some((sum & 0xffff) | (((sum > 0xffff) as u32) << 16))
+                    }
+                    LirOp::SubBorrow => {
+                        let diff = a(0) as i32 - a(1) as i32 - (1 - carry(2) as i32);
+                        Some(((diff as u32) & 0xffff) | (((diff >= 0) as u32) << 16))
+                    }
+                    LirOp::Mux => Some(if a(0) != 0 { a(1) as u32 } else { a(2) as u32 }),
+                    LirOp::Slice { offset, width } => {
+                        let mask = if width >= 16 { 0xffff } else { (1u16 << width) - 1 };
+                        Some(((a(0) >> offset) & mask) as u32)
+                    }
+                    LirOp::Custom { table } => {
+                        let ws: Vec<u16> = (0..instr.args.len()).map(a).collect();
+                        let mut out = 0u16;
+                        for lane in 0..16 {
+                            let mut sel = 0u16;
+                            for (k, w) in ws.iter().enumerate() {
+                                sel |= ((w >> lane) & 1) << k;
+                            }
+                            out |= ((table[lane] >> sel) & 1) << lane;
+                        }
+                        Some(out as u32)
+                    }
+                    LirOp::LocalLoad { mem, word_offset } => {
+                        let m = &self.local_mems[mem.index()];
+                        let addr = (a(0) as usize + word_offset as usize) % m.len().max(1);
+                        Some(m.get(addr).copied().unwrap_or(0) as u32)
+                    }
+                    LirOp::LocalStore { mem, word_offset } => {
+                        if a(2) != 0 {
+                            let m = &self.local_mems[mem.index()];
+                            let addr =
+                                (a(1) as usize + word_offset as usize) % m.len().max(1);
+                            local_writes.push((mem.index(), addr, a(0)));
+                        }
+                        None
+                    }
+                    LirOp::GlobalLoad { .. } => {
+                        let addr =
+                            a(0) as u64 | ((a(1) as u64) << 16) | ((a(2) as u64) << 32);
+                        Some(self.dram.get(&addr).copied().unwrap_or(0) as u32)
+                    }
+                    LirOp::GlobalStore { .. } => {
+                        if a(4) != 0 {
+                            let addr =
+                                a(1) as u64 | ((a(2) as u64) << 16) | ((a(3) as u64) << 32);
+                            dram_writes.push((addr, a(0)));
+                        }
+                        None
+                    }
+                    LirOp::Expect { eid } => {
+                        if a(0) != a(1) {
+                            self.fire_exception(eid, &vals, &mut events);
+                        }
+                        None
+                    }
+                    LirOp::CommitLocal { state } => {
+                        commits.push((state.index(), a(0)));
+                        None
+                    }
+                    LirOp::Send { .. } => None, // state is shared in the interpreter
+                };
+                if let (Some(d), Some(v)) = (instr.dest, result) {
+                    vals[d.index()] = v;
+                }
+            }
+        }
+
+        // Atomic cycle-boundary updates: memory writes then state commits.
+        for (m, addr, v) in local_writes {
+            self.local_mems[m][addr] = v;
+        }
+        for (addr, v) in dram_writes {
+            self.dram.insert(addr, v);
+        }
+        for (s, v) in commits {
+            self.state[s] = v;
+        }
+        self.vcycle += 1;
+        events
+    }
+
+    fn fire_exception(&self, eid: u16, vals: &[u32], events: &mut LirEvents) {
+        match &self.prog.exceptions[eid as usize] {
+            LirExceptionKind::Display { format, args } => {
+                let rendered = render(format, args, vals);
+                events.displays.push(rendered);
+            }
+            LirExceptionKind::AssertFail { message } => {
+                if events.failed_assert.is_none() {
+                    events.failed_assert = Some(message.clone());
+                }
+            }
+            LirExceptionKind::Finish => events.finished = true,
+        }
+    }
+}
+
+fn render(format: &str, args: &[(Vec<VReg>, usize)], vals: &[u32]) -> String {
+    let mut out = String::new();
+    let mut it = args.iter();
+    let mut chars = format.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '{' && chars.peek() == Some(&'}') {
+            chars.next();
+            match it.next() {
+                Some((regs, width)) => {
+                    let words: Vec<u16> = regs.iter().map(|r| vals[r.index()] as u16).collect();
+                    let b = Bits::from_words16(&words, *width);
+                    out.push_str(&format!("{b:x}"));
+                }
+                None => out.push_str("<missing>"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}

@@ -1,0 +1,225 @@
+//! The Manticore compiler: netlists → statically-scheduled machine binaries.
+//!
+//! The pipeline mirrors Fig. 4 of the paper:
+//!
+//! 1. **optimize** — netlist-level constant folding, CSE, DCE ([`opt`]);
+//! 2. **lower** — width legalization onto the 16-bit datapath ([`lower`]);
+//! 3. **optimize** — lower-assembly CSE/DCE ([`lir_opt`]);
+//! 4. **partition** — split into per-sink cones, merge communication-aware
+//!    ([`partition`]);
+//! 5. **custom instructions** — MFFC fusion into 4-input LUT ops ([`cfu`]);
+//! 6. **schedule** — list scheduling against the pipeline-hazard and
+//!    NoC-routing models ([`schedule`]);
+//! 7. **register allocation + emission** — persistent/linear-scan
+//!    allocation, current/next coalescing, binary emission ([`regalloc`]).
+//!
+//! Both intermediate representations are executable: the netlist via
+//! `manticore_netlist::eval` and the lower assembly via [`interp`] — the
+//! compiler's differential-testing backbone, as in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use manticore_compiler::{compile, CompileOptions};
+//! use manticore_netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new("counter");
+//! let r = b.reg("count", 16, 0);
+//! let one = b.lit(1, 16);
+//! let next = b.add(r.q(), one);
+//! b.set_next(r, next);
+//! let netlist = b.finish_build().unwrap();
+//!
+//! let out = compile(&netlist, &CompileOptions::default()).unwrap();
+//! assert!(out.binary.vcycle_len > 0);
+//! ```
+
+pub mod bitset;
+pub mod cfu;
+pub mod error;
+pub mod interp;
+pub mod lir;
+pub mod lir_opt;
+pub mod lower;
+pub mod opt;
+pub mod partition;
+pub mod regalloc;
+pub mod report;
+pub mod schedule;
+
+#[cfg(test)]
+mod tests;
+
+use std::time::Instant;
+
+use manticore_isa::{Binary, MachineConfig};
+use manticore_netlist::Netlist;
+
+pub use error::CompileError;
+pub use partition::PartitionStrategy;
+pub use report::{CompileReport, CoreBreakdown, Metadata, MemLocation, RegLocation, SplitStats};
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Target machine configuration.
+    pub config: MachineConfig,
+    /// Merge strategy (the paper's `B` vs `L`, Fig. 9).
+    pub partition: PartitionStrategy,
+    /// Enable custom-function synthesis (§6.2; Fig. 10 ablates this).
+    pub custom_functions: bool,
+    /// Enable netlist-level optimization.
+    pub netlist_opt: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            config: MachineConfig::default(),
+            partition: PartitionStrategy::Balanced,
+            custom_functions: true,
+            netlist_opt: true,
+        }
+    }
+}
+
+/// A compiled design.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The loadable machine binary.
+    pub binary: Binary,
+    /// The optimized netlist actually compiled (RTL ids in the metadata
+    /// refer to *this* netlist).
+    pub optimized: Netlist,
+    /// The partitioned lower-assembly program (drives the interpreter and
+    /// the scaling analyses).
+    pub lir: lir::LirProgram,
+    /// Where RTL state lives on the machine.
+    pub metadata: Metadata,
+    /// Pass timings and instruction-mix statistics.
+    pub report: CompileReport,
+}
+
+impl CompileOutput {
+    /// Predicted simulation rate in kHz at the configured clock
+    /// (`clock / VCPL` — the paper's headline metric).
+    pub fn simulation_rate_khz(&self, config: &MachineConfig) -> f64 {
+        config.simulation_rate_khz(self.report.vcpl)
+    }
+}
+
+/// Compiles a netlist for the configured machine.
+///
+/// # Errors
+///
+/// See [`CompileError`]; notably designs with primary inputs are rejected
+/// (test harnesses must be closed) and resource overflows are reported per
+/// core.
+pub fn compile(netlist: &Netlist, options: &CompileOptions) -> Result<CompileOutput, CompileError> {
+    let mut report = CompileReport::default();
+    let mut stamp = Instant::now();
+    let mut lap = |report: &mut CompileReport, name: &'static str| {
+        let now = Instant::now();
+        report.pass_times.push((name, now - stamp));
+        stamp = now;
+    };
+
+    // 1. Netlist optimization (stands in front of the Yosys boundary).
+    let optimized = if options.netlist_opt {
+        opt::optimize(netlist)
+    } else {
+        netlist.clone()
+    };
+    lap(&mut report, "netlist-opt");
+
+    // 2. Lowering to 16-bit lower assembly (monolithic).
+    let mut mono = lower::lower(&optimized, options.config.scratch_words)?;
+    lap(&mut report, "lower");
+
+    // 3. Lower-assembly optimization.
+    lir_opt::optimize(&mut mono);
+    lap(&mut report, "lir-opt");
+
+    // 4. Partition (split + merge).
+    let mut parted = partition::partition(&mono, options.config.num_cores(), options.partition);
+    report.split = SplitStats {
+        vertices: count_split_units(&mono),
+        edges: count_split_edges(&parted),
+    };
+    lap(&mut report, "partition");
+
+    // 5. Custom-function synthesis.
+    if options.custom_functions {
+        for p in &mut parted.processes {
+            cfu::synthesize(p, options.config.num_custom_functions);
+        }
+        lir_opt::optimize(&mut parted);
+    }
+    lap(&mut report, "custom-functions");
+
+    // 6. Scheduling.
+    let schedule = schedule::schedule(&parted, &options.config)?;
+    lap(&mut report, "schedule");
+
+    // 7. Register allocation + emission.
+    let emitted = regalloc::emit(&parted, &schedule, &options.config)?;
+    lap(&mut report, "regalloc-emit");
+
+    report.vcpl = schedule.vcycle_len;
+    report.processes = parted.processes.len();
+    report.cores_used = parted
+        .processes
+        .iter()
+        .filter(|p| !p.instrs.is_empty())
+        .count();
+    report.per_core = emitted.per_core.clone();
+    report.total_sends = emitted.per_core.iter().map(|b| b.sends).sum();
+    report.total_custom = emitted.per_core.iter().map(|b| b.custom).sum();
+    report.total_instructions = emitted
+        .per_core
+        .iter()
+        .map(|b| b.compute + b.sends)
+        .sum();
+
+    Ok(CompileOutput {
+        binary: emitted.binary,
+        optimized,
+        lir: parted,
+        metadata: emitted.metadata,
+        report,
+    })
+}
+
+/// Number of sink seeds in the monolithic program — the vertex count of
+/// the maximal split graph (Table 8's |V|), before affinity merging.
+fn count_split_units(mono: &lir::LirProgram) -> usize {
+    let p = &mono.processes[0];
+    let mut units = 0usize;
+    let mut mems = std::collections::HashSet::new();
+    let mut has_priv = false;
+    for i in &p.instrs {
+        match &i.op {
+            lir::LirOp::CommitLocal { .. } => units += 1,
+            lir::LirOp::LocalStore { mem, .. } | lir::LirOp::GlobalStore { mem, .. } => {
+                mems.insert(mem.0);
+            }
+            lir::LirOp::Expect { .. } => has_priv = true,
+            _ => {}
+        }
+    }
+    units + mems.len() + has_priv as usize
+}
+
+/// Communication edges between merged processes (state producer/consumer
+/// pairs) — an |E| analog after merging.
+fn count_split_edges(parted: &lir::LirProgram) -> usize {
+    let mut edges = std::collections::HashSet::new();
+    for (pi, p) in parted.processes.iter().enumerate() {
+        for instr in &p.instrs {
+            if let lir::LirOp::Send { to_process, .. } = instr.op {
+                edges.insert((pi, to_process));
+            }
+        }
+    }
+    edges.len()
+}

@@ -1,0 +1,305 @@
+//! The *lower assembly* IR (§6 of the paper): SSA instructions whose
+//! operands match Manticore's 16-bit datapath.
+//!
+//! A [`LirProgram`] is a set of [`Process`]es operating on shared
+//! *state words* — the 16-bit words of the RTL registers. Each Vcycle every
+//! process reads current state words (its live-ins), computes, and commits
+//! next values; cross-process readers receive the committed value through
+//! `Send`. Initially the program is one monolithic process; partitioning
+//! splits and re-merges it (§6.1).
+
+use std::collections::BTreeMap;
+
+use manticore_isa::AluOp;
+use manticore_netlist::{MemoryId, RegId};
+
+/// A 16-bit virtual register, local to one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// Index into per-process value tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One 16-bit word of RTL register state, shared across processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// Index into [`LirProgram::states`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Metadata for one state word.
+#[derive(Debug, Clone)]
+pub struct StateWord {
+    /// The RTL register this word belongs to.
+    pub rtl_reg: RegId,
+    /// Word index within the register (LSW = 0).
+    pub word: usize,
+    /// Power-on value.
+    pub init: u16,
+}
+
+/// An RTL memory lowered onto a machine memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LMemId(pub u32);
+
+impl LMemId {
+    /// Index into [`LirProgram::mems`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Placement of a lowered memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPlacement {
+    /// In the owning core's scratchpad (base assigned at emission).
+    Local,
+    /// In DRAM behind the privileged core's cache, at this word base.
+    Global {
+        /// Base word address in DRAM.
+        base: u64,
+    },
+}
+
+/// Metadata for one lowered memory.
+#[derive(Debug, Clone)]
+pub struct MemInfo {
+    /// The RTL memory.
+    pub rtl_mem: MemoryId,
+    /// Machine words per RTL entry.
+    pub words_per_entry: usize,
+    /// RTL entry count.
+    pub depth: usize,
+    /// Placement (local scratchpad vs. global DRAM).
+    pub placement: MemPlacement,
+    /// Initial contents as machine words (`depth * words_per_entry` long,
+    /// or empty for all-zero).
+    pub init_words: Vec<u16>,
+}
+
+impl MemInfo {
+    /// Total machine words occupied.
+    pub fn total_words(&self) -> usize {
+        self.depth * self.words_per_entry
+    }
+}
+
+/// What the host does when an `Expect` with this id fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LirExceptionKind {
+    /// `$display`: fires when the condition is non-zero; the host prints.
+    Display {
+        /// Format string.
+        format: String,
+        /// Per-argument `(word vregs LSW-first, bit width)` in the
+        /// privileged process.
+        args: Vec<(Vec<VReg>, usize)>,
+    },
+    /// Assertion: fires when the condition is zero (compared against 1).
+    AssertFail {
+        /// Message reported on failure.
+        message: String,
+    },
+    /// `$finish`: fires when the condition is non-zero.
+    Finish,
+}
+
+/// One LIR operation. Operand vregs live in [`LirInstr::args`] with the
+/// layout documented per variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LirOp {
+    /// `rd = imm`. Hoisted to boot-time register initialization before
+    /// scheduling (constants are Vcycle-invariant).
+    Const(u16),
+    /// Two-operand ALU op; `args = [rs1, rs2]`.
+    Alu(AluOp),
+    /// `rd = rs1 + rs2 + carry(rs3)`; `args = [rs1, rs2, rs3]`.
+    AddCarry,
+    /// `rd = rs1 - rs2 - !carry(rs3)`; `args = [rs1, rs2, rs3]`.
+    SubBorrow,
+    /// `rd = args[0] != 0 ? args[1] : args[2]`.
+    Mux,
+    /// `rd = (args[0] >> offset) & mask(width)`.
+    Slice {
+        /// LSB offset.
+        offset: u8,
+        /// Field width.
+        width: u8,
+    },
+    /// 4-input LUT; `args` are the inputs (≤ 4; missing = zero).
+    Custom {
+        /// Per-lane 16-entry truth tables over the 4 inputs (256 bits, as
+        /// in §5.1); per-lane tables absorb constant operands.
+        table: [u16; 16],
+    },
+    /// `rd = mem[word(args[0]) + word_offset]`; `args = [word_addr]`.
+    LocalLoad {
+        /// Which memory.
+        mem: LMemId,
+        /// Static word offset added to the dynamic address.
+        word_offset: u16,
+    },
+    /// `if args[2] != 0 { mem[args[1] + word_offset] = args[0] }`;
+    /// `args = [data, word_addr, enable]`. Expands to `Predicate` + store
+    /// at emission (occupies two issue slots).
+    LocalStore {
+        /// Which memory.
+        mem: LMemId,
+        /// Static word offset.
+        word_offset: u16,
+    },
+    /// `rd = dram[addr48]`; `args = [a0, a1, a2]` (LSW first). Privileged.
+    GlobalLoad {
+        /// Which memory (for load/store ordering).
+        mem: LMemId,
+    },
+    /// `if args[4] != 0 { dram[addr48] = data }`;
+    /// `args = [data, a0, a1, a2, enable]`. Privileged; two issue slots.
+    GlobalStore {
+        /// Which memory.
+        mem: LMemId,
+    },
+    /// Raise exception `eid` when `args[0] != args[1]`. Privileged.
+    /// Display-argument vregs are appended after the two compared values so
+    /// their lifetimes extend to the exception point.
+    Expect {
+        /// Exception id.
+        eid: u16,
+    },
+    /// Commit `args[0]` as the next value of `state` (becomes a move into
+    /// the state's home register, or is coalesced away).
+    CommitLocal {
+        /// The state word.
+        state: StateId,
+    },
+    /// Send `args[0]` to the process reading `state` on another core
+    /// (target core + register resolved at emission).
+    Send {
+        /// The state word being communicated.
+        state: StateId,
+        /// Destination process id (filled during partitioning).
+        to_process: usize,
+    },
+}
+
+impl LirOp {
+    /// True for pure bitwise-logic ops (custom-function candidates).
+    pub fn is_bitwise_logic(&self) -> bool {
+        matches!(
+            self,
+            LirOp::Alu(AluOp::And) | LirOp::Alu(AluOp::Or) | LirOp::Alu(AluOp::Xor)
+        )
+    }
+
+    /// True for ops only the privileged core can execute.
+    pub fn is_privileged(&self) -> bool {
+        matches!(
+            self,
+            LirOp::GlobalLoad { .. } | LirOp::GlobalStore { .. } | LirOp::Expect { .. }
+        )
+    }
+
+    /// Issue slots the op occupies in the schedule (predicated stores
+    /// expand to `Predicate` + store).
+    pub fn issue_slots(&self) -> usize {
+        match self {
+            LirOp::LocalStore { .. } | LirOp::GlobalStore { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// One SSA instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LirInstr {
+    /// Defined value (None for stores, expects, commits, sends).
+    pub dest: Option<VReg>,
+    /// The operation.
+    pub op: LirOp,
+    /// Operands.
+    pub args: Vec<VReg>,
+}
+
+/// A process: a straight-line SSA program over state live-ins.
+#[derive(Debug, Clone, Default)]
+pub struct Process {
+    /// Instructions in dependency order.
+    pub instrs: Vec<LirInstr>,
+    /// Live-in state words: `state -> vreg holding the current value`.
+    pub state_reads: BTreeMap<StateId, VReg>,
+    /// Number of vregs used (live-ins + defs).
+    pub num_vregs: u32,
+    /// True if this process holds the privileged instructions.
+    pub is_privileged: bool,
+}
+
+impl Process {
+    /// Allocates a fresh vreg.
+    pub fn fresh(&mut self) -> VReg {
+        let v = VReg(self.num_vregs);
+        self.num_vregs += 1;
+        v
+    }
+
+    /// Instruction count excluding structural `Const`s (which become boot
+    /// initialization) — the execution-time estimate used by partitioning.
+    pub fn cost(&self) -> usize {
+        self.instrs
+            .iter()
+            .map(|i| match i.op {
+                LirOp::Const(_) => 0,
+                ref op => op.issue_slots(),
+            })
+            .sum()
+    }
+}
+
+/// The whole lower-assembly program.
+#[derive(Debug, Clone, Default)]
+pub struct LirProgram {
+    /// The processes (one before partitioning; many after).
+    pub processes: Vec<Process>,
+    /// All state words.
+    pub states: Vec<StateWord>,
+    /// All lowered memories.
+    pub mems: Vec<MemInfo>,
+    /// Exception table (ids are dense indices).
+    pub exceptions: Vec<LirExceptionKind>,
+}
+
+impl LirProgram {
+    /// The process that commits each state word (`states.len()` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some state word has no committing process (lowering bug).
+    pub fn state_owners(&self) -> Vec<usize> {
+        let mut owners = vec![usize::MAX; self.states.len()];
+        for (pi, p) in self.processes.iter().enumerate() {
+            for instr in &p.instrs {
+                if let LirOp::CommitLocal { state } = instr.op {
+                    owners[state.index()] = pi;
+                }
+            }
+        }
+        assert!(
+            owners.iter().all(|&o| o != usize::MAX),
+            "every state word must have a committing process"
+        );
+        owners
+    }
+
+    /// Total instruction count over all processes (the partitioning cost
+    /// metric, excluding `Const`s).
+    pub fn total_cost(&self) -> usize {
+        self.processes.iter().map(|p| p.cost()).sum()
+    }
+}

@@ -1,0 +1,993 @@
+//! Width legalization: netlist assembly → 16-bit lower assembly (§6 step
+//! "lower").
+//!
+//! Every `w`-bit net becomes `ceil(w/16)` virtual registers. Wide arithmetic
+//! lowers to ripple chains through the register file's carry bits
+//! (`AddCarry`/`SubBorrow`), wide comparisons to word-wise compare/select
+//! chains, dynamic shifts to mux ladders over constant shifts (a barrel
+//! shifter in software), and multiplications to `Mul`/`Mulh` partial
+//! products. RTL memories map to scratchpad regions (or DRAM when they
+//! exceed the scratchpad) with explicit address arithmetic.
+//!
+//! The result is one *monolithic* process, exactly as in the paper; the
+//! partitioner splits it afterwards.
+//!
+//! Invariant maintained throughout: the unused high bits of every value's
+//! top word are zero ("normalized"), mirroring `Bits::normalize`.
+
+use std::collections::HashMap;
+
+use manticore_isa::AluOp;
+use manticore_netlist::{CellOp, NetId, Netlist};
+
+use crate::error::CompileError;
+use crate::lir::{
+    LMemId, LirExceptionKind, LirInstr, LirOp, LirProgram, MemInfo, MemPlacement, Process,
+    StateId, StateWord, VReg,
+};
+
+/// Number of 16-bit words for a bit width.
+pub fn nwords(width: usize) -> usize {
+    width.div_ceil(16)
+}
+
+/// Lowers an optimized netlist into a monolithic single-process
+/// [`LirProgram`].
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnsupportedInput`] if the design has primary
+/// inputs (Manticore runs closed, self-driving test harnesses, §7.5).
+pub fn lower(netlist: &Netlist, scratch_words: usize) -> Result<LirProgram, CompileError> {
+    if let Some((name, _)) = netlist.inputs().first() {
+        return Err(CompileError::UnsupportedInput { name: name.clone() });
+    }
+    let mut lw = Lowerer::new(netlist, scratch_words);
+    lw.run()?;
+    Ok(lw.finish())
+}
+
+struct Lowerer<'a> {
+    netlist: &'a Netlist,
+    proc: Process,
+    states: Vec<StateWord>,
+    mems: Vec<MemInfo>,
+    exceptions: Vec<LirExceptionKind>,
+    /// Lowered words per net.
+    net_words: HashMap<NetId, Vec<VReg>>,
+    /// Pooled constants.
+    consts: HashMap<u16, VReg>,
+    /// State ids per RTL register (word order).
+    reg_states: Vec<Vec<StateId>>,
+    /// Cached per-memory `(word_addr, in_range)` for each address net, so a
+    /// read and write using the same address share the address arithmetic.
+    addr_cache: HashMap<(u32, NetId), (Vec<VReg>, Option<VReg>)>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(netlist: &'a Netlist, scratch_words: usize) -> Self {
+        let mut states = Vec::new();
+        let mut reg_states = Vec::new();
+        for (ri, r) in netlist.registers().iter().enumerate() {
+            let words = r.init.to_words16();
+            let mut ids = Vec::new();
+            for (wi, &init) in words.iter().enumerate() {
+                ids.push(StateId(states.len() as u32));
+                states.push(StateWord {
+                    rtl_reg: manticore_netlist::RegId(ri as u32),
+                    word: wi,
+                    init,
+                });
+            }
+            reg_states.push(ids);
+        }
+        let mut mems = Vec::new();
+        let mut global_base = 0u64;
+        for (mi, m) in netlist.memories().iter().enumerate() {
+            let wpe = nwords(m.width);
+            let total = wpe * m.depth;
+            let placement = if total <= scratch_words {
+                MemPlacement::Local
+            } else {
+                let base = global_base;
+                global_base += total as u64;
+                // Round up to a fresh cache-line-ish boundary.
+                global_base = (global_base + 63) & !63;
+                MemPlacement::Global { base }
+            };
+            let mut init_words = Vec::new();
+            if !m.init.is_empty() {
+                init_words = vec![0u16; total];
+                for (ei, v) in m.init.iter().enumerate() {
+                    for (wi, w) in v.to_words16().into_iter().enumerate() {
+                        init_words[ei * wpe + wi] = w;
+                    }
+                }
+            }
+            mems.push(MemInfo {
+                rtl_mem: manticore_netlist::MemoryId(mi as u32),
+                words_per_entry: wpe,
+                depth: m.depth,
+                placement,
+                init_words,
+            });
+        }
+        Lowerer {
+            netlist,
+            proc: Process::default(),
+            states,
+            mems,
+            exceptions: Vec::new(),
+            net_words: HashMap::new(),
+            consts: HashMap::new(),
+            reg_states,
+            addr_cache: HashMap::new(),
+        }
+    }
+
+    fn finish(mut self) -> LirProgram {
+        self.proc.is_privileged = self
+            .proc
+            .instrs
+            .iter()
+            .any(|i| i.op.is_privileged());
+        LirProgram {
+            processes: vec![self.proc],
+            states: self.states,
+            mems: self.mems,
+            exceptions: self.exceptions,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Emission primitives
+    // ------------------------------------------------------------------
+
+    fn emit(&mut self, op: LirOp, args: Vec<VReg>) -> VReg {
+        let d = self.proc.fresh();
+        self.proc.instrs.push(LirInstr {
+            dest: Some(d),
+            op,
+            args,
+        });
+        d
+    }
+
+    fn emit0(&mut self, op: LirOp, args: Vec<VReg>) {
+        self.proc.instrs.push(LirInstr {
+            dest: None,
+            op,
+            args,
+        });
+    }
+
+    fn konst(&mut self, v: u16) -> VReg {
+        if let Some(&r) = self.consts.get(&v) {
+            return r;
+        }
+        let d = self.proc.fresh();
+        self.proc.instrs.push(LirInstr {
+            dest: Some(d),
+            op: LirOp::Const(v),
+            args: vec![],
+        });
+        self.consts.insert(v, d);
+        d
+    }
+
+    fn zero(&mut self) -> VReg {
+        self.konst(0)
+    }
+
+    fn alu(&mut self, op: AluOp, a: VReg, b: VReg) -> VReg {
+        self.emit(LirOp::Alu(op), vec![a, b])
+    }
+
+    fn mux1(&mut self, sel: VReg, a: VReg, b: VReg) -> VReg {
+        self.emit(LirOp::Mux, vec![sel, a, b])
+    }
+
+    /// Masks the top word when `width % 16 != 0` (restores normalization).
+    fn normalize(&mut self, mut words: Vec<VReg>, width: usize) -> Vec<VReg> {
+        let rem = width % 16;
+        if rem != 0 {
+            let mask = self.konst(((1u32 << rem) - 1) as u16);
+            let top = words.len() - 1;
+            words[top] = self.alu(AluOp::And, words[top], mask);
+        }
+        words
+    }
+
+    /// Sign-extends a partial top word to a full 16-bit word
+    /// (`Sll` then `Sra` by `16 - rem`).
+    fn sext_in_word(&mut self, w: VReg, rem: usize) -> VReg {
+        if rem == 0 || rem == 16 {
+            return w;
+        }
+        let sh = self.konst((16 - rem) as u16);
+        let t = self.alu(AluOp::Sll, w, sh);
+        self.alu(AluOp::Sra, t, sh)
+    }
+
+    // ------------------------------------------------------------------
+    // Word-vector operations
+    // ------------------------------------------------------------------
+
+    fn add_words(&mut self, a: &[VReg], b: &[VReg], width: usize) -> Vec<VReg> {
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let w = if i == 0 {
+                self.alu(AluOp::Add, a[0], b[0])
+            } else {
+                let prev = out[i - 1];
+                self.emit(LirOp::AddCarry, vec![a[i], b[i], prev])
+            };
+            out.push(w);
+        }
+        self.normalize(out, width)
+    }
+
+    fn sub_words(&mut self, a: &[VReg], b: &[VReg], width: usize) -> Vec<VReg> {
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let w = if i == 0 {
+                self.alu(AluOp::Sub, a[0], b[0])
+            } else {
+                let prev = out[i - 1];
+                self.emit(LirOp::SubBorrow, vec![a[i], b[i], prev])
+            };
+            out.push(w);
+        }
+        self.normalize(out, width)
+    }
+
+    /// Adds `v` into column `k` of the accumulator, rippling the carry up.
+    fn add_into(&mut self, acc: &mut [VReg], k: usize, v: VReg) {
+        let t = self.alu(AluOp::Add, acc[k], v);
+        acc[k] = t;
+        let mut carry = t;
+        let z = self.zero();
+        for c in acc.len().min(k + 1)..acc.len() {
+            let _ = c;
+        }
+        for c in (k + 1)..acc.len() {
+            let t2 = self.emit(LirOp::AddCarry, vec![acc[c], z, carry]);
+            acc[c] = t2;
+            carry = t2;
+        }
+    }
+
+    fn mul_words(&mut self, a: &[VReg], b: &[VReg], width: usize) -> Vec<VReg> {
+        let n = a.len();
+        let z = self.zero();
+        let mut acc = vec![z; n];
+        for i in 0..n {
+            for j in 0..n - i {
+                let k = i + j;
+                let lo = self.alu(AluOp::Mul, a[i], b[j]);
+                self.add_into(&mut acc, k, lo);
+                if k + 1 < n {
+                    let hi = self.alu(AluOp::Mulh, a[i], b[j]);
+                    self.add_into(&mut acc, k + 1, hi);
+                }
+            }
+        }
+        self.normalize(acc, width)
+    }
+
+    fn logic_words(&mut self, op: AluOp, a: &[VReg], b: &[VReg]) -> Vec<VReg> {
+        (0..a.len()).map(|i| self.alu(op, a[i], b[i])).collect()
+    }
+
+    fn not_words(&mut self, a: &[VReg], width: usize) -> Vec<VReg> {
+        let mut out = Vec::with_capacity(a.len());
+        for (i, &w) in a.iter().enumerate() {
+            let mask = if i == a.len() - 1 && width % 16 != 0 {
+                ((1u32 << (width % 16)) - 1) as u16
+            } else {
+                0xffff
+            };
+            let m = self.konst(mask);
+            out.push(self.alu(AluOp::Xor, w, m));
+        }
+        out
+    }
+
+    fn eq_words(&mut self, a: &[VReg], b: &[VReg]) -> VReg {
+        let mut acc: Option<VReg> = None;
+        for i in 0..a.len() {
+            let e = self.alu(AluOp::Seq, a[i], b[i]);
+            acc = Some(match acc {
+                None => e,
+                Some(p) => self.alu(AluOp::And, p, e),
+            });
+        }
+        acc.expect("non-empty word vector")
+    }
+
+    fn ult_words(&mut self, a: &[VReg], b: &[VReg]) -> VReg {
+        let mut lt = self.alu(AluOp::Sltu, a[0], b[0]);
+        for i in 1..a.len() {
+            let wlt = self.alu(AluOp::Sltu, a[i], b[i]);
+            let weq = self.alu(AluOp::Seq, a[i], b[i]);
+            lt = self.mux1(weq, lt, wlt);
+        }
+        lt
+    }
+
+    fn slt_words(&mut self, a: &[VReg], b: &[VReg], width: usize) -> VReg {
+        let top = a.len() - 1;
+        let rem = width % 16;
+        let at = self.sext_in_word(a[top], rem);
+        let bt = self.sext_in_word(b[top], rem);
+        let top_lt = self.alu(AluOp::Slts, at, bt);
+        if a.len() == 1 {
+            return top_lt;
+        }
+        let top_eq = self.alu(AluOp::Seq, a[top], b[top]);
+        let low_lt = self.ult_words(&a[..top], &b[..top]);
+        self.mux1(top_eq, low_lt, top_lt)
+    }
+
+    fn shl_const_words(&mut self, a: &[VReg], k: usize, width: usize) -> Vec<VReg> {
+        let n = a.len();
+        let z = self.zero();
+        if k >= width {
+            return vec![z; n];
+        }
+        let s = k / 16;
+        let r = k % 16;
+        let mut out = Vec::with_capacity(n);
+        for o in 0..n {
+            let w = if o < s {
+                z
+            } else if r == 0 {
+                a[o - s]
+            } else {
+                let rc = self.konst(r as u16);
+                let hi = self.alu(AluOp::Sll, a[o - s], rc);
+                if o > s {
+                    let rc2 = self.konst((16 - r) as u16);
+                    let lo = self.alu(AluOp::Srl, a[o - s - 1], rc2);
+                    self.alu(AluOp::Or, hi, lo)
+                } else {
+                    hi
+                }
+            };
+            out.push(w);
+        }
+        self.normalize(out, width)
+    }
+
+    fn shr_const_words(&mut self, a: &[VReg], k: usize, width: usize) -> Vec<VReg> {
+        let n = a.len();
+        let z = self.zero();
+        if k >= width {
+            return vec![z; n];
+        }
+        let s = k / 16;
+        let r = k % 16;
+        let mut out = Vec::with_capacity(n);
+        for o in 0..n {
+            let w = if o + s >= n {
+                z
+            } else if r == 0 {
+                a[o + s]
+            } else {
+                let rc = self.konst(r as u16);
+                let lo = self.alu(AluOp::Srl, a[o + s], rc);
+                if o + s + 1 < n {
+                    let rc2 = self.konst((16 - r) as u16);
+                    let hi = self.alu(AluOp::Sll, a[o + s + 1], rc2);
+                    self.alu(AluOp::Or, lo, hi)
+                } else {
+                    lo
+                }
+            };
+            out.push(w);
+        }
+        // A logical right shift cannot dirty the top word.
+        out
+    }
+
+    /// Sign word (0x0000 or 0xffff) of a value.
+    fn sign_word(&mut self, a: &[VReg], width: usize) -> VReg {
+        let rem = width % 16;
+        let top = self.sext_in_word(a[a.len() - 1], rem);
+        let c15 = self.konst(15);
+        self.alu(AluOp::Sra, top, c15)
+    }
+
+    fn ashr_const_words(&mut self, a: &[VReg], k: usize, width: usize) -> Vec<VReg> {
+        let n = a.len();
+        let sign = self.sign_word(a, width);
+        if k >= width {
+            return self.normalize(vec![sign; n], width);
+        }
+        let rem = width % 16;
+        // Value with the top word sign-extended to a full 16 bits.
+        let mut full = a.to_vec();
+        let t = full.len() - 1;
+        full[t] = self.sext_in_word(full[t], rem);
+        let s = k / 16;
+        let r = k % 16;
+        let get = |i: usize| if i < n { full[i] } else { sign };
+        let mut out = Vec::with_capacity(n);
+        for o in 0..n {
+            let w = if r == 0 {
+                get(o + s)
+            } else {
+                let rc = self.konst(r as u16);
+                let lo = self.alu(AluOp::Srl, get(o + s), rc);
+                let rc2 = self.konst((16 - r) as u16);
+                let hi = self.alu(AluOp::Sll, get(o + s + 1), rc2);
+                self.alu(AluOp::Or, lo, hi)
+            };
+            out.push(w);
+        }
+        self.normalize(out, width)
+    }
+
+    fn mux_words(&mut self, sel: VReg, a: &[VReg], b: &[VReg]) -> Vec<VReg> {
+        (0..a.len())
+            .map(|i| self.emit(LirOp::Mux, vec![sel, a[i], b[i]]))
+            .collect()
+    }
+
+    /// Dynamic shift: barrel of constant-shift stages selected by the
+    /// amount's bits, plus a saturation mux for amount bits ≥ log2(width).
+    fn shift_dyn_words(
+        &mut self,
+        kind: ShiftKind,
+        a: &[VReg],
+        amt: &[VReg],
+        width: usize,
+        amt_width: usize,
+    ) -> Vec<VReg> {
+        // Bits 0..k select barrel stages; k = smallest with 2^k >= width.
+        let k = (0..).find(|&k| (1usize << k) >= width).unwrap();
+        let mut x = a.to_vec();
+        for bit in 0..k.min(amt_width) {
+            let word = bit / 16;
+            let cond = self.emit(
+                LirOp::Slice {
+                    offset: (bit % 16) as u8,
+                    width: 1,
+                },
+                vec![amt[word]],
+            );
+            let shifted = match kind {
+                ShiftKind::Shl => self.shl_const_words(&x, 1 << bit, width),
+                ShiftKind::Shr => self.shr_const_words(&x, 1 << bit, width),
+                ShiftKind::Ashr => self.ashr_const_words(&x, 1 << bit, width),
+            };
+            x = self.mux_words(cond, &shifted, &x);
+        }
+        // Any amount bit >= k set: the result saturates (zero or sign fill).
+        if amt_width > k {
+            let mut any: Option<VReg> = None;
+            for word in 0..amt.len() {
+                let lo_bit = word * 16;
+                let hi_bit = ((word + 1) * 16).min(amt_width);
+                if hi_bit <= k {
+                    continue;
+                }
+                let from = k.max(lo_bit) - lo_bit;
+                let high = if from == 0 {
+                    amt[word]
+                } else {
+                    self.emit(
+                        LirOp::Slice {
+                            offset: from as u8,
+                            width: (hi_bit - lo_bit - from) as u8,
+                        },
+                        vec![amt[word]],
+                    )
+                };
+                any = Some(match any {
+                    None => high,
+                    Some(p) => self.alu(AluOp::Or, p, high),
+                });
+            }
+            if let Some(any) = any {
+                let fill = match kind {
+                    ShiftKind::Shl | ShiftKind::Shr => {
+                        let z = self.zero();
+                        vec![z; a.len()]
+                    }
+                    ShiftKind::Ashr => {
+                        let s = self.sign_word(a, width);
+                        let v = vec![s; a.len()];
+                        self.normalize(v, width)
+                    }
+                };
+                x = self.mux_words(any, &fill, &x);
+            }
+        }
+        x
+    }
+
+    fn slice_words(&mut self, a: &[VReg], offset: usize, out_width: usize) -> Vec<VReg> {
+        let n_out = nwords(out_width);
+        let z = self.zero();
+        let mut out = Vec::with_capacity(n_out);
+        for o in 0..n_out {
+            let bitpos = offset + o * 16;
+            let s = bitpos / 16;
+            let r = bitpos % 16;
+            let w = if s >= a.len() {
+                z
+            } else if r == 0 {
+                a[s]
+            } else {
+                let rc = self.konst(r as u16);
+                let lo = self.alu(AluOp::Srl, a[s], rc);
+                if s + 1 < a.len() {
+                    let rc2 = self.konst((16 - r) as u16);
+                    let hi = self.alu(AluOp::Sll, a[s + 1], rc2);
+                    self.alu(AluOp::Or, lo, hi)
+                } else {
+                    lo
+                }
+            };
+            out.push(w);
+        }
+        self.normalize(out, out_width)
+    }
+
+    fn concat_words(
+        &mut self,
+        lo: &[VReg],
+        lo_w: usize,
+        hi: &[VReg],
+        hi_w: usize,
+    ) -> Vec<VReg> {
+        let out_w = lo_w + hi_w;
+        let n_out = nwords(out_w);
+        let r = lo_w % 16;
+        let mut out = Vec::with_capacity(n_out);
+        if r == 0 {
+            out.extend_from_slice(lo);
+            out.extend_from_slice(hi);
+        } else {
+            out.extend_from_slice(&lo[..lo.len() - 1]);
+            // Top word of lo merged with the bottom bits of hi[0].
+            let rc = self.konst(r as u16);
+            let first_hi = self.alu(AluOp::Sll, hi[0], rc);
+            out.push(self.alu(AluOp::Or, lo[lo.len() - 1], first_hi));
+            // Remaining words combine consecutive hi words.
+            let rc2 = self.konst((16 - r) as u16);
+            let mut t = 0;
+            while out.len() < n_out {
+                let lo_part = self.alu(AluOp::Srl, hi[t], rc2);
+                let w = if t + 1 < hi.len() {
+                    let hi_part = self.alu(AluOp::Sll, hi[t + 1], rc);
+                    self.alu(AluOp::Or, lo_part, hi_part)
+                } else {
+                    lo_part
+                };
+                out.push(w);
+                t += 1;
+            }
+        }
+        self.normalize(out, out_w)
+    }
+
+    fn zext_words(&mut self, a: &[VReg], to_width: usize) -> Vec<VReg> {
+        let mut out = a.to_vec();
+        let z = self.zero();
+        while out.len() < nwords(to_width) {
+            out.push(z);
+        }
+        out
+    }
+
+    fn sext_words(&mut self, a: &[VReg], from_width: usize, to_width: usize) -> Vec<VReg> {
+        let rem = from_width % 16;
+        let mut out = a.to_vec();
+        let t = out.len() - 1;
+        if rem != 0 {
+            out[t] = self.sext_in_word(out[t], rem);
+        }
+        let sign = self.sign_word(a, from_width);
+        while out.len() < nwords(to_width) {
+            out.push(sign);
+        }
+        self.normalize(out, to_width)
+    }
+
+    fn red_or_words(&mut self, a: &[VReg]) -> VReg {
+        let mut acc = a[0];
+        for &w in &a[1..] {
+            acc = self.alu(AluOp::Or, acc, w);
+        }
+        let z = self.zero();
+        self.alu(AluOp::Sltu, z, acc)
+    }
+
+    fn red_and_words(&mut self, a: &[VReg], width: usize) -> VReg {
+        let mut acc: Option<VReg> = None;
+        for (i, &w) in a.iter().enumerate() {
+            let mask: u16 = if i == a.len() - 1 && width % 16 != 0 {
+                ((1u32 << (width % 16)) - 1) as u16
+            } else {
+                0xffff
+            };
+            let m = self.konst(mask);
+            let e = self.alu(AluOp::Seq, w, m);
+            acc = Some(match acc {
+                None => e,
+                Some(p) => self.alu(AluOp::And, p, e),
+            });
+        }
+        acc.expect("non-empty word vector")
+    }
+
+    fn red_xor_words(&mut self, a: &[VReg]) -> VReg {
+        let mut acc = a[0];
+        for &w in &a[1..] {
+            acc = self.alu(AluOp::Xor, acc, w);
+        }
+        for sh in [8u16, 4, 2, 1] {
+            let c = self.konst(sh);
+            let t = self.alu(AluOp::Srl, acc, c);
+            acc = self.alu(AluOp::Xor, acc, t);
+        }
+        let one = self.konst(1);
+        self.alu(AluOp::And, acc, one)
+    }
+
+    /// Multiplies a 16-bit word index by a small constant via shift/add.
+    fn mul_const16(&mut self, v: VReg, k: usize) -> VReg {
+        match k {
+            0 => self.zero(),
+            1 => v,
+            _ => {
+                let mut acc: Option<VReg> = None;
+                for bit in 0..16 {
+                    if k & (1 << bit) != 0 {
+                        let term = if bit == 0 {
+                            v
+                        } else {
+                            let c = self.konst(bit as u16);
+                            self.alu(AluOp::Sll, v, c)
+                        };
+                        acc = Some(match acc {
+                            None => term,
+                            Some(p) => self.alu(AluOp::Add, p, term),
+                        });
+                    }
+                }
+                acc.unwrap()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory lowering
+    // ------------------------------------------------------------------
+
+    /// Computes `(word address vregs, optional in-range condition)` for an
+    /// access to memory `mid` with the given address net.
+    fn mem_addr(&mut self, mid: LMemId, addr_net: NetId) -> (Vec<VReg>, Option<VReg>) {
+        if let Some(cached) = self.addr_cache.get(&(mid.0, addr_net)) {
+            return cached.clone();
+        }
+        let info = self.mems[mid.index()].clone();
+        let addr_width = self.netlist.net(addr_net).width;
+        let addr_words = self.net_words[&addr_net].clone();
+        // Out-of-range guard, needed only when the address can express an
+        // index >= depth.
+        let guard = if addr_width < 64 && (1u64 << addr_width) <= info.depth as u64 {
+            None
+        } else {
+            // depth as a constant of the address width.
+            let depth_words: Vec<VReg> = (0..addr_words.len())
+                .map(|i| {
+                    let w = ((info.depth as u64) >> (16 * i)) as u16;
+                    self.konst(w)
+                })
+                .collect();
+            Some(self.ult_words(&addr_words, &depth_words))
+        };
+        let word_addr = match info.placement {
+            MemPlacement::Local => {
+                vec![self.mul_const16(addr_words[0], info.words_per_entry)]
+            }
+            MemPlacement::Global { .. } => {
+                // 48-bit word index = zext(addr) * words_per_entry.
+                let idx = self.zext_words(&addr_words, 48);
+                let idx = &idx[..3];
+                let stride_words: Vec<VReg> = {
+                    let k = info.words_per_entry as u64;
+                    (0..3).map(|i| self.konst((k >> (16 * i)) as u16)).collect()
+                };
+                self.mul_words(&idx.to_vec(), &stride_words, 48)
+            }
+        };
+        self.addr_cache
+            .insert((mid.0, addr_net), (word_addr.clone(), guard));
+        (word_addr, guard)
+    }
+
+    fn lower_mem_read(&mut self, mid: LMemId, addr_net: NetId, width: usize) -> Vec<VReg> {
+        let info = self.mems[mid.index()].clone();
+        let (word_addr, guard) = self.mem_addr(mid, addr_net);
+        let mut out = Vec::with_capacity(info.words_per_entry);
+        match info.placement {
+            MemPlacement::Local => {
+                for j in 0..info.words_per_entry {
+                    out.push(self.emit(
+                        LirOp::LocalLoad {
+                            mem: mid,
+                            word_offset: j as u16,
+                        },
+                        vec![word_addr[0]],
+                    ));
+                }
+            }
+            MemPlacement::Global { base } => {
+                for j in 0..info.words_per_entry {
+                    // addr3 = word_index + (base + j)
+                    let c: Vec<VReg> = (0..3)
+                        .map(|i| self.konst(((base + j as u64) >> (16 * i)) as u16))
+                        .collect();
+                    let addr3 = self.add_words(&word_addr, &c, 48);
+                    out.push(self.emit(LirOp::GlobalLoad { mem: mid }, addr3));
+                }
+            }
+        }
+        if let Some(g) = guard {
+            let z = self.zero();
+            let zs = vec![z; out.len()];
+            out = self.mux_words(g, &out.clone(), &zs);
+        }
+        let _ = width;
+        out
+    }
+
+    fn lower_mem_write(&mut self, mid: LMemId, addr: NetId, data: NetId, en: NetId) {
+        let info = self.mems[mid.index()].clone();
+        let (word_addr, guard) = self.mem_addr(mid, addr);
+        let data_words = self.net_words[&data].clone();
+        let mut en_v = self.net_words[&en][0];
+        if let Some(g) = guard {
+            en_v = self.alu(AluOp::And, en_v, g);
+        }
+        match info.placement {
+            MemPlacement::Local => {
+                for (j, &dw) in data_words.iter().enumerate() {
+                    self.emit0(
+                        LirOp::LocalStore {
+                            mem: mid,
+                            word_offset: j as u16,
+                        },
+                        vec![dw, word_addr[0], en_v],
+                    );
+                }
+            }
+            MemPlacement::Global { base } => {
+                for (j, &dw) in data_words.iter().enumerate() {
+                    let c: Vec<VReg> = (0..3)
+                        .map(|i| self.konst(((base + j as u64) >> (16 * i)) as u16))
+                        .collect();
+                    let addr3 = self.add_words(&word_addr, &c, 48);
+                    self.emit0(
+                        LirOp::GlobalStore { mem: mid },
+                        vec![dw, addr3[0], addr3[1], addr3[2], en_v],
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Driver
+    // ------------------------------------------------------------------
+
+    fn run(&mut self) -> Result<(), CompileError> {
+        // Bind register current values to live-in vregs.
+        for (ri, ids) in self.reg_states.clone().into_iter().enumerate() {
+            let q = self.netlist.registers()[ri].q;
+            let mut words = Vec::with_capacity(ids.len());
+            for sid in ids {
+                let v = self.proc.fresh();
+                self.proc.state_reads.insert(sid, v);
+                words.push(v);
+            }
+            self.net_words.insert(q, words);
+        }
+
+        // Lower all nets in topological order.
+        let order =
+            manticore_netlist::topo::topological_order(self.netlist).expect("acyclic netlist");
+        for id in order {
+            if self.net_words.contains_key(&id) {
+                continue; // RegQ nets pre-bound
+            }
+            let words = self.lower_net(id)?;
+            self.net_words.insert(id, words);
+        }
+
+        // Sinks: register commits.
+        for (ri, ids) in self.reg_states.clone().into_iter().enumerate() {
+            let next = self.netlist.registers()[ri].next;
+            let next_words = self.net_words[&next].clone();
+            for (sid, &w) in ids.iter().zip(next_words.iter()) {
+                self.emit0(LirOp::CommitLocal { state: *sid }, vec![w]);
+            }
+        }
+        // Memory write ports.
+        for (mi, m) in self.netlist.memories().iter().enumerate() {
+            for w in m.writes.clone() {
+                self.lower_mem_write(LMemId(mi as u32), w.addr, w.data, w.en);
+            }
+        }
+        // Testbench cells → Expect instructions + exception table.
+        let one = self.konst(1);
+        let zero = self.zero();
+        for d in self.netlist.displays() {
+            let eid = self.exceptions.len() as u16;
+            let mut arg_vregs = Vec::new();
+            let mut args = vec![self.net_words[&d.cond][0], zero];
+            for a in &d.args {
+                let words = self.net_words[a].clone();
+                args.extend(&words);
+                arg_vregs.push((words, self.netlist.net(*a).width));
+            }
+            self.exceptions.push(LirExceptionKind::Display {
+                format: d.format.clone(),
+                args: arg_vregs,
+            });
+            self.emit0(LirOp::Expect { eid }, args);
+        }
+        for e in self.netlist.expects() {
+            let eid = self.exceptions.len() as u16;
+            self.exceptions.push(LirExceptionKind::AssertFail {
+                message: e.message.clone(),
+            });
+            let cond = self.net_words[&e.cond][0];
+            self.emit0(LirOp::Expect { eid }, vec![cond, one]);
+        }
+        for f in self.netlist.finishes() {
+            let eid = self.exceptions.len() as u16;
+            self.exceptions.push(LirExceptionKind::Finish);
+            let cond = self.net_words[&f.cond][0];
+            self.emit0(LirOp::Expect { eid }, vec![cond, zero]);
+        }
+        Ok(())
+    }
+
+    fn lower_net(&mut self, id: NetId) -> Result<Vec<VReg>, CompileError> {
+        let net = self.netlist.net(id).clone();
+        let w = net.width;
+        let words = |lw: &Self, i: usize| lw.net_words[&net.args[i]].clone();
+        Ok(match net.op {
+            CellOp::Const(ref c) => {
+                let ws = c.to_words16();
+                ws.into_iter().map(|v| self.konst(v)).collect()
+            }
+            CellOp::Input => {
+                let name = self
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .find(|(_, nid)| *nid == id)
+                    .map(|(n, _)| n.clone())
+                    .unwrap_or_default();
+                return Err(CompileError::UnsupportedInput { name });
+            }
+            CellOp::RegQ(_) => unreachable!("RegQ nets are pre-bound"),
+            CellOp::MemRead(m) => {
+                let mid = LMemId(m.0);
+                self.lower_mem_read(mid, net.args[0], w)
+            }
+            CellOp::And => {
+                let (a, b) = (words(self, 0), words(self, 1));
+                self.logic_words(AluOp::And, &a, &b)
+            }
+            CellOp::Or => {
+                let (a, b) = (words(self, 0), words(self, 1));
+                self.logic_words(AluOp::Or, &a, &b)
+            }
+            CellOp::Xor => {
+                let (a, b) = (words(self, 0), words(self, 1));
+                self.logic_words(AluOp::Xor, &a, &b)
+            }
+            CellOp::Not => {
+                let a = words(self, 0);
+                self.not_words(&a, w)
+            }
+            CellOp::Add => {
+                let (a, b) = (words(self, 0), words(self, 1));
+                self.add_words(&a, &b, w)
+            }
+            CellOp::Sub => {
+                let (a, b) = (words(self, 0), words(self, 1));
+                self.sub_words(&a, &b, w)
+            }
+            CellOp::Mul => {
+                let (a, b) = (words(self, 0), words(self, 1));
+                self.mul_words(&a, &b, w)
+            }
+            CellOp::Eq => {
+                let (a, b) = (words(self, 0), words(self, 1));
+                vec![self.eq_words(&a, &b)]
+            }
+            CellOp::Ult => {
+                let (a, b) = (words(self, 0), words(self, 1));
+                vec![self.ult_words(&a, &b)]
+            }
+            CellOp::Slt => {
+                let (a, b) = (words(self, 0), words(self, 1));
+                let aw = self.netlist.net(net.args[0]).width;
+                vec![self.slt_words(&a, &b, aw)]
+            }
+            CellOp::Shl | CellOp::Shr | CellOp::Ashr => {
+                let kind = match net.op {
+                    CellOp::Shl => ShiftKind::Shl,
+                    CellOp::Shr => ShiftKind::Shr,
+                    _ => ShiftKind::Ashr,
+                };
+                let a = words(self, 0);
+                // Constant amounts take the cheap path.
+                if let CellOp::Const(c) = &self.netlist.net(net.args[1]).op {
+                    let k = c.to_u128().min(usize::MAX as u128) as usize;
+                    match kind {
+                        ShiftKind::Shl => self.shl_const_words(&a, k, w),
+                        ShiftKind::Shr => self.shr_const_words(&a, k, w),
+                        ShiftKind::Ashr => self.ashr_const_words(&a, k, w),
+                    }
+                } else {
+                    let amt = words(self, 1);
+                    let amt_w = self.netlist.net(net.args[1]).width;
+                    self.shift_dyn_words(kind, &a, &amt, w, amt_w)
+                }
+            }
+            CellOp::Slice { offset } => {
+                let a = words(self, 0);
+                self.slice_words(&a, offset, w)
+            }
+            CellOp::Concat => {
+                let (lo, hi) = (words(self, 0), words(self, 1));
+                let lo_w = self.netlist.net(net.args[0]).width;
+                let hi_w = self.netlist.net(net.args[1]).width;
+                self.concat_words(&lo, lo_w, &hi, hi_w)
+            }
+            CellOp::ZExt => {
+                let a = words(self, 0);
+                self.zext_words(&a, w)
+            }
+            CellOp::SExt => {
+                let a = words(self, 0);
+                let from_w = self.netlist.net(net.args[0]).width;
+                self.sext_words(&a, from_w, w)
+            }
+            CellOp::Mux => {
+                let sel = self.net_words[&net.args[0]][0];
+                let (a, b) = (words(self, 1), words(self, 2));
+                self.mux_words(sel, &a, &b)
+            }
+            CellOp::RedOr => {
+                let a = words(self, 0);
+                vec![self.red_or_words(&a)]
+            }
+            CellOp::RedAnd => {
+                let a = words(self, 0);
+                let aw = self.netlist.net(net.args[0]).width;
+                vec![self.red_and_words(&a, aw)]
+            }
+            CellOp::RedXor => {
+                let a = words(self, 0);
+                vec![self.red_xor_words(&a)]
+            }
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShiftKind {
+    Shl,
+    Shr,
+    Ashr,
+}

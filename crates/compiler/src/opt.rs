@@ -1,0 +1,409 @@
+//! Netlist-level optimizations: constant folding, common-subexpression
+//! elimination, and dead-code elimination (§6, backend step "optimize").
+//!
+//! The passes rebuild the netlist through [`NetlistBuilder`], which re-runs
+//! all structural validation. Dead registers and memories (those whose
+//! values can never reach a testbench cell, output, or live memory) are
+//! removed entirely.
+
+use std::collections::HashMap;
+
+use manticore_bits::Bits;
+use manticore_netlist::{CellOp, MemHandle, NetId, Netlist, NetlistBuilder, RegHandle};
+
+/// Runs constant folding + CSE + DCE to a fixpoint (bounded rounds).
+pub fn optimize(netlist: &Netlist) -> Netlist {
+    let mut current = optimize_once(netlist);
+    for _ in 0..4 {
+        let next = optimize_once(&current);
+        if next.nets().len() == current.nets().len() {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+/// Liveness over nets, registers, and memories: a register is live if its
+/// current value can reach a root (testbench cell, named output, or a write
+/// to a live memory); similarly for memories through their read ports.
+fn liveness(netlist: &Netlist) -> (Vec<bool>, Vec<bool>, Vec<bool>) {
+    let nnets = netlist.nets().len();
+    let mut net_live = vec![false; nnets];
+    let mut reg_live = vec![false; netlist.registers().len()];
+    let mut mem_live = vec![false; netlist.memories().len()];
+    let mut worklist: Vec<NetId> = Vec::new();
+
+    let mark = |id: NetId, net_live: &mut Vec<bool>, worklist: &mut Vec<NetId>| {
+        if !net_live[id.index()] {
+            net_live[id.index()] = true;
+            worklist.push(id);
+        }
+    };
+
+    // Roots: testbench cells and named outputs.
+    for d in netlist.displays() {
+        mark(d.cond, &mut net_live, &mut worklist);
+        for &a in &d.args {
+            mark(a, &mut net_live, &mut worklist);
+        }
+    }
+    for e in netlist.expects() {
+        mark(e.cond, &mut net_live, &mut worklist);
+    }
+    for f in netlist.finishes() {
+        mark(f.cond, &mut net_live, &mut worklist);
+    }
+    for (_, id) in netlist.outputs() {
+        mark(*id, &mut net_live, &mut worklist);
+    }
+
+    while let Some(id) = worklist.pop() {
+        let net = netlist.net(id);
+        for &a in &net.args {
+            mark(a, &mut net_live, &mut worklist);
+        }
+        match net.op {
+            CellOp::RegQ(r) if !reg_live[r.index()] => {
+                reg_live[r.index()] = true;
+                // The register's next-value cone becomes live.
+                mark(
+                    netlist.registers()[r.index()].next,
+                    &mut net_live,
+                    &mut worklist,
+                );
+            }
+            CellOp::MemRead(m) if !mem_live[m.index()] => {
+                mem_live[m.index()] = true;
+                for w in &netlist.memories()[m.index()].writes {
+                    mark(w.addr, &mut net_live, &mut worklist);
+                    mark(w.data, &mut net_live, &mut worklist);
+                    mark(w.en, &mut net_live, &mut worklist);
+                }
+            }
+            _ => {}
+        }
+    }
+    (net_live, reg_live, mem_live)
+}
+
+/// Key for CSE: the op discriminant plus remapped args.
+#[derive(PartialEq, Eq, Hash)]
+struct CseKey {
+    op: String,
+    konst: Option<Bits>,
+    args: Vec<NetId>,
+    width: usize,
+}
+
+fn optimize_once(netlist: &Netlist) -> Netlist {
+    let (net_live, reg_live, mem_live) = liveness(netlist);
+    let mut b = NetlistBuilder::new(netlist.name());
+
+    // Values known at compile time, in the new netlist's id space.
+    let mut const_of: HashMap<NetId, Bits> = HashMap::new();
+    // old net id -> new net id
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    let mut cse: HashMap<CseKey, NetId> = HashMap::new();
+
+    // Inputs first (preserve declaration order), live or not: they are the
+    // design's interface.
+    for (name, old_id) in netlist.inputs() {
+        let new_id = b.input(name.clone(), netlist.net(*old_id).width);
+        map.insert(*old_id, new_id);
+    }
+
+    // Live registers.
+    let mut reg_handles: HashMap<usize, RegHandle> = HashMap::new();
+    for (i, r) in netlist.registers().iter().enumerate() {
+        if reg_live[i] {
+            let h = b.reg_init(r.name.clone(), r.width, r.init.clone());
+            map.insert(r.q, h.q());
+            reg_handles.insert(i, h);
+        }
+    }
+
+    // Live memories.
+    let mut mem_handles: HashMap<usize, MemHandle> = HashMap::new();
+    for (i, m) in netlist.memories().iter().enumerate() {
+        if mem_live[i] {
+            let h = b.memory_init(m.name.clone(), m.depth, m.width, m.init.clone());
+            mem_handles.insert(i, h);
+        }
+    }
+
+    // Constant pool: one net per distinct constant value.
+    let mut const_pool: HashMap<Bits, NetId> = HashMap::new();
+
+    // Rebuild live combinational nets in topological order (creation order
+    // is topological for builder-produced netlists).
+    for (idx, net) in netlist.nets().iter().enumerate() {
+        let old_id = NetId(idx as u32);
+        if !net_live[idx] || map.contains_key(&old_id) {
+            continue;
+        }
+        let arg = |i: usize| map[&net.args[i]];
+        let cval = |i: usize, const_of: &HashMap<NetId, Bits>| -> Option<Bits> {
+            const_of.get(&map[&net.args[i]]).cloned()
+        };
+
+        // Memory reads carry a handle, so route them directly.
+        if let CellOp::MemRead(m) = net.op {
+            let h = mem_handles[&m.index()];
+            let new_id = b.mem_read(h, map[&net.args[0]]);
+            map.insert(old_id, new_id);
+            continue;
+        }
+
+        // 1. Constant folding (with a pooled constant per value).
+        let folded: Option<Bits> = fold(net, &|i| cval(i, &const_of));
+        let new_id = if let Some(value) = folded {
+            let id = *const_pool
+                .entry(value.clone())
+                .or_insert_with(|| b.constant(value.clone()));
+            const_of.insert(id, value);
+            id
+        } else if let Some(id) = algebraic(&mut b, net, &|i| arg(i), &|i| cval(i, &const_of)) {
+            id
+        } else {
+            // 2. CSE.
+            let key = CseKey {
+                op: format!("{:?}", discriminant_of(&net.op)),
+                konst: match &net.op {
+                    CellOp::Const(c) => Some(c.clone()),
+                    _ => None,
+                },
+                args: net.args.iter().map(|a| map[a]).collect(),
+                width: net.width,
+            };
+            if let Some(&id) = cse.get(&key) {
+                id
+            } else {
+                let id = rebuild(&mut b, net, &|i| arg(i));
+                if let CellOp::Const(c) = &net.op {
+                    const_of.insert(id, c.clone());
+                }
+                cse.insert(key, id);
+                id
+            }
+        };
+        map.insert(old_id, new_id);
+    }
+
+    // Reconnect register next values.
+    for (i, r) in netlist.registers().iter().enumerate() {
+        if let Some(h) = reg_handles.get(&i) {
+            b.set_next(*h, map[&r.next]);
+        }
+    }
+    // Memory write ports.
+    for (i, m) in netlist.memories().iter().enumerate() {
+        if let Some(h) = mem_handles.get(&i) {
+            for w in &m.writes {
+                b.mem_write(*h, map[&w.addr], map[&w.data], map[&w.en]);
+            }
+        }
+    }
+    // Testbench cells and outputs.
+    for d in netlist.displays() {
+        let args: Vec<NetId> = d.args.iter().map(|a| map[a]).collect();
+        b.display(map[&d.cond], d.format.clone(), &args);
+    }
+    for e in netlist.expects() {
+        b.expect_true(map[&e.cond], e.message.clone());
+    }
+    for f in netlist.finishes() {
+        b.finish(map[&f.cond]);
+    }
+    for (name, id) in netlist.outputs() {
+        b.output(name.clone(), map[id]);
+    }
+
+    b.finish_build()
+        .expect("optimization must preserve structural validity")
+}
+
+/// A stable tag for CSE keys.
+fn discriminant_of(op: &CellOp) -> &CellOp {
+    op
+}
+
+/// Tries to evaluate `net` to a constant given constant args.
+fn fold(net: &manticore_netlist::Net, cval: &dyn Fn(usize) -> Option<Bits>) -> Option<Bits> {
+    use CellOp::*;
+    let all: Option<Vec<Bits>> = (0..net.args.len()).map(cval).collect();
+    let a = all?;
+    Some(match &net.op {
+        Const(c) => c.clone(),
+        And => a[0].and(&a[1]),
+        Or => a[0].or(&a[1]),
+        Xor => a[0].xor(&a[1]),
+        Not => a[0].not(),
+        Add => a[0].add(&a[1]),
+        Sub => a[0].sub(&a[1]),
+        Mul => a[0].mul(&a[1]),
+        Eq => Bits::from_bool(a[0] == a[1]),
+        Ult => Bits::from_bool(a[0].ult(&a[1])),
+        Slt => Bits::from_bool(a[0].slt(&a[1])),
+        Shl => a[0].shl_dyn(&a[1]),
+        Shr => a[0].shr_dyn(&a[1]),
+        Ashr => a[0].ashr_dyn(&a[1]),
+        Slice { offset } => a[0].slice(*offset, net.width),
+        Concat => a[0].concat(&a[1]),
+        ZExt => a[0].zext(net.width),
+        SExt => a[0].sext(net.width),
+        Mux => Bits::mux(&a[0], &a[1], &a[2]),
+        RedOr => a[0].reduce_or(),
+        RedAnd => a[0].reduce_and(),
+        RedXor => a[0].reduce_xor(),
+        Input | RegQ(_) | MemRead(_) => return None,
+    })
+}
+
+/// Algebraic simplifications with one constant operand. Returns the
+/// replacement net if one applies.
+fn algebraic(
+    b: &mut NetlistBuilder,
+    net: &manticore_netlist::Net,
+    arg: &dyn Fn(usize) -> NetId,
+    cval: &dyn Fn(usize) -> Option<Bits>,
+) -> Option<NetId> {
+    use CellOp::*;
+    let w = net.width;
+    match &net.op {
+        And => {
+            for i in 0..2 {
+                if let Some(c) = cval(i) {
+                    if c.is_zero() {
+                        return Some(b.constant(Bits::zero(w)));
+                    }
+                    if c == Bits::ones(w) {
+                        return Some(arg(1 - i));
+                    }
+                }
+            }
+            if arg(0) == arg(1) {
+                return Some(arg(0));
+            }
+        }
+        Or => {
+            for i in 0..2 {
+                if let Some(c) = cval(i) {
+                    if c.is_zero() {
+                        return Some(arg(1 - i));
+                    }
+                    if c == Bits::ones(w) {
+                        return Some(b.constant(Bits::ones(w)));
+                    }
+                }
+            }
+            if arg(0) == arg(1) {
+                return Some(arg(0));
+            }
+        }
+        Xor => {
+            for i in 0..2 {
+                if let Some(c) = cval(i) {
+                    if c.is_zero() {
+                        return Some(arg(1 - i));
+                    }
+                }
+            }
+            if arg(0) == arg(1) {
+                return Some(b.constant(Bits::zero(w)));
+            }
+        }
+        Add => {
+            for i in 0..2 {
+                if let Some(c) = cval(i) {
+                    if c.is_zero() {
+                        return Some(arg(1 - i));
+                    }
+                }
+            }
+        }
+        Sub => {
+            if let Some(c) = cval(1) {
+                if c.is_zero() {
+                    return Some(arg(0));
+                }
+            }
+            if arg(0) == arg(1) {
+                return Some(b.constant(Bits::zero(w)));
+            }
+        }
+        Mul => {
+            for i in 0..2 {
+                if let Some(c) = cval(i) {
+                    if c.is_zero() {
+                        return Some(b.constant(Bits::zero(w)));
+                    }
+                    if c == Bits::from_u64(1, c.width()) {
+                        return Some(arg(1 - i));
+                    }
+                }
+            }
+        }
+        Shl | Shr | Ashr => {
+            if let Some(c) = cval(1) {
+                if c.is_zero() {
+                    return Some(arg(0));
+                }
+            }
+        }
+        Eq => {
+            if arg(0) == arg(1) {
+                return Some(b.constant(Bits::from_bool(true)));
+            }
+        }
+        Mux => {
+            if let Some(c) = cval(0) {
+                return Some(if c.is_zero() { arg(2) } else { arg(1) });
+            }
+            if arg(1) == arg(2) {
+                return Some(arg(1));
+            }
+        }
+        _ => {}
+    }
+    None
+}
+
+/// Re-emits `net` through the builder with remapped args.
+fn rebuild(
+    b: &mut NetlistBuilder,
+    net: &manticore_netlist::Net,
+    arg: &dyn Fn(usize) -> NetId,
+) -> NetId {
+    use CellOp::*;
+    match &net.op {
+        Const(c) => b.constant(c.clone()),
+        And => b.and(arg(0), arg(1)),
+        Or => b.or(arg(0), arg(1)),
+        Xor => b.xor(arg(0), arg(1)),
+        Not => b.not(arg(0)),
+        Add => b.add(arg(0), arg(1)),
+        Sub => b.sub(arg(0), arg(1)),
+        Mul => b.mul(arg(0), arg(1)),
+        Eq => b.eq(arg(0), arg(1)),
+        Ult => b.ult(arg(0), arg(1)),
+        Slt => b.slt(arg(0), arg(1)),
+        Shl => b.shl(arg(0), arg(1)),
+        Shr => b.shr(arg(0), arg(1)),
+        Ashr => b.ashr(arg(0), arg(1)),
+        Slice { offset } => b.slice(arg(0), *offset, net.width),
+        Concat => {
+            // args = [lo, hi]
+            b.concat(arg(1), arg(0))
+        }
+        ZExt => b.zext(arg(0), net.width),
+        SExt => b.sext(arg(0), net.width),
+        Mux => b.mux(arg(0), arg(1), arg(2)),
+        RedOr => b.reduce_or(arg(0)),
+        RedAnd => b.reduce_and(arg(0)),
+        RedXor => b.reduce_xor(arg(0)),
+        MemRead(_) | Input | RegQ(_) => {
+            unreachable!("sources are pre-mapped before rebuilding")
+        }
+    }
+}

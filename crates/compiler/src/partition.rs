@@ -1,0 +1,471 @@
+//! Extracting parallelism (§6.1): split the monolithic process into a
+//! maximal set of per-sink cones, then merge them down to the core count.
+//!
+//! Splitting walks backwards from every sink (a state-word commit, the
+//! stores of one memory, or the privileged instruction group) and takes the
+//! full fan-in cone, duplicating shared computation — maximal parallelism
+//! at the cost of recomputation. Two affinity rules constrain the split:
+//! all accesses to one memory stay together, and all privileged
+//! instructions stay together.
+//!
+//! Merging is a graph clustering problem with a *non-linear* cost: merging
+//! two cones deduplicates their shared instructions (represented here as
+//! bitsets over the monolithic instruction indices, so the merged cost is a
+//! popcount of the union) and eliminates Sends between them. Two strategies
+//! are implemented:
+//!
+//! - [`PartitionStrategy::Balanced`] — the paper's communication-aware
+//!   heuristic: repeatedly merge the cheapest process into the communicating
+//!   partner that minimizes the merged execution time, continuing past the
+//!   core count while it keeps the straggler bounded;
+//! - [`PartitionStrategy::Lpt`] — the communication-oblivious
+//!   longest-processing-time-first baseline the paper evaluates against
+//!   (Fig. 9 / Table 4).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::bitset::BitSet;
+use crate::lir::{LirExceptionKind, LirInstr, LirOp, LirProgram, Process, StateId, VReg};
+
+/// Which merge strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Communication-aware balanced merging (the paper's algorithm, `B`).
+    #[default]
+    Balanced,
+    /// Longest-processing-time-first, communication-oblivious (`L`).
+    Lpt,
+}
+
+/// One mergeable unit: a cone of monolithic instructions plus its state
+/// interface.
+#[derive(Debug, Clone)]
+struct Unit {
+    instrs: BitSet,
+    /// Deduplicated instruction cost (weighted popcount of `instrs`).
+    base_cost: usize,
+    /// States committed inside this unit.
+    commits: BTreeSet<StateId>,
+    /// States read (live-in) by this unit.
+    reads: BTreeSet<StateId>,
+}
+
+/// Splits and merges the monolithic program onto `num_cores` cores.
+///
+/// # Panics
+///
+/// Panics if `prog` is not monolithic (exactly one process).
+pub fn partition(prog: &LirProgram, num_cores: usize, strategy: PartitionStrategy) -> LirProgram {
+    assert_eq!(
+        prog.processes.len(),
+        1,
+        "partition expects a monolithic program"
+    );
+    let mono = &prog.processes[0];
+    let n = mono.instrs.len();
+
+    // def index per vreg (live-ins have none).
+    let mut def_of: Vec<Option<usize>> = vec![None; mono.num_vregs as usize];
+    for (i, instr) in mono.instrs.iter().enumerate() {
+        if let Some(d) = instr.dest {
+            def_of[d.index()] = Some(i);
+        }
+    }
+    let instr_cost: Vec<usize> = mono
+        .instrs
+        .iter()
+        .map(|i| match i.op {
+            LirOp::Const(_) => 0,
+            ref op => op.issue_slots(),
+        })
+        .collect();
+    let mut vreg_state: HashMap<VReg, StateId> = HashMap::new();
+    for (&s, &v) in &mono.state_reads {
+        vreg_state.insert(v, s);
+    }
+
+    // ------------------------------------------------------------------
+    // Split: seed groups, grow cones.
+    // ------------------------------------------------------------------
+    let mut seeds: Vec<Vec<usize>> = Vec::new();
+    let mut mem_seed: HashMap<u32, usize> = HashMap::new();
+    let mut priv_seed: Option<usize> = None;
+    for (i, instr) in mono.instrs.iter().enumerate() {
+        match &instr.op {
+            LirOp::CommitLocal { .. } => seeds.push(vec![i]),
+            LirOp::LocalStore { mem, .. } | LirOp::GlobalStore { mem, .. } => {
+                let g = *mem_seed.entry(mem.0).or_insert_with(|| {
+                    seeds.push(Vec::new());
+                    seeds.len() - 1
+                });
+                seeds[g].push(i);
+            }
+            LirOp::Expect { .. } => {
+                let g = *priv_seed.get_or_insert_with(|| {
+                    seeds.push(Vec::new());
+                    seeds.len() - 1
+                });
+                seeds[g].push(i);
+            }
+            _ => {}
+        }
+    }
+
+    let mut cones: Vec<BitSet> = Vec::with_capacity(seeds.len());
+    for seed in &seeds {
+        let mut cone = BitSet::new(n);
+        let mut stack: Vec<usize> = seed.clone();
+        for &s in seed {
+            cone.insert(s);
+        }
+        while let Some(i) = stack.pop() {
+            for a in &mono.instrs[i].args {
+                if let Some(d) = def_of[a.index()] {
+                    if !cone.contains(d) {
+                        cone.insert(d);
+                        stack.push(d);
+                    }
+                }
+            }
+        }
+        cones.push(cone);
+    }
+
+    // Affinity: cones touching the same memory unite; cones with privileged
+    // instructions unite with the privileged cone.
+    let mut uf = UnionFind::new(cones.len());
+    let mut mem_home: HashMap<u32, usize> = HashMap::new();
+    for (u, cone) in cones.iter().enumerate() {
+        for i in cone.iter() {
+            match &mono.instrs[i].op {
+                LirOp::LocalLoad { mem, .. }
+                | LirOp::LocalStore { mem, .. }
+                | LirOp::GlobalLoad { mem }
+                | LirOp::GlobalStore { mem } => {
+                    let home = *mem_home.entry(mem.0).or_insert(u);
+                    uf.union(home, u);
+                }
+                _ => {}
+            }
+            if mono.instrs[i].op.is_privileged() {
+                if let Some(pg) = priv_seed {
+                    uf.union(pg, u);
+                }
+            }
+        }
+    }
+    let mut class_unit: HashMap<usize, usize> = HashMap::new();
+    let mut unit_sets: Vec<BitSet> = Vec::new();
+    for (u, cone) in cones.iter().enumerate() {
+        let root = uf.find(u);
+        match class_unit.get(&root) {
+            Some(&idx) => unit_sets[idx].union_with(cone),
+            None => {
+                class_unit.insert(root, unit_sets.len());
+                unit_sets.push(cone.clone());
+            }
+        }
+    }
+
+    let make_unit = |set: BitSet| -> Unit {
+        let base_cost = set.iter().map(|i| instr_cost[i]).sum();
+        let mut commits = BTreeSet::new();
+        let mut reads = BTreeSet::new();
+        for i in set.iter() {
+            if let LirOp::CommitLocal { state } = mono.instrs[i].op {
+                commits.insert(state);
+            }
+            for a in &mono.instrs[i].args {
+                if let Some(&s) = vreg_state.get(a) {
+                    reads.insert(s);
+                }
+            }
+        }
+        Unit {
+            instrs: set,
+            base_cost,
+            commits,
+            reads,
+        }
+    };
+    let units: Vec<Unit> = unit_sets.into_iter().map(make_unit).collect();
+
+    // ------------------------------------------------------------------
+    // Merge.
+    // ------------------------------------------------------------------
+    let merged_sets = match strategy {
+        PartitionStrategy::Balanced => merge_balanced(units, num_cores, &instr_cost),
+        PartitionStrategy::Lpt => merge_lpt(units, num_cores),
+    };
+
+    materialize(prog, mono, &merged_sets, &def_of, &vreg_state)
+}
+
+/// Send count of unit `u` given current ownership: one per (state committed
+/// by `u`, other live unit reading it).
+fn send_count(u: usize, units: &[Unit], alive: &[bool]) -> usize {
+    let mut sends = 0;
+    for s in &units[u].commits {
+        for (v, other) in units.iter().enumerate() {
+            if v != u && alive[v] && other.reads.contains(s) {
+                sends += 1;
+            }
+        }
+    }
+    sends
+}
+
+fn merge_balanced(mut units: Vec<Unit>, num_cores: usize, instr_cost: &[usize]) -> Vec<BitSet> {
+    let mut alive = vec![true; units.len()];
+    loop {
+        let live: Vec<usize> = (0..units.len()).filter(|&i| alive[i]).collect();
+        if live.len() <= 1 {
+            break;
+        }
+        let must_merge = live.len() > num_cores;
+        let cost =
+            |i: usize, units: &[Unit], alive: &[bool]| units[i].base_cost + send_count(i, units, alive);
+        // Cheapest live unit.
+        let &u = live.iter().min_by_key(|&&i| cost(i, &units, &alive)).unwrap();
+        // Communicating partners.
+        let partners: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&v| {
+                v != u
+                    && (units[u].commits.iter().any(|s| units[v].reads.contains(s))
+                        || units[v].commits.iter().any(|s| units[u].reads.contains(s)))
+            })
+            .collect();
+        let candidates = if partners.is_empty() {
+            live.iter().copied().filter(|&v| v != u).collect::<Vec<_>>()
+        } else {
+            partners
+        };
+        // Merged cost of u+v: deduped instructions + sends of the union.
+        let merged_cost = |v: usize, units: &[Unit], alive: &[bool]| -> usize {
+            let mut base = 0usize;
+            // weighted union popcount
+            let set = &units[u].instrs;
+            let other = &units[v].instrs;
+            for i in set.iter() {
+                base += instr_cost[i];
+            }
+            for i in other.iter() {
+                if !set.contains(i) {
+                    base += instr_cost[i];
+                }
+            }
+            let mut sends = 0;
+            for s in units[u].commits.iter().chain(units[v].commits.iter()) {
+                for (w, ww) in units.iter().enumerate() {
+                    if w != u && w != v && alive[w] && ww.reads.contains(s) {
+                        sends += 1;
+                    }
+                }
+            }
+            base + sends
+        };
+        let best = candidates
+            .iter()
+            .map(|&v| (merged_cost(v, &units, &alive), v))
+            .min();
+        let Some((best_cost, v)) = best else { break };
+        if !must_merge {
+            let straggler = live.iter().map(|&i| cost(i, &units, &alive)).max().unwrap();
+            if best_cost > straggler {
+                break;
+            }
+        }
+        // Merge v into u.
+        let vv = units[v].clone();
+        units[u].instrs.union_with(&vv.instrs);
+        units[u].base_cost = units[u].instrs.iter().map(|i| instr_cost[i]).sum();
+        units[u].commits.extend(vv.commits.iter().copied());
+        units[u].reads.extend(vv.reads.iter().copied());
+        alive[v] = false;
+    }
+    units
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(un, a)| a.then_some(un.instrs))
+        .collect()
+}
+
+fn merge_lpt(units: Vec<Unit>, num_cores: usize) -> Vec<BitSet> {
+    let alive = vec![true; units.len()];
+    let costs: Vec<usize> = (0..units.len())
+        .map(|i| units[i].base_cost + send_count(i, &units, &alive))
+        .collect();
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+    let nbins = num_cores.min(units.len());
+    if nbins == 0 {
+        return Vec::new();
+    }
+    let cap = units
+        .first()
+        .map(|u| u.instrs.iter().max().map_or(1, |m| m + 1))
+        .unwrap_or(1);
+    // Bitsets in the bins need the monolithic instruction capacity; take it
+    // from any unit's backing size (all share it).
+    let _ = cap;
+    let mut bins: Vec<Option<BitSet>> = vec![None; nbins];
+    let mut bin_load = vec![0usize; nbins];
+    for i in order {
+        let b = (0..nbins).min_by_key(|&b| bin_load[b]).unwrap();
+        match &mut bins[b] {
+            Some(set) => set.union_with(&units[i].instrs),
+            slot @ None => *slot = Some(units[i].instrs.clone()),
+        }
+        bin_load[b] += costs[i]; // linear cost assumption: the point of L
+    }
+    bins.into_iter().flatten().collect()
+}
+
+/// Rebuilds per-process instruction lists from unit bitsets, renumbers
+/// vregs, threads live-ins through, generates `Send`s, and remaps the
+/// exception table.
+fn materialize(
+    prog: &LirProgram,
+    mono: &Process,
+    units: &[BitSet],
+    def_of: &[Option<usize>],
+    vreg_state: &HashMap<VReg, StateId>,
+) -> LirProgram {
+    let mut processes: Vec<Process> = Vec::with_capacity(units.len());
+    let mut vmaps: Vec<HashMap<VReg, VReg>> = Vec::with_capacity(units.len());
+    for unit in units {
+        let mut p = Process::default();
+        let mut vmap: HashMap<VReg, VReg> = HashMap::new();
+        for i in unit.iter() {
+            let old = &mono.instrs[i];
+            let mut args = Vec::with_capacity(old.args.len());
+            for &a in &old.args {
+                let mapped = if let Some(&m) = vmap.get(&a) {
+                    m
+                } else if let Some(&s) = vreg_state.get(&a) {
+                    let v = p.fresh();
+                    p.state_reads.insert(s, v);
+                    vmap.insert(a, v);
+                    v
+                } else {
+                    debug_assert!(def_of[a.index()].is_some());
+                    unreachable!("cone closure must include defining instruction")
+                };
+                args.push(mapped);
+            }
+            let dest = old.dest.map(|d| {
+                let v = p.fresh();
+                vmap.insert(d, v);
+                v
+            });
+            if old.op.is_privileged() {
+                p.is_privileged = true;
+            }
+            p.instrs.push(LirInstr {
+                dest,
+                op: old.op.clone(),
+                args,
+            });
+        }
+        processes.push(p);
+        vmaps.push(vmap);
+    }
+
+    // Sends: the owner of each state sends to every other reader process.
+    let mut owners = vec![usize::MAX; prog.states.len()];
+    for (pi, p) in processes.iter().enumerate() {
+        for instr in &p.instrs {
+            if let LirOp::CommitLocal { state } = instr.op {
+                owners[state.index()] = pi;
+            }
+        }
+    }
+    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); prog.states.len()];
+    for (pi, p) in processes.iter().enumerate() {
+        for &s in p.state_reads.keys() {
+            readers[s.index()].push(pi);
+        }
+    }
+    for (si, state_readers) in readers.iter().enumerate() {
+        let owner = owners[si];
+        if owner == usize::MAX {
+            continue;
+        }
+        let src = processes[owner]
+            .instrs
+            .iter()
+            .find_map(|i| match i.op {
+                LirOp::CommitLocal { state } if state.index() == si => Some(i.args[0]),
+                _ => None,
+            })
+            .expect("owner commits the state");
+        for &rp in state_readers {
+            if rp != owner {
+                processes[owner].instrs.push(LirInstr {
+                    dest: None,
+                    op: LirOp::Send {
+                        state: StateId(si as u32),
+                        to_process: rp,
+                    },
+                    args: vec![src],
+                });
+            }
+        }
+    }
+
+    // Remap exception argument vregs into the privileged process.
+    let priv_idx = processes.iter().position(|p| p.is_privileged);
+    let exceptions = prog
+        .exceptions
+        .iter()
+        .map(|e| match e {
+            LirExceptionKind::Display { format, args } => {
+                let pi = priv_idx.expect("displays imply a privileged process");
+                let vmap = &vmaps[pi];
+                LirExceptionKind::Display {
+                    format: format.clone(),
+                    args: args
+                        .iter()
+                        .map(|(regs, w)| (regs.iter().map(|r| vmap[r]).collect(), *w))
+                        .collect(),
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+
+    LirProgram {
+        processes,
+        states: prog.states.clone(),
+        mems: prog.mems.clone(),
+        exceptions,
+    }
+}
+
+/// Plain union-find with path halving.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Register allocation and machine-code emission (§6.3).
+//!
+//! Each core's register file is split into a *persistent* region — the
+//! always-zero register, pooled constants (initialized at boot, never
+//! written), and the home registers of state words — and a *temporary*
+//! region allocated by linear scan over the scheduled order. The
+//! current/next same-register optimization assigns a state's next-value
+//! temporary directly to its home register when no reader of the current
+//! value executes after the producer, eliminating the commit move (§6.3,
+//! citing Wimmer & Franz linear-scan-on-SSA).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use manticore_isa::{
+    AluOp, Binary, CoreImage, ExceptionDescriptor, ExceptionId, ExceptionKind,
+    Instruction, MachineConfig, Reg,
+};
+
+use crate::error::CompileError;
+use crate::lir::{LirExceptionKind, LirOp, LirProgram, MemPlacement, StateId, VReg};
+use crate::report::{CoreBreakdown, Metadata, MemLocation, RegLocation};
+use crate::schedule::Schedule;
+
+/// Emission result: the loadable binary plus location metadata and
+/// per-core instruction mixes.
+#[derive(Debug, Clone)]
+pub struct EmitOutput {
+    /// The loadable program.
+    pub binary: Binary,
+    /// Where RTL state lives.
+    pub metadata: Metadata,
+    /// Per-process instruction mix.
+    pub per_core: Vec<CoreBreakdown>,
+}
+
+/// Allocates registers and emits the machine binary.
+///
+/// # Errors
+///
+/// Register-file or scratchpad overflow.
+pub fn emit(
+    prog: &LirProgram,
+    schedule: &Schedule,
+    config: &MachineConfig,
+) -> Result<EmitOutput, CompileError> {
+    let nproc = prog.processes.len();
+
+    // ------------------------------------------------------------------
+    // Phase A: persistent registers on every core.
+    // ------------------------------------------------------------------
+    // Per process: vreg -> machine reg for constants and state live-ins.
+    let mut pinned: Vec<HashMap<VReg, Reg>> = vec![HashMap::new(); nproc];
+    // Per process: state -> home register.
+    let mut state_reg: Vec<BTreeMap<StateId, Reg>> = vec![BTreeMap::new(); nproc];
+    // Per process: first register available for temporaries.
+    let mut temp_base: Vec<u16> = vec![1; nproc];
+    // Per process: boot-time register initialization.
+    let mut init_regs: Vec<Vec<(Reg, u16)>> = vec![Vec::new(); nproc];
+
+    for pi in 0..nproc {
+        let p = &prog.processes[pi];
+        let mut next = 1u16;
+        // Constants (value 0 aliases the zero register).
+        let mut by_value: BTreeMap<u16, Reg> = BTreeMap::new();
+        let consts = &schedule.const_vregs[pi];
+        let mut const_vregs: Vec<(&VReg, &u16)> = consts.iter().collect();
+        const_vregs.sort(); // deterministic allocation order
+        for (&v, &val) in const_vregs {
+            let r = if val == 0 {
+                Reg::ZERO
+            } else {
+                *by_value.entry(val).or_insert_with(|| {
+                    let r = Reg(next);
+                    next += 1;
+                    init_regs[pi].push((r, val));
+                    r
+                })
+            };
+            pinned[pi].insert(v, r);
+        }
+        // State homes: states read here, plus states committed here.
+        let mut states: BTreeSet<StateId> = p.state_reads.keys().copied().collect();
+        for instr in &p.instrs {
+            if let LirOp::CommitLocal { state } = instr.op {
+                states.insert(state);
+            }
+        }
+        for s in states {
+            let r = Reg(next);
+            next += 1;
+            state_reg[pi].insert(s, r);
+            init_regs[pi].push((r, prog.states[s.index()].init));
+            if let Some(&lv) = p.state_reads.get(&s) {
+                pinned[pi].insert(lv, r);
+            }
+        }
+        temp_base[pi] = next;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase B: per-process liveness, coalescing, linear scan, emission.
+    // ------------------------------------------------------------------
+    let mut images: Vec<CoreImage> = Vec::with_capacity(nproc);
+    let mut per_core: Vec<CoreBreakdown> = Vec::with_capacity(nproc);
+    let mut mem_base: HashMap<u32, (usize, u16)> = HashMap::new(); // mem -> (process, scratch base)
+    let mut vreg_reg_of: Vec<HashMap<VReg, Reg>> = vec![HashMap::new(); nproc];
+
+    // Scratchpad layout per process.
+    for pi in 0..nproc {
+        let p = &prog.processes[pi];
+        let mut used: BTreeSet<u32> = BTreeSet::new();
+        for instr in &p.instrs {
+            match &instr.op {
+                LirOp::LocalLoad { mem, .. } | LirOp::LocalStore { mem, .. } => {
+                    used.insert(mem.0);
+                }
+                _ => {}
+            }
+        }
+        let mut base = 0usize;
+        for m in used {
+            let info = &prog.mems[m as usize];
+            mem_base.insert(m, (pi, base as u16));
+            base += info.total_words();
+        }
+        if base > config.scratch_words {
+            return Err(CompileError::ScratchOverflow {
+                needed: base,
+                capacity: config.scratch_words,
+            });
+        }
+    }
+
+    for pi in 0..nproc {
+        let p = &prog.processes[pi];
+        let slots = &schedule.slots[pi];
+        let _body_len = schedule.body_len[pi];
+
+        // Liveness over scheduled positions.
+        let mut def_slot: HashMap<VReg, usize> = HashMap::new();
+        let mut last_use: HashMap<VReg, usize> = HashMap::new();
+        for (t, slot) in slots.iter().enumerate() {
+            let Some(i) = *slot else { continue };
+            let instr = &p.instrs[i];
+            let read_at = t + instr.op.issue_slots() - 1;
+            for &a in &instr.args {
+                let e = last_use.entry(a).or_insert(read_at);
+                *e = (*e).max(read_at);
+            }
+            if let Some(d) = instr.dest {
+                def_slot.insert(d, t);
+            }
+        }
+
+        // Commit coalescing.
+        let mut elided_commits: BTreeSet<usize> = BTreeSet::new();
+        let mut coalesced: HashMap<VReg, Reg> = HashMap::new();
+        for (t, slot) in slots.iter().enumerate() {
+            let Some(i) = *slot else { continue };
+            let LirOp::CommitLocal { state } = p.instrs[i].op else {
+                continue;
+            };
+            let src = p.instrs[i].args[0];
+            let home = state_reg[pi][&state];
+            // Identity commit: the next value IS the current value.
+            if p.state_reads.get(&state) == Some(&src) {
+                elided_commits.insert(i);
+                continue;
+            }
+            // Coalesce: src is an unpinned temp whose definition runs after
+            // every read of the current value.
+            let is_temp = !pinned[pi].contains_key(&src) && !coalesced.contains_key(&src);
+            if is_temp {
+                let src_def = def_slot.get(&src).copied().unwrap_or(0);
+                let ok = match p.state_reads.get(&state) {
+                    None => true,
+                    Some(lv) => last_use.get(lv).map_or(true, |&lu| lu < src_def),
+                };
+                if ok {
+                    coalesced.insert(src, home);
+                    elided_commits.insert(i);
+                }
+            }
+            let _ = t;
+        }
+
+        // Linear scan for the remaining temporaries.
+        let mut alloc: HashMap<VReg, Reg> = HashMap::new();
+        let mut free: Vec<u16> = Vec::new();
+        let mut next_fresh = temp_base[pi];
+        let mut active: Vec<(usize, VReg, Reg)> = Vec::new(); // (last_use, vreg, reg)
+        let mut max_reg_used = temp_base[pi].saturating_sub(1) as usize;
+        for (t, slot) in slots.iter().enumerate() {
+            let Some(i) = *slot else { continue };
+            let Some(d) = p.instrs[i].dest else { continue };
+            if pinned[pi].contains_key(&d) || coalesced.contains_key(&d) {
+                continue;
+            }
+            // Expire.
+            active.retain(|&(lu, _, r)| {
+                if lu <= t {
+                    free.push(r.0);
+                    false
+                } else {
+                    true
+                }
+            });
+            let lu = last_use.get(&d).copied().unwrap_or(t);
+            let r = match free.pop() {
+                Some(r) => Reg(r),
+                None => {
+                    let r = next_fresh;
+                    next_fresh += 1;
+                    Reg(r)
+                }
+            };
+            max_reg_used = max_reg_used.max(r.index());
+            alloc.insert(d, r);
+            if lu > t {
+                active.push((lu, d, r));
+            } else {
+                free.push(r.0);
+            }
+        }
+        if max_reg_used >= config.regfile_size {
+            return Err(CompileError::RegfileOverflow {
+                needed: max_reg_used + 1,
+                capacity: config.regfile_size,
+            });
+        }
+
+        // Final vreg -> machine reg view.
+        let mut reg_of: HashMap<VReg, Reg> = HashMap::new();
+        reg_of.extend(pinned[pi].iter().map(|(&v, &r)| (v, r)));
+        reg_of.extend(coalesced.iter().map(|(&v, &r)| (v, r)));
+        reg_of.extend(alloc.iter().map(|(&v, &r)| (v, r)));
+        vreg_reg_of[pi] = reg_of;
+    }
+
+    // Custom-function table slots per core.
+    let mut cfu_tables: Vec<Vec<[u16; 16]>> = vec![Vec::new(); nproc];
+    for pi in 0..nproc {
+        for instr in &prog.processes[pi].instrs {
+            if let LirOp::Custom { table } = instr.op {
+                if !cfu_tables[pi].contains(&table) {
+                    cfu_tables[pi].push(table);
+                }
+            }
+        }
+        assert!(
+            cfu_tables[pi].len() <= config.num_custom_functions,
+            "custom-function synthesis exceeded the table budget"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Emit bodies.
+    // ------------------------------------------------------------------
+    for pi in 0..nproc {
+        let p = &prog.processes[pi];
+        let slots = &schedule.slots[pi];
+        let body_len = schedule.body_len[pi];
+        let reg = |v: VReg| -> Reg { vreg_reg_of[pi][&v] };
+        let mut body = vec![Instruction::Nop; body_len];
+        let mut breakdown = CoreBreakdown::default();
+
+        // Recompute elided commits (same logic as above, kept in lockstep
+        // by sharing reg_of: a commit is elided iff src's register IS the
+        // state's home register).
+        for (t, slot) in slots.iter().enumerate() {
+            let Some(i) = *slot else { continue };
+            let instr = &p.instrs[i];
+            let a = |k: usize| reg(instr.args[k]);
+            match &instr.op {
+                LirOp::Const(_) => unreachable!("constants are hoisted"),
+                LirOp::Alu(op) => {
+                    body[t] = Instruction::Alu {
+                        op: *op,
+                        rd: reg(instr.dest.unwrap()),
+                        rs1: a(0),
+                        rs2: a(1),
+                    };
+                    breakdown.compute += 1;
+                }
+                LirOp::AddCarry => {
+                    body[t] = Instruction::AddCarry {
+                        rd: reg(instr.dest.unwrap()),
+                        rs1: a(0),
+                        rs2: a(1),
+                        rs_carry: a(2),
+                    };
+                    breakdown.compute += 1;
+                }
+                LirOp::SubBorrow => {
+                    body[t] = Instruction::SubBorrow {
+                        rd: reg(instr.dest.unwrap()),
+                        rs1: a(0),
+                        rs2: a(1),
+                        rs_borrow: a(2),
+                    };
+                    breakdown.compute += 1;
+                }
+                LirOp::Mux => {
+                    body[t] = Instruction::Mux {
+                        rd: reg(instr.dest.unwrap()),
+                        rs_sel: a(0),
+                        rs1: a(1),
+                        rs2: a(2),
+                    };
+                    breakdown.compute += 1;
+                }
+                LirOp::Slice { offset, width } => {
+                    body[t] = Instruction::Slice {
+                        rd: reg(instr.dest.unwrap()),
+                        rs: a(0),
+                        offset: *offset,
+                        width: *width,
+                    };
+                    breakdown.compute += 1;
+                }
+                LirOp::Custom { table } => {
+                    let func = cfu_tables[pi].iter().position(|t2| t2 == table).unwrap();
+                    let mut rs = [Reg::ZERO; 4];
+                    for (k, &arg) in instr.args.iter().enumerate() {
+                        rs[k] = reg(arg);
+                    }
+                    body[t] = Instruction::Custom {
+                        rd: reg(instr.dest.unwrap()),
+                        func: func as u8,
+                        rs,
+                    };
+                    breakdown.compute += 1;
+                    breakdown.custom += 1;
+                }
+                LirOp::LocalLoad { mem, word_offset } => {
+                    let (_, base) = mem_base[&mem.0];
+                    body[t] = Instruction::LocalLoad {
+                        rd: reg(instr.dest.unwrap()),
+                        rs_addr: a(0),
+                        base: base + word_offset,
+                    };
+                    breakdown.compute += 1;
+                }
+                LirOp::LocalStore { mem, word_offset } => {
+                    let (_, base) = mem_base[&mem.0];
+                    body[t] = Instruction::Predicate { rs: a(2) };
+                    body[t + 1] = Instruction::LocalStore {
+                        rs_data: a(0),
+                        rs_addr: a(1),
+                        base: base + word_offset,
+                    };
+                    breakdown.compute += 2;
+                }
+                LirOp::GlobalLoad { .. } => {
+                    body[t] = Instruction::GlobalLoad {
+                        rd: reg(instr.dest.unwrap()),
+                        rs_addr: [a(0), a(1), a(2)],
+                    };
+                    breakdown.compute += 1;
+                }
+                LirOp::GlobalStore { .. } => {
+                    body[t] = Instruction::Predicate { rs: a(4) };
+                    body[t + 1] = Instruction::GlobalStore {
+                        rs_data: a(0),
+                        rs_addr: [a(1), a(2), a(3)],
+                    };
+                    breakdown.compute += 2;
+                }
+                LirOp::Expect { eid } => {
+                    body[t] = Instruction::Expect {
+                        rs1: a(0),
+                        rs2: a(1),
+                        eid: *eid,
+                    };
+                    breakdown.compute += 1;
+                }
+                LirOp::CommitLocal { state } => {
+                    let home = state_reg[pi][&state];
+                    let src = reg(instr.args[0]);
+                    if src != home {
+                        body[t] = Instruction::Alu {
+                            op: AluOp::Or,
+                            rd: home,
+                            rs1: src,
+                            rs2: Reg::ZERO,
+                        };
+                        breakdown.compute += 1;
+                    }
+                }
+                LirOp::Send { state, to_process } => {
+                    let target = schedule.core_of_process[*to_process];
+                    let rd_remote = state_reg[*to_process][state];
+                    body[t] = Instruction::Send {
+                        target,
+                        rd_remote,
+                        rs: a(0),
+                    };
+                    breakdown.sends += 1;
+                }
+            }
+        }
+        breakdown.epilogue = schedule.epilogue_len[pi] as u64;
+        breakdown.nops = schedule.vcycle_len - breakdown.busy();
+        per_core.push(breakdown);
+
+        // Scratchpad image.
+        let mut init_scratch: Vec<(u16, u16)> = Vec::new();
+        for (m, &(owner, base)) in &mem_base {
+            if owner != pi {
+                continue;
+            }
+            let info = &prog.mems[*m as usize];
+            for (off, &w) in info.init_words.iter().enumerate() {
+                if w != 0 {
+                    init_scratch.push((base + off as u16, w));
+                }
+            }
+        }
+
+        images.push(CoreImage {
+            core: schedule.core_of_process[pi],
+            body,
+            epilogue_len: schedule.epilogue_len[pi] as u32,
+            custom_functions: cfu_tables[pi].clone(),
+            init_regs: init_regs[pi].clone(),
+            init_scratch,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Exception table with machine registers.
+    // ------------------------------------------------------------------
+    let priv_idx = prog.processes.iter().position(|p| p.is_privileged);
+    let mut exceptions = Vec::with_capacity(prog.exceptions.len());
+    for (eid, kind) in prog.exceptions.iter().enumerate() {
+        let kind = match kind {
+            LirExceptionKind::Display { format, args } => {
+                let pi = priv_idx.expect("displays imply a privileged process");
+                ExceptionKind::Display {
+                    format: format.clone(),
+                    args: args
+                        .iter()
+                        .map(|(regs, w)| {
+                            (regs.iter().map(|&v| vreg_reg_of[pi][&v]).collect(), *w)
+                        })
+                        .collect(),
+                }
+            }
+            LirExceptionKind::AssertFail { message } => ExceptionKind::AssertFail {
+                message: message.clone(),
+            },
+            LirExceptionKind::Finish => ExceptionKind::Finish,
+        };
+        exceptions.push(ExceptionDescriptor {
+            id: ExceptionId(eid as u16),
+            kind,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Global memory image.
+    // ------------------------------------------------------------------
+    let mut init_dram: Vec<(u64, u16)> = Vec::new();
+    for info in &prog.mems {
+        if let MemPlacement::Global { base } = info.placement {
+            for (off, &w) in info.init_words.iter().enumerate() {
+                if w != 0 {
+                    init_dram.push((base + off as u64, w));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata.
+    // ------------------------------------------------------------------
+    let owners = prog.state_owners();
+    let mut reg_locations: Vec<RegLocation> = Vec::new();
+    {
+        // Group states by RTL register.
+        let mut by_reg: BTreeMap<u32, Vec<(usize, usize)>> = BTreeMap::new(); // rtl -> (word, state idx)
+        for (si, s) in prog.states.iter().enumerate() {
+            by_reg.entry(s.rtl_reg.0).or_default().push((s.word, si));
+        }
+        for (rtl, mut words) in by_reg {
+            words.sort_unstable();
+            let locs = words
+                .iter()
+                .map(|&(_, si)| {
+                    let owner = owners[si];
+                    (
+                        schedule.core_of_process[owner],
+                        state_reg[owner][&StateId(si as u32)],
+                    )
+                })
+                .collect::<Vec<_>>();
+            reg_locations.push(RegLocation {
+                rtl_reg: manticore_netlist::RegId(rtl),
+                width: words.len() * 16, // upper bound; width refined by caller
+                words: locs,
+            });
+        }
+    }
+    let mem_locations = prog
+        .mems
+        .iter()
+        .enumerate()
+        .map(|(mi, info)| match info.placement {
+            MemPlacement::Local => {
+                let (owner, base) = mem_base
+                    .get(&(mi as u32))
+                    .copied()
+                    .unwrap_or((0, 0));
+                MemLocation::Local {
+                    rtl_mem: info.rtl_mem,
+                    core: schedule.core_of_process[owner],
+                    base,
+                    words_per_entry: info.words_per_entry,
+                }
+            }
+            MemPlacement::Global { base } => MemLocation::Global {
+                rtl_mem: info.rtl_mem,
+                base,
+                words_per_entry: info.words_per_entry,
+            },
+        })
+        .collect();
+
+    let binary = Binary {
+        grid_width: config.grid_width as u32,
+        grid_height: config.grid_height as u32,
+        vcycle_len: schedule.vcycle_len as u32,
+        cores: images,
+        exceptions,
+        init_dram,
+    };
+    Ok(EmitOutput {
+        binary,
+        metadata: Metadata {
+            reg_locations,
+            mem_locations,
+            core_of_process: schedule.core_of_process.clone(),
+        },
+        per_core,
+    })
+}

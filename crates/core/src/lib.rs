@@ -1,0 +1,230 @@
+//! # Manticore: hardware-accelerated RTL simulation, in software
+//!
+//! A reproduction of *"Manticore: Hardware-Accelerated RTL Simulation with
+//! Static Bulk-Synchronous Parallelism"* (ASPLOS 2024): a compiler that
+//! statically schedules RTL simulation onto a grid of simple 16-bit cores
+//! with zero runtime synchronization, plus a cycle-accurate model of that
+//! grid, a Verilator-analog baseline simulator, and the paper's nine
+//! benchmark workloads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use manticore::prelude::*;
+//!
+//! // Describe a circuit (the netlist DSL stands in for the Verilog
+//! // frontend).
+//! let mut b = NetlistBuilder::new("counter");
+//! let count = b.reg("count", 16, 0);
+//! let one = b.lit(1, 16);
+//! let next = b.add(count.q(), one);
+//! b.set_next(count, next);
+//! let limit = b.lit(100, 16);
+//! let done = b.eq(count.q(), limit);
+//! b.finish(done);
+//! let netlist = b.finish_build()?;
+//!
+//! // Compile for a 2×2 grid and simulate on the Manticore machine model.
+//! let config = MachineConfig::with_grid(2, 2);
+//! let mut sim = ManticoreSim::compile(&netlist, config)?;
+//! let outcome = sim.run(1_000)?;
+//! assert!(outcome.finished);
+//! assert_eq!(outcome.vcycles_run, 101);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! - [`manticore_netlist`] — netlist IR, builder DSL, reference evaluator;
+//! - [`manticore_compiler`] — the static-BSP compiler (Fig. 4 pipeline);
+//! - [`manticore_machine`] — cycle-accurate grid model (the FPGA stand-in);
+//! - [`manticore_refsim`] — Verilator-analog baseline (serial + macro-task
+//!   parallel) and the §7.1 scaling models;
+//! - [`manticore_workloads`] — the nine evaluation benchmarks;
+//! - [`manticore_isa`] / [`manticore_bits`] — the ISA and bit-vector
+//!   foundations.
+
+pub use manticore_bits as bits;
+pub use manticore_compiler as compiler;
+pub use manticore_isa as isa;
+pub use manticore_machine as machine;
+pub use manticore_netlist as netlist;
+pub use manticore_refsim as refsim;
+pub use manticore_workloads as workloads;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use manticore_bits::Bits;
+    pub use manticore_compiler::{compile, CompileOptions, PartitionStrategy};
+    pub use manticore_isa::{CoreId, MachineConfig, Reg};
+    pub use manticore_machine::{Machine, MachineError, RunOutcome};
+    pub use manticore_netlist::{eval::Evaluator, NetlistBuilder};
+
+    pub use crate::ManticoreSim;
+}
+
+use manticore_bits::Bits;
+use manticore_compiler::{compile, CompileError, CompileOptions, CompileOutput};
+use manticore_isa::MachineConfig;
+use manticore_machine::{Machine, MachineError, RunOutcome};
+use manticore_netlist::Netlist;
+
+/// Errors from the high-level simulation flow.
+#[derive(Debug)]
+pub enum SimError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// The machine rejected the binary or hit a runtime violation.
+    Machine(MachineError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Compile(e) => write!(f, "compile: {e}"),
+            SimError::Machine(e) => write!(f, "machine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CompileError> for SimError {
+    fn from(e: CompileError) -> Self {
+        SimError::Compile(e)
+    }
+}
+
+impl From<MachineError> for SimError {
+    fn from(e: MachineError) -> Self {
+        SimError::Machine(e)
+    }
+}
+
+/// A compiled design loaded on the Manticore machine model — the
+/// "compile it, run it, read the state back" flow of the paper's runtime.
+#[derive(Debug)]
+pub struct ManticoreSim {
+    machine: Machine,
+    output: CompileOutput,
+}
+
+impl ManticoreSim {
+    /// Compiles `netlist` with default options for `config` and boots a
+    /// machine.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or load failure.
+    pub fn compile(netlist: &Netlist, config: MachineConfig) -> Result<Self, SimError> {
+        Self::compile_with(
+            netlist,
+            &CompileOptions {
+                config,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Compiles with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or load failure.
+    pub fn compile_with(netlist: &Netlist, options: &CompileOptions) -> Result<Self, SimError> {
+        let output = compile(netlist, options)?;
+        let machine = Machine::load(options.config.clone(), &output.binary)?;
+        Ok(ManticoreSim { machine, output })
+    }
+
+    /// Runs up to `max_vcycles` RTL cycles.
+    ///
+    /// # Errors
+    ///
+    /// Assertion failures and determinism violations.
+    pub fn run(&mut self, max_vcycles: u64) -> Result<RunOutcome, SimError> {
+        Ok(self.machine.run_vcycles(max_vcycles)?)
+    }
+
+    /// Reads an RTL register (by its index in the *optimized* netlist,
+    /// [`ManticoreSim::netlist`]) back from the machine's register files.
+    pub fn read_rtl_reg(&self, index: usize) -> Bits {
+        let reg = &self.output.optimized.registers()[index];
+        let loc = &self.output.metadata.reg_locations[index];
+        let words: Vec<u16> = loc
+            .words
+            .iter()
+            .map(|&(core, mreg)| self.machine.read_reg(core, mreg))
+            .collect();
+        Bits::from_words16(&words, reg.width)
+    }
+
+    /// Looks up an RTL register by name and reads it back.
+    pub fn read_rtl_reg_by_name(&self, name: &str) -> Option<Bits> {
+        let idx = self
+            .output
+            .optimized
+            .registers()
+            .iter()
+            .position(|r| r.name == name)?;
+        Some(self.read_rtl_reg(idx))
+    }
+
+    /// The optimized netlist the machine is executing (registers may have
+    /// been renumbered or removed relative to the input design).
+    pub fn netlist(&self) -> &Netlist {
+        &self.output.optimized
+    }
+
+    /// Compiler output: binary, report, metadata.
+    pub fn compile_output(&self) -> &CompileOutput {
+        &self.output
+    }
+
+    /// The underlying machine (counters, cache stats, raw state).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Achieved simulation rate in kHz at the configured clock: the
+    /// paper's headline metric, `clock / VCPL`.
+    pub fn simulation_rate_khz(&self) -> f64 {
+        self.machine
+            .config()
+            .simulation_rate_khz(self.machine.vcycle_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manticore_netlist::NetlistBuilder;
+
+    #[test]
+    fn facade_counter_flow() {
+        let mut b = NetlistBuilder::new("c");
+        let r = b.reg("count", 16, 0);
+        let one = b.lit(1, 16);
+        let next = b.add(r.q(), one);
+        b.set_next(r, next);
+        b.output("count", r.q());
+        let n = b.finish_build().unwrap();
+        let mut sim = ManticoreSim::compile(&n, MachineConfig::with_grid(2, 2)).unwrap();
+        sim.run(7).unwrap();
+        assert_eq!(sim.read_rtl_reg_by_name("count").unwrap().to_u64(), 7);
+        assert!(sim.simulation_rate_khz() > 0.0);
+    }
+
+    #[test]
+    fn facade_errors_are_typed() {
+        let mut b = NetlistBuilder::new("open");
+        let i = b.input("x", 8);
+        let r = b.reg("r", 8, 0);
+        b.set_next(r, i);
+        let n = b.finish_build().unwrap();
+        match ManticoreSim::compile(&n, MachineConfig::with_grid(1, 1)) {
+            Err(SimError::Compile(_)) => {}
+            other => panic!("expected compile error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Assembly text rendering — the human-readable form of machine programs,
+//! in the style of the paper's Listing 3.
+//!
+//! [`Instruction`] implements [`std::fmt::Display`] with the paper's
+//! mnemonics (`ADD`, `SEND`, `EXPECT`, `LLD`, …), and
+//! [`disassemble`] renders a whole [`Binary`] with per-core sections,
+//! boot-time register initialization, and Vcycle framing — useful for
+//! debugging compiler output and for golden-file tests.
+
+use std::fmt;
+
+use crate::binary::Binary;
+use crate::instr::{AluOp, Instruction};
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "ADD",
+            AluOp::Sub => "SUB",
+            AluOp::And => "AND",
+            AluOp::Or => "OR",
+            AluOp::Xor => "XOR",
+            AluOp::Sll => "SLL",
+            AluOp::Srl => "SRL",
+            AluOp::Sra => "SRA",
+            AluOp::Seq => "SEQ",
+            AluOp::Sltu => "SLTU",
+            AluOp::Slts => "SLTS",
+            AluOp::Mul => "MUL",
+            AluOp::Mulh => "MULH",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Nop => write!(f, "NOP"),
+            Instruction::Set { rd, imm } => write!(f, "SET {rd}, {imm:#06x}"),
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{op} {rd}, {rs1}, {rs2}")
+            }
+            Instruction::AddCarry { rd, rs1, rs2, rs_carry } => {
+                write!(f, "ADDC {rd}, {rs1}, {rs2}, carry({rs_carry})")
+            }
+            Instruction::SubBorrow { rd, rs1, rs2, rs_borrow } => {
+                write!(f, "SUBB {rd}, {rs1}, {rs2}, borrow({rs_borrow})")
+            }
+            Instruction::Mux { rd, rs_sel, rs1, rs2 } => {
+                write!(f, "MUX {rd}, {rs_sel} ? {rs1} : {rs2}")
+            }
+            Instruction::Slice { rd, rs, offset, width } => {
+                write!(f, "SLICE {rd}, {rs}[{offset} +: {width}]")
+            }
+            Instruction::Custom { rd, func, rs } => {
+                write!(f, "CUST f{func} {rd}, {}, {}, {}, {}", rs[0], rs[1], rs[2], rs[3])
+            }
+            Instruction::Predicate { rs } => write!(f, "PRED {rs}"),
+            Instruction::LocalLoad { rd, rs_addr, base } => {
+                write!(f, "LLD {rd}, m[{base} + {rs_addr}]")
+            }
+            Instruction::LocalStore { rs_data, rs_addr, base } => {
+                write!(f, "LST {rs_data}, m[{base} + {rs_addr}]")
+            }
+            Instruction::GlobalLoad { rd, rs_addr } => {
+                write!(f, "GLD {rd}, [{}:{}:{}]", rs_addr[2], rs_addr[1], rs_addr[0])
+            }
+            Instruction::GlobalStore { rs_data, rs_addr } => {
+                write!(f, "GST {rs_data}, [{}:{}:{}]", rs_addr[2], rs_addr[1], rs_addr[0])
+            }
+            Instruction::Send { target, rd_remote, rs } => {
+                write!(f, "SEND {rd_remote}@{target}, {rs}")
+            }
+            Instruction::Expect { rs1, rs2, eid } => {
+                write!(f, "EXPECT {rs1}, {rs2}, eid={eid}")
+            }
+        }
+    }
+}
+
+/// Renders a whole binary as assembly text.
+pub fn disassemble(binary: &Binary) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "; manticore binary: {}x{} grid, vcycle = {} cycles",
+        binary.grid_width, binary.grid_height, binary.vcycle_len
+    );
+    for core in &binary.cores {
+        let _ = writeln!(s, "\n.core {},{}:", core.core.x, core.core.y);
+        if !core.init_regs.is_empty() {
+            let inits: Vec<String> = core
+                .init_regs
+                .iter()
+                .map(|(r, v)| format!("{r}={v:#x}"))
+                .collect();
+            let _ = writeln!(s, "  ; init {}", inits.join(" "));
+        }
+        for (i, table) in core.custom_functions.iter().enumerate() {
+            let _ = writeln!(s, "  ; cfu f{i} table[lane0]={:#06x}", table[0]);
+        }
+        let mut nop_run = 0usize;
+        for (pc, instr) in core.body.iter().enumerate() {
+            if matches!(instr, Instruction::Nop) {
+                nop_run += 1;
+                continue;
+            }
+            if nop_run > 0 {
+                let _ = writeln!(s, "  ...   ; {nop_run} NOPs");
+                nop_run = 0;
+            }
+            let _ = writeln!(s, "  {pc:#06x}: {instr}");
+        }
+        if nop_run > 0 {
+            let _ = writeln!(s, "  ...   ; {nop_run} NOPs");
+        }
+        let _ = writeln!(
+            s,
+            "  ; epilogue: {} message slot(s)",
+            core.epilogue_len
+        );
+    }
+    if !binary.exceptions.is_empty() {
+        let _ = writeln!(s, "\n.exceptions:");
+        for e in &binary.exceptions {
+            let _ = writeln!(s, "  {}: {:?}", e.id.0, e.kind);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{CoreId, Reg};
+    use crate::{CoreImage, ExceptionDescriptor, ExceptionId, ExceptionKind};
+
+    #[test]
+    fn instruction_mnemonics() {
+        let i = Instruction::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
+        assert_eq!(i.to_string(), "ADD $r3, $r1, $r2");
+        let send = Instruction::Send {
+            target: CoreId::new(2, 1),
+            rd_remote: Reg(7),
+            rs: Reg(5),
+        };
+        assert_eq!(send.to_string(), "SEND $r7@core(2,1), $r5");
+        assert_eq!(Instruction::Nop.to_string(), "NOP");
+        let lld = Instruction::LocalLoad {
+            rd: Reg(9),
+            rs_addr: Reg(4),
+            base: 256,
+        };
+        assert_eq!(lld.to_string(), "LLD $r9, m[256 + $r4]");
+    }
+
+    #[test]
+    fn disassembly_compacts_nop_runs() {
+        let binary = Binary {
+            grid_width: 1,
+            grid_height: 1,
+            vcycle_len: 16,
+            cores: vec![CoreImage {
+                core: CoreId::new(0, 0),
+                body: vec![
+                    Instruction::Set { rd: Reg(1), imm: 7 },
+                    Instruction::Nop,
+                    Instruction::Nop,
+                    Instruction::Nop,
+                    Instruction::Alu {
+                        op: AluOp::Xor,
+                        rd: Reg(2),
+                        rs1: Reg(1),
+                        rs2: Reg(1),
+                    },
+                ],
+                epilogue_len: 2,
+                custom_functions: vec![[0xcafe; 16]],
+                init_regs: vec![(Reg(1), 42)],
+                init_scratch: vec![],
+            }],
+            exceptions: vec![ExceptionDescriptor {
+                id: ExceptionId(0),
+                kind: ExceptionKind::Finish,
+            }],
+            init_dram: vec![],
+        };
+        let text = disassemble(&binary);
+        assert!(text.contains(".core 0,0:"));
+        assert!(text.contains("; init $r1=0x2a"));
+        assert!(text.contains("; cfu f0 table[lane0]=0xcafe"));
+        assert!(text.contains("...   ; 3 NOPs"));
+        assert!(text.contains("XOR $r2, $r1, $r1"));
+        assert!(text.contains("epilogue: 2 message slot(s)"));
+        assert!(text.contains(".exceptions:"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The loadable program binary.
+//!
+//! A [`Binary`] is what the compiler emits and the machine's bootloader
+//! consumes: per-core instruction streams plus boot-time state (register
+//! initialization, scratchpad/DRAM images, custom-function truth tables)
+//! and the global virtual-cycle framing (Vcycle length, per-core epilogue
+//! sizes — the paper's `EPILOGUE_LENGTH` / `SLEEP_LENGTH` / `COUNT_DOWN`
+//! footer words, §A.3.1).
+//!
+//! [`Binary::to_bytes`]/[`Binary::from_bytes`] give the byte-stream form the
+//! paper's runtime would copy into FPGA DRAM for the hardware bootloader.
+
+use crate::exception::{ExceptionDescriptor, ExceptionId, ExceptionKind};
+use crate::instr::{CoreId, Instruction, Reg};
+
+/// The program image for one core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreImage {
+    /// Which core this image loads into.
+    pub core: CoreId,
+    /// The instruction body executed each Vcycle (excludes the message
+    /// epilogue region, which the NoC fills at runtime).
+    pub body: Vec<Instruction>,
+    /// Number of messages this core receives per Vcycle; the bootloader
+    /// reserves this many instruction slots after the body.
+    pub epilogue_len: u32,
+    /// Custom-function truth tables, indexed by `Custom.func`. Each
+    /// function is 256 bits: one 16-entry truth table *per bit lane*
+    /// (§5.1: "we extend this idea to a 16-bit truth table using
+    /// 16 × 16 = 256 bits of memory per function"), which lets constant
+    /// operands be absorbed into the function.
+    pub custom_functions: Vec<[u16; 16]>,
+    /// Boot-time register initialization (constants, state init values).
+    pub init_regs: Vec<(Reg, u16)>,
+    /// Boot-time scratchpad initialization, sparse `(address, value)`.
+    pub init_scratch: Vec<(u16, u16)>,
+}
+
+impl CoreImage {
+    /// An empty image for `core` (all-NOP body).
+    pub fn empty(core: CoreId) -> Self {
+        CoreImage {
+            core,
+            body: Vec::new(),
+            epilogue_len: 0,
+            custom_functions: Vec::new(),
+            init_regs: Vec::new(),
+            init_scratch: Vec::new(),
+        }
+    }
+
+    /// Instruction-memory footprint: body plus reserved epilogue slots.
+    pub fn imem_footprint(&self) -> usize {
+        self.body.len() + self.epilogue_len as usize
+    }
+}
+
+/// A complete loadable program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binary {
+    /// Grid width the program was compiled for.
+    pub grid_width: u32,
+    /// Grid height the program was compiled for.
+    pub grid_height: u32,
+    /// Machine cycles per virtual cycle (all cores restart their program
+    /// in lockstep every `vcycle_len` cycles).
+    pub vcycle_len: u32,
+    /// Per-core images. Cores not listed idle (all NOPs).
+    pub cores: Vec<CoreImage>,
+    /// Exception table for the host runtime.
+    pub exceptions: Vec<ExceptionDescriptor>,
+    /// Boot-time DRAM image, sparse `(word address, value)` (for RTL
+    /// memories placed in global memory).
+    pub init_dram: Vec<(u64, u16)>,
+}
+
+impl Binary {
+    /// Total instructions across all cores (body only, excluding NOP
+    /// padding that may be added at load).
+    pub fn total_instructions(&self) -> usize {
+        self.cores.iter().map(|c| c.body.len()).sum()
+    }
+
+    /// Serializes to the byte stream the bootloader consumes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend(b"MANTICOR"); // magic
+        push_u32(&mut out, 1); // version
+        push_u32(&mut out, self.grid_width);
+        push_u32(&mut out, self.grid_height);
+        push_u32(&mut out, self.vcycle_len);
+        push_u32(&mut out, self.cores.len() as u32);
+        for c in &self.cores {
+            out.push(c.core.x);
+            out.push(c.core.y);
+            push_u32(&mut out, c.body.len() as u32);
+            for i in &c.body {
+                push_u64(&mut out, i.encode());
+            }
+            push_u32(&mut out, c.epilogue_len);
+            push_u32(&mut out, c.custom_functions.len() as u32);
+            for t in &c.custom_functions {
+                for &lane in t {
+                    push_u16(&mut out, lane);
+                }
+            }
+            push_u32(&mut out, c.init_regs.len() as u32);
+            for &(r, v) in &c.init_regs {
+                push_u16(&mut out, r.0);
+                push_u16(&mut out, v);
+            }
+            push_u32(&mut out, c.init_scratch.len() as u32);
+            for &(a, v) in &c.init_scratch {
+                push_u16(&mut out, a);
+                push_u16(&mut out, v);
+            }
+        }
+        push_u32(&mut out, self.exceptions.len() as u32);
+        for e in &self.exceptions {
+            push_u16(&mut out, e.id.0);
+            match &e.kind {
+                ExceptionKind::Display { format, args } => {
+                    out.push(0);
+                    push_str(&mut out, format);
+                    push_u32(&mut out, args.len() as u32);
+                    for (regs, width) in args {
+                        push_u32(&mut out, *width as u32);
+                        push_u32(&mut out, regs.len() as u32);
+                        for r in regs {
+                            push_u16(&mut out, r.0);
+                        }
+                    }
+                }
+                ExceptionKind::AssertFail { message } => {
+                    out.push(1);
+                    push_str(&mut out, message);
+                }
+                ExceptionKind::Finish => out.push(2),
+            }
+        }
+        push_u32(&mut out, self.init_dram.len() as u32);
+        for &(a, v) in &self.init_dram {
+            push_u64(&mut out, a);
+            push_u16(&mut out, v);
+        }
+        out
+    }
+
+    /// Deserializes a byte stream produced by [`Binary::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Binary, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != b"MANTICOR" {
+            return Err("bad magic".into());
+        }
+        let version = r.u32()?;
+        if version != 1 {
+            return Err(format!("unsupported binary version {version}"));
+        }
+        let grid_width = r.u32()?;
+        let grid_height = r.u32()?;
+        let vcycle_len = r.u32()?;
+        let ncores = r.u32()? as usize;
+        let mut cores = Vec::with_capacity(ncores);
+        for _ in 0..ncores {
+            let x = r.u8()?;
+            let y = r.u8()?;
+            let nbody = r.u32()? as usize;
+            let mut body = Vec::with_capacity(nbody);
+            for _ in 0..nbody {
+                let w = r.u64()?;
+                body.push(Instruction::decode(w).map_err(|e| e.to_string())?);
+            }
+            let epilogue_len = r.u32()?;
+            let ncf = r.u32()? as usize;
+            let mut custom_functions = Vec::with_capacity(ncf);
+            for _ in 0..ncf {
+                let mut t = [0u16; 16];
+                for lane in &mut t {
+                    *lane = r.u16()?;
+                }
+                custom_functions.push(t);
+            }
+            let nregs = r.u32()? as usize;
+            let mut init_regs = Vec::with_capacity(nregs);
+            for _ in 0..nregs {
+                init_regs.push((Reg(r.u16()?), r.u16()?));
+            }
+            let nscr = r.u32()? as usize;
+            let mut init_scratch = Vec::with_capacity(nscr);
+            for _ in 0..nscr {
+                init_scratch.push((r.u16()?, r.u16()?));
+            }
+            cores.push(CoreImage {
+                core: CoreId::new(x, y),
+                body,
+                epilogue_len,
+                custom_functions,
+                init_regs,
+                init_scratch,
+            });
+        }
+        let nexc = r.u32()? as usize;
+        let mut exceptions = Vec::with_capacity(nexc);
+        for _ in 0..nexc {
+            let id = ExceptionId(r.u16()?);
+            let kind = match r.u8()? {
+                0 => {
+                    let format = r.string()?;
+                    let nargs = r.u32()? as usize;
+                    let mut args = Vec::with_capacity(nargs);
+                    for _ in 0..nargs {
+                        let width = r.u32()? as usize;
+                        let nregs = r.u32()? as usize;
+                        let mut regs = Vec::with_capacity(nregs);
+                        for _ in 0..nregs {
+                            regs.push(Reg(r.u16()?));
+                        }
+                        args.push((regs, width));
+                    }
+                    ExceptionKind::Display { format, args }
+                }
+                1 => ExceptionKind::AssertFail {
+                    message: r.string()?,
+                },
+                2 => ExceptionKind::Finish,
+                k => return Err(format!("unknown exception kind {k}")),
+            };
+            exceptions.push(ExceptionDescriptor { id, kind });
+        }
+        let ndram = r.u32()? as usize;
+        let mut init_dram = Vec::with_capacity(ndram);
+        for _ in 0..ndram {
+            init_dram.push((r.u64()?, r.u16()?));
+        }
+        Ok(Binary {
+            grid_width,
+            grid_height,
+            vcycle_len,
+            cores,
+            exceptions,
+            init_dram,
+        })
+    }
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend(v.to_le_bytes());
+}
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend(v.to_le_bytes());
+}
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend(v.to_le_bytes());
+}
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err("unexpected end of binary".into());
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn string(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| e.to_string())
+    }
+}

@@ -1,0 +1,129 @@
+//! Machine configuration: grid geometry, memory sizes, latencies.
+
+/// Cache + DRAM timing model for the privileged core's global memory path.
+///
+/// The paper's cache is 128 KiB, direct-mapped, write-allocate, write-back,
+/// built from 4 URAMs, backed by one DRAM bank. Every access — hit or miss —
+/// stalls the *entire grid* (the global-stall clock-gating mechanism, §5.3),
+/// so from the compiler's perspective global accesses have fixed latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Total cache capacity in 16-bit words (default 64 Ki words = 128 KiB).
+    pub capacity_words: usize,
+    /// Cache line length in words.
+    pub line_words: usize,
+    /// Grid-stall cycles charged on a hit (cache pipeline + clock
+    /// gate/ungate round trip).
+    pub hit_stall: u64,
+    /// Additional stall cycles for a line fill from DRAM.
+    pub miss_stall: u64,
+    /// Additional stall cycles to write back a dirty victim line.
+    pub writeback_stall: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_words: 64 * 1024,
+            line_words: 32,
+            hit_stall: 10,
+            miss_stall: 60,
+            writeback_stall: 40,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of lines in the cache.
+    pub fn num_lines(&self) -> usize {
+        self.capacity_words / self.line_words
+    }
+}
+
+/// Full machine configuration.
+///
+/// Defaults reproduce the paper's 225-core prototype: a 15×15 grid at
+/// 475 MHz, 4096-entry instruction memories, 2048-entry register files,
+/// 16384×16 scratchpads, 32 custom functions per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Grid width (cores per row).
+    pub grid_width: usize,
+    /// Grid height (rows).
+    pub grid_height: usize,
+    /// Instruction memory capacity per core (paper: 4096×64 URAM).
+    pub imem_capacity: usize,
+    /// Register file entries per core (paper: 2048×17 BRAM).
+    pub regfile_size: usize,
+    /// Scratchpad words per core (paper: 16384×16, one URAM reshaped).
+    pub scratch_words: usize,
+    /// Custom functions per core (paper: 32×256-bit LUTRAM).
+    pub num_custom_functions: usize,
+    /// Cycles after which a written register becomes readable.
+    ///
+    /// Models the 14-stage pipeline without forwarding: a consumer issued
+    /// fewer than this many cycles after the producer would read a stale
+    /// value. The compiler's list scheduler enforces this distance; the
+    /// machine checks it.
+    pub hazard_latency: usize,
+    /// NoC cycles per hop (switch traversal).
+    pub hop_latency: usize,
+    /// Cycles from `Send` issue to the message entering the first link.
+    pub injection_latency: usize,
+    /// Compute-clock frequency in Hz (for simulation-rate reporting).
+    pub clock_hz: f64,
+    /// Global memory path timing.
+    pub cache: CacheConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            grid_width: 15,
+            grid_height: 15,
+            imem_capacity: 4096,
+            regfile_size: 2048,
+            scratch_words: 16384,
+            num_custom_functions: 32,
+            hazard_latency: 11,
+            hop_latency: 1,
+            injection_latency: 2,
+            clock_hz: 475.0e6,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A configuration with the default per-core parameters and the given
+    /// grid size.
+    pub fn with_grid(width: usize, height: usize) -> Self {
+        MachineConfig {
+            grid_width: width,
+            grid_height: height,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.grid_width * self.grid_height
+    }
+
+    /// Converts a Vcycle length (machine cycles per simulated RTL cycle)
+    /// into a simulation rate in kHz, the unit of the paper's Table 3.
+    pub fn simulation_rate_khz(&self, vcycle_len: u64) -> f64 {
+        if vcycle_len == 0 {
+            return f64::INFINITY;
+        }
+        self.clock_hz / vcycle_len as f64 / 1e3
+    }
+
+    /// Number of hops a message travels on the unidirectional 2D torus with
+    /// dimension-ordered (X then Y) routing.
+    pub fn hops(&self, from: super::CoreId, to: super::CoreId) -> usize {
+        let dx = (to.x as usize + self.grid_width - from.x as usize) % self.grid_width;
+        let dy = (to.y as usize + self.grid_height - from.y as usize) % self.grid_height;
+        dx + dy
+    }
+}

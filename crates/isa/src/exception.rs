@@ -1,0 +1,48 @@
+//! Exception descriptors: how the host services `Expect` exceptions.
+//!
+//! The paper translates `$display`, `$finish`, and assertions into `EXPECT`
+//! instructions whose exception ids index a host-side table (Appendix A.3.2).
+//! When an exception fires the grid stalls, the host inspects state, acts,
+//! and resumes. The descriptor table below is the compiler→runtime metadata
+//! describing each id.
+
+use crate::instr::Reg;
+
+/// Index into the binary's exception table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExceptionId(pub u16);
+
+/// What the host does when the exception fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExceptionKind {
+    /// Render the format string (each `{}` consumes one argument) and
+    /// resume. Argument values live in registers of the raising core,
+    /// least-significant word first.
+    ///
+    /// The paper's runtime flushes the cache and reads argument values from
+    /// DRAM; our host reads the core's register file directly — the host
+    /// has full access to machine state either way, this just skips the
+    /// DRAM round-trip.
+    Display {
+        /// Format string with `{}` placeholders.
+        format: String,
+        /// Per-argument register lists (words, LSW first) and bit width.
+        args: Vec<(Vec<Reg>, usize)>,
+    },
+    /// Report an assertion failure and abort the simulation.
+    AssertFail {
+        /// Human-readable assertion message.
+        message: String,
+    },
+    /// Terminate the simulation successfully (`$finish`).
+    Finish,
+}
+
+/// One entry of the exception table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExceptionDescriptor {
+    /// The id `Expect` instructions carry.
+    pub id: ExceptionId,
+    /// Host action.
+    pub kind: ExceptionKind,
+}

@@ -1,0 +1,565 @@
+//! Instruction definitions and 64-bit binary encoding.
+//!
+//! Instructions are stored in a 4096×64 URAM per core, so every instruction
+//! encodes into one `u64` word. The encoding here packs a 6-bit opcode in
+//! the top bits and 11-bit register specifiers below; it round-trips through
+//! [`Instruction::encode`]/[`Instruction::decode`] and is what the
+//! bootloader streams over the NoC.
+
+use std::fmt;
+
+/// A machine register specifier (0..2048).
+///
+/// Register 0 is reserved by convention to hold zero: the compiler
+/// initializes it to 0 and never writes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// The always-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Index into the register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$r{}", self.0)
+    }
+}
+
+/// A core's position in the processor grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId {
+    /// Column (0..grid width).
+    pub x: u8,
+    /// Row (0..grid height).
+    pub y: u8,
+}
+
+impl CoreId {
+    /// Creates a core id.
+    pub fn new(x: u8, y: u8) -> Self {
+        CoreId { x, y }
+    }
+
+    /// Linear index in row-major order for a grid of the given width.
+    pub fn linear(self, grid_width: usize) -> usize {
+        self.y as usize * grid_width + self.x as usize
+    }
+
+    /// The privileged core (the only one allowed to execute global memory
+    /// accesses and `Expect`).
+    pub const PRIVILEGED: CoreId = CoreId { x: 0, y: 0 };
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core({},{})", self.x, self.y)
+    }
+}
+
+/// Two-operand ALU operations.
+///
+/// Shift amounts ≥ 16 produce 0 for `Sll`/`Srl` and the sign fill for `Sra`
+/// (the compiler's wide-shift lowering relies on this saturation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `rd = rs1 + rs2`; carry-out written to `rd`'s carry bit.
+    Add,
+    /// `rd = rs1 - rs2`; "no borrow" (`rs1 >= rs2`) written to carry bit.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by `rs2` (saturating at 16).
+    Sll,
+    /// Logical shift right by `rs2` (saturating at 16).
+    Srl,
+    /// Arithmetic shift right by `rs2` (saturating at 16).
+    Sra,
+    /// Set-if-equal: `rd = (rs1 == rs2) as u16`.
+    Seq,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+    /// Set-if-less-than, signed (two's complement).
+    Slts,
+    /// Low 16 bits of `rs1 * rs2`.
+    Mul,
+    /// High 16 bits of `rs1 * rs2` (unsigned).
+    Mulh,
+}
+
+impl AluOp {
+    /// All ALU operations, in encoding order.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Seq,
+        AluOp::Sltu,
+        AluOp::Slts,
+        AluOp::Mul,
+        AluOp::Mulh,
+    ];
+
+    /// Evaluates the operation on 16-bit operands; returns `(result, carry)`.
+    ///
+    /// `carry` is meaningful for `Add` (carry-out) and `Sub` (no-borrow);
+    /// other ops return `false`.
+    pub fn eval(self, a: u16, b: u16) -> (u16, bool) {
+        match self {
+            AluOp::Add => {
+                let (r, c) = a.overflowing_add(b);
+                (r, c)
+            }
+            AluOp::Sub => {
+                let (r, borrow) = a.overflowing_sub(b);
+                (r, !borrow)
+            }
+            AluOp::And => (a & b, false),
+            AluOp::Or => (a | b, false),
+            AluOp::Xor => (a ^ b, false),
+            AluOp::Sll => (if b >= 16 { 0 } else { a << b }, false),
+            AluOp::Srl => (if b >= 16 { 0 } else { a >> b }, false),
+            AluOp::Sra => {
+                let sh = (b as u32).min(15);
+                (((a as i16) >> sh) as u16, false)
+            }
+            AluOp::Seq => ((a == b) as u16, false),
+            AluOp::Sltu => ((a < b) as u16, false),
+            AluOp::Slts => (((a as i16) < (b as i16)) as u16, false),
+            AluOp::Mul => (a.wrapping_mul(b), false),
+            AluOp::Mulh => (((a as u32 * b as u32) >> 16) as u16, false),
+        }
+    }
+}
+
+/// One Manticore instruction.
+///
+/// `GlobalLoad`, `GlobalStore`, and `Expect` are *privileged*: only
+/// [`CoreId::PRIVILEGED`] may execute them, because they can stall the whole
+/// grid (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Do nothing for one cycle (schedule filler).
+    Nop,
+    /// `rd = imm`. Also the form messages take when the NoC writes them
+    /// into the instruction-memory tail.
+    Set {
+        /// Destination register.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+    },
+    /// Two-operand ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rd = rs1 + rs2 + carry(rs_carry)`; carry-out to `rd`'s carry bit.
+    /// The middle/top links of a ripple-carry chain for wide additions.
+    AddCarry {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+        /// Register whose carry bit supplies the carry-in.
+        rs_carry: Reg,
+    },
+    /// `rd = rs1 - rs2 - !carry(rs_borrow)`; no-borrow out to `rd`'s carry
+    /// bit (ARM-style subtract-with-carry).
+    SubBorrow {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+        /// Register whose carry bit supplies the inverted borrow-in.
+        rs_borrow: Reg,
+    },
+    /// `rd = if rs_sel != 0 { rs1 } else { rs2 }`.
+    Mux {
+        /// Destination.
+        rd: Reg,
+        /// Select register (any non-zero value selects `rs1`).
+        rs_sel: Reg,
+        /// Value when selected.
+        rs1: Reg,
+        /// Value otherwise.
+        rs2: Reg,
+    },
+    /// `rd = (rs >> offset) & ((1 << width) - 1)`: in-word bit-field extract.
+    Slice {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs: Reg,
+        /// LSB offset (0..16).
+        offset: u8,
+        /// Field width (1..=16).
+        width: u8,
+    },
+    /// Custom function: `rd[i] = table[func](rs[0][i], rs[1][i], rs[2][i],
+    /// rs[3][i])` for every bit lane `i` — a 4-input LUT applied across the
+    /// 16-bit word. Truth tables are programmed at boot.
+    Custom {
+        /// Destination.
+        rd: Reg,
+        /// Index into the core's custom-function table (0..32).
+        func: u8,
+        /// The four inputs (unused inputs wired to [`Reg::ZERO`]).
+        rs: [Reg; 4],
+    },
+    /// Sets the core's predicate register from `rs` (non-zero = true).
+    /// Subsequent stores execute only while the predicate is true.
+    Predicate {
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd = scratch[(base + rs_addr) mod scratch_size]`. Unconditional.
+    LocalLoad {
+        /// Destination.
+        rd: Reg,
+        /// Dynamic address component.
+        rs_addr: Reg,
+        /// Static base address (compiler-allocated memory region).
+        base: u16,
+    },
+    /// `if pred { scratch[(base + rs_addr) mod scratch_size] = rs_data }`.
+    LocalStore {
+        /// Data register.
+        rs_data: Reg,
+        /// Dynamic address component.
+        rs_addr: Reg,
+        /// Static base address.
+        base: u16,
+    },
+    /// Privileged: `rd = dram[addr]` through the cache; stalls the grid.
+    /// The 48-bit word address is `{rs_addr[2], rs_addr[1], rs_addr[0]}`.
+    GlobalLoad {
+        /// Destination.
+        rd: Reg,
+        /// Address registers, least-significant word first.
+        rs_addr: [Reg; 3],
+    },
+    /// Privileged, predicated: `if pred { dram[addr] = rs_data }`.
+    GlobalStore {
+        /// Data register.
+        rs_data: Reg,
+        /// Address registers, least-significant word first.
+        rs_addr: [Reg; 3],
+    },
+    /// Sends the value of `rs` to core `target`, requesting that its
+    /// register `rd_remote` be updated (takes effect at the end of the
+    /// target's virtual cycle). The only inter-core communication.
+    Send {
+        /// Receiving core.
+        target: CoreId,
+        /// Register to update on the receiving core.
+        rd_remote: Reg,
+        /// Local source register.
+        rs: Reg,
+    },
+    /// Privileged: raise exception `eid` if `rs1 != rs2`. The grid stalls
+    /// and the host services the exception (print, assert, finish).
+    Expect {
+        /// First compared register.
+        rs1: Reg,
+        /// Second compared register.
+        rs2: Reg,
+        /// Exception id (index into the binary's exception table).
+        eid: u16,
+    },
+}
+
+impl Instruction {
+    /// True for instructions only the privileged core may execute.
+    pub fn is_privileged(&self) -> bool {
+        matches!(
+            self,
+            Instruction::GlobalLoad { .. }
+                | Instruction::GlobalStore { .. }
+                | Instruction::Expect { .. }
+        )
+    }
+
+    /// The destination register, if the instruction writes one.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Instruction::Set { rd, .. }
+            | Instruction::Alu { rd, .. }
+            | Instruction::AddCarry { rd, .. }
+            | Instruction::SubBorrow { rd, .. }
+            | Instruction::Mux { rd, .. }
+            | Instruction::Slice { rd, .. }
+            | Instruction::Custom { rd, .. }
+            | Instruction::LocalLoad { rd, .. }
+            | Instruction::GlobalLoad { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// Source registers read by the instruction.
+    pub fn sources(&self) -> Vec<Reg> {
+        match *self {
+            Instruction::Nop | Instruction::Set { .. } => vec![],
+            Instruction::Alu { rs1, rs2, .. } => vec![rs1, rs2],
+            Instruction::AddCarry {
+                rs1, rs2, rs_carry, ..
+            } => vec![rs1, rs2, rs_carry],
+            Instruction::SubBorrow {
+                rs1, rs2, rs_borrow, ..
+            } => vec![rs1, rs2, rs_borrow],
+            Instruction::Mux {
+                rs_sel, rs1, rs2, ..
+            } => vec![rs_sel, rs1, rs2],
+            Instruction::Slice { rs, .. } => vec![rs],
+            Instruction::Custom { rs, .. } => rs.to_vec(),
+            Instruction::Predicate { rs } => vec![rs],
+            Instruction::LocalLoad { rs_addr, .. } => vec![rs_addr],
+            Instruction::LocalStore {
+                rs_data, rs_addr, ..
+            } => vec![rs_data, rs_addr],
+            Instruction::GlobalLoad { rs_addr, .. } => rs_addr.to_vec(),
+            Instruction::GlobalStore {
+                rs_data, rs_addr, ..
+            } => {
+                let mut v = vec![rs_data];
+                v.extend(rs_addr);
+                v
+            }
+            Instruction::Send { rs, .. } => vec![rs],
+            Instruction::Expect { rs1, rs2, .. } => vec![rs1, rs2],
+        }
+    }
+}
+
+/// Error decoding a 64-bit instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u64,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#018x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcodes (6 bits at [63:58]). Custom functions get a dedicated opcode each
+// (OP_CUSTOM_BASE..+32) because 5 register specifiers leave no room for a
+// function index field.
+const OP_NOP: u64 = 0;
+const OP_SET: u64 = 1;
+const OP_ALU_BASE: u64 = 2; // 2..=14: one per AluOp
+const OP_ADDCARRY: u64 = 15;
+const OP_SUBBORROW: u64 = 16;
+const OP_MUX: u64 = 17;
+const OP_SLICE: u64 = 18;
+const OP_PREDICATE: u64 = 20;
+const OP_LLD: u64 = 21;
+const OP_LST: u64 = 22;
+const OP_GLD: u64 = 23;
+const OP_GST: u64 = 24;
+const OP_SEND: u64 = 25;
+const OP_EXPECT: u64 = 26;
+const OP_CUSTOM_BASE: u64 = 27; // 27..59: one per custom function slot
+
+const R_BITS: u64 = 11;
+const R_MASK: u64 = (1 << R_BITS) - 1;
+
+fn pack_regs(regs: &[Reg]) -> u64 {
+    let mut v = 0u64;
+    for (i, r) in regs.iter().enumerate() {
+        v |= ((r.0 as u64) & R_MASK) << (i as u64 * R_BITS);
+    }
+    v
+}
+
+fn unpack_reg(word: u64, slot: u64) -> Reg {
+    Reg(((word >> (slot * R_BITS)) & R_MASK) as u16)
+}
+
+impl Instruction {
+    /// Encodes to a 64-bit instruction word.
+    pub fn encode(&self) -> u64 {
+        let op = |code: u64| code << 58;
+        match *self {
+            Instruction::Nop => op(OP_NOP),
+            Instruction::Set { rd, imm } => {
+                op(OP_SET) | pack_regs(&[rd]) | ((imm as u64) << R_BITS)
+            }
+            Instruction::Alu { op: aop, rd, rs1, rs2 } => {
+                let idx = AluOp::ALL.iter().position(|o| *o == aop).unwrap() as u64;
+                op(OP_ALU_BASE + idx) | pack_regs(&[rd, rs1, rs2])
+            }
+            Instruction::AddCarry { rd, rs1, rs2, rs_carry } => {
+                op(OP_ADDCARRY) | pack_regs(&[rd, rs1, rs2, rs_carry])
+            }
+            Instruction::SubBorrow { rd, rs1, rs2, rs_borrow } => {
+                op(OP_SUBBORROW) | pack_regs(&[rd, rs1, rs2, rs_borrow])
+            }
+            Instruction::Mux { rd, rs_sel, rs1, rs2 } => {
+                op(OP_MUX) | pack_regs(&[rd, rs_sel, rs1, rs2])
+            }
+            Instruction::Slice { rd, rs, offset, width } => {
+                op(OP_SLICE)
+                    | pack_regs(&[rd, rs])
+                    | ((offset as u64) << (2 * R_BITS))
+                    | ((width as u64) << (2 * R_BITS + 5))
+            }
+            Instruction::Custom { rd, func, rs } => {
+                op(OP_CUSTOM_BASE + func as u64)
+                    | pack_regs(&[rd, rs[0], rs[1], rs[2], rs[3]])
+            }
+            Instruction::Predicate { rs } => op(OP_PREDICATE) | pack_regs(&[rs]),
+            Instruction::LocalLoad { rd, rs_addr, base } => {
+                op(OP_LLD) | pack_regs(&[rd, rs_addr]) | ((base as u64) << (2 * R_BITS))
+            }
+            Instruction::LocalStore { rs_data, rs_addr, base } => {
+                op(OP_LST) | pack_regs(&[rs_data, rs_addr]) | ((base as u64) << (2 * R_BITS))
+            }
+            Instruction::GlobalLoad { rd, rs_addr } => {
+                op(OP_GLD) | pack_regs(&[rd, rs_addr[0], rs_addr[1], rs_addr[2]])
+            }
+            Instruction::GlobalStore { rs_data, rs_addr } => {
+                op(OP_GST) | pack_regs(&[rs_data, rs_addr[0], rs_addr[1], rs_addr[2]])
+            }
+            Instruction::Send { target, rd_remote, rs } => {
+                op(OP_SEND)
+                    | pack_regs(&[rd_remote, rs])
+                    | ((target.x as u64) << (2 * R_BITS))
+                    | ((target.y as u64) << (2 * R_BITS + 6))
+            }
+            Instruction::Expect { rs1, rs2, eid } => {
+                op(OP_EXPECT) | pack_regs(&[rs1, rs2]) | ((eid as u64) << (2 * R_BITS))
+            }
+        }
+    }
+
+    /// Decodes a 64-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for unknown opcodes.
+    pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
+        let opcode = word >> 58;
+        let imm16 = ((word >> (2 * R_BITS)) & 0xffff) as u16;
+        Ok(match opcode {
+            OP_NOP => Instruction::Nop,
+            OP_SET => Instruction::Set {
+                rd: unpack_reg(word, 0),
+                imm: ((word >> R_BITS) & 0xffff) as u16,
+            },
+            o if (OP_ALU_BASE..OP_ALU_BASE + AluOp::ALL.len() as u64).contains(&o) => {
+                Instruction::Alu {
+                    op: AluOp::ALL[(o - OP_ALU_BASE) as usize],
+                    rd: unpack_reg(word, 0),
+                    rs1: unpack_reg(word, 1),
+                    rs2: unpack_reg(word, 2),
+                }
+            }
+            OP_ADDCARRY => Instruction::AddCarry {
+                rd: unpack_reg(word, 0),
+                rs1: unpack_reg(word, 1),
+                rs2: unpack_reg(word, 2),
+                rs_carry: unpack_reg(word, 3),
+            },
+            OP_SUBBORROW => Instruction::SubBorrow {
+                rd: unpack_reg(word, 0),
+                rs1: unpack_reg(word, 1),
+                rs2: unpack_reg(word, 2),
+                rs_borrow: unpack_reg(word, 3),
+            },
+            OP_MUX => Instruction::Mux {
+                rd: unpack_reg(word, 0),
+                rs_sel: unpack_reg(word, 1),
+                rs1: unpack_reg(word, 2),
+                rs2: unpack_reg(word, 3),
+            },
+            OP_SLICE => Instruction::Slice {
+                rd: unpack_reg(word, 0),
+                rs: unpack_reg(word, 1),
+                offset: ((word >> (2 * R_BITS)) & 0x1f) as u8,
+                width: ((word >> (2 * R_BITS + 5)) & 0x1f) as u8,
+            },
+            o if (OP_CUSTOM_BASE..OP_CUSTOM_BASE + 32).contains(&o) => Instruction::Custom {
+                rd: unpack_reg(word, 0),
+                rs: [
+                    unpack_reg(word, 1),
+                    unpack_reg(word, 2),
+                    unpack_reg(word, 3),
+                    unpack_reg(word, 4),
+                ],
+                func: (o - OP_CUSTOM_BASE) as u8,
+            },
+            OP_PREDICATE => Instruction::Predicate {
+                rs: unpack_reg(word, 0),
+            },
+            OP_LLD => Instruction::LocalLoad {
+                rd: unpack_reg(word, 0),
+                rs_addr: unpack_reg(word, 1),
+                base: imm16,
+            },
+            OP_LST => Instruction::LocalStore {
+                rs_data: unpack_reg(word, 0),
+                rs_addr: unpack_reg(word, 1),
+                base: imm16,
+            },
+            OP_GLD => Instruction::GlobalLoad {
+                rd: unpack_reg(word, 0),
+                rs_addr: [
+                    unpack_reg(word, 1),
+                    unpack_reg(word, 2),
+                    unpack_reg(word, 3),
+                ],
+            },
+            OP_GST => Instruction::GlobalStore {
+                rs_data: unpack_reg(word, 0),
+                rs_addr: [
+                    unpack_reg(word, 1),
+                    unpack_reg(word, 2),
+                    unpack_reg(word, 3),
+                ],
+            },
+            OP_SEND => Instruction::Send {
+                rd_remote: unpack_reg(word, 0),
+                rs: unpack_reg(word, 1),
+                target: CoreId {
+                    x: ((word >> (2 * R_BITS)) & 0x3f) as u8,
+                    y: ((word >> (2 * R_BITS + 6)) & 0x3f) as u8,
+                },
+            },
+            OP_EXPECT => Instruction::Expect {
+                rs1: unpack_reg(word, 0),
+                rs2: unpack_reg(word, 1),
+                eid: imm16,
+            },
+            _ => return Err(DecodeError { word }),
+        })
+    }
+}

@@ -1,0 +1,35 @@
+//! The Manticore machine ISA.
+//!
+//! This crate defines the contract between the compiler and the machine:
+//! the 16-bit instruction set (§4.2 of the paper), the machine configuration
+//! (grid geometry, memory sizes, pipeline/NoC latencies), and the program
+//! binary format the bootloader streams into the cores' instruction
+//! memories.
+//!
+//! Unconventional, RTL-simulation-specific aspects preserved from the paper:
+//!
+//! - a 16-bit datapath with a 2048×17 register file (16 data bits plus a
+//!   carry/overflow bit used by wide-arithmetic chains);
+//! - 32 programmable *custom functions* per core — 4-input, 16-lane-wide
+//!   truth-table instructions that collapse chains of bitwise logic;
+//! - `Expect`, which raises a host exception when two registers differ
+//!   (the basis of `$display`, `$finish`, and assertions);
+//! - `Send`, the only inter-core communication primitive: it asks a remote
+//!   core to update one of its registers at the end of the virtual cycle;
+//! - predicated local/global stores and *privileged* global memory access
+//!   that stalls the whole grid (the global-stall clock-gating mechanism).
+
+pub mod asm;
+pub mod binary;
+pub mod config;
+pub mod exception;
+pub mod instr;
+
+pub use asm::disassemble;
+pub use binary::{Binary, CoreImage};
+pub use config::{CacheConfig, MachineConfig};
+pub use exception::{ExceptionDescriptor, ExceptionId, ExceptionKind};
+pub use instr::{AluOp, CoreId, DecodeError, Instruction, Reg};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,210 @@
+//! Unit + property tests for the ISA: ALU semantics, encoding round-trips,
+//! binary serialization, configuration math.
+
+use proptest::prelude::*;
+
+use crate::{
+    AluOp, Binary, CoreId, CoreImage, ExceptionDescriptor, ExceptionId, ExceptionKind,
+    Instruction, MachineConfig, Reg,
+};
+
+#[test]
+fn alu_add_carry_out() {
+    assert_eq!(AluOp::Add.eval(0xffff, 1), (0, true));
+    assert_eq!(AluOp::Add.eval(1, 1), (2, false));
+}
+
+#[test]
+fn alu_sub_no_borrow_flag() {
+    assert_eq!(AluOp::Sub.eval(5, 3), (2, true)); // no borrow
+    assert_eq!(AluOp::Sub.eval(3, 5), (0xfffe, false)); // borrowed
+}
+
+#[test]
+fn alu_shifts_saturate() {
+    assert_eq!(AluOp::Sll.eval(0xffff, 16).0, 0);
+    assert_eq!(AluOp::Srl.eval(0xffff, 20).0, 0);
+    assert_eq!(AluOp::Sra.eval(0x8000, 100).0, 0xffff);
+    assert_eq!(AluOp::Sra.eval(0x7fff, 100).0, 0);
+}
+
+#[test]
+fn alu_compares() {
+    assert_eq!(AluOp::Seq.eval(7, 7).0, 1);
+    assert_eq!(AluOp::Seq.eval(7, 8).0, 0);
+    assert_eq!(AluOp::Sltu.eval(1, 2).0, 1);
+    assert_eq!(AluOp::Sltu.eval(0xffff, 0).0, 0);
+    assert_eq!(AluOp::Slts.eval(0xffff, 0).0, 1); // -1 < 0
+    assert_eq!(AluOp::Slts.eval(0, 0xffff).0, 0);
+}
+
+#[test]
+fn alu_mul_parts() {
+    let a = 0x1234u16;
+    let b = 0x5678u16;
+    let full = a as u32 * b as u32;
+    assert_eq!(AluOp::Mul.eval(a, b).0, full as u16);
+    assert_eq!(AluOp::Mulh.eval(a, b).0, (full >> 16) as u16);
+}
+
+#[test]
+fn privileged_classification() {
+    assert!(Instruction::Expect {
+        rs1: Reg(1),
+        rs2: Reg(2),
+        eid: 0
+    }
+    .is_privileged());
+    assert!(Instruction::GlobalLoad {
+        rd: Reg(1),
+        rs_addr: [Reg(2), Reg(3), Reg(4)]
+    }
+    .is_privileged());
+    assert!(!Instruction::Send {
+        target: CoreId::new(1, 1),
+        rd_remote: Reg(5),
+        rs: Reg(6)
+    }
+    .is_privileged());
+}
+
+#[test]
+fn dest_and_sources() {
+    let i = Instruction::AddCarry {
+        rd: Reg(10),
+        rs1: Reg(11),
+        rs2: Reg(12),
+        rs_carry: Reg(13),
+    };
+    assert_eq!(i.dest(), Some(Reg(10)));
+    assert_eq!(i.sources(), vec![Reg(11), Reg(12), Reg(13)]);
+    assert_eq!(Instruction::Nop.dest(), None);
+}
+
+fn sample_instructions() -> Vec<Instruction> {
+    let r = Reg;
+    let mut v = vec![
+        Instruction::Nop,
+        Instruction::Set { rd: r(2047), imm: 0xffff },
+        Instruction::AddCarry { rd: r(1), rs1: r(2), rs2: r(3), rs_carry: r(4) },
+        Instruction::SubBorrow { rd: r(5), rs1: r(6), rs2: r(7), rs_borrow: r(8) },
+        Instruction::Mux { rd: r(9), rs_sel: r(10), rs1: r(11), rs2: r(12) },
+        Instruction::Slice { rd: r(13), rs: r(14), offset: 15, width: 16 },
+        Instruction::Custom { rd: r(15), func: 31, rs: [r(16), r(17), r(18), r(19)] },
+        Instruction::Predicate { rs: r(20) },
+        Instruction::LocalLoad { rd: r(21), rs_addr: r(22), base: 16383 },
+        Instruction::LocalStore { rs_data: r(23), rs_addr: r(24), base: 1 },
+        Instruction::GlobalLoad { rd: r(25), rs_addr: [r(26), r(27), r(28)] },
+        Instruction::GlobalStore { rs_data: r(29), rs_addr: [r(30), r(31), r(32)] },
+        Instruction::Send { target: CoreId::new(14, 14), rd_remote: r(33), rs: r(34) },
+        Instruction::Expect { rs1: r(35), rs2: r(36), eid: 999 },
+    ];
+    for op in AluOp::ALL {
+        v.push(Instruction::Alu { op, rd: r(100), rs1: r(101), rs2: r(102) });
+    }
+    v
+}
+
+#[test]
+fn encode_decode_roundtrip() {
+    for i in sample_instructions() {
+        let encoded = i.encode();
+        let decoded = Instruction::decode(encoded).unwrap();
+        assert_eq!(decoded, i, "roundtrip failed for {i:?}");
+    }
+}
+
+#[test]
+fn decode_rejects_bad_opcode() {
+    assert!(Instruction::decode(0x3fu64 << 58).is_err());
+}
+
+#[test]
+fn binary_roundtrip() {
+    let binary = Binary {
+        grid_width: 2,
+        grid_height: 2,
+        vcycle_len: 64,
+        cores: vec![
+            CoreImage {
+                core: CoreId::new(0, 0),
+                body: sample_instructions(),
+                epilogue_len: 3,
+                custom_functions: vec![[0xcafe; 16], [0x8001; 16]],
+                init_regs: vec![(Reg(0), 0), (Reg(1), 42)],
+                init_scratch: vec![(100, 7)],
+            },
+            CoreImage::empty(CoreId::new(1, 1)),
+        ],
+        exceptions: vec![
+            ExceptionDescriptor {
+                id: ExceptionId(0),
+                kind: ExceptionKind::Display {
+                    format: "count = {}".into(),
+                    args: vec![(vec![Reg(4), Reg(5)], 32)],
+                },
+            },
+            ExceptionDescriptor {
+                id: ExceptionId(1),
+                kind: ExceptionKind::AssertFail { message: "boom".into() },
+            },
+            ExceptionDescriptor {
+                id: ExceptionId(2),
+                kind: ExceptionKind::Finish,
+            },
+        ],
+        init_dram: vec![(1 << 40, 0xbeef)],
+    };
+    let bytes = binary.to_bytes();
+    let restored = Binary::from_bytes(&bytes).unwrap();
+    assert_eq!(restored, binary);
+}
+
+#[test]
+fn binary_rejects_garbage() {
+    assert!(Binary::from_bytes(b"NOTMAGIC____").is_err());
+    assert!(Binary::from_bytes(&[]).is_err());
+}
+
+#[test]
+fn torus_hop_counts() {
+    let cfg = MachineConfig::with_grid(4, 4);
+    // unidirectional: wrapping costs the long way around
+    assert_eq!(cfg.hops(CoreId::new(0, 0), CoreId::new(1, 0)), 1);
+    assert_eq!(cfg.hops(CoreId::new(1, 0), CoreId::new(0, 0)), 3);
+    assert_eq!(cfg.hops(CoreId::new(0, 0), CoreId::new(3, 3)), 6);
+    assert_eq!(cfg.hops(CoreId::new(2, 2), CoreId::new(2, 2)), 0);
+}
+
+#[test]
+fn simulation_rate() {
+    let cfg = MachineConfig::default();
+    let khz = cfg.simulation_rate_khz(1700);
+    assert!((khz - 279.4).abs() < 1.0, "got {khz}");
+}
+
+proptest! {
+    #[test]
+    fn prop_alu_add_matches_u32(a: u16, b: u16) {
+        let (r, c) = AluOp::Add.eval(a, b);
+        let full = a as u32 + b as u32;
+        prop_assert_eq!(r, full as u16);
+        prop_assert_eq!(c, full > 0xffff);
+    }
+
+    #[test]
+    fn prop_set_roundtrip(rd in 0u16..2048, imm: u16) {
+        let i = Instruction::Set { rd: Reg(rd), imm };
+        prop_assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn prop_send_roundtrip(x in 0u8..16, y in 0u8..16, rd in 0u16..2048, rs in 0u16..2048) {
+        let i = Instruction::Send {
+            target: CoreId::new(x, y),
+            rd_remote: Reg(rd),
+            rs: Reg(rs),
+        };
+        prop_assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+    }
+}

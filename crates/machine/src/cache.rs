@@ -1,0 +1,155 @@
+//! The privileged core's global memory path: a direct-mapped, write-allocate,
+//! write-back cache backed by a sparse DRAM model.
+//!
+//! Matches §5.3 of the paper: 128 KiB (64 Ki 16-bit words), implemented on
+//! the FPGA with 4 URAMs. Every access stalls the full grid whether it hits
+//! or misses; the stall durations come from
+//! [`CacheConfig`](manticore_isa::CacheConfig).
+
+use std::collections::HashMap;
+
+use manticore_isa::CacheConfig;
+
+/// Hit/miss/writeback counters (the paper's hardware performance counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit a resident line.
+    pub hits: u64,
+    /// Accesses that required a line fill.
+    pub misses: u64,
+    /// Dirty lines written back to DRAM on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 1.0 when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// Direct-mapped write-allocate write-back cache over a sparse word-addressed
+/// DRAM.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    /// Cached data, indexed `line * line_words + offset`.
+    data: Vec<u16>,
+    dram: HashMap<u64, u16>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache and DRAM.
+    pub fn new(config: CacheConfig) -> Self {
+        let n = config.num_lines();
+        Cache {
+            data: vec![0; n * config.line_words],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false
+                };
+                n
+            ],
+            config,
+            dram: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Pre-loads a DRAM word (bootloader path; no stall, no stats).
+    pub fn write_dram(&mut self, addr: u64, value: u16) {
+        self.dram.insert(addr, value);
+    }
+
+    /// Reads a DRAM word bypassing the cache (host debug path). Returns the
+    /// cached copy if the word is resident and dirty.
+    pub fn peek(&self, addr: u64) -> u16 {
+        let (line_idx, tag, offset) = self.split(addr);
+        let line = &self.lines[line_idx];
+        if line.valid && line.tag == tag {
+            self.data[line_idx * self.config.line_words + offset]
+        } else {
+            self.dram.get(&addr).copied().unwrap_or(0)
+        }
+    }
+
+    /// Reads `addr` through the cache; returns `(value, stall_cycles)`.
+    pub fn load(&mut self, addr: u64) -> (u16, u64) {
+        let stall = self.access(addr);
+        let (line_idx, _, offset) = self.split(addr);
+        (self.data[line_idx * self.config.line_words + offset], stall)
+    }
+
+    /// Writes `addr` through the cache (write-allocate); returns stall cycles.
+    pub fn store(&mut self, addr: u64, value: u16) -> u64 {
+        let stall = self.access(addr);
+        let (line_idx, _, offset) = self.split(addr);
+        self.data[line_idx * self.config.line_words + offset] = value;
+        self.lines[line_idx].dirty = true;
+        stall
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn split(&self, addr: u64) -> (usize, u64, usize) {
+        let line_words = self.config.line_words as u64;
+        let line_addr = addr / line_words;
+        let offset = (addr % line_words) as usize;
+        let line_idx = (line_addr % self.config.num_lines() as u64) as usize;
+        (line_idx, line_addr, offset)
+    }
+
+    /// Makes `addr`'s line resident; returns the stall the access costs.
+    fn access(&mut self, addr: u64) -> u64 {
+        let (line_idx, tag, _) = self.split(addr);
+        let line_words = self.config.line_words;
+        let line = self.lines[line_idx];
+        if line.valid && line.tag == tag {
+            self.stats.hits += 1;
+            return self.config.hit_stall;
+        }
+        self.stats.misses += 1;
+        let mut stall = self.config.hit_stall + self.config.miss_stall;
+        // Write back the dirty victim.
+        if line.valid && line.dirty {
+            self.stats.writebacks += 1;
+            stall += self.config.writeback_stall;
+            let base = line.tag * line_words as u64;
+            for i in 0..line_words {
+                let v = self.data[line_idx * line_words + i];
+                self.dram.insert(base + i as u64, v);
+            }
+        }
+        // Fill from DRAM.
+        let base = tag * line_words as u64;
+        for i in 0..line_words {
+            self.data[line_idx * line_words + i] =
+                self.dram.get(&(base + i as u64)).copied().unwrap_or(0);
+        }
+        self.lines[line_idx] = Line {
+            tag,
+            valid: true,
+            dirty: false,
+        };
+        stall
+    }
+}

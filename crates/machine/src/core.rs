@@ -1,0 +1,127 @@
+//! Per-core state: register file with carry bits and in-flight write buffer,
+//! scratchpad, predicate, instruction memory with message tail.
+
+use std::collections::VecDeque;
+
+use manticore_isa::{Instruction, Reg};
+
+/// A register write travelling down the pipeline; becomes architecturally
+/// visible at `commit_at` (compute-domain time).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingWrite {
+    pub commit_at: u64,
+    pub reg: Reg,
+    pub value: u16,
+    pub carry: bool,
+}
+
+/// The state of one core.
+#[derive(Debug, Clone)]
+pub(crate) struct CoreState {
+    /// Register file: low 16 bits value, bit 16 the carry/overflow bit
+    /// (the 2048×17 BRAM of §5.1).
+    pub regs: Vec<u32>,
+    /// In-flight writes ordered by commit time.
+    pub pending: VecDeque<PendingWrite>,
+    /// Local scratchpad (16384×16 URAM).
+    pub scratch: Vec<u16>,
+    /// Predicate register for stores.
+    pub predicate: bool,
+    /// Program body (executed at positions `0..body.len()`).
+    pub body: Vec<Instruction>,
+    /// Messages received this Vcycle, executed as `Set` at positions
+    /// `body.len()..body.len()+epilogue_len` (the instruction-memory tail).
+    pub epilogue: Vec<Option<(Reg, u16)>>,
+    /// Declared number of messages per Vcycle.
+    pub epilogue_len: usize,
+    /// Messages received so far this Vcycle.
+    pub received: usize,
+    /// Custom-function truth tables (per-lane, 256 bits each).
+    pub custom_functions: Vec<[u16; 16]>,
+    /// Executed (non-idle) instruction count, for utilization reporting.
+    pub executed: u64,
+}
+
+impl CoreState {
+    pub fn new(regfile_size: usize, scratch_words: usize) -> Self {
+        CoreState {
+            regs: vec![0; regfile_size],
+            pending: VecDeque::new(),
+            scratch: vec![0; scratch_words],
+            predicate: false,
+            body: Vec::new(),
+            epilogue: Vec::new(),
+            epilogue_len: 0,
+            received: 0,
+            custom_functions: Vec::new(),
+            executed: 0,
+        }
+    }
+
+    /// Commits all pending writes due at or before `now`.
+    pub fn commit_due(&mut self, now: u64) {
+        while let Some(w) = self.pending.front() {
+            if w.commit_at > now {
+                break;
+            }
+            let w = self.pending.pop_front().unwrap();
+            self.regs[w.reg.index()] = w.value as u32 | ((w.carry as u32) << 16);
+        }
+    }
+
+    /// Architectural (committed) register value.
+    pub fn reg_value(&self, r: Reg) -> u16 {
+        self.regs[r.index()] as u16
+    }
+
+    /// Architectural carry bit.
+    pub fn reg_carry(&self, r: Reg) -> bool {
+        (self.regs[r.index()] >> 16) & 1 == 1
+    }
+
+    /// The value the register will hold once all in-flight writes commit
+    /// (the host's view when servicing an exception: the grid is stalled
+    /// and the pipeline drains before the host reads state).
+    pub fn reg_value_flushed(&self, r: Reg) -> u16 {
+        self.pending
+            .iter()
+            .rev()
+            .find(|w| w.reg == r)
+            .map(|w| w.value)
+            .unwrap_or_else(|| self.reg_value(r))
+    }
+
+    /// True if `r` has an uncommitted in-flight write (a read now would be
+    /// a data hazard the compiler should have scheduled around).
+    pub fn has_pending_write(&self, r: Reg) -> bool {
+        self.pending.iter().any(|w| w.reg == r)
+    }
+
+    /// Queues a register write that commits `latency` cycles from `now`.
+    pub fn write_reg(&mut self, now: u64, latency: u64, reg: Reg, value: u16, carry: bool) {
+        self.pending.push_back(PendingWrite {
+            commit_at: now + latency,
+            reg,
+            value,
+            carry,
+        });
+    }
+
+    /// Records an arriving message in the next free epilogue slot.
+    /// Returns the slot index, or `None` if the epilogue is full.
+    pub fn receive(&mut self, rd: Reg, value: u16) -> Option<usize> {
+        if self.received >= self.epilogue_len {
+            return None;
+        }
+        let slot = self.received;
+        self.epilogue[slot] = Some((rd, value));
+        self.received += 1;
+        Some(slot)
+    }
+
+    /// Resets per-Vcycle receive state (the Vcycle wrap).
+    pub fn wrap_vcycle(&mut self) {
+        self.epilogue.iter_mut().for_each(|s| *s = None);
+        self.received = 0;
+    }
+}

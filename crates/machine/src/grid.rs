@@ -1,0 +1,710 @@
+//! The machine itself: lockstep execution of the core grid, Vcycle framing,
+//! global stall, host exception servicing.
+
+use std::fmt;
+
+use manticore_isa::{
+    Binary, CoreId, ExceptionKind, Instruction, MachineConfig, Reg,
+};
+
+use crate::cache::{Cache, CacheStats};
+use crate::core::CoreState;
+use crate::noc::Noc;
+
+/// Hardware performance counters (§7.7 uses these for the global-stall
+/// experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Compute-domain cycles (the compute clock was running).
+    pub compute_cycles: u64,
+    /// Cycles the compute clock was gated off (cache accesses, exceptions).
+    pub stall_cycles: u64,
+    /// Virtual cycles completed.
+    pub vcycles: u64,
+    /// Non-NOP instructions executed, summed over cores.
+    pub instructions: u64,
+    /// `Send` instructions executed.
+    pub sends: u64,
+    /// Messages delivered into epilogue slots.
+    pub messages_delivered: u64,
+    /// Exceptions serviced by the host.
+    pub exceptions: u64,
+}
+
+impl PerfCounters {
+    /// Total machine cycles: compute + stall.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.stall_cycles
+    }
+
+    /// Fraction of time the grid was stalled.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.total_cycles() == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.total_cycles() as f64
+        }
+    }
+}
+
+/// A host-visible event produced during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostEvent {
+    /// A `$display` fired (already rendered).
+    Display(String),
+    /// `$finish` was requested.
+    Finish,
+}
+
+/// Outcome of a [`Machine::run_vcycles`] call.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// Vcycles actually simulated (may be fewer than requested if the
+    /// design finished).
+    pub vcycles_run: u64,
+    /// True if a `$finish` fired.
+    pub finished: bool,
+    /// Rendered `$display` output in order.
+    pub displays: Vec<String>,
+}
+
+/// Errors: load-time validation failures and runtime determinism
+/// violations. Determinism violations indicate compiler bugs — on the real
+/// hardware they would silently corrupt the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Binary does not fit or refers to resources outside the configuration.
+    Load(String),
+    /// An instruction read a register with an uncommitted in-flight write
+    /// (the compiler failed to schedule around the pipeline latency).
+    Hazard {
+        /// Core that executed the read.
+        core: CoreId,
+        /// Position within the Vcycle.
+        position: u64,
+        /// The register read too early.
+        reg: Reg,
+    },
+    /// Two messages claimed the same NoC link in the same cycle; the
+    /// bufferless switch would drop one.
+    LinkCollision {
+        /// Description of the contended link.
+        link: String,
+        /// Position within the Vcycle.
+        position: u64,
+    },
+    /// A message arrived after the PC had already passed its epilogue slot.
+    LateMessage {
+        /// Receiving core.
+        core: CoreId,
+        /// Epilogue slot index.
+        slot: usize,
+    },
+    /// More messages arrived in one Vcycle than the core's declared
+    /// epilogue length.
+    EpilogueOverflow {
+        /// Receiving core.
+        core: CoreId,
+    },
+    /// Fewer messages arrived than the epilogue expects (a `Set` slot would
+    /// execute garbage).
+    MissingMessages {
+        /// Receiving core.
+        core: CoreId,
+        /// Messages received.
+        got: usize,
+        /// Messages expected.
+        expected: usize,
+    },
+    /// A non-privileged core executed a privileged instruction.
+    NotPrivileged {
+        /// Offending core.
+        core: CoreId,
+    },
+    /// An assertion (`Expect` with an `AssertFail` descriptor) failed.
+    AssertFailed {
+        /// The assertion message.
+        message: String,
+        /// Vcycle at which it failed.
+        vcycle: u64,
+    },
+    /// An `Expect` raised an exception id absent from the binary's table.
+    UnknownException {
+        /// The raised id.
+        eid: u16,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Load(m) => write!(f, "load error: {m}"),
+            MachineError::Hazard { core, position, reg } => write!(
+                f,
+                "data hazard: {core} read {reg} with an in-flight write at Vcycle position {position}"
+            ),
+            MachineError::LinkCollision { link, position } => {
+                write!(f, "NoC collision on {link} at Vcycle position {position}")
+            }
+            MachineError::LateMessage { core, slot } => {
+                write!(f, "message for {core} epilogue slot {slot} arrived late")
+            }
+            MachineError::EpilogueOverflow { core } => {
+                write!(f, "epilogue overflow at {core}")
+            }
+            MachineError::MissingMessages { core, got, expected } => write!(
+                f,
+                "{core} received {got} messages but expects {expected} per Vcycle"
+            ),
+            MachineError::NotPrivileged { core } => {
+                write!(f, "privileged instruction on non-privileged {core}")
+            }
+            MachineError::AssertFailed { message, vcycle } => {
+                write!(f, "assertion failed at Vcycle {vcycle}: {message}")
+            }
+            MachineError::UnknownException { eid } => {
+                write!(f, "unknown exception id {eid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Grid-stall cycles charged per serviced exception (host round-trip over
+/// PCIe; the paper notes crossing the host-device boundary is expensive).
+const EXCEPTION_STALL: u64 = 200;
+
+/// The Manticore machine: a configured grid with a program loaded.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    cores: Vec<CoreState>,
+    noc: Noc,
+    cache: Cache,
+    exceptions: Vec<manticore_isa::ExceptionDescriptor>,
+    vcycle_len: u64,
+    compute_time: u64,
+    counters: PerfCounters,
+    strict_hazards: bool,
+    finish_requested: bool,
+    events: Vec<HostEvent>,
+}
+
+impl Machine {
+    /// Boots a machine from a compiled binary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Load`] if the binary does not fit the
+    /// configuration (grid size, instruction memory, register file,
+    /// scratchpad, custom-function slots) or places privileged
+    /// instructions on a non-privileged core.
+    pub fn load(config: MachineConfig, binary: &Binary) -> Result<Machine, MachineError> {
+        if binary.grid_width as usize > config.grid_width
+            || binary.grid_height as usize > config.grid_height
+        {
+            return Err(MachineError::Load(format!(
+                "binary compiled for {}x{} grid but machine is {}x{}",
+                binary.grid_width, binary.grid_height, config.grid_width, config.grid_height
+            )));
+        }
+        if binary.vcycle_len == 0 {
+            return Err(MachineError::Load("vcycle_len must be non-zero".into()));
+        }
+        let mut cores: Vec<CoreState> = (0..config.num_cores())
+            .map(|_| CoreState::new(config.regfile_size, config.scratch_words))
+            .collect();
+        for image in &binary.cores {
+            let idx = image.core.linear(config.grid_width);
+            if image.core.x as usize >= config.grid_width
+                || image.core.y as usize >= config.grid_height
+            {
+                return Err(MachineError::Load(format!(
+                    "core image for {} outside grid",
+                    image.core
+                )));
+            }
+            if image.imem_footprint() > config.imem_capacity {
+                return Err(MachineError::Load(format!(
+                    "{}: program ({} body + {} epilogue) exceeds instruction memory ({})",
+                    image.core,
+                    image.body.len(),
+                    image.epilogue_len,
+                    config.imem_capacity
+                )));
+            }
+            if image.custom_functions.len() > config.num_custom_functions {
+                return Err(MachineError::Load(format!(
+                    "{}: {} custom functions exceed the {} slots",
+                    image.core,
+                    image.custom_functions.len(),
+                    config.num_custom_functions
+                )));
+            }
+            for instr in &image.body {
+                if instr.is_privileged() && image.core != CoreId::PRIVILEGED {
+                    return Err(MachineError::Load(format!(
+                        "privileged instruction {instr:?} on {}",
+                        image.core
+                    )));
+                }
+                if let Some(rd) = instr.dest() {
+                    if rd.index() >= config.regfile_size {
+                        return Err(MachineError::Load(format!(
+                            "{}: register {rd} out of range",
+                            image.core
+                        )));
+                    }
+                }
+            }
+            let core = &mut cores[idx];
+            core.body = image.body.clone();
+            core.epilogue_len = image.epilogue_len as usize;
+            core.epilogue = vec![None; core.epilogue_len];
+            core.custom_functions = image.custom_functions.clone();
+            for &(r, v) in &image.init_regs {
+                if r.index() >= config.regfile_size {
+                    return Err(MachineError::Load(format!("init reg {r} out of range")));
+                }
+                core.regs[r.index()] = v as u32;
+            }
+            for &(a, v) in &image.init_scratch {
+                if (a as usize) >= config.scratch_words {
+                    return Err(MachineError::Load(format!("init scratch {a} out of range")));
+                }
+                core.scratch[a as usize] = v;
+            }
+        }
+        let mut cache = Cache::new(config.cache);
+        for &(a, v) in &binary.init_dram {
+            cache.write_dram(a, v);
+        }
+        Ok(Machine {
+            noc: Noc::new(&config),
+            cache,
+            cores,
+            exceptions: binary.exceptions.clone(),
+            vcycle_len: binary.vcycle_len as u64,
+            compute_time: 0,
+            counters: PerfCounters::default(),
+            strict_hazards: true,
+            finish_requested: false,
+            events: Vec::new(),
+            config,
+        })
+    }
+
+    /// Boots from the serialized byte form (the bootloader path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization and load failures.
+    pub fn boot_from_bytes(config: MachineConfig, bytes: &[u8]) -> Result<Machine, MachineError> {
+        let binary = Binary::from_bytes(bytes).map_err(MachineError::Load)?;
+        Machine::load(config, &binary)
+    }
+
+    /// Disables strict hazard checking: premature reads return stale data
+    /// (what the real pipeline would do) instead of erroring. Used by
+    /// failure-injection tests.
+    pub fn set_strict_hazards(&mut self, strict: bool) {
+        self.strict_hazards = strict;
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Machine cycles per Vcycle (the compiler's VCPL).
+    pub fn vcycle_len(&self) -> u64 {
+        self.vcycle_len
+    }
+
+    /// Performance counters accumulated so far.
+    pub fn counters(&self) -> PerfCounters {
+        self.counters
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Reads a register as the host sees it at a Vcycle boundary (with
+    /// in-flight writes applied).
+    pub fn read_reg(&self, core: CoreId, reg: Reg) -> u16 {
+        self.cores[core.linear(self.config.grid_width)].reg_value_flushed(reg)
+    }
+
+    /// Reads a scratchpad word.
+    pub fn read_scratch(&self, core: CoreId, addr: usize) -> u16 {
+        self.cores[core.linear(self.config.grid_width)].scratch[addr]
+    }
+
+    /// Reads a global-memory word (through the coherent host view).
+    pub fn read_global(&self, addr: u64) -> u16 {
+        self.cache.peek(addr)
+    }
+
+    /// Runs up to `max_vcycles` virtual cycles.
+    ///
+    /// # Errors
+    ///
+    /// Any determinism violation or assertion failure aborts the run.
+    pub fn run_vcycles(&mut self, max_vcycles: u64) -> Result<RunOutcome, MachineError> {
+        let mut outcome = RunOutcome::default();
+        for _ in 0..max_vcycles {
+            if self.finish_requested {
+                break;
+            }
+            self.run_one_vcycle()?;
+            outcome.vcycles_run += 1;
+            for ev in self.events.drain(..) {
+                match ev {
+                    HostEvent::Display(s) => outcome.displays.push(s),
+                    HostEvent::Finish => outcome.finished = true,
+                }
+            }
+            if outcome.finished {
+                self.finish_requested = true;
+                break;
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn run_one_vcycle(&mut self) -> Result<(), MachineError> {
+        // Validate link-level NoC behaviour only on the first Vcycle: the
+        // compute domain is deterministic and the program periodic, so the
+        // link pattern repeats exactly.
+        let validate = self.counters.vcycles == 0;
+        for pos in 0..self.vcycle_len {
+            let now = self.compute_time;
+            // Deliver due messages before issue so a slot filled at cycle t
+            // is executable at cycle t.
+            for msg in self.noc.take_due(now) {
+                let idx = msg.target.linear(self.config.grid_width);
+                let core = &mut self.cores[idx];
+                match core.receive(msg.rd, msg.value) {
+                    None => return Err(MachineError::EpilogueOverflow { core: msg.target }),
+                    Some(slot) => {
+                        // The PC must not have passed the slot yet.
+                        if pos > (core.body.len() + slot) as u64 {
+                            return Err(MachineError::LateMessage {
+                                core: msg.target,
+                                slot,
+                            });
+                        }
+                    }
+                }
+                self.counters.messages_delivered += 1;
+            }
+            for idx in 0..self.cores.len() {
+                self.cores[idx].commit_due(now);
+                self.step_core(idx, pos, validate)?;
+            }
+            self.compute_time += 1;
+            self.counters.compute_cycles += 1;
+        }
+        // Vcycle wrap: every expected message must have arrived.
+        for (idx, core) in self.cores.iter_mut().enumerate() {
+            if core.received != core.epilogue_len {
+                let core_id = CoreId::new(
+                    (idx % self.config.grid_width) as u8,
+                    (idx / self.config.grid_width) as u8,
+                );
+                return Err(MachineError::MissingMessages {
+                    core: core_id,
+                    got: core.received,
+                    expected: core.epilogue_len,
+                });
+            }
+            core.wrap_vcycle();
+        }
+        self.counters.vcycles += 1;
+        Ok(())
+    }
+
+    fn core_id(&self, idx: usize) -> CoreId {
+        CoreId::new(
+            (idx % self.config.grid_width) as u8,
+            (idx / self.config.grid_width) as u8,
+        )
+    }
+
+    fn read_operand(&self, idx: usize, r: Reg, pos: u64) -> Result<u16, MachineError> {
+        let core = &self.cores[idx];
+        if self.strict_hazards && core.has_pending_write(r) {
+            return Err(MachineError::Hazard {
+                core: self.core_id(idx),
+                position: pos,
+                reg: r,
+            });
+        }
+        Ok(core.reg_value(r))
+    }
+
+    fn read_carry(&self, idx: usize, r: Reg, pos: u64) -> Result<bool, MachineError> {
+        let core = &self.cores[idx];
+        if self.strict_hazards && core.has_pending_write(r) {
+            return Err(MachineError::Hazard {
+                core: self.core_id(idx),
+                position: pos,
+                reg: r,
+            });
+        }
+        Ok(core.reg_carry(r))
+    }
+
+    fn step_core(&mut self, idx: usize, pos: u64, validate: bool) -> Result<(), MachineError> {
+        let body_len = self.cores[idx].body.len() as u64;
+        let epi_len = self.cores[idx].epilogue_len as u64;
+        let now = self.compute_time;
+        let lat = self.config.hazard_latency as u64;
+
+        // Epilogue region: execute received messages as SET instructions.
+        if pos >= body_len {
+            let slot = (pos - body_len) as usize;
+            if pos < body_len + epi_len {
+                let entry = self.cores[idx].epilogue[slot];
+                match entry {
+                    Some((rd, value)) => {
+                        self.cores[idx].write_reg(now, lat, rd, value, false);
+                        self.cores[idx].executed += 1;
+                        self.counters.instructions += 1;
+                    }
+                    None => {
+                        // The schedule should have made this impossible; it
+                        // is caught as a missing message at wrap. Treat the
+                        // slot as a NOP for this cycle.
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        let instr = self.cores[idx].body[pos as usize];
+        if !matches!(instr, Instruction::Nop) {
+            self.cores[idx].executed += 1;
+            self.counters.instructions += 1;
+        }
+        match instr {
+            Instruction::Nop => {}
+            Instruction::Set { rd, imm } => {
+                self.cores[idx].write_reg(now, lat, rd, imm, false);
+            }
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                let a = self.read_operand(idx, rs1, pos)?;
+                let b = self.read_operand(idx, rs2, pos)?;
+                let (v, c) = op.eval(a, b);
+                self.cores[idx].write_reg(now, lat, rd, v, c);
+            }
+            Instruction::AddCarry { rd, rs1, rs2, rs_carry } => {
+                let a = self.read_operand(idx, rs1, pos)? as u32;
+                let b = self.read_operand(idx, rs2, pos)? as u32;
+                let cin = self.read_carry(idx, rs_carry, pos)? as u32;
+                let sum = a + b + cin;
+                self.cores[idx].write_reg(now, lat, rd, sum as u16, sum > 0xffff);
+            }
+            Instruction::SubBorrow { rd, rs1, rs2, rs_borrow } => {
+                let a = self.read_operand(idx, rs1, pos)? as i32;
+                let b = self.read_operand(idx, rs2, pos)? as i32;
+                let carry_in = self.read_carry(idx, rs_borrow, pos)? as i32;
+                let diff = a - b - (1 - carry_in);
+                self.cores[idx].write_reg(now, lat, rd, diff as u16, diff >= 0);
+            }
+            Instruction::Mux { rd, rs_sel, rs1, rs2 } => {
+                let sel = self.read_operand(idx, rs_sel, pos)?;
+                let a = self.read_operand(idx, rs1, pos)?;
+                let b = self.read_operand(idx, rs2, pos)?;
+                let v = if sel != 0 { a } else { b };
+                self.cores[idx].write_reg(now, lat, rd, v, false);
+            }
+            Instruction::Slice { rd, rs, offset, width } => {
+                let v = self.read_operand(idx, rs, pos)?;
+                let mask = if width >= 16 { 0xffff } else { (1u16 << width) - 1 };
+                self.cores[idx].write_reg(now, lat, rd, (v >> offset) & mask, false);
+            }
+            Instruction::Custom { rd, func, rs } => {
+                let table = *self.cores[idx]
+                    .custom_functions
+                    .get(func as usize)
+                    .ok_or_else(|| {
+                        MachineError::Load(format!(
+                            "custom function {func} not programmed on {}",
+                            self.core_id(idx)
+                        ))
+                    })?;
+                let a = self.read_operand(idx, rs[0], pos)?;
+                let b = self.read_operand(idx, rs[1], pos)?;
+                let c = self.read_operand(idx, rs[2], pos)?;
+                let d = self.read_operand(idx, rs[3], pos)?;
+                let mut out = 0u16;
+                for lane in 0..16 {
+                    let sel = ((a >> lane) & 1)
+                        | (((b >> lane) & 1) << 1)
+                        | (((c >> lane) & 1) << 2)
+                        | (((d >> lane) & 1) << 3);
+                    out |= ((table[lane] >> sel) & 1) << lane;
+                }
+                self.cores[idx].write_reg(now, lat, rd, out, false);
+            }
+            Instruction::Predicate { rs } => {
+                let v = self.read_operand(idx, rs, pos)?;
+                self.cores[idx].predicate = v != 0;
+            }
+            Instruction::LocalLoad { rd, rs_addr, base } => {
+                let a = self.read_operand(idx, rs_addr, pos)?;
+                let addr = (base as usize + a as usize) % self.config.scratch_words;
+                let v = self.cores[idx].scratch[addr];
+                self.cores[idx].write_reg(now, lat, rd, v, false);
+            }
+            Instruction::LocalStore { rs_data, rs_addr, base } => {
+                let v = self.read_operand(idx, rs_data, pos)?;
+                let a = self.read_operand(idx, rs_addr, pos)?;
+                if self.cores[idx].predicate {
+                    let addr = (base as usize + a as usize) % self.config.scratch_words;
+                    self.cores[idx].scratch[addr] = v;
+                }
+            }
+            Instruction::GlobalLoad { rd, rs_addr } => {
+                self.require_privileged(idx)?;
+                let addr = self.global_addr(idx, rs_addr, pos)?;
+                let (v, stall) = self.cache.load(addr);
+                self.counters.stall_cycles += stall;
+                self.cores[idx].write_reg(now, lat, rd, v, false);
+            }
+            Instruction::GlobalStore { rs_data, rs_addr } => {
+                self.require_privileged(idx)?;
+                let v = self.read_operand(idx, rs_data, pos)?;
+                let addr = self.global_addr(idx, rs_addr, pos)?;
+                if self.cores[idx].predicate {
+                    let stall = self.cache.store(addr, v);
+                    self.counters.stall_cycles += stall;
+                }
+            }
+            Instruction::Send { target, rd_remote, rs } => {
+                let v = self.read_operand(idx, rs, pos)?;
+                let from = self.core_id(idx);
+                self.counters.sends += 1;
+                self.noc
+                    .send(from, target, rd_remote, v, now, pos, validate)
+                    .map_err(|c| MachineError::LinkCollision {
+                        link: c.link,
+                        position: c.position,
+                    })?;
+            }
+            Instruction::Expect { rs1, rs2, eid } => {
+                self.require_privileged(idx)?;
+                let a = self.read_operand(idx, rs1, pos)?;
+                let b = self.read_operand(idx, rs2, pos)?;
+                if a != b {
+                    self.service_exception(idx, eid)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn require_privileged(&self, idx: usize) -> Result<(), MachineError> {
+        if self.core_id(idx) != CoreId::PRIVILEGED {
+            return Err(MachineError::NotPrivileged {
+                core: self.core_id(idx),
+            });
+        }
+        Ok(())
+    }
+
+    fn global_addr(&self, idx: usize, rs_addr: [Reg; 3], pos: u64) -> Result<u64, MachineError> {
+        let lo = self.read_operand(idx, rs_addr[0], pos)? as u64;
+        let mid = self.read_operand(idx, rs_addr[1], pos)? as u64;
+        let hi = self.read_operand(idx, rs_addr[2], pos)? as u64;
+        Ok(lo | (mid << 16) | (hi << 32))
+    }
+
+    /// Services an `Expect` exception: the grid stalls and the host acts on
+    /// the descriptor.
+    fn service_exception(&mut self, idx: usize, eid: u16) -> Result<(), MachineError> {
+        self.counters.exceptions += 1;
+        self.counters.stall_cycles += EXCEPTION_STALL;
+        let desc = self
+            .exceptions
+            .iter()
+            .find(|d| d.id.0 == eid)
+            .ok_or(MachineError::UnknownException { eid })?
+            .clone();
+        match desc.kind {
+            ExceptionKind::Display { format, args } => {
+                let core = &self.cores[idx];
+                let rendered = render_display(&format, &args, |r| core.reg_value_flushed(r));
+                self.events.push(HostEvent::Display(rendered));
+            }
+            ExceptionKind::AssertFail { message } => {
+                return Err(MachineError::AssertFailed {
+                    message,
+                    vcycle: self.counters.vcycles,
+                });
+            }
+            ExceptionKind::Finish => {
+                self.events.push(HostEvent::Finish);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders a display format string; `{}` placeholders print arguments in
+/// hex, assembled from their 16-bit words (LSW first).
+fn render_display(
+    format: &str,
+    args: &[(Vec<Reg>, usize)],
+    read: impl Fn(Reg) -> u16,
+) -> String {
+    let mut out = String::with_capacity(format.len() + 16);
+    let mut arg_iter = args.iter();
+    let mut chars = format.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '{' && chars.peek() == Some(&'}') {
+            chars.next();
+            match arg_iter.next() {
+                Some((regs, _width)) => {
+                    let words: Vec<u16> = regs.iter().map(|&r| read(r)).collect();
+                    out.push_str(&hex_of_words(&words));
+                }
+                None => out.push_str("<missing>"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Hex rendering of a little-endian word vector without leading zeros.
+fn hex_of_words(words: &[u16]) -> String {
+    let mut s = String::new();
+    let mut started = false;
+    for w in words.iter().rev() {
+        if started {
+            s.push_str(&format!("{w:04x}"));
+        } else if *w != 0 {
+            s.push_str(&format!("{w:x}"));
+            started = true;
+        }
+    }
+    if !started {
+        s.push('0');
+    }
+    s
+}
+
+/// Utilization report: executed instructions per core (for Fig. 9-style
+/// breakdowns measured on the machine rather than predicted).
+impl Machine {
+    /// Executed (non-NOP) instruction count for every core, row-major.
+    pub fn executed_per_core(&self) -> Vec<u64> {
+        self.cores.iter().map(|c| c.executed).collect()
+    }
+}

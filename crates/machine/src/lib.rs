@@ -1,0 +1,38 @@
+//! Cycle-accurate software model of the Manticore processor grid.
+//!
+//! This crate is the substitute for the paper's FPGA prototype (§5): a grid
+//! of simple 16-bit cores on a unidirectional 2D torus NoC, executing one
+//! instruction per cycle in strict lockstep, with
+//!
+//! - a *write-buffer pipeline model*: a register written at cycle `t`
+//!   commits at `t + hazard_latency`, modelling the 14-stage pipeline with
+//!   no forwarding or interlocks — reading too early returns stale data
+//!   (or, in strict mode, reports a compiler scheduling bug);
+//! - *bufferless NoC switches* with dimension-ordered routing that drop
+//!   messages on link collision — the model detects and reports any
+//!   collision, since the compiler's static schedule must make them
+//!   impossible;
+//! - the *message-as-instruction* receive mechanism: an arriving message is
+//!   written into the tail of the target's instruction memory as a `Set`
+//!   and executed when the program counter reaches it (§5.2);
+//! - the *global stall*: privileged cache/DRAM accesses and exceptions
+//!   freeze the whole compute clock domain, so they appear to the compiler
+//!   as fixed-latency operations (§5.3);
+//! - hardware performance counters (total/stall cycles, cache hits/misses)
+//!   used by the paper's Fig. 8 experiment.
+//!
+//! Determinism violations (data hazards the compiler failed to schedule
+//! around, NoC collisions, late messages) surface as [`MachineError`]s —
+//! exactly the failures that would silently corrupt results on the real
+//! hardware.
+
+mod cache;
+mod core;
+mod grid;
+mod noc;
+
+pub use cache::{Cache, CacheStats};
+pub use grid::{HostEvent, Machine, MachineError, PerfCounters, RunOutcome};
+
+#[cfg(test)]
+mod tests;

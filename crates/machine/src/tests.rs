@@ -1,0 +1,648 @@
+//! Machine-model tests using hand-assembled programs.
+//!
+//! These tests play the role of the paper's hardware bring-up suite: each
+//! exercises one architectural mechanism (pipeline hazards, NoC routing and
+//! collisions, message epilogue, global stall, exceptions, custom
+//! functions) with a program small enough to reason about by hand.
+
+use manticore_isa::{
+    AluOp, Binary, CoreId, CoreImage, ExceptionDescriptor, ExceptionId, ExceptionKind,
+    Instruction, MachineConfig, Reg,
+};
+
+use crate::{Machine, MachineError};
+
+/// A small test configuration: short pipeline so programs stay readable.
+fn test_config(w: usize, h: usize) -> MachineConfig {
+    MachineConfig {
+        grid_width: w,
+        grid_height: h,
+        hazard_latency: 2,
+        injection_latency: 2,
+        hop_latency: 1,
+        ..Default::default()
+    }
+}
+
+fn r(n: u16) -> Reg {
+    Reg(n)
+}
+
+fn empty_binary(w: u32, h: u32, vcycle_len: u32) -> Binary {
+    Binary {
+        grid_width: w,
+        grid_height: h,
+        vcycle_len,
+        cores: vec![],
+        exceptions: vec![],
+        init_dram: vec![],
+    }
+}
+
+#[test]
+fn counter_increments_every_vcycle() {
+    let mut binary = empty_binary(1, 1, 4);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Alu {
+            op: AluOp::Add,
+            rd: r(1),
+            rs1: r(1),
+            rs2: r(2),
+        }],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 0), (r(2), 1)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.run_vcycles(5).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(1)), 5);
+    assert_eq!(m.counters().vcycles, 5);
+    assert_eq!(m.counters().compute_cycles, 20);
+    assert_eq!(m.counters().instructions, 5);
+}
+
+#[test]
+fn strict_mode_catches_data_hazard() {
+    // The second add reads r1 one cycle after it was written: with a
+    // 2-cycle hazard latency the write is still in flight.
+    let mut binary = empty_binary(1, 1, 6);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            Instruction::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(2) },
+            Instruction::Alu { op: AluOp::Add, rd: r(3), rs1: r(1), rs2: r(2) },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(2), 5)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    match m.run_vcycles(1) {
+        Err(MachineError::Hazard { reg, position, .. }) => {
+            assert_eq!(reg, r(1));
+            assert_eq!(position, 1);
+        }
+        other => panic!("expected hazard, got {other:?}"),
+    }
+}
+
+#[test]
+fn permissive_mode_reads_stale_value() {
+    let mut binary = empty_binary(1, 1, 6);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            Instruction::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(2) },
+            // reads the STALE r1 (= 0), so r3 = 0 + 5
+            Instruction::Alu { op: AluOp::Add, rd: r(3), rs1: r(1), rs2: r(2) },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(2), 5)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.set_strict_hazards(false);
+    m.run_vcycles(1).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(3)), 5); // stale read
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(1)), 10);
+}
+
+#[test]
+fn hazard_respected_after_latency() {
+    // Writer at position 0, reader at position 2 (= hazard latency): legal.
+    let mut binary = empty_binary(1, 1, 6);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            Instruction::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(2) },
+            Instruction::Nop,
+            Instruction::Alu { op: AluOp::Add, rd: r(3), rs1: r(1), rs2: r(2) },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(2), 5)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.run_vcycles(1).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(3)), 15);
+}
+
+#[test]
+fn wide_add_carry_chain() {
+    // 32-bit add: 0x0001_ffff + 0x0000_0001 = 0x0002_0000.
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            // low word: r10 = 0xffff + 0x0001 (sets carry)
+            Instruction::Alu { op: AluOp::Add, rd: r(10), rs1: r(1), rs2: r(3) },
+            Instruction::Nop,
+            Instruction::Nop,
+            // high word: r11 = 0x0001 + 0x0000 + carry(r10)
+            Instruction::AddCarry { rd: r(11), rs1: r(2), rs2: r(4), rs_carry: r(10) },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 0xffff), (r(2), 0x0001), (r(3), 0x0001), (r(4), 0x0000)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.run_vcycles(1).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(10)), 0x0000);
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(11)), 0x0002);
+}
+
+#[test]
+fn wide_sub_borrow_chain() {
+    // 32-bit sub: 0x0002_0000 - 0x0000_0001 = 0x0001_ffff.
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            Instruction::Alu { op: AluOp::Sub, rd: r(10), rs1: r(1), rs2: r(3) },
+            Instruction::Nop,
+            Instruction::Nop,
+            Instruction::SubBorrow { rd: r(11), rs1: r(2), rs2: r(4), rs_borrow: r(10) },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 0x0000), (r(2), 0x0002), (r(3), 0x0001), (r(4), 0x0000)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.run_vcycles(1).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(10)), 0xffff);
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(11)), 0x0001);
+}
+
+#[test]
+fn send_delivers_to_remote_epilogue() {
+    // Core (0,0) computes and sends to (1,0); the value lands in the
+    // target's register via its epilogue SET.
+    let mut binary = empty_binary(2, 1, 12);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            Instruction::Alu { op: AluOp::Add, rd: r(1), rs1: r(1), rs2: r(2) },
+            Instruction::Nop,
+            Instruction::Send { target: CoreId::new(1, 0), rd_remote: r(5), rs: r(1) },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 0), (r(2), 1)],
+        init_scratch: vec![],
+    });
+    binary.cores.push(CoreImage {
+        core: CoreId::new(1, 0),
+        // Body long enough that the epilogue slot executes after arrival
+        // (send at pos 2, +2 injection +1 hop = arrives at pos 5).
+        body: vec![Instruction::Nop; 6],
+        epilogue_len: 1,
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(2, 1), &binary).unwrap();
+    m.run_vcycles(3).unwrap();
+    // After 3 Vcycles, (0,0) has sent 1, 2, 3; the last delivered value is 3.
+    assert_eq!(m.read_reg(CoreId::new(1, 0), r(5)), 3);
+    assert_eq!(m.counters().sends, 3);
+    assert_eq!(m.counters().messages_delivered, 3);
+}
+
+#[test]
+fn late_message_detected() {
+    // Target body is too short: PC reaches the epilogue slot before the
+    // message arrives.
+    let mut binary = empty_binary(2, 1, 12);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            Instruction::Nop,
+            Instruction::Nop,
+            Instruction::Send { target: CoreId::new(1, 0), rd_remote: r(5), rs: r(0) },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    binary.cores.push(CoreImage {
+        core: CoreId::new(1, 0),
+        body: vec![], // slot 0 executes at position 0, long before arrival
+        epilogue_len: 1,
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(2, 1), &binary).unwrap();
+    match m.run_vcycles(1) {
+        Err(MachineError::LateMessage { core, slot }) => {
+            assert_eq!(core, CoreId::new(1, 0));
+            assert_eq!(slot, 0);
+        }
+        other => panic!("expected late message, got {other:?}"),
+    }
+}
+
+#[test]
+fn link_collision_detected() {
+    // (0,0) and (1,0) both route through the x-link out of (1,0) in the
+    // same cycle.
+    let mut binary = empty_binary(3, 1, 16);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Send {
+            target: CoreId::new(2, 0),
+            rd_remote: r(5),
+            rs: r(0),
+        }],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    binary.cores.push(CoreImage {
+        core: CoreId::new(1, 0),
+        body: vec![
+            Instruction::Nop,
+            Instruction::Send { target: CoreId::new(2, 0), rd_remote: r(6), rs: r(0) },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    binary.cores.push(CoreImage {
+        core: CoreId::new(2, 0),
+        body: vec![Instruction::Nop; 10],
+        epilogue_len: 2,
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(3, 1), &binary).unwrap();
+    match m.run_vcycles(1) {
+        Err(MachineError::LinkCollision { .. }) => {}
+        other => panic!("expected collision, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_message_detected_at_wrap() {
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Nop],
+        epilogue_len: 1, // nobody sends to us
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    match m.run_vcycles(1) {
+        Err(MachineError::MissingMessages { got, expected, .. }) => {
+            assert_eq!((got, expected), (0, 1));
+        }
+        other => panic!("expected missing messages, got {other:?}"),
+    }
+}
+
+#[test]
+fn local_memory_and_predicate() {
+    let mut binary = empty_binary(1, 1, 16);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            // predicate on (r1 = 1): store r2 at scratch[base=100 + r0]
+            Instruction::Predicate { rs: r(1) },
+            Instruction::LocalStore { rs_data: r(2), rs_addr: r(0), base: 100 },
+            // predicate off (r0 = 0): store must NOT happen
+            Instruction::Predicate { rs: r(0) },
+            Instruction::LocalStore { rs_data: r(3), rs_addr: r(0), base: 100 },
+            // load it back
+            Instruction::LocalLoad { rd: r(4), rs_addr: r(0), base: 100 },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 1), (r(2), 0xaaaa), (r(3), 0xbbbb)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.run_vcycles(1).unwrap();
+    assert_eq!(m.read_scratch(CoreId::new(0, 0), 100), 0xaaaa);
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(4)), 0xaaaa);
+}
+
+#[test]
+fn global_memory_hits_and_misses() {
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::GlobalLoad {
+            rd: r(10),
+            rs_addr: [r(1), r(0), r(0)],
+        }],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 4)],
+        init_scratch: vec![],
+    });
+    binary.init_dram.push((4, 0xd00d));
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.run_vcycles(3).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(10)), 0xd00d);
+    let stats = m.cache_stats();
+    assert_eq!(stats.misses, 1); // first access fills the line
+    assert_eq!(stats.hits, 2); // subsequent Vcycles hit
+    assert!(m.counters().stall_cycles > 0);
+}
+
+#[test]
+fn global_store_writes_back() {
+    let cfg = test_config(1, 1);
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            Instruction::Predicate { rs: r(1) },
+            Instruction::GlobalStore { rs_data: r(2), rs_addr: [r(3), r(0), r(0)] },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 1), (r(2), 0xfeed), (r(3), 1000)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(cfg, &binary).unwrap();
+    m.run_vcycles(1).unwrap();
+    assert_eq!(m.read_global(1000), 0xfeed);
+}
+
+#[test]
+fn privileged_on_wrong_core_rejected_at_load() {
+    let mut binary = empty_binary(2, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(1, 0),
+        body: vec![Instruction::GlobalLoad {
+            rd: r(1),
+            rs_addr: [r(0), r(0), r(0)],
+        }],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    assert!(matches!(
+        Machine::load(test_config(2, 1), &binary),
+        Err(MachineError::Load(_))
+    ));
+}
+
+#[test]
+fn custom_function_lut() {
+    // Truth table for out = a & b: bits set where sel has bits 0 and 1,
+    // replicated across all 16 lanes.
+    let table = [0x8888u16; 16]; // indices 3, 7, 11, 15
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Custom {
+            rd: r(3),
+            func: 0,
+            rs: [r(1), r(2), r(0), r(0)],
+        }],
+        epilogue_len: 0,
+        custom_functions: vec![table],
+        init_regs: vec![(r(1), 0xff0f), (r(2), 0x0ff0)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.run_vcycles(1).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(3)), 0x0f00);
+}
+
+#[test]
+fn display_exception_renders() {
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Expect { rs1: r(1), rs2: r(0), eid: 0 }],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 1), (r(2), 0xbeef), (r(3), 0xdead)],
+        init_scratch: vec![],
+    });
+    binary.exceptions.push(ExceptionDescriptor {
+        id: ExceptionId(0),
+        kind: ExceptionKind::Display {
+            format: "value = {}".into(),
+            args: vec![(vec![r(2), r(3)], 32)],
+        },
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    let out = m.run_vcycles(2).unwrap();
+    assert_eq!(out.displays, vec!["value = deadbeef", "value = deadbeef"]);
+    assert_eq!(m.counters().exceptions, 2);
+    assert!(m.counters().stall_cycles >= 400);
+}
+
+#[test]
+fn finish_exception_stops_run() {
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            // counter
+            Instruction::Alu { op: AluOp::Add, rd: r(1), rs1: r(1), rs2: r(2) },
+            Instruction::Nop,
+            Instruction::Nop,
+            // done = (r1 == 3)
+            Instruction::Alu { op: AluOp::Seq, rd: r(4), rs1: r(1), rs2: r(3) },
+            Instruction::Nop,
+            Instruction::Nop,
+            Instruction::Expect { rs1: r(4), rs2: r(0), eid: 0 },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 0), (r(2), 1), (r(3), 3)],
+        init_scratch: vec![],
+    });
+    binary.exceptions.push(ExceptionDescriptor {
+        id: ExceptionId(0),
+        kind: ExceptionKind::Finish,
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    let out = m.run_vcycles(100).unwrap();
+    assert!(out.finished);
+    assert_eq!(out.vcycles_run, 3);
+}
+
+#[test]
+fn assert_fail_aborts() {
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Expect { rs1: r(1), rs2: r(2), eid: 7 }],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 1), (r(2), 2)],
+        init_scratch: vec![],
+    });
+    binary.exceptions.push(ExceptionDescriptor {
+        id: ExceptionId(7),
+        kind: ExceptionKind::AssertFail { message: "values diverged".into() },
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    match m.run_vcycles(1) {
+        Err(MachineError::AssertFailed { message, vcycle }) => {
+            assert_eq!(message, "values diverged");
+            assert_eq!(vcycle, 0);
+        }
+        other => panic!("expected assert failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn boot_from_serialized_bytes() {
+    let mut binary = empty_binary(1, 1, 4);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Alu {
+            op: AluOp::Add,
+            rd: r(1),
+            rs1: r(1),
+            rs2: r(2),
+        }],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 0), (r(2), 2)],
+        init_scratch: vec![],
+    });
+    let bytes = binary.to_bytes();
+    let mut m = Machine::boot_from_bytes(test_config(1, 1), &bytes).unwrap();
+    m.run_vcycles(4).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(1)), 8);
+}
+
+#[test]
+fn imem_overflow_rejected() {
+    let cfg = test_config(1, 1);
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Nop; cfg.imem_capacity + 1],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    assert!(matches!(
+        Machine::load(cfg, &binary),
+        Err(MachineError::Load(_))
+    ));
+}
+
+#[test]
+fn mul_and_mulh_compose() {
+    // 0x1234 * 0x5678 = 0x06260060, split across Mul/Mulh.
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![
+            Instruction::Alu { op: AluOp::Mul, rd: r(3), rs1: r(1), rs2: r(2) },
+            Instruction::Alu { op: AluOp::Mulh, rd: r(4), rs1: r(1), rs2: r(2) },
+        ],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 0x1234), (r(2), 0x5678)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.run_vcycles(1).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(3)), 0x0060);
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(4)), 0x0626);
+}
+
+mod cache_unit {
+    //! Direct unit tests for the cache + DRAM model (the global-stall
+    //! timing source of Fig. 8).
+
+    use manticore_isa::CacheConfig;
+
+    use crate::Cache;
+
+    fn small_cache() -> Cache {
+        Cache::new(CacheConfig {
+            capacity_words: 64,
+            line_words: 8,
+            hit_stall: 2,
+            miss_stall: 10,
+            writeback_stall: 5,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hits_within_line() {
+        let mut c = small_cache();
+        c.write_dram(3, 77);
+        let (v, stall) = c.load(3);
+        assert_eq!(v, 77);
+        assert_eq!(stall, 12); // hit_stall + miss_stall
+        // Same line: hits.
+        for addr in 0..8 {
+            let (_, stall) = c.load(addr);
+            assert_eq!(stall, 2, "address {addr} should hit");
+        }
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 8);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = small_cache(); // 8 lines of 8 words
+        c.write_dram(0, 11);
+        c.write_dram(64, 22); // maps to the same line (64 words capacity)
+        let (v1, _) = c.load(0);
+        let (v2, _) = c.load(64);
+        let (v3, _) = c.load(0); // evicted, miss again
+        assert_eq!((v1, v2, v3), (11, 22, 11));
+        assert_eq!(c.stats().misses, 3);
+        assert_eq!(c.stats().writebacks, 0); // clean evictions
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = small_cache();
+        let s1 = c.store(0, 99); // miss + fill + dirty
+        assert_eq!(s1, 12);
+        let s2 = c.load(64).1; // evicts dirty line 0: writeback + fill
+        assert_eq!(s2, 17); // hit(2) + miss(10) + writeback(5)
+        assert_eq!(c.stats().writebacks, 1);
+        // The value survived in DRAM.
+        let (v, _) = c.load(0);
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn peek_sees_dirty_cached_data() {
+        let mut c = small_cache();
+        c.store(5, 42);
+        assert_eq!(c.peek(5), 42); // cached, not yet in DRAM
+        assert_eq!(c.peek(64 + 5), 0); // different line, untouched
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut c = small_cache();
+        c.load(0); // miss
+        c.load(1); // hit
+        c.load(2); // hit
+        c.load(3); // hit
+        assert!((c.stats().hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,569 @@
+//! A typed builder DSL for constructing netlists.
+//!
+//! This module stands in for the paper's Yosys Verilog frontend: workload
+//! generators describe circuits with ordinary Rust code and the builder
+//! enforces the structural invariants (width agreement, id validity,
+//! acyclicity) that a synthesis frontend would guarantee.
+
+use std::fmt;
+
+use manticore_bits::{Bits, MAX_WIDTH};
+
+use crate::ir::{
+    CellOp, DisplayCell, ExpectCell, FinishCell, MemWrite, Memory, MemoryId, Net, NetId, Netlist,
+    RegId, Register,
+};
+use crate::topo;
+
+/// Error produced when a netlist violates a structural invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A register was created but [`NetlistBuilder::set_next`] was never
+    /// called for it.
+    UnconnectedRegister {
+        /// Name of the offending register.
+        name: String,
+    },
+    /// The combinational logic contains a cycle (no valid evaluation order).
+    CombinationalLoop {
+        /// One net on the cycle, for diagnostics.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnconnectedRegister { name } => {
+                write!(f, "register `{name}` has no next-value connection")
+            }
+            BuildError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net {net:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Handle to a register under construction. Obtain with
+/// [`NetlistBuilder::reg`]; read the current value with [`RegHandle::q`] and
+/// connect the next value with [`NetlistBuilder::set_next`].
+#[derive(Debug, Clone, Copy)]
+pub struct RegHandle {
+    pub(crate) id: RegId,
+    pub(crate) q: NetId,
+    pub(crate) width: usize,
+}
+
+impl RegHandle {
+    /// The net carrying the register's current-cycle value.
+    pub fn q(&self) -> NetId {
+        self.q
+    }
+
+    /// The register id.
+    pub fn id(&self) -> RegId {
+        self.id
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Handle to a memory bank under construction.
+#[derive(Debug, Clone, Copy)]
+pub struct MemHandle {
+    pub(crate) id: MemoryId,
+    pub(crate) depth: usize,
+    pub(crate) width: usize,
+}
+
+impl MemHandle {
+    /// The memory id.
+    pub fn id(&self) -> MemoryId {
+        self.id
+    }
+
+    /// Number of words.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Builds a [`Netlist`] cell by cell.
+///
+/// Construction methods panic on width mismatches — these are design bugs in
+/// the circuit generator, exactly like a Verilog elaboration error, so they
+/// are not recoverable conditions. [`NetlistBuilder::finish_build`] returns
+/// a [`BuildError`] for global properties (unconnected registers,
+/// combinational loops) that can only be checked at the end.
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    nets: Vec<Net>,
+    registers: Vec<RegisterSlot>,
+    memories: Vec<Memory>,
+    inputs: Vec<(String, NetId)>,
+    outputs: Vec<(String, NetId)>,
+    displays: Vec<DisplayCell>,
+    expects: Vec<ExpectCell>,
+    finishes: Vec<FinishCell>,
+    next_expect_id: u32,
+}
+
+#[derive(Debug)]
+struct RegisterSlot {
+    name: String,
+    width: usize,
+    init: Bits,
+    q: NetId,
+    next: Option<NetId>,
+}
+
+impl NetlistBuilder {
+    /// Creates a builder for a design called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            nets: Vec::new(),
+            registers: Vec::new(),
+            memories: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            displays: Vec::new(),
+            expects: Vec::new(),
+            finishes: Vec::new(),
+            next_expect_id: 0,
+        }
+    }
+
+    fn push(&mut self, op: CellOp, args: Vec<NetId>, width: usize) -> NetId {
+        assert!(width > 0 && width <= MAX_WIDTH, "invalid net width {width}");
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { op, args, width });
+        id
+    }
+
+    /// Width of an existing net.
+    pub fn width(&self, net: NetId) -> usize {
+        self.nets[net.index()].width
+    }
+
+    fn check_same(&self, a: NetId, b: NetId, what: &str) -> usize {
+        let (wa, wb) = (self.width(a), self.width(b));
+        assert_eq!(wa, wb, "{what}: operand widths differ ({wa} vs {wb})");
+        wa
+    }
+
+    // ------------------------------------------------------------------
+    // Sources
+    // ------------------------------------------------------------------
+
+    /// A constant net holding `value`.
+    pub fn constant(&mut self, value: Bits) -> NetId {
+        let w = value.width();
+        self.push(CellOp::Const(value), vec![], w)
+    }
+
+    /// A constant net from a `u64` literal (convenience for
+    /// [`NetlistBuilder::constant`]).
+    pub fn lit(&mut self, value: u64, width: usize) -> NetId {
+        self.constant(Bits::from_u64(value, width))
+    }
+
+    /// A primary input named `name`, driven by the stimulus each cycle.
+    pub fn input(&mut self, name: impl Into<String>, width: usize) -> NetId {
+        let id = self.push(CellOp::Input, vec![], width);
+        self.inputs.push((name.into(), id));
+        id
+    }
+
+    /// Declares a register; returns a handle whose `q()` net reads the
+    /// current value. The next value must be connected with
+    /// [`NetlistBuilder::set_next`] before [`NetlistBuilder::finish_build`].
+    pub fn reg(&mut self, name: impl Into<String>, width: usize, init: u64) -> RegHandle {
+        self.reg_init(name, width, Bits::from_u64(init, width))
+    }
+
+    /// Like [`NetlistBuilder::reg`] with an arbitrary-width initial value.
+    pub fn reg_init(&mut self, name: impl Into<String>, width: usize, init: Bits) -> RegHandle {
+        assert_eq!(init.width(), width, "register init width mismatch");
+        let reg_id = RegId(self.registers.len() as u32);
+        let q = self.push(CellOp::RegQ(reg_id), vec![], width);
+        self.registers.push(RegisterSlot {
+            name: name.into(),
+            width,
+            init,
+            q,
+            next: None,
+        });
+        RegHandle {
+            id: reg_id,
+            q,
+            width,
+        }
+    }
+
+    /// Connects the next-cycle value of `reg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or double connection.
+    pub fn set_next(&mut self, reg: RegHandle, next: NetId) {
+        assert_eq!(
+            self.width(next),
+            reg.width,
+            "register `{}` next-value width mismatch",
+            self.registers[reg.id.index()].name
+        );
+        let slot = &mut self.registers[reg.id.index()];
+        assert!(
+            slot.next.is_none(),
+            "register `{}` already has a next value",
+            slot.name
+        );
+        slot.next = Some(next);
+    }
+
+    /// Convenience: a register that holds `next` when `en` is set, else its
+    /// own value (`if (en) r <= next`).
+    pub fn reg_en(&mut self, name: impl Into<String>, init: u64, next: NetId, en: NetId) -> NetId {
+        let w = self.width(next);
+        let r = self.reg(name, w, init);
+        let held = self.mux(en, next, r.q());
+        self.set_next(r, held);
+        r.q()
+    }
+
+    /// Declares a memory with all-zero initial contents.
+    pub fn memory(&mut self, name: impl Into<String>, depth: usize, width: usize) -> MemHandle {
+        self.memory_init(name, depth, width, Vec::new())
+    }
+
+    /// Declares a memory with initial contents (`init` may be shorter than
+    /// `depth`; remaining words are zero).
+    pub fn memory_init(
+        &mut self,
+        name: impl Into<String>,
+        depth: usize,
+        width: usize,
+        init: Vec<Bits>,
+    ) -> MemHandle {
+        assert!(depth > 0, "memory depth must be non-zero");
+        assert!(init.len() <= depth, "memory init longer than depth");
+        for w in &init {
+            assert_eq!(w.width(), width, "memory init word width mismatch");
+        }
+        let id = MemoryId(self.memories.len() as u32);
+        self.memories.push(Memory {
+            name: name.into(),
+            depth,
+            width,
+            init,
+            writes: Vec::new(),
+        });
+        MemHandle { id, depth, width }
+    }
+
+    /// Asynchronous read port: `mem[addr]`.
+    pub fn mem_read(&mut self, mem: MemHandle, addr: NetId) -> NetId {
+        self.push(CellOp::MemRead(mem.id), vec![addr], mem.width)
+    }
+
+    /// Synchronous write port: `if (en) mem[addr] <= data` at the clock edge.
+    pub fn mem_write(&mut self, mem: MemHandle, addr: NetId, data: NetId, en: NetId) {
+        assert_eq!(self.width(data), mem.width, "memory write data width");
+        assert_eq!(self.width(en), 1, "memory write enable must be 1 bit");
+        self.memories[mem.id.index()]
+            .writes
+            .push(MemWrite { addr, data, en });
+    }
+
+    // ------------------------------------------------------------------
+    // Combinational operators
+    // ------------------------------------------------------------------
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        let w = self.check_same(a, b, "and");
+        self.push(CellOp::And, vec![a, b], w)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        let w = self.check_same(a, b, "or");
+        self.push(CellOp::Or, vec![a, b], w)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        let w = self.check_same(a, b, "xor");
+        self.push(CellOp::Xor, vec![a, b], w)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        let w = self.width(a);
+        self.push(CellOp::Not, vec![a], w)
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: NetId, b: NetId) -> NetId {
+        let w = self.check_same(a, b, "add");
+        self.push(CellOp::Add, vec![a, b], w)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: NetId, b: NetId) -> NetId {
+        let w = self.check_same(a, b, "sub");
+        self.push(CellOp::Sub, vec![a, b], w)
+    }
+
+    /// Wrapping multiplication (result width = operand width).
+    pub fn mul(&mut self, a: NetId, b: NetId) -> NetId {
+        let w = self.check_same(a, b, "mul");
+        self.push(CellOp::Mul, vec![a, b], w)
+    }
+
+    /// Equality (1-bit result).
+    pub fn eq(&mut self, a: NetId, b: NetId) -> NetId {
+        self.check_same(a, b, "eq");
+        self.push(CellOp::Eq, vec![a, b], 1)
+    }
+
+    /// Inequality (1-bit result), sugar for `not(eq(a, b))`.
+    pub fn ne(&mut self, a: NetId, b: NetId) -> NetId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Unsigned less-than (1-bit result).
+    pub fn ult(&mut self, a: NetId, b: NetId) -> NetId {
+        self.check_same(a, b, "ult");
+        self.push(CellOp::Ult, vec![a, b], 1)
+    }
+
+    /// Signed less-than (1-bit result).
+    pub fn slt(&mut self, a: NetId, b: NetId) -> NetId {
+        self.check_same(a, b, "slt");
+        self.push(CellOp::Slt, vec![a, b], 1)
+    }
+
+    /// Unsigned greater-or-equal (1-bit result).
+    pub fn uge(&mut self, a: NetId, b: NetId) -> NetId {
+        let lt = self.ult(a, b);
+        self.not(lt)
+    }
+
+    /// Dynamic logical shift left.
+    pub fn shl(&mut self, value: NetId, amount: NetId) -> NetId {
+        let w = self.width(value);
+        self.push(CellOp::Shl, vec![value, amount], w)
+    }
+
+    /// Dynamic logical shift right.
+    pub fn shr(&mut self, value: NetId, amount: NetId) -> NetId {
+        let w = self.width(value);
+        self.push(CellOp::Shr, vec![value, amount], w)
+    }
+
+    /// Dynamic arithmetic shift right.
+    pub fn ashr(&mut self, value: NetId, amount: NetId) -> NetId {
+        let w = self.width(value);
+        self.push(CellOp::Ashr, vec![value, amount], w)
+    }
+
+    /// Constant logical shift left (`value << k`).
+    pub fn shl_const(&mut self, value: NetId, k: usize) -> NetId {
+        let w = self.width(value);
+        let amt = self.lit(k as u64, shift_amount_width(w));
+        self.shl(value, amt)
+    }
+
+    /// Constant logical shift right (`value >> k`).
+    pub fn shr_const(&mut self, value: NetId, k: usize) -> NetId {
+        let w = self.width(value);
+        let amt = self.lit(k as u64, shift_amount_width(w));
+        self.shr(value, amt)
+    }
+
+    /// Rotate right by a constant amount.
+    pub fn rotr_const(&mut self, value: NetId, k: usize) -> NetId {
+        let w = self.width(value);
+        let k = k % w;
+        if k == 0 {
+            return value;
+        }
+        // (v >> k) | (v << (w-k)): the low k bits wrap to the top.
+        let wraps_to_top = self.slice(value, 0, k);
+        let shifted_down = self.slice(value, k, w - k);
+        self.concat(wraps_to_top, shifted_down)
+    }
+
+    /// Bit slice `value[offset +: width]`.
+    pub fn slice(&mut self, value: NetId, offset: usize, width: usize) -> NetId {
+        let src_w = self.width(value);
+        assert!(
+            offset + width <= src_w,
+            "slice [{offset} +: {width}] out of range for width {src_w}"
+        );
+        if offset == 0 && width == src_w {
+            return value;
+        }
+        self.push(CellOp::Slice { offset }, vec![value], width)
+    }
+
+    /// Single-bit extract `value[bit]`.
+    pub fn bit(&mut self, value: NetId, bit: usize) -> NetId {
+        self.slice(value, bit, 1)
+    }
+
+    /// Concatenation `{hi, lo}`.
+    pub fn concat(&mut self, hi: NetId, lo: NetId) -> NetId {
+        let w = self.width(hi) + self.width(lo);
+        self.push(CellOp::Concat, vec![lo, hi], w)
+    }
+
+    /// Concatenation of many parts, most-significant first.
+    pub fn concat_all(&mut self, parts_msb_first: &[NetId]) -> NetId {
+        assert!(!parts_msb_first.is_empty(), "concat of zero parts");
+        let mut acc = parts_msb_first[0];
+        for &p in &parts_msb_first[1..] {
+            acc = self.concat(acc, p);
+        }
+        acc
+    }
+
+    /// Zero-extends `value` to `width`.
+    pub fn zext(&mut self, value: NetId, width: usize) -> NetId {
+        let w = self.width(value);
+        assert!(width >= w, "zext target narrower than source");
+        if width == w {
+            return value;
+        }
+        self.push(CellOp::ZExt, vec![value], width)
+    }
+
+    /// Sign-extends `value` to `width`.
+    pub fn sext(&mut self, value: NetId, width: usize) -> NetId {
+        let w = self.width(value);
+        assert!(width >= w, "sext target narrower than source");
+        if width == w {
+            return value;
+        }
+        self.push(CellOp::SExt, vec![value], width)
+    }
+
+    /// 2:1 multiplexer `sel ? if_true : if_false` (`sel` must be 1 bit).
+    pub fn mux(&mut self, sel: NetId, if_true: NetId, if_false: NetId) -> NetId {
+        assert_eq!(self.width(sel), 1, "mux select must be 1 bit");
+        let w = self.check_same(if_true, if_false, "mux");
+        self.push(CellOp::Mux, vec![sel, if_true, if_false], w)
+    }
+
+    /// Reduction OR.
+    pub fn reduce_or(&mut self, value: NetId) -> NetId {
+        self.push(CellOp::RedOr, vec![value], 1)
+    }
+
+    /// Reduction AND.
+    pub fn reduce_and(&mut self, value: NetId) -> NetId {
+        self.push(CellOp::RedAnd, vec![value], 1)
+    }
+
+    /// Reduction XOR (parity).
+    pub fn reduce_xor(&mut self, value: NetId) -> NetId {
+        self.push(CellOp::RedXor, vec![value], 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Testbench cells
+    // ------------------------------------------------------------------
+
+    /// Registers a named observation point.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        self.outputs.push((name.into(), net));
+    }
+
+    /// `$display(format, args...)` guarded by 1-bit `cond`.
+    pub fn display(&mut self, cond: NetId, format: impl Into<String>, args: &[NetId]) {
+        assert_eq!(self.width(cond), 1, "display condition must be 1 bit");
+        self.displays.push(DisplayCell {
+            cond,
+            format: format.into(),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Asserts that 1-bit `cond` is true every cycle; returns the assertion id.
+    pub fn expect_true(&mut self, cond: NetId, message: impl Into<String>) -> u32 {
+        assert_eq!(self.width(cond), 1, "expect condition must be 1 bit");
+        let id = self.next_expect_id;
+        self.next_expect_id += 1;
+        self.expects.push(ExpectCell {
+            cond,
+            id,
+            message: message.into(),
+        });
+        id
+    }
+
+    /// `$finish` when 1-bit `cond` is true.
+    pub fn finish(&mut self, cond: NetId) {
+        assert_eq!(self.width(cond), 1, "finish condition must be 1 bit");
+        self.finishes.push(FinishCell { cond });
+    }
+
+    /// Validates global invariants and produces the immutable [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnconnectedRegister`] if any register lacks a
+    /// next value and [`BuildError::CombinationalLoop`] if the combinational
+    /// logic is cyclic.
+    pub fn finish_build(self) -> Result<Netlist, BuildError> {
+        let mut registers = Vec::with_capacity(self.registers.len());
+        for slot in self.registers {
+            let next = slot.next.ok_or(BuildError::UnconnectedRegister {
+                name: slot.name.clone(),
+            })?;
+            registers.push(Register {
+                name: slot.name,
+                width: slot.width,
+                init: slot.init,
+                next,
+                q: slot.q,
+            });
+        }
+        let netlist = Netlist {
+            name: self.name,
+            nets: self.nets,
+            registers,
+            memories: self.memories,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            displays: self.displays,
+            expects: self.expects,
+            finishes: self.finishes,
+        };
+        // Nets are created in dependency order by construction *except* that
+        // nothing prevents a generator from using ids out of order, so check.
+        if let Err(net) = topo::topological_order(&netlist) {
+            return Err(BuildError::CombinationalLoop { net });
+        }
+        Ok(netlist)
+    }
+}
+
+/// Width of a shift-amount operand able to express `0..width`.
+fn shift_amount_width(width: usize) -> usize {
+    (usize::BITS - (width as u32).leading_zeros()) as usize
+}

@@ -1,0 +1,292 @@
+//! Reference full-cycle evaluator with Verilog clock-edge semantics.
+//!
+//! One [`Evaluator::step`] simulates one RTL cycle: every net is evaluated
+//! in topological order against the *current* register/memory state, then
+//! all register next-values and memory writes commit atomically. This is the
+//! ground truth every other execution engine in the workspace (the
+//! Verilator-analog backend, the two compiler interpreters, and the machine
+//! model) is differentially tested against.
+
+use manticore_bits::Bits;
+
+use crate::ir::{CellOp, NetId, Netlist};
+use crate::topo;
+
+/// Side effects observed while simulating one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CycleEvents {
+    /// Rendered `$display` lines, in cell order.
+    pub displays: Vec<String>,
+    /// Assertion ids (with messages) whose condition was false this cycle.
+    pub failed_expects: Vec<(u32, String)>,
+    /// True if any `$finish` condition fired.
+    pub finished: bool,
+}
+
+/// Simulation state + engine for a netlist.
+///
+/// Net values (and therefore [`Evaluator::output_value`]) are sampled
+/// *during* the cycle, i.e. they see the pre-edge register state;
+/// [`Evaluator::reg_value`] returns the committed post-edge state.
+///
+/// # Examples
+///
+/// ```
+/// use manticore_netlist::{NetlistBuilder, eval::Evaluator};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// let r = b.reg("r", 8, 41);
+/// let one = b.lit(1, 8);
+/// let next = b.add(r.q(), one);
+/// b.set_next(r, next);
+/// b.output("r", r.q());
+/// let n = b.finish_build().unwrap();
+/// let mut sim = Evaluator::new(&n);
+/// sim.step();
+/// assert_eq!(sim.output_value("r").unwrap().to_u64(), 41); // sampled pre-edge
+/// assert_eq!(sim.reg_value(0).to_u64(), 42); // committed post-edge
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<NetId>,
+    regs: Vec<Bits>,
+    mems: Vec<Vec<Bits>>,
+    nets: Vec<Bits>,
+    inputs: Vec<Bits>,
+    cycle: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with registers and memories at their initial
+    /// values and all inputs zero.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let order = topo::topological_order(netlist).expect("netlist must be acyclic");
+        let regs = netlist.registers().iter().map(|r| r.init.clone()).collect();
+        let mems = netlist
+            .memories()
+            .iter()
+            .map(|m| {
+                let mut words: Vec<Bits> = m.init.clone();
+                words.resize(m.depth, Bits::zero(m.width));
+                words
+            })
+            .collect();
+        let nets = netlist
+            .nets()
+            .iter()
+            .map(|n| Bits::zero(n.width))
+            .collect();
+        let inputs = netlist
+            .inputs()
+            .iter()
+            .map(|(_, id)| Bits::zero(netlist.net(*id).width))
+            .collect();
+        Evaluator {
+            netlist,
+            order,
+            regs,
+            mems,
+            nets,
+            inputs,
+            cycle: 0,
+        }
+    }
+
+    /// Number of cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Sets the value of input `index` (the position in
+    /// [`Netlist::inputs`]) for subsequent cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width does not match the input's declared width.
+    pub fn set_input(&mut self, index: usize, value: Bits) {
+        let (_, id) = &self.netlist.inputs()[index];
+        assert_eq!(
+            value.width(),
+            self.netlist.net(*id).width,
+            "input width mismatch"
+        );
+        self.inputs[index] = value;
+    }
+
+    /// Sets an input by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input has this name.
+    pub fn set_input_by_name(&mut self, name: &str, value: Bits) {
+        let idx = self
+            .netlist
+            .inputs()
+            .iter()
+            .position(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no input named `{name}`"));
+        self.set_input(idx, value);
+    }
+
+    /// The value a net held after the most recent [`Evaluator::step`].
+    pub fn net_value(&self, id: NetId) -> &Bits {
+        &self.nets[id.index()]
+    }
+
+    /// The value of the named output after the most recent step.
+    pub fn output_value(&self, name: &str) -> Option<&Bits> {
+        self.netlist.output(name).map(|id| self.net_value(id))
+    }
+
+    /// Current value of register `index` (in [`Netlist::registers`] order).
+    pub fn reg_value(&self, index: usize) -> &Bits {
+        &self.regs[index]
+    }
+
+    /// All current register values.
+    pub fn reg_values(&self) -> &[Bits] {
+        &self.regs
+    }
+
+    /// Current contents of memory `index`.
+    pub fn mem_contents(&self, index: usize) -> &[Bits] {
+        &self.mems[index]
+    }
+
+    /// Simulates one RTL cycle and returns the observed side effects.
+    pub fn step(&mut self) -> CycleEvents {
+        // Phase 1: evaluate all combinational nets against current state.
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            let value = self.eval_net(id);
+            self.nets[id.index()] = value;
+        }
+
+        // Phase 2: observe testbench cells.
+        let mut events = CycleEvents::default();
+        for d in self.netlist.displays() {
+            if !self.nets[d.cond.index()].is_zero() {
+                events.displays.push(render_display(
+                    &d.format,
+                    d.args.iter().map(|a| &self.nets[a.index()]),
+                ));
+            }
+        }
+        for e in self.netlist.expects() {
+            if self.nets[e.cond.index()].is_zero() {
+                events.failed_expects.push((e.id, e.message.clone()));
+            }
+        }
+        for f in self.netlist.finishes() {
+            if !self.nets[f.cond.index()].is_zero() {
+                events.finished = true;
+            }
+        }
+
+        // Phase 3: commit register and memory updates atomically.
+        for (i, r) in self.netlist.registers().iter().enumerate() {
+            self.regs[i] = self.nets[r.next.index()].clone();
+        }
+        for (i, m) in self.netlist.memories().iter().enumerate() {
+            for w in &m.writes {
+                if !self.nets[w.en.index()].is_zero() {
+                    let addr = self.nets[w.addr.index()].to_u64() as usize;
+                    if addr < m.depth {
+                        self.mems[i][addr] = self.nets[w.data.index()].clone();
+                    }
+                }
+            }
+        }
+        self.cycle += 1;
+        events
+    }
+
+    /// Runs until a `$finish` fires or `max_cycles` elapse. Returns the
+    /// number of cycles simulated and whether the design finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assertion fails (test drivers are self-checking).
+    pub fn run(&mut self, max_cycles: u64) -> (u64, bool) {
+        for c in 0..max_cycles {
+            let ev = self.step();
+            assert!(
+                ev.failed_expects.is_empty(),
+                "assertion failed at cycle {c}: {:?}",
+                ev.failed_expects
+            );
+            if ev.finished {
+                return (c + 1, true);
+            }
+        }
+        (max_cycles, false)
+    }
+
+    fn eval_net(&self, id: NetId) -> Bits {
+        let net = self.netlist.net(id);
+        let arg = |i: usize| &self.nets[net.args[i].index()];
+        match &net.op {
+            CellOp::Const(c) => c.clone(),
+            CellOp::Input => {
+                let idx = self
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .position(|(_, nid)| *nid == id)
+                    .expect("input net not registered");
+                self.inputs[idx].clone()
+            }
+            CellOp::RegQ(r) => self.regs[r.index()].clone(),
+            CellOp::MemRead(m) => {
+                let addr = arg(0).to_u64() as usize;
+                let mem = &self.mems[m.index()];
+                if addr < mem.len() {
+                    mem[addr].clone()
+                } else {
+                    Bits::zero(net.width)
+                }
+            }
+            CellOp::And => arg(0).and(arg(1)),
+            CellOp::Or => arg(0).or(arg(1)),
+            CellOp::Xor => arg(0).xor(arg(1)),
+            CellOp::Not => arg(0).not(),
+            CellOp::Add => arg(0).add(arg(1)),
+            CellOp::Sub => arg(0).sub(arg(1)),
+            CellOp::Mul => arg(0).mul(arg(1)),
+            CellOp::Eq => Bits::from_bool(arg(0) == arg(1)),
+            CellOp::Ult => Bits::from_bool(arg(0).ult(arg(1))),
+            CellOp::Slt => Bits::from_bool(arg(0).slt(arg(1))),
+            CellOp::Shl => arg(0).shl_dyn(arg(1)),
+            CellOp::Shr => arg(0).shr_dyn(arg(1)),
+            CellOp::Ashr => arg(0).ashr_dyn(arg(1)),
+            CellOp::Slice { offset } => arg(0).slice(*offset, net.width),
+            CellOp::Concat => arg(0).concat(arg(1)),
+            CellOp::ZExt => arg(0).zext(net.width),
+            CellOp::SExt => arg(0).sext(net.width),
+            CellOp::Mux => Bits::mux(arg(0), arg(1), arg(2)),
+            CellOp::RedOr => arg(0).reduce_or(),
+            CellOp::RedAnd => arg(0).reduce_and(),
+            CellOp::RedXor => arg(0).reduce_xor(),
+        }
+    }
+}
+
+/// Renders a `$display` format string: each `{}` consumes one argument
+/// (printed in hex, Verilog-style `%h`).
+pub fn render_display<'v>(format: &str, mut args: impl Iterator<Item = &'v Bits>) -> String {
+    let mut out = String::with_capacity(format.len() + 16);
+    let mut chars = format.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '{' && chars.peek() == Some(&'}') {
+            chars.next();
+            match args.next() {
+                Some(v) => out.push_str(&format!("{v:x}")),
+                None => out.push_str("<missing>"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}

@@ -1,0 +1,60 @@
+//! Structural netlist IR for single-clock RTL designs.
+//!
+//! A [`Netlist`] is the directed graph the Manticore paper describes in §2.1:
+//! nodes are circuit cells (combinational operators, registers, memory
+//! ports), edges are the nets connecting them. Splitting every register into
+//! a *current* (`Q`) and *next* (`D`) value makes the combinational portion a
+//! DAG, which fully expresses the design's parallelism.
+//!
+//! The crate provides:
+//!
+//! - the IR itself ([`Netlist`], [`Net`], [`CellOp`], [`Register`],
+//!   [`Memory`]) — the hand-off point that Yosys fills in the paper and the
+//!   [`NetlistBuilder`] DSL fills here;
+//! - structural analyses: topological ordering, combinational-loop
+//!   detection, fan-out counting, per-sink cone extraction ([`topo`]);
+//! - a reference evaluator ([`eval`]) with Verilog event semantics
+//!   (compute all next-state values from current state, then commit), used
+//!   as ground truth by the compiler's differential tests and by the
+//!   Verilator-analog baseline simulator;
+//! - testbench cells (`$display`, `$finish`, assertions) so workloads can be
+//!   wrapped in the paper's "simple, assertion-based test drivers".
+//!
+//! # Examples
+//!
+//! A 2-bit counter that finishes after wrapping:
+//!
+//! ```
+//! use manticore_netlist::{NetlistBuilder, eval::Evaluator};
+//!
+//! let mut b = NetlistBuilder::new("counter");
+//! let count = b.reg("count", 2, 0);
+//! let one = b.lit(1, 2);
+//! let next = b.add(count.q(), one);
+//! b.set_next(count, next);
+//! let three = b.lit(3, 2);
+//! let done = b.eq(count.q(), three);
+//! b.finish(done);
+//! let netlist = b.finish_build().unwrap();
+//!
+//! let mut sim = Evaluator::new(&netlist);
+//! let mut cycles = 0;
+//! while !sim.step().finished {
+//!     cycles += 1;
+//! }
+//! assert_eq!(cycles, 3);
+//! ```
+
+pub mod builder;
+pub mod eval;
+pub mod ir;
+pub mod stats;
+pub mod topo;
+pub mod vcd;
+
+pub use builder::{BuildError, MemHandle, NetlistBuilder, RegHandle};
+pub use ir::{CellOp, Memory, MemoryId, Net, NetId, Netlist, RegId, Register};
+pub use stats::NetlistStats;
+
+#[cfg(test)]
+mod tests;

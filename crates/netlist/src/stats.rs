@@ -1,0 +1,75 @@
+//! Netlist statistics: the |V|, |E|, cell-mix numbers reported in the
+//! paper's Table 8 and used to size experiments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ir::Netlist;
+use crate::topo;
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total nets (DAG vertices).
+    pub nets: usize,
+    /// Total operand edges.
+    pub edges: usize,
+    /// Registers (state bits are `state_bits`).
+    pub registers: usize,
+    /// Total register state bits.
+    pub state_bits: usize,
+    /// Memory banks.
+    pub memories: usize,
+    /// Total memory bits.
+    pub memory_bits: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Combinational critical path length in cells.
+    pub critical_path: usize,
+    /// Cell count per mnemonic.
+    pub cell_mix: BTreeMap<&'static str, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut cell_mix: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut edges = 0;
+        for net in netlist.nets() {
+            *cell_mix.entry(net.op.mnemonic()).or_insert(0) += 1;
+            edges += net.args.len();
+        }
+        NetlistStats {
+            nets: netlist.nets().len(),
+            edges,
+            registers: netlist.registers().len(),
+            state_bits: netlist.registers().iter().map(|r| r.width).sum(),
+            memories: netlist.memories().len(),
+            memory_bits: netlist.memories().iter().map(|m| m.depth * m.width).sum(),
+            inputs: netlist.inputs().len(),
+            critical_path: topo::critical_path_length(netlist),
+            cell_mix,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "nets={} edges={} regs={} state_bits={} mems={} mem_bits={} inputs={} critpath={}",
+            self.nets,
+            self.edges,
+            self.registers,
+            self.state_bits,
+            self.memories,
+            self.memory_bits,
+            self.inputs,
+            self.critical_path
+        )?;
+        for (k, v) in &self.cell_mix {
+            writeln!(f, "  {k:>8}: {v}")?;
+        }
+        Ok(())
+    }
+}

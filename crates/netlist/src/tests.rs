@@ -1,0 +1,298 @@
+//! Unit and property tests for the netlist IR, builder, analyses, and
+//! reference evaluator.
+
+use manticore_bits::Bits;
+use proptest::prelude::*;
+
+use crate::eval::Evaluator;
+use crate::{topo, BuildError, NetlistBuilder, NetlistStats};
+
+#[test]
+fn counter_counts() {
+    let mut b = NetlistBuilder::new("counter");
+    let r = b.reg("count", 8, 0);
+    let one = b.lit(1, 8);
+    let next = b.add(r.q(), one);
+    b.set_next(r, next);
+    b.output("count", r.q());
+    let n = b.finish_build().unwrap();
+
+    let mut sim = Evaluator::new(&n);
+    for expect in 0..10u64 {
+        sim.step();
+        // Outputs are sampled during the cycle (pre-edge)...
+        assert_eq!(sim.output_value("count").unwrap().to_u64(), expect);
+        // ...while reg_value reflects the committed post-edge state.
+        assert_eq!(sim.reg_value(0).to_u64(), expect + 1);
+    }
+}
+
+#[test]
+fn unconnected_register_is_an_error() {
+    let mut b = NetlistBuilder::new("bad");
+    b.reg("floating", 4, 0);
+    match b.finish_build() {
+        Err(BuildError::UnconnectedRegister { name }) => assert_eq!(name, "floating"),
+        other => panic!("expected UnconnectedRegister, got {other:?}"),
+    }
+}
+
+#[test]
+fn finish_fires() {
+    let mut b = NetlistBuilder::new("f");
+    let r = b.reg("c", 4, 0);
+    let one = b.lit(1, 4);
+    let next = b.add(r.q(), one);
+    b.set_next(r, next);
+    let five = b.lit(5, 4);
+    let done = b.eq(r.q(), five);
+    b.finish(done);
+    let n = b.finish_build().unwrap();
+    let mut sim = Evaluator::new(&n);
+    let (cycles, finished) = sim.run(100);
+    assert!(finished);
+    assert_eq!(cycles, 6); // q reaches 5 on the 6th evaluation
+}
+
+#[test]
+fn expect_failure_reported() {
+    let mut b = NetlistBuilder::new("e");
+    let r = b.reg("c", 4, 0);
+    let one = b.lit(1, 4);
+    let next = b.add(r.q(), one);
+    b.set_next(r, next);
+    let three = b.lit(3, 4);
+    let ok = b.ne(r.q(), three);
+    b.expect_true(ok, "c must never be 3");
+    let n = b.finish_build().unwrap();
+    let mut sim = Evaluator::new(&n);
+    let mut failed_at = None;
+    for c in 0..10 {
+        let ev = sim.step();
+        if !ev.failed_expects.is_empty() {
+            failed_at = Some(c);
+            assert_eq!(ev.failed_expects[0].1, "c must never be 3");
+            break;
+        }
+    }
+    assert_eq!(failed_at, Some(3));
+}
+
+#[test]
+fn display_renders_hex() {
+    let mut b = NetlistBuilder::new("d");
+    let t = b.lit(1, 1);
+    let v = b.lit(0xbeef, 16);
+    b.display(t, "value = {}", &[v]);
+    let dummy = b.reg("dummy", 1, 0);
+    let z = b.lit(0, 1);
+    b.set_next(dummy, z);
+    let n = b.finish_build().unwrap();
+    let ev = Evaluator::new(&n).step();
+    assert_eq!(ev.displays, vec!["value = beef".to_string()]);
+}
+
+#[test]
+fn memory_read_write() {
+    // mem[addr] <= data every cycle; read back next cycle.
+    let mut b = NetlistBuilder::new("m");
+    let mem = b.memory("m", 16, 8);
+    let addr = b.reg("addr", 4, 0);
+    let one4 = b.lit(1, 4);
+    let next_addr = b.add(addr.q(), one4);
+    b.set_next(addr, next_addr);
+    // write addr+0x40 at current address
+    let base = b.lit(0x40, 8);
+    let addr_w = b.zext(addr.q(), 8);
+    let data = b.add(base, addr_w);
+    let en = b.lit(1, 1);
+    b.mem_write(mem, addr.q(), data, en);
+    // read back at addr-1
+    let prev = b.sub(addr.q(), one4);
+    let rd = b.mem_read(mem, prev);
+    b.output("rd", rd);
+    let n = b.finish_build().unwrap();
+    let mut sim = Evaluator::new(&n);
+    sim.step(); // writes mem[0] = 0x40
+    sim.step(); // addr=1, reads mem[0]
+    assert_eq!(sim.output_value("rd").unwrap().to_u64(), 0x40);
+    sim.step(); // addr=2, reads mem[1] = 0x41
+    assert_eq!(sim.output_value("rd").unwrap().to_u64(), 0x41);
+}
+
+#[test]
+fn memory_write_is_synchronous() {
+    // A read in the same cycle as a write must see the OLD value.
+    let mut b = NetlistBuilder::new("sync");
+    let mem = b.memory_init("m", 4, 8, vec![Bits::from_u64(7, 8)]);
+    let zero = b.lit(0, 2);
+    let data = b.lit(99, 8);
+    let en = b.lit(1, 1);
+    b.mem_write(mem, zero, data, en);
+    let rd = b.mem_read(mem, zero);
+    b.output("rd", rd);
+    let n = b.finish_build().unwrap();
+    let mut sim = Evaluator::new(&n);
+    sim.step();
+    assert_eq!(sim.output_value("rd").unwrap().to_u64(), 7); // old value
+    sim.step();
+    assert_eq!(sim.output_value("rd").unwrap().to_u64(), 99); // committed
+}
+
+#[test]
+fn inputs_drive_logic() {
+    let mut b = NetlistBuilder::new("io");
+    let a = b.input("a", 8);
+    let x = b.input("x", 8);
+    let sum = b.add(a, x);
+    b.output("sum", sum);
+    let dummy = b.reg("d", 1, 0);
+    let z = b.lit(0, 1);
+    b.set_next(dummy, z);
+    let n = b.finish_build().unwrap();
+    let mut sim = Evaluator::new(&n);
+    sim.set_input_by_name("a", Bits::from_u64(3, 8));
+    sim.set_input_by_name("x", Bits::from_u64(4, 8));
+    sim.step();
+    assert_eq!(sim.output_value("sum").unwrap().to_u64(), 7);
+}
+
+#[test]
+fn reg_en_holds_value() {
+    let mut b = NetlistBuilder::new("en");
+    let en = b.input("en", 1);
+    let v = b.input("v", 8);
+    let q = b.reg_en("r", 0, v, en);
+    b.output("q", q);
+    let n = b.finish_build().unwrap();
+    let mut sim = Evaluator::new(&n);
+    sim.set_input_by_name("v", Bits::from_u64(55, 8));
+    sim.set_input_by_name("en", Bits::from_u64(0, 1));
+    sim.step();
+    assert_eq!(sim.output_value("q").unwrap().to_u64(), 0); // held
+    sim.set_input_by_name("en", Bits::from_u64(1, 1));
+    sim.step();
+    sim.step();
+    assert_eq!(sim.output_value("q").unwrap().to_u64(), 55);
+}
+
+#[test]
+fn rotr_const_rotates() {
+    let mut b = NetlistBuilder::new("rot");
+    let v = b.lit(0b0001_1000, 8);
+    let r = b.rotr_const(v, 3);
+    b.output("r", r);
+    let d = b.reg("d", 1, 0);
+    let z = b.lit(0, 1);
+    b.set_next(d, z);
+    let n = b.finish_build().unwrap();
+    let mut sim = Evaluator::new(&n);
+    sim.step();
+    assert_eq!(sim.output_value("r").unwrap().to_u64(), 0b0000_0011);
+}
+
+#[test]
+fn topo_order_is_valid() {
+    let mut b = NetlistBuilder::new("t");
+    let a = b.lit(1, 8);
+    let c = b.lit(2, 8);
+    let s = b.add(a, c);
+    let t = b.mul(s, a);
+    let r = b.reg("r", 8, 0);
+    let u = b.xor(t, r.q());
+    b.set_next(r, u);
+    let n = b.finish_build().unwrap();
+    let order = topo::topological_order(&n).unwrap();
+    assert_eq!(order.len(), n.nets().len());
+    let pos: std::collections::HashMap<_, _> =
+        order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    for (i, net) in n.nets().iter().enumerate() {
+        for arg in &net.args {
+            assert!(pos[arg] < pos[&crate::NetId(i as u32)], "operand after use");
+        }
+    }
+}
+
+#[test]
+fn fanin_cone_and_fanout() {
+    let mut b = NetlistBuilder::new("cone");
+    let a = b.lit(1, 8);
+    let c = b.lit(2, 8);
+    let s = b.add(a, c); // in cone of r.next
+    let unrelated = b.mul(a, a); // not in cone
+    let r = b.reg("r", 8, 0);
+    b.set_next(r, s);
+    b.output("u", unrelated);
+    let n = b.finish_build().unwrap();
+    let cone = topo::fanin_cone(&n, n.registers()[0].next);
+    assert!(cone.contains(&s));
+    assert!(cone.contains(&a));
+    assert!(!cone.contains(&unrelated));
+    let fo = topo::fanout_counts(&n);
+    assert!(fo[a.index()] >= 3); // add + mul twice
+}
+
+#[test]
+fn stats_sane() {
+    let mut b = NetlistBuilder::new("s");
+    let r = b.reg("r", 16, 0);
+    let one = b.lit(1, 16);
+    let n1 = b.add(r.q(), one);
+    b.set_next(r, n1);
+    b.memory("m", 64, 16);
+    let n = b.finish_build().unwrap();
+    let stats = NetlistStats::of(&n);
+    assert_eq!(stats.registers, 1);
+    assert_eq!(stats.state_bits, 16);
+    assert_eq!(stats.memory_bits, 64 * 16);
+    assert_eq!(stats.cell_mix["add"], 1);
+    assert!(stats.critical_path >= 1);
+}
+
+/// Builds a random combinational expression tree over a few registers, to
+/// cross-check evaluator behaviour vs. a direct Bits computation.
+fn random_expr_netlist(seed: u64, depth: usize) -> (crate::Netlist, Bits) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new("rand");
+    let w = 16;
+    // leaves: constants whose value we track
+    let mut vals: Vec<(crate::NetId, Bits)> = (0..4)
+        .map(|_| {
+            let v = Bits::from_u64(rng.gen::<u64>(), w);
+            (b.constant(v.clone()), v)
+        })
+        .collect();
+    for _ in 0..depth {
+        let i = rng.gen_range(0..vals.len());
+        let j = rng.gen_range(0..vals.len());
+        let (ni, vi) = vals[i].clone();
+        let (nj, vj) = vals[j].clone();
+        let (net, val) = match rng.gen_range(0..6) {
+            0 => (b.add(ni, nj), vi.add(&vj)),
+            1 => (b.sub(ni, nj), vi.sub(&vj)),
+            2 => (b.and(ni, nj), vi.and(&vj)),
+            3 => (b.or(ni, nj), vi.or(&vj)),
+            4 => (b.xor(ni, nj), vi.xor(&vj)),
+            _ => (b.mul(ni, nj), vi.mul(&vj)),
+        };
+        vals.push((net, val));
+    }
+    let (root, expect) = vals.last().clone().unwrap().clone();
+    b.output("root", root);
+    let d = b.reg("d", 1, 0);
+    let z = b.lit(0, 1);
+    b.set_next(d, z);
+    (b.finish_build().unwrap(), expect)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn prop_random_expr_matches_bits(seed: u64, depth in 1usize..40) {
+        let (n, expect) = random_expr_netlist(seed, depth);
+        let mut sim = Evaluator::new(&n);
+        sim.step();
+        prop_assert_eq!(sim.output_value("root").unwrap(), &expect);
+    }
+}

@@ -1,0 +1,104 @@
+//! Structural analyses over the combinational DAG.
+
+use crate::ir::{NetId, Netlist};
+
+/// Computes a topological evaluation order of all nets.
+///
+/// Nets are numbered in creation order and the builder only allows operands
+/// that already exist, so a valid order always exists for builder-produced
+/// netlists; the check still guards hand-constructed or mutated graphs.
+///
+/// # Errors
+///
+/// Returns a net on the cycle if the graph is cyclic.
+pub fn topological_order(netlist: &Netlist) -> Result<Vec<NetId>, NetId> {
+    let n = netlist.nets().len();
+    // Kahn's algorithm over the operand edges.
+    let mut indegree = vec![0u32; n];
+    for net in netlist.nets() {
+        for _ in &net.args {
+            // counted below per-consumer
+        }
+    }
+    for (_i, net) in netlist.nets().iter().enumerate() {
+        indegree[_i] = net.args.len() as u32;
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    // consumers[p] = list of nets that consume p
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, net) in netlist.nets().iter().enumerate() {
+        for a in &net.args {
+            consumers[a.index()].push(i as u32);
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = ready.pop() {
+        order.push(NetId(i as u32));
+        for &c in &consumers[i] {
+            indegree[c as usize] -= 1;
+            if indegree[c as usize] == 0 {
+                ready.push(c as usize);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n).find(|&i| indegree[i] > 0).expect("cycle exists");
+        return Err(NetId(stuck as u32));
+    }
+    Ok(order)
+}
+
+/// Number of consumers of each net (combinational fan-out), counting sink
+/// uses (register next, memory ports, testbench cells) as one each.
+pub fn fanout_counts(netlist: &Netlist) -> Vec<u32> {
+    let mut counts = vec![0u32; netlist.nets().len()];
+    for net in netlist.nets() {
+        for a in &net.args {
+            counts[a.index()] += 1;
+        }
+    }
+    for s in netlist.sink_nets() {
+        counts[s.index()] += 1;
+    }
+    counts
+}
+
+/// The transitive fan-in cone of `sink`: every net reachable backwards from
+/// it, in ascending id order. This is the paper's per-sink DAG (§3.2).
+pub fn fanin_cone(netlist: &Netlist, sink: NetId) -> Vec<NetId> {
+    let mut seen = vec![false; netlist.nets().len()];
+    let mut stack = vec![sink];
+    seen[sink.index()] = true;
+    while let Some(id) = stack.pop() {
+        for &a in &netlist.net(id).args {
+            if !seen[a.index()] {
+                seen[a.index()] = true;
+                stack.push(a);
+            }
+        }
+    }
+    (0..netlist.nets().len())
+        .filter(|&i| seen[i])
+        .map(|i| NetId(i as u32))
+        .collect()
+}
+
+/// Longest path (in cells) from any source to any sink — the critical path
+/// of the combinational DAG, a lower bound on sequential evaluation depth.
+pub fn critical_path_length(netlist: &Netlist) -> usize {
+    let order = topological_order(netlist).expect("netlist must be acyclic");
+    let mut depth = vec![0usize; netlist.nets().len()];
+    let mut max = 0;
+    for id in order {
+        let net = netlist.net(id);
+        let d = net
+            .args
+            .iter()
+            .map(|a| depth[a.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        depth[id.index()] = d;
+        max = max.max(d);
+    }
+    max
+}

@@ -1,0 +1,165 @@
+//! Single-threaded full-cycle executor — the analog of serial Verilator.
+
+use std::time::Instant;
+
+use manticore_bits::Bits;
+
+use crate::tape::{eval_op, Check, Tape};
+
+/// Events observed in one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct SimEvents {
+    /// Rendered `$display` lines.
+    pub displays: Vec<String>,
+    /// First failed assertion, if any.
+    pub failed_assert: Option<String>,
+    /// `$finish` fired.
+    pub finished: bool,
+}
+
+/// Result of a timed run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// True if the design finished.
+    pub finished: bool,
+}
+
+impl RunStats {
+    /// Simulation rate in kHz (the paper's Table 3 metric).
+    pub fn rate_khz(&self) -> f64 {
+        if self.seconds == 0.0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.seconds / 1e3
+        }
+    }
+}
+
+/// Serial simulator state over a tape.
+#[derive(Debug, Clone)]
+pub struct SerialSim<'t> {
+    tape: &'t Tape,
+    values: Vec<u64>,
+    regs: Vec<u64>,
+    mems: Vec<Vec<u64>>,
+    cycle: u64,
+}
+
+impl<'t> SerialSim<'t> {
+    /// Creates a simulator with state at initial values.
+    pub fn new(tape: &'t Tape) -> Self {
+        SerialSim {
+            values: vec![0; tape.num_values],
+            regs: tape.reg_init.clone(),
+            mems: tape.mem_init.clone(),
+            cycle: 0,
+            tape,
+        }
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current committed value of register `idx`.
+    pub fn reg_value(&self, idx: usize) -> Bits {
+        Bits::from_u64(self.regs[idx], self.tape.reg_widths[idx] as usize)
+    }
+
+    /// Simulates one cycle.
+    pub fn step(&mut self) -> SimEvents {
+        for op in &self.tape.ops {
+            eval_op(op, &mut self.values, &self.regs, &self.mems);
+        }
+        let events = run_checks(&self.tape.checks, &self.values);
+        commit(self.tape, &self.values, &mut self.regs, &mut self.mems);
+        self.cycle += 1;
+        events
+    }
+
+    /// Runs until `$finish`, assertion failure, or `max_cycles`; returns
+    /// timing statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on assertion failure (self-checking harness).
+    pub fn run(&mut self, max_cycles: u64) -> RunStats {
+        let start = Instant::now();
+        let mut stats = RunStats::default();
+        for _ in 0..max_cycles {
+            let ev = self.step();
+            stats.cycles += 1;
+            if let Some(m) = ev.failed_assert {
+                panic!("assertion failed at cycle {}: {m}", self.cycle);
+            }
+            if ev.finished {
+                stats.finished = true;
+                break;
+            }
+        }
+        stats.seconds = start.elapsed().as_secs_f64();
+        stats
+    }
+}
+
+/// Evaluates testbench checks against computed values.
+pub(crate) fn run_checks(checks: &[Check], values: &[u64]) -> SimEvents {
+    let mut events = SimEvents::default();
+    for check in checks {
+        match check {
+            Check::Display { cond, format, args } => {
+                if values[*cond as usize] != 0 {
+                    let mut out = String::new();
+                    let mut it = args.iter();
+                    let mut chars = format.chars().peekable();
+                    while let Some(c) = chars.next() {
+                        if c == '{' && chars.peek() == Some(&'}') {
+                            chars.next();
+                            match it.next() {
+                                Some((slot, _w)) => {
+                                    out.push_str(&format!("{:x}", values[*slot as usize]))
+                                }
+                                None => out.push_str("<missing>"),
+                            }
+                        } else {
+                            out.push(c);
+                        }
+                    }
+                    events.displays.push(out);
+                }
+            }
+            Check::Expect { cond, message } => {
+                if values[*cond as usize] == 0 && events.failed_assert.is_none() {
+                    events.failed_assert = Some(message.clone());
+                }
+            }
+            Check::Finish { cond } => {
+                if values[*cond as usize] != 0 {
+                    events.finished = true;
+                }
+            }
+        }
+    }
+    events
+}
+
+/// Applies register and memory commits (cycle boundary).
+pub(crate) fn commit(tape: &Tape, values: &[u64], regs: &mut [u64], mems: &mut [Vec<u64>]) {
+    for rc in &tape.reg_commits {
+        regs[rc.idx as usize] = values[rc.src as usize];
+    }
+    for mc in &tape.mem_commits {
+        if values[mc.en as usize] != 0 {
+            let m = &mut mems[mc.idx as usize];
+            let addr = values[mc.addr as usize] as usize;
+            if addr < m.len() {
+                m[addr] = values[mc.data as usize];
+            }
+        }
+    }
+}

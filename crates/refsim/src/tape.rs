@@ -1,0 +1,444 @@
+//! Tape codegen: netlist → flat, topologically-ordered op list over `u64`
+//! values.
+//!
+//! This is the moral equivalent of Verilator's generated C++: one tightly
+//! packed operation per net, evaluated in a fixed order every cycle. Nets
+//! wider than 64 bits are rejected — the benchmark suite stays within
+//! 64-bit nets, and the arbitrary-width reference path is
+//! `manticore_netlist::eval`.
+
+use std::fmt;
+
+use manticore_bits::Bits;
+use manticore_netlist::{topo, CellOp, NetId, Netlist};
+
+/// Codegen errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TapeError {
+    /// A net exceeds the 64-bit fast-path width.
+    TooWide {
+        /// The offending net.
+        net: NetId,
+        /// Its width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for TapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TapeError::TooWide { net, width } => {
+                write!(f, "net {net:?} is {width} bits; the tape supports ≤ 64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TapeError {}
+
+/// One tape operation. `dst`/`a`/`b`/`c` index the value array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `v[dst] = imm`.
+    Const { dst: u32, imm: u64 },
+    /// `v[dst] = regs[idx]`.
+    RegRead { dst: u32, idx: u32 },
+    /// `v[dst] = mem[idx][v[a] % depth]` (0 out of range).
+    MemRead { dst: u32, idx: u32, a: u32 },
+    /// Binary ALU op: `v[dst] = f(v[a], v[b]) & mask`.
+    Bin { kind: BinKind, dst: u32, a: u32, b: u32, mask: u64 },
+    /// `v[dst] = !v[a] & mask`.
+    Not { dst: u32, a: u32, mask: u64 },
+    /// `v[dst] = (v[a] >> sh) & mask`.
+    Slice { dst: u32, a: u32, sh: u8, mask: u64 },
+    /// `v[dst] = (v[a] | (v[b] << sh)) & mask` (concat `{b, a}`).
+    Concat { dst: u32, a: u32, b: u32, sh: u8, mask: u64 },
+    /// `v[dst] = if v[a] != 0 { v[b] } else { v[c] }`.
+    Mux { dst: u32, a: u32, b: u32, c: u32 },
+    /// Sign extension from `from` bits: `v[dst] = sext(v[a]) & mask`.
+    Sext { dst: u32, a: u32, from: u8, mask: u64 },
+    /// Reductions.
+    Red { kind: RedKind, dst: u32, a: u32, ones: u64 },
+}
+
+/// Binary op kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// Wrapping add.
+    Add,
+    /// Wrapping sub.
+    Sub,
+    /// Wrapping mul.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Equality (1-bit result).
+    Eq,
+    /// Unsigned less-than (1-bit result).
+    Ult,
+    /// Signed less-than at the operand width (1-bit result).
+    Slt { width: u8 },
+    /// Dynamic shifts (amount ≥ width gives 0 / sign fill).
+    Shl { width: u8 },
+    /// Dynamic logical right shift.
+    Shr { width: u8 },
+    /// Dynamic arithmetic right shift.
+    Ashr { width: u8 },
+}
+
+/// Reduction kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedKind {
+    /// OR-reduce.
+    Or,
+    /// AND-reduce (against the width's all-ones).
+    And,
+    /// XOR-reduce (parity).
+    Xor,
+}
+
+/// A register commit: `regs[idx] = v[src]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RegCommit {
+    /// Register index.
+    pub idx: u32,
+    /// Value slot of the next value.
+    pub src: u32,
+}
+
+/// A memory write port: `if v[en] != 0 { mem[idx][v[addr]] = v[data] }`.
+#[derive(Debug, Clone, Copy)]
+pub struct MemCommit {
+    /// Memory index.
+    pub idx: u32,
+    /// Address slot.
+    pub addr: u32,
+    /// Data slot.
+    pub data: u32,
+    /// Enable slot.
+    pub en: u32,
+}
+
+/// Testbench hooks evaluated after the compute phase.
+#[derive(Debug, Clone)]
+pub enum Check {
+    /// `$display` when `cond` is non-zero.
+    Display {
+        /// Condition slot.
+        cond: u32,
+        /// Format string.
+        format: String,
+        /// `(slot, width)` per argument.
+        args: Vec<(u32, u8)>,
+    },
+    /// Assertion: fails when `cond` is zero.
+    Expect {
+        /// Condition slot.
+        cond: u32,
+        /// Failure message.
+        message: String,
+    },
+    /// `$finish` when `cond` is non-zero.
+    Finish {
+        /// Condition slot.
+        cond: u32,
+    },
+}
+
+/// The compiled tape.
+#[derive(Debug, Clone)]
+pub struct Tape {
+    /// Compute ops in evaluation order (one per live net).
+    pub ops: Vec<Op>,
+    /// Value-array size.
+    pub num_values: usize,
+    /// Register initial values.
+    pub reg_init: Vec<u64>,
+    /// Register widths (for state readback).
+    pub reg_widths: Vec<u8>,
+    /// Memory initial contents.
+    pub mem_init: Vec<Vec<u64>>,
+    /// Register commits (applied at cycle end).
+    pub reg_commits: Vec<RegCommit>,
+    /// Memory commits (applied at cycle end, in port order).
+    pub mem_commits: Vec<MemCommit>,
+    /// Testbench checks.
+    pub checks: Vec<Check>,
+    /// Value slot of each net (dense, one slot per net).
+    pub slot_of_net: Vec<u32>,
+}
+
+impl Tape {
+    /// Compiles `netlist` into a tape.
+    ///
+    /// # Errors
+    ///
+    /// [`TapeError::TooWide`] for nets over 64 bits.
+    pub fn compile(netlist: &Netlist) -> Result<Tape, TapeError> {
+        for (i, net) in netlist.nets().iter().enumerate() {
+            if net.width > 64 {
+                return Err(TapeError::TooWide {
+                    net: NetId(i as u32),
+                    width: net.width,
+                });
+            }
+        }
+        let order = topo::topological_order(netlist).expect("netlist is acyclic");
+        let slot_of_net: Vec<u32> = (0..netlist.nets().len() as u32).collect();
+        let mask_of = |id: NetId| mask64(netlist.net(id).width);
+        let mut ops = Vec::with_capacity(order.len());
+        for id in order {
+            let net = netlist.net(id);
+            let dst = id.0;
+            let a = |i: usize| net.args[i].0;
+            let mask = mask64(net.width);
+            let w = |i: usize| netlist.net(net.args[i]).width as u8;
+            let op = match &net.op {
+                CellOp::Const(c) => Op::Const {
+                    dst,
+                    imm: bits_to_u64(c),
+                },
+                CellOp::Input => Op::Const { dst, imm: 0 },
+                CellOp::RegQ(r) => Op::RegRead { dst, idx: r.0 },
+                CellOp::MemRead(m) => Op::MemRead { dst, idx: m.0, a: a(0) },
+                CellOp::And => Op::Bin { kind: BinKind::And, dst, a: a(0), b: a(1), mask },
+                CellOp::Or => Op::Bin { kind: BinKind::Or, dst, a: a(0), b: a(1), mask },
+                CellOp::Xor => Op::Bin { kind: BinKind::Xor, dst, a: a(0), b: a(1), mask },
+                CellOp::Not => Op::Not { dst, a: a(0), mask },
+                CellOp::Add => Op::Bin { kind: BinKind::Add, dst, a: a(0), b: a(1), mask },
+                CellOp::Sub => Op::Bin { kind: BinKind::Sub, dst, a: a(0), b: a(1), mask },
+                CellOp::Mul => Op::Bin { kind: BinKind::Mul, dst, a: a(0), b: a(1), mask },
+                CellOp::Eq => Op::Bin { kind: BinKind::Eq, dst, a: a(0), b: a(1), mask: 1 },
+                CellOp::Ult => Op::Bin { kind: BinKind::Ult, dst, a: a(0), b: a(1), mask: 1 },
+                CellOp::Slt => Op::Bin {
+                    kind: BinKind::Slt { width: w(0) },
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask: 1,
+                },
+                CellOp::Shl => Op::Bin {
+                    kind: BinKind::Shl { width: net.width as u8 },
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask,
+                },
+                CellOp::Shr => Op::Bin {
+                    kind: BinKind::Shr { width: net.width as u8 },
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask,
+                },
+                CellOp::Ashr => Op::Bin {
+                    kind: BinKind::Ashr { width: net.width as u8 },
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask,
+                },
+                CellOp::Slice { offset } => Op::Slice {
+                    dst,
+                    a: a(0),
+                    sh: *offset as u8,
+                    mask,
+                },
+                CellOp::Concat => Op::Concat {
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    sh: w(0),
+                    mask,
+                },
+                CellOp::ZExt => Op::Slice { dst, a: a(0), sh: 0, mask: mask_of(net.args[0]) },
+                CellOp::SExt => Op::Sext { dst, a: a(0), from: w(0), mask },
+                CellOp::Mux => Op::Mux { dst, a: a(0), b: a(1), c: a(2) },
+                CellOp::RedOr => Op::Red { kind: RedKind::Or, dst, a: a(0), ones: 0 },
+                CellOp::RedAnd => Op::Red {
+                    kind: RedKind::And,
+                    dst,
+                    a: a(0),
+                    ones: mask_of(net.args[0]),
+                },
+                CellOp::RedXor => Op::Red { kind: RedKind::Xor, dst, a: a(0), ones: 0 },
+            };
+            ops.push(op);
+        }
+        let reg_init = netlist
+            .registers()
+            .iter()
+            .map(|r| bits_to_u64(&r.init))
+            .collect();
+        let reg_widths = netlist.registers().iter().map(|r| r.width as u8).collect();
+        let mem_init = netlist
+            .memories()
+            .iter()
+            .map(|m| {
+                let mut words: Vec<u64> = m.init.iter().map(bits_to_u64).collect();
+                words.resize(m.depth, 0);
+                words
+            })
+            .collect();
+        let reg_commits = netlist
+            .registers()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RegCommit {
+                idx: i as u32,
+                src: r.next.0,
+            })
+            .collect();
+        let mut mem_commits = Vec::new();
+        for (i, m) in netlist.memories().iter().enumerate() {
+            for wport in &m.writes {
+                mem_commits.push(MemCommit {
+                    idx: i as u32,
+                    addr: wport.addr.0,
+                    data: wport.data.0,
+                    en: wport.en.0,
+                });
+            }
+        }
+        let mut checks = Vec::new();
+        for d in netlist.displays() {
+            checks.push(Check::Display {
+                cond: d.cond.0,
+                format: d.format.clone(),
+                args: d
+                    .args
+                    .iter()
+                    .map(|x| (x.0, netlist.net(*x).width as u8))
+                    .collect(),
+            });
+        }
+        for e in netlist.expects() {
+            checks.push(Check::Expect {
+                cond: e.cond.0,
+                message: e.message.clone(),
+            });
+        }
+        for f in netlist.finishes() {
+            checks.push(Check::Finish { cond: f.cond.0 });
+        }
+        Ok(Tape {
+            ops,
+            num_values: netlist.nets().len(),
+            reg_init,
+            reg_widths,
+            mem_init,
+            reg_commits,
+            mem_commits,
+            checks,
+            slot_of_net,
+        })
+    }
+
+    /// Ops per simulated cycle — the step-size metric of Table 3's
+    /// "# instr" row.
+    pub fn step_size(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Evaluates one op against the value array, register file and memories.
+#[inline]
+pub fn eval_op(op: &Op, v: &mut [u64], regs: &[u64], mems: &[Vec<u64>]) {
+    match *op {
+        Op::Const { dst, imm } => v[dst as usize] = imm,
+        Op::RegRead { dst, idx } => v[dst as usize] = regs[idx as usize],
+        Op::MemRead { dst, idx, a } => {
+            let m = &mems[idx as usize];
+            let addr = v[a as usize] as usize;
+            v[dst as usize] = if addr < m.len() { m[addr] } else { 0 };
+        }
+        Op::Bin { kind, dst, a, b, mask } => {
+            let x = v[a as usize];
+            let y = v[b as usize];
+            v[dst as usize] = eval_bin(kind, x, y) & mask;
+        }
+        Op::Not { dst, a, mask } => v[dst as usize] = !v[a as usize] & mask,
+        Op::Slice { dst, a, sh, mask } => v[dst as usize] = (v[a as usize] >> sh) & mask,
+        Op::Concat { dst, a, b, sh, mask } => {
+            v[dst as usize] = (v[a as usize] | (v[b as usize] << sh)) & mask
+        }
+        Op::Mux { dst, a, b, c } => {
+            v[dst as usize] = if v[a as usize] != 0 {
+                v[b as usize]
+            } else {
+                v[c as usize]
+            }
+        }
+        Op::Sext { dst, a, from, mask } => {
+            let x = v[a as usize];
+            let sign = 64 - from as u32;
+            v[dst as usize] = (((x << sign) as i64 >> sign) as u64) & mask;
+        }
+        Op::Red { kind, dst, a, ones } => {
+            let x = v[a as usize];
+            v[dst as usize] = match kind {
+                RedKind::Or => (x != 0) as u64,
+                RedKind::And => (x == ones) as u64,
+                RedKind::Xor => (x.count_ones() & 1) as u64,
+            };
+        }
+    }
+}
+
+#[inline]
+fn eval_bin(kind: BinKind, x: u64, y: u64) -> u64 {
+    match kind {
+        BinKind::Add => x.wrapping_add(y),
+        BinKind::Sub => x.wrapping_sub(y),
+        BinKind::Mul => x.wrapping_mul(y),
+        BinKind::And => x & y,
+        BinKind::Or => x | y,
+        BinKind::Xor => x ^ y,
+        BinKind::Eq => (x == y) as u64,
+        BinKind::Ult => (x < y) as u64,
+        BinKind::Slt { width } => {
+            let s = 64 - width as u32;
+            ((((x << s) as i64) >> s) < (((y << s) as i64) >> s)) as u64
+        }
+        BinKind::Shl { width } => {
+            if y >= width as u64 {
+                0
+            } else {
+                x << y
+            }
+        }
+        BinKind::Shr { width } => {
+            if y >= width as u64 {
+                0
+            } else {
+                x >> y
+            }
+        }
+        BinKind::Ashr { width } => {
+            let s = 64 - width as u32;
+            let xv = ((x << s) as i64) >> s; // sign-extended
+            let sh = y.min(63) as u32;
+            if y >= width as u64 {
+                (xv >> 63) as u64
+            } else {
+                (xv >> sh) as u64
+            }
+        }
+    }
+}
+
+fn mask64(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn bits_to_u64(b: &Bits) -> u64 {
+    b.to_u64()
+}

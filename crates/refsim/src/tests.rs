@@ -1,0 +1,242 @@
+//! Refsim tests: tape semantics vs. the arbitrary-width evaluator, serial
+//! vs. parallel equivalence, model smoke tests.
+
+use manticore_bits::Bits;
+use manticore_netlist::{eval::Evaluator, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+use crate::parallel::ParallelSim;
+use crate::serial::SerialSim;
+use crate::tape::{Tape, TapeError};
+
+fn counter(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("counter");
+    let r = b.reg("c", width, 0);
+    let one = b.lit(1, width);
+    let next = b.add(r.q(), one);
+    b.set_next(r, next);
+    b.output("c", r.q());
+    let n = b.finish_build().unwrap();
+    n
+}
+
+#[test]
+fn serial_counter_counts() {
+    let n = counter(16);
+    let tape = Tape::compile(&n).unwrap();
+    let mut sim = SerialSim::new(&tape);
+    for i in 1..=100u64 {
+        sim.step();
+        assert_eq!(sim.reg_value(0).to_u64(), i);
+    }
+}
+
+#[test]
+fn tape_rejects_wide_nets() {
+    let n = counter(65);
+    match Tape::compile(&n) {
+        Err(TapeError::TooWide { width, .. }) => assert_eq!(width, 65),
+        other => panic!("expected TooWide, got {other:?}"),
+    }
+}
+
+#[test]
+fn finish_stops_run() {
+    let mut b = NetlistBuilder::new("f");
+    let r = b.reg("c", 8, 0);
+    let one = b.lit(1, 8);
+    let next = b.add(r.q(), one);
+    b.set_next(r, next);
+    let ten = b.lit(10, 8);
+    let done = b.eq(r.q(), ten);
+    b.finish(done);
+    let n = b.finish_build().unwrap();
+    let tape = Tape::compile(&n).unwrap();
+    let mut sim = SerialSim::new(&tape);
+    let stats = sim.run(1000);
+    assert!(stats.finished);
+    assert_eq!(stats.cycles, 11);
+}
+
+#[test]
+fn displays_render() {
+    let mut b = NetlistBuilder::new("d");
+    let r = b.reg("c", 8, 0);
+    let one = b.lit(1, 8);
+    let next = b.add(r.q(), one);
+    b.set_next(r, next);
+    let two = b.lit(2, 8);
+    let hit = b.eq(r.q(), two);
+    b.display(hit, "c = {}", &[r.q()]);
+    let n = b.finish_build().unwrap();
+    let tape = Tape::compile(&n).unwrap();
+    let mut sim = SerialSim::new(&tape);
+    let mut all = Vec::new();
+    for _ in 0..5 {
+        all.extend(sim.step().displays);
+    }
+    assert_eq!(all, vec!["c = 2"]);
+}
+
+/// Random closed netlist within 64-bit widths.
+fn random_netlist(seed: u64, ops: usize) -> Netlist {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let widths = [5usize, 16, 31, 64];
+    let mut b = NetlistBuilder::new("rand");
+    let mut pool: Vec<Vec<manticore_netlist::NetId>> = Vec::new();
+    let mut regs = Vec::new();
+    for (wi, &w) in widths.iter().enumerate() {
+        let r = b.reg_init(format!("r{wi}"), w, Bits::from_u128(rng.gen(), w));
+        regs.push(r);
+        let c = b.constant(Bits::from_u128(rng.gen(), w));
+        pool.push(vec![r.q(), c]);
+    }
+    let mem = b.memory("m", 16, 16);
+    let addr = b.slice(regs[1].q(), 0, 4);
+    let rd = b.mem_read(mem, addr);
+    pool[1].push(rd);
+    for _ in 0..ops {
+        let wi = rng.gen_range(0..widths.len());
+        let w = widths[wi];
+        let a = pool[wi][rng.gen_range(0..pool[wi].len())];
+        let c = pool[wi][rng.gen_range(0..pool[wi].len())];
+        let v = match rng.gen_range(0..12) {
+            0 => b.add(a, c),
+            1 => b.sub(a, c),
+            2 => b.mul(a, c),
+            3 => b.and(a, c),
+            4 => b.or(a, c),
+            5 => b.xor(a, c),
+            6 => b.not(a),
+            7 => {
+                let e = b.ult(a, c);
+                b.zext(e, w)
+            }
+            8 => {
+                let s = b.slt(a, c);
+                b.zext(s, w)
+            }
+            9 => {
+                let sel = b.bit(a, rng.gen_range(0..w));
+                b.mux(sel, a, c)
+            }
+            10 => {
+                let amt = b.slice(c, 0, 6.min(w));
+                let amt = b.zext(amt, w);
+                match rng.gen_range(0..3) {
+                    0 => b.shl(a, amt),
+                    1 => b.shr(a, amt),
+                    _ => b.ashr(a, amt),
+                }
+            }
+            _ => {
+                let cut = rng.gen_range(1..w);
+                let lo = b.slice(a, 0, cut);
+                let hi = b.slice(c, cut, w - cut);
+                b.concat(lo, hi)
+            }
+        };
+        pool[wi].push(v);
+    }
+    for (wi, r) in regs.iter().enumerate() {
+        let v = pool[wi][rng.gen_range(0..pool[wi].len())];
+        b.set_next(*r, v);
+    }
+    let wdata = b.slice(pool[3][pool[3].len() - 1], 0, 16);
+    let wen = b.bit(regs[0].q(), 0);
+    b.mem_write(mem, addr, wdata, wen);
+    b.finish_build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn prop_tape_matches_evaluator(seed: u64, ops in 10usize..80) {
+        let n = random_netlist(seed, ops);
+        let tape = Tape::compile(&n).unwrap();
+        let mut fast = SerialSim::new(&tape);
+        let mut slow = Evaluator::new(&n);
+        for cycle in 0..16u64 {
+            fast.step();
+            slow.step();
+            for (ri, reg) in n.registers().iter().enumerate() {
+                prop_assert_eq!(
+                    fast.reg_value(ri).to_u64(),
+                    slow.reg_value(ri).to_u64(),
+                    "reg `{}` diverged at cycle {}",
+                    &reg.name,
+                    cycle
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_parallel_matches_serial(seed: u64, threads in 1usize..6) {
+        let n = random_netlist(seed, 60);
+        let tape = Tape::compile(&n).unwrap();
+        let cycles = 25;
+        let mut serial = SerialSim::new(&tape);
+        for _ in 0..cycles {
+            serial.step();
+        }
+        let par = ParallelSim::new(&tape, threads, 8);
+        let run = par.run(cycles);
+        prop_assert_eq!(run.stats.cycles, cycles);
+        for ri in 0..n.registers().len() {
+            prop_assert_eq!(
+                run.final_regs[ri] ,
+                serial.reg_value(ri).to_u64(),
+                "register {} diverged (threads={}, tasks={})",
+                ri, threads, par.num_tasks()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_preserves_events() {
+    let mut b = NetlistBuilder::new("ev");
+    let r = b.reg("c", 8, 0);
+    let one = b.lit(1, 8);
+    let next = b.add(r.q(), one);
+    b.set_next(r, next);
+    let three = b.lit(3, 8);
+    let hit = b.eq(r.q(), three);
+    b.display(hit, "hit {}", &[r.q()]);
+    let six = b.lit(6, 8);
+    let done = b.eq(r.q(), six);
+    b.finish(done);
+    let n = b.finish_build().unwrap();
+    let tape = Tape::compile(&n).unwrap();
+    let par = ParallelSim::new(&tape, 3, 2);
+    let run = par.run(100);
+    assert!(run.stats.finished);
+    assert_eq!(run.stats.cycles, 7);
+    assert_eq!(run.displays, vec!["hit 3"]);
+    assert!(run.failed_assert.is_none());
+}
+
+#[test]
+fn parallel_task_graph_sane() {
+    let n = random_netlist(99, 120);
+    let tape = Tape::compile(&n).unwrap();
+    let par = ParallelSim::new(&tape, 4, 10);
+    assert!(par.num_tasks() >= 1);
+}
+
+#[test]
+fn model_runs_produce_time() {
+    let r1 = crate::models::model1(2, 1000, 200);
+    assert!(r1.rate_khz() > 0.0);
+    let r2 = crate::models::model2(2, 1000, 200);
+    assert!(r2.rate_khz() > 0.0);
+}
+
+#[test]
+fn step_size_reports_ops() {
+    let n = counter(16);
+    let tape = Tape::compile(&n).unwrap();
+    assert!(tape.step_size() >= 3);
+}

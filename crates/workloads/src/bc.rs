@@ -1,0 +1,159 @@
+//! `bc` — bitcoin miner analog: a SHA-256-style compression pipeline
+//! searching nonces against a difficulty target.
+//!
+//! Structure mirrors the open-source FPGA miner the paper uses: deep, wide
+//! bitwise logic (rotations, `Ch`/`Maj`, carry-heavy 32-bit adds) with
+//! almost no memory — the custom-function synthesis showcase. Each cycle
+//! advances two SHA rounds and one nonce; a match fires `$display`.
+
+use manticore_netlist::{NetId, Netlist, NetlistBuilder};
+
+use crate::util::finish_after;
+
+/// SHA-256 round constants (first 16).
+const K: [u32; 16] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174,
+];
+
+/// SHA-256 initial hash values.
+const H: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+fn big_sigma0(b: &mut NetlistBuilder, x: NetId) -> NetId {
+    let r2 = b.rotr_const(x, 2);
+    let r13 = b.rotr_const(x, 13);
+    let r22 = b.rotr_const(x, 22);
+    let t = b.xor(r2, r13);
+    b.xor(t, r22)
+}
+
+fn big_sigma1(b: &mut NetlistBuilder, x: NetId) -> NetId {
+    let r6 = b.rotr_const(x, 6);
+    let r11 = b.rotr_const(x, 11);
+    let r25 = b.rotr_const(x, 25);
+    let t = b.xor(r6, r11);
+    b.xor(t, r25)
+}
+
+fn ch(b: &mut NetlistBuilder, x: NetId, y: NetId, z: NetId) -> NetId {
+    // (x & y) ^ (~x & z)
+    let xy = b.and(x, y);
+    let nx = b.not(x);
+    let nxz = b.and(nx, z);
+    b.xor(xy, nxz)
+}
+
+fn maj(b: &mut NetlistBuilder, x: NetId, y: NetId, z: NetId) -> NetId {
+    let xy = b.and(x, y);
+    let xz = b.and(x, z);
+    let yz = b.and(y, z);
+    let t = b.xor(xy, xz);
+    b.xor(t, yz)
+}
+
+/// Builds the default-size miner (6 pipelines, 2 rounds/cycle) — real
+/// miners replicate the hash pipeline to search disjoint nonce ranges.
+pub fn bc() -> Netlist {
+    bc_sized(6, 2, 2000)
+}
+
+/// Builds a miner with `pipes` parallel hash pipelines, each advancing
+/// `rounds_per_cycle` SHA rounds per clock, finishing after `cycles`.
+pub fn bc_sized(pipes: usize, rounds_per_cycle: usize, cycles: u64) -> Netlist {
+    let mut b = NetlistBuilder::new("bc");
+    let mut hash_heads = Vec::new();
+    for pipe in 0..pipes {
+        let head = bc_pipe(&mut b, pipe, rounds_per_cycle);
+        hash_heads.push(head);
+    }
+    // Cross-pipe checksum keeps every pipeline observable.
+    let mut fold = hash_heads[0];
+    for &h in &hash_heads[1..] {
+        fold = b.xor(fold, h);
+    }
+    let csum = b.reg("csum", 32, 0);
+    let mixed = b.add(csum.q(), fold);
+    b.set_next(csum, mixed);
+    b.output("csum", csum.q());
+    finish_after(&mut b, cycles);
+    b.finish_build().expect("bc netlist is structurally valid")
+}
+
+/// One hash pipeline; returns its `a` register net.
+fn bc_pipe(b: &mut NetlistBuilder, pipe: usize, rounds_per_cycle: usize) -> NetId {
+    // Working state a..h.
+    let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
+    let regs: Vec<_> = (0..8)
+        .map(|i| {
+            b.reg(
+                format!("{}{}", names[i], pipe),
+                32,
+                (H[i] as u64).wrapping_add(pipe as u64 * 0x9e3779b9) & 0xffff_ffff,
+            )
+        })
+        .collect();
+    let mut v: Vec<NetId> = regs.iter().map(|r| r.q()).collect();
+
+    // Nonce counter (disjoint range per pipe), mixed into the schedule.
+    let nonce = b.reg(format!("nonce{pipe}"), 32, (pipe as u64) << 28);
+    let one = b.lit(1, 32);
+    let nonce_next = b.add(nonce.q(), one);
+    b.set_next(nonce, nonce_next);
+
+    // Round counter selects the constant.
+    let round = b.reg(format!("round{pipe}"), 4, 0);
+    let r1 = b.lit(1, 4);
+    let round_next = b.add(round.q(), r1);
+    b.set_next(round, round_next);
+
+    // K constant mux tree over the round counter.
+    let mut kmux = b.lit(K[0] as u64, 32);
+    for (i, &k) in K.iter().enumerate().skip(1) {
+        let i_c = b.lit(i as u64, 4);
+        let is_i = b.eq(round.q(), i_c);
+        let k_c = b.lit(k as u64, 32);
+        kmux = b.mux(is_i, k_c, kmux);
+    }
+
+    for round_i in 0..rounds_per_cycle {
+        // w: message word derived from the nonce (schedule analog).
+        let rot = b.rotr_const(nonce.q(), (round_i * 7 + 3) % 31 + 1);
+        let w = b.xor(rot, v[7]);
+
+        let s1 = big_sigma1(b, v[4]);
+        let chv = ch(b, v[4], v[5], v[6]);
+        let t1a = b.add(v[7], s1);
+        let t1b = b.add(t1a, chv);
+        let t1c = b.add(t1b, kmux);
+        let t1 = b.add(t1c, w);
+        let s0 = big_sigma0(b, v[0]);
+        let majv = maj(b, v[0], v[1], v[2]);
+        let t2 = b.add(s0, majv);
+
+        let new_e = b.add(v[3], t1);
+        let new_a = b.add(t1, t2);
+        v = vec![new_a, v[0], v[1], v[2], new_e, v[4], v[5], v[6]];
+    }
+    for (i, r) in regs.iter().enumerate() {
+        b.set_next(*r, v[i]);
+    }
+
+    // Difficulty check: top 8 bits of `a` must be zero -> "share found".
+    let top = b.slice(regs[0].q(), 24, 8);
+    let zero8 = b.lit(0, 8);
+    let found = b.eq(top, zero8);
+    if pipe == 0 {
+        b.display(found, "share found: nonce={} a={}", &[nonce.q(), regs[0].q()]);
+        // Invariant: the round counter must stay < 16 by construction.
+        let lim = b.lit(15, 4);
+        let in_range = b.ult(round.q(), lim);
+        let at_lim = b.eq(round.q(), lim);
+        let ok = b.or(in_range, at_lim);
+        b.expect_true(ok, "round counter overflow");
+    }
+    regs[0].q()
+}

@@ -1,0 +1,85 @@
+//! `jpeg` — a pipelined JPEG decoder analog dominated by serial
+//! variable-length (Huffman) decoding.
+//!
+//! The paper's jpeg benchmark is its Amdahl's-law case: "Huffman table
+//! lookup is the bottleneck" — a serial chain where each decoded symbol's
+//! *length* determines where the next symbol starts, so almost nothing
+//! parallelizes. This analog reproduces exactly that: a bit-buffer register
+//! feeds a code table; the decoded length shifts the buffer for the next
+//! cycle; symbols flow through a small dequant/accumulate tail. It is also
+//! deliberately the smallest design of the suite.
+
+use manticore_bits::Bits;
+use manticore_netlist::{Netlist, NetlistBuilder};
+
+use crate::util::{finish_after, xorshift32};
+
+/// Default size.
+pub fn jpeg() -> Netlist {
+    jpeg_sized(2000)
+}
+
+/// Builds the decoder; finishes after `cycles`.
+pub fn jpeg_sized(cycles: u64) -> Netlist {
+    let mut b = NetlistBuilder::new("jpeg");
+
+    // 32-bit bit buffer, refilled from an xorshift "bitstream".
+    let bitbuf = b.reg_init("bitbuf", 32, Bits::from_u64(0x9e3779b9, 32));
+    let stream = xorshift32(&mut b, "stream", 0xc0ffee);
+
+    // Huffman table: 64 entries indexed by the top 6 bits; each entry is
+    // {len[3:0], sym[11:0]} with len in 1..=8.
+    let table_words: Vec<Bits> = (0..64u64)
+        .map(|i| {
+            let len = (i % 7) + 2; // 2..=8
+            let sym = (i * 73 + 5) & 0xfff;
+            Bits::from_u64((len << 12) | sym, 16)
+        })
+        .collect();
+    let table = b.memory_init("hufftab", 64, 16, table_words);
+
+    // Serial decode: top 6 bits -> entry -> len -> shift.
+    let top6 = b.slice(bitbuf.q(), 26, 6);
+    let entry = b.mem_read(table, top6);
+    let len = b.slice(entry, 12, 4);
+    let sym = b.slice(entry, 0, 12);
+
+    // Consume `len` bits; refill the bottom from the stream.
+    let len32 = b.zext(len, 32);
+    let shifted = b.shl(bitbuf.q(), len32);
+    // mask of `len` bits for the refill
+    let one = b.lit(1, 32);
+    let m = b.shl(one, len32);
+    let mask = b.sub(m, one);
+    let fresh = b.and(stream, mask);
+    let refilled = b.or(shifted, fresh);
+    b.set_next(bitbuf, refilled);
+
+    // Dequant + accumulate tail (the parallelizable but tiny part).
+    let qtab = b.lit(3, 12);
+    let deq = b.mul(sym, qtab);
+    let acc = b.reg("acc", 16, 0);
+    let deq16 = b.zext(deq, 16);
+    let acc_next = b.add(acc.q(), deq16);
+    b.set_next(acc, acc_next);
+
+    // Pixel output register with a simple level shift.
+    let bias = b.lit(128, 16);
+    let pixel = b.add(deq16, bias);
+    let pix = b.reg("pixel", 16, 0);
+    b.set_next(pix, pixel);
+
+    b.output("acc", acc.q());
+    b.output("pixel", pix.q());
+
+    // Invariant: table lengths are always 2..=8.
+    let two = b.lit(2, 4);
+    let nine = b.lit(9, 4);
+    let ge2 = b.uge(len, two);
+    let lt9 = b.ult(len, nine);
+    let ok = b.and(ge2, lt9);
+    b.expect_true(ok, "huffman length out of range");
+
+    finish_after(&mut b, cycles);
+    b.finish_build().expect("jpeg netlist is structurally valid")
+}

@@ -1,0 +1,93 @@
+//! `mc` — Monte-Carlo stock-option price evolution with fixed-point
+//! arithmetic (the paper's FPGA financial engine, Tian & Benkrid FPT'08).
+//!
+//! Many independent simulation lanes, each with its own xorshift RNG and a
+//! Q8.8 geometric-walk price update — the suite's embarrassingly-parallel
+//! extreme (Fig. 7 shows mc scaling the furthest).
+
+use manticore_netlist::{Netlist, NetlistBuilder};
+
+use crate::util::{finish_after, xorshift32};
+
+/// Default: 96 lanes.
+pub fn mc() -> Netlist {
+    mc_sized(96, 2000)
+}
+
+/// `lanes` independent price walkers.
+pub fn mc_sized(lanes: usize, cycles: u64) -> Netlist {
+    let mut b = NetlistBuilder::new("mc");
+
+    let mut finals = Vec::with_capacity(lanes);
+    let mut rng0 = None;
+    for lane in 0..lanes {
+        // Per-lane RNG.
+        let rng = xorshift32(&mut b, &format!("lane{lane}"), 0x9e37 + lane as u32 * 0x79b9);
+        if lane == 0 {
+            rng0 = Some(rng);
+        }
+        // Gaussian-ish noise: sum of four 8-bit slices (CLT approximation),
+        // centred at 2*255.
+        let n0 = b.slice(rng, 0, 8);
+        let n1 = b.slice(rng, 8, 8);
+        let n2 = b.slice(rng, 16, 8);
+        let n3 = b.slice(rng, 24, 8);
+        let mut noise = b.zext(n0, 16);
+        for n in [n1, n2, n3] {
+            let e = b.zext(n, 16);
+            noise = b.add(noise, e);
+        }
+        let center = b.lit(510, 16);
+        let centred = b.sub(noise, center); // roughly symmetric around 0
+
+        // Price state in Q8.8 (256 = 1.0).
+        let price = b.reg(format!("price{lane}"), 16, 256);
+        // drift: price * mu (mu = 1/256)
+        let drift = b.shr_const(price.q(), 8);
+        // diffusion: price * noise, scaled by sigma = 2^-12
+        let vol = b.mul(price.q(), centred);
+        let diff_scaled = b.shr_const(vol, 12);
+        let up = b.add(price.q(), drift);
+        let next_price = b.add(up, diff_scaled);
+        b.set_next(price, next_price);
+        finals.push(price.q());
+    }
+
+    // Payoff accumulation as a two-stage pipelined reduction tree (as the
+    // FPGA engine would build it): groups of 8 lanes reduce into partial
+    // registers, which a second stage sums — so each group is an
+    // independently schedulable cone.
+    let strike = b.lit(200, 16);
+    let mut partials = Vec::new();
+    for (g, chunk) in finals.chunks(8).enumerate() {
+        let mut group_sum = b.lit(0, 16);
+        for &p in chunk {
+            let above = b.uge(p, strike);
+            let diff = b.sub(p, strike);
+            let zero = b.lit(0, 16);
+            let payoff = b.mux(above, diff, zero);
+            group_sum = b.add(group_sum, payoff);
+        }
+        let pr = b.reg(format!("partial{g}"), 16, 0);
+        b.set_next(pr, group_sum);
+        partials.push(pr.q());
+    }
+    let mut payoff_sum = b.lit(0, 16);
+    for &p in &partials {
+        payoff_sum = b.add(payoff_sum, p);
+    }
+    let acc = b.reg("payoff_acc", 16, 0);
+    let acc_next = b.add(acc.q(), payoff_sum);
+    b.set_next(acc, acc_next);
+    b.output("payoff_acc", acc.q());
+
+    // Invariant: a non-zero-seeded xorshift can never reach zero.
+    let rng0 = rng0.expect("at least one lane");
+    let z32 = b.lit(0, 32);
+    let rng_live = b.ne(rng0, z32);
+    b.expect_true(rng_live, "lane-0 RNG collapsed to zero");
+    b.output("lane0", finals[0]);
+
+    finish_after(&mut b, cycles);
+    b.finish_build().expect("mc netlist is structurally valid")
+}

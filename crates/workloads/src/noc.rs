@@ -1,0 +1,153 @@
+//! `noc` — a 2D 4×4 unidirectional torus network-on-chip with wormhole-style
+//! routers and four virtual channels.
+//!
+//! Control-heavy: every router arbitrates between through-traffic (+x, +y)
+//! and local injection across four VC registers with round-robin selection
+//! and dimension-ordered route computation — wide fan-in muxing with little
+//! arithmetic, the paper's interconnect benchmark.
+//!
+//! Flit format (16 bits): `{vc[1:0], dest_x[1:0], dest_y[1:0], payload[8:0],
+//! valid[0]}` packed as `valid | payload<<1 | dy<<10 | dx<<12 | vc<<14`.
+
+use manticore_netlist::{NetId, Netlist, NetlistBuilder, RegHandle};
+
+use crate::util::{finish_after, lfsr16};
+
+/// Default 4×4 torus with 4 VCs.
+pub fn noc() -> Netlist {
+    noc_sized(4, 4, 2000)
+}
+
+/// `k × k` torus with `vcs` virtual channels per port.
+///
+/// # Panics
+///
+/// Panics unless `k` is a power of two and `vcs >= 1`.
+pub fn noc_sized(k: usize, vcs: usize, cycles: u64) -> Netlist {
+    assert!(k.is_power_of_two() && vcs >= 1);
+    let kw = k.trailing_zeros() as usize; // coordinate width
+    let mut b = NetlistBuilder::new("noc");
+
+    // Output registers of each router, per VC, for the +x and +y links.
+    // Created first so neighbours can be referenced cyclically.
+    let mut xout: Vec<Vec<RegHandle>> = Vec::new();
+    let mut yout: Vec<Vec<RegHandle>> = Vec::new();
+    for r in 0..k * k {
+        xout.push((0..vcs).map(|v| b.reg(format!("xo{r}_{v}"), 16, 0)).collect());
+        yout.push((0..vcs).map(|v| b.reg(format!("yo{r}_{v}"), 16, 0)).collect());
+    }
+
+    let mut delivered_bits: Vec<NetId> = Vec::new();
+    for y in 0..k {
+        for x in 0..k {
+            let rid = y * k + x;
+            let west = ((x + k - 1) % k) + y * k;
+            let south = x + ((y + k - 1) % k) * k;
+
+            // Round-robin VC pointer.
+            let vcw = vcs.next_power_of_two().trailing_zeros().max(1) as usize;
+            let rr = b.reg(format!("rr{rid}"), vcw, 0);
+            let one = b.lit(1, vcw);
+            let rr_next = b.add(rr.q(), one);
+            b.set_next(rr, rr_next);
+
+            // Local injector: occasionally creates a flit to a pseudo-random
+            // destination.
+            let stim = lfsr16(&mut b, &format!("inj{rid}"), (rid as u16 + 1) * 0x3d9);
+            let fire = {
+                let low = b.slice(stim, 0, 3);
+                let z = b.lit(0, 3);
+                b.eq(low, z)
+            };
+            let dest_x = b.slice(stim, 4, kw);
+            let dest_y = b.slice(stim, 4 + kw, kw);
+            let payload = b.slice(stim, 8, 8);
+            // Build the flit.
+            let one1 = b.lit(1, 1);
+            let p9 = b.zext(payload, 9);
+            let body = b.concat(p9, one1); // {payload, valid}
+            let dxy = b.concat(dest_x, dest_y); // {dx, dy}? careful: concat(hi=dest_x? we pass (hi,lo)
+            let flit_lo = b.concat(dxy, body);
+            let vc_bits = 16 - (10 + 2 * kw);
+            let vc_sel = b.slice(stim, 16 - vc_bits, vc_bits);
+            let inj_flit = b.concat(vc_sel, flit_lo);
+
+            // Per-VC: arbitrate west-through, south-through, injection.
+            for v in 0..vcs {
+                let from_w = xout[west][v].q();
+                let from_s = yout[south][v].q();
+                let wv = b.bit(from_w, 0);
+                let sv = b.bit(from_s, 0);
+
+                // Candidate flit: west wins, else south, else injection on
+                // the round-robin VC.
+                let v_c = b.lit(v as u64, vcw);
+                let inj_here_vc = b.eq(rr.q(), v_c);
+                let inj_valid = b.and(fire, inj_here_vc);
+                let cand1 = b.mux(wv, from_w, from_s);
+                let sv_or_wv = b.or(wv, sv);
+                let cand = b.mux(sv_or_wv, cand1, inj_flit);
+                let cand_valid_pre = b.or(sv_or_wv, inj_valid);
+                let cv = b.bit(cand, 0);
+                let cand_valid = b.and(cand_valid_pre, cv);
+
+                // Route: compare destination with our coordinates.
+                let dx = b.slice(cand, 10 + kw, kw);
+                let dy = b.slice(cand, 10, kw);
+                let my_x = b.lit(x as u64, kw);
+                let my_y = b.lit(y as u64, kw);
+                let x_match = b.eq(dx, my_x);
+                let y_match = b.eq(dy, my_y);
+                let here = b.and(x_match, y_match);
+                let go_x = b.not(x_match);
+
+                // Deliver locally: count it.
+                let deliver = b.and(cand_valid, here);
+                delivered_bits.push(deliver);
+
+                // Forward: to +x if x mismatch, else +y.
+                let zero16 = b.lit(0, 16);
+                let fwd_x = b.and(cand_valid, go_x);
+                let keep_x = b.mux(fwd_x, cand, zero16);
+                b.set_next(xout[rid][v], keep_x);
+                let not_here = b.not(here);
+                let fwd_y_cond = b.and(x_match, not_here);
+                let fwd_y = b.and(cand_valid, fwd_y_cond);
+                let keep_y = b.mux(fwd_y, cand, zero16);
+                b.set_next(yout[rid][v], keep_y);
+            }
+        }
+    }
+
+    // Delivered-flit counter: a pipelined popcount — per-router partial
+    // counters reduce into the global counter one cycle later, keeping the
+    // statistics logic from serializing the router array.
+    let per_router = k * vcs; // delivered bits contributed per router row chunk
+    let mut partials = Vec::new();
+    for (g, chunk) in delivered_bits.chunks(per_router).enumerate() {
+        let mut cnt = b.lit(0, 16);
+        for &d in chunk {
+            let e = b.zext(d, 16);
+            cnt = b.add(cnt, e);
+        }
+        let pr = b.reg(format!("dcount{g}"), 16, 0);
+        b.set_next(pr, cnt);
+        partials.push(pr.q());
+    }
+    let mut pop = b.lit(0, 16);
+    for &p in &partials {
+        pop = b.add(pop, p);
+    }
+    let delivered = b.reg("delivered", 16, 0);
+    let d_next = b.add(delivered.q(), pop);
+    b.set_next(delivered, d_next);
+    b.output("delivered", delivered.q());
+
+    // Invariant: per-cycle deliveries bounded by router*vc count.
+    let bound = b.lit((k * k * vcs + 1) as u64, 16);
+    let ok = b.ult(pop, bound);
+    b.expect_true(ok, "impossible delivery count");
+
+    finish_after(&mut b, cycles);
+    b.finish_build().expect("noc netlist is structurally valid")
+}

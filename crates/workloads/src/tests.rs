@@ -1,0 +1,156 @@
+//! Workload sanity tests: every benchmark must be closed, acyclic,
+//! self-checking, and runnable on the reference evaluator. (Machine-level
+//! equivalence for all nine lives in the workspace integration tests.)
+
+use manticore_netlist::eval::Evaluator;
+
+use crate::{all, by_name};
+
+#[test]
+fn all_nine_exist() {
+    let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+    assert_eq!(
+        names,
+        vec!["vta", "mc", "noc", "mm", "rv32r", "cgra", "bc", "blur", "jpeg"]
+    );
+}
+
+#[test]
+fn workloads_are_closed() {
+    for w in all() {
+        assert!(
+            w.netlist.inputs().is_empty(),
+            "{} has primary inputs; drivers must be self-contained",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn workloads_have_assertions_and_finish() {
+    for w in all() {
+        assert!(
+            !w.netlist.expects().is_empty(),
+            "{} lacks assertions (the paper wraps benchmarks in assertion drivers)",
+            w.name
+        );
+        assert!(
+            !w.netlist.finishes().is_empty(),
+            "{} never finishes",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn workloads_run_clean_on_the_evaluator() {
+    for w in all() {
+        let mut sim = Evaluator::new(&w.netlist);
+        for cycle in 0..w.test_cycles {
+            let ev = sim.step();
+            assert!(
+                ev.failed_expects.is_empty(),
+                "{} assertion failed at cycle {cycle}: {:?}",
+                w.name,
+                ev.failed_expects
+            );
+            if ev.finished {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn workloads_eventually_finish() {
+    for w in all() {
+        let mut sim = Evaluator::new(&w.netlist);
+        let (cycles, finished) = sim.run(w.bench_cycles + 10);
+        assert!(finished, "{} did not finish within {cycles} cycles", w.name);
+    }
+}
+
+#[test]
+fn workload_state_changes_over_time() {
+    // Guards against accidentally-constant designs: some register must
+    // change within the first 32 cycles.
+    for w in all() {
+        let mut sim = Evaluator::new(&w.netlist);
+        let initial: Vec<_> = sim.reg_values().to_vec();
+        for _ in 0..32 {
+            sim.step();
+        }
+        let changed = sim
+            .reg_values()
+            .iter()
+            .zip(&initial)
+            .any(|(a, b)| a != b);
+        assert!(changed, "{} state is frozen", w.name);
+    }
+}
+
+#[test]
+fn by_name_lookup() {
+    assert!(by_name("jpeg").is_some());
+    assert!(by_name("nope").is_none());
+}
+
+#[test]
+fn step_sizes_are_ordered_roughly_like_the_paper() {
+    // Table 3 orders benchmarks by step size: vta is the largest, jpeg the
+    // smallest. Check the two anchors (the middle order is allowed to
+    // differ from the paper's x86 instruction counts).
+    let sizes: Vec<(String, usize)> = all()
+        .iter()
+        .map(|w| (w.name.to_string(), w.netlist.nets().len()))
+        .collect();
+    let jpeg = sizes.iter().find(|(n, _)| n == "jpeg").unwrap().1;
+    for (name, s) in &sizes {
+        if name != "jpeg" {
+            assert!(
+                *s > jpeg,
+                "jpeg must be the smallest step (it is the serial Amdahl case)"
+            );
+        }
+    }
+    let vta = sizes.iter().find(|(n, _)| n == "vta").unwrap().1;
+    let blur = sizes.iter().find(|(n, _)| n == "blur").unwrap().1;
+    assert!(vta > blur, "vta should dwarf blur");
+}
+
+#[test]
+fn sha_rounds_mix_state() {
+    // bc's hash state must diverge from the SHA-256 IV quickly.
+    let w = by_name("bc").unwrap();
+    let mut sim = Evaluator::new(&w.netlist);
+    sim.step();
+    sim.step();
+    let a = sim.reg_value(0).to_u64();
+    assert_ne!(a, 0x6a09e667, "compression rounds must change `a`");
+}
+
+#[test]
+fn noc_delivers_flits() {
+    let w = by_name("noc").unwrap();
+    let mut sim = Evaluator::new(&w.netlist);
+    for _ in 0..200 {
+        sim.step();
+    }
+    let delivered = sim.output_value("delivered").unwrap().to_u64();
+    assert!(delivered > 0, "no flit was ever delivered");
+}
+
+#[test]
+fn mm_produces_results() {
+    let w = by_name("mm").unwrap();
+    let mut sim = Evaluator::new(&w.netlist);
+    let mut produced = false;
+    for _ in 0..1100 {
+        let ev = sim.step();
+        produced |= ev.displays.iter().any(|d| d.contains("mm complete"));
+        if ev.finished {
+            break;
+        }
+    }
+    assert!(produced, "mm never completed a full matrix pass");
+}

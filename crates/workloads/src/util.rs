@@ -1,0 +1,51 @@
+//! Shared building blocks for the workload generators.
+
+use manticore_netlist::{NetId, NetlistBuilder, RegHandle};
+
+/// A 16-bit Galois LFSR (taps 0xB400) — the standard self-stimulus source.
+/// Returns the current (pseudo-random, never-zero) value net.
+pub fn lfsr16(b: &mut NetlistBuilder, name: &str, seed: u16) -> NetId {
+    let seed = if seed == 0 { 0xace1 } else { seed };
+    let r = b.reg(format!("{name}_lfsr"), 16, seed as u64);
+    let lsb = b.bit(r.q(), 0);
+    let shifted = b.shr_const(r.q(), 1);
+    let taps = b.lit(0xb400, 16);
+    let toggled = b.xor(shifted, taps);
+    let next = b.mux(lsb, toggled, shifted);
+    b.set_next(r, next);
+    r.q()
+}
+
+/// A 32-bit xorshift RNG register; returns `(current value, handle)`.
+pub fn xorshift32(b: &mut NetlistBuilder, name: &str, seed: u32) -> NetId {
+    let seed = if seed == 0 { 0x1234_5678 } else { seed };
+    let r = b.reg(format!("{name}_xs"), 32, seed as u64);
+    let s1 = b.shl_const(r.q(), 13);
+    let x1 = b.xor(r.q(), s1);
+    let s2 = b.shr_const(x1, 17);
+    let x2 = b.xor(x1, s2);
+    let s3 = b.shl_const(x2, 5);
+    let x3 = b.xor(x2, s3);
+    b.set_next(r, x3);
+    r.q()
+}
+
+/// A free-running cycle counter of `width` bits.
+pub fn cycle_counter(b: &mut NetlistBuilder, name: &str, width: usize) -> RegHandle {
+    let r = b.reg(name, width, 0);
+    let one = b.lit(1, width);
+    let next = b.add(r.q(), one);
+    b.set_next(r, next);
+    r
+}
+
+/// Finishes the simulation after `cycles` cycles (adds a dedicated counter)
+/// and returns the counter's current-value net.
+pub fn finish_after(b: &mut NetlistBuilder, cycles: u64) -> NetId {
+    let width = 64 - cycles.leading_zeros() as usize + 1;
+    let c = cycle_counter(b, "finish_ctr", width.max(2));
+    let limit = b.lit(cycles, c.width());
+    let done = b.eq(c.q(), limit);
+    b.finish(done);
+    c.q()
+}

@@ -1,0 +1,131 @@
+//! `vta` — a simplified tensor accelerator: load / compute / store stages
+//! over on-chip buffers, GEMM inner loops with a wide spatial unroll.
+//!
+//! Mirrors the paper's enlarged VTA configuration (blockIn/blockOut raised,
+//! buffers shrunk to fit the scratchpads): an input buffer and a weight
+//! buffer feed `block` MACs per cycle into an accumulator buffer, with FSM
+//! sequencing between stages. The biggest step size of the suite.
+
+use manticore_bits::Bits;
+use manticore_netlist::{Netlist, NetlistBuilder};
+
+use crate::util::finish_after;
+
+/// Default size: 16 banks, block of 16, 16-entry accumulator tiles.
+pub fn vta() -> Netlist {
+    vta_sized(16, 16, 16, 2000)
+}
+
+/// A banked ("spatial", as the paper's enlarged configuration) GEMM unit:
+/// `banks` independent lanes, each with its own input/weight/accumulator
+/// buffers and `block` MACs per cycle over a `tile`-row accumulator.
+///
+/// # Panics
+///
+/// Panics unless `block` and `tile` are powers of two.
+pub fn vta_sized(banks: usize, block: usize, tile: usize, cycles: u64) -> Netlist {
+    assert!(block.is_power_of_two() && tile.is_power_of_two());
+    let mut b = NetlistBuilder::new("vta");
+    let mut results = Vec::new();
+    for bank in 0..banks {
+        let r = vta_bank(&mut b, bank, block, tile);
+        results.push(r);
+    }
+    // Cross-bank checksum observed by the driver.
+    let mut fold = results[0];
+    for &r in &results[1..] {
+        fold = b.xor(fold, r);
+    }
+    let total = b.reg("total", 16, 0);
+    let mixed = b.add(total.q(), fold);
+    b.set_next(total, mixed);
+    b.output("total", total.q());
+    let ok = b.lit(1, 1);
+    b.expect_true(ok, "unreachable");
+    finish_after(&mut b, cycles);
+    b.finish_build().expect("vta netlist is structurally valid")
+}
+
+/// One GEMM bank; returns its result-register net.
+fn vta_bank(
+    b: &mut NetlistBuilder,
+    bank: usize,
+    block: usize,
+    tile: usize,
+) -> manticore_netlist::NetId {
+    let inp_depth = tile * block;
+
+    // Buffers: input activations, weights, accumulators.
+    let mut seed = 7u16.wrapping_add(bank as u16 * 131);
+    let mut words = |n: usize| -> Vec<Bits> {
+        (0..n)
+            .map(|_| {
+                seed = seed.wrapping_mul(31421).wrapping_add(6927);
+                Bits::from_u64(seed as u64, 16)
+            })
+            .collect()
+    };
+    let inp_init = words(inp_depth);
+    let wgt_init = words(block * block);
+    let inp = b.memory_init(format!("inp{bank}"), inp_depth, 16, inp_init);
+    let wgt = b.memory_init(format!("wgt{bank}"), block * block, 16, wgt_init);
+    let acc_buf = b.memory(format!("acc{bank}"), tile, 16);
+
+    let row_w = tile.trailing_zeros() as usize;
+    let k_w = block.trailing_zeros() as usize;
+    let addr_w = row_w + k_w;
+
+    // FSM: for each output row: `block` MACs/cycle over the k dimension
+    // (fully unrolled), so one row per cycle; stage counter walks rows.
+    let row = b.reg(format!("row{bank}"), row_w, 0);
+    let pass = b.reg(format!("pass{bank}"), 8, 0);
+
+    // Row dot product, fully unrolled over k.
+    let mut dot = b.lit(0, 16);
+    for kk in 0..block {
+        // inp[row*block + kk]
+        let row_ext = b.zext(row.q(), addr_w);
+        let row_sh = b.shl_const(row_ext, k_w);
+        let kk_c = b.lit(kk as u64, addr_w);
+        let ia = b.or(row_sh, kk_c);
+        let iv = b.mem_read(inp, ia);
+        // wgt[kk*block + (row & (block-1))]
+        let col = b.slice(row.q(), 0, k_w.min(row_w));
+        let col_ext = b.zext(col, 2 * k_w);
+        let kk_sh = b.lit((kk * block) as u64, 2 * k_w);
+        let wa = b.or(kk_sh, col_ext);
+        let wv = b.mem_read(wgt, wa);
+        let prod = b.mul(iv, wv);
+        let scaled = b.shr_const(prod, 4);
+        dot = b.add(dot, scaled);
+    }
+
+    // Accumulate into acc[row].
+    let acc_rd = b.mem_read(acc_buf, row.q());
+    let acc_new = b.add(acc_rd, dot);
+    let one1 = b.lit(1, 1);
+    b.mem_write(acc_buf, row.q(), acc_new, one1);
+
+    // Row walk; pass counter on wrap.
+    let one_r = b.lit(1, row_w);
+    let row_next = b.add(row.q(), one_r);
+    b.set_next(row, row_next);
+    let last = b.lit((tile - 1) as u64, row_w);
+    let wrapped = b.eq(row.q(), last);
+    let one8 = b.lit(1, 8);
+    let pass_inc = b.add(pass.q(), one8);
+    let pass_next = b.mux(wrapped, pass_inc, pass.q());
+    b.set_next(pass, pass_next);
+
+    // Store stage: on wrap, fold the freshest accumulator into a result
+    // register (the "store to DRAM" analog kept on-chip).
+    let result = b.reg(format!("result{bank}"), 16, 0);
+    let folded = b.xor(result.q(), acc_new);
+    let result_next = b.mux(wrapped, folded, result.q());
+    b.set_next(result, result_next);
+    if bank == 0 {
+        b.display(wrapped, "vta pass {} result {}", &[pass.q(), result.q()]);
+    }
+
+    result.q()
+}

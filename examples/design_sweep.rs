@@ -1,0 +1,47 @@
+//! Design sweep: compile one workload across grid sizes and watch the
+//! compiler-predicted scaling — a miniature of the paper's Fig. 7, which
+//! uses the compiler's virtual critical-path length (VCPL) as the cycle
+//! count per simulated RTL cycle.
+//!
+//! Run with: `cargo run --release --example design_sweep [workload]`
+
+use manticore::compiler::{compile, CompileOptions};
+use manticore::isa::MachineConfig;
+use manticore::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cgra".into());
+    let w = workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}` (try vta, mc, noc, mm, ...)"));
+
+    println!("workload: {} ({} nets)", w.name, w.netlist.nets().len());
+    println!("{:>6} {:>8} {:>12} {:>10} {:>8}", "cores", "VCPL", "rate (kHz)", "speedup", "sends");
+
+    let mut base_vcpl = None;
+    for grid in [1usize, 2, 3, 5, 7, 9, 12, 15] {
+        let config = MachineConfig::with_grid(grid, grid);
+        let options = CompileOptions {
+            config: config.clone(),
+            ..Default::default()
+        };
+        match compile(&w.netlist, &options) {
+            Ok(out) => {
+                let vcpl = out.report.vcpl;
+                let base = *base_vcpl.get_or_insert(vcpl);
+                println!(
+                    "{:>6} {:>8} {:>12.1} {:>9.2}x {:>8}",
+                    grid * grid,
+                    vcpl,
+                    config.simulation_rate_khz(vcpl),
+                    base as f64 / vcpl as f64,
+                    out.report.total_sends
+                );
+            }
+            Err(e) => {
+                // Small grids may not fit the design (instruction memory).
+                println!("{:>6} does not fit: {e}", grid * grid);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Mining rig: the paper's `bc` benchmark end to end — run the SHA-256
+//! miner on the Verilator-analog baseline and on Manticore, and compare
+//! simulation rates the way Table 3 does.
+//!
+//! Run with: `cargo run --release --example mining_rig`
+
+use manticore::prelude::*;
+use manticore::refsim::{ParallelSim, SerialSim, Tape};
+use manticore::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = workloads::bc();
+    let cycles = 2_000;
+
+    // --- Baseline: serial software simulation ------------------------
+    let tape = Tape::compile(&netlist)?;
+    println!("bc step size: {} ops/cycle", tape.step_size());
+    let mut serial = SerialSim::new(&tape);
+    let s = serial.run(cycles);
+    println!(
+        "serial baseline : {:>8.1} kHz ({} cycles in {:.3}s)",
+        s.rate_khz(),
+        s.cycles,
+        s.seconds
+    );
+
+    // --- Baseline: multithreaded macro-tasks -------------------------
+    for threads in [2, 4] {
+        let par = ParallelSim::new(&tape, threads, 64);
+        let r = par.run(cycles);
+        println!(
+            "parallel x{threads}     : {:>8.1} kHz ({} macro-tasks)",
+            r.stats.rate_khz(),
+            par.num_tasks()
+        );
+    }
+
+    // --- Manticore ----------------------------------------------------
+    let config = MachineConfig::default(); // 15×15 grid @ 475 MHz
+    let mut sim = ManticoreSim::compile(&netlist, config)?;
+    let outcome = sim.run(cycles)?;
+    let report = &sim.compile_output().report;
+    println!(
+        "manticore 15x15 : {:>8.1} kHz predicted (VCPL {} over {} cores), {} shares found",
+        sim.simulation_rate_khz(),
+        report.vcpl,
+        report.cores_used,
+        outcome.displays.len()
+    );
+    println!(
+        "machine counters: {} compute cycles, {} instructions, {} sends",
+        sim.machine().counters().compute_cycles,
+        sim.machine().counters().instructions,
+        sim.machine().counters().sends
+    );
+    Ok(())
+}

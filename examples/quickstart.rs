@@ -1,0 +1,52 @@
+//! Quickstart: describe a circuit, compile it for Manticore, simulate it,
+//! and read the state back.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use manticore::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the design — a 32-bit Fibonacci generator with a
+    //    self-checking driver (the builder DSL plays the role of the
+    //    paper's Verilog frontend).
+    let mut b = NetlistBuilder::new("fibonacci");
+    let a = b.reg("a", 32, 0);
+    let c = b.reg("c", 32, 1);
+    let sum = b.add(a.q(), c.q());
+    b.set_next(a, c.q());
+    b.set_next(c, sum);
+
+    // $display each value; $finish once it passes one million.
+    let t = b.lit(1, 1);
+    b.display(t, "fib = {}", &[a.q()]);
+    let limit = b.lit(1_000_000, 32);
+    let done = b.ult(limit, a.q());
+    b.finish(done);
+    let netlist = b.finish_build()?;
+
+    // 2. Compile for a 2×2 Manticore grid and boot the machine model.
+    let config = MachineConfig::with_grid(2, 2);
+    let mut sim = ManticoreSim::compile(&netlist, config)?;
+
+    let report = &sim.compile_output().report;
+    println!("compiled: VCPL = {} machine cycles per RTL cycle", report.vcpl);
+    println!("predicted rate at 475 MHz: {:.1} kHz", sim.simulation_rate_khz());
+
+    // 3. Run. Displays are produced by the host servicing EXPECT
+    //    exceptions, exactly as in the paper's runtime.
+    let outcome = sim.run(100)?;
+    for line in outcome.displays.iter().take(10) {
+        println!("  {line}");
+    }
+    println!("  ... ({} lines total)", outcome.displays.len());
+    println!(
+        "finished = {}, RTL cycles simulated = {}",
+        outcome.finished, outcome.vcycles_run
+    );
+
+    // 4. Read architectural state straight out of the register files.
+    let a_val = sim.read_rtl_reg_by_name("a").expect("register exists");
+    println!("final fib value a = {}", a_val.to_u64());
+    assert!(a_val.to_u64() > 1_000_000);
+    Ok(())
+}

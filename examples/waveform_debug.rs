@@ -1,0 +1,67 @@
+//! Debugging a failing design: assertions raise precise exceptions that
+//! stall the grid and hand control to the host — this example shows the
+//! failure surfacing with its Vcycle number, then uses the reference
+//! evaluator to inspect the cycle-by-cycle state around the failure (the
+//! software stand-in for waveform debugging, which the paper leaves as
+//! future work).
+//!
+//! Run with: `cargo run --example waveform_debug`
+
+use manticore::prelude::*;
+use manticore::SimError;
+
+fn build_buggy() -> manticore::netlist::Netlist {
+    // A parity accumulator with an off-by-one "specification": the designer
+    // asserts the counter never reaches 37... it does.
+    let mut b = NetlistBuilder::new("buggy");
+    let count = b.reg("count", 16, 0);
+    let step = b.lit(1, 16);
+    let next = b.add(count.q(), step);
+    b.set_next(count, next);
+    let parity = b.reg("parity", 1, 0);
+    let bit = b.bit(count.q(), 0);
+    let p_next = b.xor(parity.q(), bit);
+    b.set_next(parity, p_next);
+    b.output("count", count.q());
+    b.output("parity", parity.q());
+
+    let bad = b.lit(37, 16);
+    let ok = b.ne(count.q(), bad);
+    b.expect_true(ok, "count must never reach 37");
+    let n = b.finish_build().unwrap();
+    n
+}
+
+fn main() {
+    let netlist = build_buggy();
+
+    // Run on the machine: the EXPECT fires, the grid stalls, the host
+    // reports the failure precisely.
+    let mut sim =
+        ManticoreSim::compile(&netlist, MachineConfig::with_grid(2, 2)).expect("compiles");
+    let failing_cycle = match sim.run(1_000) {
+        Err(SimError::Machine(MachineError::AssertFailed { message, vcycle })) => {
+            println!("machine: assertion failed at Vcycle {vcycle}: {message}");
+            vcycle
+        }
+        other => panic!("expected an assertion failure, got {other:?}"),
+    };
+
+    // "Waveform" inspection: replay on the reference evaluator and dump
+    // the signals around the failing cycle.
+    println!("\n cycle | count | parity");
+    println!("-------+-------+-------");
+    let mut eval = Evaluator::new(&netlist);
+    for cycle in 0..=failing_cycle + 2 {
+        let ev = eval.step();
+        if cycle + 4 >= failing_cycle {
+            println!(
+                "{:>6} | {:>5} | {:>6} {}",
+                cycle,
+                eval.output_value("count").unwrap().to_u64(),
+                eval.output_value("parity").unwrap().to_u64(),
+                if ev.failed_expects.is_empty() { "" } else { "  <-- FAIL" }
+            );
+        }
+    }
+}

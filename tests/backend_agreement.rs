@@ -1,0 +1,83 @@
+//! Backend agreement: the Verilator-analog tape simulators (serial and
+//! macro-task parallel) must agree with the reference evaluator on the
+//! real workloads — the baseline side of Table 3 rests on this.
+
+use manticore::netlist::eval::Evaluator;
+use manticore::refsim::{ParallelSim, SerialSim, Tape};
+use manticore::workloads;
+
+#[test]
+fn serial_tape_matches_evaluator_on_all_workloads() {
+    for w in workloads::all() {
+        let tape = Tape::compile(&w.netlist)
+            .unwrap_or_else(|e| panic!("{}: tape failed: {e}", w.name));
+        let mut fast = SerialSim::new(&tape);
+        let mut slow = Evaluator::new(&w.netlist);
+        for cycle in 0..60u64 {
+            let fe = fast.step();
+            let se = slow.step();
+            assert_eq!(
+                fe.displays, se.displays,
+                "{}: displays at cycle {cycle}",
+                w.name
+            );
+            for (ri, reg) in w.netlist.registers().iter().enumerate() {
+                assert_eq!(
+                    fast.reg_value(ri).to_u64(),
+                    slow.reg_value(ri).to_u64(),
+                    "{}: register `{}` at cycle {cycle}",
+                    w.name,
+                    reg.name
+                );
+            }
+            if se.finished {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_tape_matches_serial_on_all_workloads() {
+    for w in workloads::all() {
+        let tape = Tape::compile(&w.netlist).unwrap();
+        let cycles = 40;
+        let mut serial = SerialSim::new(&tape);
+        for _ in 0..cycles {
+            serial.step();
+        }
+        for threads in [2, 4] {
+            let par = ParallelSim::new(&tape, threads, 32);
+            let run = par.run(cycles);
+            assert!(
+                run.failed_assert.is_none(),
+                "{}: parallel run failed an assertion",
+                w.name
+            );
+            for ri in 0..w.netlist.registers().len() {
+                assert_eq!(
+                    run.final_regs[ri],
+                    serial.reg_value(ri).to_u64(),
+                    "{}: register {ri} diverged with {threads} threads",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn step_sizes_span_the_expected_range() {
+    // The suite must exercise a wide range of granularities for the
+    // scaling experiments to be meaningful.
+    let sizes: Vec<usize> = workloads::all()
+        .iter()
+        .map(|w| Tape::compile(&w.netlist).unwrap().step_size())
+        .collect();
+    let max = *sizes.iter().max().unwrap();
+    let min = *sizes.iter().min().unwrap();
+    assert!(
+        max / min >= 10,
+        "step sizes {sizes:?} span less than one order of magnitude"
+    );
+}

@@ -1,0 +1,75 @@
+//! Bootloader path: serialize every workload's binary to the byte format
+//! and boot machines from bytes — the full compiler → DRAM image →
+//! hardware bootloader flow of Appendix A.3.
+
+use manticore::compiler::{compile, CompileOptions};
+use manticore::isa::{Binary, MachineConfig};
+use manticore::machine::Machine;
+use manticore::workloads;
+
+#[test]
+fn all_workload_binaries_roundtrip() {
+    for w in workloads::all() {
+        let config = MachineConfig::with_grid(5, 5);
+        let options = CompileOptions {
+            config,
+            ..Default::default()
+        };
+        let out = compile(&w.netlist, &options)
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+        let bytes = out.binary.to_bytes();
+        let restored = Binary::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{}: deserialize failed: {e}", w.name));
+        assert_eq!(restored, out.binary, "{}: roundtrip mismatch", w.name);
+    }
+}
+
+#[test]
+fn booted_machine_equals_directly_loaded_machine() {
+    let w = workloads::by_name("blur").unwrap();
+    let config = MachineConfig::with_grid(4, 4);
+    let options = CompileOptions {
+        config: config.clone(),
+        ..Default::default()
+    };
+    let out = compile(&w.netlist, &options).unwrap();
+
+    let mut direct = Machine::load(config.clone(), &out.binary).unwrap();
+    let mut booted = Machine::boot_from_bytes(config, &out.binary.to_bytes()).unwrap();
+
+    direct.run_vcycles(25).unwrap();
+    booted.run_vcycles(25).unwrap();
+    for loc in &out.metadata.reg_locations {
+        for &(core, reg) in &loc.words {
+            assert_eq!(
+                direct.read_reg(core, reg),
+                booted.read_reg(core, reg),
+                "state diverged between boot paths"
+            );
+        }
+    }
+    assert_eq!(
+        direct.counters().instructions,
+        booted.counters().instructions
+    );
+}
+
+#[test]
+fn binary_size_is_reasonable() {
+    // The serialized image should be linear in the instruction count, not
+    // accidentally quadratic.
+    let w = workloads::by_name("bc").unwrap();
+    let options = CompileOptions {
+        config: MachineConfig::with_grid(4, 4),
+        ..Default::default()
+    };
+    let out = compile(&w.netlist, &options).unwrap();
+    let bytes = out.binary.to_bytes();
+    let instrs = out.binary.total_instructions();
+    assert!(
+        bytes.len() < 64 * instrs + 65536,
+        "binary is {} bytes for {} instructions",
+        bytes.len(),
+        instrs
+    );
+}
