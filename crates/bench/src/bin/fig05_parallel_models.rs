@@ -14,13 +14,16 @@ fn main() {
         .unwrap_or(8)
         .min(24);
     let granularities: [u64; 12] = [
-        1_700, 3_500, 6_900, 13_800, 27_600, 55_300, 110_600, 221_200, 442_400, 884_700,
-        1_800_000, 3_500_000,
+        1_700, 3_500, 6_900, 13_800, 27_600, 55_300, 110_600, 221_200, 442_400, 884_700, 1_800_000,
+        3_500_000,
     ];
     let threads: Vec<usize> = (1..=max_threads).collect();
 
     println!("# Fig. 5: parallel-simulation models, rate (kHz) vs threads\n");
-    for (name, is_model2) in [("model 1 (barriers only)", false), ("model 2 (+ cache pressure)", true)] {
+    for (name, is_model2) in [
+        ("model 1 (barriers only)", false),
+        ("model 2 (+ cache pressure)", true),
+    ] {
         println!("## {name}\n");
         print!("{:>10}", "granularity");
         for t in &threads {

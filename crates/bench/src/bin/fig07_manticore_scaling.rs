@@ -9,12 +9,63 @@
 //! lift the imem bound for the baseline estimate, as the paper notes
 //! single-core execution is usually impossible on the prototype).
 //!
+//! A second section sweeps the *model's own* host-side parallelism: the
+//! sharded BSP engine at 1–8 shards, driven entirely through the unified
+//! `Simulator` trait, reporting measured wall-clock simulation rates.
+//!
 //! Run: `cargo run --release -p manticore-bench --bin fig07_manticore_scaling`
 
 use manticore::compiler::{compile, CompileOptions};
 use manticore::isa::MachineConfig;
+use manticore::machine::ExecMode;
+use manticore::sim::Simulator;
 use manticore::workloads;
+use manticore::ManticoreSim;
 use manticore_bench::fmt;
+
+/// Measured wall-clock Vcycle rate of the machine model at each shard
+/// count, all through the `Simulator` trait.
+fn shard_sweep() {
+    let shard_counts = [1usize, 2, 4, 8];
+    let grid = 8;
+    let vcycles = 400;
+    println!("\n# Model host-parallelism sweep: sharded BSP engine, measured kHz\n");
+    print!("{:>8}", "bench");
+    for s in shard_counts {
+        print!(
+            " {:>10}",
+            format!("{s} shard{}", if s == 1 { "" } else { "s" })
+        );
+    }
+    println!("   (grid {grid}x{grid}, {vcycles} Vcycles)");
+    for name in ["vta", "mm", "bc"] {
+        let w = workloads::by_name(name).unwrap();
+        print!("{:>8}", w.name);
+        for shards in shard_counts {
+            let config = MachineConfig::with_grid(grid, grid);
+            let mut sim = match ManticoreSim::compile(&w.netlist, config) {
+                Ok(s) => s,
+                Err(_) => {
+                    print!(" {:>10}", "-");
+                    continue;
+                }
+            };
+            sim.set_exec_mode(if shards == 1 {
+                ExecMode::Serial
+            } else {
+                ExecMode::Parallel { shards }
+            });
+            match sim.run_cycles(vcycles) {
+                Ok(_) => print!(" {:>10}", fmt(sim.perf().measured_rate_khz())),
+                Err(_) => print!(" {:>10}", "!"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "\n(bit-identical results at every shard count; see tests/parallel_grid_equivalence.rs)"
+    );
+}
 
 fn main() {
     let grids: [usize; 8] = [1, 3, 5, 7, 9, 11, 13, 18];
@@ -50,4 +101,6 @@ fn main() {
     }
     println!("\nexpected shape (paper Fig. 7): parallel workloads (mc, cgra, vta) keep");
     println!("improving toward 200-300 cores; jpeg plateaus almost immediately (Amdahl).");
+
+    shard_sweep();
 }

@@ -57,12 +57,22 @@ fn microbench(words: usize, sequential: bool) -> Netlist {
 
 fn main() {
     // 16-bit words: 1 KiB = 512, 64 KiB = 32768, 512 KiB = 262144.
-    let sizes = [(512usize, "1KiB"), (32 * 1024, "64KiB"), (512 * 1024 / 2, "512KiB")];
+    let sizes = [
+        (512usize, "1KiB"),
+        (32 * 1024, "64KiB"),
+        (512 * 1024 / 2, "512KiB"),
+    ];
     let vcycles = 20_000u64; // scaled from the paper's 16 Mi
 
     println!("# Fig. 8: global-stall microbenchmarks (1x1 grid, {vcycles} Vcycles)\n");
-    row(&["design".into(), "size".into(), "cycles".into(), "normalized".into(),
-          "stall %".into(), "hit rate".into()]);
+    row(&[
+        "design".into(),
+        "size".into(),
+        "cycles".into(),
+        "normalized".into(),
+        "stall %".into(),
+        "hit rate".into(),
+    ]);
     println!("|---|---|---|---|---|---|");
 
     for sequential in [true, false] {

@@ -12,9 +12,15 @@ use manticore_bench::{compile_for_grid, fmt, row};
 fn main() {
     println!("# Fig. 9 / Table 4: partitioning strategies on a 15x15 grid\n");
     row(&[
-        "bench".into(), "strategy".into(), "VCPL".into(), "VCPL/L".into(),
-        "straggler compute".into(), "straggler send".into(), "straggler nop".into(),
-        "cores".into(), "total sends".into(),
+        "bench".into(),
+        "strategy".into(),
+        "VCPL".into(),
+        "VCPL/L".into(),
+        "straggler compute".into(),
+        "straggler send".into(),
+        "straggler nop".into(),
+        "cores".into(),
+        "total sends".into(),
     ]);
     println!("|---|---|---|---|---|---|---|---|---|");
 
@@ -22,7 +28,10 @@ fn main() {
         let mut l_vcpl = 0f64;
         let mut l_sends = 0u64;
         let mut b_sends = 0u64;
-        for (label, strategy) in [("L", PartitionStrategy::Lpt), ("B", PartitionStrategy::Balanced)] {
+        for (label, strategy) in [
+            ("L", PartitionStrategy::Lpt),
+            ("B", PartitionStrategy::Balanced),
+        ] {
             let out = compile_for_grid(&w.netlist, 15, strategy);
             let vcpl = out.report.vcpl as f64;
             if label == "L" {
@@ -45,7 +54,10 @@ fn main() {
             ]);
         }
         let saved = 100.0 * (1.0 - b_sends as f64 / l_sends.max(1) as f64);
-        println!("| {} | sends: L={} B={} ({:+.1}%) |", w.name, l_sends, b_sends, -saved);
+        println!(
+            "| {} | sends: L={} B={} ({:+.1}%) |",
+            w.name, l_sends, b_sends, -saved
+        );
     }
     println!("\nexpected shape (paper Table 4): B cuts Send counts by ~28-94% vs L and");
     println!("generally lowers VCPL while using fewer cores (jpeg collapses to a handful).");

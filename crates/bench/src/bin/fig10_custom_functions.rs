@@ -12,8 +12,14 @@ use manticore_bench::{fmt, row};
 fn main() {
     println!("# Fig. 10: custom-instruction savings (15x15 grid)\n");
     row(&[
-        "bench".into(), "VCPL off".into(), "VCPL on".into(), "VCPL ratio".into(),
-        "instr off".into(), "instr on".into(), "instr saved %".into(), "custom ops".into(),
+        "bench".into(),
+        "VCPL off".into(),
+        "VCPL on".into(),
+        "VCPL ratio".into(),
+        "instr off".into(),
+        "instr on".into(),
+        "instr saved %".into(),
+        "custom ops".into(),
     ]);
     println!("|---|---|---|---|---|---|---|---|");
 

@@ -13,8 +13,14 @@ use manticore_bench::{fmax_mhz, max_cores_u200, row, CORE_RESOURCES, TABLE1_PAPE
 
 fn main() {
     println!("# Table 1: clock frequency (MHz) on the U200\n");
-    row(&["grid".into(), "cores".into(), "auto (model)".into(), "guided (model)".into(),
-          "auto (paper)".into(), "guided (paper)".into()]);
+    row(&[
+        "grid".into(),
+        "cores".into(),
+        "auto (model)".into(),
+        "guided (model)".into(),
+        "auto (paper)".into(),
+        "guided (paper)".into(),
+    ]);
     println!("|---|---|---|---|---|---|");
     for (grid, paper_auto, paper_guided) in TABLE1_PAPER {
         row(&[
@@ -29,12 +35,24 @@ fn main() {
 
     println!("\n# Table 7: single-core resource utilization (paper's measured values)\n");
     let r = CORE_RESOURCES;
-    row(&["LUT".into(), "LUTRAM".into(), "FF".into(), "BRAM".into(), "URAM".into(),
-          "DSP".into(), "SRL".into()]);
+    row(&[
+        "LUT".into(),
+        "LUTRAM".into(),
+        "FF".into(),
+        "BRAM".into(),
+        "URAM".into(),
+        "DSP".into(),
+        "SRL".into(),
+    ]);
     println!("|---|---|---|---|---|---|---|");
     row(&[
-        r.lut.to_string(), r.lutram.to_string(), r.ff.to_string(), r.bram.to_string(),
-        r.uram.to_string(), r.dsp.to_string(), r.srl.to_string(),
+        r.lut.to_string(),
+        r.lutram.to_string(),
+        r.ff.to_string(),
+        r.bram.to_string(),
+        r.uram.to_string(),
+        r.dsp.to_string(),
+        r.srl.to_string(),
     ]);
     println!(
         "\nURAM-bound core budget on a U200: {} cores (800 URAMs, 2/core, 4 for the cache)",

@@ -2,20 +2,23 @@
 //! simulation rates vs. Manticore's, with speedups and geomeans.
 //!
 //! Baselines are *measured* wall-clock rates of the Verilator-analog tape
-//! simulator on this host; Manticore rates are `475 MHz / VCPL` on the
-//! paper's 15×15 configuration, the same formula the paper reports (the
-//! compiler counts cycles exactly in the absence of off-chip accesses).
+//! simulator on this host, driven through the unified `Simulator` trait;
+//! Manticore rates are `475 MHz / VCPL` on the paper's 15×15
+//! configuration, the same formula the paper reports (the compiler counts
+//! cycles exactly in the absence of off-chip accesses).
 //!
 //! Run: `cargo run --release -p manticore-bench --bin table3_performance`
 
 use manticore::compiler::PartitionStrategy;
 use manticore::isa::MachineConfig;
-use manticore::refsim::{ParallelSim, SerialSim, Tape};
+use manticore::sim::{Simulator, TapeSim};
 use manticore::workloads;
 use manticore_bench::{compile_for_grid, fmt, row};
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mt_threads = threads.min(8);
     println!("# Table 3: simulation performance (baseline measured on this host, {mt_threads} MT threads)\n");
     row(&[
@@ -37,22 +40,23 @@ fn main() {
     let mut geo_self = 1.0f64;
     let mut n = 0u32;
     for w in workloads::all() {
-        let tape = Tape::compile(&w.netlist).expect("tape");
         let cycles = w.bench_cycles;
 
-        let mut serial = SerialSim::new(&tape);
-        let s = serial.run(cycles);
+        let mut serial = TapeSim::serial(&w.netlist).expect("tape");
+        serial.run_cycles(cycles).expect("serial baseline run");
+        let s_khz = serial.perf().measured_rate_khz();
 
-        let par = ParallelSim::new(&tape, mt_threads, 64);
-        let p = par.run(cycles);
+        let mut par = TapeSim::parallel(&w.netlist, mt_threads, 64).expect("tape");
+        par.run_cycles(cycles).expect("parallel baseline run");
+        let p_khz = par.perf().measured_rate_khz();
 
         let out = compile_for_grid(&w.netlist, 15, PartitionStrategy::Balanced);
         let config = MachineConfig::default();
         let m_khz = config.simulation_rate_khz(out.report.vcpl);
 
-        let xs = m_khz / s.rate_khz();
-        let xmt = m_khz / p.stats.rate_khz();
-        let xself = p.stats.rate_khz() / s.rate_khz();
+        let xs = m_khz / s_khz;
+        let xmt = m_khz / p_khz;
+        let xself = p_khz / s_khz;
         geo_s *= xs;
         geo_mt *= xmt;
         geo_self *= xself;
@@ -60,9 +64,9 @@ fn main() {
 
         row(&[
             w.name.into(),
-            tape.step_size().to_string(),
-            fmt(s.rate_khz()),
-            fmt(p.stats.rate_khz()),
+            serial.tape().step_size().to_string(),
+            fmt(s_khz),
+            fmt(p_khz),
             fmt(xself),
             fmt(m_khz),
             fmt(xs),
@@ -72,7 +76,12 @@ fn main() {
         ]);
     }
     let g = |v: f64| fmt(v.powf(1.0 / n as f64));
-    println!("\ngeomean speedups: xS = {}, xMT = {}, MT xself = {}", g(geo_s), g(geo_mt), g(geo_self));
+    println!(
+        "\ngeomean speedups: xS = {}, xMT = {}, MT xself = {}",
+        g(geo_s),
+        g(geo_mt),
+        g(geo_self)
+    );
     println!("\npaper anchors (225-core, 475 MHz): geomean xS 2.8-3.4, xMT 2.1-4.2;");
     println!("manticore wins everywhere except jpeg (serial Huffman chain).");
 }

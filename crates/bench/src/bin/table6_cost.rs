@@ -19,13 +19,20 @@ fn main() {
         row(&[i.name.into(), format!("{:.3}", i.dollars_per_hour)]);
     }
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     println!("\n# Table 6: cost of 1B / 10B-cycle simulations (rates from this harness)\n");
     row(&[
-        "bench".into(), "cycles".into(),
-        "serial h".into(), "serial $".into(),
-        "MT h".into(), "MT $".into(),
-        "manticore h".into(), "manticore $".into(),
+        "bench".into(),
+        "cycles".into(),
+        "serial h".into(),
+        "serial $".into(),
+        "MT h".into(),
+        "MT $".into(),
+        "manticore h".into(),
+        "manticore $".into(),
     ]);
     println!("|---|---|---|---|---|---|---|---|");
 
@@ -44,10 +51,17 @@ fn main() {
             let (nh, nd) = cost(cycles, m_khz, INSTANCES[3].dollars_per_hour);
             row(&[
                 w.name.into(),
-                if cycles > 1e9 { "10B".into() } else { "1B".into() },
-                fmt(sh), format!("${}", fmt(sd)),
-                fmt(mh), format!("${}", fmt(md)),
-                fmt(nh), format!("${}", fmt(nd)),
+                if cycles > 1e9 {
+                    "10B".into()
+                } else {
+                    "1B".into()
+                },
+                fmt(sh),
+                format!("${}", fmt(sd)),
+                fmt(mh),
+                format!("${}", fmt(md)),
+                fmt(nh),
+                format!("${}", fmt(nd)),
             ]);
         }
     }

@@ -12,8 +12,12 @@ use manticore_bench::{compile_for_grid, fmt, row, timed};
 fn main() {
     println!("# Table 8 / Fig. 13: compilation statistics (15x15 target)\n");
     row(&[
-        "bench".into(), "|V| split".into(), "|E| merged".into(), "nets".into(),
-        "total (ms)".into(), "dominant pass".into(),
+        "bench".into(),
+        "|V| split".into(),
+        "|E| merged".into(),
+        "nets".into(),
+        "total (ms)".into(),
+        "dominant pass".into(),
     ]);
     println!("|---|---|---|---|---|---|");
 

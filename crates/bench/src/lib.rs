@@ -31,7 +31,7 @@ pub fn fmax_mhz(grid: usize, guided: bool) -> f64 {
             0..=100 => 500.0 - (cores / 100.0) * 15.0, // 8x8=64 -> ~490, table says 500
             101..=160 => 485.0 - ((cores - 100.0) / 60.0) * 5.0,
             161..=230 => 480.0 - ((cores - 144.0) / 81.0) * 85.0, // 15x15 -> ~395
-            _ => 180.0, // shell congestion cliff (16x16)
+            _ => 180.0,                                           // shell congestion cliff (16x16)
         }
         .max(100.0)
     } else {
@@ -107,10 +107,22 @@ pub struct Instance {
 
 /// The paper's Table 5 pricing.
 pub const INSTANCES: [Instance; 4] = [
-    Instance { name: "D2 v3 (serial)", dollars_per_hour: 0.115 },
-    Instance { name: "D16 v4 (multithreaded)", dollars_per_hour: 0.92 },
-    Instance { name: "HB120rs v3 (multithreaded)", dollars_per_hour: 4.68 },
-    Instance { name: "NP10s (Manticore)", dollars_per_hour: 2.145 },
+    Instance {
+        name: "D2 v3 (serial)",
+        dollars_per_hour: 0.115,
+    },
+    Instance {
+        name: "D16 v4 (multithreaded)",
+        dollars_per_hour: 0.92,
+    },
+    Instance {
+        name: "HB120rs v3 (multithreaded)",
+        dollars_per_hour: 4.68,
+    },
+    Instance {
+        name: "NP10s (Manticore)",
+        dollars_per_hour: 2.145,
+    },
 ];
 
 /// Hours (rounded up, as billed) and dollars to simulate `cycles` RTL
@@ -130,7 +142,11 @@ pub fn cost(cycles: f64, rate_khz: f64, dollars_per_hour: f64) -> (f64, f64) {
 /// # Panics
 ///
 /// Panics if compilation fails (harness-level fatal).
-pub fn compile_for_grid(netlist: &Netlist, grid: usize, strategy: PartitionStrategy) -> CompileOutput {
+pub fn compile_for_grid(
+    netlist: &Netlist,
+    grid: usize,
+    strategy: PartitionStrategy,
+) -> CompileOutput {
     let options = CompileOptions {
         config: MachineConfig::with_grid(grid, grid),
         partition: strategy,

@@ -141,7 +141,11 @@ impl Bits {
     ///
     /// Panics if `i >= width`.
     pub fn set_bit(&mut self, i: usize, value: bool) {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.limbs[i / 64] |= mask;

@@ -56,9 +56,8 @@ impl Bits {
             }
             let mut carry = 0u128;
             for j in 0..n - i {
-                let p = (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
-                    + acc[i + j] as u128
-                    + carry;
+                let p =
+                    (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + acc[i + j] as u128 + carry;
                 acc[i + j] = p as u64;
                 carry = p >> 64;
             }

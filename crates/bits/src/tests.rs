@@ -1,7 +1,7 @@
 //! Unit + property tests for `Bits`, checked against `u128` reference math.
 
 use crate::Bits;
-use proptest::prelude::*;
+use manticore_util::SmallRng;
 
 #[test]
 fn construction_and_access() {
@@ -136,54 +136,92 @@ fn ref_mask(w: usize) -> u128 {
     }
 }
 
-proptest! {
-    #[test]
-    fn prop_add_matches_u128(a: u128, b: u128, w in 1usize..128) {
+/// Seeded property loop: 256 random `(a, b, w)` triples per test, checked
+/// against `u128` reference math.
+fn for_random_cases(seed: u64, mut check: impl FnMut(u128, u128, usize)) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..256 {
+        let a = rng.next_u128();
+        let b = rng.next_u128();
+        let w = rng.gen_range(1..128);
+        check(a, b, w);
+    }
+}
+
+#[test]
+fn prop_add_matches_u128() {
+    for_random_cases(0x01, |a, b, w| {
         let x = Bits::from_u128(a, w);
         let y = Bits::from_u128(b, w);
         let expect = (a & ref_mask(w)).wrapping_add(b & ref_mask(w)) & ref_mask(w);
-        prop_assert_eq!(x.add(&y).to_u128(), expect);
-    }
+        assert_eq!(x.add(&y).to_u128(), expect);
+    });
+}
 
-    #[test]
-    fn prop_sub_matches_u128(a: u128, b: u128, w in 1usize..128) {
+#[test]
+fn prop_sub_matches_u128() {
+    for_random_cases(0x02, |a, b, w| {
         let x = Bits::from_u128(a, w);
         let y = Bits::from_u128(b, w);
         let expect = (a & ref_mask(w)).wrapping_sub(b & ref_mask(w)) & ref_mask(w);
-        prop_assert_eq!(x.sub(&y).to_u128(), expect);
-    }
+        assert_eq!(x.sub(&y).to_u128(), expect);
+    });
+}
 
-    #[test]
-    fn prop_mul_matches_u128(a: u64, b: u64, w in 1usize..64) {
+#[test]
+fn prop_mul_matches_u128() {
+    let mut rng = SmallRng::seed_from_u64(0x03);
+    for _ in 0..256 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        let w = rng.gen_range(1..64);
         let x = Bits::from_u64(a, w);
         let y = Bits::from_u64(b, w);
         let m = ref_mask(w) as u64;
         let expect = (a & m).wrapping_mul(b & m) & m;
-        prop_assert_eq!(x.mul(&y).to_u64(), expect);
+        assert_eq!(x.mul(&y).to_u64(), expect);
     }
+}
 
-    #[test]
-    fn prop_logic_matches_u128(a: u128, b: u128, w in 1usize..128) {
+#[test]
+fn prop_logic_matches_u128() {
+    for_random_cases(0x04, |a, b, w| {
         let x = Bits::from_u128(a, w);
         let y = Bits::from_u128(b, w);
-        prop_assert_eq!(x.and(&y).to_u128(), a & b & ref_mask(w));
-        prop_assert_eq!(x.or(&y).to_u128(), (a | b) & ref_mask(w));
-        prop_assert_eq!(x.xor(&y).to_u128(), (a ^ b) & ref_mask(w));
-        prop_assert_eq!(x.not().to_u128(), !a & ref_mask(w));
-    }
+        assert_eq!(x.and(&y).to_u128(), a & b & ref_mask(w));
+        assert_eq!(x.or(&y).to_u128(), (a | b) & ref_mask(w));
+        assert_eq!(x.xor(&y).to_u128(), (a ^ b) & ref_mask(w));
+        assert_eq!(x.not().to_u128(), !a & ref_mask(w));
+    });
+}
 
-    #[test]
-    fn prop_shifts_match_u128(a: u128, w in 1usize..128, s in 0usize..140) {
+#[test]
+fn prop_shifts_match_u128() {
+    let mut rng = SmallRng::seed_from_u64(0x05);
+    for _ in 0..256 {
+        let a = rng.next_u128();
+        let w = rng.gen_range(1..128);
+        let s = rng.gen_range(0..140);
         let x = Bits::from_u128(a, w);
         let masked = a & ref_mask(w);
-        let shl = if s >= w { 0 } else { (masked << s) & ref_mask(w) };
+        let shl = if s >= w {
+            0
+        } else {
+            (masked << s) & ref_mask(w)
+        };
         let shr = if s >= w { 0 } else { masked >> s };
-        prop_assert_eq!(x.shl(s).to_u128(), shl);
-        prop_assert_eq!(x.shr(s).to_u128(), shr);
+        assert_eq!(x.shl(s).to_u128(), shl);
+        assert_eq!(x.shr(s).to_u128(), shr);
     }
+}
 
-    #[test]
-    fn prop_ashr_matches_i128(a: u128, w in 2usize..128, s in 0usize..130) {
+#[test]
+fn prop_ashr_matches_i128() {
+    let mut rng = SmallRng::seed_from_u64(0x06);
+    for _ in 0..256 {
+        let a = rng.next_u128();
+        let w = rng.gen_range(2..128);
+        let s = rng.gen_range(0..130);
         let x = Bits::from_u128(a, w);
         // reference: sign-extend to i128, shift, re-mask
         let masked = a & ref_mask(w);
@@ -192,41 +230,58 @@ proptest! {
         let shifted = (ext as i128) >> s.min(127);
         let expect = (shifted as u128) & ref_mask(w);
         let got = if s >= w {
-            if sign { ref_mask(w) } else { 0 }
+            if sign {
+                ref_mask(w)
+            } else {
+                0
+            }
         } else {
             expect
         };
-        prop_assert_eq!(x.ashr(s.min(w)).to_u128(), got);
+        assert_eq!(x.ashr(s.min(w)).to_u128(), got);
         if s < w {
-            prop_assert_eq!(x.ashr(s).to_u128(), expect);
+            assert_eq!(x.ashr(s).to_u128(), expect);
         }
     }
+}
 
-    #[test]
-    fn prop_comparisons_match(a: u128, b: u128, w in 1usize..128) {
+#[test]
+fn prop_comparisons_match() {
+    for_random_cases(0x07, |a, b, w| {
         let x = Bits::from_u128(a, w);
         let y = Bits::from_u128(b, w);
         let ma = a & ref_mask(w);
         let mb = b & ref_mask(w);
-        prop_assert_eq!(x.ult(&y), ma < mb);
+        assert_eq!(x.ult(&y), ma < mb);
         let sign = |v: u128| {
-            if (v >> (w - 1)) & 1 == 1 && w < 128 { (v | !ref_mask(w)) as i128 } else { v as i128 }
+            if (v >> (w - 1)) & 1 == 1 && w < 128 {
+                (v | !ref_mask(w)) as i128
+            } else {
+                v as i128
+            }
         };
-        prop_assert_eq!(x.slt(&y), sign(ma) < sign(mb));
-    }
+        assert_eq!(x.slt(&y), sign(ma) < sign(mb));
+    });
+}
 
-    #[test]
-    fn prop_slice_concat_identity(a: u128, w in 2usize..128, cut in 1usize..127) {
-        let cut = cut.min(w - 1);
+#[test]
+fn prop_slice_concat_identity() {
+    let mut rng = SmallRng::seed_from_u64(0x08);
+    for _ in 0..256 {
+        let a = rng.next_u128();
+        let w = rng.gen_range(2..128);
+        let cut = rng.gen_range(1..127).min(w - 1);
         let x = Bits::from_u128(a, w);
         let lo = x.slice(0, cut);
         let hi = x.slice(cut, w - cut);
-        prop_assert_eq!(lo.concat(&hi), x);
+        assert_eq!(lo.concat(&hi), x);
     }
+}
 
-    #[test]
-    fn prop_words16_roundtrip(a: u128, w in 1usize..128) {
+#[test]
+fn prop_words16_roundtrip() {
+    for_random_cases(0x09, |a, _b, w| {
         let x = Bits::from_u128(a, w);
-        prop_assert_eq!(Bits::from_words16(&x.to_words16(), w), x);
-    }
+        assert_eq!(Bits::from_words16(&x.to_words16(), w), x);
+    });
 }

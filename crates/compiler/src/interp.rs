@@ -1,4 +1,4 @@
-//! The lower-assembly interpreter (§6: "Both [IRs] can be interpreted in
+//! The lower-assembly interpreter (§6: "Both \[IRs\] can be interpreted in
 //! software... We used the interpreters extensively to validate the
 //! compiler passes").
 //!
@@ -125,7 +125,11 @@ impl<'p> LirInterp<'p> {
                     }
                     LirOp::Mux => Some(if a(0) != 0 { a(1) as u32 } else { a(2) as u32 }),
                     LirOp::Slice { offset, width } => {
-                        let mask = if width >= 16 { 0xffff } else { (1u16 << width) - 1 };
+                        let mask = if width >= 16 {
+                            0xffff
+                        } else {
+                            (1u16 << width) - 1
+                        };
                         Some(((a(0) >> offset) & mask) as u32)
                     }
                     LirOp::Custom { table } => {
@@ -148,21 +152,18 @@ impl<'p> LirInterp<'p> {
                     LirOp::LocalStore { mem, word_offset } => {
                         if a(2) != 0 {
                             let m = &self.local_mems[mem.index()];
-                            let addr =
-                                (a(1) as usize + word_offset as usize) % m.len().max(1);
+                            let addr = (a(1) as usize + word_offset as usize) % m.len().max(1);
                             local_writes.push((mem.index(), addr, a(0)));
                         }
                         None
                     }
                     LirOp::GlobalLoad { .. } => {
-                        let addr =
-                            a(0) as u64 | ((a(1) as u64) << 16) | ((a(2) as u64) << 32);
+                        let addr = a(0) as u64 | ((a(1) as u64) << 16) | ((a(2) as u64) << 32);
                         Some(self.dram.get(&addr).copied().unwrap_or(0) as u32)
                     }
                     LirOp::GlobalStore { .. } => {
                         if a(4) != 0 {
-                            let addr =
-                                a(1) as u64 | ((a(2) as u64) << 16) | ((a(3) as u64) << 32);
+                            let addr = a(1) as u64 | ((a(2) as u64) << 16) | ((a(3) as u64) << 32);
                             dram_writes.push((addr, a(0)));
                         }
                         None

@@ -57,7 +57,7 @@ use manticore_netlist::Netlist;
 
 pub use error::CompileError;
 pub use partition::PartitionStrategy;
-pub use report::{CompileReport, CoreBreakdown, Metadata, MemLocation, RegLocation, SplitStats};
+pub use report::{CompileReport, CoreBreakdown, MemLocation, Metadata, RegLocation, SplitStats};
 
 /// Compilation options.
 #[derive(Debug, Clone)]
@@ -175,11 +175,7 @@ pub fn compile(netlist: &Netlist, options: &CompileOptions) -> Result<CompileOut
     report.per_core = emitted.per_core.clone();
     report.total_sends = emitted.per_core.iter().map(|b| b.sends).sum();
     report.total_custom = emitted.per_core.iter().map(|b| b.custom).sum();
-    report.total_instructions = emitted
-        .per_core
-        .iter()
-        .map(|b| b.compute + b.sends)
-        .sum();
+    report.total_instructions = emitted.per_core.iter().map(|b| b.compute + b.sends).sum();
 
     Ok(CompileOutput {
         binary: emitted.binary,

@@ -22,8 +22,8 @@ use manticore_netlist::{CellOp, NetId, Netlist};
 
 use crate::error::CompileError;
 use crate::lir::{
-    LMemId, LirExceptionKind, LirInstr, LirOp, LirProgram, MemInfo, MemPlacement, Process,
-    StateId, StateWord, VReg,
+    LMemId, LirExceptionKind, LirInstr, LirOp, LirProgram, MemInfo, MemPlacement, Process, StateId,
+    StateWord, VReg,
 };
 
 /// Number of 16-bit words for a bit width.
@@ -126,11 +126,7 @@ impl<'a> Lowerer<'a> {
     }
 
     fn finish(mut self) -> LirProgram {
-        self.proc.is_privileged = self
-            .proc
-            .instrs
-            .iter()
-            .any(|i| i.op.is_privileged());
+        self.proc.is_privileged = self.proc.instrs.iter().any(|i| i.op.is_privileged());
         LirProgram {
             processes: vec![self.proc],
             states: self.states,
@@ -535,13 +531,7 @@ impl<'a> Lowerer<'a> {
         self.normalize(out, out_width)
     }
 
-    fn concat_words(
-        &mut self,
-        lo: &[VReg],
-        lo_w: usize,
-        hi: &[VReg],
-        hi_w: usize,
-    ) -> Vec<VReg> {
+    fn concat_words(&mut self, lo: &[VReg], lo_w: usize, hi: &[VReg], hi_w: usize) -> Vec<VReg> {
         let out_w = lo_w + hi_w;
         let n_out = nwords(out_w);
         let r = lo_w % 16;

@@ -223,10 +223,14 @@ fn merge_balanced(mut units: Vec<Unit>, num_cores: usize, instr_cost: &[usize]) 
             break;
         }
         let must_merge = live.len() > num_cores;
-        let cost =
-            |i: usize, units: &[Unit], alive: &[bool]| units[i].base_cost + send_count(i, units, alive);
+        let cost = |i: usize, units: &[Unit], alive: &[bool]| {
+            units[i].base_cost + send_count(i, units, alive)
+        };
         // Cheapest live unit.
-        let &u = live.iter().min_by_key(|&&i| cost(i, &units, &alive)).unwrap();
+        let &u = live
+            .iter()
+            .min_by_key(|&&i| cost(i, &units, &alive))
+            .unwrap();
         // Communicating partners.
         let partners: Vec<usize> = live
             .iter()

@@ -12,13 +12,13 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use manticore_isa::{
-    AluOp, Binary, CoreImage, ExceptionDescriptor, ExceptionId, ExceptionKind,
-    Instruction, MachineConfig, Reg,
+    AluOp, Binary, CoreImage, ExceptionDescriptor, ExceptionId, ExceptionKind, Instruction,
+    MachineConfig, Reg,
 };
 
 use crate::error::CompileError;
 use crate::lir::{LirExceptionKind, LirOp, LirProgram, MemPlacement, StateId, VReg};
-use crate::report::{CoreBreakdown, Metadata, MemLocation, RegLocation};
+use crate::report::{CoreBreakdown, MemLocation, Metadata, RegLocation};
 use crate::schedule::Schedule;
 
 /// Emission result: the loadable binary plus location metadata and
@@ -440,9 +440,7 @@ pub fn emit(
                     format: format.clone(),
                     args: args
                         .iter()
-                        .map(|(regs, w)| {
-                            (regs.iter().map(|&v| vreg_reg_of[pi][&v]).collect(), *w)
-                        })
+                        .map(|(regs, w)| (regs.iter().map(|&v| vreg_reg_of[pi][&v]).collect(), *w))
                         .collect(),
                 }
             }
@@ -507,10 +505,7 @@ pub fn emit(
         .enumerate()
         .map(|(mi, info)| match info.placement {
             MemPlacement::Local => {
-                let (owner, base) = mem_base
-                    .get(&(mi as u32))
-                    .copied()
-                    .unwrap_or((0, 0));
+                let (owner, base) = mem_base.get(&(mi as u32)).copied().unwrap_or((0, 0));
                 MemLocation::Local {
                     rtl_mem: info.rtl_mem,
                     core: schedule.core_of_process[owner],

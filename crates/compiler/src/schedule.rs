@@ -116,10 +116,10 @@ pub fn schedule(prog: &LirProgram, config: &MachineConfig) -> Result<Schedule, C
         let mut succs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
         let mut indeg = vec![0u32; n];
         let add_edge = |succs: &mut Vec<Vec<(usize, u64)>>,
-                            indeg: &mut Vec<u32>,
-                            from: usize,
-                            to: usize,
-                            l: u64| {
+                        indeg: &mut Vec<u32>,
+                        from: usize,
+                        to: usize,
+                        l: u64| {
             if from != to {
                 succs[from].push((to, l));
                 indeg[to] += 1;
@@ -214,7 +214,7 @@ pub fn schedule(prog: &LirProgram, config: &MachineConfig) -> Result<Schedule, C
     // priority heap (startable now) or in time buckets keyed by their
     // earliest start.
     // ------------------------------------------------------------------
-    use std::collections::{BinaryHeap, BTreeMap};
+    use std::collections::{BTreeMap, BinaryHeap};
     let mut slots: Vec<Vec<Option<usize>>> = vec![Vec::new(); nproc];
     let mut remaining: Vec<usize> = graphs
         .iter()
@@ -351,12 +351,7 @@ pub fn schedule(prog: &LirProgram, config: &MachineConfig) -> Result<Schedule, C
     })
 }
 
-fn topo_order(
-    n: usize,
-    active: &[bool],
-    succs: &[Vec<(usize, u64)>],
-    indeg: &[u32],
-) -> Vec<usize> {
+fn topo_order(n: usize, active: &[bool], succs: &[Vec<(usize, u64)>], indeg: &[u32]) -> Vec<usize> {
     let mut indeg = indeg.to_vec();
     let mut stack: Vec<usize> = (0..n).filter(|&i| active[i] && indeg[i] == 0).collect();
     let mut out = Vec::with_capacity(n);

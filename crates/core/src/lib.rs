@@ -50,24 +50,29 @@ pub use manticore_isa as isa;
 pub use manticore_machine as machine;
 pub use manticore_netlist as netlist;
 pub use manticore_refsim as refsim;
+pub use manticore_util as util;
 pub use manticore_workloads as workloads;
+
+pub mod sim;
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use manticore_bits::Bits;
     pub use manticore_compiler::{compile, CompileOptions, PartitionStrategy};
     pub use manticore_isa::{CoreId, MachineConfig, Reg};
-    pub use manticore_machine::{Machine, MachineError, RunOutcome};
+    pub use manticore_machine::{ExecMode, Machine, MachineError, RunOutcome};
     pub use manticore_netlist::{eval::Evaluator, NetlistBuilder};
 
+    pub use crate::sim::{Simulator, TapeSim};
     pub use crate::ManticoreSim;
 }
 
 use manticore_bits::Bits;
 use manticore_compiler::{compile, CompileError, CompileOptions, CompileOutput};
 use manticore_isa::MachineConfig;
-use manticore_machine::{Machine, MachineError, RunOutcome};
+use manticore_machine::{ExecMode, Machine, MachineError, RunOutcome};
 use manticore_netlist::Netlist;
+use manticore_refsim::TapeError;
 
 /// Errors from the high-level simulation flow.
 #[derive(Debug)]
@@ -76,6 +81,10 @@ pub enum SimError {
     Compile(CompileError),
     /// The machine rejected the binary or hit a runtime violation.
     Machine(MachineError),
+    /// The Verilator-analog tape could not be built for this design.
+    Tape(TapeError),
+    /// A testbench assertion (`expect_true`) failed.
+    Assert(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -83,6 +92,8 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Compile(e) => write!(f, "compile: {e}"),
             SimError::Machine(e) => write!(f, "machine: {e}"),
+            SimError::Tape(e) => write!(f, "tape: {e}"),
+            SimError::Assert(m) => write!(f, "assertion failed: {m}"),
         }
     }
 }
@@ -106,7 +117,11 @@ impl From<MachineError> for SimError {
 #[derive(Debug)]
 pub struct ManticoreSim {
     machine: Machine,
-    output: CompileOutput,
+    /// Shared so several machines (e.g. a serial and a parallel backend)
+    /// can run one compiled design without recompiling.
+    output: std::sync::Arc<CompileOutput>,
+    displays: Vec<String>,
+    wall_seconds: f64,
 }
 
 impl ManticoreSim {
@@ -133,8 +148,31 @@ impl ManticoreSim {
     /// Compilation or load failure.
     pub fn compile_with(netlist: &Netlist, options: &CompileOptions) -> Result<Self, SimError> {
         let output = compile(netlist, options)?;
-        let machine = Machine::load(options.config.clone(), &output.binary)?;
-        Ok(ManticoreSim { machine, output })
+        Self::from_output(std::sync::Arc::new(output), options.config.clone())
+    }
+
+    /// Boots a machine from an already-compiled design. Lets several
+    /// simulators (e.g. one per [`ExecMode`]) share one compilation.
+    ///
+    /// # Errors
+    ///
+    /// Load failure (binary does not fit `config`).
+    pub fn from_output(
+        output: std::sync::Arc<CompileOutput>,
+        config: MachineConfig,
+    ) -> Result<Self, SimError> {
+        let machine = Machine::load(config, &output.binary)?;
+        Ok(ManticoreSim {
+            machine,
+            output,
+            displays: Vec::new(),
+            wall_seconds: 0.0,
+        })
+    }
+
+    /// Selects the machine's execution engine (serial, or sharded BSP).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.machine.set_exec_mode(mode);
     }
 
     /// Runs up to `max_vcycles` RTL cycles.
@@ -143,7 +181,32 @@ impl ManticoreSim {
     ///
     /// Assertion failures and determinism violations.
     pub fn run(&mut self, max_vcycles: u64) -> Result<RunOutcome, SimError> {
-        Ok(self.machine.run_vcycles(max_vcycles)?)
+        let start = std::time::Instant::now();
+        let result = self.machine.run_vcycles(max_vcycles);
+        self.wall_seconds += start.elapsed().as_secs_f64();
+        match result {
+            Ok(outcome) => {
+                self.displays.extend(outcome.displays.iter().cloned());
+                Ok(outcome)
+            }
+            Err(e) => {
+                // Keep displays() consistent across backends: output that
+                // fired before the failure is still observable (and does
+                // not leak into a later run).
+                self.displays.extend(self.machine.drain_pending_displays());
+                Err(e.into())
+            }
+        }
+    }
+
+    /// All `$display` output produced so far, in order.
+    pub fn all_displays(&self) -> &[String] {
+        &self.displays
+    }
+
+    /// Host wall-clock seconds spent inside [`ManticoreSim::run`].
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_seconds
     }
 
     /// Reads an RTL register (by its index in the *optimized* netlist,

@@ -41,35 +41,75 @@ impl fmt::Display for Instruction {
             Instruction::Alu { op, rd, rs1, rs2 } => {
                 write!(f, "{op} {rd}, {rs1}, {rs2}")
             }
-            Instruction::AddCarry { rd, rs1, rs2, rs_carry } => {
+            Instruction::AddCarry {
+                rd,
+                rs1,
+                rs2,
+                rs_carry,
+            } => {
                 write!(f, "ADDC {rd}, {rs1}, {rs2}, carry({rs_carry})")
             }
-            Instruction::SubBorrow { rd, rs1, rs2, rs_borrow } => {
+            Instruction::SubBorrow {
+                rd,
+                rs1,
+                rs2,
+                rs_borrow,
+            } => {
                 write!(f, "SUBB {rd}, {rs1}, {rs2}, borrow({rs_borrow})")
             }
-            Instruction::Mux { rd, rs_sel, rs1, rs2 } => {
+            Instruction::Mux {
+                rd,
+                rs_sel,
+                rs1,
+                rs2,
+            } => {
                 write!(f, "MUX {rd}, {rs_sel} ? {rs1} : {rs2}")
             }
-            Instruction::Slice { rd, rs, offset, width } => {
+            Instruction::Slice {
+                rd,
+                rs,
+                offset,
+                width,
+            } => {
                 write!(f, "SLICE {rd}, {rs}[{offset} +: {width}]")
             }
             Instruction::Custom { rd, func, rs } => {
-                write!(f, "CUST f{func} {rd}, {}, {}, {}, {}", rs[0], rs[1], rs[2], rs[3])
+                write!(
+                    f,
+                    "CUST f{func} {rd}, {}, {}, {}, {}",
+                    rs[0], rs[1], rs[2], rs[3]
+                )
             }
             Instruction::Predicate { rs } => write!(f, "PRED {rs}"),
             Instruction::LocalLoad { rd, rs_addr, base } => {
                 write!(f, "LLD {rd}, m[{base} + {rs_addr}]")
             }
-            Instruction::LocalStore { rs_data, rs_addr, base } => {
+            Instruction::LocalStore {
+                rs_data,
+                rs_addr,
+                base,
+            } => {
                 write!(f, "LST {rs_data}, m[{base} + {rs_addr}]")
             }
             Instruction::GlobalLoad { rd, rs_addr } => {
-                write!(f, "GLD {rd}, [{}:{}:{}]", rs_addr[2], rs_addr[1], rs_addr[0])
+                write!(
+                    f,
+                    "GLD {rd}, [{}:{}:{}]",
+                    rs_addr[2], rs_addr[1], rs_addr[0]
+                )
             }
             Instruction::GlobalStore { rs_data, rs_addr } => {
-                write!(f, "GST {rs_data}, [{}:{}:{}]", rs_addr[2], rs_addr[1], rs_addr[0])
+                write!(
+                    f,
+                    "GST {rs_data}, [{}:{}:{}]",
+                    rs_addr[2], rs_addr[1], rs_addr[0]
+                )
             }
-            Instruction::Send { target, rd_remote, rs } => {
+            Instruction::Send {
+                target,
+                rd_remote,
+                rs,
+            } => {
                 write!(f, "SEND {rd_remote}@{target}, {rs}")
             }
             Instruction::Expect { rs1, rs2, eid } => {
@@ -116,11 +156,7 @@ pub fn disassemble(binary: &Binary) -> String {
         if nop_run > 0 {
             let _ = writeln!(s, "  ...   ; {nop_run} NOPs");
         }
-        let _ = writeln!(
-            s,
-            "  ; epilogue: {} message slot(s)",
-            core.epilogue_len
-        );
+        let _ = writeln!(s, "  ; epilogue: {} message slot(s)", core.epilogue_len);
     }
     if !binary.exceptions.is_empty() {
         let _ = writeln!(s, "\n.exceptions:");

@@ -329,7 +329,10 @@ impl Instruction {
                 rs1, rs2, rs_carry, ..
             } => vec![rs1, rs2, rs_carry],
             Instruction::SubBorrow {
-                rs1, rs2, rs_borrow, ..
+                rs1,
+                rs2,
+                rs_borrow,
+                ..
             } => vec![rs1, rs2, rs_borrow],
             Instruction::Mux {
                 rs_sel, rs1, rs2, ..
@@ -413,43 +416,67 @@ impl Instruction {
             Instruction::Set { rd, imm } => {
                 op(OP_SET) | pack_regs(&[rd]) | ((imm as u64) << R_BITS)
             }
-            Instruction::Alu { op: aop, rd, rs1, rs2 } => {
+            Instruction::Alu {
+                op: aop,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 let idx = AluOp::ALL.iter().position(|o| *o == aop).unwrap() as u64;
                 op(OP_ALU_BASE + idx) | pack_regs(&[rd, rs1, rs2])
             }
-            Instruction::AddCarry { rd, rs1, rs2, rs_carry } => {
-                op(OP_ADDCARRY) | pack_regs(&[rd, rs1, rs2, rs_carry])
-            }
-            Instruction::SubBorrow { rd, rs1, rs2, rs_borrow } => {
-                op(OP_SUBBORROW) | pack_regs(&[rd, rs1, rs2, rs_borrow])
-            }
-            Instruction::Mux { rd, rs_sel, rs1, rs2 } => {
-                op(OP_MUX) | pack_regs(&[rd, rs_sel, rs1, rs2])
-            }
-            Instruction::Slice { rd, rs, offset, width } => {
+            Instruction::AddCarry {
+                rd,
+                rs1,
+                rs2,
+                rs_carry,
+            } => op(OP_ADDCARRY) | pack_regs(&[rd, rs1, rs2, rs_carry]),
+            Instruction::SubBorrow {
+                rd,
+                rs1,
+                rs2,
+                rs_borrow,
+            } => op(OP_SUBBORROW) | pack_regs(&[rd, rs1, rs2, rs_borrow]),
+            Instruction::Mux {
+                rd,
+                rs_sel,
+                rs1,
+                rs2,
+            } => op(OP_MUX) | pack_regs(&[rd, rs_sel, rs1, rs2]),
+            Instruction::Slice {
+                rd,
+                rs,
+                offset,
+                width,
+            } => {
                 op(OP_SLICE)
                     | pack_regs(&[rd, rs])
                     | ((offset as u64) << (2 * R_BITS))
                     | ((width as u64) << (2 * R_BITS + 5))
             }
             Instruction::Custom { rd, func, rs } => {
-                op(OP_CUSTOM_BASE + func as u64)
-                    | pack_regs(&[rd, rs[0], rs[1], rs[2], rs[3]])
+                op(OP_CUSTOM_BASE + func as u64) | pack_regs(&[rd, rs[0], rs[1], rs[2], rs[3]])
             }
             Instruction::Predicate { rs } => op(OP_PREDICATE) | pack_regs(&[rs]),
             Instruction::LocalLoad { rd, rs_addr, base } => {
                 op(OP_LLD) | pack_regs(&[rd, rs_addr]) | ((base as u64) << (2 * R_BITS))
             }
-            Instruction::LocalStore { rs_data, rs_addr, base } => {
-                op(OP_LST) | pack_regs(&[rs_data, rs_addr]) | ((base as u64) << (2 * R_BITS))
-            }
+            Instruction::LocalStore {
+                rs_data,
+                rs_addr,
+                base,
+            } => op(OP_LST) | pack_regs(&[rs_data, rs_addr]) | ((base as u64) << (2 * R_BITS)),
             Instruction::GlobalLoad { rd, rs_addr } => {
                 op(OP_GLD) | pack_regs(&[rd, rs_addr[0], rs_addr[1], rs_addr[2]])
             }
             Instruction::GlobalStore { rs_data, rs_addr } => {
                 op(OP_GST) | pack_regs(&[rs_data, rs_addr[0], rs_addr[1], rs_addr[2]])
             }
-            Instruction::Send { target, rd_remote, rs } => {
+            Instruction::Send {
+                target,
+                rd_remote,
+                rs,
+            } => {
                 op(OP_SEND)
                     | pack_regs(&[rd_remote, rs])
                     | ((target.x as u64) << (2 * R_BITS))

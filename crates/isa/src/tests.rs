@@ -1,11 +1,11 @@
 //! Unit + property tests for the ISA: ALU semantics, encoding round-trips,
 //! binary serialization, configuration math.
 
-use proptest::prelude::*;
+use manticore_util::SmallRng;
 
 use crate::{
-    AluOp, Binary, CoreId, CoreImage, ExceptionDescriptor, ExceptionId, ExceptionKind,
-    Instruction, MachineConfig, Reg,
+    AluOp, Binary, CoreId, CoreImage, ExceptionDescriptor, ExceptionId, ExceptionKind, Instruction,
+    MachineConfig, Reg,
 };
 
 #[test]
@@ -85,22 +85,76 @@ fn sample_instructions() -> Vec<Instruction> {
     let r = Reg;
     let mut v = vec![
         Instruction::Nop,
-        Instruction::Set { rd: r(2047), imm: 0xffff },
-        Instruction::AddCarry { rd: r(1), rs1: r(2), rs2: r(3), rs_carry: r(4) },
-        Instruction::SubBorrow { rd: r(5), rs1: r(6), rs2: r(7), rs_borrow: r(8) },
-        Instruction::Mux { rd: r(9), rs_sel: r(10), rs1: r(11), rs2: r(12) },
-        Instruction::Slice { rd: r(13), rs: r(14), offset: 15, width: 16 },
-        Instruction::Custom { rd: r(15), func: 31, rs: [r(16), r(17), r(18), r(19)] },
+        Instruction::Set {
+            rd: r(2047),
+            imm: 0xffff,
+        },
+        Instruction::AddCarry {
+            rd: r(1),
+            rs1: r(2),
+            rs2: r(3),
+            rs_carry: r(4),
+        },
+        Instruction::SubBorrow {
+            rd: r(5),
+            rs1: r(6),
+            rs2: r(7),
+            rs_borrow: r(8),
+        },
+        Instruction::Mux {
+            rd: r(9),
+            rs_sel: r(10),
+            rs1: r(11),
+            rs2: r(12),
+        },
+        Instruction::Slice {
+            rd: r(13),
+            rs: r(14),
+            offset: 15,
+            width: 16,
+        },
+        Instruction::Custom {
+            rd: r(15),
+            func: 31,
+            rs: [r(16), r(17), r(18), r(19)],
+        },
         Instruction::Predicate { rs: r(20) },
-        Instruction::LocalLoad { rd: r(21), rs_addr: r(22), base: 16383 },
-        Instruction::LocalStore { rs_data: r(23), rs_addr: r(24), base: 1 },
-        Instruction::GlobalLoad { rd: r(25), rs_addr: [r(26), r(27), r(28)] },
-        Instruction::GlobalStore { rs_data: r(29), rs_addr: [r(30), r(31), r(32)] },
-        Instruction::Send { target: CoreId::new(14, 14), rd_remote: r(33), rs: r(34) },
-        Instruction::Expect { rs1: r(35), rs2: r(36), eid: 999 },
+        Instruction::LocalLoad {
+            rd: r(21),
+            rs_addr: r(22),
+            base: 16383,
+        },
+        Instruction::LocalStore {
+            rs_data: r(23),
+            rs_addr: r(24),
+            base: 1,
+        },
+        Instruction::GlobalLoad {
+            rd: r(25),
+            rs_addr: [r(26), r(27), r(28)],
+        },
+        Instruction::GlobalStore {
+            rs_data: r(29),
+            rs_addr: [r(30), r(31), r(32)],
+        },
+        Instruction::Send {
+            target: CoreId::new(14, 14),
+            rd_remote: r(33),
+            rs: r(34),
+        },
+        Instruction::Expect {
+            rs1: r(35),
+            rs2: r(36),
+            eid: 999,
+        },
     ];
     for op in AluOp::ALL {
-        v.push(Instruction::Alu { op, rd: r(100), rs1: r(101), rs2: r(102) });
+        v.push(Instruction::Alu {
+            op,
+            rd: r(100),
+            rs1: r(101),
+            rs2: r(102),
+        });
     }
     v
 }
@@ -146,7 +200,9 @@ fn binary_roundtrip() {
             },
             ExceptionDescriptor {
                 id: ExceptionId(1),
-                kind: ExceptionKind::AssertFail { message: "boom".into() },
+                kind: ExceptionKind::AssertFail {
+                    message: "boom".into(),
+                },
             },
             ExceptionDescriptor {
                 id: ExceptionId(2),
@@ -183,28 +239,43 @@ fn simulation_rate() {
     assert!((khz - 279.4).abs() < 1.0, "got {khz}");
 }
 
-proptest! {
-    #[test]
-    fn prop_alu_add_matches_u32(a: u16, b: u16) {
+#[test]
+fn prop_alu_add_matches_u32() {
+    let mut rng = SmallRng::seed_from_u64(0x11);
+    for _ in 0..512 {
+        let a = rng.next_u64() as u16;
+        let b = rng.next_u64() as u16;
         let (r, c) = AluOp::Add.eval(a, b);
         let full = a as u32 + b as u32;
-        prop_assert_eq!(r, full as u16);
-        prop_assert_eq!(c, full > 0xffff);
+        assert_eq!(r, full as u16);
+        assert_eq!(c, full > 0xffff);
     }
+}
 
-    #[test]
-    fn prop_set_roundtrip(rd in 0u16..2048, imm: u16) {
+#[test]
+fn prop_set_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x12);
+    for _ in 0..512 {
+        let rd = rng.gen_range(0..2048) as u16;
+        let imm = rng.next_u64() as u16;
         let i = Instruction::Set { rd: Reg(rd), imm };
-        prop_assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+        assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
     }
+}
 
-    #[test]
-    fn prop_send_roundtrip(x in 0u8..16, y in 0u8..16, rd in 0u16..2048, rs in 0u16..2048) {
+#[test]
+fn prop_send_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x13);
+    for _ in 0..512 {
+        let x = rng.gen_range(0..16) as u8;
+        let y = rng.gen_range(0..16) as u8;
+        let rd = rng.gen_range(0..2048) as u16;
+        let rs = rng.gen_range(0..2048) as u16;
         let i = Instruction::Send {
             target: CoreId::new(x, y),
             rd_remote: Reg(rd),
             rs: Reg(rs),
         };
-        prop_assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+        assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
     }
 }

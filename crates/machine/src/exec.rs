@@ -1,0 +1,381 @@
+//! The per-core instruction step, shared by both execution engines.
+//!
+//! The serial engine ([`crate::grid`]) and the sharded bulk-synchronous
+//! engine ([`crate::parallel`]) must be bit-identical. The way we get that
+//! by construction is to funnel *all* architectural effects of one core
+//! executing one Vcycle position through this module: both engines call
+//! [`step_core`], which mutates only
+//!
+//! - the core's own state (`CoreState`),
+//! - the caller-supplied [`PerfCounters`] accumulator,
+//! - the caller-supplied host-event list (privileged core only),
+//! - the caller-supplied [`SendRecord`] list (messages are *recorded*, not
+//!   routed — the engine decides when to inject them into the NoC), and
+//! - the global cache (privileged core only; `None` for everyone else).
+//!
+//! Everything cross-core — NoC routing, message delivery, link-collision
+//! validation — stays in the engines, where the two differ only in *when*
+//! the same serial commit work happens.
+
+use manticore_isa::{CoreId, ExceptionDescriptor, ExceptionKind, Instruction, MachineConfig, Reg};
+
+use crate::cache::Cache;
+use crate::core::CoreState;
+use crate::grid::{HostEvent, MachineError, PerfCounters};
+
+/// Grid-stall cycles charged per serviced exception (host round-trip over
+/// PCIe; the paper notes crossing the host-device boundary is expensive).
+pub(crate) const EXCEPTION_STALL: u64 = 200;
+
+/// Read-only execution context for one Vcycle.
+pub(crate) struct ExecEnv<'a> {
+    pub config: &'a MachineConfig,
+    pub exceptions: &'a [ExceptionDescriptor],
+    pub strict_hazards: bool,
+    /// Current Vcycle index (for assertion-failure reporting).
+    pub vcycle: u64,
+}
+
+/// A `Send` executed this Vcycle, recorded for the engine to inject into
+/// the NoC. `pos` orders records across cores: global injection order is
+/// `(pos, sender linear index)`, exactly the serial engine's iteration
+/// order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SendRecord {
+    pub pos: u64,
+    pub from: CoreId,
+    pub target: CoreId,
+    pub rd: Reg,
+    pub value: u16,
+}
+
+/// The `CoreId` of the core at linear index `idx` in a row-major grid.
+pub(crate) fn core_id_of(idx: usize, grid_width: usize) -> CoreId {
+    CoreId::new((idx % grid_width) as u8, (idx / grid_width) as u8)
+}
+
+fn read_operand(
+    env: &ExecEnv<'_>,
+    core: &CoreState,
+    core_id: CoreId,
+    r: Reg,
+    pos: u64,
+) -> Result<u16, MachineError> {
+    if env.strict_hazards && core.has_pending_write(r) {
+        return Err(MachineError::Hazard {
+            core: core_id,
+            position: pos,
+            reg: r,
+        });
+    }
+    Ok(core.reg_value(r))
+}
+
+fn read_carry(
+    env: &ExecEnv<'_>,
+    core: &CoreState,
+    core_id: CoreId,
+    r: Reg,
+    pos: u64,
+) -> Result<bool, MachineError> {
+    if env.strict_hazards && core.has_pending_write(r) {
+        return Err(MachineError::Hazard {
+            core: core_id,
+            position: pos,
+            reg: r,
+        });
+    }
+    Ok(core.reg_carry(r))
+}
+
+fn require_privileged(core_id: CoreId) -> Result<(), MachineError> {
+    if core_id != CoreId::PRIVILEGED {
+        return Err(MachineError::NotPrivileged { core: core_id });
+    }
+    Ok(())
+}
+
+fn global_addr(
+    env: &ExecEnv<'_>,
+    core: &CoreState,
+    core_id: CoreId,
+    rs_addr: [Reg; 3],
+    pos: u64,
+) -> Result<u64, MachineError> {
+    let lo = read_operand(env, core, core_id, rs_addr[0], pos)? as u64;
+    let mid = read_operand(env, core, core_id, rs_addr[1], pos)? as u64;
+    let hi = read_operand(env, core, core_id, rs_addr[2], pos)? as u64;
+    Ok(lo | (mid << 16) | (hi << 32))
+}
+
+/// Services an `Expect` exception: the grid stalls and the host acts on
+/// the descriptor.
+fn service_exception(
+    env: &ExecEnv<'_>,
+    core: &CoreState,
+    eid: u16,
+    counters: &mut PerfCounters,
+    events: &mut Vec<HostEvent>,
+) -> Result<(), MachineError> {
+    counters.exceptions += 1;
+    counters.stall_cycles += EXCEPTION_STALL;
+    let desc = env
+        .exceptions
+        .iter()
+        .find(|d| d.id.0 == eid)
+        .ok_or(MachineError::UnknownException { eid })?
+        .clone();
+    match desc.kind {
+        ExceptionKind::Display { format, args } => {
+            let rendered = render_display(&format, &args, |r| core.reg_value_flushed(r));
+            events.push(HostEvent::Display(rendered));
+        }
+        ExceptionKind::AssertFail { message } => {
+            return Err(MachineError::AssertFailed {
+                message,
+                vcycle: env.vcycle,
+            });
+        }
+        ExceptionKind::Finish => {
+            events.push(HostEvent::Finish);
+        }
+    }
+    Ok(())
+}
+
+/// Executes the instruction (or epilogue slot) at Vcycle position `pos` on
+/// one core. `now` is the compute-domain time (`vcycle_start + pos`);
+/// `cache` is `Some` exactly for the privileged core.
+///
+/// All effects go through the caller-supplied accumulators, so the caller
+/// chooses whether they are the machine's globals (serial engine) or
+/// shard-local scratch merged at the barrier (parallel engine).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_core(
+    env: &ExecEnv<'_>,
+    core: &mut CoreState,
+    core_id: CoreId,
+    pos: u64,
+    now: u64,
+    cache: Option<&mut Cache>,
+    counters: &mut PerfCounters,
+    events: &mut Vec<HostEvent>,
+    sends: &mut Vec<SendRecord>,
+) -> Result<(), MachineError> {
+    let body_len = core.body.len() as u64;
+    let epi_len = core.epilogue_len as u64;
+    let lat = env.config.hazard_latency as u64;
+
+    // Epilogue region: execute received messages as SET instructions.
+    if pos >= body_len {
+        let slot = (pos - body_len) as usize;
+        if pos < body_len + epi_len {
+            match core.epilogue[slot] {
+                Some((rd, value)) => {
+                    core.write_reg(now, lat, rd, value, false);
+                    core.executed += 1;
+                    counters.instructions += 1;
+                }
+                None => {
+                    // The schedule should have made this impossible; it
+                    // is caught as a missing message at wrap. Treat the
+                    // slot as a NOP for this cycle.
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    let instr = core.body[pos as usize];
+    if !matches!(instr, Instruction::Nop) {
+        core.executed += 1;
+        counters.instructions += 1;
+    }
+    match instr {
+        Instruction::Nop => {}
+        Instruction::Set { rd, imm } => {
+            core.write_reg(now, lat, rd, imm, false);
+        }
+        Instruction::Alu { op, rd, rs1, rs2 } => {
+            let a = read_operand(env, core, core_id, rs1, pos)?;
+            let b = read_operand(env, core, core_id, rs2, pos)?;
+            let (v, c) = op.eval(a, b);
+            core.write_reg(now, lat, rd, v, c);
+        }
+        Instruction::AddCarry {
+            rd,
+            rs1,
+            rs2,
+            rs_carry,
+        } => {
+            let a = read_operand(env, core, core_id, rs1, pos)? as u32;
+            let b = read_operand(env, core, core_id, rs2, pos)? as u32;
+            let cin = read_carry(env, core, core_id, rs_carry, pos)? as u32;
+            let sum = a + b + cin;
+            core.write_reg(now, lat, rd, sum as u16, sum > 0xffff);
+        }
+        Instruction::SubBorrow {
+            rd,
+            rs1,
+            rs2,
+            rs_borrow,
+        } => {
+            let a = read_operand(env, core, core_id, rs1, pos)? as i32;
+            let b = read_operand(env, core, core_id, rs2, pos)? as i32;
+            let carry_in = read_carry(env, core, core_id, rs_borrow, pos)? as i32;
+            let diff = a - b - (1 - carry_in);
+            core.write_reg(now, lat, rd, diff as u16, diff >= 0);
+        }
+        Instruction::Mux {
+            rd,
+            rs_sel,
+            rs1,
+            rs2,
+        } => {
+            let sel = read_operand(env, core, core_id, rs_sel, pos)?;
+            let a = read_operand(env, core, core_id, rs1, pos)?;
+            let b = read_operand(env, core, core_id, rs2, pos)?;
+            let v = if sel != 0 { a } else { b };
+            core.write_reg(now, lat, rd, v, false);
+        }
+        Instruction::Slice {
+            rd,
+            rs,
+            offset,
+            width,
+        } => {
+            let v = read_operand(env, core, core_id, rs, pos)?;
+            let mask = if width >= 16 {
+                0xffff
+            } else {
+                (1u16 << width) - 1
+            };
+            core.write_reg(now, lat, rd, (v >> offset) & mask, false);
+        }
+        Instruction::Custom { rd, func, rs } => {
+            let table = *core.custom_functions.get(func as usize).ok_or_else(|| {
+                MachineError::Load(format!(
+                    "custom function {func} not programmed on {core_id}"
+                ))
+            })?;
+            let a = read_operand(env, core, core_id, rs[0], pos)?;
+            let b = read_operand(env, core, core_id, rs[1], pos)?;
+            let c = read_operand(env, core, core_id, rs[2], pos)?;
+            let d = read_operand(env, core, core_id, rs[3], pos)?;
+            let mut out = 0u16;
+            for lane in 0..16 {
+                let sel = ((a >> lane) & 1)
+                    | (((b >> lane) & 1) << 1)
+                    | (((c >> lane) & 1) << 2)
+                    | (((d >> lane) & 1) << 3);
+                out |= ((table[lane] >> sel) & 1) << lane;
+            }
+            core.write_reg(now, lat, rd, out, false);
+        }
+        Instruction::Predicate { rs } => {
+            let v = read_operand(env, core, core_id, rs, pos)?;
+            core.predicate = v != 0;
+        }
+        Instruction::LocalLoad { rd, rs_addr, base } => {
+            let a = read_operand(env, core, core_id, rs_addr, pos)?;
+            let addr = (base as usize + a as usize) % env.config.scratch_words;
+            let v = core.scratch[addr];
+            core.write_reg(now, lat, rd, v, false);
+        }
+        Instruction::LocalStore {
+            rs_data,
+            rs_addr,
+            base,
+        } => {
+            let v = read_operand(env, core, core_id, rs_data, pos)?;
+            let a = read_operand(env, core, core_id, rs_addr, pos)?;
+            if core.predicate {
+                let addr = (base as usize + a as usize) % env.config.scratch_words;
+                core.scratch[addr] = v;
+            }
+        }
+        Instruction::GlobalLoad { rd, rs_addr } => {
+            require_privileged(core_id)?;
+            let addr = global_addr(env, core, core_id, rs_addr, pos)?;
+            let cache = cache.expect("privileged core must be stepped with the cache");
+            let (v, stall) = cache.load(addr);
+            counters.stall_cycles += stall;
+            core.write_reg(now, lat, rd, v, false);
+        }
+        Instruction::GlobalStore { rs_data, rs_addr } => {
+            require_privileged(core_id)?;
+            let v = read_operand(env, core, core_id, rs_data, pos)?;
+            let addr = global_addr(env, core, core_id, rs_addr, pos)?;
+            if core.predicate {
+                let cache = cache.expect("privileged core must be stepped with the cache");
+                let stall = cache.store(addr, v);
+                counters.stall_cycles += stall;
+            }
+        }
+        Instruction::Send {
+            target,
+            rd_remote,
+            rs,
+        } => {
+            let v = read_operand(env, core, core_id, rs, pos)?;
+            counters.sends += 1;
+            sends.push(SendRecord {
+                pos,
+                from: core_id,
+                target,
+                rd: rd_remote,
+                value: v,
+            });
+        }
+        Instruction::Expect { rs1, rs2, eid } => {
+            require_privileged(core_id)?;
+            let a = read_operand(env, core, core_id, rs1, pos)?;
+            let b = read_operand(env, core, core_id, rs2, pos)?;
+            if a != b {
+                service_exception(env, core, eid, counters, events)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders a display format string; `{}` placeholders print arguments in
+/// hex, assembled from their 16-bit words (LSW first).
+fn render_display(format: &str, args: &[(Vec<Reg>, usize)], read: impl Fn(Reg) -> u16) -> String {
+    let mut out = String::with_capacity(format.len() + 16);
+    let mut arg_iter = args.iter();
+    let mut chars = format.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '{' && chars.peek() == Some(&'}') {
+            chars.next();
+            match arg_iter.next() {
+                Some((regs, _width)) => {
+                    let words: Vec<u16> = regs.iter().map(|&r| read(r)).collect();
+                    out.push_str(&hex_of_words(&words));
+                }
+                None => out.push_str("<missing>"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Hex rendering of a little-endian word vector without leading zeros.
+fn hex_of_words(words: &[u16]) -> String {
+    let mut s = String::new();
+    let mut started = false;
+    for w in words.iter().rev() {
+        if started {
+            s.push_str(&format!("{w:04x}"));
+        } else if *w != 0 {
+            s.push_str(&format!("{w:x}"));
+            started = true;
+        }
+    }
+    if !started {
+        s.push('0');
+    }
+    s
+}

@@ -3,12 +3,11 @@
 
 use std::fmt;
 
-use manticore_isa::{
-    Binary, CoreId, ExceptionKind, Instruction, MachineConfig, Reg,
-};
+use manticore_isa::{Binary, CoreId, MachineConfig, Reg};
 
 use crate::cache::{Cache, CacheStats};
 use crate::core::CoreState;
+use crate::exec::{core_id_of, step_core, ExecEnv, SendRecord};
 use crate::noc::Noc;
 
 /// Hardware performance counters (§7.7 uses these for the global-stall
@@ -44,6 +43,25 @@ impl PerfCounters {
         } else {
             self.stall_cycles as f64 / self.total_cycles() as f64
         }
+    }
+
+    /// Adds another counter block into this one.
+    ///
+    /// This is how the parallel engine aggregates shard-local counters at
+    /// each Vcycle barrier. Every field is an event *count* (`u64`), so the
+    /// aggregation is exact integer addition — associative and commutative —
+    /// and the totals for `instructions`, `sends`, `stall_cycles`, and the
+    /// rest are identical for any shard count and any merge order. (There
+    /// are no floating-point fields here; ratios like
+    /// [`PerfCounters::stall_fraction`] are derived *after* aggregation.)
+    pub fn merge_from(&mut self, other: &PerfCounters) {
+        self.compute_cycles += other.compute_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.vcycles += other.vcycles;
+        self.instructions += other.instructions;
+        self.sends += other.sends;
+        self.messages_delivered += other.messages_delivered;
+        self.exceptions += other.exceptions;
     }
 }
 
@@ -171,24 +189,42 @@ impl fmt::Display for MachineError {
 
 impl std::error::Error for MachineError {}
 
-/// Grid-stall cycles charged per serviced exception (host round-trip over
-/// PCIe; the paper notes crossing the host-device boundary is expensive).
-const EXCEPTION_STALL: u64 = 200;
+/// How [`Machine::run_vcycles`] executes the grid.
+///
+/// Both modes are architecturally identical — same final registers, same
+/// displays, same [`PerfCounters`] — because they share the per-core step
+/// (the crate-private `exec` module) and differ only in scheduling. See
+/// `ARCHITECTURE.md` for the phase/barrier structure of the parallel
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Step every core position-by-position on the calling thread.
+    Serial,
+    /// Sharded bulk-synchronous execution: the grid is split into
+    /// `shards` contiguous shards, each stepped by its own worker thread
+    /// between per-Vcycle barriers; NoC routing and delivery happen in a
+    /// serial commit phase. `shards` is clamped to `1..=num_cores`.
+    Parallel {
+        /// Worker-thread count (one shard per thread).
+        shards: usize,
+    },
+}
 
 /// The Manticore machine: a configured grid with a program loaded.
 #[derive(Debug)]
 pub struct Machine {
-    config: MachineConfig,
-    cores: Vec<CoreState>,
-    noc: Noc,
-    cache: Cache,
-    exceptions: Vec<manticore_isa::ExceptionDescriptor>,
-    vcycle_len: u64,
-    compute_time: u64,
-    counters: PerfCounters,
-    strict_hazards: bool,
-    finish_requested: bool,
-    events: Vec<HostEvent>,
+    pub(crate) config: MachineConfig,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) noc: Noc,
+    pub(crate) cache: Cache,
+    pub(crate) exceptions: Vec<manticore_isa::ExceptionDescriptor>,
+    pub(crate) vcycle_len: u64,
+    pub(crate) compute_time: u64,
+    pub(crate) counters: PerfCounters,
+    pub(crate) strict_hazards: bool,
+    pub(crate) finish_requested: bool,
+    pub(crate) events: Vec<HostEvent>,
+    pub(crate) exec_mode: ExecMode,
 }
 
 impl Machine {
@@ -291,6 +327,7 @@ impl Machine {
             strict_hazards: true,
             finish_requested: false,
             events: Vec::new(),
+            exec_mode: ExecMode::Serial,
             config,
         })
     }
@@ -310,6 +347,19 @@ impl Machine {
     /// failure-injection tests.
     pub fn set_strict_hazards(&mut self, strict: bool) {
         self.strict_hazards = strict;
+    }
+
+    /// Selects the execution engine for subsequent [`Machine::run_vcycles`]
+    /// calls. Modes can be switched freely between calls — both engines
+    /// leave the machine in the same architectural state at every Vcycle
+    /// boundary.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The currently selected execution engine.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// The machine configuration.
@@ -348,25 +398,33 @@ impl Machine {
         self.cache.peek(addr)
     }
 
-    /// Runs up to `max_vcycles` virtual cycles.
+    /// Runs up to `max_vcycles` virtual cycles on the engine selected by
+    /// [`Machine::set_exec_mode`].
     ///
     /// # Errors
     ///
     /// Any determinism violation or assertion failure aborts the run.
     pub fn run_vcycles(&mut self, max_vcycles: u64) -> Result<RunOutcome, MachineError> {
+        match self.exec_mode {
+            ExecMode::Serial => self.run_vcycles_serial(max_vcycles),
+            ExecMode::Parallel { shards } => {
+                crate::parallel::run_vcycles_parallel(self, max_vcycles, shards)
+            }
+        }
+    }
+
+    fn run_vcycles_serial(&mut self, max_vcycles: u64) -> Result<RunOutcome, MachineError> {
         let mut outcome = RunOutcome::default();
         for _ in 0..max_vcycles {
             if self.finish_requested {
                 break;
             }
-            self.run_one_vcycle()?;
-            outcome.vcycles_run += 1;
-            for ev in self.events.drain(..) {
-                match ev {
-                    HostEvent::Display(s) => outcome.displays.push(s),
-                    HostEvent::Finish => outcome.finished = true,
-                }
+            if let Err(e) = self.run_one_vcycle() {
+                self.requeue_displays(outcome.displays);
+                return Err(e);
             }
+            outcome.vcycles_run += 1;
+            self.drain_events(&mut outcome);
             if outcome.finished {
                 self.finish_requested = true;
                 break;
@@ -375,11 +433,57 @@ impl Machine {
         Ok(outcome)
     }
 
+    /// Puts displays already drained into a partial outcome back at the
+    /// front of the event queue, so a failed multi-Vcycle run does not
+    /// lose the output that fired before the failure (it stays available
+    /// via [`Machine::drain_pending_displays`]).
+    pub(crate) fn requeue_displays(&mut self, displays: Vec<String>) {
+        if displays.is_empty() {
+            return;
+        }
+        let mut evs: Vec<HostEvent> = displays.into_iter().map(HostEvent::Display).collect();
+        evs.append(&mut self.events);
+        self.events = evs;
+    }
+
+    /// Moves pending host events into `outcome` (both engines call this at
+    /// every Vcycle boundary).
+    pub(crate) fn drain_events(&mut self, outcome: &mut RunOutcome) {
+        for ev in self.events.drain(..) {
+            match ev {
+                HostEvent::Display(s) => outcome.displays.push(s),
+                HostEvent::Finish => outcome.finished = true,
+            }
+        }
+    }
+
+    /// Drains `$display` lines queued by a Vcycle that subsequently
+    /// failed. On success [`Machine::run_vcycles`] delivers displays
+    /// through [`RunOutcome`] and this returns nothing; after an error it
+    /// yields the output that fired before the failure (and clears it, so
+    /// it cannot leak into a later run's outcome).
+    pub fn drain_pending_displays(&mut self) -> Vec<String> {
+        self.events
+            .drain(..)
+            .filter_map(|ev| match ev {
+                HostEvent::Display(s) => Some(s),
+                HostEvent::Finish => None,
+            })
+            .collect()
+    }
+
     fn run_one_vcycle(&mut self) -> Result<(), MachineError> {
         // Validate link-level NoC behaviour only on the first Vcycle: the
         // compute domain is deterministic and the program periodic, so the
         // link pattern repeats exactly.
         let validate = self.counters.vcycles == 0;
+        let env = ExecEnv {
+            config: &self.config,
+            exceptions: &self.exceptions,
+            strict_hazards: self.strict_hazards,
+            vcycle: self.counters.vcycles,
+        };
+        let mut sends: Vec<SendRecord> = Vec::new();
         for pos in 0..self.vcycle_len {
             let now = self.compute_time;
             // Deliver due messages before issue so a slot filled at cycle t
@@ -403,7 +507,29 @@ impl Machine {
             }
             for idx in 0..self.cores.len() {
                 self.cores[idx].commit_due(now);
-                self.step_core(idx, pos, validate)?;
+                let core_id = core_id_of(idx, self.config.grid_width);
+                let cache = (core_id == CoreId::PRIVILEGED).then_some(&mut self.cache);
+                step_core(
+                    &env,
+                    &mut self.cores[idx],
+                    core_id,
+                    pos,
+                    now,
+                    cache,
+                    &mut self.counters,
+                    &mut self.events,
+                    &mut sends,
+                )?;
+                // Serial semantics: a recorded send enters the NoC
+                // immediately, before the next core issues.
+                for s in sends.drain(..) {
+                    self.noc
+                        .send(s.from, s.target, s.rd, s.value, now, pos, validate)
+                        .map_err(|c| MachineError::LinkCollision {
+                            link: c.link,
+                            position: c.position,
+                        })?;
+                }
             }
             self.compute_time += 1;
             self.counters.compute_cycles += 1;
@@ -411,12 +537,8 @@ impl Machine {
         // Vcycle wrap: every expected message must have arrived.
         for (idx, core) in self.cores.iter_mut().enumerate() {
             if core.received != core.epilogue_len {
-                let core_id = CoreId::new(
-                    (idx % self.config.grid_width) as u8,
-                    (idx / self.config.grid_width) as u8,
-                );
                 return Err(MachineError::MissingMessages {
-                    core: core_id,
+                    core: core_id_of(idx, self.config.grid_width),
                     got: core.received,
                     expected: core.epilogue_len,
                 });
@@ -426,278 +548,6 @@ impl Machine {
         self.counters.vcycles += 1;
         Ok(())
     }
-
-    fn core_id(&self, idx: usize) -> CoreId {
-        CoreId::new(
-            (idx % self.config.grid_width) as u8,
-            (idx / self.config.grid_width) as u8,
-        )
-    }
-
-    fn read_operand(&self, idx: usize, r: Reg, pos: u64) -> Result<u16, MachineError> {
-        let core = &self.cores[idx];
-        if self.strict_hazards && core.has_pending_write(r) {
-            return Err(MachineError::Hazard {
-                core: self.core_id(idx),
-                position: pos,
-                reg: r,
-            });
-        }
-        Ok(core.reg_value(r))
-    }
-
-    fn read_carry(&self, idx: usize, r: Reg, pos: u64) -> Result<bool, MachineError> {
-        let core = &self.cores[idx];
-        if self.strict_hazards && core.has_pending_write(r) {
-            return Err(MachineError::Hazard {
-                core: self.core_id(idx),
-                position: pos,
-                reg: r,
-            });
-        }
-        Ok(core.reg_carry(r))
-    }
-
-    fn step_core(&mut self, idx: usize, pos: u64, validate: bool) -> Result<(), MachineError> {
-        let body_len = self.cores[idx].body.len() as u64;
-        let epi_len = self.cores[idx].epilogue_len as u64;
-        let now = self.compute_time;
-        let lat = self.config.hazard_latency as u64;
-
-        // Epilogue region: execute received messages as SET instructions.
-        if pos >= body_len {
-            let slot = (pos - body_len) as usize;
-            if pos < body_len + epi_len {
-                let entry = self.cores[idx].epilogue[slot];
-                match entry {
-                    Some((rd, value)) => {
-                        self.cores[idx].write_reg(now, lat, rd, value, false);
-                        self.cores[idx].executed += 1;
-                        self.counters.instructions += 1;
-                    }
-                    None => {
-                        // The schedule should have made this impossible; it
-                        // is caught as a missing message at wrap. Treat the
-                        // slot as a NOP for this cycle.
-                    }
-                }
-            }
-            return Ok(());
-        }
-
-        let instr = self.cores[idx].body[pos as usize];
-        if !matches!(instr, Instruction::Nop) {
-            self.cores[idx].executed += 1;
-            self.counters.instructions += 1;
-        }
-        match instr {
-            Instruction::Nop => {}
-            Instruction::Set { rd, imm } => {
-                self.cores[idx].write_reg(now, lat, rd, imm, false);
-            }
-            Instruction::Alu { op, rd, rs1, rs2 } => {
-                let a = self.read_operand(idx, rs1, pos)?;
-                let b = self.read_operand(idx, rs2, pos)?;
-                let (v, c) = op.eval(a, b);
-                self.cores[idx].write_reg(now, lat, rd, v, c);
-            }
-            Instruction::AddCarry { rd, rs1, rs2, rs_carry } => {
-                let a = self.read_operand(idx, rs1, pos)? as u32;
-                let b = self.read_operand(idx, rs2, pos)? as u32;
-                let cin = self.read_carry(idx, rs_carry, pos)? as u32;
-                let sum = a + b + cin;
-                self.cores[idx].write_reg(now, lat, rd, sum as u16, sum > 0xffff);
-            }
-            Instruction::SubBorrow { rd, rs1, rs2, rs_borrow } => {
-                let a = self.read_operand(idx, rs1, pos)? as i32;
-                let b = self.read_operand(idx, rs2, pos)? as i32;
-                let carry_in = self.read_carry(idx, rs_borrow, pos)? as i32;
-                let diff = a - b - (1 - carry_in);
-                self.cores[idx].write_reg(now, lat, rd, diff as u16, diff >= 0);
-            }
-            Instruction::Mux { rd, rs_sel, rs1, rs2 } => {
-                let sel = self.read_operand(idx, rs_sel, pos)?;
-                let a = self.read_operand(idx, rs1, pos)?;
-                let b = self.read_operand(idx, rs2, pos)?;
-                let v = if sel != 0 { a } else { b };
-                self.cores[idx].write_reg(now, lat, rd, v, false);
-            }
-            Instruction::Slice { rd, rs, offset, width } => {
-                let v = self.read_operand(idx, rs, pos)?;
-                let mask = if width >= 16 { 0xffff } else { (1u16 << width) - 1 };
-                self.cores[idx].write_reg(now, lat, rd, (v >> offset) & mask, false);
-            }
-            Instruction::Custom { rd, func, rs } => {
-                let table = *self.cores[idx]
-                    .custom_functions
-                    .get(func as usize)
-                    .ok_or_else(|| {
-                        MachineError::Load(format!(
-                            "custom function {func} not programmed on {}",
-                            self.core_id(idx)
-                        ))
-                    })?;
-                let a = self.read_operand(idx, rs[0], pos)?;
-                let b = self.read_operand(idx, rs[1], pos)?;
-                let c = self.read_operand(idx, rs[2], pos)?;
-                let d = self.read_operand(idx, rs[3], pos)?;
-                let mut out = 0u16;
-                for lane in 0..16 {
-                    let sel = ((a >> lane) & 1)
-                        | (((b >> lane) & 1) << 1)
-                        | (((c >> lane) & 1) << 2)
-                        | (((d >> lane) & 1) << 3);
-                    out |= ((table[lane] >> sel) & 1) << lane;
-                }
-                self.cores[idx].write_reg(now, lat, rd, out, false);
-            }
-            Instruction::Predicate { rs } => {
-                let v = self.read_operand(idx, rs, pos)?;
-                self.cores[idx].predicate = v != 0;
-            }
-            Instruction::LocalLoad { rd, rs_addr, base } => {
-                let a = self.read_operand(idx, rs_addr, pos)?;
-                let addr = (base as usize + a as usize) % self.config.scratch_words;
-                let v = self.cores[idx].scratch[addr];
-                self.cores[idx].write_reg(now, lat, rd, v, false);
-            }
-            Instruction::LocalStore { rs_data, rs_addr, base } => {
-                let v = self.read_operand(idx, rs_data, pos)?;
-                let a = self.read_operand(idx, rs_addr, pos)?;
-                if self.cores[idx].predicate {
-                    let addr = (base as usize + a as usize) % self.config.scratch_words;
-                    self.cores[idx].scratch[addr] = v;
-                }
-            }
-            Instruction::GlobalLoad { rd, rs_addr } => {
-                self.require_privileged(idx)?;
-                let addr = self.global_addr(idx, rs_addr, pos)?;
-                let (v, stall) = self.cache.load(addr);
-                self.counters.stall_cycles += stall;
-                self.cores[idx].write_reg(now, lat, rd, v, false);
-            }
-            Instruction::GlobalStore { rs_data, rs_addr } => {
-                self.require_privileged(idx)?;
-                let v = self.read_operand(idx, rs_data, pos)?;
-                let addr = self.global_addr(idx, rs_addr, pos)?;
-                if self.cores[idx].predicate {
-                    let stall = self.cache.store(addr, v);
-                    self.counters.stall_cycles += stall;
-                }
-            }
-            Instruction::Send { target, rd_remote, rs } => {
-                let v = self.read_operand(idx, rs, pos)?;
-                let from = self.core_id(idx);
-                self.counters.sends += 1;
-                self.noc
-                    .send(from, target, rd_remote, v, now, pos, validate)
-                    .map_err(|c| MachineError::LinkCollision {
-                        link: c.link,
-                        position: c.position,
-                    })?;
-            }
-            Instruction::Expect { rs1, rs2, eid } => {
-                self.require_privileged(idx)?;
-                let a = self.read_operand(idx, rs1, pos)?;
-                let b = self.read_operand(idx, rs2, pos)?;
-                if a != b {
-                    self.service_exception(idx, eid)?;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn require_privileged(&self, idx: usize) -> Result<(), MachineError> {
-        if self.core_id(idx) != CoreId::PRIVILEGED {
-            return Err(MachineError::NotPrivileged {
-                core: self.core_id(idx),
-            });
-        }
-        Ok(())
-    }
-
-    fn global_addr(&self, idx: usize, rs_addr: [Reg; 3], pos: u64) -> Result<u64, MachineError> {
-        let lo = self.read_operand(idx, rs_addr[0], pos)? as u64;
-        let mid = self.read_operand(idx, rs_addr[1], pos)? as u64;
-        let hi = self.read_operand(idx, rs_addr[2], pos)? as u64;
-        Ok(lo | (mid << 16) | (hi << 32))
-    }
-
-    /// Services an `Expect` exception: the grid stalls and the host acts on
-    /// the descriptor.
-    fn service_exception(&mut self, idx: usize, eid: u16) -> Result<(), MachineError> {
-        self.counters.exceptions += 1;
-        self.counters.stall_cycles += EXCEPTION_STALL;
-        let desc = self
-            .exceptions
-            .iter()
-            .find(|d| d.id.0 == eid)
-            .ok_or(MachineError::UnknownException { eid })?
-            .clone();
-        match desc.kind {
-            ExceptionKind::Display { format, args } => {
-                let core = &self.cores[idx];
-                let rendered = render_display(&format, &args, |r| core.reg_value_flushed(r));
-                self.events.push(HostEvent::Display(rendered));
-            }
-            ExceptionKind::AssertFail { message } => {
-                return Err(MachineError::AssertFailed {
-                    message,
-                    vcycle: self.counters.vcycles,
-                });
-            }
-            ExceptionKind::Finish => {
-                self.events.push(HostEvent::Finish);
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Renders a display format string; `{}` placeholders print arguments in
-/// hex, assembled from their 16-bit words (LSW first).
-fn render_display(
-    format: &str,
-    args: &[(Vec<Reg>, usize)],
-    read: impl Fn(Reg) -> u16,
-) -> String {
-    let mut out = String::with_capacity(format.len() + 16);
-    let mut arg_iter = args.iter();
-    let mut chars = format.chars().peekable();
-    while let Some(c) = chars.next() {
-        if c == '{' && chars.peek() == Some(&'}') {
-            chars.next();
-            match arg_iter.next() {
-                Some((regs, _width)) => {
-                    let words: Vec<u16> = regs.iter().map(|&r| read(r)).collect();
-                    out.push_str(&hex_of_words(&words));
-                }
-                None => out.push_str("<missing>"),
-            }
-        } else {
-            out.push(c);
-        }
-    }
-    out
-}
-
-/// Hex rendering of a little-endian word vector without leading zeros.
-fn hex_of_words(words: &[u16]) -> String {
-    let mut s = String::new();
-    let mut started = false;
-    for w in words.iter().rev() {
-        if started {
-            s.push_str(&format!("{w:04x}"));
-        } else if *w != 0 {
-            s.push_str(&format!("{w:x}"));
-            started = true;
-        }
-    }
-    if !started {
-        s.push('0');
-    }
-    s
 }
 
 /// Utilization report: executed instructions per core (for Fig. 9-style

@@ -25,14 +25,24 @@
 //! around, NoC collisions, late messages) surface as [`MachineError`]s —
 //! exactly the failures that would silently corrupt results on the real
 //! hardware.
+//!
+//! The grid executes under one of two engines ([`ExecMode`]): the serial
+//! reference engine, or a *sharded bulk-synchronous* engine that steps
+//! disjoint core shards on worker threads and performs NoC routing,
+//! delivery, and stall accounting in a serial commit phase between
+//! per-Vcycle barriers. The two are bit-identical by construction — they
+//! share the per-core step function — which the test suite checks across
+//! every workload and shard count.
 
 mod cache;
 mod core;
+mod exec;
 mod grid;
 mod noc;
+mod parallel;
 
 pub use cache::{Cache, CacheStats};
-pub use grid::{HostEvent, Machine, MachineError, PerfCounters, RunOutcome};
+pub use grid::{ExecMode, HostEvent, Machine, MachineError, PerfCounters, RunOutcome};
 
 #[cfg(test)]
 mod tests;

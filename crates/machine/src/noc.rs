@@ -105,10 +105,7 @@ impl Noc {
         if validate {
             for (i, link) in path.iter().enumerate() {
                 let at = pos + self.injection_latency + i as u64 * self.hop_latency;
-                if let Some(prev) = self
-                    .reservations
-                    .insert((*link, at), from)
-                {
+                if let Some(prev) = self.reservations.insert((*link, at), from) {
                     if prev != from {
                         return Err(Collision {
                             link: format!("{link:?}"),

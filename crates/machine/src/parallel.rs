@@ -1,0 +1,509 @@
+//! The sharded bulk-synchronous execution engine.
+//!
+//! This is the machine model executing the way the paper's hardware does:
+//! compute phases run with *zero* fine-grained synchronization, and all
+//! cross-core effects rendezvous at statically-known points. The grid is
+//! split into contiguous shards of cores, each owned by one worker thread,
+//! and every Vcycle runs as
+//!
+//! 1. **body phase (parallel)** — each shard steps its cores through their
+//!    program bodies. Cores never read other cores' state mid-body, so the
+//!    only cross-core traffic — `Send` instructions — is *recorded* into
+//!    shard-local lists instead of being routed. Shard-local
+//!    [`PerfCounters`] and host events accumulate the same way.
+//! 2. **barrier**, then **NoC commit (serial)** — the main thread merges
+//!    shard scratch in shard order, sorts the recorded sends into the
+//!    serial engine's injection order `(position, sender index)`, and
+//!    replays them through the real [`Noc`]: link-collision validation on
+//!    the first Vcycle, arrival-time computation, and in-order delivery
+//!    into per-target epilogue slots. Delivery legality (overflow, late
+//!    message) is decided here, against the same static program geometry
+//!    the serial engine checks against.
+//! 3. **epilogue phase (parallel)** — shards apply the deliveries routed
+//!    to their cores and execute the message epilogues (plus the idle tail
+//!    of the Vcycle, which only drains pipeline writebacks).
+//! 4. **barrier**, then **wrap (serial)** — missing-message checks in core
+//!    order, clock-domain accounting, event draining.
+//!
+//! Bit-identical to the serial engine by construction: both funnel every
+//! instruction through [`exec::step_core`], and the commit phase performs
+//! the serial engine's NoC interactions in the serial engine's order. The
+//! only divergence is *after* a failing Vcycle (serial aborts mid-cycle,
+//! the shards complete theirs), where the machine is dead anyway — the
+//! returned error is still deterministic and equal to the serial one: all
+//! error candidates are ranked by the serial engine's encounter order
+//! `(position, delivery-before-issue, core index)` and the minimum wins.
+//!
+//! Messages whose arrival time falls beyond the current Vcycle stay in the
+//! NoC's in-flight list, so serial and parallel modes can be switched
+//! freely between `run_vcycles` calls.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use manticore_isa::{CoreId, ExceptionDescriptor, MachineConfig, Reg};
+use manticore_util::SpinBarrier;
+
+use crate::cache::Cache;
+use crate::core::CoreState;
+use crate::exec::{core_id_of, step_core, ExecEnv, SendRecord};
+use crate::grid::{HostEvent, Machine, MachineError, PerfCounters, RunOutcome};
+
+const CMD_BODY: u8 = 1;
+const CMD_EPILOGUE: u8 = 2;
+const CMD_EXIT: u8 = 3;
+
+/// Shared phase-control block: the main thread publishes the command and
+/// Vcycle timing, then everyone meets at the barrier. The barrier's
+/// acquire/release pairs make the published values visible to workers.
+struct Ctl {
+    barrier: SpinBarrier,
+    cmd: AtomicU8,
+    vstart: AtomicU64,
+    vcycle: AtomicU64,
+}
+
+/// A message routed to a shard during the NoC commit, to be applied at the
+/// start of its epilogue phase.
+struct Delivery {
+    local_idx: usize,
+    slot: usize,
+    rd: Reg,
+    value: u16,
+}
+
+/// An error candidate ranked by the serial engine's encounter order.
+struct RankedError {
+    pos: u64,
+    /// Deliveries happen before instruction issue at the same position.
+    delivery_phase: bool,
+    /// Tie-break within a position: delivery sequence number or core index.
+    ord: usize,
+    err: MachineError,
+}
+
+impl RankedError {
+    fn key(&self) -> (u64, u8, usize) {
+        (self.pos, u8::from(!self.delivery_phase), self.ord)
+    }
+}
+
+/// Takes the earlier (serial-encounter-order) of two error candidates.
+fn min_error(a: Option<RankedError>, b: Option<RankedError>) -> Option<RankedError> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.key() <= y.key() { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Per-shard scratch: everything a shard produces in a phase, merged by
+/// the main thread between barriers. Counter merging happens in shard
+/// index order; since the touched counters are plain `u64` sums this is
+/// deterministic — and shard-count-independent — by associativity.
+#[derive(Default)]
+struct ShardScratch {
+    counters: PerfCounters,
+    sends: Vec<SendRecord>,
+    events: Vec<HostEvent>,
+    error: Option<RankedError>,
+    deliveries: Vec<Delivery>,
+}
+
+impl ShardScratch {
+    fn record_error(&mut self, e: RankedError) {
+        let cur = self.error.take();
+        self.error = min_error(cur, Some(e));
+    }
+}
+
+/// One shard's body phase: step every owned core through its program body.
+/// `cache` is `Some` only for the shard holding the privileged core.
+#[allow(clippy::too_many_arguments)]
+fn body_phase(
+    config: &MachineConfig,
+    exceptions: &[ExceptionDescriptor],
+    strict_hazards: bool,
+    vcycle: u64,
+    vcycle_len: u64,
+    chunk: &mut [CoreState],
+    base: usize,
+    vstart: u64,
+    mut cache: Option<&mut Cache>,
+    sc: &mut ShardScratch,
+) {
+    let env = ExecEnv {
+        config,
+        exceptions,
+        strict_hazards,
+        vcycle,
+    };
+    for (i, core) in chunk.iter_mut().enumerate() {
+        let idx = base + i;
+        let core_id = core_id_of(idx, config.grid_width);
+        let body_len = (core.body.len() as u64).min(vcycle_len);
+        for pos in 0..body_len {
+            let now = vstart + pos;
+            core.commit_due(now);
+            let cache_arg = if core_id == CoreId::PRIVILEGED {
+                cache.as_deref_mut()
+            } else {
+                None
+            };
+            if let Err(err) = step_core(
+                &env,
+                core,
+                core_id,
+                pos,
+                now,
+                cache_arg,
+                &mut sc.counters,
+                &mut sc.events,
+                &mut sc.sends,
+            ) {
+                // The failing core stops here (as the serial engine would
+                // stop the world); its position/index rank decides below
+                // whether this is the error the run reports.
+                sc.record_error(RankedError {
+                    pos,
+                    delivery_phase: false,
+                    ord: idx,
+                    err,
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// One shard's epilogue phase: apply routed deliveries, execute the
+/// message epilogues, drain the idle tail, and wrap the Vcycle.
+///
+/// Execution goes through the same [`step_core`] as everything else (its
+/// epilogue branch cannot fail, send, or touch the cache, so the extra
+/// arguments are inert) — keeping the bit-identical-by-construction
+/// invariant structural rather than by parallel maintenance.
+#[allow(clippy::too_many_arguments)]
+fn epilogue_phase(
+    config: &MachineConfig,
+    exceptions: &[ExceptionDescriptor],
+    strict_hazards: bool,
+    vcycle: u64,
+    chunk: &mut [CoreState],
+    base: usize,
+    vstart: u64,
+    vcycle_len: u64,
+    sc: &mut ShardScratch,
+) {
+    let env = ExecEnv {
+        config,
+        exceptions,
+        strict_hazards,
+        vcycle,
+    };
+    for d in sc.deliveries.drain(..) {
+        let core = &mut chunk[d.local_idx];
+        core.epilogue[d.slot] = Some((d.rd, d.value));
+        core.received += 1;
+    }
+    for (i, core) in chunk.iter_mut().enumerate() {
+        let core_id = core_id_of(base + i, config.grid_width);
+        let body_len = (core.body.len() as u64).min(vcycle_len);
+        for pos in body_len..vcycle_len {
+            let now = vstart + pos;
+            core.commit_due(now);
+            step_core(
+                &env,
+                core,
+                core_id,
+                pos,
+                now,
+                None,
+                &mut sc.counters,
+                &mut sc.events,
+                &mut sc.sends,
+            )
+            .expect("epilogue positions cannot fault");
+        }
+        core.wrap_vcycle();
+    }
+}
+
+/// Runs up to `max_vcycles` on `shards` worker threads (the calling thread
+/// drives shard 0 and the serial commit phases).
+pub(crate) fn run_vcycles_parallel(
+    m: &mut Machine,
+    max_vcycles: u64,
+    shards: usize,
+) -> Result<RunOutcome, MachineError> {
+    let n = m.cores.len();
+    if n == 0 {
+        return Ok(RunOutcome::default());
+    }
+    let per = n.div_ceil(shards.clamp(1, n));
+    let shards = n.div_ceil(per);
+    let vcl = m.vcycle_len;
+    let grid_width = m.config.grid_width;
+    let strict = m.strict_hazards;
+
+    // Static program geometry, for main-side delivery legality checks.
+    let body_lens: Vec<u64> = m.cores.iter().map(|c| c.body.len() as u64).collect();
+    let epi_lens: Vec<usize> = m.cores.iter().map(|c| c.epilogue_len).collect();
+
+    // Split borrows of the machine: shards own disjoint core ranges; the
+    // main thread keeps the NoC, cache, global counters, and events.
+    let config = &m.config;
+    let exceptions = &m.exceptions[..];
+    let noc = &mut m.noc;
+    let cache = &mut m.cache;
+    let counters = &mut m.counters;
+    let events = &mut m.events;
+    let compute_time = &mut m.compute_time;
+    let finish_requested = &mut m.finish_requested;
+
+    let mut chunks: Vec<&mut [CoreState]> = Vec::with_capacity(shards);
+    let mut rest: &mut [CoreState] = &mut m.cores[..];
+    for _ in 0..shards {
+        let take = per.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push(head);
+        rest = tail;
+    }
+
+    let scratches: Vec<Mutex<ShardScratch>> = (0..shards)
+        .map(|_| Mutex::new(ShardScratch::default()))
+        .collect();
+    let ctl = Ctl {
+        barrier: SpinBarrier::new(shards),
+        cmd: AtomicU8::new(0),
+        vstart: AtomicU64::new(0),
+        vcycle: AtomicU64::new(0),
+    };
+
+    std::thread::scope(|scope| {
+        let mut chunk_iter = chunks.into_iter();
+        let chunk0 = chunk_iter.next().expect("at least one shard");
+        for (w, chunk) in chunk_iter.enumerate() {
+            let sid = w + 1;
+            let base = sid * per;
+            let ctl = &ctl;
+            let scratches = &scratches;
+            let chunk = chunk;
+            scope.spawn(move || loop {
+                ctl.barrier.wait();
+                match ctl.cmd.load(Ordering::Acquire) {
+                    CMD_BODY => {
+                        let vstart = ctl.vstart.load(Ordering::Acquire);
+                        let vcycle = ctl.vcycle.load(Ordering::Acquire);
+                        let mut sc = scratches[sid].lock().unwrap();
+                        body_phase(
+                            config, exceptions, strict, vcycle, vcl, chunk, base, vstart, None,
+                            &mut sc,
+                        );
+                    }
+                    CMD_EPILOGUE => {
+                        let vstart = ctl.vstart.load(Ordering::Acquire);
+                        let vcycle = ctl.vcycle.load(Ordering::Acquire);
+                        let mut sc = scratches[sid].lock().unwrap();
+                        epilogue_phase(
+                            config, exceptions, strict, vcycle, chunk, base, vstart, vcl, &mut sc,
+                        );
+                    }
+                    _ => break,
+                }
+                ctl.barrier.wait();
+            });
+        }
+
+        let mut outcome = RunOutcome::default();
+        let mut fatal: Option<MachineError> = None;
+        let mut all_sends: Vec<SendRecord> = Vec::new();
+        let mut delivered = vec![0usize; n];
+        'vcycles: for _ in 0..max_vcycles {
+            if *finish_requested {
+                break;
+            }
+            let vstart = *compute_time;
+            let validate = counters.vcycles == 0;
+
+            // ---- body phase (parallel) ----
+            ctl.vstart.store(vstart, Ordering::Release);
+            ctl.vcycle.store(counters.vcycles, Ordering::Release);
+            ctl.cmd.store(CMD_BODY, Ordering::Release);
+            ctl.barrier.wait();
+            {
+                let mut sc = scratches[0].lock().unwrap();
+                body_phase(
+                    config,
+                    exceptions,
+                    strict,
+                    counters.vcycles,
+                    vcl,
+                    chunk0,
+                    0,
+                    vstart,
+                    Some(&mut *cache),
+                    &mut sc,
+                );
+            }
+            ctl.barrier.wait();
+
+            // ---- NoC commit (serial): merge scratch, replay the NoC ----
+            let mut pending_err: Option<RankedError> = None;
+            all_sends.clear();
+            for mx in scratches.iter() {
+                let mut sc = mx.lock().unwrap();
+                counters.merge_from(&sc.counters);
+                sc.counters = PerfCounters::default();
+                events.append(&mut sc.events);
+                pending_err = min_error(pending_err, sc.error.take());
+                all_sends.append(&mut sc.sends);
+            }
+            all_sends.sort_by_key(|s| (s.pos, s.from.linear(grid_width)));
+
+            delivered.fill(0);
+            let mut deliver_seq = 0usize;
+            let mut replay_err: Option<RankedError> = None;
+            let mut si = 0usize;
+            'replay: for pos in 0..vcl {
+                let now = vstart + pos;
+                for msg in noc.take_due(now) {
+                    let tgt = msg.target.linear(grid_width);
+                    let slot = delivered[tgt];
+                    if slot >= epi_lens[tgt] {
+                        replay_err = Some(RankedError {
+                            pos,
+                            delivery_phase: true,
+                            ord: deliver_seq,
+                            err: MachineError::EpilogueOverflow { core: msg.target },
+                        });
+                        break 'replay;
+                    }
+                    if pos > body_lens[tgt] + slot as u64 {
+                        replay_err = Some(RankedError {
+                            pos,
+                            delivery_phase: true,
+                            ord: deliver_seq,
+                            err: MachineError::LateMessage {
+                                core: msg.target,
+                                slot,
+                            },
+                        });
+                        break 'replay;
+                    }
+                    delivered[tgt] += 1;
+                    deliver_seq += 1;
+                    counters.messages_delivered += 1;
+                    scratches[tgt / per]
+                        .lock()
+                        .unwrap()
+                        .deliveries
+                        .push(Delivery {
+                            local_idx: tgt % per,
+                            slot,
+                            rd: msg.rd,
+                            value: msg.value,
+                        });
+                }
+                while si < all_sends.len() && all_sends[si].pos == pos {
+                    let s = all_sends[si];
+                    si += 1;
+                    if let Err(c) = noc.send(s.from, s.target, s.rd, s.value, now, pos, validate) {
+                        replay_err = Some(RankedError {
+                            pos,
+                            delivery_phase: false,
+                            ord: s.from.linear(grid_width),
+                            err: MachineError::LinkCollision {
+                                link: c.link,
+                                position: c.position,
+                            },
+                        });
+                        break 'replay;
+                    }
+                }
+            }
+
+            if let Some(e) = min_error(pending_err, replay_err) {
+                for mx in scratches.iter() {
+                    mx.lock().unwrap().deliveries.clear();
+                }
+                fatal = Some(e.err);
+                break 'vcycles;
+            }
+
+            // ---- epilogue phase (parallel) ----
+            ctl.cmd.store(CMD_EPILOGUE, Ordering::Release);
+            ctl.barrier.wait();
+            {
+                let mut sc = scratches[0].lock().unwrap();
+                epilogue_phase(
+                    config,
+                    exceptions,
+                    strict,
+                    counters.vcycles,
+                    chunk0,
+                    0,
+                    vstart,
+                    vcl,
+                    &mut sc,
+                );
+            }
+            ctl.barrier.wait();
+            for mx in scratches.iter() {
+                let mut sc = mx.lock().unwrap();
+                counters.merge_from(&sc.counters);
+                sc.counters = PerfCounters::default();
+            }
+
+            // ---- wrap (serial) ----
+            *compute_time += vcl;
+            counters.compute_cycles += vcl;
+            let mut wrap_err = None;
+            for idx in 0..n {
+                if delivered[idx] != epi_lens[idx] {
+                    wrap_err = Some(MachineError::MissingMessages {
+                        core: core_id_of(idx, grid_width),
+                        got: delivered[idx],
+                        expected: epi_lens[idx],
+                    });
+                    break;
+                }
+            }
+            if let Some(e) = wrap_err {
+                fatal = Some(e);
+                break 'vcycles;
+            }
+            counters.vcycles += 1;
+
+            outcome.vcycles_run += 1;
+            for ev in events.drain(..) {
+                match ev {
+                    HostEvent::Display(s) => outcome.displays.push(s),
+                    HostEvent::Finish => outcome.finished = true,
+                }
+            }
+            if outcome.finished {
+                *finish_requested = true;
+                break;
+            }
+        }
+
+        ctl.cmd.store(CMD_EXIT, Ordering::Release);
+        ctl.barrier.wait();
+        match fatal {
+            Some(e) => {
+                // Keep pre-failure displays reachable, as the serial
+                // engine does (drained-but-undelivered output goes back
+                // on the event queue, ahead of the failing Vcycle's own).
+                if !outcome.displays.is_empty() {
+                    let mut evs: Vec<HostEvent> =
+                        outcome.displays.drain(..).map(HostEvent::Display).collect();
+                    evs.append(events);
+                    *events = evs;
+                }
+                Err(e)
+            }
+            None => Ok(outcome),
+        }
+    })
+}

@@ -72,11 +72,7 @@ impl<'a> Evaluator<'a> {
                 words
             })
             .collect();
-        let nets = netlist
-            .nets()
-            .iter()
-            .map(|n| Bits::zero(n.width))
-            .collect();
+        let nets = netlist.nets().iter().map(|n| Bits::zero(n.width)).collect();
         let inputs = netlist
             .inputs()
             .iter()

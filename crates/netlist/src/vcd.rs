@@ -3,7 +3,7 @@
 //! The paper lists waveform collection as future work ("we have an initial
 //! design of hardware support for out-of-band waveform collection"); the
 //! software reproduction can provide it today: [`VcdTracer`] wraps an
-//! [`Evaluator`](crate::eval::Evaluator) run and emits a standard VCD file
+//! [`Evaluator`] run and emits a standard VCD file
 //! of every register and named output that any waveform viewer (GTKWave,
 //! Surfer) can open.
 //!
@@ -67,7 +67,13 @@ impl<'n, W: Write> VcdTracer<'n, W> {
         for r in netlist.registers() {
             let code = id_code(next_code);
             next_code += 1;
-            writeln!(out, "$var wire {} {} {} $end", r.width, code, sanitize(&r.name))?;
+            writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                r.width,
+                code,
+                sanitize(&r.name)
+            )?;
             codes.push(code);
         }
         for (name, id) in netlist.outputs() {
@@ -163,7 +169,13 @@ fn id_code(mut n: usize) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -25,8 +25,8 @@ pub mod serial;
 pub mod spin;
 pub mod tape;
 
-pub use parallel::ParallelSim;
-pub use serial::SerialSim;
+pub use parallel::{MacroTaskPlan, ParallelSim};
+pub use serial::{SerialSim, TapeState};
 pub use tape::{Tape, TapeError};
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use crate::spin::SpinBarrier;
 
-use crate::serial::{commit, run_checks, RunStats, SimEvents};
+use crate::serial::{commit, run_checks, RunStats, SimEvents, TapeState};
 use crate::tape::{eval_op, Op, Tape};
 
 /// One macro-task: a contiguous-in-topo-order list of op indices.
@@ -29,14 +29,53 @@ struct Task {
     dependents: Vec<u32>,
 }
 
-/// A parallel simulator: macro-task graph + static thread assignment.
+/// The macro-task execution plan for a tape: the coarsened task graph and
+/// its static thread assignment. Building the plan (partitioning,
+/// Sarkar-style coarsening, SCC condensation, LPT scheduling) is the
+/// expensive part of constructing a parallel simulator; it depends only on
+/// the tape, so it can be built once and reused across any number of runs
+/// — which is what the facade's resumable `Simulator` backend does.
 #[derive(Debug)]
-pub struct ParallelSim<'t> {
-    tape: &'t Tape,
+pub struct MacroTaskPlan {
     tasks: Vec<Task>,
     /// Task ids each thread executes, in topological order.
     assignment: Vec<Vec<u32>>,
     threads: usize,
+}
+
+/// A parallel simulator: a tape plus its macro-task plan.
+#[derive(Debug)]
+pub struct ParallelSim<'t> {
+    tape: &'t Tape,
+    plan: MacroTaskPlan,
+}
+
+impl<'t> ParallelSim<'t> {
+    /// Partitions the tape into macro-tasks of at least `grain` ops and
+    /// assigns them to `threads` threads.
+    pub fn new(tape: &'t Tape, threads: usize, grain: usize) -> Self {
+        ParallelSim {
+            tape,
+            plan: MacroTaskPlan::build(tape, threads, grain),
+        }
+    }
+
+    /// Number of macro-tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.plan.num_tasks()
+    }
+
+    /// Runs up to `max_cycles` from the initial state; returns stats,
+    /// final state, and events.
+    pub fn run(&self, max_cycles: u64) -> ParallelRun {
+        let mut state = TapeState::new(self.tape);
+        self.run_with(&mut state, max_cycles)
+    }
+
+    /// Runs up to `max_cycles`, continuing from (and updating) `state`.
+    pub fn run_with(&self, state: &mut TapeState, max_cycles: u64) -> ParallelRun {
+        self.plan.run_with(self.tape, state, max_cycles)
+    }
 }
 
 /// Outcome of a parallel run.
@@ -52,10 +91,10 @@ pub struct ParallelRun {
     pub failed_assert: Option<String>,
 }
 
-impl<'t> ParallelSim<'t> {
+impl MacroTaskPlan {
     /// Partitions the tape into macro-tasks of at least `grain` ops and
     /// assigns them to `threads` threads.
-    pub fn new(tape: &'t Tape, threads: usize, grain: usize) -> Self {
+    pub fn build(tape: &Tape, threads: usize, grain: usize) -> Self {
         let threads = threads.max(1);
         let n = tape.ops.len();
         // Producer op of each value slot.
@@ -85,13 +124,16 @@ impl<'t> ParallelSim<'t> {
                     sink_slots.push(*cond);
                     sink_slots.extend(args.iter().map(|(s, _)| *s));
                 }
-                crate::tape::Check::Expect { cond, .. }
-                | crate::tape::Check::Finish { cond } => sink_slots.push(*cond),
+                crate::tape::Check::Expect { cond, .. } | crate::tape::Check::Finish { cond } => {
+                    sink_slots.push(*cond)
+                }
             }
         }
         let mut groups: Vec<Vec<u32>> = Vec::new();
         for slot in sink_slots {
-            let Some(root) = producer[slot as usize] else { continue };
+            let Some(root) = producer[slot as usize] else {
+                continue;
+            };
             if task_of_op[root as usize] != u32::MAX {
                 continue;
             }
@@ -217,7 +259,11 @@ impl<'t> ParallelSim<'t> {
                     }
                 }
             }
-            assert_eq!(next_rank as usize, tasks.len(), "task graph must be acyclic");
+            assert_eq!(
+                next_rank as usize,
+                tasks.len(),
+                "task graph must be acyclic"
+            );
             rank
         };
         let mut order: Vec<u32> = (0..tasks.len() as u32).collect();
@@ -233,8 +279,7 @@ impl<'t> ParallelSim<'t> {
             a.sort_by_key(|&t| topo_rank[t as usize]);
         }
 
-        ParallelSim {
-            tape,
+        MacroTaskPlan {
             tasks,
             assignment,
             threads,
@@ -246,12 +291,20 @@ impl<'t> ParallelSim<'t> {
         self.tasks.len()
     }
 
-    /// Runs up to `max_cycles`; returns stats, final state, and events.
-    pub fn run(&self, max_cycles: u64) -> ParallelRun {
-        let tape = self.tape;
-        let mut values = vec![0u64; tape.num_values];
-        let mut regs = tape.reg_init.clone();
-        let mut mems = tape.mem_init.clone();
+    /// Worker-thread count the plan was built for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs up to `max_cycles` of `tape`, continuing from (and updating)
+    /// `state`. `tape` must be the tape the plan was built from.
+    pub fn run_with(&self, tape: &Tape, state: &mut TapeState, max_cycles: u64) -> ParallelRun {
+        let TapeState {
+            values,
+            regs,
+            mems,
+            cycle,
+        } = state;
         let mut displays = Vec::new();
         let mut failed_assert = None;
         let mut stats = RunStats::default();
@@ -267,7 +320,7 @@ impl<'t> ParallelSim<'t> {
         let shared = SharedState {
             values: values.as_mut_ptr(),
             regs: regs.as_ptr(),
-            mems: &mems as *const Vec<Vec<u64>>,
+            mems: &*mems as *const Vec<Vec<u64>>,
         };
 
         let start = Instant::now();
@@ -298,12 +351,12 @@ impl<'t> ParallelSim<'t> {
                 b_end.wait();
                 // Serial phase: checks, commit, counter reset (the second
                 // rendezvous of the cycle).
-                let ev: SimEvents = run_checks(&tape.checks, &values);
+                let ev: SimEvents = run_checks(&tape.checks, values);
                 displays.extend(ev.displays);
                 if failed_assert.is_none() {
                     failed_assert = ev.failed_assert;
                 }
-                commit(tape, &values, &mut regs, &mut mems);
+                commit(tape, values, regs, mems);
                 for (t, p) in self.tasks.iter().zip(&pending) {
                     p.store(t.deps.len() as u32, Ordering::Release);
                 }
@@ -318,9 +371,10 @@ impl<'t> ParallelSim<'t> {
             b_start.wait(); // release workers into exit
         });
         stats.seconds = start.elapsed().as_secs_f64();
+        *cycle += stats.cycles;
         ParallelRun {
             stats,
-            final_regs: regs,
+            final_regs: regs.clone(),
             displays,
             failed_assert,
         }
@@ -353,16 +407,12 @@ fn run_tasks(
     for &tid in mine {
         let task = &tasks[tid as usize];
         // Spin until all predecessor tasks completed (Verilator uses the
-        // same fetch-and-add spin discipline).
-        while pending[tid as usize].load(Ordering::Acquire) > 0 {
-            std::hint::spin_loop();
-        }
+        // same fetch-and-add spin discipline); the shared backoff policy
+        // yields once the producer evidently isn't running.
+        manticore_util::spin_until(|| pending[tid as usize].load(Ordering::Acquire) == 0);
         // SAFETY: see `SharedState`.
         unsafe {
-            let values = std::slice::from_raw_parts_mut(
-                shared.values,
-                tape.num_values,
-            );
+            let values = std::slice::from_raw_parts_mut(shared.values, tape.num_values);
             let regs = std::slice::from_raw_parts(shared.regs, tape.reg_init.len());
             let mems = &*shared.mems;
             for &oi in &task.ops {

@@ -39,47 +39,82 @@ impl RunStats {
     }
 }
 
+/// The complete mutable state of a tape simulation — combinational value
+/// slots, committed registers, memories, and the cycle count.
+///
+/// Owning the state separately from an executor makes backends *resumable*
+/// and executor-agnostic: the same `TapeState` can be stepped serially,
+/// handed to the macro-task parallel executor for a while, and back —
+/// which is what the facade's `Simulator` backends do.
+#[derive(Debug, Clone)]
+pub struct TapeState {
+    /// Combinational value slots (scratch, recomputed every cycle).
+    pub values: Vec<u64>,
+    /// Committed register values.
+    pub regs: Vec<u64>,
+    /// Memory contents.
+    pub mems: Vec<Vec<u64>>,
+    /// Cycles simulated so far.
+    pub cycle: u64,
+}
+
+impl TapeState {
+    /// State at the tape's initial values.
+    pub fn new(tape: &Tape) -> Self {
+        TapeState {
+            values: vec![0; tape.num_values],
+            regs: tape.reg_init.clone(),
+            mems: tape.mem_init.clone(),
+            cycle: 0,
+        }
+    }
+
+    /// Current committed value of register `idx`.
+    pub fn reg_value(&self, tape: &Tape, idx: usize) -> Bits {
+        Bits::from_u64(self.regs[idx], tape.reg_widths[idx] as usize)
+    }
+}
+
+/// Advances `state` by one cycle on the calling thread.
+pub fn step_state(tape: &Tape, state: &mut TapeState) -> SimEvents {
+    for op in &tape.ops {
+        eval_op(op, &mut state.values, &state.regs, &state.mems);
+    }
+    let events = run_checks(&tape.checks, &state.values);
+    commit(tape, &state.values, &mut state.regs, &mut state.mems);
+    state.cycle += 1;
+    events
+}
+
 /// Serial simulator state over a tape.
 #[derive(Debug, Clone)]
 pub struct SerialSim<'t> {
     tape: &'t Tape,
-    values: Vec<u64>,
-    regs: Vec<u64>,
-    mems: Vec<Vec<u64>>,
-    cycle: u64,
+    state: TapeState,
 }
 
 impl<'t> SerialSim<'t> {
     /// Creates a simulator with state at initial values.
     pub fn new(tape: &'t Tape) -> Self {
         SerialSim {
-            values: vec![0; tape.num_values],
-            regs: tape.reg_init.clone(),
-            mems: tape.mem_init.clone(),
-            cycle: 0,
+            state: TapeState::new(tape),
             tape,
         }
     }
 
     /// Cycles simulated so far.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.state.cycle
     }
 
     /// Current committed value of register `idx`.
     pub fn reg_value(&self, idx: usize) -> Bits {
-        Bits::from_u64(self.regs[idx], self.tape.reg_widths[idx] as usize)
+        self.state.reg_value(self.tape, idx)
     }
 
     /// Simulates one cycle.
     pub fn step(&mut self) -> SimEvents {
-        for op in &self.tape.ops {
-            eval_op(op, &mut self.values, &self.regs, &self.mems);
-        }
-        let events = run_checks(&self.tape.checks, &self.values);
-        commit(self.tape, &self.values, &mut self.regs, &mut self.mems);
-        self.cycle += 1;
-        events
+        step_state(self.tape, &mut self.state)
     }
 
     /// Runs until `$finish`, assertion failure, or `max_cycles`; returns
@@ -95,7 +130,7 @@ impl<'t> SerialSim<'t> {
             let ev = self.step();
             stats.cycles += 1;
             if let Some(m) = ev.failed_assert {
-                panic!("assertion failed at cycle {}: {m}", self.cycle);
+                panic!("assertion failed at cycle {}: {m}", self.state.cycle);
             }
             if ev.finished {
                 stats.finished = true;

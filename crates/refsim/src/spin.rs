@@ -1,69 +1,9 @@
-//! A spinning barrier: the arrive-await rendezvous Verilator's runtime
-//! uses between macro-task phases. `std::sync::Barrier` parks threads on a
-//! mutex/condvar, costing microseconds per rendezvous — enough to drown
-//! the fine-grain synchronization effects §7.1 measures. Spinning keeps
-//! the rendezvous in the hundreds-of-nanoseconds regime of the paper's
-//! testbeds.
+//! Re-export of the shared spinning barrier.
+//!
+//! The barrier originally lived here, private to the Verilator-analog
+//! executor. The sharded bulk-synchronous grid engine in
+//! `manticore_machine` needs the same rendezvous primitive, so the
+//! implementation moved to [`manticore_util::spin`]; this module keeps the
+//! historical `manticore_refsim::spin::SpinBarrier` path working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// A reusable spinning barrier for a fixed number of participants.
-#[derive(Debug)]
-pub struct SpinBarrier {
-    n: usize,
-    arrived: AtomicUsize,
-    generation: AtomicUsize,
-}
-
-impl SpinBarrier {
-    /// A barrier for `n` participants.
-    pub fn new(n: usize) -> Self {
-        SpinBarrier {
-            n: n.max(1),
-            arrived: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
-        }
-    }
-
-    /// Blocks (spinning) until all `n` participants arrive.
-    pub fn wait(&self) {
-        let gen = self.generation.load(Ordering::Acquire);
-        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            // Last arriver resets and releases the generation.
-            self.arrived.store(0, Ordering::Release);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
-        } else {
-            while self.generation.load(Ordering::Acquire) == gen {
-                std::hint::spin_loop();
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::SpinBarrier;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn barrier_synchronizes_phases() {
-        let n = 4;
-        let barrier = SpinBarrier::new(n);
-        let counter = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..n {
-                s.spawn(|| {
-                    for phase in 1..=100usize {
-                        counter.fetch_add(1, Ordering::Relaxed);
-                        barrier.wait();
-                        // After the barrier every thread of this phase has
-                        // incremented.
-                        assert!(counter.load(Ordering::Relaxed) >= phase * n);
-                        barrier.wait();
-                    }
-                });
-            }
-        });
-        assert_eq!(counter.load(Ordering::Relaxed), 100 * n);
-    }
-}
+pub use manticore_util::spin::SpinBarrier;

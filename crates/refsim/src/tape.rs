@@ -46,19 +46,41 @@ pub enum Op {
     /// `v[dst] = mem[idx][v[a] % depth]` (0 out of range).
     MemRead { dst: u32, idx: u32, a: u32 },
     /// Binary ALU op: `v[dst] = f(v[a], v[b]) & mask`.
-    Bin { kind: BinKind, dst: u32, a: u32, b: u32, mask: u64 },
+    Bin {
+        kind: BinKind,
+        dst: u32,
+        a: u32,
+        b: u32,
+        mask: u64,
+    },
     /// `v[dst] = !v[a] & mask`.
     Not { dst: u32, a: u32, mask: u64 },
     /// `v[dst] = (v[a] >> sh) & mask`.
     Slice { dst: u32, a: u32, sh: u8, mask: u64 },
     /// `v[dst] = (v[a] | (v[b] << sh)) & mask` (concat `{b, a}`).
-    Concat { dst: u32, a: u32, b: u32, sh: u8, mask: u64 },
+    Concat {
+        dst: u32,
+        a: u32,
+        b: u32,
+        sh: u8,
+        mask: u64,
+    },
     /// `v[dst] = if v[a] != 0 { v[b] } else { v[c] }`.
     Mux { dst: u32, a: u32, b: u32, c: u32 },
     /// Sign extension from `from` bits: `v[dst] = sext(v[a]) & mask`.
-    Sext { dst: u32, a: u32, from: u8, mask: u64 },
+    Sext {
+        dst: u32,
+        a: u32,
+        from: u8,
+        mask: u64,
+    },
     /// Reductions.
-    Red { kind: RedKind, dst: u32, a: u32, ones: u64 },
+    Red {
+        kind: RedKind,
+        dst: u32,
+        a: u32,
+        ones: u64,
+    },
 }
 
 /// Binary op kinds.
@@ -204,16 +226,68 @@ impl Tape {
                 },
                 CellOp::Input => Op::Const { dst, imm: 0 },
                 CellOp::RegQ(r) => Op::RegRead { dst, idx: r.0 },
-                CellOp::MemRead(m) => Op::MemRead { dst, idx: m.0, a: a(0) },
-                CellOp::And => Op::Bin { kind: BinKind::And, dst, a: a(0), b: a(1), mask },
-                CellOp::Or => Op::Bin { kind: BinKind::Or, dst, a: a(0), b: a(1), mask },
-                CellOp::Xor => Op::Bin { kind: BinKind::Xor, dst, a: a(0), b: a(1), mask },
+                CellOp::MemRead(m) => Op::MemRead {
+                    dst,
+                    idx: m.0,
+                    a: a(0),
+                },
+                CellOp::And => Op::Bin {
+                    kind: BinKind::And,
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask,
+                },
+                CellOp::Or => Op::Bin {
+                    kind: BinKind::Or,
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask,
+                },
+                CellOp::Xor => Op::Bin {
+                    kind: BinKind::Xor,
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask,
+                },
                 CellOp::Not => Op::Not { dst, a: a(0), mask },
-                CellOp::Add => Op::Bin { kind: BinKind::Add, dst, a: a(0), b: a(1), mask },
-                CellOp::Sub => Op::Bin { kind: BinKind::Sub, dst, a: a(0), b: a(1), mask },
-                CellOp::Mul => Op::Bin { kind: BinKind::Mul, dst, a: a(0), b: a(1), mask },
-                CellOp::Eq => Op::Bin { kind: BinKind::Eq, dst, a: a(0), b: a(1), mask: 1 },
-                CellOp::Ult => Op::Bin { kind: BinKind::Ult, dst, a: a(0), b: a(1), mask: 1 },
+                CellOp::Add => Op::Bin {
+                    kind: BinKind::Add,
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask,
+                },
+                CellOp::Sub => Op::Bin {
+                    kind: BinKind::Sub,
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask,
+                },
+                CellOp::Mul => Op::Bin {
+                    kind: BinKind::Mul,
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask,
+                },
+                CellOp::Eq => Op::Bin {
+                    kind: BinKind::Eq,
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask: 1,
+                },
+                CellOp::Ult => Op::Bin {
+                    kind: BinKind::Ult,
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    mask: 1,
+                },
                 CellOp::Slt => Op::Bin {
                     kind: BinKind::Slt { width: w(0) },
                     dst,
@@ -222,21 +296,27 @@ impl Tape {
                     mask: 1,
                 },
                 CellOp::Shl => Op::Bin {
-                    kind: BinKind::Shl { width: net.width as u8 },
+                    kind: BinKind::Shl {
+                        width: net.width as u8,
+                    },
                     dst,
                     a: a(0),
                     b: a(1),
                     mask,
                 },
                 CellOp::Shr => Op::Bin {
-                    kind: BinKind::Shr { width: net.width as u8 },
+                    kind: BinKind::Shr {
+                        width: net.width as u8,
+                    },
                     dst,
                     a: a(0),
                     b: a(1),
                     mask,
                 },
                 CellOp::Ashr => Op::Bin {
-                    kind: BinKind::Ashr { width: net.width as u8 },
+                    kind: BinKind::Ashr {
+                        width: net.width as u8,
+                    },
                     dst,
                     a: a(0),
                     b: a(1),
@@ -255,17 +335,42 @@ impl Tape {
                     sh: w(0),
                     mask,
                 },
-                CellOp::ZExt => Op::Slice { dst, a: a(0), sh: 0, mask: mask_of(net.args[0]) },
-                CellOp::SExt => Op::Sext { dst, a: a(0), from: w(0), mask },
-                CellOp::Mux => Op::Mux { dst, a: a(0), b: a(1), c: a(2) },
-                CellOp::RedOr => Op::Red { kind: RedKind::Or, dst, a: a(0), ones: 0 },
+                CellOp::ZExt => Op::Slice {
+                    dst,
+                    a: a(0),
+                    sh: 0,
+                    mask: mask_of(net.args[0]),
+                },
+                CellOp::SExt => Op::Sext {
+                    dst,
+                    a: a(0),
+                    from: w(0),
+                    mask,
+                },
+                CellOp::Mux => Op::Mux {
+                    dst,
+                    a: a(0),
+                    b: a(1),
+                    c: a(2),
+                },
+                CellOp::RedOr => Op::Red {
+                    kind: RedKind::Or,
+                    dst,
+                    a: a(0),
+                    ones: 0,
+                },
                 CellOp::RedAnd => Op::Red {
                     kind: RedKind::And,
                     dst,
                     a: a(0),
                     ones: mask_of(net.args[0]),
                 },
-                CellOp::RedXor => Op::Red { kind: RedKind::Xor, dst, a: a(0), ones: 0 },
+                CellOp::RedXor => Op::Red {
+                    kind: RedKind::Xor,
+                    dst,
+                    a: a(0),
+                    ones: 0,
+                },
             };
             ops.push(op);
         }
@@ -356,16 +461,26 @@ pub fn eval_op(op: &Op, v: &mut [u64], regs: &[u64], mems: &[Vec<u64>]) {
             let addr = v[a as usize] as usize;
             v[dst as usize] = if addr < m.len() { m[addr] } else { 0 };
         }
-        Op::Bin { kind, dst, a, b, mask } => {
+        Op::Bin {
+            kind,
+            dst,
+            a,
+            b,
+            mask,
+        } => {
             let x = v[a as usize];
             let y = v[b as usize];
             v[dst as usize] = eval_bin(kind, x, y) & mask;
         }
         Op::Not { dst, a, mask } => v[dst as usize] = !v[a as usize] & mask,
         Op::Slice { dst, a, sh, mask } => v[dst as usize] = (v[a as usize] >> sh) & mask,
-        Op::Concat { dst, a, b, sh, mask } => {
-            v[dst as usize] = (v[a as usize] | (v[b as usize] << sh)) & mask
-        }
+        Op::Concat {
+            dst,
+            a,
+            b,
+            sh,
+            mask,
+        } => v[dst as usize] = (v[a as usize] | (v[b as usize] << sh)) & mask,
         Op::Mux { dst, a, b, c } => {
             v[dst as usize] = if v[a as usize] != 0 {
                 v[b as usize]

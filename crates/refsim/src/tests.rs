@@ -3,8 +3,7 @@
 
 use manticore_bits::Bits;
 use manticore_netlist::{eval::Evaluator, Netlist, NetlistBuilder};
-use proptest::prelude::*;
-use rand::{Rng, SeedableRng};
+use manticore_util::SmallRng;
 
 use crate::parallel::ParallelSim;
 use crate::serial::SerialSim;
@@ -81,15 +80,15 @@ fn displays_render() {
 
 /// Random closed netlist within 64-bit widths.
 fn random_netlist(seed: u64, ops: usize) -> Netlist {
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let widths = [5usize, 16, 31, 64];
     let mut b = NetlistBuilder::new("rand");
     let mut pool: Vec<Vec<manticore_netlist::NetId>> = Vec::new();
     let mut regs = Vec::new();
     for (wi, &w) in widths.iter().enumerate() {
-        let r = b.reg_init(format!("r{wi}"), w, Bits::from_u128(rng.gen(), w));
+        let r = b.reg_init(format!("r{wi}"), w, Bits::from_u128(rng.next_u128(), w));
         regs.push(r);
-        let c = b.constant(Bits::from_u128(rng.gen(), w));
+        let c = b.constant(Bits::from_u128(rng.next_u128(), w));
         pool.push(vec![r.q(), c]);
     }
     let mem = b.memory("m", 16, 16);
@@ -149,10 +148,12 @@ fn random_netlist(seed: u64, ops: usize) -> Netlist {
     b.finish_build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn prop_tape_matches_evaluator(seed: u64, ops in 10usize..80) {
+#[test]
+fn prop_tape_matches_evaluator() {
+    let mut meta = SmallRng::seed_from_u64(0x41);
+    for _ in 0..24 {
+        let seed = meta.next_u64();
+        let ops = meta.gen_range(10..80);
         let n = random_netlist(seed, ops);
         let tape = Tape::compile(&n).unwrap();
         let mut fast = SerialSim::new(&tape);
@@ -161,19 +162,23 @@ proptest! {
             fast.step();
             slow.step();
             for (ri, reg) in n.registers().iter().enumerate() {
-                prop_assert_eq!(
+                assert_eq!(
                     fast.reg_value(ri).to_u64(),
                     slow.reg_value(ri).to_u64(),
-                    "reg `{}` diverged at cycle {}",
+                    "reg `{}` diverged at cycle {cycle} (seed {seed})",
                     &reg.name,
-                    cycle
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn prop_parallel_matches_serial(seed: u64, threads in 1usize..6) {
+#[test]
+fn prop_parallel_matches_serial() {
+    let mut meta = SmallRng::seed_from_u64(0x42);
+    for _ in 0..24 {
+        let seed = meta.next_u64();
+        let threads = meta.gen_range(1..6);
         let n = random_netlist(seed, 60);
         let tape = Tape::compile(&n).unwrap();
         let cycles = 25;
@@ -183,13 +188,13 @@ proptest! {
         }
         let par = ParallelSim::new(&tape, threads, 8);
         let run = par.run(cycles);
-        prop_assert_eq!(run.stats.cycles, cycles);
+        assert_eq!(run.stats.cycles, cycles);
         for ri in 0..n.registers().len() {
-            prop_assert_eq!(
-                run.final_regs[ri] ,
+            assert_eq!(
+                run.final_regs[ri],
                 serial.reg_value(ri).to_u64(),
-                "register {} diverged (threads={}, tasks={})",
-                ri, threads, par.num_tasks()
+                "register {ri} diverged (seed={seed}, threads={threads}, tasks={})",
+                par.num_tasks()
             );
         }
     }

@@ -1,0 +1,21 @@
+//! Dependency-free shared utilities for the Manticore workspace.
+//!
+//! Two things live here because more than one crate needs them and neither
+//! belongs to any single layer of the stack:
+//!
+//! - [`spin::SpinBarrier`] — the spinning arrive-await rendezvous used by
+//!   both parallel execution engines: the Verilator-analog macro-task
+//!   executor (`manticore_refsim::parallel`) and the sharded
+//!   bulk-synchronous grid engine (`manticore_machine`);
+//! - [`rng::SmallRng`] — a tiny deterministic PRNG (SplitMix64 seeding an
+//!   xorshift64* stream) backing the seeded randomized tests across the
+//!   workspace. The test suites are differential (two implementations must
+//!   agree on random inputs), so reproducibility matters more than
+//!   statistical sophistication: the same seed always generates the same
+//!   netlist, on every platform.
+
+pub mod rng;
+pub mod spin;
+
+pub use rng::SmallRng;
+pub use spin::{spin_until, SpinBarrier};

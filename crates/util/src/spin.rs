@@ -1,0 +1,94 @@
+//! A spinning barrier: the arrive-await rendezvous both parallel engines
+//! use between phases. `std::sync::Barrier` parks threads on a
+//! mutex/condvar, costing microseconds per rendezvous — enough to drown
+//! the fine-grain synchronization effects §7.1 of the paper measures.
+//! Spinning keeps the rendezvous in the hundreds-of-nanoseconds regime of
+//! the paper's testbeds.
+//!
+//! When the host is oversubscribed (more participants than hardware
+//! threads), pure spinning is pathological: the spinner burns its whole
+//! scheduler quantum waiting for a peer that cannot run. After a bounded
+//! number of spins the wait therefore downgrades to `yield_now`, keeping
+//! the fast path allocation- and syscall-free while staying usable on
+//! small CI machines.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Spins this many iterations before starting to yield the CPU.
+const SPIN_LIMIT: u32 = 1 << 14;
+
+/// Spins until `cond()` returns true, downgrading to `yield_now` after a
+/// bounded number of iterations. The single backoff policy for every
+/// fine-grained wait in the workspace (barrier generations, macro-task
+/// dependency counters).
+pub fn spin_until(cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        if spins < SPIN_LIMIT {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// A reusable spinning barrier for a fixed number of participants.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// A barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        SpinBarrier {
+            n: n.max(1),
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks (spinning) until all `n` participants arrive.
+    pub fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arriver resets and releases the generation.
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            spin_until(|| self.generation.load(Ordering::Acquire) != gen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SpinBarrier;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let n = 4;
+        let barrier = SpinBarrier::new(n);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    for phase in 1..=100usize {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // After the barrier every thread of this phase has
+                        // incremented.
+                        assert!(counter.load(Ordering::Relaxed) >= phase * n);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100 * n);
+    }
+}

@@ -12,15 +12,13 @@ use crate::util::finish_after;
 
 /// SHA-256 round constants (first 16).
 const K: [u32; 16] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
-    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
-    0x9bdc06a7, 0xc19bf174,
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
 ];
 
 /// SHA-256 initial hash values.
 const H: [u32; 8] = [
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-    0x5be0cd19,
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 fn big_sigma0(b: &mut NetlistBuilder, x: NetId) -> NetId {
@@ -147,7 +145,11 @@ fn bc_pipe(b: &mut NetlistBuilder, pipe: usize, rounds_per_cycle: usize) -> NetI
     let zero8 = b.lit(0, 8);
     let found = b.eq(top, zero8);
     if pipe == 0 {
-        b.display(found, "share found: nonce={} a={}", &[nonce.q(), regs[0].q()]);
+        b.display(
+            found,
+            "share found: nonce={} a={}",
+            &[nonce.q(), regs[0].q()],
+        );
         // Invariant: the round counter must stay < 16 by construction.
         let lim = b.lit(15, 4);
         let in_range = b.ult(round.q(), lim);

@@ -36,7 +36,8 @@ pub fn blur_sized(row_len: usize, banks: usize, cycles: u64) -> Netlist {
     b.set_next(total, mixed);
     b.output("total", total.q());
     finish_after(&mut b, cycles);
-    b.finish_build().expect("blur netlist is structurally valid")
+    b.finish_build()
+        .expect("blur netlist is structurally valid")
 }
 
 /// One stencil unit; returns its output register net.
@@ -44,7 +45,11 @@ fn blur_bank(b: &mut NetlistBuilder, bank: usize, row_len: usize) -> manticore_n
     let xw = row_len.trailing_zeros() as usize;
 
     // Input stream.
-    let pixel_in = lfsr16(b, &format!("pix{bank}"), 0xbeefu16.wrapping_add(bank as u16 * 77));
+    let pixel_in = lfsr16(
+        b,
+        &format!("pix{bank}"),
+        0xbeefu16.wrapping_add(bank as u16 * 77),
+    );
 
     // Column counter.
     let x = b.reg(format!("x{bank}"), xw, 0);

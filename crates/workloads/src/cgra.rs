@@ -22,7 +22,11 @@ pub fn cgra_sized(rows: usize, cols: usize, cycles: u64) -> Netlist {
     let mut row_outputs: Vec<NetId> = Vec::new();
     for r in 0..rows {
         // Row stimulus: an LFSR stream with a per-row seed + valid toggle.
-        let stream = lfsr16(&mut b, &format!("in{r}"), 0x1111u16.wrapping_mul(r as u16 + 1));
+        let stream = lfsr16(
+            &mut b,
+            &format!("in{r}"),
+            0x1111u16.wrapping_mul(r as u16 + 1),
+        );
         let vstream = lfsr16(&mut b, &format!("v{r}"), 0x2222u16.wrapping_add(r as u16));
         let mut data = stream;
         let mut valid = b.bit(vstream, 0);
@@ -68,5 +72,6 @@ pub fn cgra_sized(rows: usize, cols: usize, cycles: u64) -> Netlist {
     let sane = b.lit(1, 1);
     b.expect_true(sane, "unreachable");
     let _ = tick;
-    b.finish_build().expect("cgra netlist is structurally valid")
+    b.finish_build()
+        .expect("cgra netlist is structurally valid")
 }

@@ -81,5 +81,6 @@ pub fn jpeg_sized(cycles: u64) -> Netlist {
     b.expect_true(ok, "huffman length out of range");
 
     finish_after(&mut b, cycles);
-    b.finish_build().expect("jpeg netlist is structurally valid")
+    b.finish_build()
+        .expect("jpeg netlist is structurally valid")
 }

@@ -64,15 +64,60 @@ pub struct Workload {
 /// size (the Table 3 ordering).
 pub fn all() -> Vec<Workload> {
     vec![
-        Workload { name: "vta", netlist: vta(), test_cycles: 300, bench_cycles: 2_000 },
-        Workload { name: "mc", netlist: mc(), test_cycles: 300, bench_cycles: 2_000 },
-        Workload { name: "noc", netlist: noc(), test_cycles: 300, bench_cycles: 2_000 },
-        Workload { name: "mm", netlist: mm(), test_cycles: 600, bench_cycles: 4_200 },
-        Workload { name: "rv32r", netlist: rv32r(), test_cycles: 300, bench_cycles: 2_000 },
-        Workload { name: "cgra", netlist: cgra(), test_cycles: 300, bench_cycles: 2_000 },
-        Workload { name: "bc", netlist: bc(), test_cycles: 300, bench_cycles: 2_000 },
-        Workload { name: "blur", netlist: blur(), test_cycles: 300, bench_cycles: 2_000 },
-        Workload { name: "jpeg", netlist: jpeg(), test_cycles: 300, bench_cycles: 2_000 },
+        Workload {
+            name: "vta",
+            netlist: vta(),
+            test_cycles: 300,
+            bench_cycles: 2_000,
+        },
+        Workload {
+            name: "mc",
+            netlist: mc(),
+            test_cycles: 300,
+            bench_cycles: 2_000,
+        },
+        Workload {
+            name: "noc",
+            netlist: noc(),
+            test_cycles: 300,
+            bench_cycles: 2_000,
+        },
+        Workload {
+            name: "mm",
+            netlist: mm(),
+            test_cycles: 600,
+            bench_cycles: 4_200,
+        },
+        Workload {
+            name: "rv32r",
+            netlist: rv32r(),
+            test_cycles: 300,
+            bench_cycles: 2_000,
+        },
+        Workload {
+            name: "cgra",
+            netlist: cgra(),
+            test_cycles: 300,
+            bench_cycles: 2_000,
+        },
+        Workload {
+            name: "bc",
+            netlist: bc(),
+            test_cycles: 300,
+            bench_cycles: 2_000,
+        },
+        Workload {
+            name: "blur",
+            netlist: blur(),
+            test_cycles: 300,
+            bench_cycles: 2_000,
+        },
+        Workload {
+            name: "jpeg",
+            netlist: jpeg(),
+            test_cycles: 300,
+            bench_cycles: 2_000,
+        },
     ]
 }
 

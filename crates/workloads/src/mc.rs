@@ -22,7 +22,11 @@ pub fn mc_sized(lanes: usize, cycles: u64) -> Netlist {
     let mut rng0 = None;
     for lane in 0..lanes {
         // Per-lane RNG.
-        let rng = xorshift32(&mut b, &format!("lane{lane}"), 0x9e37 + lane as u32 * 0x79b9);
+        let rng = xorshift32(
+            &mut b,
+            &format!("lane{lane}"),
+            0x9e37 + lane as u32 * 0x79b9,
+        );
         if lane == 0 {
             rng0 = Some(rng);
         }

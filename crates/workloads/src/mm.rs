@@ -22,7 +22,13 @@ pub fn mm_sized(n: usize, cycles: u64) -> Netlist {
 
     // A-operand stream: one value per row injected at the west edge.
     let mut a_in: Vec<NetId> = (0..n)
-        .map(|r| lfsr16(&mut b, &format!("a{r}"), 0x1357u16.wrapping_mul(r as u16 + 1)))
+        .map(|r| {
+            lfsr16(
+                &mut b,
+                &format!("a{r}"),
+                0x1357u16.wrapping_mul(r as u16 + 1),
+            )
+        })
         .collect();
 
     // Stationary B weights (deterministic pseudo-random constants — the

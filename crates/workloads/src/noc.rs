@@ -33,8 +33,16 @@ pub fn noc_sized(k: usize, vcs: usize, cycles: u64) -> Netlist {
     let mut xout: Vec<Vec<RegHandle>> = Vec::new();
     let mut yout: Vec<Vec<RegHandle>> = Vec::new();
     for r in 0..k * k {
-        xout.push((0..vcs).map(|v| b.reg(format!("xo{r}_{v}"), 16, 0)).collect());
-        yout.push((0..vcs).map(|v| b.reg(format!("yo{r}_{v}"), 16, 0)).collect());
+        xout.push(
+            (0..vcs)
+                .map(|v| b.reg(format!("xo{r}_{v}"), 16, 0))
+                .collect(),
+        );
+        yout.push(
+            (0..vcs)
+                .map(|v| b.reg(format!("yo{r}_{v}"), 16, 0))
+                .collect(),
+        );
     }
 
     let mut delivered_bits: Vec<NetId> = Vec::new();

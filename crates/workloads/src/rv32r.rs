@@ -127,5 +127,6 @@ pub fn rv32r_sized(ncores: usize, cycles: u64) -> Netlist {
     b.expect_true(ok, "a MiniRV program counter escaped its ROM");
 
     finish_after(&mut b, cycles);
-    b.finish_build().expect("rv32r netlist is structurally valid")
+    b.finish_build()
+        .expect("rv32r netlist is structurally valid")
 }

@@ -80,11 +80,7 @@ fn workload_state_changes_over_time() {
         for _ in 0..32 {
             sim.step();
         }
-        let changed = sim
-            .reg_values()
-            .iter()
-            .zip(&initial)
-            .any(|(a, b)| a != b);
+        let changed = sim.reg_values().iter().zip(&initial).any(|(a, b)| a != b);
         assert!(changed, "{} state is frozen", w.name);
     }
 }

@@ -12,8 +12,7 @@ use manticore::workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "jpeg".into());
-    let w = workloads::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let w = workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
 
     // Compile for a small grid so the listing stays readable.
     let options = CompileOptions {

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| panic!("unknown workload `{name}` (try vta, mc, noc, mm, ...)"));
 
     println!("workload: {} ({} nets)", w.name, w.netlist.nets().len());
-    println!("{:>6} {:>8} {:>12} {:>10} {:>8}", "cores", "VCPL", "rate (kHz)", "speedup", "sends");
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>8}",
+        "cores", "VCPL", "rate (kHz)", "speedup", "sends"
+    );
 
     let mut base_vcpl = None;
     for grid in [1usize, 2, 3, 5, 7, 9, 12, 15] {

@@ -29,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = ManticoreSim::compile(&netlist, config)?;
 
     let report = &sim.compile_output().report;
-    println!("compiled: VCPL = {} machine cycles per RTL cycle", report.vcpl);
-    println!("predicted rate at 475 MHz: {:.1} kHz", sim.simulation_rate_khz());
+    println!(
+        "compiled: VCPL = {} machine cycles per RTL cycle",
+        report.vcpl
+    );
+    println!(
+        "predicted rate at 475 MHz: {:.1} kHz",
+        sim.simulation_rate_khz()
+    );
 
     // 3. Run. Displays are produced by the host servicing EXPECT
     //    exceptions, exactly as in the paper's runtime.

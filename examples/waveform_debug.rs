@@ -60,7 +60,11 @@ fn main() {
                 cycle,
                 eval.output_value("count").unwrap().to_u64(),
                 eval.output_value("parity").unwrap().to_u64(),
-                if ev.failed_expects.is_empty() { "" } else { "  <-- FAIL" }
+                if ev.failed_expects.is_empty() {
+                    ""
+                } else {
+                    "  <-- FAIL"
+                }
             );
         }
     }

@@ -1,16 +1,21 @@
 //! Backend agreement: the Verilator-analog tape simulators (serial and
 //! macro-task parallel) must agree with the reference evaluator on the
-//! real workloads — the baseline side of Table 3 rests on this.
+//! real workloads — the baseline side of Table 3 rests on this — and all
+//! four `Simulator` backends (machine serial/parallel, tape
+//! serial/parallel) must agree with each other through nothing but the
+//! trait.
 
+use manticore::isa::MachineConfig;
 use manticore::netlist::eval::Evaluator;
 use manticore::refsim::{ParallelSim, SerialSim, Tape};
+use manticore::sim::backends;
 use manticore::workloads;
 
 #[test]
 fn serial_tape_matches_evaluator_on_all_workloads() {
     for w in workloads::all() {
-        let tape = Tape::compile(&w.netlist)
-            .unwrap_or_else(|e| panic!("{}: tape failed: {e}", w.name));
+        let tape =
+            Tape::compile(&w.netlist).unwrap_or_else(|e| panic!("{}: tape failed: {e}", w.name));
         let mut fast = SerialSim::new(&tape);
         let mut slow = Evaluator::new(&w.netlist);
         for cycle in 0..60u64 {
@@ -62,6 +67,72 @@ fn parallel_tape_matches_serial_on_all_workloads() {
                     w.name
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn every_simulator_backend_agrees_on_every_workload() {
+    // One interface, four engines: run each workload on all backends and
+    // require identical architectural observations — displays (which carry
+    // the self-checking testbench's output) and every RTL register that
+    // survives in all backends' compiled forms.
+    for w in workloads::all() {
+        let cycles = w.test_cycles.min(24);
+        let config = MachineConfig::with_grid(6, 6);
+        let mut sims = backends(&w.netlist, config, 2)
+            .unwrap_or_else(|e| panic!("{}: backend construction failed: {e}", w.name));
+        let mut results = Vec::new();
+        for sim in &mut sims {
+            let name = sim.backend();
+            let outcome = sim
+                .run_cycles(cycles)
+                .unwrap_or_else(|e| panic!("{}: {name} failed: {e}", w.name));
+            results.push((name, outcome));
+        }
+        let (ref_name, ref_outcome) = &results[0];
+        for (name, outcome) in &results[1..] {
+            assert_eq!(
+                &ref_outcome.displays, &outcome.displays,
+                "{}: displays diverged between {ref_name} and {name}",
+                w.name
+            );
+            assert_eq!(
+                ref_outcome.finished, outcome.finished,
+                "{}: finish diverged between {ref_name} and {name}",
+                w.name
+            );
+        }
+        // Register agreement, by name, where the register exists in every
+        // backend's compiled design (optimization may prune some).
+        let mut compared = 0usize;
+        for reg in w.netlist.registers() {
+            let values: Vec<_> = sims.iter().map(|s| s.rtl_reg(&reg.name)).collect();
+            if values.iter().any(|v| v.is_none()) {
+                continue;
+            }
+            compared += 1;
+            for (i, v) in values.iter().enumerate().skip(1) {
+                assert_eq!(
+                    values[0].as_ref().unwrap().to_u64(),
+                    v.as_ref().unwrap().to_u64(),
+                    "{}: register `{}` diverged between {} and {}",
+                    w.name,
+                    reg.name,
+                    sims[0].backend(),
+                    sims[i].backend()
+                );
+            }
+        }
+        assert!(compared > 0, "{}: no registers were comparable", w.name);
+        // Perf snapshots are coherent: every backend simulated the cycles.
+        for sim in &sims {
+            assert_eq!(
+                sim.perf().cycles,
+                ref_outcome.cycles_run,
+                "{}",
+                sim.backend()
+            );
         }
     }
 }

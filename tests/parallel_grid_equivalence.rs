@@ -1,0 +1,128 @@
+//! The sharded BSP grid engine must be bit-identical to the serial grid
+//! engine on every real workload: same final register state, same
+//! displays, same `PerfCounters` — at 1, 2, and 4 shards.
+//!
+//! This is the machine-side analog of `backend_agreement.rs` (which covers
+//! the Verilator-analog tape executors): together they pin down that every
+//! parallel execution path in the repository is an exact, not approximate,
+//! speedup.
+
+use manticore::bits::Bits;
+use manticore::compiler::{compile, CompileOptions};
+use manticore::isa::MachineConfig;
+use manticore::machine::{ExecMode, Machine};
+use manticore::workloads;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const GRID: usize = 6;
+const VCYCLES: u64 = 40;
+
+/// Reads every RTL register back out of the machine's register files using
+/// the compiler's placement metadata.
+fn rtl_regs(machine: &Machine, out: &manticore::compiler::CompileOutput) -> Vec<Bits> {
+    out.optimized
+        .registers()
+        .iter()
+        .enumerate()
+        .map(|(ri, reg)| {
+            let loc = &out.metadata.reg_locations[ri];
+            let words: Vec<u16> = loc
+                .words
+                .iter()
+                .map(|&(core, mreg)| machine.read_reg(core, mreg))
+                .collect();
+            Bits::from_words16(&words, reg.width)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_grid_is_bit_identical_on_all_workloads() {
+    for w in workloads::all() {
+        let config = MachineConfig::with_grid(GRID, GRID);
+        let options = CompileOptions {
+            config: config.clone(),
+            ..Default::default()
+        };
+        let out = compile(&w.netlist, &options)
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+
+        let mut serial = Machine::load(config.clone(), &out.binary)
+            .unwrap_or_else(|e| panic!("{}: load failed: {e}", w.name));
+        let s_run = serial
+            .run_vcycles(VCYCLES)
+            .unwrap_or_else(|e| panic!("{}: serial run failed: {e}", w.name));
+        let s_regs = rtl_regs(&serial, &out);
+
+        for shards in SHARD_COUNTS {
+            let mut par = Machine::load(config.clone(), &out.binary).unwrap();
+            par.set_exec_mode(ExecMode::Parallel { shards });
+            let p_run = par
+                .run_vcycles(VCYCLES)
+                .unwrap_or_else(|e| panic!("{}: {shards}-shard run failed: {e}", w.name));
+
+            assert_eq!(
+                s_run.displays, p_run.displays,
+                "{}: displays diverged at {shards} shards",
+                w.name
+            );
+            assert_eq!(
+                s_run.finished, p_run.finished,
+                "{}: finish flag diverged at {shards} shards",
+                w.name
+            );
+            assert_eq!(
+                s_run.vcycles_run, p_run.vcycles_run,
+                "{}: vcycle count diverged at {shards} shards",
+                w.name
+            );
+            assert_eq!(
+                serial.counters(),
+                par.counters(),
+                "{}: PerfCounters diverged at {shards} shards",
+                w.name
+            );
+            assert_eq!(
+                serial.cache_stats(),
+                par.cache_stats(),
+                "{}: cache stats diverged at {shards} shards",
+                w.name
+            );
+            let p_regs = rtl_regs(&par, &out);
+            for (ri, reg) in out.optimized.registers().iter().enumerate() {
+                assert_eq!(
+                    s_regs[ri], p_regs[ri],
+                    "{}: register `{}` diverged at {shards} shards",
+                    w.name, reg.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_grid_counters_independent_of_shard_count() {
+    // The deterministic-aggregation guarantee of `PerfCounters::merge_from`,
+    // observed end-to-end: whatever the shard count, the counter totals are
+    // the same numbers.
+    let w = workloads::by_name("mm").unwrap();
+    let config = MachineConfig::with_grid(GRID, GRID);
+    let options = CompileOptions {
+        config: config.clone(),
+        ..Default::default()
+    };
+    let out = compile(&w.netlist, &options).unwrap();
+
+    let mut reference = None;
+    for shards in [1, 2, 3, 4, 5, 7] {
+        let mut m = Machine::load(config.clone(), &out.binary).unwrap();
+        m.set_exec_mode(ExecMode::Parallel { shards });
+        m.run_vcycles(25).unwrap();
+        let c = m.counters();
+        assert!(c.instructions > 0 && c.sends > 0, "workload must be busy");
+        match &reference {
+            None => reference = Some(c),
+            Some(r) => assert_eq!(*r, c, "counters changed between shard counts ({shards})"),
+        }
+    }
+}

@@ -38,7 +38,10 @@ fn check_equivalence(
         let mv = machine
             .run_vcycles(1)
             .unwrap_or_else(|e| panic!("{name}: machine failed at cycle {cycle}: {e}"));
-        assert_eq!(ev.displays, mv.displays, "{name}: displays at cycle {cycle}");
+        assert_eq!(
+            ev.displays, mv.displays,
+            "{name}: displays at cycle {cycle}"
+        );
         assert_eq!(ev.finished, mv.finished, "{name}: finish at cycle {cycle}");
         assert!(
             ev.failed_expects.is_empty(),
