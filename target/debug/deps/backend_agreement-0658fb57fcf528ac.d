@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_agreement-0658fb57fcf528ac.d: crates/core/../../tests/backend_agreement.rs
+
+/root/repo/target/debug/deps/backend_agreement-0658fb57fcf528ac: crates/core/../../tests/backend_agreement.rs
+
+crates/core/../../tests/backend_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_agreement-96c3aaf213257604.d: tests/backend_agreement.rs
+
+/root/repo/target/debug/deps/backend_agreement-96c3aaf213257604: tests/backend_agreement.rs
+
+tests/backend_agreement.rs:

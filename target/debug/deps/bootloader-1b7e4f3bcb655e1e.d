@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bootloader-1b7e4f3bcb655e1e.d: crates/core/../../tests/bootloader.rs
+
+/root/repo/target/debug/deps/bootloader-1b7e4f3bcb655e1e: crates/core/../../tests/bootloader.rs
+
+crates/core/../../tests/bootloader.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bootloader-5d3e425e239290fa.d: tests/bootloader.rs
+
+/root/repo/target/debug/deps/bootloader-5d3e425e239290fa: tests/bootloader.rs
+
+tests/bootloader.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-2f06129ab00c6ff9.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-2f06129ab00c6ff9: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-a777c27f84ac210c.d: crates/core/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-a777c27f84ac210c: crates/core/../../tests/failure_injection.rs
+
+crates/core/../../tests/failure_injection.rs:

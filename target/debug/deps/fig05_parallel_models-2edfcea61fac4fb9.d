@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_parallel_models-2edfcea61fac4fb9.d: crates/bench/src/bin/fig05_parallel_models.rs
+
+/root/repo/target/debug/deps/fig05_parallel_models-2edfcea61fac4fb9: crates/bench/src/bin/fig05_parallel_models.rs
+
+crates/bench/src/bin/fig05_parallel_models.rs:

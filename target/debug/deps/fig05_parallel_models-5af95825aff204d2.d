@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_parallel_models-5af95825aff204d2.d: crates/bench/src/bin/fig05_parallel_models.rs
+
+/root/repo/target/debug/deps/fig05_parallel_models-5af95825aff204d2: crates/bench/src/bin/fig05_parallel_models.rs
+
+crates/bench/src/bin/fig05_parallel_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_verilator_scaling-6831b1d4fd744529.d: crates/bench/src/bin/fig06_verilator_scaling.rs
+
+/root/repo/target/debug/deps/fig06_verilator_scaling-6831b1d4fd744529: crates/bench/src/bin/fig06_verilator_scaling.rs
+
+crates/bench/src/bin/fig06_verilator_scaling.rs:

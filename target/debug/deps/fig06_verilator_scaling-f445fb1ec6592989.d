@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_verilator_scaling-f445fb1ec6592989.d: crates/bench/src/bin/fig06_verilator_scaling.rs
+
+/root/repo/target/debug/deps/fig06_verilator_scaling-f445fb1ec6592989: crates/bench/src/bin/fig06_verilator_scaling.rs
+
+crates/bench/src/bin/fig06_verilator_scaling.rs:

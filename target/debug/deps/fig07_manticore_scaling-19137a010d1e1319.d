@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_manticore_scaling-19137a010d1e1319.d: crates/bench/src/bin/fig07_manticore_scaling.rs
+
+/root/repo/target/debug/deps/fig07_manticore_scaling-19137a010d1e1319: crates/bench/src/bin/fig07_manticore_scaling.rs
+
+crates/bench/src/bin/fig07_manticore_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_manticore_scaling-6306dc9e6e53907c.d: crates/bench/src/bin/fig07_manticore_scaling.rs
+
+/root/repo/target/debug/deps/fig07_manticore_scaling-6306dc9e6e53907c: crates/bench/src/bin/fig07_manticore_scaling.rs
+
+crates/bench/src/bin/fig07_manticore_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_global_stall-c65202d6b72a5d08.d: crates/bench/src/bin/fig08_global_stall.rs
+
+/root/repo/target/debug/deps/fig08_global_stall-c65202d6b72a5d08: crates/bench/src/bin/fig08_global_stall.rs
+
+crates/bench/src/bin/fig08_global_stall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_global_stall-e0b7848ee37809da.d: crates/bench/src/bin/fig08_global_stall.rs
+
+/root/repo/target/debug/deps/fig08_global_stall-e0b7848ee37809da: crates/bench/src/bin/fig08_global_stall.rs
+
+crates/bench/src/bin/fig08_global_stall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_partitioning-a106b146e0b1d369.d: crates/bench/src/bin/fig09_partitioning.rs
+
+/root/repo/target/debug/deps/fig09_partitioning-a106b146e0b1d369: crates/bench/src/bin/fig09_partitioning.rs
+
+crates/bench/src/bin/fig09_partitioning.rs:

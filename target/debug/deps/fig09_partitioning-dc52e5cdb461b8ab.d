@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_partitioning-dc52e5cdb461b8ab.d: crates/bench/src/bin/fig09_partitioning.rs
+
+/root/repo/target/debug/deps/fig09_partitioning-dc52e5cdb461b8ab: crates/bench/src/bin/fig09_partitioning.rs
+
+crates/bench/src/bin/fig09_partitioning.rs:

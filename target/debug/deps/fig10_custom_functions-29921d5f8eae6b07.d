@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_custom_functions-29921d5f8eae6b07.d: crates/bench/src/bin/fig10_custom_functions.rs
+
+/root/repo/target/debug/deps/fig10_custom_functions-29921d5f8eae6b07: crates/bench/src/bin/fig10_custom_functions.rs
+
+crates/bench/src/bin/fig10_custom_functions.rs:

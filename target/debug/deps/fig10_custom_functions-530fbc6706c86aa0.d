@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_custom_functions-530fbc6706c86aa0.d: crates/bench/src/bin/fig10_custom_functions.rs
+
+/root/repo/target/debug/deps/fig10_custom_functions-530fbc6706c86aa0: crates/bench/src/bin/fig10_custom_functions.rs
+
+crates/bench/src/bin/fig10_custom_functions.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/manticore-08b081e926fe08aa.d: crates/core/src/lib.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/manticore-08b081e926fe08aa: crates/core/src/lib.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/manticore-236b1722e4ac4eb6.d: crates/core/src/lib.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libmanticore-236b1722e4ac4eb6.rmeta: crates/core/src/lib.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/sim.rs:

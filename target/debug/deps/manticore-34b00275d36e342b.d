@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manticore-34b00275d36e342b.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libmanticore-34b00275d36e342b.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libmanticore-34b00275d36e342b.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

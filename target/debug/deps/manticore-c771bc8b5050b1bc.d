@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manticore-c771bc8b5050b1bc.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/manticore-c771bc8b5050b1bc: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

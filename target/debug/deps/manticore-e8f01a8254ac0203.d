@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/manticore-e8f01a8254ac0203.d: crates/core/src/lib.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libmanticore-e8f01a8254ac0203.rlib: crates/core/src/lib.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libmanticore-e8f01a8254ac0203.rmeta: crates/core/src/lib.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manticore_bench-230155c983651a92.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmanticore_bench-230155c983651a92.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmanticore_bench-230155c983651a92.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manticore_bench-888e70c41271908b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmanticore_bench-888e70c41271908b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

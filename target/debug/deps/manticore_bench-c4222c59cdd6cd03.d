@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manticore_bench-c4222c59cdd6cd03.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/manticore_bench-c4222c59cdd6cd03: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manticore_bits-454ab90abe7d89b4.d: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs
+
+/root/repo/target/debug/deps/libmanticore_bits-454ab90abe7d89b4.rmeta: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs
+
+crates/bits/src/lib.rs:
+crates/bits/src/bits.rs:
+crates/bits/src/ops.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/manticore_bits-8853135d76f2ecef.d: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs crates/bits/src/tests.rs
+
+/root/repo/target/debug/deps/manticore_bits-8853135d76f2ecef: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs crates/bits/src/tests.rs
+
+crates/bits/src/lib.rs:
+crates/bits/src/bits.rs:
+crates/bits/src/ops.rs:
+crates/bits/src/tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manticore_bits-bfe549412baca008.d: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs
+
+/root/repo/target/debug/deps/libmanticore_bits-bfe549412baca008.rlib: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs
+
+/root/repo/target/debug/deps/libmanticore_bits-bfe549412baca008.rmeta: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs
+
+crates/bits/src/lib.rs:
+crates/bits/src/bits.rs:
+crates/bits/src/ops.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/manticore_compiler-2ee8df929cc78916.d: crates/compiler/src/lib.rs crates/compiler/src/bitset.rs crates/compiler/src/cfu.rs crates/compiler/src/error.rs crates/compiler/src/interp.rs crates/compiler/src/lir.rs crates/compiler/src/lir_opt.rs crates/compiler/src/lower.rs crates/compiler/src/opt.rs crates/compiler/src/partition.rs crates/compiler/src/regalloc.rs crates/compiler/src/report.rs crates/compiler/src/schedule.rs crates/compiler/src/tests.rs
+
+/root/repo/target/debug/deps/manticore_compiler-2ee8df929cc78916: crates/compiler/src/lib.rs crates/compiler/src/bitset.rs crates/compiler/src/cfu.rs crates/compiler/src/error.rs crates/compiler/src/interp.rs crates/compiler/src/lir.rs crates/compiler/src/lir_opt.rs crates/compiler/src/lower.rs crates/compiler/src/opt.rs crates/compiler/src/partition.rs crates/compiler/src/regalloc.rs crates/compiler/src/report.rs crates/compiler/src/schedule.rs crates/compiler/src/tests.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/bitset.rs:
+crates/compiler/src/cfu.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/interp.rs:
+crates/compiler/src/lir.rs:
+crates/compiler/src/lir_opt.rs:
+crates/compiler/src/lower.rs:
+crates/compiler/src/opt.rs:
+crates/compiler/src/partition.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/report.rs:
+crates/compiler/src/schedule.rs:
+crates/compiler/src/tests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manticore_isa-1176737fbdf5e0d1.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs
+
+/root/repo/target/debug/deps/libmanticore_isa-1176737fbdf5e0d1.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/binary.rs:
+crates/isa/src/config.rs:
+crates/isa/src/exception.rs:
+crates/isa/src/instr.rs:

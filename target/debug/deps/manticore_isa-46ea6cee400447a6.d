@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manticore_isa-46ea6cee400447a6.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/tests.rs
+
+/root/repo/target/debug/deps/manticore_isa-46ea6cee400447a6: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/tests.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/binary.rs:
+crates/isa/src/config.rs:
+crates/isa/src/exception.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/tests.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manticore_isa-6cc3b75d91fd4024.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs
+
+/root/repo/target/debug/deps/libmanticore_isa-6cc3b75d91fd4024.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs
+
+/root/repo/target/debug/deps/libmanticore_isa-6cc3b75d91fd4024.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/binary.rs:
+crates/isa/src/config.rs:
+crates/isa/src/exception.rs:
+crates/isa/src/instr.rs:

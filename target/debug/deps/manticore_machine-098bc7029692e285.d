@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/manticore_machine-098bc7029692e285.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs
+
+/root/repo/target/debug/deps/libmanticore_machine-098bc7029692e285.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs
+
+/root/repo/target/debug/deps/libmanticore_machine-098bc7029692e285.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/core.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/grid.rs:
+crates/machine/src/noc.rs:
+crates/machine/src/parallel.rs:

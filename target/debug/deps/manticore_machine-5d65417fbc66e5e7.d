@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manticore_machine-5d65417fbc66e5e7.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs
+
+/root/repo/target/debug/deps/libmanticore_machine-5d65417fbc66e5e7.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/core.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/grid.rs:
+crates/machine/src/noc.rs:
+crates/machine/src/parallel.rs:

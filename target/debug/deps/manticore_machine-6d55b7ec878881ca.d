@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manticore_machine-6d55b7ec878881ca.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs crates/machine/src/tests.rs
+
+/root/repo/target/debug/deps/manticore_machine-6d55b7ec878881ca: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs crates/machine/src/tests.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/core.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/grid.rs:
+crates/machine/src/noc.rs:
+crates/machine/src/parallel.rs:
+crates/machine/src/tests.rs:

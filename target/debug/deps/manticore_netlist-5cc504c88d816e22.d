@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manticore_netlist-5cc504c88d816e22.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs
+
+/root/repo/target/debug/deps/libmanticore_netlist-5cc504c88d816e22.rmeta: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/eval.rs:
+crates/netlist/src/ir.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/topo.rs:
+crates/netlist/src/vcd.rs:

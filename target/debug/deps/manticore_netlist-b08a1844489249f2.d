@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/manticore_netlist-b08a1844489249f2.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs
+
+/root/repo/target/debug/deps/libmanticore_netlist-b08a1844489249f2.rlib: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs
+
+/root/repo/target/debug/deps/libmanticore_netlist-b08a1844489249f2.rmeta: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/eval.rs:
+crates/netlist/src/ir.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/topo.rs:
+crates/netlist/src/vcd.rs:

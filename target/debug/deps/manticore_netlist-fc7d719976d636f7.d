@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manticore_netlist-fc7d719976d636f7.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs crates/netlist/src/tests.rs
+
+/root/repo/target/debug/deps/manticore_netlist-fc7d719976d636f7: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs crates/netlist/src/tests.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/eval.rs:
+crates/netlist/src/ir.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/topo.rs:
+crates/netlist/src/vcd.rs:
+crates/netlist/src/tests.rs:

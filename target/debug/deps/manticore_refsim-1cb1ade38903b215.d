@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manticore_refsim-1cb1ade38903b215.d: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs crates/refsim/src/tests.rs
+
+/root/repo/target/debug/deps/manticore_refsim-1cb1ade38903b215: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs crates/refsim/src/tests.rs
+
+crates/refsim/src/lib.rs:
+crates/refsim/src/models.rs:
+crates/refsim/src/parallel.rs:
+crates/refsim/src/serial.rs:
+crates/refsim/src/spin.rs:
+crates/refsim/src/tape.rs:
+crates/refsim/src/tests.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manticore_refsim-6bd71932ff8a366b.d: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs
+
+/root/repo/target/debug/deps/libmanticore_refsim-6bd71932ff8a366b.rlib: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs
+
+/root/repo/target/debug/deps/libmanticore_refsim-6bd71932ff8a366b.rmeta: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs
+
+crates/refsim/src/lib.rs:
+crates/refsim/src/models.rs:
+crates/refsim/src/parallel.rs:
+crates/refsim/src/serial.rs:
+crates/refsim/src/spin.rs:
+crates/refsim/src/tape.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manticore_refsim-c25357fd038ef2bf.d: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs
+
+/root/repo/target/debug/deps/libmanticore_refsim-c25357fd038ef2bf.rmeta: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs
+
+crates/refsim/src/lib.rs:
+crates/refsim/src/models.rs:
+crates/refsim/src/parallel.rs:
+crates/refsim/src/serial.rs:
+crates/refsim/src/spin.rs:
+crates/refsim/src/tape.rs:

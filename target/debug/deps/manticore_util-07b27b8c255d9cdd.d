@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manticore_util-07b27b8c255d9cdd.d: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+/root/repo/target/debug/deps/libmanticore_util-07b27b8c255d9cdd.rlib: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+/root/repo/target/debug/deps/libmanticore_util-07b27b8c255d9cdd.rmeta: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+crates/util/src/lib.rs:
+crates/util/src/rng.rs:
+crates/util/src/spin.rs:

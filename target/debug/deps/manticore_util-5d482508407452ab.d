@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manticore_util-5d482508407452ab.d: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+/root/repo/target/debug/deps/manticore_util-5d482508407452ab: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+crates/util/src/lib.rs:
+crates/util/src/rng.rs:
+crates/util/src/spin.rs:

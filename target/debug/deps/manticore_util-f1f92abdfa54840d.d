@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manticore_util-f1f92abdfa54840d.d: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+/root/repo/target/debug/deps/libmanticore_util-f1f92abdfa54840d.rmeta: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+crates/util/src/lib.rs:
+crates/util/src/rng.rs:
+crates/util/src/spin.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/manticore_workloads-9da9668714557511.d: crates/workloads/src/lib.rs crates/workloads/src/bc.rs crates/workloads/src/blur.rs crates/workloads/src/cgra.rs crates/workloads/src/jpeg.rs crates/workloads/src/mc.rs crates/workloads/src/mm.rs crates/workloads/src/noc.rs crates/workloads/src/rv32r.rs crates/workloads/src/util.rs crates/workloads/src/vta.rs
+
+/root/repo/target/debug/deps/libmanticore_workloads-9da9668714557511.rlib: crates/workloads/src/lib.rs crates/workloads/src/bc.rs crates/workloads/src/blur.rs crates/workloads/src/cgra.rs crates/workloads/src/jpeg.rs crates/workloads/src/mc.rs crates/workloads/src/mm.rs crates/workloads/src/noc.rs crates/workloads/src/rv32r.rs crates/workloads/src/util.rs crates/workloads/src/vta.rs
+
+/root/repo/target/debug/deps/libmanticore_workloads-9da9668714557511.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bc.rs crates/workloads/src/blur.rs crates/workloads/src/cgra.rs crates/workloads/src/jpeg.rs crates/workloads/src/mc.rs crates/workloads/src/mm.rs crates/workloads/src/noc.rs crates/workloads/src/rv32r.rs crates/workloads/src/util.rs crates/workloads/src/vta.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bc.rs:
+crates/workloads/src/blur.rs:
+crates/workloads/src/cgra.rs:
+crates/workloads/src/jpeg.rs:
+crates/workloads/src/mc.rs:
+crates/workloads/src/mm.rs:
+crates/workloads/src/noc.rs:
+crates/workloads/src/rv32r.rs:
+crates/workloads/src/util.rs:
+crates/workloads/src/vta.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/manticore_workloads-c138810692c5811f.d: crates/workloads/src/lib.rs crates/workloads/src/bc.rs crates/workloads/src/blur.rs crates/workloads/src/cgra.rs crates/workloads/src/jpeg.rs crates/workloads/src/mc.rs crates/workloads/src/mm.rs crates/workloads/src/noc.rs crates/workloads/src/rv32r.rs crates/workloads/src/util.rs crates/workloads/src/vta.rs crates/workloads/src/tests.rs
+
+/root/repo/target/debug/deps/manticore_workloads-c138810692c5811f: crates/workloads/src/lib.rs crates/workloads/src/bc.rs crates/workloads/src/blur.rs crates/workloads/src/cgra.rs crates/workloads/src/jpeg.rs crates/workloads/src/mc.rs crates/workloads/src/mm.rs crates/workloads/src/noc.rs crates/workloads/src/rv32r.rs crates/workloads/src/util.rs crates/workloads/src/vta.rs crates/workloads/src/tests.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bc.rs:
+crates/workloads/src/blur.rs:
+crates/workloads/src/cgra.rs:
+crates/workloads/src/jpeg.rs:
+crates/workloads/src/mc.rs:
+crates/workloads/src/mm.rs:
+crates/workloads/src/noc.rs:
+crates/workloads/src/rv32r.rs:
+crates/workloads/src/util.rs:
+crates/workloads/src/vta.rs:
+crates/workloads/src/tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_benches-368164c172e095c6.d: crates/bench/benches/paper_benches.rs
+
+/root/repo/target/debug/deps/paper_benches-368164c172e095c6: crates/bench/benches/paper_benches.rs
+
+crates/bench/benches/paper_benches.rs:

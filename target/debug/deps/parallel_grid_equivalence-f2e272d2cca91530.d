@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_grid_equivalence-f2e272d2cca91530.d: crates/core/../../tests/parallel_grid_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_grid_equivalence-f2e272d2cca91530: crates/core/../../tests/parallel_grid_equivalence.rs
+
+crates/core/../../tests/parallel_grid_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_fmax-31a69719805cec51.d: crates/bench/src/bin/table1_fmax.rs
+
+/root/repo/target/debug/deps/table1_fmax-31a69719805cec51: crates/bench/src/bin/table1_fmax.rs
+
+crates/bench/src/bin/table1_fmax.rs:

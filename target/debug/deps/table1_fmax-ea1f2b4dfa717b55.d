@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_fmax-ea1f2b4dfa717b55.d: crates/bench/src/bin/table1_fmax.rs
+
+/root/repo/target/debug/deps/table1_fmax-ea1f2b4dfa717b55: crates/bench/src/bin/table1_fmax.rs
+
+crates/bench/src/bin/table1_fmax.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_performance-60a330c172999ccc.d: crates/bench/src/bin/table3_performance.rs
+
+/root/repo/target/debug/deps/table3_performance-60a330c172999ccc: crates/bench/src/bin/table3_performance.rs
+
+crates/bench/src/bin/table3_performance.rs:

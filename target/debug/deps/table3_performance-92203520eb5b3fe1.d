@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_performance-92203520eb5b3fe1.d: crates/bench/src/bin/table3_performance.rs
+
+/root/repo/target/debug/deps/table3_performance-92203520eb5b3fe1: crates/bench/src/bin/table3_performance.rs
+
+crates/bench/src/bin/table3_performance.rs:

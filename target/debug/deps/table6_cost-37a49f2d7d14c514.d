@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_cost-37a49f2d7d14c514.d: crates/bench/src/bin/table6_cost.rs
+
+/root/repo/target/debug/deps/table6_cost-37a49f2d7d14c514: crates/bench/src/bin/table6_cost.rs
+
+crates/bench/src/bin/table6_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_cost-69df1c60796546cb.d: crates/bench/src/bin/table6_cost.rs
+
+/root/repo/target/debug/deps/table6_cost-69df1c60796546cb: crates/bench/src/bin/table6_cost.rs
+
+crates/bench/src/bin/table6_cost.rs:

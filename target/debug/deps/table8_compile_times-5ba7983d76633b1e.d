@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_compile_times-5ba7983d76633b1e.d: crates/bench/src/bin/table8_compile_times.rs
+
+/root/repo/target/debug/deps/table8_compile_times-5ba7983d76633b1e: crates/bench/src/bin/table8_compile_times.rs
+
+crates/bench/src/bin/table8_compile_times.rs:

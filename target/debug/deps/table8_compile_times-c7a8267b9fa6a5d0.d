@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_compile_times-c7a8267b9fa6a5d0.d: crates/bench/src/bin/table8_compile_times.rs
+
+/root/repo/target/debug/deps/table8_compile_times-c7a8267b9fa6a5d0: crates/bench/src/bin/table8_compile_times.rs
+
+crates/bench/src/bin/table8_compile_times.rs:

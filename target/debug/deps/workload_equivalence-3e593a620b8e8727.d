@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_equivalence-3e593a620b8e8727.d: tests/workload_equivalence.rs
+
+/root/repo/target/debug/deps/workload_equivalence-3e593a620b8e8727: tests/workload_equivalence.rs
+
+tests/workload_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_equivalence-87e9f0a7bff3c765.d: crates/core/../../tests/workload_equivalence.rs
+
+/root/repo/target/debug/deps/workload_equivalence-87e9f0a7bff3c765: crates/core/../../tests/workload_equivalence.rs
+
+crates/core/../../tests/workload_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiler_explorer-8b97a0a096d0c5fe.d: examples/compiler_explorer.rs
+
+/root/repo/target/debug/examples/compiler_explorer-8b97a0a096d0c5fe: examples/compiler_explorer.rs
+
+examples/compiler_explorer.rs:

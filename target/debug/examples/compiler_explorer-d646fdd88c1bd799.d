@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiler_explorer-d646fdd88c1bd799.d: crates/core/../../examples/compiler_explorer.rs
+
+/root/repo/target/debug/examples/compiler_explorer-d646fdd88c1bd799: crates/core/../../examples/compiler_explorer.rs
+
+crates/core/../../examples/compiler_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_sweep-0fe11d2ba608ac46.d: examples/design_sweep.rs
+
+/root/repo/target/debug/examples/design_sweep-0fe11d2ba608ac46: examples/design_sweep.rs
+
+examples/design_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_sweep-70687959e6353bf0.d: crates/core/../../examples/design_sweep.rs
+
+/root/repo/target/debug/examples/design_sweep-70687959e6353bf0: crates/core/../../examples/design_sweep.rs
+
+crates/core/../../examples/design_sweep.rs:

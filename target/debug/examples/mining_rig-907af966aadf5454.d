@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mining_rig-907af966aadf5454.d: crates/core/../../examples/mining_rig.rs
+
+/root/repo/target/debug/examples/mining_rig-907af966aadf5454: crates/core/../../examples/mining_rig.rs
+
+crates/core/../../examples/mining_rig.rs:

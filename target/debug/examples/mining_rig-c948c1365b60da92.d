@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mining_rig-c948c1365b60da92.d: examples/mining_rig.rs
+
+/root/repo/target/debug/examples/mining_rig-c948c1365b60da92: examples/mining_rig.rs
+
+examples/mining_rig.rs:

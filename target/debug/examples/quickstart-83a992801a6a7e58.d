@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-83a992801a6a7e58.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-83a992801a6a7e58: examples/quickstart.rs
+
+examples/quickstart.rs:

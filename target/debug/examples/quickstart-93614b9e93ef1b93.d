@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-93614b9e93ef1b93.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-93614b9e93ef1b93: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

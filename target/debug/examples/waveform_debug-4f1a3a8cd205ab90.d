@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform_debug-4f1a3a8cd205ab90.d: examples/waveform_debug.rs
+
+/root/repo/target/debug/examples/waveform_debug-4f1a3a8cd205ab90: examples/waveform_debug.rs
+
+examples/waveform_debug.rs:

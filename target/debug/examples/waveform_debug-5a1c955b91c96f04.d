@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform_debug-5a1c955b91c96f04.d: crates/core/../../examples/waveform_debug.rs
+
+/root/repo/target/debug/examples/waveform_debug-5a1c955b91c96f04: crates/core/../../examples/waveform_debug.rs
+
+crates/core/../../examples/waveform_debug.rs:

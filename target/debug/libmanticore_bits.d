@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmanticore_bits.rlib: /root/repo/crates/bits/src/bits.rs /root/repo/crates/bits/src/lib.rs /root/repo/crates/bits/src/ops.rs

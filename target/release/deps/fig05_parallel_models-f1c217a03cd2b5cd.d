@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_parallel_models-f1c217a03cd2b5cd.d: crates/bench/src/bin/fig05_parallel_models.rs
+
+/root/repo/target/release/deps/fig05_parallel_models-f1c217a03cd2b5cd: crates/bench/src/bin/fig05_parallel_models.rs
+
+crates/bench/src/bin/fig05_parallel_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_verilator_scaling-0fe30aecb7b31474.d: crates/bench/src/bin/fig06_verilator_scaling.rs
+
+/root/repo/target/release/deps/fig06_verilator_scaling-0fe30aecb7b31474: crates/bench/src/bin/fig06_verilator_scaling.rs
+
+crates/bench/src/bin/fig06_verilator_scaling.rs:

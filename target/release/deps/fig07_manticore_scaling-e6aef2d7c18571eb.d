@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_manticore_scaling-e6aef2d7c18571eb.d: crates/bench/src/bin/fig07_manticore_scaling.rs
+
+/root/repo/target/release/deps/fig07_manticore_scaling-e6aef2d7c18571eb: crates/bench/src/bin/fig07_manticore_scaling.rs
+
+crates/bench/src/bin/fig07_manticore_scaling.rs:

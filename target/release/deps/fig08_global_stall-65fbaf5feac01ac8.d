@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_global_stall-65fbaf5feac01ac8.d: crates/bench/src/bin/fig08_global_stall.rs
+
+/root/repo/target/release/deps/fig08_global_stall-65fbaf5feac01ac8: crates/bench/src/bin/fig08_global_stall.rs
+
+crates/bench/src/bin/fig08_global_stall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_partitioning-95ea2ce633c93061.d: crates/bench/src/bin/fig09_partitioning.rs
+
+/root/repo/target/release/deps/fig09_partitioning-95ea2ce633c93061: crates/bench/src/bin/fig09_partitioning.rs
+
+crates/bench/src/bin/fig09_partitioning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_custom_functions-fc41edcfb31477ac.d: crates/bench/src/bin/fig10_custom_functions.rs
+
+/root/repo/target/release/deps/fig10_custom_functions-fc41edcfb31477ac: crates/bench/src/bin/fig10_custom_functions.rs
+
+crates/bench/src/bin/fig10_custom_functions.rs:

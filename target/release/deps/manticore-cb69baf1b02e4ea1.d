@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/manticore-cb69baf1b02e4ea1.d: crates/core/src/lib.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libmanticore-cb69baf1b02e4ea1.rlib: crates/core/src/lib.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libmanticore-cb69baf1b02e4ea1.rmeta: crates/core/src/lib.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/manticore_bench-76604c7c0ba4f825.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmanticore_bench-76604c7c0ba4f825.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmanticore_bench-76604c7c0ba4f825.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

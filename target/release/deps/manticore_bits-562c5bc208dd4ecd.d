@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/manticore_bits-562c5bc208dd4ecd.d: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs
+
+/root/repo/target/release/deps/libmanticore_bits-562c5bc208dd4ecd.rlib: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs
+
+/root/repo/target/release/deps/libmanticore_bits-562c5bc208dd4ecd.rmeta: crates/bits/src/lib.rs crates/bits/src/bits.rs crates/bits/src/ops.rs
+
+crates/bits/src/lib.rs:
+crates/bits/src/bits.rs:
+crates/bits/src/ops.rs:

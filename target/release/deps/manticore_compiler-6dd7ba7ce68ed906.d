@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/manticore_compiler-6dd7ba7ce68ed906.d: crates/compiler/src/lib.rs crates/compiler/src/bitset.rs crates/compiler/src/cfu.rs crates/compiler/src/error.rs crates/compiler/src/interp.rs crates/compiler/src/lir.rs crates/compiler/src/lir_opt.rs crates/compiler/src/lower.rs crates/compiler/src/opt.rs crates/compiler/src/partition.rs crates/compiler/src/regalloc.rs crates/compiler/src/report.rs crates/compiler/src/schedule.rs
+
+/root/repo/target/release/deps/libmanticore_compiler-6dd7ba7ce68ed906.rlib: crates/compiler/src/lib.rs crates/compiler/src/bitset.rs crates/compiler/src/cfu.rs crates/compiler/src/error.rs crates/compiler/src/interp.rs crates/compiler/src/lir.rs crates/compiler/src/lir_opt.rs crates/compiler/src/lower.rs crates/compiler/src/opt.rs crates/compiler/src/partition.rs crates/compiler/src/regalloc.rs crates/compiler/src/report.rs crates/compiler/src/schedule.rs
+
+/root/repo/target/release/deps/libmanticore_compiler-6dd7ba7ce68ed906.rmeta: crates/compiler/src/lib.rs crates/compiler/src/bitset.rs crates/compiler/src/cfu.rs crates/compiler/src/error.rs crates/compiler/src/interp.rs crates/compiler/src/lir.rs crates/compiler/src/lir_opt.rs crates/compiler/src/lower.rs crates/compiler/src/opt.rs crates/compiler/src/partition.rs crates/compiler/src/regalloc.rs crates/compiler/src/report.rs crates/compiler/src/schedule.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/bitset.rs:
+crates/compiler/src/cfu.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/interp.rs:
+crates/compiler/src/lir.rs:
+crates/compiler/src/lir_opt.rs:
+crates/compiler/src/lower.rs:
+crates/compiler/src/opt.rs:
+crates/compiler/src/partition.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/report.rs:
+crates/compiler/src/schedule.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/manticore_isa-252c1dd18e7ec89b.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs
+
+/root/repo/target/release/deps/libmanticore_isa-252c1dd18e7ec89b.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs
+
+/root/repo/target/release/deps/libmanticore_isa-252c1dd18e7ec89b.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/binary.rs crates/isa/src/config.rs crates/isa/src/exception.rs crates/isa/src/instr.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/binary.rs:
+crates/isa/src/config.rs:
+crates/isa/src/exception.rs:
+crates/isa/src/instr.rs:

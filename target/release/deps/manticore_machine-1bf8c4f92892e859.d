@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/manticore_machine-1bf8c4f92892e859.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs
+
+/root/repo/target/release/deps/libmanticore_machine-1bf8c4f92892e859.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs
+
+/root/repo/target/release/deps/libmanticore_machine-1bf8c4f92892e859.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/core.rs crates/machine/src/exec.rs crates/machine/src/grid.rs crates/machine/src/noc.rs crates/machine/src/parallel.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/core.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/grid.rs:
+crates/machine/src/noc.rs:
+crates/machine/src/parallel.rs:

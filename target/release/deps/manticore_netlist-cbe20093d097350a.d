@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/manticore_netlist-cbe20093d097350a.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs
+
+/root/repo/target/release/deps/libmanticore_netlist-cbe20093d097350a.rlib: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs
+
+/root/repo/target/release/deps/libmanticore_netlist-cbe20093d097350a.rmeta: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/eval.rs crates/netlist/src/ir.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs crates/netlist/src/vcd.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/eval.rs:
+crates/netlist/src/ir.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/topo.rs:
+crates/netlist/src/vcd.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/manticore_refsim-076a4783e2c9c9ef.d: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs
+
+/root/repo/target/release/deps/libmanticore_refsim-076a4783e2c9c9ef.rlib: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs
+
+/root/repo/target/release/deps/libmanticore_refsim-076a4783e2c9c9ef.rmeta: crates/refsim/src/lib.rs crates/refsim/src/models.rs crates/refsim/src/parallel.rs crates/refsim/src/serial.rs crates/refsim/src/spin.rs crates/refsim/src/tape.rs
+
+crates/refsim/src/lib.rs:
+crates/refsim/src/models.rs:
+crates/refsim/src/parallel.rs:
+crates/refsim/src/serial.rs:
+crates/refsim/src/spin.rs:
+crates/refsim/src/tape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/manticore_util-d0391074d311ca1d.d: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+/root/repo/target/release/deps/libmanticore_util-d0391074d311ca1d.rlib: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+/root/repo/target/release/deps/libmanticore_util-d0391074d311ca1d.rmeta: crates/util/src/lib.rs crates/util/src/rng.rs crates/util/src/spin.rs
+
+crates/util/src/lib.rs:
+crates/util/src/rng.rs:
+crates/util/src/spin.rs:

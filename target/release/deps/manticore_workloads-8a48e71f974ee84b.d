@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/manticore_workloads-8a48e71f974ee84b.d: crates/workloads/src/lib.rs crates/workloads/src/bc.rs crates/workloads/src/blur.rs crates/workloads/src/cgra.rs crates/workloads/src/jpeg.rs crates/workloads/src/mc.rs crates/workloads/src/mm.rs crates/workloads/src/noc.rs crates/workloads/src/rv32r.rs crates/workloads/src/util.rs crates/workloads/src/vta.rs
+
+/root/repo/target/release/deps/libmanticore_workloads-8a48e71f974ee84b.rlib: crates/workloads/src/lib.rs crates/workloads/src/bc.rs crates/workloads/src/blur.rs crates/workloads/src/cgra.rs crates/workloads/src/jpeg.rs crates/workloads/src/mc.rs crates/workloads/src/mm.rs crates/workloads/src/noc.rs crates/workloads/src/rv32r.rs crates/workloads/src/util.rs crates/workloads/src/vta.rs
+
+/root/repo/target/release/deps/libmanticore_workloads-8a48e71f974ee84b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bc.rs crates/workloads/src/blur.rs crates/workloads/src/cgra.rs crates/workloads/src/jpeg.rs crates/workloads/src/mc.rs crates/workloads/src/mm.rs crates/workloads/src/noc.rs crates/workloads/src/rv32r.rs crates/workloads/src/util.rs crates/workloads/src/vta.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bc.rs:
+crates/workloads/src/blur.rs:
+crates/workloads/src/cgra.rs:
+crates/workloads/src/jpeg.rs:
+crates/workloads/src/mc.rs:
+crates/workloads/src/mm.rs:
+crates/workloads/src/noc.rs:
+crates/workloads/src/rv32r.rs:
+crates/workloads/src/util.rs:
+crates/workloads/src/vta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_fmax-24fa3c1cd0079d43.d: crates/bench/src/bin/table1_fmax.rs
+
+/root/repo/target/release/deps/table1_fmax-24fa3c1cd0079d43: crates/bench/src/bin/table1_fmax.rs
+
+crates/bench/src/bin/table1_fmax.rs:

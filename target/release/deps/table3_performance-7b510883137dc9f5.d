@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_performance-7b510883137dc9f5.d: crates/bench/src/bin/table3_performance.rs
+
+/root/repo/target/release/deps/table3_performance-7b510883137dc9f5: crates/bench/src/bin/table3_performance.rs
+
+crates/bench/src/bin/table3_performance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_cost-c06b82f8db52c354.d: crates/bench/src/bin/table6_cost.rs
+
+/root/repo/target/release/deps/table6_cost-c06b82f8db52c354: crates/bench/src/bin/table6_cost.rs
+
+crates/bench/src/bin/table6_cost.rs:

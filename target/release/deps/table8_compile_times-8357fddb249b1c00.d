@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_compile_times-8357fddb249b1c00.d: crates/bench/src/bin/table8_compile_times.rs
+
+/root/repo/target/release/deps/table8_compile_times-8357fddb249b1c00: crates/bench/src/bin/table8_compile_times.rs
+
+crates/bench/src/bin/table8_compile_times.rs:

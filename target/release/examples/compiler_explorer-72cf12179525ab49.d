@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compiler_explorer-72cf12179525ab49.d: crates/core/../../examples/compiler_explorer.rs
+
+/root/repo/target/release/examples/compiler_explorer-72cf12179525ab49: crates/core/../../examples/compiler_explorer.rs
+
+crates/core/../../examples/compiler_explorer.rs:

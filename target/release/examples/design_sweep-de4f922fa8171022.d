@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_sweep-de4f922fa8171022.d: crates/core/../../examples/design_sweep.rs
+
+/root/repo/target/release/examples/design_sweep-de4f922fa8171022: crates/core/../../examples/design_sweep.rs
+
+crates/core/../../examples/design_sweep.rs:

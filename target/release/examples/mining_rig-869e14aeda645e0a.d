@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mining_rig-869e14aeda645e0a.d: crates/core/../../examples/mining_rig.rs
+
+/root/repo/target/release/examples/mining_rig-869e14aeda645e0a: crates/core/../../examples/mining_rig.rs
+
+crates/core/../../examples/mining_rig.rs:

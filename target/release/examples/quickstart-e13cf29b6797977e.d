@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e13cf29b6797977e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e13cf29b6797977e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/waveform_debug-8592b72be5c9f98b.d: crates/core/../../examples/waveform_debug.rs
+
+/root/repo/target/release/examples/waveform_debug-8592b72be5c9f98b: crates/core/../../examples/waveform_debug.rs
+
+crates/core/../../examples/waveform_debug.rs:
