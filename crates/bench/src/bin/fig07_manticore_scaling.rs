@@ -24,7 +24,8 @@ use manticore::ManticoreSim;
 use manticore_bench::fmt;
 
 /// Measured wall-clock Vcycle rate of the machine model at each shard
-/// count, all through the `Simulator` trait.
+/// count, with the validate-once / replay-many fast path off and on — all
+/// through the `Simulator` trait.
 fn shard_sweep() {
     let shard_counts = [1usize, 2, 4, 8];
     let grid = 8;
@@ -32,39 +33,59 @@ fn shard_sweep() {
     println!("\n# Model host-parallelism sweep: sharded BSP engine, measured kHz\n");
     print!("{:>8}", "bench");
     for s in shard_counts {
-        print!(
-            " {:>10}",
-            format!("{s} shard{}", if s == 1 { "" } else { "s" })
-        );
+        for replay in [false, true] {
+            print!(
+                " {:>10}",
+                format!("{s}sh{}", if replay { "+rp" } else { "" })
+            );
+        }
     }
     println!("   (grid {grid}x{grid}, {vcycles} Vcycles)");
     for name in ["vta", "mm", "bc"] {
         let w = workloads::by_name(name).unwrap();
         print!("{:>8}", w.name);
-        for shards in shard_counts {
-            let config = MachineConfig::with_grid(grid, grid);
-            let mut sim = match ManticoreSim::compile(&w.netlist, config) {
-                Ok(s) => s,
-                Err(_) => {
+        // One compilation feeds every column, so all measurements run the
+        // same binary.
+        let config = MachineConfig::with_grid(grid, grid);
+        let options = CompileOptions {
+            config: config.clone(),
+            ..Default::default()
+        };
+        let output = match compile(&w.netlist, &options) {
+            Ok(out) => std::sync::Arc::new(out),
+            Err(_) => {
+                for _ in 0..shard_counts.len() * 2 {
                     print!(" {:>10}", "-");
-                    continue;
                 }
-            };
-            sim.set_exec_mode(if shards == 1 {
-                ExecMode::Serial
-            } else {
-                ExecMode::Parallel { shards }
-            });
-            match sim.run_cycles(vcycles) {
-                Ok(_) => print!(" {:>10}", fmt(sim.perf().measured_rate_khz())),
-                Err(_) => print!(" {:>10}", "!"),
+                println!();
+                continue;
+            }
+        };
+        for shards in shard_counts {
+            for replay in [false, true] {
+                let mut sim = match ManticoreSim::from_output(output.clone(), config.clone()) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        print!(" {:>10}", "-");
+                        continue;
+                    }
+                };
+                sim.set_exec_mode(if shards == 1 {
+                    ExecMode::Serial
+                } else {
+                    ExecMode::Parallel { shards }
+                });
+                sim.set_replay(replay);
+                match sim.run_cycles(vcycles) {
+                    Ok(_) => print!(" {:>10}", fmt(sim.perf().measured_rate_khz())),
+                    Err(_) => print!(" {:>10}", "!"),
+                }
             }
         }
         println!();
     }
-    println!(
-        "\n(bit-identical results at every shard count; see tests/parallel_grid_equivalence.rs)"
-    );
+    println!("\n(+rp = validate-once / replay-many engine; bit-identical results in every");
+    println!("column; see tests/parallel_grid_equivalence.rs)");
 }
 
 fn main() {

@@ -7,13 +7,35 @@
 //! configuration, the same formula the paper reports (the compiler counts
 //! cycles exactly in the absence of off-chip accesses).
 //!
+//! The two extra columns measure *the model itself* on this host — the
+//! cycle-accurate grid interpreter versus its validate-once / replay-many
+//! engine (`rp kHz`), which freezes the per-core schedule and delivery
+//! plan after the validation Vcycle. `rp x` is the resulting
+//! vcycles/second speedup; results are bit-identical.
+//!
 //! Run: `cargo run --release -p manticore-bench --bin table3_performance`
+
+use std::sync::Arc;
 
 use manticore::compiler::PartitionStrategy;
 use manticore::isa::MachineConfig;
 use manticore::sim::{Simulator, TapeSim};
 use manticore::workloads;
+use manticore::ManticoreSim;
 use manticore_bench::{compile_for_grid, fmt, row};
+
+/// Measured machine-model rate in kHz over `vcycles` Vcycles.
+fn measured_model_khz(
+    out: &Arc<manticore::compiler::CompileOutput>,
+    config: &MachineConfig,
+    replay: bool,
+    vcycles: u64,
+) -> Option<f64> {
+    let mut sim = ManticoreSim::from_output(out.clone(), config.clone()).ok()?;
+    sim.set_replay(replay);
+    sim.run_cycles(vcycles).ok()?;
+    Some(sim.perf().measured_rate_khz())
+}
 
 fn main() {
     let threads = std::thread::available_parallelism()
@@ -30,15 +52,20 @@ fn main() {
         "manticore kHz".into(),
         "xS".into(),
         "xMT".into(),
+        "model kHz".into(),
+        "rp kHz".into(),
+        "rp x".into(),
         "VCPL".into(),
         "cores".into(),
     ]);
-    println!("|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|");
 
     let mut geo_s = 1.0f64;
     let mut geo_mt = 1.0f64;
     let mut geo_self = 1.0f64;
+    let mut geo_rp = 1.0f64;
     let mut n = 0u32;
+    let mut n_rp = 0u32;
     for w in workloads::all() {
         let cycles = w.bench_cycles;
 
@@ -50,9 +77,23 @@ fn main() {
         par.run_cycles(cycles).expect("parallel baseline run");
         let p_khz = par.perf().measured_rate_khz();
 
-        let out = compile_for_grid(&w.netlist, 15, PartitionStrategy::Balanced);
+        let out = Arc::new(compile_for_grid(
+            &w.netlist,
+            15,
+            PartitionStrategy::Balanced,
+        ));
         let config = MachineConfig::default();
         let m_khz = config.simulation_rate_khz(out.report.vcpl);
+
+        // Measure the model itself: full interpreter vs replay engine.
+        let model_vcycles = cycles.min(300);
+        let interp_khz = measured_model_khz(&out, &config, false, model_vcycles);
+        let replay_khz = measured_model_khz(&out, &config, true, model_vcycles);
+        let rp_x = match (interp_khz, replay_khz) {
+            (Some(i), Some(r)) if i > 0.0 => Some(r / i),
+            _ => None,
+        };
+        let opt = |v: Option<f64>| v.map(fmt).unwrap_or_else(|| "-".into());
 
         let xs = m_khz / s_khz;
         let xmt = m_khz / p_khz;
@@ -60,6 +101,10 @@ fn main() {
         geo_s *= xs;
         geo_mt *= xmt;
         geo_self *= xself;
+        if let Some(x) = rp_x {
+            geo_rp *= x;
+            n_rp += 1;
+        }
         n += 1;
 
         row(&[
@@ -71,16 +116,26 @@ fn main() {
             fmt(m_khz),
             fmt(xs),
             fmt(xmt),
+            opt(interp_khz),
+            opt(replay_khz),
+            opt(rp_x),
             out.report.vcpl.to_string(),
             out.report.cores_used.to_string(),
         ]);
     }
-    let g = |v: f64| fmt(v.powf(1.0 / n as f64));
+    let g = |v: f64, k: u32| {
+        if k == 0 {
+            "-".into()
+        } else {
+            fmt(v.powf(1.0 / k as f64))
+        }
+    };
     println!(
-        "\ngeomean speedups: xS = {}, xMT = {}, MT xself = {}",
-        g(geo_s),
-        g(geo_mt),
-        g(geo_self)
+        "\ngeomean speedups: xS = {}, xMT = {}, MT xself = {}, replay-vs-interpreter = {}",
+        g(geo_s, n),
+        g(geo_mt, n),
+        g(geo_self, n),
+        g(geo_rp, n_rp)
     );
     println!("\npaper anchors (225-core, 475 MHz): geomean xS 2.8-3.4, xMT 2.1-4.2;");
     println!("manticore wins everywhere except jpeg (serial Huffman chain).");

@@ -175,6 +175,12 @@ impl ManticoreSim {
         self.machine.set_exec_mode(mode);
     }
 
+    /// Enables or disables the machine's validate-once / replay-many fast
+    /// path (on by default; bit-identical either way).
+    pub fn set_replay(&mut self, enabled: bool) {
+        self.machine.set_replay(enabled);
+    }
+
     /// Runs up to `max_vcycles` RTL cycles.
     ///
     /// # Errors

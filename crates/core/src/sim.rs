@@ -1,13 +1,19 @@
 //! The unified simulation interface: one trait over every backend.
 //!
-//! The repository contains four ways to execute the same RTL design:
+//! The repository contains several ways to execute the same RTL design:
 //!
 //! | backend | engine | crate |
 //! |---|---|---|
 //! | `manticore-serial` | machine grid, one thread | `manticore_machine` |
+//! | `manticore-serial+replay` | machine grid, validate-once / replay-many | `manticore_machine` |
 //! | `manticore-parallel(k)` | machine grid, `k` BSP shards | `manticore_machine` |
 //! | `tape-serial` | Verilator-analog tape, one thread | `manticore_refsim` |
 //! | `tape-parallel(k)` | Verilator-analog macro-tasks, `k` threads | `manticore_refsim` |
+//!
+//! The machine backends accept a `+replay` suffix in their reported names:
+//! the Vcycle-periodic replay fast path is on by default and bit-identical
+//! (see `manticore_machine`'s crate docs), so agreement tests sweep it
+//! explicitly.
 //!
 //! Before this trait existed, every experiment binary and agreement test
 //! hand-rolled its own glue per backend. [`Simulator`] gives them one
@@ -123,9 +129,14 @@ pub trait Simulator {
 
 impl Simulator for ManticoreSim {
     fn backend(&self) -> String {
-        match self.machine().exec_mode() {
-            ExecMode::Serial => "manticore-serial".into(),
+        let base = match self.machine().exec_mode() {
+            ExecMode::Serial => "manticore-serial".to_string(),
             ExecMode::Parallel { shards } => format!("manticore-parallel({shards})"),
+        };
+        if self.machine().replay_armed() {
+            format!("{base}+replay")
+        } else {
+            base
         }
     }
 
@@ -316,9 +327,11 @@ impl Simulator for TapeSim {
 // Convenience constructors
 // ---------------------------------------------------------------------
 
-/// Builds one of every backend for `netlist`: Manticore serial, Manticore
-/// with `threads` BSP shards, tape serial, and tape parallel with
-/// `threads` workers.
+/// Builds one of every backend for `netlist`: Manticore serial (the
+/// position-by-position reference interpreter), Manticore serial with the
+/// validate-once / replay-many fast path, Manticore with `threads` BSP
+/// shards (replaying), tape serial, and tape parallel with `threads`
+/// workers.
 ///
 /// # Errors
 ///
@@ -328,7 +341,7 @@ pub fn backends(
     config: manticore_isa::MachineConfig,
     threads: usize,
 ) -> Result<Vec<Box<dyn Simulator>>, SimError> {
-    // One compilation feeds both machine backends.
+    // One compilation feeds all machine backends.
     let options = CompileOptions {
         config: config.clone(),
         ..Default::default()
@@ -336,10 +349,14 @@ pub fn backends(
     let output = Arc::new(compile(netlist, &options)?);
     let mut serial_machine = ManticoreSim::from_output(output.clone(), config.clone())?;
     serial_machine.set_exec_mode(ExecMode::Serial);
+    serial_machine.set_replay(false);
+    let mut replay_machine = ManticoreSim::from_output(output.clone(), config.clone())?;
+    replay_machine.set_exec_mode(ExecMode::Serial);
     let mut parallel_machine = ManticoreSim::from_output(output, config)?;
     parallel_machine.set_exec_mode(ExecMode::Parallel { shards: threads });
     Ok(vec![
         Box::new(serial_machine),
+        Box::new(replay_machine),
         Box::new(parallel_machine),
         Box::new(TapeSim::serial(netlist)?),
         Box::new(TapeSim::parallel(netlist, threads, 32)?),

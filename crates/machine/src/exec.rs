@@ -150,6 +150,12 @@ fn service_exception(
 /// All effects go through the caller-supplied accumulators, so the caller
 /// chooses whether they are the machine's globals (serial engine) or
 /// shard-local scratch merged at the barrier (parallel engine).
+///
+/// This is the fetch/decode wrapper around [`exec_instr`]: it resolves the
+/// position into a body instruction or an epilogue slot. The replay engine
+/// ([`crate::replay`]) skips it and calls [`exec_instr`] /
+/// [`exec_epilogue_slot`] directly with pre-decoded entries — both paths
+/// share the same executors, so the replay tape cannot drift semantically.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn step_core(
     env: &ExecEnv<'_>,
@@ -172,21 +178,77 @@ pub(crate) fn step_core(
         if pos < body_len + epi_len {
             match core.epilogue[slot] {
                 Some((rd, value)) => {
-                    core.write_reg(now, lat, rd, value, false);
-                    core.executed += 1;
-                    counters.instructions += 1;
+                    exec_epilogue_slot(core, now, lat, rd, value, counters);
                 }
                 None => {
-                    // The schedule should have made this impossible; it
-                    // is caught as a missing message at wrap. Treat the
-                    // slot as a NOP for this cycle.
+                    // The schedule promised a message for this slot and it
+                    // has not arrived: the real hardware would execute a
+                    // stale SET here. Strict mode reports it as the
+                    // deterministic scheduling bug it is; permissive mode
+                    // keeps the historical treat-as-NOP behaviour (the
+                    // shortfall still surfaces as `MissingMessages` at the
+                    // Vcycle wrap).
+                    if env.strict_hazards {
+                        return Err(MachineError::MissingScheduledMessage {
+                            core: core_id,
+                            slot,
+                            position: pos,
+                        });
+                    }
                 }
             }
         }
         return Ok(());
     }
 
-    let instr = core.body[pos as usize];
+    exec_instr(
+        env,
+        core,
+        core_id,
+        pos,
+        now,
+        core.body[pos as usize],
+        cache,
+        counters,
+        events,
+        sends,
+    )
+}
+
+/// Executes one filled epilogue slot (`SET rd, value`) at compute time
+/// `now`. Shared by [`step_core`] and the replay engine's dense epilogue
+/// walk.
+pub(crate) fn exec_epilogue_slot(
+    core: &mut CoreState,
+    now: u64,
+    lat: u64,
+    rd: Reg,
+    value: u16,
+    counters: &mut PerfCounters,
+) {
+    core.write_reg(now, lat, rd, value, false);
+    core.executed += 1;
+    counters.instructions += 1;
+}
+
+/// Executes one already-decoded body instruction. This is the single
+/// source of architectural truth for instruction semantics: the serial
+/// engine, the sharded BSP engine, and the replay engine all funnel every
+/// body instruction through here.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_instr(
+    env: &ExecEnv<'_>,
+    core: &mut CoreState,
+    core_id: CoreId,
+    pos: u64,
+    now: u64,
+    instr: Instruction,
+    cache: Option<&mut Cache>,
+    counters: &mut PerfCounters,
+    events: &mut Vec<HostEvent>,
+    sends: &mut Vec<SendRecord>,
+) -> Result<(), MachineError> {
+    let lat = env.config.hazard_latency as u64;
     if !matches!(instr, Instruction::Nop) {
         core.executed += 1;
         counters.instructions += 1;

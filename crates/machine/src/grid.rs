@@ -3,12 +3,13 @@
 
 use std::fmt;
 
-use manticore_isa::{Binary, CoreId, MachineConfig, Reg};
+use manticore_isa::{Binary, CoreId, Instruction, MachineConfig, Reg};
 
 use crate::cache::{Cache, CacheStats};
 use crate::core::CoreState;
-use crate::exec::{core_id_of, step_core, ExecEnv, SendRecord};
+use crate::exec::{core_id_of, exec_epilogue_slot, exec_instr, step_core, ExecEnv, SendRecord};
 use crate::noc::Noc;
+use crate::replay::ReplayTape;
 
 /// Hardware performance counters (§7.7 uses these for the global-stall
 /// experiment).
@@ -134,6 +135,18 @@ pub enum MachineError {
         /// Messages expected.
         expected: usize,
     },
+    /// An epilogue slot reached instruction issue before its scheduled
+    /// message arrived (strict mode): the hardware would execute a stale
+    /// `SET`. Permissive mode keeps the treat-as-NOP behaviour and reports
+    /// the shortfall as [`MachineError::MissingMessages`] at the wrap.
+    MissingScheduledMessage {
+        /// Receiving core.
+        core: CoreId,
+        /// Epilogue slot index.
+        slot: usize,
+        /// Position within the Vcycle at which the empty slot issued.
+        position: u64,
+    },
     /// A non-privileged core executed a privileged instruction.
     NotPrivileged {
         /// Offending core.
@@ -173,6 +186,10 @@ impl fmt::Display for MachineError {
             MachineError::MissingMessages { core, got, expected } => write!(
                 f,
                 "{core} received {got} messages but expects {expected} per Vcycle"
+            ),
+            MachineError::MissingScheduledMessage { core, slot, position } => write!(
+                f,
+                "{core} epilogue slot {slot} issued at Vcycle position {position} before its scheduled message arrived"
             ),
             MachineError::NotPrivileged { core } => {
                 write!(f, "privileged instruction on non-privileged {core}")
@@ -225,6 +242,15 @@ pub struct Machine {
     pub(crate) finish_requested: bool,
     pub(crate) events: Vec<HostEvent>,
     pub(crate) exec_mode: ExecMode,
+    /// Whether the validate-once / replay-many fast path may be used once
+    /// the validation Vcycle has completed.
+    pub(crate) replay_enabled: bool,
+    /// The frozen replay tape (dense per-core schedule + delivery
+    /// schedule), derived from the static program at load. `None` when the
+    /// program cannot be replayed (e.g. a message crosses a Vcycle
+    /// boundary — such programs fail validation anyway) or after
+    /// [`Machine::set_strict_hazards`] invalidated it.
+    pub(crate) replay_tape: Option<ReplayTape>,
 }
 
 impl Machine {
@@ -237,6 +263,15 @@ impl Machine {
     /// scratchpad, custom-function slots) or places privileged
     /// instructions on a non-privileged core.
     pub fn load(config: MachineConfig, binary: &Binary) -> Result<Machine, MachineError> {
+        // `CoreId` addresses cores with 8-bit coordinates; a wider/taller
+        // grid would silently wrap core ids (`core_id_of` casts to `u8`)
+        // and alias distinct cores.
+        if config.grid_width > 256 || config.grid_height > 256 {
+            return Err(MachineError::Load(format!(
+                "{}x{} grid exceeds the 256x256 CoreId addressing limit",
+                config.grid_width, config.grid_height
+            )));
+        }
         if binary.grid_width as usize > config.grid_width
             || binary.grid_height as usize > config.grid_height
         {
@@ -285,6 +320,16 @@ impl Machine {
                         image.core
                     )));
                 }
+                if let Instruction::Send { target, .. } = instr {
+                    if target.x as usize >= config.grid_width
+                        || target.y as usize >= config.grid_height
+                    {
+                        return Err(MachineError::Load(format!(
+                            "{}: Send targets {target} outside the {}x{} grid",
+                            image.core, config.grid_width, config.grid_height
+                        )));
+                    }
+                }
                 if let Some(rd) = instr.dest() {
                     if rd.index() >= config.regfile_size {
                         return Err(MachineError::Load(format!(
@@ -316,6 +361,10 @@ impl Machine {
         for &(a, v) in &binary.init_dram {
             cache.write_dram(a, v);
         }
+        // The replay tape is a pure function of the loaded program and the
+        // configuration, so it is frozen here; it is only *used* after the
+        // first (validation) Vcycle has proven the schedule's assumptions.
+        let replay_tape = ReplayTape::build(&cores, &config, binary.vcycle_len as u64);
         Ok(Machine {
             noc: Noc::new(&config),
             cache,
@@ -328,6 +377,8 @@ impl Machine {
             finish_requested: false,
             events: Vec::new(),
             exec_mode: ExecMode::Serial,
+            replay_enabled: true,
+            replay_tape,
             config,
         })
     }
@@ -345,8 +396,50 @@ impl Machine {
     /// Disables strict hazard checking: premature reads return stale data
     /// (what the real pipeline would do) instead of erroring. Used by
     /// failure-injection tests.
+    ///
+    /// *Enabling* strictness invalidates the replay tape: it re-arms
+    /// hazard checks a permissive validation Vcycle never proved, and those
+    /// checks rely on the full engines' position-major error ordering.
+    /// Relaxing to permissive only removes checks, so the tape stays valid
+    /// (replay executes the same stale reads the permissive interpreter
+    /// would).
     pub fn set_strict_hazards(&mut self, strict: bool) {
+        if strict && !self.strict_hazards {
+            self.replay_tape = None;
+        }
         self.strict_hazards = strict;
+    }
+
+    /// Enables or disables the validate-once / replay-many fast path.
+    ///
+    /// Replay is enabled by default and is architecturally invisible: after
+    /// the first Vcycle validates the static schedule (link collisions,
+    /// delivery timing, epilogue accounting), subsequent Vcycles execute a
+    /// frozen, pre-decoded tape that skips NOPs, empty tail positions, and
+    /// all per-position NoC bookkeeping — bit-identical results, measurably
+    /// faster. Disable it to benchmark the full interpreter.
+    pub fn set_replay(&mut self, enabled: bool) {
+        self.replay_enabled = enabled;
+    }
+
+    /// Whether the replay fast path may be used (see [`Machine::set_replay`]).
+    pub fn replay_enabled(&self) -> bool {
+        self.replay_enabled
+    }
+
+    /// True when replay is enabled *and* a frozen tape exists for the
+    /// loaded program — i.e. post-validation Vcycles will actually replay.
+    /// False for unreplayable programs or after the tape was invalidated,
+    /// where execution stays on the full per-position engines.
+    pub fn replay_armed(&self) -> bool {
+        self.replay_enabled && self.replay_tape.is_some()
+    }
+
+    /// True when the next Vcycle will execute from the frozen replay tape:
+    /// replay is enabled, the program was replayable at load, and the
+    /// validation Vcycle has completed.
+    pub(crate) fn replay_active(&self) -> bool {
+        self.replay_armed() && self.counters.vcycles > 0
     }
 
     /// Selects the execution engine for subsequent [`Machine::run_vcycles`]
@@ -419,7 +512,12 @@ impl Machine {
             if self.finish_requested {
                 break;
             }
-            if let Err(e) = self.run_one_vcycle() {
+            let res = if self.replay_active() {
+                self.run_one_vcycle_replay()
+            } else {
+                self.run_one_vcycle()
+            };
+            if let Err(e) = res {
                 self.requeue_displays(outcome.displays);
                 return Err(e);
             }
@@ -546,6 +644,100 @@ impl Machine {
             core.wrap_vcycle();
         }
         self.counters.vcycles += 1;
+        Ok(())
+    }
+
+    /// One Vcycle on the frozen replay tape (see [`crate::replay`]).
+    ///
+    /// The validation Vcycle proved the static schedule's assumptions, so
+    /// this path skips NOP positions, idle-tail positions, the per-position
+    /// `take_due` scan, and all link bookkeeping. Instructions still
+    /// execute through the shared executors (`exec_instr` /
+    /// `exec_epilogue_slot`) at their original `(position, compute-time)`
+    /// coordinates, so every architecturally visible bit — registers,
+    /// pending-write timing, counters, host events, data-dependent
+    /// exceptions — is identical to the per-position engine.
+    ///
+    /// Execution is core-major rather than position-major; that is
+    /// invisible because cores only interact through the (frozen) delivery
+    /// schedule, and the only *fallible* instructions in a replayed Vcycle
+    /// are the privileged core's `Expect`s (everything position-dependent —
+    /// hazards, collisions, delivery timing — is static and was validated),
+    /// so error selection matches the serial engine's encounter order too.
+    fn run_one_vcycle_replay(&mut self) -> Result<(), MachineError> {
+        let Machine {
+            config,
+            cores,
+            cache,
+            exceptions,
+            vcycle_len,
+            compute_time,
+            counters,
+            strict_hazards,
+            events,
+            replay_tape,
+            ..
+        } = self;
+        let tape = replay_tape
+            .as_ref()
+            .expect("replay_active checked the tape");
+        let env = ExecEnv {
+            config,
+            exceptions,
+            strict_hazards: *strict_hazards,
+            vcycle: counters.vcycles,
+        };
+        let vstart = *compute_time;
+        let lat = config.hazard_latency as u64;
+
+        // Body phase: dense, pre-decoded, core-major.
+        let mut sends: Vec<SendRecord> = Vec::with_capacity(tape.sends_per_vcycle);
+        for (idx, ops) in tape.body.iter().enumerate() {
+            let core = &mut cores[idx];
+            let core_id = core_id_of(idx, config.grid_width);
+            let is_privileged = core_id == CoreId::PRIVILEGED;
+            for op in ops {
+                let pos = op.pos as u64;
+                let now = vstart + pos;
+                core.commit_due(now);
+                let cache_arg = if is_privileged {
+                    Some(&mut *cache)
+                } else {
+                    None
+                };
+                exec_instr(
+                    &env, core, core_id, pos, now, op.instr, cache_arg, counters, events,
+                    &mut sends,
+                )?;
+            }
+        }
+        debug_assert_eq!(sends.len(), tape.sends_per_vcycle);
+
+        // Delivery phase: the frozen schedule already knows every arrival
+        // position and slot; only the values change between Vcycles.
+        for d in &tape.deliveries {
+            let core = &mut cores[d.target as usize];
+            core.epilogue[d.slot as usize] = Some((d.rd, sends[d.send_idx as usize].value));
+            core.received += 1;
+            counters.messages_delivered += 1;
+        }
+
+        // Epilogue phase: every slot was validated to fill and to issue
+        // within the Vcycle (`epi_exec` clamps the ones that never issue).
+        for (idx, core) in cores.iter_mut().enumerate() {
+            let body_len = core.body.len() as u64;
+            for slot in 0..tape.epi_exec[idx] {
+                let now = vstart + body_len + slot as u64;
+                core.commit_due(now);
+                let (rd, value) = core.epilogue[slot].expect("validated: every slot fills");
+                exec_epilogue_slot(core, now, lat, rd, value, counters);
+            }
+            core.wrap_vcycle();
+        }
+
+        *compute_time += *vcycle_len;
+        counters.compute_cycles += *vcycle_len;
+        counters.vcycles += 1;
         Ok(())
     }
 }

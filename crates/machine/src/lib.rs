@@ -33,6 +33,14 @@
 //! per-Vcycle barriers. The two are bit-identical by construction — they
 //! share the per-core step function — which the test suite checks across
 //! every workload and shard count.
+//!
+//! Both engines additionally exploit the model's determinism with a
+//! *validate-once / replay-many* fast path ([`Machine::set_replay`], on by
+//! default): the first Vcycle validates the static schedule in full, after
+//! which execution switches to a frozen, pre-decoded replay tape that
+//! skips NOPs, idle-tail positions, and all per-position NoC bookkeeping —
+//! same bits, fewer interpreted steps (see the crate-private `replay`
+//! module and `ARCHITECTURE.md`).
 
 mod cache;
 mod core;
@@ -40,6 +48,7 @@ mod exec;
 mod grid;
 mod noc;
 mod parallel;
+mod replay;
 
 pub use cache::{Cache, CacheStats};
 pub use grid::{ExecMode, HostEvent, Machine, MachineError, PerfCounters, RunOutcome};

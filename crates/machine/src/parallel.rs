@@ -37,6 +37,13 @@
 //! Messages whose arrival time falls beyond the current Vcycle stay in the
 //! NoC's in-flight list, so serial and parallel modes can be switched
 //! freely between `run_vcycles` calls.
+//!
+//! After the validation Vcycle, all three phases switch to the frozen
+//! replay tape (see [`crate::replay`]) when replay is enabled: shards walk
+//! dense pre-decoded per-core schedules instead of every position, and the
+//! commit phase applies the precomputed delivery schedule instead of
+//! replaying the NoC — the validated structure repeats exactly, only the
+//! values differ.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
@@ -46,8 +53,9 @@ use manticore_util::SpinBarrier;
 
 use crate::cache::Cache;
 use crate::core::CoreState;
-use crate::exec::{core_id_of, step_core, ExecEnv, SendRecord};
+use crate::exec::{core_id_of, exec_epilogue_slot, exec_instr, step_core, ExecEnv, SendRecord};
 use crate::grid::{HostEvent, Machine, MachineError, PerfCounters, RunOutcome};
+use crate::replay::ReplayTape;
 
 const CMD_BODY: u8 = 1;
 const CMD_EPILOGUE: u8 = 2;
@@ -119,6 +127,11 @@ impl ShardScratch {
 
 /// One shard's body phase: step every owned core through its program body.
 /// `cache` is `Some` only for the shard holding the privileged core.
+///
+/// With a replay tape (`tape` is `Some`, meaning the validation Vcycle
+/// already ran), the shard walks the dense pre-decoded entries instead of
+/// every position — same executors, same `(position, compute-time)`
+/// coordinates, far fewer interpreted steps.
 #[allow(clippy::too_many_arguments)]
 fn body_phase(
     config: &MachineConfig,
@@ -130,6 +143,7 @@ fn body_phase(
     base: usize,
     vstart: u64,
     mut cache: Option<&mut Cache>,
+    tape: Option<&ReplayTape>,
     sc: &mut ShardScratch,
 ) {
     let env = ExecEnv {
@@ -141,6 +155,39 @@ fn body_phase(
     for (i, core) in chunk.iter_mut().enumerate() {
         let idx = base + i;
         let core_id = core_id_of(idx, config.grid_width);
+        if let Some(tape) = tape {
+            for op in &tape.body[idx] {
+                let pos = op.pos as u64;
+                let now = vstart + pos;
+                core.commit_due(now);
+                let cache_arg = if core_id == CoreId::PRIVILEGED {
+                    cache.as_deref_mut()
+                } else {
+                    None
+                };
+                if let Err(err) = exec_instr(
+                    &env,
+                    core,
+                    core_id,
+                    pos,
+                    now,
+                    op.instr,
+                    cache_arg,
+                    &mut sc.counters,
+                    &mut sc.events,
+                    &mut sc.sends,
+                ) {
+                    sc.record_error(RankedError {
+                        pos,
+                        delivery_phase: false,
+                        ord: idx,
+                        err,
+                    });
+                    break;
+                }
+            }
+            continue;
+        }
         let body_len = (core.body.len() as u64).min(vcycle_len);
         for pos in 0..body_len {
             let now = vstart + pos;
@@ -193,6 +240,7 @@ fn epilogue_phase(
     base: usize,
     vstart: u64,
     vcycle_len: u64,
+    tape: Option<&ReplayTape>,
     sc: &mut ShardScratch,
 ) {
     let env = ExecEnv {
@@ -206,12 +254,34 @@ fn epilogue_phase(
         core.epilogue[d.slot] = Some((d.rd, d.value));
         core.received += 1;
     }
+    if let Some(tape) = tape {
+        // Replay: every slot was validated to fill and `epi_exec` clamps
+        // the ones that never issue; the idle tail is pure pipeline drain
+        // and is skipped (commits happen lazily before the next read).
+        let lat = config.hazard_latency as u64;
+        for (i, core) in chunk.iter_mut().enumerate() {
+            let body_len = core.body.len() as u64;
+            for slot in 0..tape.epi_exec[base + i] {
+                let now = vstart + body_len + slot as u64;
+                core.commit_due(now);
+                let (rd, value) = core.epilogue[slot].expect("validated: every slot fills");
+                exec_epilogue_slot(core, now, lat, rd, value, &mut sc.counters);
+            }
+            core.wrap_vcycle();
+        }
+        return;
+    }
     for (i, core) in chunk.iter_mut().enumerate() {
         let core_id = core_id_of(base + i, config.grid_width);
         let body_len = (core.body.len() as u64).min(vcycle_len);
         for pos in body_len..vcycle_len {
             let now = vstart + pos;
             core.commit_due(now);
+            // Cannot fault: deliveries for the whole Vcycle were applied
+            // above, and in strict mode the commit phase already aborted
+            // the Vcycle if any slot would have issued empty (the serial
+            // engine's `MissingScheduledMessage`); in permissive mode an
+            // empty slot is a NOP.
             step_core(
                 &env,
                 core,
@@ -249,6 +319,14 @@ pub(crate) fn run_vcycles_parallel(
     // Static program geometry, for main-side delivery legality checks.
     let body_lens: Vec<u64> = m.cores.iter().map(|c| c.body.len() as u64).collect();
     let epi_lens: Vec<usize> = m.cores.iter().map(|c| c.epilogue_len).collect();
+
+    // The frozen replay schedule (used only for Vcycles after the
+    // validation Vcycle — the phases re-check `ctl.vcycle > 0` each time).
+    let replay_tape: Option<&ReplayTape> = if m.replay_enabled {
+        m.replay_tape.as_ref()
+    } else {
+        None
+    };
 
     // Split borrows of the machine: shards own disjoint core ranges; the
     // main thread keeps the NoC, cache, global counters, and events.
@@ -295,18 +373,21 @@ pub(crate) fn run_vcycles_parallel(
                     CMD_BODY => {
                         let vstart = ctl.vstart.load(Ordering::Acquire);
                         let vcycle = ctl.vcycle.load(Ordering::Acquire);
+                        let tape = replay_tape.filter(|_| vcycle > 0);
                         let mut sc = scratches[sid].lock().unwrap();
                         body_phase(
                             config, exceptions, strict, vcycle, vcl, chunk, base, vstart, None,
-                            &mut sc,
+                            tape, &mut sc,
                         );
                     }
                     CMD_EPILOGUE => {
                         let vstart = ctl.vstart.load(Ordering::Acquire);
                         let vcycle = ctl.vcycle.load(Ordering::Acquire);
+                        let tape = replay_tape.filter(|_| vcycle > 0);
                         let mut sc = scratches[sid].lock().unwrap();
                         epilogue_phase(
-                            config, exceptions, strict, vcycle, chunk, base, vstart, vcl, &mut sc,
+                            config, exceptions, strict, vcycle, chunk, base, vstart, vcl, tape,
+                            &mut sc,
                         );
                     }
                     _ => break,
@@ -319,12 +400,27 @@ pub(crate) fn run_vcycles_parallel(
         let mut fatal: Option<MachineError> = None;
         let mut all_sends: Vec<SendRecord> = Vec::new();
         let mut delivered = vec![0usize; n];
+        // Per-slot delivery positions, tracked so strict mode can reproduce
+        // the serial engine's `MissingScheduledMessage` ordering: an empty
+        // slot at issue outranks both the late delivery that would have
+        // filled it and the Vcycle-wrap `MissingMessages` check.
+        let epi_offsets: Vec<usize> = {
+            let mut off = Vec::with_capacity(n);
+            let mut acc = 0usize;
+            for &l in &epi_lens {
+                off.push(acc);
+                acc += l;
+            }
+            off
+        };
+        let mut slot_pos: Vec<u64> = vec![u64::MAX; epi_lens.iter().sum()];
         'vcycles: for _ in 0..max_vcycles {
             if *finish_requested {
                 break;
             }
             let vstart = *compute_time;
             let validate = counters.vcycles == 0;
+            let tape = replay_tape.filter(|_| !validate);
 
             // ---- body phase (parallel) ----
             ctl.vstart.store(vstart, Ordering::Release);
@@ -343,6 +439,7 @@ pub(crate) fn run_vcycles_parallel(
                     0,
                     vstart,
                     Some(&mut *cache),
+                    tape,
                     &mut sc,
                 );
             }
@@ -359,66 +456,137 @@ pub(crate) fn run_vcycles_parallel(
                 pending_err = min_error(pending_err, sc.error.take());
                 all_sends.append(&mut sc.sends);
             }
-            all_sends.sort_by_key(|s| (s.pos, s.from.linear(grid_width)));
-
-            delivered.fill(0);
-            let mut deliver_seq = 0usize;
             let mut replay_err: Option<RankedError> = None;
-            let mut si = 0usize;
-            'replay: for pos in 0..vcl {
-                let now = vstart + pos;
-                for msg in noc.take_due(now) {
-                    let tgt = msg.target.linear(grid_width);
-                    let slot = delivered[tgt];
-                    if slot >= epi_lens[tgt] {
-                        replay_err = Some(RankedError {
-                            pos,
-                            delivery_phase: true,
-                            ord: deliver_seq,
-                            err: MachineError::EpilogueOverflow { core: msg.target },
-                        });
-                        break 'replay;
+            if let Some(t) = tape {
+                // Frozen delivery schedule: `all_sends`, merged in shard
+                // order, is already in the tape's core-major send order, so
+                // each schedule entry maps straight to this Vcycle's value.
+                // (Skipped when a shard faulted: the serial replay engine
+                // aborts before its delivery phase too.)
+                if pending_err.is_none() {
+                    debug_assert_eq!(all_sends.len(), t.sends_per_vcycle);
+                    for d in &t.deliveries {
+                        let tgt = d.target as usize;
+                        counters.messages_delivered += 1;
+                        scratches[tgt / per]
+                            .lock()
+                            .unwrap()
+                            .deliveries
+                            .push(Delivery {
+                                local_idx: tgt % per,
+                                slot: d.slot as usize,
+                                rd: d.rd,
+                                value: all_sends[d.send_idx as usize].value,
+                            });
                     }
-                    if pos > body_lens[tgt] + slot as u64 {
-                        replay_err = Some(RankedError {
-                            pos,
-                            delivery_phase: true,
-                            ord: deliver_seq,
-                            err: MachineError::LateMessage {
-                                core: msg.target,
-                                slot,
-                            },
-                        });
-                        break 'replay;
-                    }
-                    delivered[tgt] += 1;
-                    deliver_seq += 1;
-                    counters.messages_delivered += 1;
-                    scratches[tgt / per]
-                        .lock()
-                        .unwrap()
-                        .deliveries
-                        .push(Delivery {
-                            local_idx: tgt % per,
-                            slot,
-                            rd: msg.rd,
-                            value: msg.value,
-                        });
                 }
-                while si < all_sends.len() && all_sends[si].pos == pos {
-                    let s = all_sends[si];
-                    si += 1;
-                    if let Err(c) = noc.send(s.from, s.target, s.rd, s.value, now, pos, validate) {
-                        replay_err = Some(RankedError {
-                            pos,
-                            delivery_phase: false,
-                            ord: s.from.linear(grid_width),
-                            err: MachineError::LinkCollision {
-                                link: c.link,
-                                position: c.position,
-                            },
-                        });
-                        break 'replay;
+            } else {
+                all_sends.sort_by_key(|s| (s.pos, s.from.linear(grid_width)));
+
+                delivered.fill(0);
+                slot_pos.fill(u64::MAX);
+                let mut deliver_seq = 0usize;
+                let mut si = 0usize;
+                // Scan the whole Vcycle even after a candidate: a late
+                // delivery at position p implies a serial error at the
+                // (earlier) position where its slot issued empty, so the
+                // minimum-ranked candidate is only known at the end.
+                for pos in 0..vcl {
+                    let now = vstart + pos;
+                    for msg in noc.take_due(now) {
+                        let tgt = msg.target.linear(grid_width);
+                        let slot = delivered[tgt];
+                        if slot >= epi_lens[tgt] {
+                            replay_err = min_error(
+                                replay_err,
+                                Some(RankedError {
+                                    pos,
+                                    delivery_phase: true,
+                                    ord: deliver_seq,
+                                    err: MachineError::EpilogueOverflow { core: msg.target },
+                                }),
+                            );
+                            continue;
+                        }
+                        if pos > body_lens[tgt] + slot as u64 {
+                            replay_err = min_error(
+                                replay_err,
+                                Some(RankedError {
+                                    pos,
+                                    delivery_phase: true,
+                                    ord: deliver_seq,
+                                    err: MachineError::LateMessage {
+                                        core: msg.target,
+                                        slot,
+                                    },
+                                }),
+                            );
+                            continue;
+                        }
+                        delivered[tgt] += 1;
+                        deliver_seq += 1;
+                        slot_pos[epi_offsets[tgt] + slot] = pos;
+                        counters.messages_delivered += 1;
+                        scratches[tgt / per]
+                            .lock()
+                            .unwrap()
+                            .deliveries
+                            .push(Delivery {
+                                local_idx: tgt % per,
+                                slot,
+                                rd: msg.rd,
+                                value: msg.value,
+                            });
+                    }
+                    while si < all_sends.len() && all_sends[si].pos == pos {
+                        let s = all_sends[si];
+                        si += 1;
+                        if let Err(c) =
+                            noc.send(s.from, s.target, s.rd, s.value, now, pos, validate)
+                        {
+                            replay_err = min_error(
+                                replay_err,
+                                Some(RankedError {
+                                    pos,
+                                    delivery_phase: false,
+                                    ord: s.from.linear(grid_width),
+                                    err: MachineError::LinkCollision {
+                                        link: c.link,
+                                        position: c.position,
+                                    },
+                                }),
+                            );
+                        }
+                    }
+                }
+                if strict {
+                    // Serial semantics: a slot that reaches issue before its
+                    // message is a `MissingScheduledMessage` at the issue
+                    // position — earlier than the late delivery or the wrap
+                    // check that would otherwise report it.
+                    for t in 0..n {
+                        for s in 0..epi_lens[t] {
+                            let issue_pos = body_lens[t] + s as u64;
+                            if issue_pos >= vcl {
+                                break;
+                            }
+                            if slot_pos[epi_offsets[t] + s] > issue_pos {
+                                replay_err = min_error(
+                                    replay_err,
+                                    Some(RankedError {
+                                        pos: issue_pos,
+                                        delivery_phase: false,
+                                        ord: t,
+                                        err: MachineError::MissingScheduledMessage {
+                                            core: core_id_of(t, grid_width),
+                                            slot: s,
+                                            position: issue_pos,
+                                        },
+                                    }),
+                                );
+                                break;
+                            }
+                        }
                     }
                 }
             }
@@ -445,6 +613,7 @@ pub(crate) fn run_vcycles_parallel(
                     0,
                     vstart,
                     vcl,
+                    tape,
                     &mut sc,
                 );
             }
@@ -458,20 +627,24 @@ pub(crate) fn run_vcycles_parallel(
             // ---- wrap (serial) ----
             *compute_time += vcl;
             counters.compute_cycles += vcl;
-            let mut wrap_err = None;
-            for idx in 0..n {
-                if delivered[idx] != epi_lens[idx] {
-                    wrap_err = Some(MachineError::MissingMessages {
-                        core: core_id_of(idx, grid_width),
-                        got: delivered[idx],
-                        expected: epi_lens[idx],
-                    });
-                    break;
+            if tape.is_none() {
+                // Replay skips the check: the frozen schedule delivers
+                // exactly the validated per-core counts by construction.
+                let mut wrap_err = None;
+                for idx in 0..n {
+                    if delivered[idx] != epi_lens[idx] {
+                        wrap_err = Some(MachineError::MissingMessages {
+                            core: core_id_of(idx, grid_width),
+                            got: delivered[idx],
+                            expected: epi_lens[idx],
+                        });
+                        break;
+                    }
                 }
-            }
-            if let Some(e) = wrap_err {
-                fatal = Some(e);
-                break 'vcycles;
+                if let Some(e) = wrap_err {
+                    fatal = Some(e);
+                    break 'vcycles;
+                }
             }
             counters.vcycles += 1;
 

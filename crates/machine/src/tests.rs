@@ -284,10 +284,10 @@ fn send_delivers_to_remote_epilogue() {
     assert_eq!(m.counters().messages_delivered, 3);
 }
 
-#[test]
-fn late_message_detected() {
-    // Target body is too short: PC reaches the epilogue slot before the
-    // message arrives.
+/// A program whose message arrives after its epilogue slot has issued:
+/// sender fires at position 2 (arrival 2+2+1 = 5), but the receiver's slot
+/// 0 issues at position 0.
+fn late_message_binary() -> Binary {
     let mut binary = empty_binary(2, 1, 12);
     binary.cores.push(CoreImage {
         core: CoreId::new(0, 0),
@@ -313,13 +313,40 @@ fn late_message_detected() {
         init_regs: vec![],
         init_scratch: vec![],
     });
-    let mut m = Machine::load(test_config(2, 1), &binary).unwrap();
+    binary
+}
+
+#[test]
+fn late_message_detected() {
+    // In permissive mode the empty slot issues as a NOP and the violation
+    // surfaces when the message finally lands past its slot.
+    let mut m = Machine::load(test_config(2, 1), &late_message_binary()).unwrap();
+    m.set_strict_hazards(false);
     match m.run_vcycles(1) {
         Err(MachineError::LateMessage { core, slot }) => {
             assert_eq!(core, CoreId::new(1, 0));
             assert_eq!(slot, 0);
         }
         other => panic!("expected late message, got {other:?}"),
+    }
+}
+
+#[test]
+fn strict_mode_reports_empty_slot_at_issue() {
+    // Strict mode catches the same bug earlier and deterministically: the
+    // slot reaches instruction issue before its scheduled message.
+    let mut m = Machine::load(test_config(2, 1), &late_message_binary()).unwrap();
+    match m.run_vcycles(1) {
+        Err(MachineError::MissingScheduledMessage {
+            core,
+            slot,
+            position,
+        }) => {
+            assert_eq!(core, CoreId::new(1, 0));
+            assert_eq!(slot, 0);
+            assert_eq!(position, 0);
+        }
+        other => panic!("expected missing scheduled message, got {other:?}"),
     }
 }
 
@@ -372,6 +399,31 @@ fn link_collision_detected() {
 
 #[test]
 fn missing_message_detected_at_wrap() {
+    // Permissive mode: the starved SET slot silently NOPs and the
+    // shortfall is caught by the Vcycle-wrap accounting.
+    let mut binary = empty_binary(1, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Nop],
+        epilogue_len: 1, // nobody sends to us
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    m.set_strict_hazards(false);
+    match m.run_vcycles(1) {
+        Err(MachineError::MissingMessages { got, expected, .. }) => {
+            assert_eq!((got, expected), (0, 1));
+        }
+        other => panic!("expected missing messages, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_message_detected_at_issue_in_strict_mode() {
+    // Strict mode reports the starved slot the moment it issues (position
+    // body_len + slot = 1), not at the wrap.
     let mut binary = empty_binary(1, 1, 8);
     binary.cores.push(CoreImage {
         core: CoreId::new(0, 0),
@@ -383,10 +435,16 @@ fn missing_message_detected_at_wrap() {
     });
     let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
     match m.run_vcycles(1) {
-        Err(MachineError::MissingMessages { got, expected, .. }) => {
-            assert_eq!((got, expected), (0, 1));
+        Err(MachineError::MissingScheduledMessage {
+            core,
+            slot,
+            position,
+        }) => {
+            assert_eq!(core, CoreId::new(0, 0));
+            assert_eq!(slot, 0);
+            assert_eq!(position, 1);
         }
-        other => panic!("expected missing messages, got {other:?}"),
+        other => panic!("expected missing scheduled message, got {other:?}"),
     }
 }
 
@@ -646,6 +704,88 @@ fn boot_from_serialized_bytes() {
 }
 
 #[test]
+fn enabling_strict_hazards_disarms_replay() {
+    let mut binary = empty_binary(1, 1, 4);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Alu {
+            op: AluOp::Add,
+            rd: r(1),
+            rs1: r(1),
+            rs2: r(2),
+        }],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(2), 1)],
+        init_scratch: vec![],
+    });
+    let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+    assert!(m.replay_armed(), "tape frozen at load");
+    // Relaxing to permissive only removes checks: the tape stays valid.
+    m.set_strict_hazards(false);
+    assert!(m.replay_armed());
+    // Re-enabling strictness arms checks the (permissive) validation
+    // Vcycle never proved: the tape is dropped for good.
+    m.set_strict_hazards(true);
+    assert!(!m.replay_armed());
+    m.set_replay(true);
+    assert!(!m.replay_armed());
+    // Execution still works, just on the full interpreter.
+    m.run_vcycles(3).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(1)), 3);
+}
+
+#[test]
+fn oversized_grid_rejected_at_load() {
+    // CoreId coordinates are 8-bit: a 257-wide grid would silently wrap
+    // `core_id_of` and alias core (256, y) with core (0, y).
+    let cfg = MachineConfig {
+        grid_width: 257,
+        grid_height: 1,
+        ..Default::default()
+    };
+    let binary = empty_binary(1, 1, 4);
+    match Machine::load(cfg, &binary) {
+        Err(MachineError::Load(msg)) => {
+            assert!(msg.contains("256x256"), "unexpected message: {msg}")
+        }
+        other => panic!("expected load rejection, got {other:?}"),
+    }
+    // 256 exactly still fits (coordinates 0..=255).
+    let cfg = MachineConfig {
+        grid_width: 256,
+        grid_height: 1,
+        scratch_words: 1,
+        regfile_size: 1,
+        ..Default::default()
+    };
+    assert!(Machine::load(cfg, &empty_binary(1, 1, 4)).is_ok());
+}
+
+#[test]
+fn send_outside_grid_rejected_at_load() {
+    // A Send whose target lies outside the configured grid would loop the
+    // dimension-ordered router forever; the bootloader rejects it.
+    let mut binary = empty_binary(2, 1, 8);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Send {
+            target: CoreId::new(5, 0),
+            rd_remote: r(1),
+            rs: r(0),
+        }],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![],
+        init_scratch: vec![],
+    });
+    assert!(matches!(
+        Machine::load(test_config(2, 1), &binary),
+        Err(MachineError::Load(_))
+    ));
+}
+
+#[test]
 fn imem_overflow_rejected() {
     let cfg = test_config(1, 1);
     let mut binary = empty_binary(1, 1, 8);
@@ -692,6 +832,82 @@ fn mul_and_mulh_compose() {
     m.run_vcycles(1).unwrap();
     assert_eq!(m.read_reg(CoreId::new(0, 0), r(3)), 0x0060);
     assert_eq!(m.read_reg(CoreId::new(0, 0), r(4)), 0x0626);
+}
+
+mod noc_unit {
+    //! Direct unit tests for the NoC message queue: `take_due` must yield
+    //! arrival order, stable in injection order for equal arrival times —
+    //! the property the epilogue slot assignment (and with it every
+    //! delivered value) depends on.
+
+    use manticore_isa::{CoreId, MachineConfig};
+
+    use super::r;
+    use crate::noc::Noc;
+
+    fn noc() -> Noc {
+        Noc::new(&MachineConfig {
+            grid_width: 4,
+            grid_height: 4,
+            injection_latency: 0,
+            hop_latency: 0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn equal_arrivals_keep_injection_order() {
+        // Zero-latency config: every message injected at `now` arrives at
+        // `now`, so ordering falls back entirely to injection order.
+        let mut n = noc();
+        let target = CoreId::new(1, 0);
+        for i in 0..5u16 {
+            n.send(CoreId::new(0, 0), target, r(i), i, 7, 0, false)
+                .unwrap();
+        }
+        let due = n.take_due(7);
+        let values: Vec<u16> = due.iter().map(|m| m.value).collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
+        assert!(n.in_flight.is_empty());
+    }
+
+    #[test]
+    fn arrival_order_sorts_before_injection_order() {
+        // Injected out of arrival order (different hop counts): the due
+        // list is sorted by arrival, injection order breaking ties.
+        let mut n = Noc::new(&MachineConfig {
+            grid_width: 8,
+            grid_height: 1,
+            injection_latency: 1,
+            hop_latency: 2,
+            ..Default::default()
+        });
+        // hops = distance: far target first (arrives later).
+        n.send(CoreId::new(0, 0), CoreId::new(3, 0), r(1), 30, 0, 0, false)
+            .unwrap(); // arrive 0+1+3*2 = 7
+        n.send(CoreId::new(0, 0), CoreId::new(1, 0), r(2), 10, 0, 0, false)
+            .unwrap(); // arrive 0+1+1*2 = 3
+        n.send(CoreId::new(2, 0), CoreId::new(3, 0), r(3), 11, 0, 0, false)
+            .unwrap(); // arrive 0+1+1*2 = 3, injected after
+        assert!(n.take_due(2).is_empty());
+        let due = n.take_due(100);
+        let values: Vec<u16> = due.iter().map(|m| m.value).collect();
+        assert_eq!(values, vec![10, 11, 30]);
+    }
+
+    #[test]
+    fn not_due_messages_stay_queued_in_order() {
+        let mut n = noc();
+        let t = CoreId::new(1, 1);
+        n.send(CoreId::new(0, 0), t, r(0), 1, 5, 0, false).unwrap();
+        n.send(CoreId::new(0, 0), t, r(0), 2, 9, 0, false).unwrap();
+        n.send(CoreId::new(0, 0), t, r(0), 3, 5, 0, false).unwrap();
+        let due = n.take_due(5);
+        assert_eq!(due.iter().map(|m| m.value).collect::<Vec<_>>(), vec![1, 3]);
+        // The survivor keeps its place for the next scan.
+        assert_eq!(n.in_flight.len(), 1);
+        assert_eq!(n.take_due(9)[0].value, 2);
+    }
 }
 
 mod cache_unit {
@@ -770,6 +986,128 @@ mod cache_unit {
         c.load(2); // hit
         c.load(3); // hit
         assert!((c.stats().hit_rate() - 0.75).abs() < 1e-9);
+    }
+}
+
+mod carry_borrow_boundary {
+    //! Exhaustive 16-bit boundary vectors for the `AddCarry`/`SubBorrow`
+    //! carry/borrow conventions: the wide-arithmetic correctness of every
+    //! compiled design rests on these two instructions agreeing with the
+    //! compiler's lowering. Convention under test:
+    //!
+    //! - `AddCarry`: `rd = (a + b + cin) mod 2^16`, carry-out set iff the
+    //!   true sum exceeds `0xffff`;
+    //! - `SubBorrow`: `rd = (a - b - (1 - cin)) mod 2^16`, carry-out set
+    //!   iff no borrow occurred (`a - b - (1 - cin) >= 0`) — carry means
+    //!   "no borrow", the classic subtract-with-carry convention.
+
+    use super::*;
+
+    /// The interesting 16-bit values: zero/one neighborhoods, the signed
+    /// boundary, and the wrap-around neighborhood.
+    const BOUNDARY: [u16; 9] = [
+        0x0000, 0x0001, 0x0002, 0x7ffe, 0x7fff, 0x8000, 0x8001, 0xfffe, 0xffff,
+    ];
+
+    /// Runs one carry-chain probe program and returns `(result, carry_out)`.
+    ///
+    /// Position 0 manufactures the carry-in flag (`0xffff + 0xffff` sets
+    /// carry, `0 + 0` clears it); the probed instruction executes at
+    /// position 2 (after the 2-cycle hazard latency); a second chained
+    /// instruction at position 4 exposes the probe's carry-out as a value.
+    fn probe(op: fn(Reg, Reg, Reg, Reg) -> Instruction, a: u16, b: u16, cin: bool) -> (u16, u16) {
+        let flag_src = if cin { 0xffff } else { 0x0000 };
+        let mut binary = empty_binary(1, 1, 8);
+        binary.cores.push(CoreImage {
+            core: CoreId::new(0, 0),
+            body: vec![
+                // r20 = flag_src + flag_src: carry set iff flag_src != 0.
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: r(20),
+                    rs1: r(5),
+                    rs2: r(5),
+                },
+                Instruction::Nop,
+                op(r(10), r(1), r(2), r(20)),
+                Instruction::Nop,
+                // Chain a second op off r10's carry with zero operands, so
+                // its value readout *is* the carry-out (AddCarry: 0+0+c;
+                // SubBorrow: 0-0-(1-c) = 0 if c else 0xffff).
+                op(r(11), r(0), r(0), r(10)),
+            ],
+            epilogue_len: 0,
+            custom_functions: vec![],
+            init_regs: vec![(r(1), a), (r(2), b), (r(5), flag_src)],
+            init_scratch: vec![],
+        });
+        let mut m = Machine::load(test_config(1, 1), &binary).unwrap();
+        m.run_vcycles(1).unwrap();
+        (
+            m.read_reg(CoreId::new(0, 0), r(10)),
+            m.read_reg(CoreId::new(0, 0), r(11)),
+        )
+    }
+
+    #[test]
+    fn add_carry_boundary_vectors_exhaustive() {
+        let mk = |rd, rs1, rs2, rs_carry| Instruction::AddCarry {
+            rd,
+            rs1,
+            rs2,
+            rs_carry,
+        };
+        for a in BOUNDARY {
+            for b in BOUNDARY {
+                for cin in [false, true] {
+                    let (value, carry_probe) = probe(mk, a, b, cin);
+                    let sum = a as u32 + b as u32 + cin as u32;
+                    assert_eq!(
+                        value, sum as u16,
+                        "AddCarry value: {a:#06x} + {b:#06x} + {}",
+                        cin as u8
+                    );
+                    let carry_out = sum > 0xffff;
+                    // Probe chain: 0 + 0 + carry_out.
+                    assert_eq!(
+                        carry_probe, carry_out as u16,
+                        "AddCarry carry-out: {a:#06x} + {b:#06x} + {}",
+                        cin as u8
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_borrow_boundary_vectors_exhaustive() {
+        let mk = |rd, rs1, rs2, rs_borrow| Instruction::SubBorrow {
+            rd,
+            rs1,
+            rs2,
+            rs_borrow,
+        };
+        for a in BOUNDARY {
+            for b in BOUNDARY {
+                for cin in [false, true] {
+                    let (value, borrow_probe) = probe(mk, a, b, cin);
+                    let diff = a as i32 - b as i32 - (1 - cin as i32);
+                    assert_eq!(
+                        value, diff as u16,
+                        "SubBorrow value: {a:#06x} - {b:#06x}, cin {}",
+                        cin as u8
+                    );
+                    let no_borrow = diff >= 0;
+                    // Probe chain: 0 - 0 - (1 - carry_out).
+                    let expected_probe = if no_borrow { 0x0000 } else { 0xffff };
+                    assert_eq!(
+                        borrow_probe, expected_probe,
+                        "SubBorrow borrow-out: {a:#06x} - {b:#06x}, cin {}",
+                        cin as u8
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -911,34 +1249,12 @@ mod parallel_engine {
     #[test]
     fn parallel_reports_the_serial_late_message_error() {
         // Same program as `late_message_detected`, under the parallel
-        // engine at several shard counts.
-        let mut binary = empty_binary(2, 1, 12);
-        binary.cores.push(CoreImage {
-            core: CoreId::new(0, 0),
-            body: vec![
-                Instruction::Nop,
-                Instruction::Nop,
-                Instruction::Send {
-                    target: CoreId::new(1, 0),
-                    rd_remote: r(5),
-                    rs: r(0),
-                },
-            ],
-            epilogue_len: 0,
-            custom_functions: vec![],
-            init_regs: vec![],
-            init_scratch: vec![],
-        });
-        binary.cores.push(CoreImage {
-            core: CoreId::new(1, 0),
-            body: vec![],
-            epilogue_len: 1,
-            custom_functions: vec![],
-            init_regs: vec![],
-            init_scratch: vec![],
-        });
+        // engine at several shard counts — in permissive mode, where the
+        // serial engine reports `LateMessage` at the delivery position.
+        let binary = super::late_message_binary();
         for shards in 1..=2 {
             let mut m = Machine::load(test_config(2, 1), &binary).unwrap();
+            m.set_strict_hazards(false);
             m.set_exec_mode(ExecMode::Parallel { shards });
             match m.run_vcycles(1) {
                 Err(MachineError::LateMessage { core, slot }) => {
@@ -946,6 +1262,32 @@ mod parallel_engine {
                     assert_eq!(slot, 0);
                 }
                 other => panic!("{shards} shards: expected late message, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reports_the_serial_empty_slot_error() {
+        // Strict mode: both engines must report the serial engine's
+        // `MissingScheduledMessage` — the empty slot at issue outranks the
+        // late delivery that would have filled it.
+        let binary = super::late_message_binary();
+        for shards in 1..=2 {
+            let mut m = Machine::load(test_config(2, 1), &binary).unwrap();
+            m.set_exec_mode(ExecMode::Parallel { shards });
+            match m.run_vcycles(1) {
+                Err(MachineError::MissingScheduledMessage {
+                    core,
+                    slot,
+                    position,
+                }) => {
+                    assert_eq!(core, CoreId::new(1, 0), "{shards} shards");
+                    assert_eq!(slot, 0, "{shards} shards");
+                    assert_eq!(position, 0, "{shards} shards");
+                }
+                other => {
+                    panic!("{shards} shards: expected missing scheduled message, got {other:?}")
+                }
             }
         }
     }

@@ -115,12 +115,22 @@ fn permissive_mode_corrupts_silently() {
 }
 
 /// Declaring a bigger epilogue than messages sent starves the SET slots.
+/// Strict mode reports the starved slot the moment it issues; permissive
+/// mode lets it NOP and catches the shortfall at the Vcycle wrap.
 #[test]
 fn phantom_epilogue_detected() {
     let (mut binary, cfg) = compiled_counter();
     binary.cores[0].epilogue_len += 1;
-    let mut m = Machine::load(cfg, &binary).unwrap();
-    match m.run_vcycles(2) {
+
+    let mut strict = Machine::load(cfg.clone(), &binary).unwrap();
+    match strict.run_vcycles(2) {
+        Err(MachineError::MissingScheduledMessage { .. }) => {}
+        other => panic!("expected missing scheduled message, got {other:?}"),
+    }
+
+    let mut permissive = Machine::load(cfg, &binary).unwrap();
+    permissive.set_strict_hazards(false);
+    match permissive.run_vcycles(2) {
         Err(MachineError::MissingMessages { expected, got, .. }) => {
             assert!(expected > got);
         }

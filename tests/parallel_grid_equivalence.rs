@@ -1,10 +1,11 @@
-//! The sharded BSP grid engine must be bit-identical to the serial grid
-//! engine on every real workload: same final register state, same
-//! displays, same `PerfCounters` — at 1, 2, and 4 shards.
+//! The sharded BSP grid engine and the validate-once / replay-many fast
+//! path must be bit-identical to the plain serial grid engine on every
+//! real workload: same final register state, same displays, same
+//! `PerfCounters` — at 1, 2, and 4 shards, with replay off and on.
 //!
 //! This is the machine-side analog of `backend_agreement.rs` (which covers
 //! the Verilator-analog tape executors): together they pin down that every
-//! parallel execution path in the repository is an exact, not approximate,
+//! fast execution path in the repository is an exact, not approximate,
 //! speedup.
 
 use manticore::bits::Bits;
@@ -47,56 +48,106 @@ fn parallel_grid_is_bit_identical_on_all_workloads() {
         let out = compile(&w.netlist, &options)
             .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
 
+        // Reference: the plain position-by-position serial interpreter.
         let mut serial = Machine::load(config.clone(), &out.binary)
             .unwrap_or_else(|e| panic!("{}: load failed: {e}", w.name));
+        serial.set_replay(false);
         let s_run = serial
             .run_vcycles(VCYCLES)
             .unwrap_or_else(|e| panic!("{}: serial run failed: {e}", w.name));
         let s_regs = rtl_regs(&serial, &out);
 
+        // Sweep every fast path against it: the serial replay engine, and
+        // the sharded BSP engine with replay off and on.
+        let mut variants: Vec<(String, ExecMode, bool)> =
+            vec![("serial+replay".into(), ExecMode::Serial, true)];
         for shards in SHARD_COUNTS {
+            for replay in [false, true] {
+                variants.push((
+                    format!("{shards} shards{}", if replay { "+replay" } else { "" }),
+                    ExecMode::Parallel { shards },
+                    replay,
+                ));
+            }
+        }
+        for (what, mode, replay) in variants {
             let mut par = Machine::load(config.clone(), &out.binary).unwrap();
-            par.set_exec_mode(ExecMode::Parallel { shards });
+            par.set_exec_mode(mode);
+            par.set_replay(replay);
             let p_run = par
                 .run_vcycles(VCYCLES)
-                .unwrap_or_else(|e| panic!("{}: {shards}-shard run failed: {e}", w.name));
+                .unwrap_or_else(|e| panic!("{}: {what} run failed: {e}", w.name));
 
             assert_eq!(
                 s_run.displays, p_run.displays,
-                "{}: displays diverged at {shards} shards",
+                "{}: displays diverged at {what}",
                 w.name
             );
             assert_eq!(
                 s_run.finished, p_run.finished,
-                "{}: finish flag diverged at {shards} shards",
+                "{}: finish flag diverged at {what}",
                 w.name
             );
             assert_eq!(
                 s_run.vcycles_run, p_run.vcycles_run,
-                "{}: vcycle count diverged at {shards} shards",
+                "{}: vcycle count diverged at {what}",
                 w.name
             );
             assert_eq!(
                 serial.counters(),
                 par.counters(),
-                "{}: PerfCounters diverged at {shards} shards",
+                "{}: PerfCounters diverged at {what}",
                 w.name
             );
             assert_eq!(
                 serial.cache_stats(),
                 par.cache_stats(),
-                "{}: cache stats diverged at {shards} shards",
+                "{}: cache stats diverged at {what}",
                 w.name
             );
             let p_regs = rtl_regs(&par, &out);
             for (ri, reg) in out.optimized.registers().iter().enumerate() {
                 assert_eq!(
                     s_regs[ri], p_regs[ri],
-                    "{}: register `{}` diverged at {shards} shards",
+                    "{}: register `{}` diverged at {what}",
                     w.name, reg.name
                 );
             }
         }
+    }
+}
+
+#[test]
+fn replay_mode_switches_are_seamless() {
+    // Replay can be toggled and engines switched between `run_vcycles`
+    // calls without perturbing a single architectural bit: the machine
+    // state at every Vcycle boundary is engine-independent.
+    let w = workloads::by_name("mm").unwrap();
+    let config = MachineConfig::with_grid(GRID, GRID);
+    let options = CompileOptions {
+        config: config.clone(),
+        ..Default::default()
+    };
+    let out = compile(&w.netlist, &options).unwrap();
+
+    let mut reference = Machine::load(config.clone(), &out.binary).unwrap();
+    reference.set_replay(false);
+    reference.run_vcycles(24).unwrap();
+
+    let mut mixed = Machine::load(config.clone(), &out.binary).unwrap();
+    mixed.run_vcycles(6).unwrap(); // validation + replay
+    mixed.set_replay(false);
+    mixed.run_vcycles(6).unwrap(); // full interpreter
+    mixed.set_exec_mode(ExecMode::Parallel { shards: 3 });
+    mixed.set_replay(true);
+    mixed.run_vcycles(6).unwrap(); // parallel replay
+    mixed.set_exec_mode(ExecMode::Serial);
+    mixed.run_vcycles(6).unwrap(); // serial replay
+    assert_eq!(reference.counters(), mixed.counters());
+    let a = rtl_regs(&reference, &out);
+    let b = rtl_regs(&mixed, &out);
+    for (ri, reg) in out.optimized.registers().iter().enumerate() {
+        assert_eq!(a[ri], b[ri], "register `{}` diverged", reg.name);
     }
 }
 
