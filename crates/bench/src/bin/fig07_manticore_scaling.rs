@@ -10,10 +10,14 @@
 //! single-core execution is usually impossible on the prototype).
 //!
 //! A second section sweeps the *model's own* host-side parallelism: the
-//! sharded BSP engine at 1–8 shards, driven entirely through the unified
-//! `Simulator` trait, reporting measured wall-clock simulation rates.
+//! sharded BSP engine at 1–8 shards with the replay fast path off, on the
+//! pre-decoded tape, and on the fused micro-op stream — driven entirely
+//! through the unified `Simulator` trait, reporting measured wall-clock
+//! simulation rates.
 //!
 //! Run: `cargo run --release -p manticore-bench --bin fig07_manticore_scaling`
+//!
+//! Flags: `--json <path>` writes the shard-sweep measurements as JSON.
 
 use manticore::compiler::{compile, CompileOptions};
 use manticore::isa::MachineConfig;
@@ -21,26 +25,23 @@ use manticore::machine::ExecMode;
 use manticore::sim::Simulator;
 use manticore::workloads;
 use manticore::ManticoreSim;
-use manticore_bench::fmt;
+use manticore_bench::{fmt, json::Val, reject_unknown_args, take_flag, ModelEngine};
 
 /// Measured wall-clock Vcycle rate of the machine model at each shard
-/// count, with the validate-once / replay-many fast path off and on — all
-/// through the `Simulator` trait.
-fn shard_sweep() {
+/// count, with each replay lowering — all through the `Simulator` trait.
+fn shard_sweep(json_path: Option<&str>) {
     let shard_counts = [1usize, 2, 4, 8];
     let grid = 8;
     let vcycles = 400;
     println!("\n# Model host-parallelism sweep: sharded BSP engine, measured kHz\n");
     print!("{:>8}", "bench");
     for s in shard_counts {
-        for replay in [false, true] {
-            print!(
-                " {:>10}",
-                format!("{s}sh{}", if replay { "+rp" } else { "" })
-            );
+        for engine in ModelEngine::ALL {
+            print!(" {:>9}", format!("{s}sh{}", engine.suffix()));
         }
     }
     println!("   (grid {grid}x{grid}, {vcycles} Vcycles)");
+    let mut json_rows: Vec<Val> = Vec::new();
     for name in ["vta", "mm", "bc"] {
         let w = workloads::by_name(name).unwrap();
         print!("{:>8}", w.name);
@@ -54,19 +55,20 @@ fn shard_sweep() {
         let output = match compile(&w.netlist, &options) {
             Ok(out) => std::sync::Arc::new(out),
             Err(_) => {
-                for _ in 0..shard_counts.len() * 2 {
-                    print!(" {:>10}", "-");
+                for _ in 0..shard_counts.len() * ModelEngine::ALL.len() {
+                    print!(" {:>9}", "-");
                 }
                 println!();
                 continue;
             }
         };
+        let mut cells: Vec<(String, f64)> = Vec::new();
         for shards in shard_counts {
-            for replay in [false, true] {
+            for engine in ModelEngine::ALL {
                 let mut sim = match ManticoreSim::from_output(output.clone(), config.clone()) {
                     Ok(s) => s,
                     Err(_) => {
-                        print!(" {:>10}", "-");
+                        print!(" {:>9}", "-");
                         continue;
                     }
                 };
@@ -75,20 +77,45 @@ fn shard_sweep() {
                 } else {
                     ExecMode::Parallel { shards }
                 });
-                sim.set_replay(replay);
+                engine.apply(&mut sim);
                 match sim.run_cycles(vcycles) {
-                    Ok(_) => print!(" {:>10}", fmt(sim.perf().measured_rate_khz())),
-                    Err(_) => print!(" {:>10}", "!"),
+                    Ok(_) => {
+                        let khz = sim.perf().measured_rate_khz();
+                        print!(" {:>9}", fmt(khz));
+                        cells.push((format!("{shards}sh{}", engine.suffix()), khz));
+                    }
+                    Err(_) => print!(" {:>9}", "!"),
                 }
             }
         }
         println!();
+        json_rows.push(Val::obj(vec![
+            ("name", Val::Str(w.name.to_string())),
+            (
+                "khz",
+                Val::Obj(cells.into_iter().map(|(k, v)| (k, Val::Num(v))).collect()),
+            ),
+        ]));
     }
-    println!("\n(+rp = validate-once / replay-many engine; bit-identical results in every");
-    println!("column; see tests/parallel_grid_equivalence.rs)");
+    println!("\n(+rp = pre-decoded tape replay, +uop = fused micro-op replay; bit-identical");
+    println!("results in every column; see tests/parallel_grid_equivalence.rs)");
+    if let Some(path) = json_path {
+        let doc = Val::obj(vec![
+            ("bench", Val::Str("fig07_manticore_scaling".into())),
+            ("grid", Val::Int(grid as u64)),
+            ("vcycles", Val::Int(vcycles)),
+            ("rows", Val::Arr(json_rows)),
+        ]);
+        manticore_bench::json::write(path, &doc);
+        println!("wrote {path}");
+    }
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_flag(&mut args, "--json");
+    reject_unknown_args(&args);
+
     let grids: [usize; 8] = [1, 3, 5, 7, 9, 11, 13, 18];
     println!("# Fig. 7: Manticore multicore scaling (speedup vs 1 core, VCPL-predicted)\n");
     print!("{:>8}", "bench");
@@ -123,5 +150,5 @@ fn main() {
     println!("\nexpected shape (paper Fig. 7): parallel workloads (mc, cgra, vta) keep");
     println!("improving toward 200-300 cores; jpeg plateaus almost immediately (Amdahl).");
 
-    shard_sweep();
+    shard_sweep(json_path.as_deref());
 }

@@ -7,13 +7,20 @@
 //! configuration, the same formula the paper reports (the compiler counts
 //! cycles exactly in the absence of off-chip accesses).
 //!
-//! The two extra columns measure *the model itself* on this host — the
-//! cycle-accurate grid interpreter versus its validate-once / replay-many
-//! engine (`rp kHz`), which freezes the per-core schedule and delivery
-//! plan after the validation Vcycle. `rp x` is the resulting
-//! vcycles/second speedup; results are bit-identical.
+//! Three extra columns measure *the model itself* on this host — the
+//! cycle-accurate grid interpreter versus its two validate-once /
+//! replay-many lowerings: the pre-decoded tape (`rp kHz`) and the fused
+//! micro-op stream over structure-of-arrays state (`uop kHz`). `rp x` and
+//! `uop x` are the resulting vcycles/second speedups over the
+//! interpreter; results are bit-identical in every column.
 //!
 //! Run: `cargo run --release -p manticore-bench --bin table3_performance`
+//!
+//! Flags:
+//! - `--json <path>` — additionally write the measurements as JSON (the
+//!   committed `BENCH_table3.json` tracks the perf trajectory per PR);
+//! - `--vcycles <n>` — cap both the baseline and the model measurement
+//!   budget (CI smoke uses a tiny cap).
 
 use std::sync::Arc;
 
@@ -22,22 +29,34 @@ use manticore::isa::MachineConfig;
 use manticore::sim::{Simulator, TapeSim};
 use manticore::workloads;
 use manticore::ManticoreSim;
-use manticore_bench::{compile_for_grid, fmt, row};
+use manticore_bench::{
+    compile_for_grid, fmt, json::Val, reject_unknown_args, row, take_flag, ModelEngine,
+};
 
 /// Measured machine-model rate in kHz over `vcycles` Vcycles.
 fn measured_model_khz(
     out: &Arc<manticore::compiler::CompileOutput>,
     config: &MachineConfig,
-    replay: bool,
+    engine: ModelEngine,
     vcycles: u64,
 ) -> Option<f64> {
     let mut sim = ManticoreSim::from_output(out.clone(), config.clone()).ok()?;
-    sim.set_replay(replay);
+    engine.apply(&mut sim);
     sim.run_cycles(vcycles).ok()?;
     Some(sim.perf().measured_rate_khz())
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_flag(&mut args, "--json");
+    let vcycle_cap: Option<u64> = take_flag(&mut args, "--vcycles").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--vcycles expects an integer, got {v}");
+            std::process::exit(2);
+        })
+    });
+    reject_unknown_args(&args);
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
@@ -54,20 +73,28 @@ fn main() {
         "xMT".into(),
         "model kHz".into(),
         "rp kHz".into(),
+        "uop kHz".into(),
         "rp x".into(),
+        "uop x".into(),
         "VCPL".into(),
         "cores".into(),
     ]);
-    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
 
     let mut geo_s = 1.0f64;
     let mut geo_mt = 1.0f64;
     let mut geo_self = 1.0f64;
     let mut geo_rp = 1.0f64;
+    let mut geo_uop = 1.0f64;
+    let mut geo_uop_rp = 1.0f64;
     let mut n = 0u32;
     let mut n_rp = 0u32;
+    let mut json_rows: Vec<Val> = Vec::new();
     for w in workloads::all() {
-        let cycles = w.bench_cycles;
+        let cycles = match vcycle_cap {
+            Some(cap) => w.bench_cycles.min(cap),
+            None => w.bench_cycles,
+        };
 
         let mut serial = TapeSim::serial(&w.netlist).expect("tape");
         serial.run_cycles(cycles).expect("serial baseline run");
@@ -85,14 +112,19 @@ fn main() {
         let config = MachineConfig::default();
         let m_khz = config.simulation_rate_khz(out.report.vcpl);
 
-        // Measure the model itself: full interpreter vs replay engine.
+        // Measure the model itself: full interpreter vs the two replay
+        // lowerings.
         let model_vcycles = cycles.min(300);
-        let interp_khz = measured_model_khz(&out, &config, false, model_vcycles);
-        let replay_khz = measured_model_khz(&out, &config, true, model_vcycles);
-        let rp_x = match (interp_khz, replay_khz) {
-            (Some(i), Some(r)) if i > 0.0 => Some(r / i),
+        let interp_khz = measured_model_khz(&out, &config, ModelEngine::Interpreter, model_vcycles);
+        let replay_khz = measured_model_khz(&out, &config, ModelEngine::TapeReplay, model_vcycles);
+        let uop_khz = measured_model_khz(&out, &config, ModelEngine::MicroOps, model_vcycles);
+        let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+            (Some(r), Some(i)) if i > 0.0 => Some(r / i),
             _ => None,
         };
+        let rp_x = ratio(replay_khz, interp_khz);
+        let uop_x = ratio(uop_khz, interp_khz);
+        let uop_rp = ratio(uop_khz, replay_khz);
         let opt = |v: Option<f64>| v.map(fmt).unwrap_or_else(|| "-".into());
 
         let xs = m_khz / s_khz;
@@ -101,8 +133,10 @@ fn main() {
         geo_s *= xs;
         geo_mt *= xmt;
         geo_self *= xself;
-        if let Some(x) = rp_x {
-            geo_rp *= x;
+        if let (Some(r), Some(u), Some(ur)) = (rp_x, uop_x, uop_rp) {
+            geo_rp *= r;
+            geo_uop *= u;
+            geo_uop_rp *= ur;
             n_rp += 1;
         }
         n += 1;
@@ -118,25 +152,77 @@ fn main() {
             fmt(xmt),
             opt(interp_khz),
             opt(replay_khz),
+            opt(uop_khz),
             opt(rp_x),
+            opt(uop_x),
             out.report.vcpl.to_string(),
             out.report.cores_used.to_string(),
         ]);
+
+        let f = |v: Option<f64>| Val::Num(v.unwrap_or(f64::NAN));
+        json_rows.push(Val::obj(vec![
+            ("name", Val::Str(w.name.to_string())),
+            ("vcpl", Val::Int(out.report.vcpl)),
+            ("cores_used", Val::Int(out.report.cores_used as u64)),
+            ("baseline_serial_khz", Val::Num(s_khz)),
+            ("baseline_mt_khz", Val::Num(p_khz)),
+            ("manticore_khz", Val::Num(m_khz)),
+            ("model_vcycles", Val::Int(model_vcycles)),
+            ("interp_khz", f(interp_khz)),
+            ("replay_khz", f(replay_khz)),
+            ("uop_khz", f(uop_khz)),
+            ("replay_x", f(rp_x)),
+            ("uop_x", f(uop_x)),
+            ("uop_over_replay", f(uop_rp)),
+        ]));
     }
     let g = |v: f64, k: u32| {
         if k == 0 {
+            f64::NAN
+        } else {
+            v.powf(1.0 / k as f64)
+        }
+    };
+    let gs = |v: f64, k: u32| {
+        if k == 0 {
             "-".into()
         } else {
-            fmt(v.powf(1.0 / k as f64))
+            fmt(g(v, k))
         }
     };
     println!(
-        "\ngeomean speedups: xS = {}, xMT = {}, MT xself = {}, replay-vs-interpreter = {}",
-        g(geo_s, n),
-        g(geo_mt, n),
-        g(geo_self, n),
-        g(geo_rp, n_rp)
+        "\ngeomean speedups: xS = {}, xMT = {}, MT xself = {},",
+        gs(geo_s, n),
+        gs(geo_mt, n),
+        gs(geo_self, n),
+    );
+    println!(
+        "model engines vs interpreter: tape replay = {}, micro-ops = {} (uop/replay = {})",
+        gs(geo_rp, n_rp),
+        gs(geo_uop, n_rp),
+        gs(geo_uop_rp, n_rp)
     );
     println!("\npaper anchors (225-core, 475 MHz): geomean xS 2.8-3.4, xMT 2.1-4.2;");
     println!("manticore wins everywhere except jpeg (serial Huffman chain).");
+
+    if let Some(path) = json_path {
+        let doc = Val::obj(vec![
+            ("bench", Val::Str("table3_performance".into())),
+            ("grid", Val::Int(15)),
+            ("mt_threads", Val::Int(mt_threads as u64)),
+            ("rows", Val::Arr(json_rows)),
+            (
+                "geomean",
+                Val::obj(vec![
+                    ("xs", Val::Num(g(geo_s, n))),
+                    ("xmt", Val::Num(g(geo_mt, n))),
+                    ("replay_vs_interp", Val::Num(g(geo_rp, n_rp))),
+                    ("uop_vs_interp", Val::Num(g(geo_uop, n_rp))),
+                    ("uop_vs_replay", Val::Num(g(geo_uop_rp, n_rp))),
+                ]),
+            ),
+        ]);
+        manticore_bench::json::write(&path, &doc);
+        println!("\nwrote {path}");
+    }
 }

@@ -167,6 +167,145 @@ pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
 }
 
+/// Minimal JSON emission for the `--json` outputs of the experiment
+/// binaries (the workspace deliberately has no external dependencies, so
+/// no serde). Values are escaped strings, finite numbers, or `null`.
+pub mod json {
+    /// A JSON value, rendered on [`Val::render`].
+    pub enum Val {
+        /// A string (escaped on render).
+        Str(String),
+        /// A number; non-finite values render as `null`.
+        Num(f64),
+        /// An unsigned integer (exact rendering).
+        Int(u64),
+        /// An object of key/value pairs.
+        Obj(Vec<(String, Val)>),
+        /// An array of values.
+        Arr(Vec<Val>),
+    }
+
+    impl Val {
+        /// Builds an object from key/value pairs.
+        pub fn obj(fields: Vec<(&str, Val)>) -> Val {
+            Val::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        }
+
+        /// Renders to compact JSON.
+        pub fn render(&self) -> String {
+            match self {
+                Val::Str(s) => {
+                    let mut out = String::with_capacity(s.len() + 2);
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            '\r' => out.push_str("\\r"),
+                            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                    out
+                }
+                Val::Num(v) if v.is_finite() => format!("{v}"),
+                Val::Num(_) => "null".into(),
+                Val::Int(v) => format!("{v}"),
+                Val::Obj(fields) => {
+                    let parts: Vec<String> = fields
+                        .iter()
+                        .map(|(k, v)| format!("{}:{}", Val::Str(k.clone()).render(), v.render()))
+                        .collect();
+                    format!("{{{}}}", parts.join(","))
+                }
+                Val::Arr(items) => {
+                    let parts: Vec<String> = items.iter().map(Val::render).collect();
+                    format!("[{}]", parts.join(","))
+                }
+            }
+        }
+    }
+
+    /// Writes a value to `path` as pretty-enough single-line JSON plus a
+    /// trailing newline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure (harness-level fatal).
+    pub fn write(path: &str, v: &Val) {
+        std::fs::write(path, v.render() + "\n").expect("write json output");
+    }
+}
+
+/// Parses a `--flag value` pair out of `args`, removing both tokens.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    args.remove(i);
+    Some(args.remove(i))
+}
+
+/// Exits with an error if any argument survived flag parsing — a typoed
+/// flag must not silently run the uncapped default configuration.
+pub fn reject_unknown_args(args: &[String]) {
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {}", args.join(" "));
+        std::process::exit(2);
+    }
+}
+
+/// The three machine-model engines the perf binaries sweep: the
+/// position-by-position interpreter (replay off) and the two replay
+/// lowerings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelEngine {
+    /// Full per-position interpreter (replay disabled).
+    Interpreter,
+    /// Validate-once / replay-many, pre-decoded tape.
+    TapeReplay,
+    /// Validate-once / replay-many, fused micro-op stream.
+    MicroOps,
+}
+
+impl ModelEngine {
+    /// All engines, sweep order.
+    pub const ALL: [ModelEngine; 3] = [
+        ModelEngine::Interpreter,
+        ModelEngine::TapeReplay,
+        ModelEngine::MicroOps,
+    ];
+
+    /// Short column-label suffix (`""`, `"+rp"`, `"+uop"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            ModelEngine::Interpreter => "",
+            ModelEngine::TapeReplay => "+rp",
+            ModelEngine::MicroOps => "+uop",
+        }
+    }
+
+    /// Configures a machine simulator to run on this engine.
+    pub fn apply(self, sim: &mut manticore::ManticoreSim) {
+        use manticore::machine::ReplayEngine;
+        match self {
+            ModelEngine::Interpreter => sim.set_replay(false),
+            ModelEngine::TapeReplay => sim.set_replay_engine(ReplayEngine::Tape),
+            ModelEngine::MicroOps => sim.set_replay_engine(ReplayEngine::MicroOps),
+        }
+    }
+}
+
 /// Formats a float with sensible precision for tables.
 pub fn fmt(v: f64) -> String {
     if v >= 1000.0 {

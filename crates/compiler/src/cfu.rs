@@ -134,11 +134,11 @@ pub fn synthesize(proc: &mut Process, max_tables: usize) -> CfuStats {
 
     // --- Cone construction + MFFC filter + truth tables ------------------
     let mut candidates: Vec<Cone> = Vec::new();
-    for root in 0..n {
+    for (root, root_cuts) in cuts.iter().enumerate().take(n) {
         if !is_logic(root) {
             continue;
         }
-        for cut in &cuts[root] {
+        for cut in root_cuts {
             let leaf_set: HashSet<VReg> = cut.iter().copied().collect();
             // Collect interior nodes: walk back from root until leaves.
             let mut interior: Vec<usize> = Vec::new();

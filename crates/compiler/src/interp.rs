@@ -135,12 +135,12 @@ impl<'p> LirInterp<'p> {
                     LirOp::Custom { table } => {
                         let ws: Vec<u16> = (0..instr.args.len()).map(a).collect();
                         let mut out = 0u16;
-                        for lane in 0..16 {
+                        for (lane, &row) in table.iter().enumerate() {
                             let mut sel = 0u16;
                             for (k, w) in ws.iter().enumerate() {
                                 sel |= ((w >> lane) & 1) << k;
                             }
-                            out |= ((table[lane] >> sel) & 1) << lane;
+                            out |= ((row >> sel) & 1) << lane;
                         }
                         Some(out as u32)
                     }

@@ -243,12 +243,9 @@ impl<'a> Lowerer<'a> {
         acc[k] = t;
         let mut carry = t;
         let z = self.zero();
-        for c in acc.len().min(k + 1)..acc.len() {
-            let _ = c;
-        }
-        for c in (k + 1)..acc.len() {
-            let t2 = self.emit(LirOp::AddCarry, vec![acc[c], z, carry]);
-            acc[c] = t2;
+        for slot in acc.iter_mut().skip(k + 1) {
+            let t2 = self.emit(LirOp::AddCarry, vec![*slot, z, carry]);
+            *slot = t2;
             carry = t2;
         }
     }
@@ -257,13 +254,13 @@ impl<'a> Lowerer<'a> {
         let n = a.len();
         let z = self.zero();
         let mut acc = vec![z; n];
-        for i in 0..n {
-            for j in 0..n - i {
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().take(n - i).enumerate() {
                 let k = i + j;
-                let lo = self.alu(AluOp::Mul, a[i], b[j]);
+                let lo = self.alu(AluOp::Mul, ai, bj);
                 self.add_into(&mut acc, k, lo);
                 if k + 1 < n {
-                    let hi = self.alu(AluOp::Mulh, a[i], b[j]);
+                    let hi = self.alu(AluOp::Mulh, ai, bj);
                     self.add_into(&mut acc, k + 1, hi);
                 }
             }
@@ -278,7 +275,7 @@ impl<'a> Lowerer<'a> {
     fn not_words(&mut self, a: &[VReg], width: usize) -> Vec<VReg> {
         let mut out = Vec::with_capacity(a.len());
         for (i, &w) in a.iter().enumerate() {
-            let mask = if i == a.len() - 1 && width % 16 != 0 {
+            let mask = if i == a.len() - 1 && !width.is_multiple_of(16) {
                 ((1u32 << (width % 16)) - 1) as u16
             } else {
                 0xffff
@@ -462,7 +459,7 @@ impl<'a> Lowerer<'a> {
         // Any amount bit >= k set: the result saturates (zero or sign fill).
         if amt_width > k {
             let mut any: Option<VReg> = None;
-            for word in 0..amt.len() {
+            for (word, &amt_word) in amt.iter().enumerate() {
                 let lo_bit = word * 16;
                 let hi_bit = ((word + 1) * 16).min(amt_width);
                 if hi_bit <= k {
@@ -470,14 +467,14 @@ impl<'a> Lowerer<'a> {
                 }
                 let from = k.max(lo_bit) - lo_bit;
                 let high = if from == 0 {
-                    amt[word]
+                    amt_word
                 } else {
                     self.emit(
                         LirOp::Slice {
                             offset: from as u8,
                             width: (hi_bit - lo_bit - from) as u8,
                         },
-                        vec![amt[word]],
+                        vec![amt_word],
                     )
                 };
                 any = Some(match any {
@@ -598,7 +595,7 @@ impl<'a> Lowerer<'a> {
     fn red_and_words(&mut self, a: &[VReg], width: usize) -> VReg {
         let mut acc: Option<VReg> = None;
         for (i, &w) in a.iter().enumerate() {
-            let mask: u16 = if i == a.len() - 1 && width % 16 != 0 {
+            let mask: u16 = if i == a.len() - 1 && !width.is_multiple_of(16) {
                 ((1u32 << (width % 16)) - 1) as u16
             } else {
                 0xffff
@@ -692,7 +689,7 @@ impl<'a> Lowerer<'a> {
                     let k = info.words_per_entry as u64;
                     (0..3).map(|i| self.konst((k >> (16 * i)) as u16)).collect()
                 };
-                self.mul_words(&idx.to_vec(), &stride_words, 48)
+                self.mul_words(idx, &stride_words, 48)
             }
         };
         self.addr_cache

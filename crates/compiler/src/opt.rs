@@ -351,10 +351,8 @@ fn algebraic(
                 }
             }
         }
-        Eq => {
-            if arg(0) == arg(1) {
-                return Some(b.constant(Bits::from_bool(true)));
-            }
+        Eq if arg(0) == arg(1) => {
+            return Some(b.constant(Bits::from_bool(true)));
         }
         Mux => {
             if let Some(c) = cval(0) {

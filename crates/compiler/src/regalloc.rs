@@ -174,7 +174,7 @@ pub fn emit(
                 let src_def = def_slot.get(&src).copied().unwrap_or(0);
                 let ok = match p.state_reads.get(&state) {
                     None => true,
-                    Some(lv) => last_use.get(lv).map_or(true, |&lu| lu < src_def),
+                    Some(lv) => last_use.get(lv).is_none_or(|&lu| lu < src_def),
                 };
                 if ok {
                     coalesced.insert(src, home);
@@ -239,16 +239,16 @@ pub fn emit(
 
     // Custom-function table slots per core.
     let mut cfu_tables: Vec<Vec<[u16; 16]>> = vec![Vec::new(); nproc];
-    for pi in 0..nproc {
-        for instr in &prog.processes[pi].instrs {
+    for (proc, tables) in prog.processes.iter().zip(cfu_tables.iter_mut()) {
+        for instr in &proc.instrs {
             if let LirOp::Custom { table } = instr.op {
-                if !cfu_tables[pi].contains(&table) {
-                    cfu_tables[pi].push(table);
+                if !tables.contains(&table) {
+                    tables.push(table);
                 }
             }
         }
         assert!(
-            cfu_tables[pi].len() <= config.num_custom_functions,
+            tables.len() <= config.num_custom_functions,
             "custom-function synthesis exceeded the table budget"
         );
     }
@@ -375,7 +375,7 @@ pub fn emit(
                     breakdown.compute += 1;
                 }
                 LirOp::CommitLocal { state } => {
-                    let home = state_reg[pi][&state];
+                    let home = state_reg[pi][state];
                     let src = reg(instr.args[0]);
                     if src != home {
                         body[t] = Instruction::Alu {

@@ -60,7 +60,7 @@ pub mod prelude {
     pub use manticore_bits::Bits;
     pub use manticore_compiler::{compile, CompileOptions, PartitionStrategy};
     pub use manticore_isa::{CoreId, MachineConfig, Reg};
-    pub use manticore_machine::{ExecMode, Machine, MachineError, RunOutcome};
+    pub use manticore_machine::{ExecMode, Machine, MachineError, ReplayEngine, RunOutcome};
     pub use manticore_netlist::{eval::Evaluator, NetlistBuilder};
 
     pub use crate::sim::{Simulator, TapeSim};
@@ -70,7 +70,7 @@ pub mod prelude {
 use manticore_bits::Bits;
 use manticore_compiler::{compile, CompileError, CompileOptions, CompileOutput};
 use manticore_isa::MachineConfig;
-use manticore_machine::{ExecMode, Machine, MachineError, RunOutcome};
+use manticore_machine::{ExecMode, Machine, MachineError, ReplayEngine, RunOutcome};
 use manticore_netlist::Netlist;
 use manticore_refsim::TapeError;
 
@@ -179,6 +179,12 @@ impl ManticoreSim {
     /// path (on by default; bit-identical either way).
     pub fn set_replay(&mut self, enabled: bool) {
         self.machine.set_replay(enabled);
+    }
+
+    /// Selects the machine's replay lowering: the pre-decoded tape or the
+    /// fused micro-op stream (default; bit-identical either way).
+    pub fn set_replay_engine(&mut self, engine: ReplayEngine) {
+        self.machine.set_replay_engine(engine);
     }
 
     /// Runs up to `max_vcycles` RTL cycles.

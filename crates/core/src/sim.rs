@@ -5,15 +5,16 @@
 //! | backend | engine | crate |
 //! |---|---|---|
 //! | `manticore-serial` | machine grid, one thread | `manticore_machine` |
-//! | `manticore-serial+replay` | machine grid, validate-once / replay-many | `manticore_machine` |
+//! | `manticore-serial+replay` | machine grid, validate-once / replay-many tape | `manticore_machine` |
+//! | `manticore-serial+uops` | machine grid, fused micro-op replay over SoA state | `manticore_machine` |
 //! | `manticore-parallel(k)` | machine grid, `k` BSP shards | `manticore_machine` |
 //! | `tape-serial` | Verilator-analog tape, one thread | `manticore_refsim` |
 //! | `tape-parallel(k)` | Verilator-analog macro-tasks, `k` threads | `manticore_refsim` |
 //!
-//! The machine backends accept a `+replay` suffix in their reported names:
-//! the Vcycle-periodic replay fast path is on by default and bit-identical
-//! (see `manticore_machine`'s crate docs), so agreement tests sweep it
-//! explicitly.
+//! The machine backends accept a `+replay` or `+uops` suffix in their
+//! reported names: the Vcycle-periodic replay fast path is on by default
+//! and bit-identical in either lowering (see `manticore_machine`'s crate
+//! docs), so agreement tests sweep both explicitly.
 //!
 //! Before this trait existed, every experiment binary and agreement test
 //! hand-rolled its own glue per backend. [`Simulator`] gives them one
@@ -25,7 +26,7 @@ use std::time::Instant;
 
 use manticore_bits::Bits;
 use manticore_compiler::{compile, CompileOptions};
-use manticore_machine::{ExecMode, PerfCounters};
+use manticore_machine::{ExecMode, PerfCounters, ReplayEngine};
 use manticore_netlist::Netlist;
 use manticore_refsim::{serial, MacroTaskPlan, Tape, TapeState};
 
@@ -134,7 +135,10 @@ impl Simulator for ManticoreSim {
             ExecMode::Parallel { shards } => format!("manticore-parallel({shards})"),
         };
         if self.machine().replay_armed() {
-            format!("{base}+replay")
+            match self.machine().replay_engine() {
+                ReplayEngine::Tape => format!("{base}+replay"),
+                ReplayEngine::MicroOps => format!("{base}+uops"),
+            }
         } else {
             base
         }
@@ -329,9 +333,9 @@ impl Simulator for TapeSim {
 
 /// Builds one of every backend for `netlist`: Manticore serial (the
 /// position-by-position reference interpreter), Manticore serial with the
-/// validate-once / replay-many fast path, Manticore with `threads` BSP
-/// shards (replaying), tape serial, and tape parallel with `threads`
-/// workers.
+/// validate-once / replay-many tape, Manticore serial with the fused
+/// micro-op replay stream, Manticore with `threads` BSP shards (replaying
+/// micro-ops), tape serial, and tape parallel with `threads` workers.
 ///
 /// # Errors
 ///
@@ -352,11 +356,16 @@ pub fn backends(
     serial_machine.set_replay(false);
     let mut replay_machine = ManticoreSim::from_output(output.clone(), config.clone())?;
     replay_machine.set_exec_mode(ExecMode::Serial);
+    replay_machine.set_replay_engine(ReplayEngine::Tape);
+    let mut uop_machine = ManticoreSim::from_output(output.clone(), config.clone())?;
+    uop_machine.set_exec_mode(ExecMode::Serial);
+    uop_machine.set_replay_engine(ReplayEngine::MicroOps);
     let mut parallel_machine = ManticoreSim::from_output(output, config)?;
     parallel_machine.set_exec_mode(ExecMode::Parallel { shards: threads });
     Ok(vec![
         Box::new(serial_machine),
         Box::new(replay_machine),
+        Box::new(uop_machine),
         Box::new(parallel_machine),
         Box::new(TapeSim::serial(netlist)?),
         Box::new(TapeSim::parallel(netlist, threads, 32)?),

@@ -1,30 +1,49 @@
-//! Per-core state: register file with carry bits and in-flight write buffer,
-//! scratchpad, predicate, instruction memory with message tail.
-
-use std::collections::VecDeque;
+//! Per-core state and the pipeline write ring.
+//!
+//! Register files and scratchpads for the whole grid live in two
+//! structure-of-arrays vectors owned by the machine (one `Vec<u32>` of
+//! register lanes, one `Vec<u16>` of scratchpad lanes, both sliced
+//! per-core); [`CoreState`] keeps what is genuinely per-core — the program,
+//! the epilogue bookkeeping, and the pipeline write ring. [`CoreView`]
+//! bundles a core's state with its two SoA lanes for the executors.
+//!
+//! The write ring models the 14-stage pipeline: a register written at
+//! cycle `t` commits at `t + hazard_latency`. Because every engine issues
+//! at most one write per core per position and positions are monotone, the
+//! ring is a FIFO ordered by commit time with at most `hazard_latency + 1`
+//! entries in flight — commit is O(1) amortized, and the per-register
+//! in-flight counters plus last-writer slots make hazard checks
+//! ([`CoreState::has_pending_write`]) and host flushes
+//! ([`CoreState::reg_value_flushed`]) O(1) instead of a queue scan.
 
 use manticore_isa::{Instruction, Reg};
 
 /// A register write travelling down the pipeline; becomes architecturally
 /// visible at `commit_at` (compute-domain time).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct PendingWrite {
     pub commit_at: u64,
-    pub reg: Reg,
+    /// Flat register-file index (pre-resolved `Reg::index()`).
+    pub reg: u16,
     pub value: u16,
     pub carry: bool,
 }
 
-/// The state of one core.
+/// The per-core state: program, epilogue, pipeline ring.
 #[derive(Debug, Clone)]
 pub(crate) struct CoreState {
-    /// Register file: low 16 bits value, bit 16 the carry/overflow bit
-    /// (the 2048×17 BRAM of §5.1).
-    pub regs: Vec<u32>,
-    /// In-flight writes ordered by commit time.
-    pub pending: VecDeque<PendingWrite>,
-    /// Local scratchpad (16384×16 URAM).
-    pub scratch: Vec<u16>,
+    /// Pipeline ring: in-flight writes in commit-time order. Power-of-two
+    /// capacity, indexed `(ring_head + i) & ring_mask`.
+    pub ring: Vec<PendingWrite>,
+    pub ring_head: u32,
+    pub ring_len: u32,
+    pub ring_mask: u32,
+    /// In-flight write count per register (O(1) hazard checks).
+    pub inflight: Vec<u16>,
+    /// Ring slot of the most recent in-flight write per register; valid
+    /// while `inflight[reg] > 0` (a live slot is never reused, so the
+    /// latest writer is always intact).
+    pub last_writer: Vec<u32>,
     /// Predicate register for stores.
     pub predicate: bool,
     /// Program body (executed at positions `0..body.len()`).
@@ -43,11 +62,19 @@ pub(crate) struct CoreState {
 }
 
 impl CoreState {
-    pub fn new(regfile_size: usize, scratch_words: usize) -> Self {
+    pub fn new(regfile_size: usize, hazard_latency: usize) -> Self {
+        // At most one write issues per position and a write issued at
+        // position `p` commits at `p + hazard_latency`, so no more than
+        // `hazard_latency + 1` writes are ever in flight; `+2` leaves a
+        // slot of headroom for zero-latency configurations.
+        let cap = (hazard_latency + 2).next_power_of_two();
         CoreState {
-            regs: vec![0; regfile_size],
-            pending: VecDeque::new(),
-            scratch: vec![0; scratch_words],
+            ring: vec![PendingWrite::default(); cap],
+            ring_head: 0,
+            ring_len: 0,
+            ring_mask: cap as u32 - 1,
+            inflight: vec![0; regfile_size],
+            last_writer: vec![0; regfile_size],
             predicate: false,
             body: Vec::new(),
             epilogue: Vec::new(),
@@ -58,53 +85,60 @@ impl CoreState {
         }
     }
 
-    /// Commits all pending writes due at or before `now`.
-    pub fn commit_due(&mut self, now: u64) {
-        while let Some(w) = self.pending.front() {
+    /// Commits all pending writes due at or before `now` into the core's
+    /// register lane.
+    #[inline]
+    pub fn commit_due(&mut self, regs: &mut [u32], now: u64) {
+        while self.ring_len > 0 {
+            let w = self.ring[self.ring_head as usize];
             if w.commit_at > now {
                 break;
             }
-            let w = self.pending.pop_front().unwrap();
-            self.regs[w.reg.index()] = w.value as u32 | ((w.carry as u32) << 16);
+            regs[w.reg as usize] = w.value as u32 | ((w.carry as u32) << 16);
+            self.inflight[w.reg as usize] -= 1;
+            self.ring_head = (self.ring_head + 1) & self.ring_mask;
+            self.ring_len -= 1;
         }
-    }
-
-    /// Architectural (committed) register value.
-    pub fn reg_value(&self, r: Reg) -> u16 {
-        self.regs[r.index()] as u16
-    }
-
-    /// Architectural carry bit.
-    pub fn reg_carry(&self, r: Reg) -> bool {
-        (self.regs[r.index()] >> 16) & 1 == 1
     }
 
     /// The value the register will hold once all in-flight writes commit
     /// (the host's view when servicing an exception: the grid is stalled
     /// and the pipeline drains before the host reads state).
-    pub fn reg_value_flushed(&self, r: Reg) -> u16 {
-        self.pending
-            .iter()
-            .rev()
-            .find(|w| w.reg == r)
-            .map(|w| w.value)
-            .unwrap_or_else(|| self.reg_value(r))
+    #[inline]
+    pub fn reg_value_flushed(&self, regs: &[u32], r: Reg) -> u16 {
+        let i = r.index();
+        if self.inflight[i] > 0 {
+            self.ring[self.last_writer[i] as usize].value
+        } else {
+            regs[i] as u16
+        }
     }
 
     /// True if `r` has an uncommitted in-flight write (a read now would be
     /// a data hazard the compiler should have scheduled around).
+    #[inline]
     pub fn has_pending_write(&self, r: Reg) -> bool {
-        self.pending.iter().any(|w| w.reg == r)
+        self.inflight[r.index()] > 0
     }
 
-    /// Queues a register write that commits `latency` cycles from `now`.
-    pub fn write_reg(&mut self, now: u64, latency: u64, reg: Reg, value: u16, carry: bool) {
-        self.pending.push_back(PendingWrite {
+    /// Queues a write to flat register index `reg`, committing `latency`
+    /// cycles from `now`.
+    #[inline]
+    pub fn write_reg_idx(&mut self, now: u64, latency: u64, reg: u16, value: u16, carry: bool) {
+        assert!(
+            (self.ring_len as usize) < self.ring.len(),
+            "pipeline ring overflow"
+        );
+        let slot = (self.ring_head + self.ring_len) & self.ring_mask;
+        self.ring[slot as usize] = PendingWrite {
             commit_at: now + latency,
             reg,
             value,
             carry,
-        });
+        };
+        self.inflight[reg as usize] += 1;
+        self.last_writer[reg as usize] = slot;
+        self.ring_len += 1;
     }
 
     /// Records an arriving message in the next free epilogue slot.
@@ -119,9 +153,59 @@ impl CoreState {
         Some(slot)
     }
 
-    /// Resets per-Vcycle receive state (the Vcycle wrap).
+    /// Resets per-Vcycle receive state (the Vcycle wrap). Messages fill
+    /// slots in order, so only the first `received` can be `Some`.
     pub fn wrap_vcycle(&mut self) {
-        self.epilogue.iter_mut().for_each(|s| *s = None);
+        self.epilogue[..self.received]
+            .iter_mut()
+            .for_each(|s| *s = None);
         self.received = 0;
+    }
+}
+
+/// A core's state plus its register-file and scratchpad lanes out of the
+/// machine's structure-of-arrays storage — everything one core's execution
+/// touches, borrowable disjointly per shard (`split_at_mut` in the
+/// parallel engine).
+pub(crate) struct CoreView<'a> {
+    pub cs: &'a mut CoreState,
+    /// This core's `regfile_size` slice of the grid register file.
+    /// Low 16 bits value, bit 16 the carry/overflow bit (the 2048×17 BRAM
+    /// of §5.1).
+    pub regs: &'a mut [u32],
+    /// This core's `scratch_words` slice of the grid scratchpad
+    /// (16384×16 URAM).
+    pub scratch: &'a mut [u16],
+}
+
+impl CoreView<'_> {
+    /// Architectural (committed) register value.
+    #[inline]
+    pub fn reg_value(&self, r: Reg) -> u16 {
+        self.regs[r.index()] as u16
+    }
+
+    /// Architectural carry bit.
+    #[inline]
+    pub fn reg_carry(&self, r: Reg) -> bool {
+        (self.regs[r.index()] >> 16) & 1 == 1
+    }
+
+    /// See [`CoreState::reg_value_flushed`].
+    #[inline]
+    pub fn reg_value_flushed(&self, r: Reg) -> u16 {
+        self.cs.reg_value_flushed(self.regs, r)
+    }
+
+    /// Queues a register write that commits `latency` cycles from `now`.
+    #[inline]
+    pub fn write_reg(&mut self, now: u64, latency: u64, reg: Reg, value: u16, carry: bool) {
+        self.cs.write_reg_idx(now, latency, reg.0, value, carry);
+    }
+
+    /// Commits all pending writes due at or before `now`.
+    #[inline]
+    pub fn commit_due(&mut self, now: u64) {
+        self.cs.commit_due(self.regs, now);
     }
 }

@@ -6,7 +6,9 @@
 //! executing one Vcycle position through this module: both engines call
 //! [`step_core`], which mutates only
 //!
-//! - the core's own state (`CoreState`),
+//! - the core's own state (a [`CoreView`]: per-core metadata plus the
+//!   core's register-file and scratchpad lanes of the machine's
+//!   structure-of-arrays storage),
 //! - the caller-supplied [`PerfCounters`] accumulator,
 //! - the caller-supplied host-event list (privileged core only),
 //! - the caller-supplied [`SendRecord`] list (messages are *recorded*, not
@@ -16,11 +18,16 @@
 //! Everything cross-core — NoC routing, message delivery, link-collision
 //! validation — stays in the engines, where the two differ only in *when*
 //! the same serial commit work happens.
+//!
+//! The micro-op replay engine ([`crate::uops`]) does *not* go through this
+//! module's interpreters — that is its point — but it is compiled from the
+//! same decoded instructions and validated against these executors by the
+//! equivalence suite.
 
 use manticore_isa::{CoreId, ExceptionDescriptor, ExceptionKind, Instruction, MachineConfig, Reg};
 
 use crate::cache::Cache;
-use crate::core::CoreState;
+use crate::core::CoreView;
 use crate::grid::{HostEvent, MachineError, PerfCounters};
 
 /// Grid-stall cycles charged per serviced exception (host round-trip over
@@ -56,12 +63,12 @@ pub(crate) fn core_id_of(idx: usize, grid_width: usize) -> CoreId {
 
 fn read_operand(
     env: &ExecEnv<'_>,
-    core: &CoreState,
+    core: &CoreView<'_>,
     core_id: CoreId,
     r: Reg,
     pos: u64,
 ) -> Result<u16, MachineError> {
-    if env.strict_hazards && core.has_pending_write(r) {
+    if env.strict_hazards && core.cs.has_pending_write(r) {
         return Err(MachineError::Hazard {
             core: core_id,
             position: pos,
@@ -73,12 +80,12 @@ fn read_operand(
 
 fn read_carry(
     env: &ExecEnv<'_>,
-    core: &CoreState,
+    core: &CoreView<'_>,
     core_id: CoreId,
     r: Reg,
     pos: u64,
 ) -> Result<bool, MachineError> {
-    if env.strict_hazards && core.has_pending_write(r) {
+    if env.strict_hazards && core.cs.has_pending_write(r) {
         return Err(MachineError::Hazard {
             core: core_id,
             position: pos,
@@ -97,7 +104,7 @@ fn require_privileged(core_id: CoreId) -> Result<(), MachineError> {
 
 fn global_addr(
     env: &ExecEnv<'_>,
-    core: &CoreState,
+    core: &CoreView<'_>,
     core_id: CoreId,
     rs_addr: [Reg; 3],
     pos: u64,
@@ -109,18 +116,18 @@ fn global_addr(
 }
 
 /// Services an `Expect` exception: the grid stalls and the host acts on
-/// the descriptor.
-fn service_exception(
-    env: &ExecEnv<'_>,
-    core: &CoreState,
+/// the descriptor. Shared by the interpreter and the micro-op engine.
+pub(crate) fn service_exception(
+    exceptions: &[ExceptionDescriptor],
+    vcycle: u64,
+    core: &CoreView<'_>,
     eid: u16,
     counters: &mut PerfCounters,
     events: &mut Vec<HostEvent>,
 ) -> Result<(), MachineError> {
     counters.exceptions += 1;
     counters.stall_cycles += EXCEPTION_STALL;
-    let desc = env
-        .exceptions
+    let desc = exceptions
         .iter()
         .find(|d| d.id.0 == eid)
         .ok_or(MachineError::UnknownException { eid })?
@@ -131,10 +138,7 @@ fn service_exception(
             events.push(HostEvent::Display(rendered));
         }
         ExceptionKind::AssertFail { message } => {
-            return Err(MachineError::AssertFailed {
-                message,
-                vcycle: env.vcycle,
-            });
+            return Err(MachineError::AssertFailed { message, vcycle });
         }
         ExceptionKind::Finish => {
             events.push(HostEvent::Finish);
@@ -159,7 +163,7 @@ fn service_exception(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn step_core(
     env: &ExecEnv<'_>,
-    core: &mut CoreState,
+    core: &mut CoreView<'_>,
     core_id: CoreId,
     pos: u64,
     now: u64,
@@ -168,15 +172,15 @@ pub(crate) fn step_core(
     events: &mut Vec<HostEvent>,
     sends: &mut Vec<SendRecord>,
 ) -> Result<(), MachineError> {
-    let body_len = core.body.len() as u64;
-    let epi_len = core.epilogue_len as u64;
+    let body_len = core.cs.body.len() as u64;
+    let epi_len = core.cs.epilogue_len as u64;
     let lat = env.config.hazard_latency as u64;
 
     // Epilogue region: execute received messages as SET instructions.
     if pos >= body_len {
         let slot = (pos - body_len) as usize;
         if pos < body_len + epi_len {
-            match core.epilogue[slot] {
+            match core.cs.epilogue[slot] {
                 Some((rd, value)) => {
                     exec_epilogue_slot(core, now, lat, rd, value, counters);
                 }
@@ -201,25 +205,17 @@ pub(crate) fn step_core(
         return Ok(());
     }
 
+    let instr = core.cs.body[pos as usize];
     exec_instr(
-        env,
-        core,
-        core_id,
-        pos,
-        now,
-        core.body[pos as usize],
-        cache,
-        counters,
-        events,
-        sends,
+        env, core, core_id, pos, now, instr, cache, counters, events, sends,
     )
 }
 
 /// Executes one filled epilogue slot (`SET rd, value`) at compute time
-/// `now`. Shared by [`step_core`] and the replay engine's dense epilogue
-/// walk.
+/// `now`. Shared by [`step_core`] and the replay engines' dense epilogue
+/// walks.
 pub(crate) fn exec_epilogue_slot(
-    core: &mut CoreState,
+    core: &mut CoreView<'_>,
     now: u64,
     lat: u64,
     rd: Reg,
@@ -227,18 +223,19 @@ pub(crate) fn exec_epilogue_slot(
     counters: &mut PerfCounters,
 ) {
     core.write_reg(now, lat, rd, value, false);
-    core.executed += 1;
+    core.cs.executed += 1;
     counters.instructions += 1;
 }
 
 /// Executes one already-decoded body instruction. This is the single
 /// source of architectural truth for instruction semantics: the serial
-/// engine, the sharded BSP engine, and the replay engine all funnel every
-/// body instruction through here.
+/// engine, the sharded BSP engine, and the tape replay engine all funnel
+/// every body instruction through here (the micro-op engine is compiled
+/// from the same instructions and checked against this interpreter).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_instr(
     env: &ExecEnv<'_>,
-    core: &mut CoreState,
+    core: &mut CoreView<'_>,
     core_id: CoreId,
     pos: u64,
     now: u64,
@@ -250,7 +247,7 @@ pub(crate) fn exec_instr(
 ) -> Result<(), MachineError> {
     let lat = env.config.hazard_latency as u64;
     if !matches!(instr, Instruction::Nop) {
-        core.executed += 1;
+        core.cs.executed += 1;
         counters.instructions += 1;
     }
     match instr {
@@ -315,7 +312,7 @@ pub(crate) fn exec_instr(
             core.write_reg(now, lat, rd, (v >> offset) & mask, false);
         }
         Instruction::Custom { rd, func, rs } => {
-            let table = *core.custom_functions.get(func as usize).ok_or_else(|| {
+            let table = *core.cs.custom_functions.get(func as usize).ok_or_else(|| {
                 MachineError::Load(format!(
                     "custom function {func} not programmed on {core_id}"
                 ))
@@ -324,19 +321,12 @@ pub(crate) fn exec_instr(
             let b = read_operand(env, core, core_id, rs[1], pos)?;
             let c = read_operand(env, core, core_id, rs[2], pos)?;
             let d = read_operand(env, core, core_id, rs[3], pos)?;
-            let mut out = 0u16;
-            for lane in 0..16 {
-                let sel = ((a >> lane) & 1)
-                    | (((b >> lane) & 1) << 1)
-                    | (((c >> lane) & 1) << 2)
-                    | (((d >> lane) & 1) << 3);
-                out |= ((table[lane] >> sel) & 1) << lane;
-            }
+            let out = eval_custom(&table, a, b, c, d);
             core.write_reg(now, lat, rd, out, false);
         }
         Instruction::Predicate { rs } => {
             let v = read_operand(env, core, core_id, rs, pos)?;
-            core.predicate = v != 0;
+            core.cs.predicate = v != 0;
         }
         Instruction::LocalLoad { rd, rs_addr, base } => {
             let a = read_operand(env, core, core_id, rs_addr, pos)?;
@@ -351,7 +341,7 @@ pub(crate) fn exec_instr(
         } => {
             let v = read_operand(env, core, core_id, rs_data, pos)?;
             let a = read_operand(env, core, core_id, rs_addr, pos)?;
-            if core.predicate {
+            if core.cs.predicate {
                 let addr = (base as usize + a as usize) % env.config.scratch_words;
                 core.scratch[addr] = v;
             }
@@ -368,7 +358,7 @@ pub(crate) fn exec_instr(
             require_privileged(core_id)?;
             let v = read_operand(env, core, core_id, rs_data, pos)?;
             let addr = global_addr(env, core, core_id, rs_addr, pos)?;
-            if core.predicate {
+            if core.cs.predicate {
                 let cache = cache.expect("privileged core must be stepped with the cache");
                 let stall = cache.store(addr, v);
                 counters.stall_cycles += stall;
@@ -394,11 +384,26 @@ pub(crate) fn exec_instr(
             let a = read_operand(env, core, core_id, rs1, pos)?;
             let b = read_operand(env, core, core_id, rs2, pos)?;
             if a != b {
-                service_exception(env, core, eid, counters, events)?;
+                service_exception(env.exceptions, env.vcycle, core, eid, counters, events)?;
             }
         }
     }
     Ok(())
+}
+
+/// Applies a 4-input LUT truth table across the 16 bit lanes. Shared by
+/// the interpreter and the micro-op engine.
+#[inline]
+pub(crate) fn eval_custom(table: &[u16; 16], a: u16, b: u16, c: u16, d: u16) -> u16 {
+    let mut out = 0u16;
+    for (lane, &row) in table.iter().enumerate() {
+        let sel = ((a >> lane) & 1)
+            | (((b >> lane) & 1) << 1)
+            | (((c >> lane) & 1) << 2)
+            | (((d >> lane) & 1) << 3);
+        out |= ((row >> sel) & 1) << lane;
+    }
+    out
 }
 
 /// Renders a display format string; `{}` placeholders print arguments in

@@ -1,15 +1,23 @@
 //! The machine itself: lockstep execution of the core grid, Vcycle framing,
 //! global stall, host exception servicing.
+//!
+//! Machine state is structure-of-arrays: one contiguous `Vec<u32>` holds
+//! every core's register file and one contiguous `Vec<u16>` every core's
+//! scratchpad, sliced into per-core lanes (`CoreView`) for execution. The
+//! layout keeps the hot replay paths walking adjacent memory and lets the
+//! sharded engine hand each worker a disjoint `split_at_mut` window of the
+//! whole machine.
 
 use std::fmt;
 
 use manticore_isa::{Binary, CoreId, Instruction, MachineConfig, Reg};
 
 use crate::cache::{Cache, CacheStats};
-use crate::core::CoreState;
+use crate::core::{CoreState, CoreView};
 use crate::exec::{core_id_of, exec_epilogue_slot, exec_instr, step_core, ExecEnv, SendRecord};
 use crate::noc::Noc;
 use crate::replay::ReplayTape;
+use crate::uops::{run_core_uops, MicroProgram};
 
 /// Hardware performance counters (§7.7 uses these for the global-stall
 /// experiment).
@@ -227,11 +235,34 @@ pub enum ExecMode {
     },
 }
 
+/// Which lowering the validate-once / replay-many fast path executes once
+/// the validation Vcycle has proven the static schedule.
+///
+/// Both are bit-identical to the full interpreter; they differ only in how
+/// much interpretation overhead survives per replayed position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayEngine {
+    /// The pre-decoded tape, executed through the shared interpreter
+    /// executors (`exec_instr`), hazard checks and all.
+    Tape,
+    /// The fused micro-op stream over structure-of-arrays state: operands
+    /// pre-resolved to flat offsets, dead hazard checks removed, counters
+    /// bulk-accumulated, common adjacent pairs fused into one dispatch.
+    /// The default.
+    MicroOps,
+}
+
 /// The Manticore machine: a configured grid with a program loaded.
 #[derive(Debug)]
 pub struct Machine {
     pub(crate) config: MachineConfig,
     pub(crate) cores: Vec<CoreState>,
+    /// Structure-of-arrays register file for the whole grid:
+    /// `regfile_size` consecutive words per core, linear core order.
+    pub(crate) regs: Vec<u32>,
+    /// Structure-of-arrays scratchpad for the whole grid: `scratch_words`
+    /// consecutive words per core, linear core order.
+    pub(crate) scratch: Vec<u16>,
     pub(crate) noc: Noc,
     pub(crate) cache: Cache,
     pub(crate) exceptions: Vec<manticore_isa::ExceptionDescriptor>,
@@ -245,12 +276,17 @@ pub struct Machine {
     /// Whether the validate-once / replay-many fast path may be used once
     /// the validation Vcycle has completed.
     pub(crate) replay_enabled: bool,
+    /// Which replay lowering to execute (tape or fused micro-ops).
+    pub(crate) replay_engine: ReplayEngine,
     /// The frozen replay tape (dense per-core schedule + delivery
     /// schedule), derived from the static program at load. `None` when the
     /// program cannot be replayed (e.g. a message crosses a Vcycle
     /// boundary — such programs fail validation anyway) or after
     /// [`Machine::set_strict_hazards`] invalidated it.
     pub(crate) replay_tape: Option<ReplayTape>,
+    /// The fused micro-op lowering of the tape; `Some` exactly when
+    /// `replay_tape` is.
+    pub(crate) micro_prog: Option<MicroProgram>,
 }
 
 impl Machine {
@@ -283,9 +319,12 @@ impl Machine {
         if binary.vcycle_len == 0 {
             return Err(MachineError::Load("vcycle_len must be non-zero".into()));
         }
-        let mut cores: Vec<CoreState> = (0..config.num_cores())
-            .map(|_| CoreState::new(config.regfile_size, config.scratch_words))
+        let n = config.num_cores();
+        let mut cores: Vec<CoreState> = (0..n)
+            .map(|_| CoreState::new(config.regfile_size, config.hazard_latency))
             .collect();
+        let mut regs = vec![0u32; n * config.regfile_size];
+        let mut scratch = vec![0u16; n * config.scratch_words];
         for image in &binary.cores {
             let idx = image.core.linear(config.grid_width);
             if image.core.x as usize >= config.grid_width
@@ -320,7 +359,10 @@ impl Machine {
                         image.core
                     )));
                 }
-                if let Instruction::Send { target, .. } = instr {
+                if let Instruction::Send {
+                    target, rd_remote, ..
+                } = instr
+                {
                     if target.x as usize >= config.grid_width
                         || target.y as usize >= config.grid_height
                     {
@@ -329,11 +371,25 @@ impl Machine {
                             image.core, config.grid_width, config.grid_height
                         )));
                     }
+                    if rd_remote.index() >= config.regfile_size {
+                        return Err(MachineError::Load(format!(
+                            "{}: Send remote register {rd_remote} out of range",
+                            image.core
+                        )));
+                    }
                 }
                 if let Some(rd) = instr.dest() {
                     if rd.index() >= config.regfile_size {
                         return Err(MachineError::Load(format!(
                             "{}: register {rd} out of range",
+                            image.core
+                        )));
+                    }
+                }
+                for rs in instr.sources() {
+                    if rs.index() >= config.regfile_size {
+                        return Err(MachineError::Load(format!(
+                            "{}: source register {rs} out of range",
                             image.core
                         )));
                     }
@@ -348,27 +404,38 @@ impl Machine {
                 if r.index() >= config.regfile_size {
                     return Err(MachineError::Load(format!("init reg {r} out of range")));
                 }
-                core.regs[r.index()] = v as u32;
+                regs[idx * config.regfile_size + r.index()] = v as u32;
             }
             for &(a, v) in &image.init_scratch {
                 if (a as usize) >= config.scratch_words {
                     return Err(MachineError::Load(format!("init scratch {a} out of range")));
                 }
-                core.scratch[a as usize] = v;
+                scratch[idx * config.scratch_words + a as usize] = v;
             }
         }
         let mut cache = Cache::new(config.cache);
         for &(a, v) in &binary.init_dram {
             cache.write_dram(a, v);
         }
-        // The replay tape is a pure function of the loaded program and the
-        // configuration, so it is frozen here; it is only *used* after the
-        // first (validation) Vcycle has proven the schedule's assumptions.
+        // The replay tape and its micro-op lowering are pure functions of
+        // the loaded program and the configuration, so they are frozen
+        // here; they are only *used* after the first (validation) Vcycle
+        // has proven the schedule's assumptions.
         let replay_tape = ReplayTape::build(&cores, &config, binary.vcycle_len as u64);
+        let micro_prog = replay_tape.as_ref().map(|tape| {
+            MicroProgram::compile(
+                tape,
+                &cores,
+                binary.vcycle_len as u64,
+                config.hazard_latency as u64,
+            )
+        });
         Ok(Machine {
             noc: Noc::new(&config),
             cache,
             cores,
+            regs,
+            scratch,
             exceptions: binary.exceptions.clone(),
             vcycle_len: binary.vcycle_len as u64,
             compute_time: 0,
@@ -378,7 +445,9 @@ impl Machine {
             events: Vec::new(),
             exec_mode: ExecMode::Serial,
             replay_enabled: true,
+            replay_engine: ReplayEngine::MicroOps,
             replay_tape,
+            micro_prog,
             config,
         })
     }
@@ -397,15 +466,16 @@ impl Machine {
     /// (what the real pipeline would do) instead of erroring. Used by
     /// failure-injection tests.
     ///
-    /// *Enabling* strictness invalidates the replay tape: it re-arms
-    /// hazard checks a permissive validation Vcycle never proved, and those
-    /// checks rely on the full engines' position-major error ordering.
-    /// Relaxing to permissive only removes checks, so the tape stays valid
-    /// (replay executes the same stale reads the permissive interpreter
-    /// would).
+    /// *Enabling* strictness invalidates the replay tape and its micro-op
+    /// lowering: it re-arms hazard checks a permissive validation Vcycle
+    /// never proved, and those checks rely on the full engines'
+    /// position-major error ordering. Relaxing to permissive only removes
+    /// checks, so the tape stays valid (replay executes the same stale
+    /// reads the permissive interpreter would).
     pub fn set_strict_hazards(&mut self, strict: bool) {
         if strict && !self.strict_hazards {
             self.replay_tape = None;
+            self.micro_prog = None;
         }
         self.strict_hazards = strict;
     }
@@ -415,9 +485,10 @@ impl Machine {
     /// Replay is enabled by default and is architecturally invisible: after
     /// the first Vcycle validates the static schedule (link collisions,
     /// delivery timing, epilogue accounting), subsequent Vcycles execute a
-    /// frozen, pre-decoded tape that skips NOPs, empty tail positions, and
-    /// all per-position NoC bookkeeping — bit-identical results, measurably
-    /// faster. Disable it to benchmark the full interpreter.
+    /// frozen, pre-decoded schedule that skips NOPs, empty tail positions,
+    /// and all per-position NoC bookkeeping — bit-identical results,
+    /// measurably faster. Disable it to benchmark the full interpreter.
+    /// See [`Machine::set_replay_engine`] for the two replay lowerings.
     pub fn set_replay(&mut self, enabled: bool) {
         self.replay_enabled = enabled;
     }
@@ -425,6 +496,29 @@ impl Machine {
     /// Whether the replay fast path may be used (see [`Machine::set_replay`]).
     pub fn replay_enabled(&self) -> bool {
         self.replay_enabled
+    }
+
+    /// Selects which replay lowering post-validation Vcycles execute:
+    /// the pre-decoded tape through the shared interpreter, or the fused
+    /// micro-op stream ([`ReplayEngine::MicroOps`], the default). Both are
+    /// bit-identical; the engine can be switched freely between
+    /// [`Machine::run_vcycles`] calls.
+    pub fn set_replay_engine(&mut self, engine: ReplayEngine) {
+        self.replay_engine = engine;
+    }
+
+    /// The currently selected replay lowering.
+    pub fn replay_engine(&self) -> ReplayEngine {
+        self.replay_engine
+    }
+
+    /// Micro-op stream statistics for the loaded program, when one exists:
+    /// `(micro_ops, fused_pairs)` summed over the grid. `fused_pairs`
+    /// counts adjacent tape-entry pairs absorbed into a single dispatch.
+    pub fn micro_op_stats(&self) -> Option<(usize, usize)> {
+        self.micro_prog
+            .as_ref()
+            .map(|p| (p.streams.iter().map(Vec::len).sum::<usize>(), p.fused_pairs))
     }
 
     /// True when replay is enabled *and* a frozen tape exists for the
@@ -435,11 +529,18 @@ impl Machine {
         self.replay_enabled && self.replay_tape.is_some()
     }
 
-    /// True when the next Vcycle will execute from the frozen replay tape:
-    /// replay is enabled, the program was replayable at load, and the
-    /// validation Vcycle has completed.
+    /// True when the next Vcycle will execute from the frozen replay
+    /// schedule: replay is enabled, the program was replayable at load,
+    /// and the validation Vcycle has completed.
     pub(crate) fn replay_active(&self) -> bool {
         self.replay_armed() && self.counters.vcycles > 0
+    }
+
+    /// True when the micro-op engine must defer to the tape engine: strict
+    /// mode with a static cross-Vcycle-boundary hazard, where only the
+    /// tape's live per-read checks reproduce the interpreter's error.
+    pub(crate) fn uops_defer_to_tape(&self) -> bool {
+        self.strict_hazards && self.micro_prog.as_ref().is_some_and(|p| p.cross_hazard)
     }
 
     /// Selects the execution engine for subsequent [`Machine::run_vcycles`]
@@ -475,15 +576,24 @@ impl Machine {
         self.cache.stats()
     }
 
+    /// This core's register-file lane of the SoA grid state.
+    #[inline]
+    pub(crate) fn reg_lane(&self, idx: usize) -> &[u32] {
+        let rf = self.config.regfile_size;
+        &self.regs[idx * rf..(idx + 1) * rf]
+    }
+
     /// Reads a register as the host sees it at a Vcycle boundary (with
     /// in-flight writes applied).
     pub fn read_reg(&self, core: CoreId, reg: Reg) -> u16 {
-        self.cores[core.linear(self.config.grid_width)].reg_value_flushed(reg)
+        let idx = core.linear(self.config.grid_width);
+        self.cores[idx].reg_value_flushed(self.reg_lane(idx), reg)
     }
 
     /// Reads a scratchpad word.
     pub fn read_scratch(&self, core: CoreId, addr: usize) -> u16 {
-        self.cores[core.linear(self.config.grid_width)].scratch[addr]
+        let idx = core.linear(self.config.grid_width);
+        self.scratch[idx * self.config.scratch_words + addr]
     }
 
     /// Reads a global-memory word (through the coherent host view).
@@ -513,7 +623,15 @@ impl Machine {
                 break;
             }
             let res = if self.replay_active() {
-                self.run_one_vcycle_replay()
+                match self.replay_engine {
+                    // A static cross-boundary hazard needs the tape
+                    // engine's live checks to report the interpreter's
+                    // exact error (no compiled workload has one).
+                    ReplayEngine::MicroOps if !self.uops_defer_to_tape() => {
+                        self.run_one_vcycle_uops()
+                    }
+                    _ => self.run_one_vcycle_replay(),
+                }
             } else {
                 self.run_one_vcycle()
             };
@@ -575,6 +693,8 @@ impl Machine {
         // compute domain is deterministic and the program periodic, so the
         // link pattern repeats exactly.
         let validate = self.counters.vcycles == 0;
+        let rf = self.config.regfile_size;
+        let sw = self.config.scratch_words;
         let env = ExecEnv {
             config: &self.config,
             exceptions: &self.exceptions,
@@ -604,12 +724,17 @@ impl Machine {
                 self.counters.messages_delivered += 1;
             }
             for idx in 0..self.cores.len() {
-                self.cores[idx].commit_due(now);
+                let mut view = CoreView {
+                    cs: &mut self.cores[idx],
+                    regs: &mut self.regs[idx * rf..(idx + 1) * rf],
+                    scratch: &mut self.scratch[idx * sw..(idx + 1) * sw],
+                };
+                view.commit_due(now);
                 let core_id = core_id_of(idx, self.config.grid_width);
                 let cache = (core_id == CoreId::PRIVILEGED).then_some(&mut self.cache);
                 step_core(
                     &env,
-                    &mut self.cores[idx],
+                    &mut view,
                     core_id,
                     pos,
                     now,
@@ -668,6 +793,8 @@ impl Machine {
         let Machine {
             config,
             cores,
+            regs,
+            scratch,
             cache,
             exceptions,
             vcycle_len,
@@ -688,57 +815,200 @@ impl Machine {
             vcycle: counters.vcycles,
         };
         let vstart = *compute_time;
-        let lat = config.hazard_latency as u64;
+        let rf = config.regfile_size;
+        let sw = config.scratch_words;
 
         // Body phase: dense, pre-decoded, core-major.
         let mut sends: Vec<SendRecord> = Vec::with_capacity(tape.sends_per_vcycle);
         for (idx, ops) in tape.body.iter().enumerate() {
-            let core = &mut cores[idx];
+            let mut view = CoreView {
+                cs: &mut cores[idx],
+                regs: &mut regs[idx * rf..(idx + 1) * rf],
+                scratch: &mut scratch[idx * sw..(idx + 1) * sw],
+            };
             let core_id = core_id_of(idx, config.grid_width);
             let is_privileged = core_id == CoreId::PRIVILEGED;
             for op in ops {
                 let pos = op.pos as u64;
                 let now = vstart + pos;
-                core.commit_due(now);
+                view.commit_due(now);
                 let cache_arg = if is_privileged {
                     Some(&mut *cache)
                 } else {
                     None
                 };
                 exec_instr(
-                    &env, core, core_id, pos, now, op.instr, cache_arg, counters, events,
+                    &env, &mut view, core_id, pos, now, op.instr, cache_arg, counters, events,
                     &mut sends,
                 )?;
             }
         }
         debug_assert_eq!(sends.len(), tape.sends_per_vcycle);
 
-        // Delivery phase: the frozen schedule already knows every arrival
-        // position and slot; only the values change between Vcycles.
-        for d in &tape.deliveries {
-            let core = &mut cores[d.target as usize];
-            core.epilogue[d.slot as usize] = Some((d.rd, sends[d.send_idx as usize].value));
-            core.received += 1;
-            counters.messages_delivered += 1;
-        }
+        replay_delivery_and_epilogue(tape, cores, regs, scratch, config, vstart, counters, |i| {
+            sends[i as usize].value
+        });
 
-        // Epilogue phase: every slot was validated to fill and to issue
-        // within the Vcycle (`epi_exec` clamps the ones that never issue).
-        for (idx, core) in cores.iter_mut().enumerate() {
-            let body_len = core.body.len() as u64;
-            for slot in 0..tape.epi_exec[idx] {
-                let now = vstart + body_len + slot as u64;
-                core.commit_due(now);
-                let (rd, value) = core.epilogue[slot].expect("validated: every slot fills");
-                exec_epilogue_slot(core, now, lat, rd, value, counters);
+        *compute_time += *vcycle_len;
+        counters.compute_cycles += *vcycle_len;
+        counters.vcycles += 1;
+        Ok(())
+    }
+
+    /// One Vcycle on the fused micro-op stream (see [`crate::uops`]).
+    ///
+    /// Identical phase structure to [`Machine::run_one_vcycle_replay`] —
+    /// core-major body walk, frozen delivery schedule, dense epilogue —
+    /// but the body walk dispatches pre-resolved micro-ops instead of
+    /// interpreting decoded instructions, skips architecturally inert
+    /// cores entirely, and accumulates counters in bulk. In strict mode
+    /// (no read can observe an in-flight write — validated) register
+    /// writes commit directly and the epilogue collapses to the
+    /// pre-resolved `epi_prog` write list; permissive mode keeps the
+    /// pipeline ring for exact stale-read semantics.
+    fn run_one_vcycle_uops(&mut self) -> Result<(), MachineError> {
+        let Machine {
+            config,
+            cores,
+            regs,
+            scratch,
+            cache,
+            exceptions,
+            vcycle_len,
+            compute_time,
+            counters,
+            events,
+            strict_hazards,
+            replay_tape,
+            micro_prog,
+            ..
+        } = self;
+        let tape = replay_tape
+            .as_ref()
+            .expect("replay_active checked the tape");
+        let up = micro_prog
+            .as_ref()
+            .expect("micro program exists whenever the tape does");
+        let direct = *strict_hazards;
+        let vstart = *compute_time;
+        let lat = config.hazard_latency as u64;
+        let rf = config.regfile_size;
+        let sw = config.scratch_words;
+        let vcycle = counters.vcycles;
+
+        // Body phase: fused micro-ops, active cores only.
+        let mut send_vals: Vec<u16> = Vec::with_capacity(tape.sends_per_vcycle);
+        for &idx in &up.active {
+            let idx = idx as usize;
+            let mut view = CoreView {
+                cs: &mut cores[idx],
+                regs: &mut regs[idx * rf..(idx + 1) * rf],
+                scratch: &mut scratch[idx * sw..(idx + 1) * sw],
+            };
+            // The privileged core is linear index 0 ((0,0) row-major).
+            let cache_arg = (idx == 0).then_some(&mut *cache);
+            let run = if direct {
+                run_core_uops::<true>
+            } else {
+                run_core_uops::<false>
+            };
+            run(
+                exceptions,
+                vcycle,
+                sw,
+                lat,
+                vstart,
+                &mut view,
+                &up.streams[idx],
+                cache_arg,
+                counters,
+                events,
+                &mut send_vals,
+            )
+            .map_err(|f| f.err)?;
+        }
+        debug_assert_eq!(send_vals.len(), tape.sends_per_vcycle);
+
+        if direct {
+            // Delivery and epilogue collapse into the pre-resolved write
+            // list: `(core, slot)` order, direct commits (nothing can
+            // observe them in flight), bulk counters.
+            counters.messages_delivered += tape.deliveries.len() as u64;
+            for e in &up.epi_prog {
+                regs[e.core as usize * rf + e.rd as usize] = send_vals[e.send_idx as usize] as u32;
             }
-            core.wrap_vcycle();
+            for &idx in &up.active {
+                let idx = idx as usize;
+                let epi = tape.epi_exec[idx] as u64;
+                cores[idx].executed += epi;
+                counters.instructions += epi;
+            }
+        } else {
+            replay_delivery_and_epilogue(
+                tape,
+                cores,
+                regs,
+                scratch,
+                config,
+                vstart,
+                counters,
+                |i| send_vals[i as usize],
+            );
         }
 
         *compute_time += *vcycle_len;
         counters.compute_cycles += *vcycle_len;
         counters.vcycles += 1;
         Ok(())
+    }
+}
+
+/// Applies the frozen delivery schedule and walks the validated epilogue
+/// slots through the pipeline ring, wrapping every core — the shared
+/// back half of a tape-replay or ringed micro-op Vcycle. `value_of` maps
+/// a schedule entry's send index to this Vcycle's value, the only thing
+/// that differs between the two callers (keeping the walk itself in one
+/// place, so the engines cannot drift by parallel maintenance).
+#[allow(clippy::too_many_arguments)]
+fn replay_delivery_and_epilogue(
+    tape: &ReplayTape,
+    cores: &mut [CoreState],
+    regs: &mut [u32],
+    scratch: &mut [u16],
+    config: &MachineConfig,
+    vstart: u64,
+    counters: &mut PerfCounters,
+    value_of: impl Fn(u32) -> u16,
+) {
+    let lat = config.hazard_latency as u64;
+    let rf = config.regfile_size;
+    let sw = config.scratch_words;
+
+    // Delivery phase: the frozen schedule already knows every arrival
+    // position and slot; only the values change between Vcycles.
+    for d in &tape.deliveries {
+        let core = &mut cores[d.target as usize];
+        core.epilogue[d.slot as usize] = Some((d.rd, value_of(d.send_idx)));
+        core.received += 1;
+        counters.messages_delivered += 1;
+    }
+
+    // Epilogue phase: every slot was validated to fill and to issue
+    // within the Vcycle (`epi_exec` clamps the ones that never issue).
+    for (idx, core) in cores.iter_mut().enumerate() {
+        let mut view = CoreView {
+            cs: core,
+            regs: &mut regs[idx * rf..(idx + 1) * rf],
+            scratch: &mut scratch[idx * sw..(idx + 1) * sw],
+        };
+        let body_len = view.cs.body.len() as u64;
+        for slot in 0..tape.epi_exec[idx] {
+            let now = vstart + body_len + slot as u64;
+            view.commit_due(now);
+            let (rd, value) = view.cs.epilogue[slot].expect("validated: every slot fills");
+            exec_epilogue_slot(&mut view, now, lat, rd, value, counters);
+        }
+        view.cs.wrap_vcycle();
     }
 }
 

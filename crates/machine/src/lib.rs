@@ -37,10 +37,15 @@
 //! Both engines additionally exploit the model's determinism with a
 //! *validate-once / replay-many* fast path ([`Machine::set_replay`], on by
 //! default): the first Vcycle validates the static schedule in full, after
-//! which execution switches to a frozen, pre-decoded replay tape that
+//! which execution switches to a frozen, pre-decoded replay schedule that
 //! skips NOPs, idle-tail positions, and all per-position NoC bookkeeping —
-//! same bits, fewer interpreted steps (see the crate-private `replay`
-//! module and `ARCHITECTURE.md`).
+//! same bits, fewer interpreted steps. Two lowerings exist
+//! ([`Machine::set_replay_engine`]): the pre-decoded tape through the
+//! shared interpreter, and the default *fused micro-op stream* over the
+//! machine's structure-of-arrays state, with operands pre-resolved to flat
+//! offsets, dead hazard checks removed, counters bulk-accumulated, and the
+//! measured-hottest adjacent instruction pairs fused into one dispatch
+//! (see the crate-private `replay`/`uops` modules and `ARCHITECTURE.md`).
 
 mod cache;
 mod core;
@@ -49,9 +54,12 @@ mod grid;
 mod noc;
 mod parallel;
 mod replay;
+mod uops;
 
 pub use cache::{Cache, CacheStats};
-pub use grid::{ExecMode, HostEvent, Machine, MachineError, PerfCounters, RunOutcome};
+pub use grid::{
+    ExecMode, HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome,
+};
 
 #[cfg(test)]
 mod tests;

@@ -90,6 +90,7 @@ impl Noc {
     /// During the validation Vcycle (`validate = true`) every hop reserves
     /// its link; a conflicting reservation is reported as a collision —
     /// on the real bufferless switches the message would be dropped.
+    #[allow(clippy::too_many_arguments)]
     pub fn send(
         &mut self,
         from: CoreId,

@@ -25,6 +25,10 @@
 //! 4. **barrier**, then **wrap (serial)** — missing-message checks in core
 //!    order, clock-domain accounting, event draining.
 //!
+//! Each shard owns a disjoint window of the machine: its `CoreState`
+//! slice plus the matching `split_at_mut` ranges of the grid-wide
+//! structure-of-arrays register file and scratchpad (a [`ShardSlice`]).
+//!
 //! Bit-identical to the serial engine by construction: both funnel every
 //! instruction through [`exec::step_core`], and the commit phase performs
 //! the serial engine's NoC interactions in the serial engine's order. The
@@ -39,11 +43,12 @@
 //! freely between `run_vcycles` calls.
 //!
 //! After the validation Vcycle, all three phases switch to the frozen
-//! replay tape (see [`crate::replay`]) when replay is enabled: shards walk
-//! dense pre-decoded per-core schedules instead of every position, and the
-//! commit phase applies the precomputed delivery schedule instead of
-//! replaying the NoC — the validated structure repeats exactly, only the
-//! values differ.
+//! replay schedule (see [`crate::replay`]) when replay is enabled: shards
+//! walk dense pre-decoded per-core schedules instead of every position —
+//! the tape through the shared interpreter, or (the default,
+//! [`crate::uops`]) the fused micro-op stream — and the commit phase
+//! applies the precomputed delivery schedule instead of replaying the NoC.
+//! The validated structure repeats exactly, only the values differ.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
@@ -52,10 +57,11 @@ use manticore_isa::{CoreId, ExceptionDescriptor, MachineConfig, Reg};
 use manticore_util::SpinBarrier;
 
 use crate::cache::Cache;
-use crate::core::CoreState;
+use crate::core::{CoreState, CoreView};
 use crate::exec::{core_id_of, exec_epilogue_slot, exec_instr, step_core, ExecEnv, SendRecord};
-use crate::grid::{HostEvent, Machine, MachineError, PerfCounters, RunOutcome};
+use crate::grid::{HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome};
 use crate::replay::ReplayTape;
+use crate::uops::{run_core_uops, MicroProgram};
 
 const CMD_BODY: u8 = 1;
 const CMD_EPILOGUE: u8 = 2;
@@ -69,6 +75,31 @@ struct Ctl {
     cmd: AtomicU8,
     vstart: AtomicU64,
     vcycle: AtomicU64,
+}
+
+/// One shard's disjoint window of the machine: its cores plus the
+/// matching lanes of the SoA register file and scratchpad.
+struct ShardSlice<'a> {
+    cores: &'a mut [CoreState],
+    regs: &'a mut [u32],
+    scratch: &'a mut [u16],
+    /// Linear index of the first core in this shard.
+    base: usize,
+    regfile_size: usize,
+    scratch_words: usize,
+}
+
+impl ShardSlice<'_> {
+    /// The view for the shard-local core `local`.
+    fn view(&mut self, local: usize) -> CoreView<'_> {
+        let rf = self.regfile_size;
+        let sw = self.scratch_words;
+        CoreView {
+            cs: &mut self.cores[local],
+            regs: &mut self.regs[local * rf..(local + 1) * rf],
+            scratch: &mut self.scratch[local * sw..(local + 1) * sw],
+        }
+    }
 }
 
 /// A message routed to a shard during the NoC commit, to be applied at the
@@ -113,6 +144,9 @@ fn min_error(a: Option<RankedError>, b: Option<RankedError>) -> Option<RankedErr
 struct ShardScratch {
     counters: PerfCounters,
     sends: Vec<SendRecord>,
+    /// Send *values* in core-major order (micro-op replay mode, where
+    /// routing is frozen and only values travel).
+    send_vals: Vec<u16>,
     events: Vec<HostEvent>,
     error: Option<RankedError>,
     deliveries: Vec<Delivery>,
@@ -128,10 +162,11 @@ impl ShardScratch {
 /// One shard's body phase: step every owned core through its program body.
 /// `cache` is `Some` only for the shard holding the privileged core.
 ///
-/// With a replay tape (`tape` is `Some`, meaning the validation Vcycle
-/// already ran), the shard walks the dense pre-decoded entries instead of
-/// every position — same executors, same `(position, compute-time)`
-/// coordinates, far fewer interpreted steps.
+/// With a frozen replay schedule (meaning the validation Vcycle already
+/// ran), the shard walks dense pre-decoded entries instead of every
+/// position: `uprog` selects the fused micro-op stream, `tape` the
+/// pre-decoded tape through the shared executors — same `(position,
+/// compute-time)` coordinates either way, far fewer interpreted steps.
 #[allow(clippy::too_many_arguments)]
 fn body_phase(
     config: &MachineConfig,
@@ -139,11 +174,11 @@ fn body_phase(
     strict_hazards: bool,
     vcycle: u64,
     vcycle_len: u64,
-    chunk: &mut [CoreState],
-    base: usize,
+    shard: &mut ShardSlice<'_>,
     vstart: u64,
     mut cache: Option<&mut Cache>,
     tape: Option<&ReplayTape>,
+    uprog: Option<&MicroProgram>,
     sc: &mut ShardScratch,
 ) {
     let env = ExecEnv {
@@ -152,22 +187,66 @@ fn body_phase(
         strict_hazards,
         vcycle,
     };
-    for (i, core) in chunk.iter_mut().enumerate() {
+    let base = shard.base;
+    for i in 0..shard.cores.len() {
         let idx = base + i;
         let core_id = core_id_of(idx, config.grid_width);
+        let is_privileged = core_id == CoreId::PRIVILEGED;
+        if let Some(up) = uprog {
+            // Micro-op replay: skip architecturally inert cores entirely.
+            let stream = &up.streams[idx];
+            if stream.is_empty() && shard.cores[i].epilogue_len == 0 {
+                continue;
+            }
+            let mut view = shard.view(i);
+            let cache_arg = if is_privileged {
+                cache.as_deref_mut()
+            } else {
+                None
+            };
+            // Strict mode (validated, no cross-boundary hazard — the
+            // engine selection guarantees it) commits writes directly.
+            let run = if strict_hazards {
+                run_core_uops::<true>
+            } else {
+                run_core_uops::<false>
+            };
+            if let Err(fault) = run(
+                exceptions,
+                vcycle,
+                config.scratch_words,
+                config.hazard_latency as u64,
+                vstart,
+                &mut view,
+                stream,
+                cache_arg,
+                &mut sc.counters,
+                &mut sc.events,
+                &mut sc.send_vals,
+            ) {
+                sc.record_error(RankedError {
+                    pos: fault.pos,
+                    delivery_phase: false,
+                    ord: idx,
+                    err: fault.err,
+                });
+            }
+            continue;
+        }
+        let mut view = shard.view(i);
         if let Some(tape) = tape {
             for op in &tape.body[idx] {
                 let pos = op.pos as u64;
                 let now = vstart + pos;
-                core.commit_due(now);
-                let cache_arg = if core_id == CoreId::PRIVILEGED {
+                view.commit_due(now);
+                let cache_arg = if is_privileged {
                     cache.as_deref_mut()
                 } else {
                     None
                 };
                 if let Err(err) = exec_instr(
                     &env,
-                    core,
+                    &mut view,
                     core_id,
                     pos,
                     now,
@@ -188,18 +267,18 @@ fn body_phase(
             }
             continue;
         }
-        let body_len = (core.body.len() as u64).min(vcycle_len);
+        let body_len = (view.cs.body.len() as u64).min(vcycle_len);
         for pos in 0..body_len {
             let now = vstart + pos;
-            core.commit_due(now);
-            let cache_arg = if core_id == CoreId::PRIVILEGED {
+            view.commit_due(now);
+            let cache_arg = if is_privileged {
                 cache.as_deref_mut()
             } else {
                 None
             };
             if let Err(err) = step_core(
                 &env,
-                core,
+                &mut view,
                 core_id,
                 pos,
                 now,
@@ -229,20 +308,39 @@ fn body_phase(
 /// Execution goes through the same [`step_core`] as everything else (its
 /// epilogue branch cannot fail, send, or touch the cache, so the extra
 /// arguments are inert) — keeping the bit-identical-by-construction
-/// invariant structural rather than by parallel maintenance.
+/// invariant structural rather than by parallel maintenance. Both replay
+/// lowerings share the dense validated-slot walk.
 #[allow(clippy::too_many_arguments)]
 fn epilogue_phase(
     config: &MachineConfig,
     exceptions: &[ExceptionDescriptor],
     strict_hazards: bool,
     vcycle: u64,
-    chunk: &mut [CoreState],
-    base: usize,
+    shard: &mut ShardSlice<'_>,
     vstart: u64,
     vcycle_len: u64,
     tape: Option<&ReplayTape>,
+    uprog: Option<&MicroProgram>,
     sc: &mut ShardScratch,
 ) {
+    if let (Some(tape), Some(_), true) = (tape, uprog, strict_hazards) {
+        // Direct micro-op epilogue: deliveries arrive in per-core slot
+        // order, nothing can observe the writes in flight, so each
+        // executing slot is one direct register commit; bulk counters.
+        let base = shard.base;
+        let rf = shard.regfile_size;
+        for d in sc.deliveries.drain(..) {
+            if d.slot < tape.epi_exec[base + d.local_idx] {
+                shard.regs[d.local_idx * rf + d.rd.index()] = d.value as u32;
+            }
+        }
+        for (i, core) in shard.cores.iter_mut().enumerate() {
+            let epi = tape.epi_exec[base + i] as u64;
+            core.executed += epi;
+            sc.counters.instructions += epi;
+        }
+        return;
+    }
     let env = ExecEnv {
         config,
         exceptions,
@@ -250,33 +348,36 @@ fn epilogue_phase(
         vcycle,
     };
     for d in sc.deliveries.drain(..) {
-        let core = &mut chunk[d.local_idx];
+        let core = &mut shard.cores[d.local_idx];
         core.epilogue[d.slot] = Some((d.rd, d.value));
         core.received += 1;
     }
+    let base = shard.base;
     if let Some(tape) = tape {
         // Replay: every slot was validated to fill and `epi_exec` clamps
         // the ones that never issue; the idle tail is pure pipeline drain
         // and is skipped (commits happen lazily before the next read).
         let lat = config.hazard_latency as u64;
-        for (i, core) in chunk.iter_mut().enumerate() {
-            let body_len = core.body.len() as u64;
+        for i in 0..shard.cores.len() {
+            let mut view = shard.view(i);
+            let body_len = view.cs.body.len() as u64;
             for slot in 0..tape.epi_exec[base + i] {
                 let now = vstart + body_len + slot as u64;
-                core.commit_due(now);
-                let (rd, value) = core.epilogue[slot].expect("validated: every slot fills");
-                exec_epilogue_slot(core, now, lat, rd, value, &mut sc.counters);
+                view.commit_due(now);
+                let (rd, value) = view.cs.epilogue[slot].expect("validated: every slot fills");
+                exec_epilogue_slot(&mut view, now, lat, rd, value, &mut sc.counters);
             }
-            core.wrap_vcycle();
+            view.cs.wrap_vcycle();
         }
         return;
     }
-    for (i, core) in chunk.iter_mut().enumerate() {
+    for i in 0..shard.cores.len() {
         let core_id = core_id_of(base + i, config.grid_width);
-        let body_len = (core.body.len() as u64).min(vcycle_len);
+        let mut view = shard.view(i);
+        let body_len = (view.cs.body.len() as u64).min(vcycle_len);
         for pos in body_len..vcycle_len {
             let now = vstart + pos;
-            core.commit_due(now);
+            view.commit_due(now);
             // Cannot fault: deliveries for the whole Vcycle were applied
             // above, and in strict mode the commit phase already aborted
             // the Vcycle if any slot would have issued empty (the serial
@@ -284,7 +385,7 @@ fn epilogue_phase(
             // empty slot is a NOP.
             step_core(
                 &env,
-                core,
+                &mut view,
                 core_id,
                 pos,
                 now,
@@ -295,7 +396,7 @@ fn epilogue_phase(
             )
             .expect("epilogue positions cannot fault");
         }
-        core.wrap_vcycle();
+        view.cs.wrap_vcycle();
     }
 }
 
@@ -315,6 +416,8 @@ pub(crate) fn run_vcycles_parallel(
     let vcl = m.vcycle_len;
     let grid_width = m.config.grid_width;
     let strict = m.strict_hazards;
+    let rf = m.config.regfile_size;
+    let sw = m.config.scratch_words;
 
     // Static program geometry, for main-side delivery legality checks.
     let body_lens: Vec<u64> = m.cores.iter().map(|c| c.body.len() as u64).collect();
@@ -327,9 +430,17 @@ pub(crate) fn run_vcycles_parallel(
     } else {
         None
     };
+    let micro_prog: Option<&MicroProgram> =
+        if m.replay_enabled && m.replay_engine == ReplayEngine::MicroOps && !m.uops_defer_to_tape()
+        {
+            m.micro_prog.as_ref()
+        } else {
+            None
+        };
 
-    // Split borrows of the machine: shards own disjoint core ranges; the
-    // main thread keeps the NoC, cache, global counters, and events.
+    // Split borrows of the machine: shards own disjoint core ranges (and
+    // the matching SoA lanes); the main thread keeps the NoC, cache,
+    // global counters, and events.
     let config = &m.config;
     let exceptions = &m.exceptions[..];
     let noc = &mut m.noc;
@@ -339,13 +450,28 @@ pub(crate) fn run_vcycles_parallel(
     let compute_time = &mut m.compute_time;
     let finish_requested = &mut m.finish_requested;
 
-    let mut chunks: Vec<&mut [CoreState]> = Vec::with_capacity(shards);
+    let mut chunks: Vec<ShardSlice<'_>> = Vec::with_capacity(shards);
     let mut rest: &mut [CoreState] = &mut m.cores[..];
+    let mut rest_regs: &mut [u32] = &mut m.regs[..];
+    let mut rest_scratch: &mut [u16] = &mut m.scratch[..];
+    let mut base = 0usize;
     for _ in 0..shards {
         let take = per.min(rest.len());
         let (head, tail) = rest.split_at_mut(take);
-        chunks.push(head);
         rest = tail;
+        let (head_regs, tail_regs) = rest_regs.split_at_mut(take * rf);
+        rest_regs = tail_regs;
+        let (head_scratch, tail_scratch) = rest_scratch.split_at_mut(take * sw);
+        rest_scratch = tail_scratch;
+        chunks.push(ShardSlice {
+            cores: head,
+            regs: head_regs,
+            scratch: head_scratch,
+            base,
+            regfile_size: rf,
+            scratch_words: sw,
+        });
+        base += take;
     }
 
     let scratches: Vec<Mutex<ShardScratch>> = (0..shards)
@@ -360,13 +486,11 @@ pub(crate) fn run_vcycles_parallel(
 
     std::thread::scope(|scope| {
         let mut chunk_iter = chunks.into_iter();
-        let chunk0 = chunk_iter.next().expect("at least one shard");
-        for (w, chunk) in chunk_iter.enumerate() {
+        let mut chunk0 = chunk_iter.next().expect("at least one shard");
+        for (w, mut chunk) in chunk_iter.enumerate() {
             let sid = w + 1;
-            let base = sid * per;
             let ctl = &ctl;
             let scratches = &scratches;
-            let chunk = chunk;
             scope.spawn(move || loop {
                 ctl.barrier.wait();
                 match ctl.cmd.load(Ordering::Acquire) {
@@ -374,20 +498,22 @@ pub(crate) fn run_vcycles_parallel(
                         let vstart = ctl.vstart.load(Ordering::Acquire);
                         let vcycle = ctl.vcycle.load(Ordering::Acquire);
                         let tape = replay_tape.filter(|_| vcycle > 0);
+                        let uprog = micro_prog.filter(|_| vcycle > 0);
                         let mut sc = scratches[sid].lock().unwrap();
                         body_phase(
-                            config, exceptions, strict, vcycle, vcl, chunk, base, vstart, None,
-                            tape, &mut sc,
+                            config, exceptions, strict, vcycle, vcl, &mut chunk, vstart, None,
+                            tape, uprog, &mut sc,
                         );
                     }
                     CMD_EPILOGUE => {
                         let vstart = ctl.vstart.load(Ordering::Acquire);
                         let vcycle = ctl.vcycle.load(Ordering::Acquire);
                         let tape = replay_tape.filter(|_| vcycle > 0);
+                        let uprog = micro_prog.filter(|_| vcycle > 0);
                         let mut sc = scratches[sid].lock().unwrap();
                         epilogue_phase(
-                            config, exceptions, strict, vcycle, chunk, base, vstart, vcl, tape,
-                            &mut sc,
+                            config, exceptions, strict, vcycle, &mut chunk, vstart, vcl, tape,
+                            uprog, &mut sc,
                         );
                     }
                     _ => break,
@@ -399,6 +525,7 @@ pub(crate) fn run_vcycles_parallel(
         let mut outcome = RunOutcome::default();
         let mut fatal: Option<MachineError> = None;
         let mut all_sends: Vec<SendRecord> = Vec::new();
+        let mut all_vals: Vec<u16> = Vec::new();
         let mut delivered = vec![0usize; n];
         // Per-slot delivery positions, tracked so strict mode can reproduce
         // the serial engine's `MissingScheduledMessage` ordering: an empty
@@ -421,6 +548,7 @@ pub(crate) fn run_vcycles_parallel(
             let vstart = *compute_time;
             let validate = counters.vcycles == 0;
             let tape = replay_tape.filter(|_| !validate);
+            let uprog = micro_prog.filter(|_| !validate);
 
             // ---- body phase (parallel) ----
             ctl.vstart.store(vstart, Ordering::Release);
@@ -435,11 +563,11 @@ pub(crate) fn run_vcycles_parallel(
                     strict,
                     counters.vcycles,
                     vcl,
-                    chunk0,
-                    0,
+                    &mut chunk0,
                     vstart,
                     Some(&mut *cache),
                     tape,
+                    uprog,
                     &mut sc,
                 );
             }
@@ -448,6 +576,7 @@ pub(crate) fn run_vcycles_parallel(
             // ---- NoC commit (serial): merge scratch, replay the NoC ----
             let mut pending_err: Option<RankedError> = None;
             all_sends.clear();
+            all_vals.clear();
             for mx in scratches.iter() {
                 let mut sc = mx.lock().unwrap();
                 counters.merge_from(&sc.counters);
@@ -455,18 +584,28 @@ pub(crate) fn run_vcycles_parallel(
                 events.append(&mut sc.events);
                 pending_err = min_error(pending_err, sc.error.take());
                 all_sends.append(&mut sc.sends);
+                all_vals.append(&mut sc.send_vals);
             }
             let mut replay_err: Option<RankedError> = None;
             if let Some(t) = tape {
-                // Frozen delivery schedule: `all_sends`, merged in shard
+                // Frozen delivery schedule: shard scratch, merged in shard
                 // order, is already in the tape's core-major send order, so
                 // each schedule entry maps straight to this Vcycle's value.
-                // (Skipped when a shard faulted: the serial replay engine
-                // aborts before its delivery phase too.)
+                // (Skipped when a shard faulted: the serial replay engines
+                // abort before their delivery phase too.)
                 if pending_err.is_none() {
-                    debug_assert_eq!(all_sends.len(), t.sends_per_vcycle);
+                    if uprog.is_some() {
+                        debug_assert_eq!(all_vals.len(), t.sends_per_vcycle);
+                    } else {
+                        debug_assert_eq!(all_sends.len(), t.sends_per_vcycle);
+                    }
                     for d in &t.deliveries {
                         let tgt = d.target as usize;
+                        let value = if uprog.is_some() {
+                            all_vals[d.send_idx as usize]
+                        } else {
+                            all_sends[d.send_idx as usize].value
+                        };
                         counters.messages_delivered += 1;
                         scratches[tgt / per]
                             .lock()
@@ -476,7 +615,7 @@ pub(crate) fn run_vcycles_parallel(
                                 local_idx: tgt % per,
                                 slot: d.slot as usize,
                                 rd: d.rd,
-                                value: all_sends[d.send_idx as usize].value,
+                                value,
                             });
                     }
                 }
@@ -609,11 +748,11 @@ pub(crate) fn run_vcycles_parallel(
                     exceptions,
                     strict,
                     counters.vcycles,
-                    chunk0,
-                    0,
+                    &mut chunk0,
                     vstart,
                     vcl,
                     tape,
+                    uprog,
                     &mut sc,
                 );
             }

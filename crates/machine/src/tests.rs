@@ -834,6 +834,201 @@ fn mul_and_mulh_compose() {
     assert_eq!(m.read_reg(CoreId::new(0, 0), r(4)), 0x0626);
 }
 
+mod replay_engines {
+    //! Unit tests for the validate-once / replay-many lowerings: the
+    //! pipeline write ring, micro-op fusion, and the static
+    //! cross-Vcycle-boundary hazard analysis that decides when the
+    //! micro-op engine may commit writes directly.
+
+    use super::*;
+    use crate::{ExecMode, ReplayEngine};
+
+    /// A counter whose increment issues at the *last* body position, so
+    /// its write is still in the pipeline ring at every Vcycle boundary.
+    fn tail_write_binary() -> Binary {
+        let mut binary = empty_binary(1, 1, 4);
+        binary.cores.push(CoreImage {
+            core: CoreId::new(0, 0),
+            // The increment issues at position 3 and commits at 4k+5 —
+            // position 1 of the next Vcycle — so it is always pending at
+            // the Vcycle boundary. The only read (position 2, the r3
+            // snapshot) sits outside every commit window, keeping the
+            // program hazard-free on all engines.
+            body: vec![
+                Instruction::Nop,
+                Instruction::Nop,
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: r(3),
+                    rs1: r(1),
+                    rs2: r(0),
+                },
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: r(1),
+                    rs1: r(1),
+                    rs2: r(2),
+                },
+            ],
+            epilogue_len: 0,
+            custom_functions: vec![],
+            init_regs: vec![(r(1), 0), (r(2), 1)],
+            init_scratch: vec![],
+        });
+        binary
+    }
+
+    #[test]
+    fn host_reads_see_flushed_tail_writes_on_every_engine() {
+        // `read_reg` must return the in-flight (flushed) value at the
+        // Vcycle boundary, whether the write sits in the ring
+        // (interpreter, tape, permissive micro-ops) or was committed
+        // directly (strict micro-ops).
+        for engine in [None, Some(ReplayEngine::Tape), Some(ReplayEngine::MicroOps)] {
+            let mut m = Machine::load(test_config(1, 1), &tail_write_binary()).unwrap();
+            match engine {
+                None => m.set_replay(false),
+                Some(e) => m.set_replay_engine(e),
+            }
+            m.run_vcycles(5).unwrap();
+            assert_eq!(m.read_reg(CoreId::new(0, 0), r(1)), 5, "{engine:?}");
+            // r3 snapshots r1 before the increment of the same Vcycle:
+            // at Vcycle 4's position 2, four increments have committed.
+            assert_eq!(m.read_reg(CoreId::new(0, 0), r(3)), 4, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn adjacent_alu_pairs_fuse() {
+        let mut binary = empty_binary(1, 1, 8);
+        binary.cores.push(CoreImage {
+            core: CoreId::new(0, 0),
+            body: vec![
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: r(1),
+                    rs1: r(2),
+                    rs2: r(2),
+                },
+                Instruction::Alu {
+                    op: AluOp::Xor,
+                    rd: r(3),
+                    rs1: r(2),
+                    rs2: r(2),
+                },
+                Instruction::Nop,
+                Instruction::Alu {
+                    op: AluOp::Or,
+                    rd: r(4),
+                    rs1: r(2),
+                    rs2: r(2),
+                },
+            ],
+            epilogue_len: 0,
+            custom_functions: vec![],
+            init_regs: vec![(r(2), 5)],
+            init_scratch: vec![],
+        });
+        let m = Machine::load(test_config(1, 1), &binary).unwrap();
+        let (uops, fused) = m.micro_op_stats().expect("replayable");
+        // Positions 0+1 fuse; the NOP gap keeps position 3 single.
+        assert_eq!((uops, fused), (2, 1));
+        // And the fused stream computes the same values.
+        let mut m = m;
+        m.run_vcycles(3).unwrap();
+        assert_eq!(m.read_reg(CoreId::new(0, 0), r(1)), 10);
+        assert_eq!(m.read_reg(CoreId::new(0, 0), r(3)), 0);
+        assert_eq!(m.read_reg(CoreId::new(0, 0), r(4)), 5);
+    }
+
+    /// A write at the last position whose commit window reaches a read
+    /// early in the next Vcycle: a hazard that only exists *across* the
+    /// Vcycle boundary, invisible to the validation Vcycle.
+    fn cross_boundary_hazard_binary() -> Binary {
+        let mut binary = empty_binary(1, 1, 3);
+        binary.cores.push(CoreImage {
+            core: CoreId::new(0, 0),
+            body: vec![
+                // Position 0: reads r1. In Vcycle 0 nothing is pending;
+                // from Vcycle 1 on, the position-2 write (commits at
+                // 3k+2+2, i.e. position 1 of the next Vcycle) is still
+                // in flight here.
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: r(3),
+                    rs1: r(1),
+                    rs2: r(0),
+                },
+                Instruction::Nop,
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: r(1),
+                    rs1: r(1),
+                    rs2: r(2),
+                },
+            ],
+            epilogue_len: 0,
+            custom_functions: vec![],
+            init_regs: vec![(r(1), 0), (r(2), 1)],
+            init_scratch: vec![],
+        });
+        binary
+    }
+
+    #[test]
+    fn cross_boundary_hazard_reported_identically_by_every_engine() {
+        // Strict mode: the interpreter reports the hazard at Vcycle 1
+        // position 0. The micro-op engine cannot run hazard checks, so it
+        // must detect the static cross-boundary window and defer to the
+        // tape engine — reporting the identical error.
+        let expect_hazard = |m: &mut Machine, what: &str| match m.run_vcycles(5) {
+            Err(MachineError::Hazard { position, reg, .. }) => {
+                assert_eq!((position, reg), (0, r(1)), "{what}");
+            }
+            other => panic!("{what}: expected hazard, got {other:?}"),
+        };
+        for engine in [None, Some(ReplayEngine::Tape), Some(ReplayEngine::MicroOps)] {
+            for mode in [ExecMode::Serial, ExecMode::Parallel { shards: 1 }] {
+                let mut m =
+                    Machine::load(test_config(1, 1), &cross_boundary_hazard_binary()).unwrap();
+                match engine {
+                    None => m.set_replay(false),
+                    Some(e) => m.set_replay_engine(e),
+                }
+                m.set_exec_mode(mode);
+                expect_hazard(&mut m, &format!("{engine:?}/{mode:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_boundary_stale_reads_agree_in_permissive_mode() {
+        // Permissive mode: the same program runs, reading stale values
+        // across the boundary. The micro-op engine keeps the pipeline
+        // ring here, so its stale-read timing must match the interpreter
+        // bit-for-bit.
+        let mut reference =
+            Machine::load(test_config(1, 1), &cross_boundary_hazard_binary()).unwrap();
+        reference.set_strict_hazards(false);
+        reference.set_replay(false);
+        reference.run_vcycles(6).unwrap();
+        for engine in [ReplayEngine::Tape, ReplayEngine::MicroOps] {
+            let mut m = Machine::load(test_config(1, 1), &cross_boundary_hazard_binary()).unwrap();
+            m.set_strict_hazards(false);
+            m.set_replay_engine(engine);
+            m.run_vcycles(6).unwrap();
+            for reg in [r(1), r(3)] {
+                assert_eq!(
+                    reference.read_reg(CoreId::new(0, 0), reg),
+                    m.read_reg(CoreId::new(0, 0), reg),
+                    "{engine:?}: {reg}"
+                );
+            }
+            assert_eq!(reference.counters(), m.counters(), "{engine:?}");
+        }
+    }
+}
+
 mod noc_unit {
     //! Direct unit tests for the NoC message queue: `take_due` must yield
     //! arrival order, stable in injection order for equal arrival times —
@@ -1400,12 +1595,11 @@ mod parallel_engine {
 
     #[test]
     fn counter_merge_is_order_independent() {
-        let mk = |i: u64, s: u64, st: u64| {
-            let mut c = crate::PerfCounters::default();
-            c.instructions = i;
-            c.sends = s;
-            c.stall_cycles = st;
-            c
+        let mk = |i: u64, s: u64, st: u64| crate::PerfCounters {
+            instructions: i,
+            sends: s,
+            stall_cycles: st,
+            ..Default::default()
         };
         let parts = [mk(3, 1, 200), mk(5, 0, 0), mk(7, 2, 10), mk(11, 4, 40)];
         let mut fwd = crate::PerfCounters::default();

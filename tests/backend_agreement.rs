@@ -1,9 +1,10 @@
 //! Backend agreement: the Verilator-analog tape simulators (serial and
 //! macro-task parallel) must agree with the reference evaluator on the
-//! real workloads — the baseline side of Table 3 rests on this — and all
-//! four `Simulator` backends (machine serial/parallel, tape
-//! serial/parallel) must agree with each other through nothing but the
-//! trait.
+//! real workloads — the baseline side of Table 3 rests on this — and
+//! every `Simulator` backend `backends()` constructs (machine
+//! interpreter, tape replay, micro-op replay, sharded BSP, and the two
+//! Verilator-analog executors) must agree with each other through
+//! nothing but the trait.
 
 use manticore::isa::MachineConfig;
 use manticore::netlist::eval::Evaluator;
@@ -73,7 +74,7 @@ fn parallel_tape_matches_serial_on_all_workloads() {
 
 #[test]
 fn every_simulator_backend_agrees_on_every_workload() {
-    // One interface, four engines: run each workload on all backends and
+    // One interface, every engine: run each workload on all backends and
     // require identical architectural observations — displays (which carry
     // the self-checking testbench's output) and every RTL register that
     // survives in all backends' compiled forms.

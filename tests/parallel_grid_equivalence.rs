@@ -1,7 +1,9 @@
-//! The sharded BSP grid engine and the validate-once / replay-many fast
-//! path must be bit-identical to the plain serial grid engine on every
-//! real workload: same final register state, same displays, same
-//! `PerfCounters` — at 1, 2, and 4 shards, with replay off and on.
+//! The sharded BSP grid engine and both validate-once / replay-many
+//! lowerings (pre-decoded tape, fused micro-op stream) must be
+//! bit-identical to the plain serial grid engine on every real workload:
+//! same final register state, same displays, same `PerfCounters` — at 1,
+//! 2, and 4 shards, with replay off, on the tape, and on micro-ops, under
+//! strict and permissive hazard checking.
 //!
 //! This is the machine-side analog of `backend_agreement.rs` (which covers
 //! the Verilator-analog tape executors): together they pin down that every
@@ -11,12 +13,40 @@
 use manticore::bits::Bits;
 use manticore::compiler::{compile, CompileOptions};
 use manticore::isa::MachineConfig;
-use manticore::machine::{ExecMode, Machine};
+use manticore::machine::{ExecMode, Machine, ReplayEngine};
 use manticore::workloads;
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 const GRID: usize = 6;
 const VCYCLES: u64 = 40;
+
+/// The replay column of the engine sweep: off, tape, or micro-ops.
+#[derive(Clone, Copy, PartialEq)]
+enum Replay {
+    Off,
+    Tape,
+    MicroOps,
+}
+
+impl Replay {
+    const ALL: [Replay; 3] = [Replay::Off, Replay::Tape, Replay::MicroOps];
+
+    fn label(self) -> &'static str {
+        match self {
+            Replay::Off => "",
+            Replay::Tape => "+replay",
+            Replay::MicroOps => "+uops",
+        }
+    }
+
+    fn apply(self, m: &mut Machine) {
+        match self {
+            Replay::Off => m.set_replay(false),
+            Replay::Tape => m.set_replay_engine(ReplayEngine::Tape),
+            Replay::MicroOps => m.set_replay_engine(ReplayEngine::MicroOps),
+        }
+    }
+}
 
 /// Reads every RTL register back out of the machine's register files using
 /// the compiler's placement metadata.
@@ -37,8 +67,9 @@ fn rtl_regs(machine: &Machine, out: &manticore::compiler::CompileOutput) -> Vec<
         .collect()
 }
 
-#[test]
-fn parallel_grid_is_bit_identical_on_all_workloads() {
+/// Sweeps every engine combination against the plain serial interpreter
+/// on every workload, under the given hazard mode.
+fn sweep_all_workloads(strict: bool) {
     for w in workloads::all() {
         let config = MachineConfig::with_grid(GRID, GRID);
         let options = CompileOptions {
@@ -51,29 +82,34 @@ fn parallel_grid_is_bit_identical_on_all_workloads() {
         // Reference: the plain position-by-position serial interpreter.
         let mut serial = Machine::load(config.clone(), &out.binary)
             .unwrap_or_else(|e| panic!("{}: load failed: {e}", w.name));
+        serial.set_strict_hazards(strict);
         serial.set_replay(false);
         let s_run = serial
             .run_vcycles(VCYCLES)
             .unwrap_or_else(|e| panic!("{}: serial run failed: {e}", w.name));
         let s_regs = rtl_regs(&serial, &out);
 
-        // Sweep every fast path against it: the serial replay engine, and
-        // the sharded BSP engine with replay off and on.
-        let mut variants: Vec<(String, ExecMode, bool)> =
-            vec![("serial+replay".into(), ExecMode::Serial, true)];
+        // Sweep every fast path against it: both serial replay lowerings,
+        // and the sharded BSP engine with every replay column.
+        let mut variants: Vec<(String, ExecMode, Replay)> = vec![
+            ("serial+replay".into(), ExecMode::Serial, Replay::Tape),
+            ("serial+uops".into(), ExecMode::Serial, Replay::MicroOps),
+        ];
         for shards in SHARD_COUNTS {
-            for replay in [false, true] {
+            for replay in Replay::ALL {
                 variants.push((
-                    format!("{shards} shards{}", if replay { "+replay" } else { "" }),
+                    format!("{shards} shards{}", replay.label()),
                     ExecMode::Parallel { shards },
                     replay,
                 ));
             }
         }
         for (what, mode, replay) in variants {
+            let what = format!("{what} ({})", if strict { "strict" } else { "permissive" });
             let mut par = Machine::load(config.clone(), &out.binary).unwrap();
+            par.set_strict_hazards(strict);
             par.set_exec_mode(mode);
-            par.set_replay(replay);
+            replay.apply(&mut par);
             let p_run = par
                 .run_vcycles(VCYCLES)
                 .unwrap_or_else(|e| panic!("{}: {what} run failed: {e}", w.name));
@@ -118,10 +154,24 @@ fn parallel_grid_is_bit_identical_on_all_workloads() {
 }
 
 #[test]
+fn parallel_grid_is_bit_identical_on_all_workloads() {
+    sweep_all_workloads(true);
+}
+
+#[test]
+fn parallel_grid_is_bit_identical_on_all_workloads_permissive() {
+    // Permissive mode keeps the micro-op engine on the pipeline-ring
+    // executor (stale-read timing is observable), so this sweep pins the
+    // ringed lowering too.
+    sweep_all_workloads(false);
+}
+
+#[test]
 fn replay_mode_switches_are_seamless() {
-    // Replay can be toggled and engines switched between `run_vcycles`
-    // calls without perturbing a single architectural bit: the machine
-    // state at every Vcycle boundary is engine-independent.
+    // Replay can be toggled, lowerings swapped, and engines switched
+    // between `run_vcycles` calls without perturbing a single
+    // architectural bit: the machine state at every Vcycle boundary is
+    // engine-independent.
     let w = workloads::by_name("mm").unwrap();
     let config = MachineConfig::with_grid(GRID, GRID);
     let options = CompileOptions {
@@ -132,17 +182,23 @@ fn replay_mode_switches_are_seamless() {
 
     let mut reference = Machine::load(config.clone(), &out.binary).unwrap();
     reference.set_replay(false);
-    reference.run_vcycles(24).unwrap();
+    reference.run_vcycles(36).unwrap();
 
     let mut mixed = Machine::load(config.clone(), &out.binary).unwrap();
-    mixed.run_vcycles(6).unwrap(); // validation + replay
+    mixed.run_vcycles(6).unwrap(); // validation + micro-op replay (default)
+    mixed.set_replay_engine(ReplayEngine::Tape);
+    mixed.run_vcycles(6).unwrap(); // tape replay
     mixed.set_replay(false);
     mixed.run_vcycles(6).unwrap(); // full interpreter
     mixed.set_exec_mode(ExecMode::Parallel { shards: 3 });
     mixed.set_replay(true);
-    mixed.run_vcycles(6).unwrap(); // parallel replay
+    mixed.set_replay_engine(ReplayEngine::MicroOps);
+    mixed.run_vcycles(6).unwrap(); // parallel micro-op replay
+    mixed.set_replay_engine(ReplayEngine::Tape);
+    mixed.run_vcycles(6).unwrap(); // parallel tape replay
     mixed.set_exec_mode(ExecMode::Serial);
-    mixed.run_vcycles(6).unwrap(); // serial replay
+    mixed.set_replay_engine(ReplayEngine::MicroOps);
+    mixed.run_vcycles(6).unwrap(); // serial micro-op replay
     assert_eq!(reference.counters(), mixed.counters());
     let a = rtl_regs(&reference, &out);
     let b = rtl_regs(&mixed, &out);
