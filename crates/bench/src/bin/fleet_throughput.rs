@@ -1,0 +1,146 @@
+//! Fleet throughput: scenarios per second under compile-once / run-many
+//! versus the sweep loop it replaces (compile + run per scenario,
+//! sequentially).
+//!
+//! The job set is every workload × `--scenarios` instances, each instance
+//! an independent simulation of the shared compiled program. The
+//! **sequential baseline** executes the job set the way `design_sweep`
+//! used to: for every scenario, compile the netlist, freeze the machine
+//! program, run. The **fleet rows** compile and freeze once per workload,
+//! then run the whole set on a work-stealing pool of 1 / 2 / 4 workers —
+//! the one-time compilations are *included* in the fleet wall time, so
+//! the speedup is end-to-end, not cherry-picked.
+//!
+//! Run: `cargo run --release -p manticore-bench --bin fleet_throughput`
+//!
+//! Flags:
+//! - `--json <path>` — write the measurements as JSON (same shape family
+//!   as `table3_performance --json`; CI uploads it as an artifact);
+//! - `--vcycles <n>` — per-scenario Vcycle budget (default 200);
+//! - `--scenarios <n>` — instances per workload (default 6);
+//! - `--grid <g>` — grid size to compile for (default 8).
+
+use std::time::Instant;
+
+use manticore::fleet::FleetSim;
+use manticore::isa::MachineConfig;
+use manticore::workloads;
+use manticore::ManticoreSim;
+use manticore_bench::{fmt, json::Val, reject_unknown_args, row, take_flag};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_flag(&mut args, "--json");
+    let parse = |v: Option<String>, flag: &str, default: u64| -> u64 {
+        v.map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects an integer, got {v}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(default)
+    };
+    let vcycles = parse(take_flag(&mut args, "--vcycles"), "--vcycles", 200);
+    let scenarios = parse(take_flag(&mut args, "--scenarios"), "--scenarios", 6) as usize;
+    let grid = parse(take_flag(&mut args, "--grid"), "--grid", 8) as usize;
+    reject_unknown_args(&args);
+
+    let all = workloads::all();
+    let total_jobs = all.len() * scenarios;
+    println!(
+        "# Fleet throughput: {} workloads x {scenarios} scenarios x {vcycles} vcycles \
+         on a {grid}x{grid} grid\n",
+        all.len()
+    );
+
+    // --- Sequential baseline: compile + run per scenario ---------------
+    let config = MachineConfig::with_grid(grid, grid);
+    let t = Instant::now();
+    for w in &all {
+        for _ in 0..scenarios {
+            let mut sim = ManticoreSim::compile(&w.netlist, config.clone())
+                .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+            sim.run(vcycles)
+                .unwrap_or_else(|e| panic!("{}: run failed: {e}", w.name));
+        }
+    }
+    let seq_secs = t.elapsed().as_secs_f64();
+    let seq_rate = total_jobs as f64 / seq_secs;
+
+    row(&[
+        "configuration".into(),
+        "wall s".into(),
+        "scenarios/s".into(),
+        "speedup".into(),
+    ]);
+    println!("|---|---|---|---|");
+    row(&[
+        "sequential compile+run".into(),
+        fmt(seq_secs),
+        fmt(seq_rate),
+        "1.00".into(),
+    ]);
+
+    // --- Fleet: compile once per workload, batch the scenarios ---------
+    let mut json_rows: Vec<Val> = Vec::new();
+    let mut speedup4 = 0.0f64;
+    for workers in [1usize, 2, 4] {
+        let t = Instant::now();
+        let mut completed = 0usize;
+        for w in &all {
+            let fleet = FleetSim::compile(&w.netlist, config.clone(), workers)
+                .unwrap_or_else(|e| panic!("{}: fleet compile failed: {e}", w.name));
+            let jobs = (0..scenarios).map(|_| fleet.job(vcycles)).collect();
+            for run in fleet.run(jobs) {
+                run.result
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{}: fleet run failed: {e}", w.name));
+                completed += 1;
+            }
+        }
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(completed, total_jobs);
+        let rate = total_jobs as f64 / secs;
+        let speedup = seq_secs / secs;
+        if workers == 4 {
+            speedup4 = speedup;
+        }
+        row(&[
+            format!("fleet({workers})"),
+            fmt(secs),
+            fmt(rate),
+            fmt(speedup),
+        ]);
+        json_rows.push(Val::obj(vec![
+            ("workers", Val::Int(workers as u64)),
+            ("wall_seconds", Val::Num(secs)),
+            ("scenarios_per_sec", Val::Num(rate)),
+            ("speedup_vs_sequential", Val::Num(speedup)),
+        ]));
+    }
+
+    println!(
+        "\ncompile-once / run-many at 4 workers: {} the sequential sweep loop",
+        fmt(speedup4)
+    );
+
+    if let Some(path) = json_path {
+        let doc = Val::obj(vec![
+            ("bench", Val::Str("fleet_throughput".into())),
+            ("grid", Val::Int(grid as u64)),
+            ("vcycles", Val::Int(vcycles)),
+            ("scenarios_per_workload", Val::Int(scenarios as u64)),
+            ("total_scenarios", Val::Int(total_jobs as u64)),
+            (
+                "sequential",
+                Val::obj(vec![
+                    ("wall_seconds", Val::Num(seq_secs)),
+                    ("scenarios_per_sec", Val::Num(seq_rate)),
+                ]),
+            ),
+            ("rows", Val::Arr(json_rows)),
+        ]);
+        manticore_bench::json::write(&path, &doc);
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,390 @@
+//! The fleet entry point: compile a design once, run many scenarios.
+//!
+//! [`FleetSim`] is the netlist-level face of [`manticore_fleet`]: it
+//! compiles a design exactly once (netlist → binary → frozen
+//! [`CompiledProgram`] with replay tape and micro-op streams), then runs
+//! arbitrarily many [`FleetJob`]s against the shared artifact on a
+//! work-stealing worker pool. Jobs differ in their *input vector* (RTL
+//! registers overwritten by name before the run), engine knobs, and
+//! Vcycle budget; results come back in submission order and are
+//! bit-identical to running each job alone on a [`ManticoreSim`] — the
+//! `fleet_equivalence` suite asserts exactly that.
+//!
+//! ```
+//! use manticore::fleet::FleetSim;
+//! use manticore::isa::MachineConfig;
+//! use manticore::netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new("counter");
+//! let c = b.reg("count", 16, 0);
+//! let one = b.lit(1, 16);
+//! let next = b.add(c.q(), one);
+//! b.set_next(c, next);
+//! b.output("count", c.q());
+//! let netlist = b.finish_build().unwrap();
+//!
+//! // One compilation, four scenarios with different starting counts,
+//! // two workers.
+//! let fleet = FleetSim::compile(&netlist, MachineConfig::with_grid(2, 2), 2)?;
+//! let jobs: Vec<_> = (0..4)
+//!     .map(|i| fleet.job(10).with_reg("count", i * 100).unwrap())
+//!     .collect();
+//! for (i, run) in fleet.run(jobs).into_iter().enumerate() {
+//!     assert_eq!(run.index, i as usize);
+//!     run.result.as_ref().unwrap();
+//!     let count = run.sim.read_rtl_reg_by_name("count").unwrap().to_u64();
+//!     assert_eq!(count, i as u64 * 100 + 10);
+//! }
+//! # Ok::<(), manticore::SimError>(())
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use manticore_compiler::{compile, CompileOptions, CompileOutput};
+use manticore_fleet::{CompiledProgram, Fleet, SimJob};
+use manticore_isa::MachineConfig;
+use manticore_machine::{ExecMode, Machine, ReplayEngine, RunOutcome};
+
+use crate::sim::{SimOutcome, SimPerf, Simulator};
+use crate::{ManticoreSim, SimError};
+use manticore_netlist::Netlist;
+
+/// A design compiled once and shared by every job: the entry point for
+/// compile-once / run-many simulation. See the module docs for a worked
+/// example.
+#[derive(Debug)]
+pub struct FleetSim {
+    output: Arc<CompileOutput>,
+    program: Arc<CompiledProgram>,
+    fleet: Fleet,
+}
+
+/// One scenario in a fleet batch: the shared program plus this run's
+/// input vector (RTL register overwrites), engine knobs, and Vcycle
+/// budget. Built by [`FleetSim::job`].
+#[derive(Debug)]
+pub struct FleetJob {
+    inner: SimJob,
+    output: Arc<CompileOutput>,
+}
+
+impl FleetJob {
+    /// Sets RTL register `name` to `value` before the run starts — one
+    /// element of the job's input vector. The register is resolved
+    /// through the compiler's placement metadata and written into every
+    /// machine register word it was mapped to (LSW first; `value` is
+    /// truncated to the register's width, and registers wider than 64
+    /// bits have their high words cleared).
+    ///
+    /// # Errors
+    ///
+    /// An unknown register name yields [`SimError::Assert`] describing
+    /// the lookup failure (the job cannot run with a silently dropped
+    /// input).
+    pub fn with_reg(mut self, name: &str, value: u64) -> Result<FleetJob, SimError> {
+        let words = crate::rtl_reg_words(&self.output, name, value).ok_or_else(|| {
+            SimError::Assert(format!(
+                "fleet job input names RTL register `{name}`, which does not exist \
+                 in the optimized design"
+            ))
+        })?;
+        for (core, mreg, word) in words {
+            self.inner = self.inner.poke(core, mreg, word);
+        }
+        Ok(self)
+    }
+
+    /// Selects the execution engine for this job (serial, or sharded BSP
+    /// with a shard count).
+    #[must_use]
+    pub fn exec_mode(mut self, mode: ExecMode) -> FleetJob {
+        self.inner = self.inner.exec_mode(mode);
+        self
+    }
+
+    /// Enables or disables the validate-once / replay-many fast path.
+    #[must_use]
+    pub fn replay(mut self, enabled: bool) -> FleetJob {
+        self.inner = self.inner.replay(enabled);
+        self
+    }
+
+    /// Selects the replay lowering (tape or fused micro-ops).
+    #[must_use]
+    pub fn replay_engine(mut self, engine: ReplayEngine) -> FleetJob {
+        self.inner = self.inner.replay_engine(engine);
+        self
+    }
+
+    /// Selects strict or permissive hazard checking.
+    #[must_use]
+    pub fn strict_hazards(mut self, strict: bool) -> FleetJob {
+        self.inner = self.inner.strict_hazards(strict);
+        self
+    }
+}
+
+/// One finished fleet scenario: the submission index, the run result,
+/// and a full [`ManticoreSim`] wrapped around the finished machine —
+/// read registers back, inspect counters, or keep running it.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// The job's position in the submitted batch; [`FleetSim::run`]
+    /// returns runs sorted by it.
+    pub index: usize,
+    /// The run outcome, or the failure that aborted it.
+    pub result: Result<RunOutcome, SimError>,
+    /// The finished simulation (its displays already include this run's
+    /// output, also on the error path).
+    pub sim: ManticoreSim,
+}
+
+impl FleetSim {
+    /// Compiles `netlist` once with default options for `config` and
+    /// attaches a fleet of `workers` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or load failure.
+    pub fn compile(
+        netlist: &Netlist,
+        config: MachineConfig,
+        workers: usize,
+    ) -> Result<FleetSim, SimError> {
+        Self::compile_with(
+            netlist,
+            &CompileOptions {
+                config,
+                ..Default::default()
+            },
+            workers,
+        )
+    }
+
+    /// Compiles with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or load failure.
+    pub fn compile_with(
+        netlist: &Netlist,
+        options: &CompileOptions,
+        workers: usize,
+    ) -> Result<FleetSim, SimError> {
+        let output = Arc::new(compile(netlist, options)?);
+        Self::from_output(output, options.config.clone(), workers)
+    }
+
+    /// Builds a fleet over an already-compiled design, freezing the
+    /// machine-level program once.
+    ///
+    /// # Errors
+    ///
+    /// Load failure (binary does not fit `config`).
+    pub fn from_output(
+        output: Arc<CompileOutput>,
+        config: MachineConfig,
+        workers: usize,
+    ) -> Result<FleetSim, SimError> {
+        let program = CompiledProgram::compile_shared(config, &output.binary)?;
+        Ok(FleetSim {
+            output,
+            program,
+            fleet: Fleet::new(workers),
+        })
+    }
+
+    /// The shared frozen machine program (replay tape and micro-op
+    /// streams included).
+    pub fn program(&self) -> &Arc<CompiledProgram> {
+        &self.program
+    }
+
+    /// The shared compiler output (binary, report, placement metadata).
+    pub fn output(&self) -> &Arc<CompileOutput> {
+        &self.output
+    }
+
+    /// The fleet's worker count.
+    pub fn workers(&self) -> usize {
+        self.fleet.workers()
+    }
+
+    /// A new job against the shared program with a budget of `vcycles`,
+    /// ready for input-vector and knob configuration.
+    pub fn job(&self, vcycles: u64) -> FleetJob {
+        FleetJob {
+            inner: SimJob::new(&self.program, vcycles),
+            output: Arc::clone(&self.output),
+        }
+    }
+
+    /// Runs the batch on the worker pool and returns the outcomes **in
+    /// submission order** (`runs[i]` belongs to `jobs[i]`), regardless of
+    /// worker interleaving.
+    pub fn run(&self, jobs: Vec<FleetJob>) -> Vec<FleetRun> {
+        let sim_jobs: Vec<SimJob> = jobs.into_iter().map(|j| j.inner).collect();
+        self.fleet
+            .run(sim_jobs)
+            .into_iter()
+            .map(|out| {
+                let mut machine = out.machine;
+                let (result, displays) = match out.result {
+                    Ok(outcome) => {
+                        let displays = outcome.displays.clone();
+                        (Ok(outcome), displays)
+                    }
+                    // Keep displays observable on the error path, the way
+                    // `ManticoreSim::run` does.
+                    Err(e) => (Err(e.into()), machine.drain_pending_displays()),
+                };
+                FleetRun {
+                    index: out.index,
+                    result,
+                    sim: ManticoreSim::from_existing(machine, Arc::clone(&self.output), displays),
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The fleet rows of `backends()`
+// ---------------------------------------------------------------------
+
+/// A [`Simulator`] backend that executes on a fleet worker pool: each
+/// `run_cycles` call dispatches the machine to the pool as a one-job
+/// batch and takes it back afterwards. Architecturally identical to the
+/// direct machine backends (same `Machine`, same engines) — what it adds
+/// is coverage: the fleet dispatch path runs under every agreement test
+/// that sweeps [`crate::sim::backends`].
+#[derive(Debug)]
+pub struct FleetBackend {
+    fleet: Fleet,
+    /// `None` only transiently inside `run_cycles`.
+    machine: Option<Machine>,
+    output: Arc<CompileOutput>,
+    displays: Vec<String>,
+    wall_seconds: f64,
+}
+
+impl FleetBackend {
+    /// Wraps a fresh run of `program` in a fleet of `workers`.
+    pub fn new(
+        program: &Arc<CompiledProgram>,
+        output: Arc<CompileOutput>,
+        workers: usize,
+    ) -> FleetBackend {
+        FleetBackend {
+            fleet: Fleet::new(workers),
+            machine: Some(Machine::from_program(Arc::clone(program))),
+            output,
+            displays: Vec::new(),
+            wall_seconds: 0.0,
+        }
+    }
+}
+
+impl Simulator for FleetBackend {
+    fn backend(&self) -> String {
+        let base = format!("manticore-fleet({})", self.fleet.workers());
+        // Same replay-lowering suffix convention as the direct machine
+        // backends (`ManticoreSim::backend`).
+        let machine = self.machine.as_ref().expect("machine present at rest");
+        if machine.replay_armed() {
+            match machine.replay_engine() {
+                ReplayEngine::Tape => format!("{base}+replay"),
+                ReplayEngine::MicroOps => format!("{base}+uops"),
+            }
+        } else {
+            base
+        }
+    }
+
+    fn run_cycles(&mut self, max_cycles: u64) -> Result<SimOutcome, SimError> {
+        let machine = self.machine.take().expect("machine is only taken here");
+        let start = Instant::now();
+        let mut outputs = self.fleet.run(vec![SimJob::resume(machine, max_cycles)]);
+        self.wall_seconds += start.elapsed().as_secs_f64();
+        let out = outputs.pop().expect("one job in, one output out");
+        let mut machine = out.machine;
+        let result = match out.result {
+            Ok(outcome) => {
+                self.displays.extend(outcome.displays.iter().cloned());
+                Ok(SimOutcome {
+                    cycles_run: outcome.vcycles_run,
+                    finished: outcome.finished,
+                    displays: outcome.displays,
+                })
+            }
+            Err(e) => {
+                self.displays.extend(machine.drain_pending_displays());
+                Err(e.into())
+            }
+        };
+        self.machine = Some(machine);
+        result
+    }
+
+    fn displays(&self) -> &[String] {
+        &self.displays
+    }
+
+    fn perf(&self) -> SimPerf {
+        let machine = self.machine.as_ref().expect("machine present at rest");
+        let counters = machine.counters();
+        SimPerf {
+            cycles: counters.vcycles,
+            wall_seconds: self.wall_seconds,
+            model_rate_khz: Some(machine.config().simulation_rate_khz(machine.vcycle_len())),
+            counters: Some(counters),
+        }
+    }
+
+    fn rtl_reg(&self, name: &str) -> Option<manticore_bits::Bits> {
+        let machine = self.machine.as_ref().expect("machine present at rest");
+        crate::rtl_reg_of(machine, &self.output, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manticore_netlist::NetlistBuilder;
+
+    fn counter_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("c");
+        let r = b.reg("count", 16, 0);
+        let one = b.lit(1, 16);
+        let next = b.add(r.q(), one);
+        b.set_next(r, next);
+        b.output("count", r.q());
+        b.finish_build().unwrap()
+    }
+
+    #[test]
+    fn fleet_sim_runs_distinct_inputs_in_order() {
+        let n = counter_netlist();
+        let fleet = FleetSim::compile(&n, MachineConfig::with_grid(2, 2), 3).unwrap();
+        let jobs: Vec<FleetJob> = (0..7u64)
+            .map(|i| fleet.job(5).with_reg("count", i * 1000).unwrap())
+            .collect();
+        let runs = fleet.run(jobs);
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.index, i);
+            assert!(run.result.is_ok());
+            assert_eq!(
+                run.sim.read_rtl_reg_by_name("count").unwrap().to_u64(),
+                i as u64 * 1000 + 5
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_register_is_an_error_not_a_silent_noop() {
+        let n = counter_netlist();
+        let fleet = FleetSim::compile(&n, MachineConfig::with_grid(2, 2), 1).unwrap();
+        assert!(fleet.job(1).with_reg("no_such_reg", 1).is_err());
+    }
+}

@@ -53,6 +53,7 @@ pub use manticore_refsim as refsim;
 pub use manticore_util as util;
 pub use manticore_workloads as workloads;
 
+pub mod fleet;
 pub mod sim;
 
 /// One-stop imports for typical use.
@@ -60,9 +61,12 @@ pub mod prelude {
     pub use manticore_bits::Bits;
     pub use manticore_compiler::{compile, CompileOptions, PartitionStrategy};
     pub use manticore_isa::{CoreId, MachineConfig, Reg};
-    pub use manticore_machine::{ExecMode, Machine, MachineError, ReplayEngine, RunOutcome};
+    pub use manticore_machine::{
+        CompiledProgram, ExecMode, Machine, MachineError, ReplayEngine, RunOutcome,
+    };
     pub use manticore_netlist::{eval::Evaluator, NetlistBuilder};
 
+    pub use crate::fleet::{FleetJob, FleetRun, FleetSim};
     pub use crate::sim::{Simulator, TapeSim};
     pub use crate::ManticoreSim;
 }
@@ -170,6 +174,36 @@ impl ManticoreSim {
         })
     }
 
+    /// Boots a fresh run of an already-frozen machine program — the
+    /// compile-once / run-many path: every call shares `program`'s replay
+    /// tape and micro-op streams instead of rebuilding them.
+    pub fn from_program(
+        program: std::sync::Arc<manticore_machine::CompiledProgram>,
+        output: std::sync::Arc<CompileOutput>,
+    ) -> Self {
+        ManticoreSim {
+            machine: Machine::from_program(program),
+            output,
+            displays: Vec::new(),
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Wraps a machine that already ran elsewhere (a fleet worker),
+    /// seeding the display history it produced there.
+    pub(crate) fn from_existing(
+        machine: Machine,
+        output: std::sync::Arc<CompileOutput>,
+        displays: Vec<String>,
+    ) -> Self {
+        ManticoreSim {
+            machine,
+            output,
+            displays,
+            wall_seconds: 0.0,
+        }
+    }
+
     /// Selects the machine's execution engine (serial, or sharded BSP).
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.machine.set_exec_mode(mode);
@@ -236,13 +270,22 @@ impl ManticoreSim {
 
     /// Looks up an RTL register by name and reads it back.
     pub fn read_rtl_reg_by_name(&self, name: &str) -> Option<Bits> {
-        let idx = self
-            .output
-            .optimized
-            .registers()
-            .iter()
-            .position(|r| r.name == name)?;
-        Some(self.read_rtl_reg(idx))
+        rtl_reg_of(&self.machine, &self.output, name)
+    }
+
+    /// Overwrites RTL register `name` with `value` (truncated to the
+    /// register's width), writing every machine register word it was
+    /// placed into — how a run plants its input vector before the first
+    /// Vcycle. Returns `false` if the optimized design has no such
+    /// register.
+    pub fn write_rtl_reg_by_name(&mut self, name: &str, value: u64) -> bool {
+        let Some(words) = rtl_reg_words(&self.output, name, value) else {
+            return false;
+        };
+        for (core, mreg, word) in words {
+            self.machine.poke_reg(core, mreg, word);
+        }
+        true
     }
 
     /// The optimized netlist the machine is executing (registers may have
@@ -270,6 +313,64 @@ impl ManticoreSim {
     }
 }
 
+/// Reads RTL register `name` back out of `machine` through `output`'s
+/// placement metadata — the backend-agnostic form of
+/// [`ManticoreSim::read_rtl_reg_by_name`], shared with the fleet backend.
+pub(crate) fn rtl_reg_of(machine: &Machine, output: &CompileOutput, name: &str) -> Option<Bits> {
+    let idx = output
+        .optimized
+        .registers()
+        .iter()
+        .position(|r| r.name == name)?;
+    let reg = &output.optimized.registers()[idx];
+    let words: Vec<u16> = output.metadata.reg_locations[idx]
+        .words
+        .iter()
+        .map(|&(core, mreg)| machine.read_reg(core, mreg))
+        .collect();
+    Some(Bits::from_words16(&words, reg.width))
+}
+
+/// Splits `value` into the per-word machine register writes that plant it
+/// into RTL register `name`: LSW first, each word masked to the bits of
+/// the register it actually holds (so out-of-width bits are truncated,
+/// not injected into the datapath), and words beyond `value`'s 64 bits
+/// cleared. `None` if the optimized design has no such register. The one
+/// write-side resolver, shared by [`ManticoreSim::write_rtl_reg_by_name`]
+/// and the fleet job input vectors.
+pub(crate) fn rtl_reg_words(
+    output: &CompileOutput,
+    name: &str,
+    value: u64,
+) -> Option<Vec<(manticore_isa::CoreId, manticore_isa::Reg, u16)>> {
+    let idx = output
+        .optimized
+        .registers()
+        .iter()
+        .position(|r| r.name == name)?;
+    let reg = &output.optimized.registers()[idx];
+    Some(
+        output.metadata.reg_locations[idx]
+            .words
+            .iter()
+            .enumerate()
+            .map(|(w, &(core, mreg))| {
+                let lo = 16 * w;
+                // A register wider than 64 bits has more words than the
+                // u64 payload; the high words are zeroed, not a shift UB.
+                let word = if lo < 64 { (value >> lo) as u16 } else { 0 };
+                let bits = reg.width.saturating_sub(lo).min(16);
+                let mask = if bits >= 16 {
+                    0xffff
+                } else {
+                    (1u16 << bits) - 1
+                };
+                (core, mreg, word & mask)
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +389,35 @@ mod tests {
         sim.run(7).unwrap();
         assert_eq!(sim.read_rtl_reg_by_name("count").unwrap().to_u64(), 7);
         assert!(sim.simulation_rate_khz() > 0.0);
+    }
+
+    #[test]
+    fn write_rtl_reg_masks_to_width_and_handles_wide_registers() {
+        // A 40-bit register (3 machine words, top word holds 8 bits) and
+        // an 80-bit register (5 words — more than a u64 payload covers).
+        let mut b = NetlistBuilder::new("wide");
+        let r40 = b.reg("r40", 40, 0);
+        b.set_next(r40, r40.q());
+        b.output("r40", r40.q());
+        let r80 = b.reg("r80", 80, 0);
+        b.set_next(r80, r80.q());
+        b.output("r80", r80.q());
+        let n = b.finish_build().unwrap();
+        let mut sim = ManticoreSim::compile(&n, MachineConfig::with_grid(2, 2)).unwrap();
+
+        // Out-of-width bits are truncated, not injected into the state.
+        assert!(sim.write_rtl_reg_by_name("r40", 0x1FF_FFFF_FFFF));
+        assert_eq!(
+            sim.read_rtl_reg_by_name("r40").unwrap().to_u64(),
+            0xFF_FFFF_FFFF
+        );
+
+        // Words beyond the 64-bit payload are cleared (no shift overflow).
+        assert!(sim.write_rtl_reg_by_name("r80", u64::MAX));
+        let r80v = sim.read_rtl_reg_by_name("r80").unwrap();
+        assert_eq!(r80v.to_u128(), u64::MAX as u128, "high word stays 0");
+
+        assert!(!sim.write_rtl_reg_by_name("nope", 1));
     }
 
     #[test]

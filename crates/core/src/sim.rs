@@ -8,6 +8,7 @@
 //! | `manticore-serial+replay` | machine grid, validate-once / replay-many tape | `manticore_machine` |
 //! | `manticore-serial+uops` | machine grid, fused micro-op replay over SoA state | `manticore_machine` |
 //! | `manticore-parallel(k)` | machine grid, `k` BSP shards | `manticore_machine` |
+//! | `manticore-fleet(k)` | machine grid dispatched through a `k`-worker fleet pool | `manticore_fleet` |
 //! | `tape-serial` | Verilator-analog tape, one thread | `manticore_refsim` |
 //! | `tape-parallel(k)` | Verilator-analog macro-tasks, `k` threads | `manticore_refsim` |
 //!
@@ -335,7 +336,13 @@ impl Simulator for TapeSim {
 /// position-by-position reference interpreter), Manticore serial with the
 /// validate-once / replay-many tape, Manticore serial with the fused
 /// micro-op replay stream, Manticore with `threads` BSP shards (replaying
-/// micro-ops), tape serial, and tape parallel with `threads` workers.
+/// micro-ops), the fleet-dispatched machine (a `threads`-worker pool),
+/// tape serial, and tape parallel with `threads` workers.
+///
+/// All machine-grid backends share **one** compilation *and* one frozen
+/// [`manticore_machine::CompiledProgram`] — the replay tape and micro-op
+/// streams are built once and aliased, the compile-once / run-many path
+/// the fleet engine scales up.
 ///
 /// # Errors
 ///
@@ -345,28 +352,35 @@ pub fn backends(
     config: manticore_isa::MachineConfig,
     threads: usize,
 ) -> Result<Vec<Box<dyn Simulator>>, SimError> {
-    // One compilation feeds all machine backends.
+    // One compilation and one frozen program feed all machine backends.
     let options = CompileOptions {
         config: config.clone(),
         ..Default::default()
     };
     let output = Arc::new(compile(netlist, &options)?);
-    let mut serial_machine = ManticoreSim::from_output(output.clone(), config.clone())?;
+    let program = manticore_machine::CompiledProgram::compile_shared(config, &output.binary)?;
+    let mut serial_machine = ManticoreSim::from_program(program.clone(), output.clone());
     serial_machine.set_exec_mode(ExecMode::Serial);
     serial_machine.set_replay(false);
-    let mut replay_machine = ManticoreSim::from_output(output.clone(), config.clone())?;
+    let mut replay_machine = ManticoreSim::from_program(program.clone(), output.clone());
     replay_machine.set_exec_mode(ExecMode::Serial);
     replay_machine.set_replay_engine(ReplayEngine::Tape);
-    let mut uop_machine = ManticoreSim::from_output(output.clone(), config.clone())?;
+    let mut uop_machine = ManticoreSim::from_program(program.clone(), output.clone());
     uop_machine.set_exec_mode(ExecMode::Serial);
     uop_machine.set_replay_engine(ReplayEngine::MicroOps);
-    let mut parallel_machine = ManticoreSim::from_output(output, config)?;
+    let mut parallel_machine = ManticoreSim::from_program(program.clone(), output.clone());
     parallel_machine.set_exec_mode(ExecMode::Parallel { shards: threads });
+    // One fleet row: its `run_cycles` dispatches a single resume job, so
+    // the pool engages one worker per call regardless of capacity — the
+    // coverage it adds is the dispatch/steal path itself, which a second
+    // row would merely repeat.
+    let fleet = crate::fleet::FleetBackend::new(&program, output, threads);
     Ok(vec![
         Box::new(serial_machine),
         Box::new(replay_machine),
         Box::new(uop_machine),
         Box::new(parallel_machine),
+        Box::new(fleet),
         Box::new(TapeSim::serial(netlist)?),
         Box::new(TapeSim::parallel(netlist, threads, 32)?),
     ])

@@ -1,0 +1,387 @@
+//! Compile-once / run-many batched simulation: the fleet engine.
+//!
+//! Manticore's schedule is a pure function of the compiled program, which
+//! the machine crate already exploits *within* one run (validate-once /
+//! replay-many, fused micro-ops). This crate exploits it *across* runs:
+//! one immutable [`CompiledProgram`] — replay tape and micro-op streams
+//! included — is shared behind an `Arc` by *N* concurrent simulations with
+//! distinct inputs and knobs, so a sweep of a thousand scenarios pays for
+//! compilation, validation-schedule freezing, and micro-op lowering once
+//! instead of a thousand times, and then runs the scenarios in parallel.
+//!
+//! The pieces:
+//!
+//! - [`SimJob`] — the description of one simulation: which program, the
+//!   per-run input vector (register pokes applied before the first
+//!   Vcycle), the engine knobs (exec mode / shard count, replay lowering,
+//!   hazard strictness), and the Vcycle budget. A job can also *resume* an
+//!   existing [`Machine`] ([`SimJob::resume`]), which is how a fleet
+//!   drives long-running simulations in slices.
+//! - [`Fleet`] — a fixed pool of worker threads driven by a work-stealing
+//!   scheduler: jobs are dealt round-robin into per-worker queues, each
+//!   worker drains its own queue from the front and steals from the back
+//!   of victims chosen by a seeded [`SmallRng`] when it runs dry. Workers
+//!   rendezvous on a [`SpinBarrier`] before the first pop so a batch
+//!   starts as one front, not a stagger.
+//! - [`JobOutput`] — one job's outcome plus its finished machine (final
+//!   registers, counters, displays all readable). **Collection order is
+//!   the submission order**, bit-for-bit independent of how workers
+//!   interleaved: every job runs on a machine of its own, and its output
+//!   lands in the slot indexed by its submission position.
+//!
+//! Determinism is structural, not best-effort: jobs share nothing mutable
+//! (the `Arc`'d program is read-only), so scheduling can only change *when*
+//! a job runs, never *what* it computes — the equivalence suite asserts
+//! fleet runs are bit-identical to running each job alone.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use manticore_isa::{CoreId, Reg};
+pub use manticore_machine::CompiledProgram;
+use manticore_machine::{ExecMode, Machine, MachineError, ReplayEngine, RunOutcome};
+use manticore_util::{SmallRng, SpinBarrier};
+use std::sync::Arc;
+
+/// Where a job's machine comes from: a fresh boot of a shared program, or
+/// an existing run handed back to the fleet for another slice.
+#[derive(Debug)]
+enum JobSource {
+    Fresh(Arc<CompiledProgram>),
+    Resume(Box<Machine>),
+}
+
+/// The description of one simulation in a fleet batch: program, input
+/// vector, engine knobs, and Vcycle budget. Knobs left unset keep the
+/// machine's defaults (fresh boots) or the machine's current settings
+/// (resumed runs).
+#[derive(Debug)]
+pub struct SimJob {
+    source: JobSource,
+    /// The per-run input vector: architectural register overwrites
+    /// applied before execution.
+    pokes: Vec<(CoreId, Reg, u16)>,
+    exec_mode: Option<ExecMode>,
+    replay: Option<bool>,
+    engine: Option<ReplayEngine>,
+    strict: Option<bool>,
+    vcycles: u64,
+}
+
+impl SimJob {
+    /// A fresh run of `program` with a budget of `vcycles` virtual cycles.
+    /// The program is shared, not copied — booting the run only allocates
+    /// its mutable state.
+    pub fn new(program: &Arc<CompiledProgram>, vcycles: u64) -> SimJob {
+        SimJob {
+            source: JobSource::Fresh(Arc::clone(program)),
+            pokes: Vec::new(),
+            exec_mode: None,
+            replay: None,
+            engine: None,
+            strict: None,
+            vcycles,
+        }
+    }
+
+    /// Resumes an existing machine for another `vcycles` — the fleet-side
+    /// continuation of [`Machine::run_vcycles`]. Knobs and pokes still
+    /// apply (on top of the machine's current settings).
+    pub fn resume(machine: Machine, vcycles: u64) -> SimJob {
+        SimJob {
+            source: JobSource::Resume(Box::new(machine)),
+            pokes: Vec::new(),
+            exec_mode: None,
+            replay: None,
+            engine: None,
+            strict: None,
+            vcycles,
+        }
+    }
+
+    /// Adds one element of the input vector: overwrite `reg` on `core`
+    /// with `value` before the run starts.
+    #[must_use]
+    pub fn poke(mut self, core: CoreId, reg: Reg, value: u16) -> SimJob {
+        self.pokes.push((core, reg, value));
+        self
+    }
+
+    /// Selects the execution engine (serial, or sharded BSP with a shard
+    /// count) for this job.
+    #[must_use]
+    pub fn exec_mode(mut self, mode: ExecMode) -> SimJob {
+        self.exec_mode = Some(mode);
+        self
+    }
+
+    /// Enables or disables the validate-once / replay-many fast path.
+    #[must_use]
+    pub fn replay(mut self, enabled: bool) -> SimJob {
+        self.replay = Some(enabled);
+        self
+    }
+
+    /// Selects the replay lowering (tape or fused micro-ops).
+    #[must_use]
+    pub fn replay_engine(mut self, engine: ReplayEngine) -> SimJob {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Selects strict or permissive hazard checking.
+    #[must_use]
+    pub fn strict_hazards(mut self, strict: bool) -> SimJob {
+        self.strict = Some(strict);
+        self
+    }
+
+    /// Boots (or unwraps) the machine and runs the job to its budget.
+    /// This is the entire per-job execution — it touches nothing shared
+    /// except the read-only program, which is what makes fleet results
+    /// independent of worker interleaving.
+    fn execute(self, index: usize) -> JobOutput {
+        let mut machine = match self.source {
+            JobSource::Fresh(program) => Machine::from_program(program),
+            JobSource::Resume(machine) => *machine,
+        };
+        if let Some(strict) = self.strict {
+            machine.set_strict_hazards(strict);
+        }
+        if let Some(mode) = self.exec_mode {
+            machine.set_exec_mode(mode);
+        }
+        if let Some(enabled) = self.replay {
+            machine.set_replay(enabled);
+        }
+        if let Some(engine) = self.engine {
+            machine.set_replay_engine(engine);
+        }
+        for &(core, reg, value) in &self.pokes {
+            machine.poke_reg(core, reg, value);
+        }
+        let result = machine.run_vcycles(self.vcycles);
+        JobOutput {
+            index,
+            result,
+            machine,
+        }
+    }
+}
+
+/// One job's outcome: its submission index, the run result, and the
+/// finished machine (registers, counters, and pending displays readable).
+#[derive(Debug)]
+pub struct JobOutput {
+    /// The job's position in the submitted batch — [`Fleet::run`] returns
+    /// outputs sorted by this, so `outputs[i]` is always job `i`.
+    pub index: usize,
+    /// The run outcome, or the determinism violation / assertion failure
+    /// that aborted it.
+    pub result: Result<RunOutcome, MachineError>,
+    /// The machine after the run (also the handle to continue it via
+    /// [`SimJob::resume`]).
+    pub machine: Machine,
+}
+
+/// A fixed-size worker pool executing [`SimJob`] batches with
+/// work-stealing. See the crate docs for the scheduling discipline and
+/// the determinism argument.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    workers: usize,
+}
+
+impl Fleet {
+    /// A fleet of `workers` worker threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Fleet {
+        Fleet {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job in the batch and returns the outputs **in
+    /// submission order** — `outputs[i]` belongs to `jobs[i]`, regardless
+    /// of which worker executed it or when.
+    ///
+    /// Jobs are dealt round-robin into per-worker queues; a worker pops
+    /// its own queue from the front (preserving submission locality) and,
+    /// when dry, steals from the back of victims visited in a seeded
+    /// pseudo-random order. A batch smaller than the pool simply leaves
+    /// the surplus workers stealing nothing.
+    pub fn run(&self, jobs: Vec<SimJob>) -> Vec<JobOutput> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+
+        // Deal jobs round-robin; tag each with its submission index.
+        let mut queues: Vec<VecDeque<(usize, SimJob)>> =
+            (0..workers).map(|_| VecDeque::new()).collect();
+        for (index, job) in jobs.into_iter().enumerate() {
+            queues[index % workers].push_back((index, job));
+        }
+        let queues: Vec<Mutex<VecDeque<(usize, SimJob)>>> =
+            queues.into_iter().map(Mutex::new).collect();
+
+        // One result slot per job: completion order writes, submission
+        // order reads.
+        let slots: Vec<Mutex<Option<JobOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        let start = SpinBarrier::new(workers);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                let start = &start;
+                scope.spawn(move || {
+                    // Align the batch start: no worker races ahead while
+                    // its peers are still being spawned.
+                    start.wait();
+                    let mut rng = SmallRng::seed_from_u64(w as u64);
+                    loop {
+                        // Own queue first, front-out (submission order).
+                        let task = queues[w].lock().unwrap().pop_front();
+                        let task = match task {
+                            Some(t) => Some(t),
+                            // Dry: steal from the *back* of a victim,
+                            // taking the work its owner would reach last.
+                            // The visit order is randomized per attempt so
+                            // stealers spread over victims; every queue is
+                            // still visited each sweep, so an empty sweep
+                            // proves the batch is fully claimed (jobs
+                            // never enqueue new jobs).
+                            None => {
+                                let offset = rng.gen_range(0..workers);
+                                (0..workers)
+                                    .map(|i| (offset + i) % workers)
+                                    .filter(|&v| v != w)
+                                    .find_map(|v| queues[v].lock().unwrap().pop_back())
+                            }
+                        };
+                        match task {
+                            Some((index, job)) => {
+                                let output = job.execute(index);
+                                *slots[index].lock().unwrap() = Some(output);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every submitted job produces exactly one output")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manticore_isa::{AluOp, Binary, CoreImage, Instruction, MachineConfig};
+
+    /// A 1×1 counter program: `r1 += r2` once per Vcycle.
+    fn counter_program() -> Arc<CompiledProgram> {
+        let binary = Binary {
+            grid_width: 1,
+            grid_height: 1,
+            vcycle_len: 4,
+            cores: vec![CoreImage {
+                core: CoreId::new(0, 0),
+                body: vec![Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rs1: Reg(1),
+                    rs2: Reg(2),
+                }],
+                epilogue_len: 0,
+                custom_functions: vec![],
+                init_regs: vec![(Reg(1), 0), (Reg(2), 1)],
+                init_scratch: vec![],
+            }],
+            exceptions: vec![],
+            init_dram: vec![],
+        };
+        // Short pipeline so the write at position 0 commits inside the
+        // 4-cycle Vcycle (the default 14-stage latency would make the
+        // next Vcycle's read a hazard).
+        let config = MachineConfig {
+            hazard_latency: 2,
+            ..MachineConfig::with_grid(1, 1)
+        };
+        CompiledProgram::compile_shared(config, &binary).unwrap()
+    }
+
+    #[test]
+    fn outputs_arrive_in_submission_order_for_any_worker_count() {
+        let program = counter_program();
+        for workers in [1, 2, 3, 8] {
+            let fleet = Fleet::new(workers);
+            // Distinct input vectors: job i counts in steps of i+1.
+            let jobs: Vec<SimJob> = (0..13)
+                .map(|i| SimJob::new(&program, 10).poke(CoreId::new(0, 0), Reg(2), (i + 1) as u16))
+                .collect();
+            let outputs = fleet.run(jobs);
+            assert_eq!(outputs.len(), 13);
+            for (i, out) in outputs.iter().enumerate() {
+                assert_eq!(out.index, i);
+                let run = out.result.as_ref().unwrap();
+                assert_eq!(run.vcycles_run, 10);
+                assert_eq!(
+                    out.machine.read_reg(CoreId::new(0, 0), Reg(1)),
+                    (10 * (i + 1)) as u16,
+                    "job {i} with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_continues_where_the_batch_left_off() {
+        let program = counter_program();
+        let fleet = Fleet::new(2);
+        let first = fleet.run(vec![SimJob::new(&program, 3)]);
+        let machine = first.into_iter().next().unwrap().machine;
+        assert_eq!(machine.read_reg(CoreId::new(0, 0), Reg(1)), 3);
+        let second = fleet.run(vec![SimJob::resume(machine, 4)]);
+        assert_eq!(
+            second[0].machine.read_reg(CoreId::new(0, 0), Reg(1)),
+            7,
+            "resumed run continues the same state"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(Fleet::new(4).run(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn one_program_many_runs_share_the_artifact() {
+        let program = counter_program();
+        let outputs =
+            Fleet::new(4).run((0..8).map(|_| SimJob::new(&program, 5)).collect::<Vec<_>>());
+        for out in &outputs {
+            // Every run executes the same shared artifact...
+            assert!(Arc::ptr_eq(out.machine.program(), &program));
+            // ...and none of them perturbs another.
+            assert_eq!(out.machine.read_reg(CoreId::new(0, 0), Reg(1)), 5);
+        }
+        // 8 runs + the original handle + the machines' handles all alias
+        // one compilation.
+        assert!(Arc::strong_count(&program) >= 9);
+    }
+}

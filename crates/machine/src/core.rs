@@ -1,11 +1,16 @@
-//! Per-core state and the pipeline write ring.
+//! Per-run core state and the pipeline write ring.
 //!
-//! Register files and scratchpads for the whole grid live in two
+//! A core is split across the compile-once / run-many boundary: the
+//! *program* half (body, epilogue length, custom-function tables) lives in
+//! the shared immutable [`crate::CompiledProgram`]
+//! (`crate::program::CoreProgram`); this module holds what one *run*
+//! mutates. Register files and scratchpads for the whole grid live in two
 //! structure-of-arrays vectors owned by the machine (one `Vec<u32>` of
 //! register lanes, one `Vec<u16>` of scratchpad lanes, both sliced
-//! per-core); [`CoreState`] keeps what is genuinely per-core — the program,
-//! the epilogue bookkeeping, and the pipeline write ring. [`CoreView`]
-//! bundles a core's state with its two SoA lanes for the executors.
+//! per-core); [`CoreState`] keeps the genuinely per-run remainder — the
+//! epilogue bookkeeping and the pipeline write ring. [`CoreView`] bundles
+//! a core's run state, its two SoA lanes, and its shared program for the
+//! executors.
 //!
 //! The write ring models the 14-stage pipeline: a register written at
 //! cycle `t` commits at `t + hazard_latency`. Because every engine issues
@@ -16,7 +21,9 @@
 //! ([`CoreState::has_pending_write`]) and host flushes
 //! ([`CoreState::reg_value_flushed`]) O(1) instead of a queue scan.
 
-use manticore_isa::{Instruction, Reg};
+use manticore_isa::Reg;
+
+use crate::program::CoreProgram;
 
 /// A register write travelling down the pipeline; becomes architecturally
 /// visible at `commit_at` (compute-domain time).
@@ -29,7 +36,7 @@ pub(crate) struct PendingWrite {
     pub carry: bool,
 }
 
-/// The per-core state: program, epilogue, pipeline ring.
+/// The per-run core state: epilogue slots, pipeline ring, predicate.
 #[derive(Debug, Clone)]
 pub(crate) struct CoreState {
     /// Pipeline ring: in-flight writes in commit-time order. Power-of-two
@@ -46,23 +53,18 @@ pub(crate) struct CoreState {
     pub last_writer: Vec<u32>,
     /// Predicate register for stores.
     pub predicate: bool,
-    /// Program body (executed at positions `0..body.len()`).
-    pub body: Vec<Instruction>,
     /// Messages received this Vcycle, executed as `Set` at positions
-    /// `body.len()..body.len()+epilogue_len` (the instruction-memory tail).
+    /// `body.len()..body.len()+epilogue_len` (the instruction-memory
+    /// tail). Sized to the program's declared epilogue length.
     pub epilogue: Vec<Option<(Reg, u16)>>,
-    /// Declared number of messages per Vcycle.
-    pub epilogue_len: usize,
     /// Messages received so far this Vcycle.
     pub received: usize,
-    /// Custom-function truth tables (per-lane, 256 bits each).
-    pub custom_functions: Vec<[u16; 16]>,
     /// Executed (non-idle) instruction count, for utilization reporting.
     pub executed: u64,
 }
 
 impl CoreState {
-    pub fn new(regfile_size: usize, hazard_latency: usize) -> Self {
+    pub fn new(regfile_size: usize, hazard_latency: usize, epilogue_len: usize) -> Self {
         // At most one write issues per position and a write issued at
         // position `p` commits at `p + hazard_latency`, so no more than
         // `hazard_latency + 1` writes are ever in flight; `+2` leaves a
@@ -76,11 +78,8 @@ impl CoreState {
             inflight: vec![0; regfile_size],
             last_writer: vec![0; regfile_size],
             predicate: false,
-            body: Vec::new(),
-            epilogue: Vec::new(),
-            epilogue_len: 0,
+            epilogue: vec![None; epilogue_len],
             received: 0,
-            custom_functions: Vec::new(),
             executed: 0,
         }
     }
@@ -144,7 +143,7 @@ impl CoreState {
     /// Records an arriving message in the next free epilogue slot.
     /// Returns the slot index, or `None` if the epilogue is full.
     pub fn receive(&mut self, rd: Reg, value: u16) -> Option<usize> {
-        if self.received >= self.epilogue_len {
+        if self.received >= self.epilogue.len() {
             return None;
         }
         let slot = self.received;
@@ -163,12 +162,16 @@ impl CoreState {
     }
 }
 
-/// A core's state plus its register-file and scratchpad lanes out of the
-/// machine's structure-of-arrays storage — everything one core's execution
-/// touches, borrowable disjointly per shard (`split_at_mut` in the
-/// parallel engine).
+/// A core's run state plus its register-file and scratchpad lanes out of
+/// the machine's structure-of-arrays storage, plus its shared read-only
+/// program — everything one core's execution touches, borrowable
+/// disjointly per shard (`split_at_mut` in the parallel engine; the
+/// program side is `&`-shared freely).
 pub(crate) struct CoreView<'a> {
     pub cs: &'a mut CoreState,
+    /// The core's immutable program half (body, epilogue length, custom
+    /// functions) out of the shared [`crate::CompiledProgram`].
+    pub prog: &'a CoreProgram,
     /// This core's `regfile_size` slice of the grid register file.
     /// Low 16 bits value, bit 16 the carry/overflow bit (the 2048×17 BRAM
     /// of §5.1).

@@ -172,8 +172,8 @@ pub(crate) fn step_core(
     events: &mut Vec<HostEvent>,
     sends: &mut Vec<SendRecord>,
 ) -> Result<(), MachineError> {
-    let body_len = core.cs.body.len() as u64;
-    let epi_len = core.cs.epilogue_len as u64;
+    let body_len = core.prog.body.len() as u64;
+    let epi_len = core.prog.epilogue_len as u64;
     let lat = env.config.hazard_latency as u64;
 
     // Epilogue region: execute received messages as SET instructions.
@@ -205,7 +205,7 @@ pub(crate) fn step_core(
         return Ok(());
     }
 
-    let instr = core.cs.body[pos as usize];
+    let instr = core.prog.body[pos as usize];
     exec_instr(
         env, core, core_id, pos, now, instr, cache, counters, events, sends,
     )
@@ -312,11 +312,15 @@ pub(crate) fn exec_instr(
             core.write_reg(now, lat, rd, (v >> offset) & mask, false);
         }
         Instruction::Custom { rd, func, rs } => {
-            let table = *core.cs.custom_functions.get(func as usize).ok_or_else(|| {
-                MachineError::Load(format!(
-                    "custom function {func} not programmed on {core_id}"
-                ))
-            })?;
+            let table = *core
+                .prog
+                .custom_functions
+                .get(func as usize)
+                .ok_or_else(|| {
+                    MachineError::Load(format!(
+                        "custom function {func} not programmed on {core_id}"
+                    ))
+                })?;
             let a = read_operand(env, core, core_id, rs[0], pos)?;
             let b = read_operand(env, core, core_id, rs[1], pos)?;
             let c = read_operand(env, core, core_id, rs[2], pos)?;

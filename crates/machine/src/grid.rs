@@ -9,15 +9,17 @@
 //! whole machine.
 
 use std::fmt;
+use std::sync::Arc;
 
-use manticore_isa::{Binary, CoreId, Instruction, MachineConfig, Reg};
+use manticore_isa::{Binary, CoreId, MachineConfig, Reg};
 
 use crate::cache::{Cache, CacheStats};
 use crate::core::{CoreState, CoreView};
 use crate::exec::{core_id_of, exec_epilogue_slot, exec_instr, step_core, ExecEnv, SendRecord};
 use crate::noc::Noc;
+use crate::program::{CompiledProgram, CoreProgram};
 use crate::replay::ReplayTape;
-use crate::uops::{run_core_uops, MicroProgram};
+use crate::uops::run_core_uops;
 
 /// Hardware performance counters (§7.7 uses these for the global-stall
 /// experiment).
@@ -252,10 +254,19 @@ pub enum ReplayEngine {
     MicroOps,
 }
 
-/// The Manticore machine: a configured grid with a program loaded.
+/// The Manticore machine: one *run* of a compiled design.
+///
+/// The immutable side — validated per-core programs, exception table,
+/// initial state images, the frozen replay tape and its micro-op
+/// lowering — lives in a shared [`CompiledProgram`] behind an [`Arc`];
+/// a `Machine` owns only the mutable run state (SoA register file and
+/// scratchpad, pipeline rings, NoC, cache, counters). Booting additional
+/// machines from the same artifact ([`Machine::from_program`]) is cheap
+/// and embarrassingly parallel, which is what the fleet engine exploits.
 #[derive(Debug)]
 pub struct Machine {
-    pub(crate) config: MachineConfig,
+    /// The shared compile-once artifact this run executes.
+    pub(crate) program: Arc<CompiledProgram>,
     pub(crate) cores: Vec<CoreState>,
     /// Structure-of-arrays register file for the whole grid:
     /// `regfile_size` consecutive words per core, linear core order.
@@ -265,8 +276,6 @@ pub struct Machine {
     pub(crate) scratch: Vec<u16>,
     pub(crate) noc: Noc,
     pub(crate) cache: Cache,
-    pub(crate) exceptions: Vec<manticore_isa::ExceptionDescriptor>,
-    pub(crate) vcycle_len: u64,
     pub(crate) compute_time: u64,
     pub(crate) counters: PerfCounters,
     pub(crate) strict_hazards: bool,
@@ -278,19 +287,19 @@ pub struct Machine {
     pub(crate) replay_enabled: bool,
     /// Which replay lowering to execute (tape or fused micro-ops).
     pub(crate) replay_engine: ReplayEngine,
-    /// The frozen replay tape (dense per-core schedule + delivery
-    /// schedule), derived from the static program at load. `None` when the
-    /// program cannot be replayed (e.g. a message crosses a Vcycle
-    /// boundary — such programs fail validation anyway) or after
-    /// [`Machine::set_strict_hazards`] invalidated it.
-    pub(crate) replay_tape: Option<ReplayTape>,
-    /// The fused micro-op lowering of the tape; `Some` exactly when
-    /// `replay_tape` is.
-    pub(crate) micro_prog: Option<MicroProgram>,
+    /// True after [`Machine::set_strict_hazards`] re-armed hazard checks a
+    /// permissive validation Vcycle never proved: the shared tape stays in
+    /// the program (other runs may still use it), but *this* run must stay
+    /// on the full per-position engines.
+    pub(crate) tape_invalidated: bool,
 }
 
 impl Machine {
-    /// Boots a machine from a compiled binary.
+    /// Boots a machine from a compiled binary: freezes the program
+    /// ([`CompiledProgram::compile`]) and allocates fresh run state.
+    ///
+    /// To run the same binary many times, freeze once and share it:
+    /// [`CompiledProgram::compile_shared`] + [`Machine::from_program`].
     ///
     /// # Errors
     ///
@@ -299,145 +308,31 @@ impl Machine {
     /// scratchpad, custom-function slots) or places privileged
     /// instructions on a non-privileged core.
     pub fn load(config: MachineConfig, binary: &Binary) -> Result<Machine, MachineError> {
-        // `CoreId` addresses cores with 8-bit coordinates; a wider/taller
-        // grid would silently wrap core ids (`core_id_of` casts to `u8`)
-        // and alias distinct cores.
-        if config.grid_width > 256 || config.grid_height > 256 {
-            return Err(MachineError::Load(format!(
-                "{}x{} grid exceeds the 256x256 CoreId addressing limit",
-                config.grid_width, config.grid_height
-            )));
-        }
-        if binary.grid_width as usize > config.grid_width
-            || binary.grid_height as usize > config.grid_height
-        {
-            return Err(MachineError::Load(format!(
-                "binary compiled for {}x{} grid but machine is {}x{}",
-                binary.grid_width, binary.grid_height, config.grid_width, config.grid_height
-            )));
-        }
-        if binary.vcycle_len == 0 {
-            return Err(MachineError::Load("vcycle_len must be non-zero".into()));
-        }
-        let n = config.num_cores();
-        let mut cores: Vec<CoreState> = (0..n)
-            .map(|_| CoreState::new(config.regfile_size, config.hazard_latency))
+        Ok(Machine::from_program(Arc::new(CompiledProgram::compile(
+            config, binary,
+        )?)))
+    }
+
+    /// Boots a fresh run of an already-frozen program: allocates the
+    /// mutable state (SoA register file and scratchpad from the initial
+    /// images, pipeline rings, NoC, cache) and shares everything else.
+    pub fn from_program(program: Arc<CompiledProgram>) -> Machine {
+        let config = &program.config;
+        let cores = program
+            .cores
+            .iter()
+            .map(|p| CoreState::new(config.regfile_size, config.hazard_latency, p.epilogue_len))
             .collect();
-        let mut regs = vec![0u32; n * config.regfile_size];
-        let mut scratch = vec![0u16; n * config.scratch_words];
-        for image in &binary.cores {
-            let idx = image.core.linear(config.grid_width);
-            if image.core.x as usize >= config.grid_width
-                || image.core.y as usize >= config.grid_height
-            {
-                return Err(MachineError::Load(format!(
-                    "core image for {} outside grid",
-                    image.core
-                )));
-            }
-            if image.imem_footprint() > config.imem_capacity {
-                return Err(MachineError::Load(format!(
-                    "{}: program ({} body + {} epilogue) exceeds instruction memory ({})",
-                    image.core,
-                    image.body.len(),
-                    image.epilogue_len,
-                    config.imem_capacity
-                )));
-            }
-            if image.custom_functions.len() > config.num_custom_functions {
-                return Err(MachineError::Load(format!(
-                    "{}: {} custom functions exceed the {} slots",
-                    image.core,
-                    image.custom_functions.len(),
-                    config.num_custom_functions
-                )));
-            }
-            for instr in &image.body {
-                if instr.is_privileged() && image.core != CoreId::PRIVILEGED {
-                    return Err(MachineError::Load(format!(
-                        "privileged instruction {instr:?} on {}",
-                        image.core
-                    )));
-                }
-                if let Instruction::Send {
-                    target, rd_remote, ..
-                } = instr
-                {
-                    if target.x as usize >= config.grid_width
-                        || target.y as usize >= config.grid_height
-                    {
-                        return Err(MachineError::Load(format!(
-                            "{}: Send targets {target} outside the {}x{} grid",
-                            image.core, config.grid_width, config.grid_height
-                        )));
-                    }
-                    if rd_remote.index() >= config.regfile_size {
-                        return Err(MachineError::Load(format!(
-                            "{}: Send remote register {rd_remote} out of range",
-                            image.core
-                        )));
-                    }
-                }
-                if let Some(rd) = instr.dest() {
-                    if rd.index() >= config.regfile_size {
-                        return Err(MachineError::Load(format!(
-                            "{}: register {rd} out of range",
-                            image.core
-                        )));
-                    }
-                }
-                for rs in instr.sources() {
-                    if rs.index() >= config.regfile_size {
-                        return Err(MachineError::Load(format!(
-                            "{}: source register {rs} out of range",
-                            image.core
-                        )));
-                    }
-                }
-            }
-            let core = &mut cores[idx];
-            core.body = image.body.clone();
-            core.epilogue_len = image.epilogue_len as usize;
-            core.epilogue = vec![None; core.epilogue_len];
-            core.custom_functions = image.custom_functions.clone();
-            for &(r, v) in &image.init_regs {
-                if r.index() >= config.regfile_size {
-                    return Err(MachineError::Load(format!("init reg {r} out of range")));
-                }
-                regs[idx * config.regfile_size + r.index()] = v as u32;
-            }
-            for &(a, v) in &image.init_scratch {
-                if (a as usize) >= config.scratch_words {
-                    return Err(MachineError::Load(format!("init scratch {a} out of range")));
-                }
-                scratch[idx * config.scratch_words + a as usize] = v;
-            }
-        }
         let mut cache = Cache::new(config.cache);
-        for &(a, v) in &binary.init_dram {
+        for &(a, v) in &program.init_dram {
             cache.write_dram(a, v);
         }
-        // The replay tape and its micro-op lowering are pure functions of
-        // the loaded program and the configuration, so they are frozen
-        // here; they are only *used* after the first (validation) Vcycle
-        // has proven the schedule's assumptions.
-        let replay_tape = ReplayTape::build(&cores, &config, binary.vcycle_len as u64);
-        let micro_prog = replay_tape.as_ref().map(|tape| {
-            MicroProgram::compile(
-                tape,
-                &cores,
-                binary.vcycle_len as u64,
-                config.hazard_latency as u64,
-            )
-        });
-        Ok(Machine {
-            noc: Noc::new(&config),
+        Machine {
+            noc: Noc::new(config),
             cache,
             cores,
-            regs,
-            scratch,
-            exceptions: binary.exceptions.clone(),
-            vcycle_len: binary.vcycle_len as u64,
+            regs: program.init_regs.clone(),
+            scratch: program.init_scratch.clone(),
             compute_time: 0,
             counters: PerfCounters::default(),
             strict_hazards: true,
@@ -446,10 +341,15 @@ impl Machine {
             exec_mode: ExecMode::Serial,
             replay_enabled: true,
             replay_engine: ReplayEngine::MicroOps,
-            replay_tape,
-            micro_prog,
-            config,
-        })
+            tape_invalidated: false,
+            program,
+        }
+    }
+
+    /// The shared compile-once artifact this run executes — clone the
+    /// `Arc` to boot more runs of the same design.
+    pub fn program(&self) -> &Arc<CompiledProgram> {
+        &self.program
     }
 
     /// Boots from the serialized byte form (the bootloader path).
@@ -467,15 +367,16 @@ impl Machine {
     /// failure-injection tests.
     ///
     /// *Enabling* strictness invalidates the replay tape and its micro-op
-    /// lowering: it re-arms hazard checks a permissive validation Vcycle
-    /// never proved, and those checks rely on the full engines'
-    /// position-major error ordering. Relaxing to permissive only removes
-    /// checks, so the tape stays valid (replay executes the same stale
-    /// reads the permissive interpreter would).
+    /// lowering *for this run*: it re-arms hazard checks a permissive
+    /// validation Vcycle never proved, and those checks rely on the full
+    /// engines' position-major error ordering. (The tape itself lives in
+    /// the shared [`CompiledProgram`] and stays available to other runs.)
+    /// Relaxing to permissive only removes checks, so the tape stays valid
+    /// (replay executes the same stale reads the permissive interpreter
+    /// would).
     pub fn set_strict_hazards(&mut self, strict: bool) {
         if strict && !self.strict_hazards {
-            self.replay_tape = None;
-            self.micro_prog = None;
+            self.tape_invalidated = true;
         }
         self.strict_hazards = strict;
     }
@@ -512,21 +413,24 @@ impl Machine {
         self.replay_engine
     }
 
-    /// Micro-op stream statistics for the loaded program, when one exists:
-    /// `(micro_ops, fused_pairs)` summed over the grid. `fused_pairs`
-    /// counts adjacent tape-entry pairs absorbed into a single dispatch.
+    /// Micro-op stream statistics for the loaded program, when one exists
+    /// and is still usable by this run: `(micro_ops, fused_pairs)` summed
+    /// over the grid. `fused_pairs` counts adjacent tape-entry pairs
+    /// absorbed into a single dispatch.
     pub fn micro_op_stats(&self) -> Option<(usize, usize)> {
-        self.micro_prog
-            .as_ref()
-            .map(|p| (p.streams.iter().map(Vec::len).sum::<usize>(), p.fused_pairs))
+        if self.tape_invalidated {
+            return None;
+        }
+        self.program.micro_op_stats()
     }
 
     /// True when replay is enabled *and* a frozen tape exists for the
     /// loaded program — i.e. post-validation Vcycles will actually replay.
-    /// False for unreplayable programs or after the tape was invalidated,
-    /// where execution stays on the full per-position engines.
+    /// False for unreplayable programs or after the tape was invalidated
+    /// for this run, where execution stays on the full per-position
+    /// engines.
     pub fn replay_armed(&self) -> bool {
-        self.replay_enabled && self.replay_tape.is_some()
+        self.replay_enabled && !self.tape_invalidated && self.program.replay_tape.is_some()
     }
 
     /// True when the next Vcycle will execute from the frozen replay
@@ -540,7 +444,12 @@ impl Machine {
     /// mode with a static cross-Vcycle-boundary hazard, where only the
     /// tape's live per-read checks reproduce the interpreter's error.
     pub(crate) fn uops_defer_to_tape(&self) -> bool {
-        self.strict_hazards && self.micro_prog.as_ref().is_some_and(|p| p.cross_hazard)
+        self.strict_hazards
+            && self
+                .program
+                .micro_prog
+                .as_ref()
+                .is_some_and(|p| p.cross_hazard)
     }
 
     /// Selects the execution engine for subsequent [`Machine::run_vcycles`]
@@ -558,12 +467,12 @@ impl Machine {
 
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
-        &self.config
+        &self.program.config
     }
 
     /// Machine cycles per Vcycle (the compiler's VCPL).
     pub fn vcycle_len(&self) -> u64 {
-        self.vcycle_len
+        self.program.vcycle_len
     }
 
     /// Performance counters accumulated so far.
@@ -579,21 +488,33 @@ impl Machine {
     /// This core's register-file lane of the SoA grid state.
     #[inline]
     pub(crate) fn reg_lane(&self, idx: usize) -> &[u32] {
-        let rf = self.config.regfile_size;
+        let rf = self.program.config.regfile_size;
         &self.regs[idx * rf..(idx + 1) * rf]
     }
 
     /// Reads a register as the host sees it at a Vcycle boundary (with
     /// in-flight writes applied).
     pub fn read_reg(&self, core: CoreId, reg: Reg) -> u16 {
-        let idx = core.linear(self.config.grid_width);
+        let idx = core.linear(self.program.config.grid_width);
         self.cores[idx].reg_value_flushed(self.reg_lane(idx), reg)
+    }
+
+    /// Overwrites a register's architectural value — the way a fleet job
+    /// plants its per-run input vector before the first Vcycle. Writes go
+    /// straight to the committed register file (there is nothing in
+    /// flight before a run starts; mid-run pokes take effect immediately,
+    /// before any still-pending pipeline write to the same register).
+    pub fn poke_reg(&mut self, core: CoreId, reg: Reg, value: u16) {
+        let config = &self.program.config;
+        let idx = core.linear(config.grid_width);
+        self.regs[idx * config.regfile_size + reg.index()] = value as u32;
     }
 
     /// Reads a scratchpad word.
     pub fn read_scratch(&self, core: CoreId, addr: usize) -> u16 {
-        let idx = core.linear(self.config.grid_width);
-        self.scratch[idx * self.config.scratch_words + addr]
+        let config = &self.program.config;
+        let idx = core.linear(config.grid_width);
+        self.scratch[idx * config.scratch_words + addr]
     }
 
     /// Reads a global-memory word (through the coherent host view).
@@ -693,27 +614,29 @@ impl Machine {
         // compute domain is deterministic and the program periodic, so the
         // link pattern repeats exactly.
         let validate = self.counters.vcycles == 0;
-        let rf = self.config.regfile_size;
-        let sw = self.config.scratch_words;
+        let program = Arc::clone(&self.program);
+        let config = &program.config;
+        let rf = config.regfile_size;
+        let sw = config.scratch_words;
         let env = ExecEnv {
-            config: &self.config,
-            exceptions: &self.exceptions,
+            config,
+            exceptions: &program.exceptions,
             strict_hazards: self.strict_hazards,
             vcycle: self.counters.vcycles,
         };
         let mut sends: Vec<SendRecord> = Vec::new();
-        for pos in 0..self.vcycle_len {
+        for pos in 0..program.vcycle_len {
             let now = self.compute_time;
             // Deliver due messages before issue so a slot filled at cycle t
             // is executable at cycle t.
             for msg in self.noc.take_due(now) {
-                let idx = msg.target.linear(self.config.grid_width);
+                let idx = msg.target.linear(config.grid_width);
                 let core = &mut self.cores[idx];
                 match core.receive(msg.rd, msg.value) {
                     None => return Err(MachineError::EpilogueOverflow { core: msg.target }),
                     Some(slot) => {
                         // The PC must not have passed the slot yet.
-                        if pos > (core.body.len() + slot) as u64 {
+                        if pos > (program.cores[idx].body.len() + slot) as u64 {
                             return Err(MachineError::LateMessage {
                                 core: msg.target,
                                 slot,
@@ -726,11 +649,12 @@ impl Machine {
             for idx in 0..self.cores.len() {
                 let mut view = CoreView {
                     cs: &mut self.cores[idx],
+                    prog: &program.cores[idx],
                     regs: &mut self.regs[idx * rf..(idx + 1) * rf],
                     scratch: &mut self.scratch[idx * sw..(idx + 1) * sw],
                 };
                 view.commit_due(now);
-                let core_id = core_id_of(idx, self.config.grid_width);
+                let core_id = core_id_of(idx, config.grid_width);
                 let cache = (core_id == CoreId::PRIVILEGED).then_some(&mut self.cache);
                 step_core(
                     &env,
@@ -759,11 +683,12 @@ impl Machine {
         }
         // Vcycle wrap: every expected message must have arrived.
         for (idx, core) in self.cores.iter_mut().enumerate() {
-            if core.received != core.epilogue_len {
+            let expected = program.cores[idx].epilogue_len;
+            if core.received != expected {
                 return Err(MachineError::MissingMessages {
-                    core: core_id_of(idx, self.config.grid_width),
+                    core: core_id_of(idx, config.grid_width),
                     got: core.received,
-                    expected: core.epilogue_len,
+                    expected,
                 });
             }
             core.wrap_vcycle();
@@ -791,26 +716,26 @@ impl Machine {
     /// so error selection matches the serial engine's encounter order too.
     fn run_one_vcycle_replay(&mut self) -> Result<(), MachineError> {
         let Machine {
-            config,
+            program,
             cores,
             regs,
             scratch,
             cache,
-            exceptions,
-            vcycle_len,
             compute_time,
             counters,
             strict_hazards,
             events,
-            replay_tape,
             ..
         } = self;
-        let tape = replay_tape
+        let config = &program.config;
+        let vcycle_len = program.vcycle_len;
+        let tape = program
+            .replay_tape
             .as_ref()
             .expect("replay_active checked the tape");
         let env = ExecEnv {
             config,
-            exceptions,
+            exceptions: &program.exceptions,
             strict_hazards: *strict_hazards,
             vcycle: counters.vcycles,
         };
@@ -823,6 +748,7 @@ impl Machine {
         for (idx, ops) in tape.body.iter().enumerate() {
             let mut view = CoreView {
                 cs: &mut cores[idx],
+                prog: &program.cores[idx],
                 regs: &mut regs[idx * rf..(idx + 1) * rf],
                 scratch: &mut scratch[idx * sw..(idx + 1) * sw],
             };
@@ -845,12 +771,20 @@ impl Machine {
         }
         debug_assert_eq!(sends.len(), tape.sends_per_vcycle);
 
-        replay_delivery_and_epilogue(tape, cores, regs, scratch, config, vstart, counters, |i| {
-            sends[i as usize].value
-        });
+        replay_delivery_and_epilogue(
+            tape,
+            &program.cores,
+            cores,
+            regs,
+            scratch,
+            config,
+            vstart,
+            counters,
+            |i| sends[i as usize].value,
+        );
 
-        *compute_time += *vcycle_len;
-        counters.compute_cycles += *vcycle_len;
+        *compute_time += vcycle_len;
+        counters.compute_cycles += vcycle_len;
         counters.vcycles += 1;
         Ok(())
     }
@@ -868,25 +802,25 @@ impl Machine {
     /// pipeline ring for exact stale-read semantics.
     fn run_one_vcycle_uops(&mut self) -> Result<(), MachineError> {
         let Machine {
-            config,
+            program,
             cores,
             regs,
             scratch,
             cache,
-            exceptions,
-            vcycle_len,
             compute_time,
             counters,
             events,
             strict_hazards,
-            replay_tape,
-            micro_prog,
             ..
         } = self;
-        let tape = replay_tape
+        let config = &program.config;
+        let vcycle_len = program.vcycle_len;
+        let tape = program
+            .replay_tape
             .as_ref()
             .expect("replay_active checked the tape");
-        let up = micro_prog
+        let up = program
+            .micro_prog
             .as_ref()
             .expect("micro program exists whenever the tape does");
         let direct = *strict_hazards;
@@ -902,6 +836,7 @@ impl Machine {
             let idx = idx as usize;
             let mut view = CoreView {
                 cs: &mut cores[idx],
+                prog: &program.cores[idx],
                 regs: &mut regs[idx * rf..(idx + 1) * rf],
                 scratch: &mut scratch[idx * sw..(idx + 1) * sw],
             };
@@ -913,7 +848,7 @@ impl Machine {
                 run_core_uops::<false>
             };
             run(
-                exceptions,
+                &program.exceptions,
                 vcycle,
                 sw,
                 lat,
@@ -946,6 +881,7 @@ impl Machine {
         } else {
             replay_delivery_and_epilogue(
                 tape,
+                &program.cores,
                 cores,
                 regs,
                 scratch,
@@ -956,8 +892,8 @@ impl Machine {
             );
         }
 
-        *compute_time += *vcycle_len;
-        counters.compute_cycles += *vcycle_len;
+        *compute_time += vcycle_len;
+        counters.compute_cycles += vcycle_len;
         counters.vcycles += 1;
         Ok(())
     }
@@ -972,6 +908,7 @@ impl Machine {
 #[allow(clippy::too_many_arguments)]
 fn replay_delivery_and_epilogue(
     tape: &ReplayTape,
+    progs: &[CoreProgram],
     cores: &mut [CoreState],
     regs: &mut [u32],
     scratch: &mut [u16],
@@ -998,10 +935,11 @@ fn replay_delivery_and_epilogue(
     for (idx, core) in cores.iter_mut().enumerate() {
         let mut view = CoreView {
             cs: core,
+            prog: &progs[idx],
             regs: &mut regs[idx * rf..(idx + 1) * rf],
             scratch: &mut scratch[idx * sw..(idx + 1) * sw],
         };
-        let body_len = view.cs.body.len() as u64;
+        let body_len = view.prog.body.len() as u64;
         for slot in 0..tape.epi_exec[idx] {
             let now = vstart + body_len + slot as u64;
             view.commit_due(now);

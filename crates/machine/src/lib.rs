@@ -34,6 +34,13 @@
 //! share the per-core step function — which the test suite checks across
 //! every workload and shard count.
 //!
+//! A loaded design is split across the compile-once / run-many boundary:
+//! the immutable [`CompiledProgram`] (validated per-core programs,
+//! exception table, initial state images, replay tape, micro-op streams)
+//! is shared behind an `Arc`, and a [`Machine`] is one *run* of it —
+//! mutable state only, cheap to boot ([`Machine::from_program`]), which
+//! is what the `manticore-fleet` crate batches across a worker pool.
+//!
 //! Both engines additionally exploit the model's determinism with a
 //! *validate-once / replay-many* fast path ([`Machine::set_replay`], on by
 //! default): the first Vcycle validates the static schedule in full, after
@@ -53,6 +60,7 @@ mod exec;
 mod grid;
 mod noc;
 mod parallel;
+mod program;
 mod replay;
 mod uops;
 
@@ -60,6 +68,7 @@ pub use cache::{Cache, CacheStats};
 pub use grid::{
     ExecMode, HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome,
 };
+pub use program::CompiledProgram;
 
 #[cfg(test)]
 mod tests;

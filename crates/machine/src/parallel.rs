@@ -60,6 +60,7 @@ use crate::cache::Cache;
 use crate::core::{CoreState, CoreView};
 use crate::exec::{core_id_of, exec_epilogue_slot, exec_instr, step_core, ExecEnv, SendRecord};
 use crate::grid::{HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome};
+use crate::program::CoreProgram;
 use crate::replay::ReplayTape;
 use crate::uops::{run_core_uops, MicroProgram};
 
@@ -83,6 +84,9 @@ struct ShardSlice<'a> {
     cores: &'a mut [CoreState],
     regs: &'a mut [u32],
     scratch: &'a mut [u16],
+    /// The whole grid's shared core programs (read-only, indexed by
+    /// `base + local`).
+    progs: &'a [CoreProgram],
     /// Linear index of the first core in this shard.
     base: usize,
     regfile_size: usize,
@@ -96,6 +100,7 @@ impl ShardSlice<'_> {
         let sw = self.scratch_words;
         CoreView {
             cs: &mut self.cores[local],
+            prog: &self.progs[self.base + local],
             regs: &mut self.regs[local * rf..(local + 1) * rf],
             scratch: &mut self.scratch[local * sw..(local + 1) * sw],
         }
@@ -195,7 +200,7 @@ fn body_phase(
         if let Some(up) = uprog {
             // Micro-op replay: skip architecturally inert cores entirely.
             let stream = &up.streams[idx];
-            if stream.is_empty() && shard.cores[i].epilogue_len == 0 {
+            if stream.is_empty() && shard.progs[idx].epilogue_len == 0 {
                 continue;
             }
             let mut view = shard.view(i);
@@ -267,7 +272,7 @@ fn body_phase(
             }
             continue;
         }
-        let body_len = (view.cs.body.len() as u64).min(vcycle_len);
+        let body_len = (view.prog.body.len() as u64).min(vcycle_len);
         for pos in 0..body_len {
             let now = vstart + pos;
             view.commit_due(now);
@@ -360,7 +365,7 @@ fn epilogue_phase(
         let lat = config.hazard_latency as u64;
         for i in 0..shard.cores.len() {
             let mut view = shard.view(i);
-            let body_len = view.cs.body.len() as u64;
+            let body_len = view.prog.body.len() as u64;
             for slot in 0..tape.epi_exec[base + i] {
                 let now = vstart + body_len + slot as u64;
                 view.commit_due(now);
@@ -374,7 +379,7 @@ fn epilogue_phase(
     for i in 0..shard.cores.len() {
         let core_id = core_id_of(base + i, config.grid_width);
         let mut view = shard.view(i);
-        let body_len = (view.cs.body.len() as u64).min(vcycle_len);
+        let body_len = (view.prog.body.len() as u64).min(vcycle_len);
         for pos in body_len..vcycle_len {
             let now = vstart + pos;
             view.commit_due(now);
@@ -413,36 +418,39 @@ pub(crate) fn run_vcycles_parallel(
     }
     let per = n.div_ceil(shards.clamp(1, n));
     let shards = n.div_ceil(per);
-    let vcl = m.vcycle_len;
-    let grid_width = m.config.grid_width;
+    let program = &m.program;
+    let vcl = program.vcycle_len;
+    let grid_width = program.config.grid_width;
     let strict = m.strict_hazards;
-    let rf = m.config.regfile_size;
-    let sw = m.config.scratch_words;
+    let rf = program.config.regfile_size;
+    let sw = program.config.scratch_words;
 
     // Static program geometry, for main-side delivery legality checks.
-    let body_lens: Vec<u64> = m.cores.iter().map(|c| c.body.len() as u64).collect();
-    let epi_lens: Vec<usize> = m.cores.iter().map(|c| c.epilogue_len).collect();
+    let body_lens: Vec<u64> = program.cores.iter().map(|c| c.body.len() as u64).collect();
+    let epi_lens: Vec<usize> = program.cores.iter().map(|c| c.epilogue_len).collect();
 
     // The frozen replay schedule (used only for Vcycles after the
     // validation Vcycle — the phases re-check `ctl.vcycle > 0` each time).
-    let replay_tape: Option<&ReplayTape> = if m.replay_enabled {
-        m.replay_tape.as_ref()
+    let replay_tape: Option<&ReplayTape> = if m.replay_enabled && !m.tape_invalidated {
+        program.replay_tape.as_ref()
     } else {
         None
     };
-    let micro_prog: Option<&MicroProgram> =
-        if m.replay_enabled && m.replay_engine == ReplayEngine::MicroOps && !m.uops_defer_to_tape()
-        {
-            m.micro_prog.as_ref()
-        } else {
-            None
-        };
+    let micro_prog: Option<&MicroProgram> = if replay_tape.is_some()
+        && m.replay_engine == ReplayEngine::MicroOps
+        && !m.uops_defer_to_tape()
+    {
+        program.micro_prog.as_ref()
+    } else {
+        None
+    };
 
     // Split borrows of the machine: shards own disjoint core ranges (and
     // the matching SoA lanes); the main thread keeps the NoC, cache,
     // global counters, and events.
-    let config = &m.config;
-    let exceptions = &m.exceptions[..];
+    let config = &program.config;
+    let exceptions = &program.exceptions[..];
+    let progs = &program.cores[..];
     let noc = &mut m.noc;
     let cache = &mut m.cache;
     let counters = &mut m.counters;
@@ -467,6 +475,7 @@ pub(crate) fn run_vcycles_parallel(
             cores: head,
             regs: head_regs,
             scratch: head_scratch,
+            progs,
             base,
             regfile_size: rf,
             scratch_words: sw,

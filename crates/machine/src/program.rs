@@ -1,0 +1,264 @@
+//! The compile-once side of the machine: everything about a loaded design
+//! that never changes while it runs.
+//!
+//! [`CompiledProgram`] is the frozen artifact a [`crate::Machine`] executes:
+//! the validated per-core programs, the exception table, the initial
+//! register/scratchpad/DRAM images, and — because they are pure functions of
+//! the program — the replay tape and its fused micro-op lowering. It is
+//! immutable after construction and shared behind an `Arc`, so *N*
+//! concurrent simulations of the same design (a fleet, a serial/parallel
+//! backend pair, a parameter sweep) pay for validation, tape freezing, and
+//! micro-op compilation exactly once. Booting another machine from the
+//! artifact ([`crate::Machine::from_program`]) only allocates the mutable
+//! per-run state: the SoA register file and scratchpad, the pipeline rings,
+//! the NoC, and the cache.
+//!
+//! The split is also what keeps the fast paths honest: nothing a Vcycle
+//! executes can scribble on the schedule it is replaying, because the
+//! schedule lives on the other side of the `Arc`.
+
+use std::sync::Arc;
+
+use manticore_isa::{Binary, CoreId, ExceptionDescriptor, Instruction, MachineConfig};
+
+use crate::grid::MachineError;
+use crate::replay::ReplayTape;
+use crate::uops::MicroProgram;
+
+/// The immutable per-core half of a core: its program and static geometry.
+/// The mutable half (pipeline ring, epilogue slots, predicate) lives in
+/// `crate::core::CoreState`, one per *run*.
+#[derive(Debug)]
+pub(crate) struct CoreProgram {
+    /// Program body, executed at positions `0..body.len()`.
+    pub body: Vec<Instruction>,
+    /// Declared number of messages per Vcycle (the epilogue length).
+    pub epilogue_len: usize,
+    /// Custom-function truth tables (per-lane, 256 bits each).
+    pub custom_functions: Vec<[u16; 16]>,
+}
+
+/// A design compiled, validated, and frozen for execution: share it behind
+/// an [`Arc`] and boot as many [`crate::Machine`]s from it as you like
+/// ([`crate::Machine::from_program`]) — each run gets its own mutable
+/// state, but the programs, the replay tape, and the micro-op streams are
+/// built once and never copied.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    pub(crate) config: MachineConfig,
+    pub(crate) cores: Vec<CoreProgram>,
+    pub(crate) exceptions: Vec<ExceptionDescriptor>,
+    pub(crate) vcycle_len: u64,
+    /// Initial SoA register image for the whole grid (`regfile_size`
+    /// consecutive words per core, linear core order).
+    pub(crate) init_regs: Vec<u32>,
+    /// Initial SoA scratchpad image (`scratch_words` per core).
+    pub(crate) init_scratch: Vec<u16>,
+    /// Initial DRAM contents, applied to each run's fresh cache.
+    pub(crate) init_dram: Vec<(u64, u16)>,
+    /// The frozen replay tape; `None` when the program cannot be replayed
+    /// (see [`ReplayTape::build`]).
+    pub(crate) replay_tape: Option<ReplayTape>,
+    /// The fused micro-op lowering; `Some` exactly when `replay_tape` is.
+    pub(crate) micro_prog: Option<MicroProgram>,
+}
+
+impl CompiledProgram {
+    /// Validates and freezes a compiled binary for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Load`] if the binary does not fit the
+    /// configuration (grid size, instruction memory, register file,
+    /// scratchpad, custom-function slots) or places privileged
+    /// instructions on a non-privileged core.
+    pub fn compile(
+        config: MachineConfig,
+        binary: &Binary,
+    ) -> Result<CompiledProgram, MachineError> {
+        // `CoreId` addresses cores with 8-bit coordinates; a wider/taller
+        // grid would silently wrap core ids (`core_id_of` casts to `u8`)
+        // and alias distinct cores.
+        if config.grid_width > 256 || config.grid_height > 256 {
+            return Err(MachineError::Load(format!(
+                "{}x{} grid exceeds the 256x256 CoreId addressing limit",
+                config.grid_width, config.grid_height
+            )));
+        }
+        if binary.grid_width as usize > config.grid_width
+            || binary.grid_height as usize > config.grid_height
+        {
+            return Err(MachineError::Load(format!(
+                "binary compiled for {}x{} grid but machine is {}x{}",
+                binary.grid_width, binary.grid_height, config.grid_width, config.grid_height
+            )));
+        }
+        if binary.vcycle_len == 0 {
+            return Err(MachineError::Load("vcycle_len must be non-zero".into()));
+        }
+        let n = config.num_cores();
+        let mut cores: Vec<CoreProgram> = (0..n)
+            .map(|_| CoreProgram {
+                body: Vec::new(),
+                epilogue_len: 0,
+                custom_functions: Vec::new(),
+            })
+            .collect();
+        let mut init_regs = vec![0u32; n * config.regfile_size];
+        let mut init_scratch = vec![0u16; n * config.scratch_words];
+        for image in &binary.cores {
+            let idx = image.core.linear(config.grid_width);
+            if image.core.x as usize >= config.grid_width
+                || image.core.y as usize >= config.grid_height
+            {
+                return Err(MachineError::Load(format!(
+                    "core image for {} outside grid",
+                    image.core
+                )));
+            }
+            if image.imem_footprint() > config.imem_capacity {
+                return Err(MachineError::Load(format!(
+                    "{}: program ({} body + {} epilogue) exceeds instruction memory ({})",
+                    image.core,
+                    image.body.len(),
+                    image.epilogue_len,
+                    config.imem_capacity
+                )));
+            }
+            if image.custom_functions.len() > config.num_custom_functions {
+                return Err(MachineError::Load(format!(
+                    "{}: {} custom functions exceed the {} slots",
+                    image.core,
+                    image.custom_functions.len(),
+                    config.num_custom_functions
+                )));
+            }
+            for instr in &image.body {
+                if instr.is_privileged() && image.core != CoreId::PRIVILEGED {
+                    return Err(MachineError::Load(format!(
+                        "privileged instruction {instr:?} on {}",
+                        image.core
+                    )));
+                }
+                if let Instruction::Send {
+                    target, rd_remote, ..
+                } = instr
+                {
+                    if target.x as usize >= config.grid_width
+                        || target.y as usize >= config.grid_height
+                    {
+                        return Err(MachineError::Load(format!(
+                            "{}: Send targets {target} outside the {}x{} grid",
+                            image.core, config.grid_width, config.grid_height
+                        )));
+                    }
+                    if rd_remote.index() >= config.regfile_size {
+                        return Err(MachineError::Load(format!(
+                            "{}: Send remote register {rd_remote} out of range",
+                            image.core
+                        )));
+                    }
+                }
+                if let Some(rd) = instr.dest() {
+                    if rd.index() >= config.regfile_size {
+                        return Err(MachineError::Load(format!(
+                            "{}: register {rd} out of range",
+                            image.core
+                        )));
+                    }
+                }
+                for rs in instr.sources() {
+                    if rs.index() >= config.regfile_size {
+                        return Err(MachineError::Load(format!(
+                            "{}: source register {rs} out of range",
+                            image.core
+                        )));
+                    }
+                }
+            }
+            let core = &mut cores[idx];
+            core.body = image.body.clone();
+            core.epilogue_len = image.epilogue_len as usize;
+            core.custom_functions = image.custom_functions.clone();
+            for &(r, v) in &image.init_regs {
+                if r.index() >= config.regfile_size {
+                    return Err(MachineError::Load(format!("init reg {r} out of range")));
+                }
+                init_regs[idx * config.regfile_size + r.index()] = v as u32;
+            }
+            for &(a, v) in &image.init_scratch {
+                if (a as usize) >= config.scratch_words {
+                    return Err(MachineError::Load(format!("init scratch {a} out of range")));
+                }
+                init_scratch[idx * config.scratch_words + a as usize] = v;
+            }
+        }
+        // The replay tape and its micro-op lowering are pure functions of
+        // the loaded program and the configuration, so they are frozen
+        // here; a run only *uses* them after its first (validation) Vcycle
+        // has proven the schedule's assumptions.
+        let replay_tape = ReplayTape::build(&cores, &config, binary.vcycle_len as u64);
+        let micro_prog = replay_tape.as_ref().map(|tape| {
+            MicroProgram::compile(
+                tape,
+                &cores,
+                binary.vcycle_len as u64,
+                config.hazard_latency as u64,
+            )
+        });
+        Ok(CompiledProgram {
+            cores,
+            exceptions: binary.exceptions.clone(),
+            vcycle_len: binary.vcycle_len as u64,
+            init_regs,
+            init_scratch,
+            init_dram: binary.init_dram.clone(),
+            replay_tape,
+            micro_prog,
+            config,
+        })
+    }
+
+    /// Like [`CompiledProgram::compile`], wrapped in the [`Arc`] every
+    /// sharing consumer ([`crate::Machine::from_program`], a fleet) wants.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledProgram::compile`].
+    pub fn compile_shared(
+        config: MachineConfig,
+        binary: &Binary,
+    ) -> Result<Arc<CompiledProgram>, MachineError> {
+        Ok(Arc::new(Self::compile(config, binary)?))
+    }
+
+    /// The machine configuration the program was compiled for.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Machine cycles per Vcycle (the compiler's VCPL).
+    pub fn vcycle_len(&self) -> u64 {
+        self.vcycle_len
+    }
+
+    /// Number of cores in the configured grid.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// True when a frozen replay schedule exists for this program (see
+    /// [`crate::Machine::set_replay`]).
+    pub fn replayable(&self) -> bool {
+        self.replay_tape.is_some()
+    }
+
+    /// Micro-op stream statistics, when a micro program exists:
+    /// `(micro_ops, fused_pairs)` summed over the grid. `fused_pairs`
+    /// counts adjacent tape-entry pairs absorbed into a single dispatch.
+    pub fn micro_op_stats(&self) -> Option<(usize, usize)> {
+        self.micro_prog
+            .as_ref()
+            .map(|p| (p.streams.iter().map(Vec::len).sum::<usize>(), p.fused_pairs))
+    }
+}

@@ -22,7 +22,8 @@
 //!   NoC is bypassed entirely.
 //!
 //! The tape is a pure function of the loaded program and the machine
-//! configuration, so it is built once at [`crate::Machine::load`]; it is
+//! configuration, so it is built once when the program is frozen into a
+//! [`crate::CompiledProgram`] and shared by every run; it is
 //! *used* only after the validation Vcycle completes successfully (a
 //! program whose validation Vcycle fails never reaches the replay path).
 //! Bit-identity with the per-position engines is structural: the tape
@@ -34,7 +35,7 @@
 
 use manticore_isa::{Instruction, MachineConfig, Reg};
 
-use crate::core::CoreState;
+use crate::program::CoreProgram;
 
 /// One pre-decoded body entry: the instruction at a (non-NOP) position.
 #[derive(Debug, Clone, Copy)]
@@ -105,7 +106,7 @@ impl ReplayTape {
     /// Returning `None` simply keeps the machine on the full per-position
     /// engines, which then report the failure exactly as before.
     pub fn build(
-        cores: &[CoreState],
+        cores: &[CoreProgram],
         config: &MachineConfig,
         vcycle_len: u64,
     ) -> Option<ReplayTape> {

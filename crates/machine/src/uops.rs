@@ -33,17 +33,19 @@
 //!   executes both halves in one dispatch, with a pipeline commit between
 //!   the two positions, so timing-visible behaviour is unchanged.
 //!
-//! The stream is a pure function of the tape, built once at
-//! [`crate::Machine::load`] and used by both engines' micro-op replay
+//! The stream is a pure function of the tape, built once when the program
+//! is frozen into a [`crate::CompiledProgram`] (and shared by every run of
+//! it) and used by both engines' micro-op replay
 //! paths ([`crate::grid`] serial, [`crate::parallel`] sharded) strictly
 //! after the validation Vcycle.
 
 use manticore_isa::{AluOp, ExceptionDescriptor, Instruction};
 
 use crate::cache::Cache;
-use crate::core::{CoreState, CoreView};
+use crate::core::CoreView;
 use crate::exec::service_exception;
 use crate::grid::{HostEvent, MachineError, PerfCounters};
+use crate::program::CoreProgram;
 use crate::replay::ReplayTape;
 
 /// One micro-op: a pre-resolved payload at a Vcycle position. Fused
@@ -359,7 +361,7 @@ impl MicroProgram {
     /// Compiles the frozen tape into fused micro-op streams.
     pub fn compile(
         tape: &ReplayTape,
-        cores: &[CoreState],
+        cores: &[CoreProgram],
         vcycle_len: u64,
         hazard_latency: u64,
     ) -> MicroProgram {
@@ -435,7 +437,7 @@ impl MicroProgram {
 /// [`MicroProgram::cross_hazard`].
 fn cross_boundary_hazard(
     tape: &ReplayTape,
-    cores: &[CoreState],
+    cores: &[CoreProgram],
     vcycle_len: u64,
     lat: u64,
 ) -> bool {
@@ -653,7 +655,7 @@ pub(crate) fn run_core_uops<const DIRECT: bool>(
                 ic += 1;
                 // Validated during the validation Vcycle: an unprogrammed
                 // function index faults there, before replay ever runs.
-                let table = view.cs.custom_functions[func as usize];
+                let table = view.prog.custom_functions[func as usize];
                 let a = view.regs[rs[0] as usize] as u16;
                 let b = view.regs[rs[1] as usize] as u16;
                 let c = view.regs[rs[2] as usize] as u16;

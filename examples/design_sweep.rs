@@ -1,13 +1,27 @@
-//! Design sweep: compile one workload across grid sizes and watch the
-//! compiler-predicted scaling — a miniature of the paper's Fig. 7, which
-//! uses the compiler's virtual critical-path length (VCPL) as the cycle
-//! count per simulated RTL cycle.
+//! Design sweep: compile one workload across grid sizes and both
+//! *predict* (compiler VCPL, as Fig. 7 does) and *measure* (machine
+//! model on the fleet engine) its scaling.
+//!
+//! Each grid size needs its own compilation — the schedule is a function
+//! of the grid — but every simulation of the sweep runs as one batch on
+//! the machine-level fleet: the jobs carry *different* compiled programs,
+//! the work-stealing pool executes them concurrently, and the results
+//! come back in grid order regardless of which worker finished first.
+//! The same sweep run point-by-point re-pays one simulation's wall time
+//! per point; the batch pays roughly the slowest point.
 //!
 //! Run with: `cargo run --release --example design_sweep [workload]`
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use manticore::compiler::{compile, CompileOptions};
 use manticore::isa::MachineConfig;
+use manticore::machine::CompiledProgram;
 use manticore::workloads;
+use manticore_fleet::{Fleet, SimJob};
+
+const VCYCLES: u64 = 300;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "cgra".into());
@@ -15,12 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| panic!("unknown workload `{name}` (try vta, mc, noc, mm, ...)"));
 
     println!("workload: {} ({} nets)", w.name, w.netlist.nets().len());
-    println!(
-        "{:>6} {:>8} {:>12} {:>10} {:>8}",
-        "cores", "VCPL", "rate (kHz)", "speedup", "sends"
-    );
 
-    let mut base_vcpl = None;
+    // --- Compile each grid size (the per-point part) -------------------
+    struct Point {
+        grid: usize,
+        vcpl: u64,
+        sends: u64,
+        rate_khz: f64,
+        program: Arc<CompiledProgram>,
+    }
+    let mut points: Vec<Point> = Vec::new();
     for grid in [1usize, 2, 3, 5, 7, 9, 12, 15] {
         let config = MachineConfig::with_grid(grid, grid);
         let options = CompileOptions {
@@ -29,22 +47,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         match compile(&w.netlist, &options) {
             Ok(out) => {
-                let vcpl = out.report.vcpl;
-                let base = *base_vcpl.get_or_insert(vcpl);
-                println!(
-                    "{:>6} {:>8} {:>12.1} {:>9.2}x {:>8}",
-                    grid * grid,
-                    vcpl,
-                    config.simulation_rate_khz(vcpl),
-                    base as f64 / vcpl as f64,
-                    out.report.total_sends
-                );
+                let program = CompiledProgram::compile_shared(config.clone(), &out.binary)?;
+                points.push(Point {
+                    grid,
+                    vcpl: out.report.vcpl,
+                    sends: out.report.total_sends,
+                    rate_khz: config.simulation_rate_khz(out.report.vcpl),
+                    program,
+                });
             }
             Err(e) => {
                 // Small grids may not fit the design (instruction memory).
-                println!("{:>6} does not fit: {e}", grid * grid);
+                println!("{:>6} cores: does not fit: {e}", grid * grid);
             }
         }
     }
+
+    // --- Run every point as one fleet batch ----------------------------
+    let fleet = Fleet::new(4);
+    let jobs: Vec<SimJob> = points
+        .iter()
+        .map(|p| SimJob::new(&p.program, VCYCLES))
+        .collect();
+    let t = Instant::now();
+    let outputs = fleet.run(jobs);
+    let batch_secs = t.elapsed().as_secs_f64();
+
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>8} {:>14}",
+        "cores", "VCPL", "rate (kHz)", "speedup", "sends", "instrs/vcycle"
+    );
+    let base_vcpl = points.first().map(|p| p.vcpl);
+    for (p, out) in points.iter().zip(&outputs) {
+        let run = out.result.as_ref().expect("sweep point runs clean");
+        assert_eq!(run.vcycles_run, VCYCLES);
+        let counters = out.machine.counters();
+        println!(
+            "{:>6} {:>8} {:>12.1} {:>9.2}x {:>8} {:>14.1}",
+            p.grid * p.grid,
+            p.vcpl,
+            p.rate_khz,
+            base_vcpl.unwrap() as f64 / p.vcpl as f64,
+            p.sends,
+            counters.instructions as f64 / counters.vcycles as f64,
+        );
+    }
+    println!(
+        "\nmeasured {} sweep points x {VCYCLES} vcycles in {batch_secs:.3}s \
+         (one fleet batch, {} workers)",
+        outputs.len(),
+        fleet.workers()
+    );
     Ok(())
 }

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the perf trajectory.
+
+Compares a fresh `table3_performance --json` run against the committed
+baseline (`BENCH_table3.json`) within a relative tolerance, and fails the
+build when any compared metric drifts out of band — e.g. a 2x slowdown of
+a replay lowering.
+
+What is compared, and why:
+
+- per-row (matched by workload name) `vcpl`, `cores_used`, and
+  `manticore_khz`: deterministic compiler/model outputs, so any drift at
+  all is a real change (the tolerance merely keeps float rendering
+  honest);
+- `geomean.replay_vs_interp`, `geomean.uop_vs_interp`,
+  `geomean.uop_vs_replay`: the measured engine-speedup ratios that the
+  committed baseline tracks per PR. Geomeans over the nine workloads are
+  stable to a few percent between runs on one host; the per-row measured
+  kHz columns are NOT compared because single-workload wall-clock ratios
+  can legitimately wobble past 25% on shared CI runners.
+
+Intentional perf changes (either direction, beyond tolerance) are landed
+by regenerating the committed baseline in the same PR.
+
+Usage: bench_gate.py FRESH.json BASELINE.json [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+PER_ROW = ["vcpl", "cores_used", "manticore_khz"]
+GEOMEAN = ["replay_vs_interp", "uop_vs_interp", "uop_vs_replay"]
+
+
+def check(label, fresh, base, tolerance, failures):
+    if base is None or fresh is None:
+        failures.append(f"{label}: missing value (fresh={fresh}, baseline={base})")
+        return
+    if base == 0:
+        ok = fresh == 0
+        drift = float("inf") if not ok else 0.0
+    else:
+        drift = abs(fresh - base) / abs(base)
+        ok = drift <= tolerance
+    status = "ok" if ok else "FAIL"
+    print(f"  {status:>4}  {label:<32} baseline {base:>12.3f}  fresh {fresh:>12.3f}  drift {drift * 100:6.1f}%")
+    if not ok:
+        failures.append(f"{label}: {base:.3f} -> {fresh:.3f} ({drift * 100:.1f}% > {tolerance * 100:.0f}%)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="JSON from the fresh table3_performance run")
+    ap.add_argument("baseline", help="committed baseline (BENCH_table3.json)")
+    ap.add_argument("--tolerance", type=float, default=0.25, help="relative tolerance (default 0.25)")
+    args = ap.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    failures = []
+    base_rows = {r["name"]: r for r in base.get("rows", [])}
+    fresh_rows = {r["name"]: r for r in fresh.get("rows", [])}
+
+    missing = sorted(set(base_rows) - set(fresh_rows))
+    if missing:
+        failures.append(f"workloads missing from fresh run: {', '.join(missing)}")
+
+    print(f"bench gate: tolerance ±{args.tolerance * 100:.0f}%")
+    for name, brow in sorted(base_rows.items()):
+        frow = fresh_rows.get(name)
+        if frow is None:
+            continue
+        for field in PER_ROW:
+            check(f"{name}.{field}", frow.get(field), brow.get(field), args.tolerance, failures)
+    for field in GEOMEAN:
+        check(
+            f"geomean.{field}",
+            fresh.get("geomean", {}).get(field),
+            base.get("geomean", {}).get(field),
+            args.tolerance,
+            failures,
+        )
+
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)} violation(s)):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print(
+            "\nIf this change is intentional, regenerate the baseline:\n"
+            "  cargo run --release -p manticore-bench --bin table3_performance -- --json BENCH_table3.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

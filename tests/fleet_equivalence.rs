@@ -1,0 +1,245 @@
+//! The fleet engine must be architecturally invisible: a job set run on a
+//! fleet — any worker count, any submission order — yields bit-identical
+//! per-job outcomes to running each job alone on a `ManticoreSim`, and
+//! the outputs come back in submission order.
+//!
+//! This is the across-runs analog of `parallel_grid_equivalence.rs`
+//! (which pins the within-run engines): scheduling may only change *when*
+//! a job runs, never *what* it computes.
+
+use std::sync::Arc;
+
+use manticore::bits::Bits;
+use manticore::fleet::{FleetJob, FleetSim};
+use manticore::isa::MachineConfig;
+use manticore::machine::{ExecMode, Machine, ReplayEngine};
+use manticore::util::SmallRng;
+use manticore::workloads;
+use manticore_fleet::{Fleet, JobOutput, SimJob};
+
+const GRID: usize = 6;
+const VCYCLES: u64 = 30;
+
+/// Reads every RTL register back out of a machine using the compiler's
+/// placement metadata (same probe as `parallel_grid_equivalence`).
+fn rtl_regs(machine: &Machine, out: &manticore::compiler::CompileOutput) -> Vec<Bits> {
+    out.optimized
+        .registers()
+        .iter()
+        .enumerate()
+        .map(|(ri, reg)| {
+            let loc = &out.metadata.reg_locations[ri];
+            let words: Vec<u16> = loc
+                .words
+                .iter()
+                .map(|&(core, mreg)| machine.read_reg(core, mreg))
+                .collect();
+            Bits::from_words16(&words, reg.width)
+        })
+        .collect()
+}
+
+/// The engine-knob variants every job set cycles through.
+fn variants() -> Vec<(&'static str, Option<ExecMode>, Option<ReplayEngine>, bool)> {
+    vec![
+        ("uops", None, Some(ReplayEngine::MicroOps), true),
+        ("tape", None, Some(ReplayEngine::Tape), true),
+        ("interp", None, None, false),
+        (
+            "parallel2+uops",
+            Some(ExecMode::Parallel { shards: 2 }),
+            Some(ReplayEngine::MicroOps),
+            true,
+        ),
+    ]
+}
+
+#[test]
+fn fleet_jobs_are_bit_identical_to_alone_runs() {
+    // Three workloads spanning the parallelism spectrum; bc additionally
+    // gets distinct input vectors (its per-pipe nonce registers).
+    for wname in ["mm", "bc", "noc"] {
+        let w = workloads::by_name(wname).unwrap();
+        let fleet = FleetSim::compile(&w.netlist, MachineConfig::with_grid(GRID, GRID), 4)
+            .unwrap_or_else(|e| panic!("{wname}: fleet compile failed: {e}"));
+        let output = Arc::clone(fleet.output());
+
+        // The job set: every engine variant, and for bc also a poked
+        // nonce per variant so inputs genuinely differ between jobs.
+        let mut jobs: Vec<FleetJob> = Vec::new();
+        let mut alone: Vec<manticore::ManticoreSim> = Vec::new();
+        for (vi, (_, mode, engine, replay)) in variants().into_iter().enumerate() {
+            let mut job = fleet.job(VCYCLES).replay(replay);
+            let mut solo = manticore::ManticoreSim::from_output(
+                output.clone(),
+                fleet.program().config().clone(),
+            )
+            .unwrap();
+            solo.set_replay(replay);
+            if let Some(mode) = mode {
+                job = job.exec_mode(mode);
+                solo.set_exec_mode(mode);
+            }
+            if let Some(engine) = engine {
+                job = job.replay_engine(engine);
+                solo.set_replay_engine(engine);
+            }
+            if wname == "bc" {
+                let nonce = (vi as u64 + 1) << 20;
+                job = job.with_reg("nonce0", nonce).unwrap();
+                assert!(solo.write_rtl_reg_by_name("nonce0", nonce));
+            }
+            jobs.push(job);
+            alone.push(solo);
+        }
+
+        let runs = fleet.run(jobs);
+        assert_eq!(runs.len(), alone.len());
+        for ((vi, run), solo) in runs.into_iter().enumerate().zip(alone.iter_mut()) {
+            let what = format!("{wname} variant {vi}");
+            assert_eq!(run.index, vi, "{what}: submission order broken");
+            let solo_result = solo.run(VCYCLES);
+            match (&run.result, &solo_result) {
+                (Ok(f), Ok(s)) => {
+                    assert_eq!(f.displays, s.displays, "{what}: displays diverged");
+                    assert_eq!(f.finished, s.finished, "{what}: finish flag diverged");
+                    assert_eq!(
+                        f.vcycles_run, s.vcycles_run,
+                        "{what}: vcycle count diverged"
+                    );
+                }
+                (Err(f), Err(s)) => {
+                    assert_eq!(format!("{f}"), format!("{s}"), "{what}: errors diverged");
+                }
+                (f, s) => panic!("{what}: outcome kind diverged: {f:?} vs {s:?}"),
+            }
+            assert_eq!(
+                run.sim.machine().counters(),
+                solo.machine().counters(),
+                "{what}: PerfCounters diverged"
+            );
+            let f_regs = rtl_regs(run.sim.machine(), &output);
+            let s_regs = rtl_regs(solo.machine(), &output);
+            for (ri, reg) in output.optimized.registers().iter().enumerate() {
+                assert_eq!(
+                    f_regs[ri], s_regs[ri],
+                    "{what}: register `{}` diverged",
+                    reg.name
+                );
+            }
+        }
+    }
+}
+
+/// Builds the machine-level job set for the worker-count / submission
+/// order sweeps: one shared program; job *i* gets variant `order[i]`'s
+/// engine knobs and a Vcycle budget staggered by the variant index, so
+/// the jobs are genuinely distinguishable in their outcomes.
+fn machine_job_set(
+    program: &Arc<manticore::machine::CompiledProgram>,
+    order: &[usize],
+) -> Vec<SimJob> {
+    let variants = variants();
+    order
+        .iter()
+        .map(|&i| {
+            let (_, mode, engine, replay) = variants[i % variants.len()];
+            // Distinct budgets (30, 31, 32, ...) make every job's final
+            // state unique, so a mixed-up result slot cannot pass.
+            let mut job =
+                SimJob::new(program, VCYCLES + (i / variants.len()) as u64).replay(replay);
+            if let Some(mode) = mode {
+                job = job.exec_mode(mode);
+            }
+            if let Some(engine) = engine {
+                job = job.replay_engine(engine);
+            }
+            job
+        })
+        .collect()
+}
+
+/// Fingerprints one job output: counters plus the full final register
+/// file of every core (read through the flushed host view).
+fn fingerprint(out: &JobOutput, regfile_size: usize, grid: usize) -> Vec<u64> {
+    let mut fp = Vec::new();
+    let c = out.machine.counters();
+    fp.extend_from_slice(&[
+        c.compute_cycles,
+        c.vcycles,
+        c.instructions,
+        c.sends,
+        c.messages_delivered,
+        c.exceptions,
+    ]);
+    for y in 0..grid {
+        for x in 0..grid {
+            for r in 0..regfile_size {
+                fp.push(out.machine.read_reg(
+                    manticore::isa::CoreId::new(x as u8, y as u8),
+                    manticore::isa::Reg(r as u16),
+                ) as u64);
+            }
+        }
+    }
+    fp
+}
+
+#[test]
+fn fleet_results_independent_of_worker_count_and_submission_order() {
+    let w = workloads::by_name("mm").unwrap();
+    let config = MachineConfig::with_grid(GRID, GRID);
+    let options = manticore::compiler::CompileOptions {
+        config: config.clone(),
+        ..Default::default()
+    };
+    let out = manticore::compiler::compile(&w.netlist, &options).unwrap();
+    let program =
+        manticore::machine::CompiledProgram::compile_shared(config.clone(), &out.binary).unwrap();
+    let rf = config.regfile_size;
+
+    let n_jobs = 10;
+    let natural: Vec<usize> = (0..n_jobs).collect();
+
+    // Reference: one worker, natural order.
+    let reference = Fleet::new(1).run(machine_job_set(&program, &natural));
+    let ref_fps: Vec<Vec<u64>> = reference.iter().map(|o| fingerprint(o, rf, GRID)).collect();
+    for (i, o) in reference.iter().enumerate() {
+        assert_eq!(o.index, i, "reference collection order");
+        assert!(o.result.is_ok());
+    }
+
+    // Same set across worker counts: identical outputs, identical order.
+    for workers in [2, 4] {
+        let outputs = Fleet::new(workers).run(machine_job_set(&program, &natural));
+        for (i, o) in outputs.iter().enumerate() {
+            assert_eq!(o.index, i, "{workers} workers: collection order");
+            assert_eq!(
+                fingerprint(o, rf, GRID),
+                ref_fps[i],
+                "{workers} workers: job {i} diverged from the 1-worker run"
+            );
+        }
+    }
+
+    // Shuffled submission: job *content* follows the shuffle, outputs
+    // still arrive in (new) submission order, and each job's outcome is
+    // bit-identical to the same job in the natural-order run.
+    let mut rng = SmallRng::seed_from_u64(0xf1ee7);
+    for round in 0..3u64 {
+        let mut shuffled = natural.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..i + 1));
+        }
+        let outputs = Fleet::new(3).run(machine_job_set(&program, &shuffled));
+        for (slot, o) in outputs.iter().enumerate() {
+            assert_eq!(o.index, slot, "round {round}: collection order");
+            assert_eq!(
+                fingerprint(o, rf, GRID),
+                ref_fps[shuffled[slot]],
+                "round {round}: shuffled job at slot {slot} (= job {}) diverged",
+                shuffled[slot]
+            );
+        }
+    }
+}
