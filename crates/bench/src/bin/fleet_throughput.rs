@@ -1,6 +1,6 @@
 //! Fleet throughput: scenarios per second under compile-once / run-many
 //! versus the sweep loop it replaces (compile + run per scenario,
-//! sequentially).
+//! sequentially), plus the gang engine's lane-batched rows.
 //!
 //! The job set is every workload × `--scenarios` instances, each instance
 //! an independent simulation of the shared compiled program. The
@@ -11,6 +11,15 @@
 //! the one-time compilations are *included* in the fleet wall time, so
 //! the speedup is end-to-end, not cherry-picked.
 //!
+//! The **gang rows** isolate the execution engine: per workload, one
+//! shared compilation feeds the same scenario set twice through the same
+//! 4-worker pool — once one-machine-per-scenario (`Fleet::run`, the PR 4
+//! fleet), once lane-batched (`Fleet::run_ganged` with `--lanes` lanes,
+//! one micro-op fetch per gang). The `gang_vs_fleet` ratio is therefore a
+//! pure dispatch-amortization measurement at equal worker count on the
+//! micro-op engine; `scripts/bench_gate.py --fleet-*` gates its geomean
+//! against the committed `BENCH_fleet.json`.
+//!
 //! Run: `cargo run --release -p manticore-bench --bin fleet_throughput`
 //!
 //! Flags:
@@ -18,11 +27,18 @@
 //!   as `table3_performance --json`; CI uploads it as an artifact);
 //! - `--vcycles <n>` — per-scenario Vcycle budget (default 200);
 //! - `--scenarios <n>` — instances per workload (default 6);
-//! - `--grid <g>` — grid size to compile for (default 8).
+//! - `--grid <g>` — grid size to compile for (default 8);
+//! - `--lanes <k>` — gang width for the gang-vs-fleet rows (default 8;
+//!   0 skips them);
+//! - `--gang-vcycles <n>` — per-scenario budget for the gang-vs-fleet
+//!   rows (default 10000). Deliberately longer than `--vcycles`: the gang
+//!   engine targets long-running scenario batches (mining, Monte Carlo,
+//!   soak sweeps), so its rows are measured where execution rather than
+//!   one-time machine boot dominates.
 
 use std::time::Instant;
 
-use manticore::fleet::FleetSim;
+use manticore::fleet::{FleetJob, FleetSim};
 use manticore::isa::MachineConfig;
 use manticore::workloads;
 use manticore::ManticoreSim;
@@ -43,6 +59,12 @@ fn main() {
     let vcycles = parse(take_flag(&mut args, "--vcycles"), "--vcycles", 200);
     let scenarios = parse(take_flag(&mut args, "--scenarios"), "--scenarios", 6) as usize;
     let grid = parse(take_flag(&mut args, "--grid"), "--grid", 8) as usize;
+    let lanes = parse(take_flag(&mut args, "--lanes"), "--lanes", 8) as usize;
+    let gang_vcycles = parse(
+        take_flag(&mut args, "--gang-vcycles"),
+        "--gang-vcycles",
+        10000,
+    );
     reject_unknown_args(&args);
 
     let all = workloads::all();
@@ -124,8 +146,78 @@ fn main() {
         fmt(speedup4)
     );
 
+    // --- Gang vs fleet: same jobs, same pool, lane-batched dispatch ----
+    let mut gang_json: Option<Val> = None;
+    if lanes > 1 {
+        let gang_workers = 4usize;
+        let gang_jobs = lanes * gang_workers;
+        println!(
+            "\n# Gang vs fleet: {gang_jobs} scenarios x {gang_vcycles} vcycles per workload, \
+             {gang_workers} workers, gangs of {lanes} (uop engine, compile excluded)\n"
+        );
+        row(&[
+            "workload".into(),
+            "fleet scen/s".into(),
+            "gang scen/s".into(),
+            "gang/fleet".into(),
+        ]);
+        println!("|---|---|---|---|");
+        let mut gang_rows: Vec<Val> = Vec::new();
+        let mut log_sum = 0.0f64;
+        for w in &all {
+            let fleet = FleetSim::compile(&w.netlist, config.clone(), gang_workers)
+                .unwrap_or_else(|e| panic!("{}: gang compile failed: {e}", w.name));
+            let make_jobs =
+                || -> Vec<FleetJob> { (0..gang_jobs).map(|_| fleet.job(gang_vcycles)).collect() };
+            // Warm the shared program (validation schedule, page-in) so
+            // neither side pays first-touch costs.
+            for run in fleet.run(vec![fleet.job(vcycles)]) {
+                run.result.as_ref().unwrap();
+            }
+            let t = Instant::now();
+            for run in fleet.run(make_jobs()) {
+                run.result.as_ref().unwrap();
+            }
+            let fleet_secs = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            for run in fleet.run_ganged(make_jobs(), lanes) {
+                run.result.as_ref().unwrap();
+            }
+            let gang_secs = t.elapsed().as_secs_f64();
+            let fleet_rate = gang_jobs as f64 / fleet_secs;
+            let gang_rate = gang_jobs as f64 / gang_secs;
+            let ratio = gang_rate / fleet_rate;
+            log_sum += ratio.ln();
+            row(&[
+                w.name.to_string(),
+                fmt(fleet_rate),
+                fmt(gang_rate),
+                fmt(ratio),
+            ]);
+            gang_rows.push(Val::obj(vec![
+                ("name", Val::Str(w.name.to_string())),
+                ("fleet_scenarios_per_sec", Val::Num(fleet_rate)),
+                ("gang_scenarios_per_sec", Val::Num(gang_rate)),
+                ("gang_vs_fleet", Val::Num(ratio)),
+            ]));
+        }
+        let geomean = (log_sum / all.len() as f64).exp();
+        println!(
+            "\ngang({lanes}) vs fleet at {gang_workers} workers: {} geomean scenarios/sec",
+            fmt(geomean)
+        );
+        gang_json = Some(Val::obj(vec![
+            ("workers", Val::Int(gang_workers as u64)),
+            ("lanes", Val::Int(lanes as u64)),
+            ("vcycles", Val::Int(gang_vcycles)),
+            ("scenarios_per_workload", Val::Int(gang_jobs as u64)),
+            ("rows", Val::Arr(gang_rows)),
+            ("geomean_gang_vs_fleet", Val::Num(geomean)),
+        ]));
+    }
+
     if let Some(path) = json_path {
-        let doc = Val::obj(vec![
+        let mut fields = vec![
             ("bench", Val::Str("fleet_throughput".into())),
             ("grid", Val::Int(grid as u64)),
             ("vcycles", Val::Int(vcycles)),
@@ -139,7 +231,11 @@ fn main() {
                 ]),
             ),
             ("rows", Val::Arr(json_rows)),
-        ]);
+        ];
+        if let Some(gang) = gang_json {
+            fields.push(("gang", gang));
+        }
+        let doc = Val::obj(fields);
         manticore_bench::json::write(&path, &doc);
         println!("\nwrote {path}");
     }

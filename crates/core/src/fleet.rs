@@ -43,8 +43,8 @@ use std::time::Instant;
 
 use manticore_compiler::{compile, CompileOptions, CompileOutput};
 use manticore_fleet::{CompiledProgram, Fleet, SimJob};
-use manticore_isa::MachineConfig;
-use manticore_machine::{ExecMode, Machine, ReplayEngine, RunOutcome};
+use manticore_isa::{CoreId, MachineConfig, Reg};
+use manticore_machine::{ExecMode, GangMachine, Machine, ReplayEngine, RunOutcome};
 
 use crate::sim::{SimOutcome, SimPerf, Simulator};
 use crate::{ManticoreSim, SimError};
@@ -93,6 +93,18 @@ impl FleetJob {
             self.inner = self.inner.poke(core, mreg, word);
         }
         Ok(self)
+    }
+
+    /// Adds one raw machine-level element to the input vector: overwrite
+    /// `reg` on `core` with `value` before the run starts. The
+    /// netlist-level mirror of [`manticore_fleet::SimJob::poke`], for
+    /// callers that already hold placement coordinates; named RTL
+    /// registers should go through [`FleetJob::with_reg`], which resolves
+    /// and width-masks them.
+    #[must_use]
+    pub fn poke(mut self, core: CoreId, reg: Reg, value: u16) -> FleetJob {
+        self.inner = self.inner.poke(core, reg, value);
+        self
     }
 
     /// Selects the execution engine for this job (serial, or sharded BSP
@@ -225,8 +237,22 @@ impl FleetSim {
     /// worker interleaving.
     pub fn run(&self, jobs: Vec<FleetJob>) -> Vec<FleetRun> {
         let sim_jobs: Vec<SimJob> = jobs.into_iter().map(|j| j.inner).collect();
-        self.fleet
-            .run(sim_jobs)
+        self.wrap_outputs(self.fleet.run(sim_jobs))
+    }
+
+    /// Like [`FleetSim::run`], with lane batching: compatible jobs (same
+    /// knobs and budget — the input vectors may differ freely) execute up
+    /// to `lanes` at a time in lockstep on a gang machine, one micro-op
+    /// fetch per gang instead of per scenario. Bit-identical to
+    /// [`FleetSim::run`], still in submission order; see
+    /// [`Fleet::run_ganged`].
+    pub fn run_ganged(&self, jobs: Vec<FleetJob>, lanes: usize) -> Vec<FleetRun> {
+        let sim_jobs: Vec<SimJob> = jobs.into_iter().map(|j| j.inner).collect();
+        self.wrap_outputs(self.fleet.run_ganged(sim_jobs, lanes))
+    }
+
+    fn wrap_outputs(&self, outputs: Vec<manticore_fleet::JobOutput>) -> Vec<FleetRun> {
+        outputs
             .into_iter()
             .map(|out| {
                 let mut machine = out.machine;
@@ -345,6 +371,109 @@ impl Simulator for FleetBackend {
     fn rtl_reg(&self, name: &str) -> Option<manticore_bits::Bits> {
         let machine = self.machine.as_ref().expect("machine present at rest");
         crate::rtl_reg_of(machine, &self.output, name)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The gang rows of `backends()`
+// ---------------------------------------------------------------------
+
+/// A [`Simulator`] backend that executes as a `k`-lane lockstep gang
+/// ([`GangMachine`]): every lane boots the same design, `run_cycles`
+/// advances all of them together, and the trait's observers read lane 0.
+/// Architecturally identical to the direct machine backends — what it
+/// adds is coverage of the lane-batched dispatch, the lane-major state
+/// layout, and the gather/scatter fallback, under every agreement test
+/// that sweeps [`crate::sim::backends`].
+#[derive(Debug)]
+pub struct GangBackend {
+    gang: GangMachine,
+    output: Arc<CompileOutput>,
+    displays: Vec<String>,
+    wall_seconds: f64,
+}
+
+impl GangBackend {
+    /// Boots a `lanes`-lane gang of `program`.
+    pub fn new(
+        program: &Arc<CompiledProgram>,
+        output: Arc<CompileOutput>,
+        lanes: usize,
+    ) -> GangBackend {
+        GangBackend {
+            gang: GangMachine::from_program(Arc::clone(program), lanes),
+            output,
+            displays: Vec::new(),
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Selects the gang-wide replay lowering (micro-ops run the ganged
+    /// inner loop; the tape runs each lane through the solo engine).
+    pub fn set_replay_engine(&mut self, engine: ReplayEngine) {
+        self.gang.set_replay_engine(engine);
+    }
+}
+
+impl Simulator for GangBackend {
+    fn backend(&self) -> String {
+        let base = format!("manticore-gang({})", self.gang.lanes());
+        // Same replay-lowering suffix convention as the other machine
+        // backends.
+        if self.gang.replay_armed() {
+            match self.gang.replay_engine() {
+                ReplayEngine::Tape => format!("{base}+replay"),
+                ReplayEngine::MicroOps => format!("{base}+uops"),
+            }
+        } else {
+            base
+        }
+    }
+
+    fn run_cycles(&mut self, max_cycles: u64) -> Result<SimOutcome, SimError> {
+        let start = Instant::now();
+        let mut results = self.gang.run_vcycles(max_cycles);
+        self.wall_seconds += start.elapsed().as_secs_f64();
+        // Lane 0 is the face of the backend; the other lanes execute the
+        // identical scenario in lockstep and must agree with it.
+        match results.swap_remove(0) {
+            Ok(outcome) => {
+                self.displays.extend(outcome.displays.iter().cloned());
+                Ok(SimOutcome {
+                    cycles_run: outcome.vcycles_run,
+                    finished: outcome.finished,
+                    displays: outcome.displays,
+                })
+            }
+            Err(e) => {
+                self.displays.extend(self.gang.drain_pending_displays(0));
+                Err(e.into())
+            }
+        }
+    }
+
+    fn displays(&self) -> &[String] {
+        &self.displays
+    }
+
+    fn perf(&self) -> SimPerf {
+        let counters = self.gang.counters(0);
+        SimPerf {
+            cycles: counters.vcycles,
+            wall_seconds: self.wall_seconds,
+            model_rate_khz: Some(
+                self.gang
+                    .config()
+                    .simulation_rate_khz(self.gang.vcycle_len()),
+            ),
+            counters: Some(counters),
+        }
+    }
+
+    fn rtl_reg(&self, name: &str) -> Option<manticore_bits::Bits> {
+        crate::rtl_reg_read(&self.output, name, |core, mreg| {
+            self.gang.read_reg(0, core, mreg)
+        })
     }
 }
 

@@ -221,6 +221,12 @@ impl ManticoreSim {
         self.machine.set_replay_engine(engine);
     }
 
+    /// Selects strict or permissive hazard checking — the solo mirror of
+    /// the fleet job knob ([`crate::fleet::FleetJob::strict_hazards`]).
+    pub fn set_strict_hazards(&mut self, strict: bool) {
+        self.machine.set_strict_hazards(strict);
+    }
+
     /// Runs up to `max_vcycles` RTL cycles.
     ///
     /// # Errors
@@ -313,10 +319,15 @@ impl ManticoreSim {
     }
 }
 
-/// Reads RTL register `name` back out of `machine` through `output`'s
-/// placement metadata — the backend-agnostic form of
-/// [`ManticoreSim::read_rtl_reg_by_name`], shared with the fleet backend.
-pub(crate) fn rtl_reg_of(machine: &Machine, output: &CompileOutput, name: &str) -> Option<Bits> {
+/// Reads RTL register `name` back through `output`'s placement metadata,
+/// with the machine-register reads supplied by `read` — the one read-side
+/// resolver, shared by [`ManticoreSim::read_rtl_reg_by_name`], the fleet
+/// backend, and the gang backend (whose lanes are not `Machine`s).
+pub(crate) fn rtl_reg_read(
+    output: &CompileOutput,
+    name: &str,
+    read: impl Fn(manticore_isa::CoreId, manticore_isa::Reg) -> u16,
+) -> Option<Bits> {
     let idx = output
         .optimized
         .registers()
@@ -326,9 +337,15 @@ pub(crate) fn rtl_reg_of(machine: &Machine, output: &CompileOutput, name: &str) 
     let words: Vec<u16> = output.metadata.reg_locations[idx]
         .words
         .iter()
-        .map(|&(core, mreg)| machine.read_reg(core, mreg))
+        .map(|&(core, mreg)| read(core, mreg))
         .collect();
     Some(Bits::from_words16(&words, reg.width))
+}
+
+/// Reads RTL register `name` back out of `machine` — the backend-agnostic
+/// form of [`ManticoreSim::read_rtl_reg_by_name`].
+pub(crate) fn rtl_reg_of(machine: &Machine, output: &CompileOutput, name: &str) -> Option<Bits> {
+    rtl_reg_read(output, name, |core, mreg| machine.read_reg(core, mreg))
 }
 
 /// Splits `value` into the per-word machine register writes that plant it

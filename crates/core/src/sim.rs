@@ -9,6 +9,7 @@
 //! | `manticore-serial+uops` | machine grid, fused micro-op replay over SoA state | `manticore_machine` |
 //! | `manticore-parallel(k)` | machine grid, `k` BSP shards | `manticore_machine` |
 //! | `manticore-fleet(k)` | machine grid dispatched through a `k`-worker fleet pool | `manticore_fleet` |
+//! | `manticore-gang(k)` | `k` lockstep lanes over lane-major state, one micro-op fetch per gang | `manticore_machine` |
 //! | `tape-serial` | Verilator-analog tape, one thread | `manticore_refsim` |
 //! | `tape-parallel(k)` | Verilator-analog macro-tasks, `k` threads | `manticore_refsim` |
 //!
@@ -337,7 +338,9 @@ impl Simulator for TapeSim {
 /// validate-once / replay-many tape, Manticore serial with the fused
 /// micro-op replay stream, Manticore with `threads` BSP shards (replaying
 /// micro-ops), the fleet-dispatched machine (a `threads`-worker pool),
-/// tape serial, and tape parallel with `threads` workers.
+/// the lane-batched gang machine (a `threads`-lane lockstep gang, in both
+/// replay lowerings), tape serial, and tape parallel with `threads`
+/// workers.
 ///
 /// All machine-grid backends share **one** compilation *and* one frozen
 /// [`manticore_machine::CompiledProgram`] — the replay tape and micro-op
@@ -374,13 +377,21 @@ pub fn backends(
     // the pool engages one worker per call regardless of capacity — the
     // coverage it adds is the dispatch/steal path itself, which a second
     // row would merely repeat.
-    let fleet = crate::fleet::FleetBackend::new(&program, output, threads);
+    let fleet = crate::fleet::FleetBackend::new(&program, output.clone(), threads);
+    // Two gang rows: the micro-op lowering exercises the ganged inner
+    // loop (plus the per-lane validation fallback), the tape lowering
+    // keeps the lane gather/scatter path under the agreement sweep.
+    let gang_uops = crate::fleet::GangBackend::new(&program, output.clone(), threads);
+    let mut gang_tape = crate::fleet::GangBackend::new(&program, output, threads);
+    gang_tape.set_replay_engine(ReplayEngine::Tape);
     Ok(vec![
         Box::new(serial_machine),
         Box::new(replay_machine),
         Box::new(uop_machine),
         Box::new(parallel_machine),
         Box::new(fleet),
+        Box::new(gang_uops),
+        Box::new(gang_tape),
         Box::new(TapeSim::serial(netlist)?),
         Box::new(TapeSim::parallel(netlist, threads, 32)?),
     ])

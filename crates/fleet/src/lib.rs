@@ -28,18 +28,24 @@
 //!   the submission order**, bit-for-bit independent of how workers
 //!   interleaved: every job runs on a machine of its own, and its output
 //!   lands in the slot indexed by its submission position.
+//! - [`Fleet::run_ganged`] — the same batch API with lane batching:
+//!   compatible jobs (one program, one set of engine knobs, one budget)
+//!   execute K-at-a-time as lanes of a lockstep
+//!   [`manticore_machine::GangMachine`], so each micro-op is fetched and
+//!   decoded once per K scenarios instead of once per scenario. Outputs
+//!   are bit-identical to [`Fleet::run`] and still in submission order.
 //!
 //! Determinism is structural, not best-effort: jobs share nothing mutable
 //! (the `Arc`'d program is read-only), so scheduling can only change *when*
 //! a job runs, never *what* it computes — the equivalence suite asserts
 //! fleet runs are bit-identical to running each job alone.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 
 use manticore_isa::{CoreId, Reg};
 pub use manticore_machine::CompiledProgram;
-use manticore_machine::{ExecMode, Machine, MachineError, ReplayEngine, RunOutcome};
+use manticore_machine::{ExecMode, GangMachine, Machine, MachineError, ReplayEngine, RunOutcome};
 use manticore_util::{SmallRng, SpinBarrier};
 use std::sync::Arc;
 
@@ -136,6 +142,46 @@ impl SimJob {
         self
     }
 
+    /// True when this job can join a gang: a fresh boot (no existing
+    /// machine to import) on the serial engine. Which gang it may join is
+    /// decided by [`SimJob::gang_key`].
+    fn gangable(&self) -> bool {
+        matches!(self.source, JobSource::Fresh(_))
+            && matches!(self.exec_mode, None | Some(ExecMode::Serial))
+    }
+
+    /// The compatibility key for gang grouping: jobs in one gang must
+    /// share the program (pointer identity), every engine knob, and the
+    /// Vcycle budget — everything except the input vector, which is
+    /// per-lane by design. Only meaningful for [`SimJob::gangable`] jobs.
+    fn gang_key(&self) -> (usize, u8, u8, u8, u64) {
+        let JobSource::Fresh(program) = &self.source else {
+            unreachable!("gang_key is only asked of gangable jobs")
+        };
+        let replay = match self.replay {
+            None => 0u8,
+            Some(false) => 1,
+            Some(true) => 2,
+        };
+        let engine = match self.engine {
+            None => 0u8,
+            Some(ReplayEngine::Tape) => 1,
+            Some(ReplayEngine::MicroOps) => 2,
+        };
+        let strict = match self.strict {
+            None => 0u8,
+            Some(false) => 1,
+            Some(true) => 2,
+        };
+        (
+            Arc::as_ptr(program) as usize,
+            replay,
+            engine,
+            strict,
+            self.vcycles,
+        )
+    }
+
     /// Boots (or unwraps) the machine and runs the job to its budget.
     /// This is the entire per-job execution — it touches nothing shared
     /// except the read-only program, which is what makes fleet results
@@ -184,6 +230,65 @@ pub struct JobOutput {
     pub machine: Machine,
 }
 
+/// One schedulable unit on the worker pool: a solo job, or a gang of
+/// compatible jobs executed as lanes of one [`GangMachine`].
+#[derive(Debug)]
+enum Unit {
+    Single(usize, SimJob),
+    Gang(Vec<(usize, SimJob)>),
+}
+
+impl Unit {
+    /// Runs the unit to completion, producing one output per job in it.
+    fn execute(self, outs: &mut Vec<JobOutput>) {
+        match self {
+            Unit::Single(index, job) => outs.push(job.execute(index)),
+            Unit::Gang(group) => {
+                // All jobs share a gang key (program, knobs, budget); the
+                // input vectors are per-lane.
+                let lanes = group.len();
+                let (program, vcycles, strict, replay, engine) = {
+                    let job = &group[0].1;
+                    let JobSource::Fresh(program) = &job.source else {
+                        unreachable!("gangs are built from fresh jobs only")
+                    };
+                    (
+                        Arc::clone(program),
+                        job.vcycles,
+                        job.strict,
+                        job.replay,
+                        job.engine,
+                    )
+                };
+                let mut gang = GangMachine::from_program(program, lanes);
+                if let Some(strict) = strict {
+                    gang.set_strict_hazards(strict);
+                }
+                if let Some(enabled) = replay {
+                    gang.set_replay(enabled);
+                }
+                if let Some(engine) = engine {
+                    gang.set_replay_engine(engine);
+                }
+                for (lane, (_, job)) in group.iter().enumerate() {
+                    for &(core, reg, value) in &job.pokes {
+                        gang.poke_reg(lane, core, reg, value);
+                    }
+                }
+                let results = gang.run_vcycles(vcycles);
+                let machines = gang.into_machines();
+                for (((index, _), result), machine) in group.iter().zip(results).zip(machines) {
+                    outs.push(JobOutput {
+                        index: *index,
+                        result,
+                        machine,
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// A fixed-size worker pool executing [`SimJob`] batches with
 /// work-stealing. See the crate docs for the scheduling discipline and
 /// the determinism argument.
@@ -216,23 +321,94 @@ impl Fleet {
     /// the surplus workers stealing nothing.
     pub fn run(&self, jobs: Vec<SimJob>) -> Vec<JobOutput> {
         let n = jobs.len();
-        if n == 0 {
+        let units = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(index, job)| Unit::Single(index, job))
+            .collect();
+        self.run_units(units, n)
+    }
+
+    /// Like [`Fleet::run`], but batches compatible jobs into gangs of up
+    /// to `lanes` lanes: fresh serial-engine jobs sharing one program,
+    /// identical engine knobs, and one Vcycle budget execute in lockstep
+    /// on a [`GangMachine`] — every micro-op fetched and decoded once for
+    /// the whole gang. Jobs that cannot gang (resumed machines, the
+    /// sharded engine, or a gang of one) run exactly as [`Fleet::run`]
+    /// would run them.
+    ///
+    /// Outputs are bit-identical to the ungganged path and still arrive
+    /// in submission order — ganging changes scheduling, never results
+    /// (`tests/gang_equivalence.rs` holds this to full-regfile
+    /// fingerprints).
+    pub fn run_ganged(&self, jobs: Vec<SimJob>, lanes: usize) -> Vec<JobOutput> {
+        if lanes <= 1 {
+            return self.run(jobs);
+        }
+        // A gang machine holds at most MAX_LANES lanes; wider requests
+        // simply open another gang (never truncate a group against a
+        // silently-clamped machine).
+        let lanes = lanes.min(manticore_machine::MAX_LANES);
+        let n = jobs.len();
+        let mut units: Vec<Unit> = Vec::new();
+        // Open (not yet full) gang per compatibility key, as an index
+        // into `units`. Scanning in submission order keeps the grouping
+        // deterministic for any job set.
+        let mut open: HashMap<(usize, u8, u8, u8, u64), usize> = HashMap::new();
+        for (index, job) in jobs.into_iter().enumerate() {
+            if !job.gangable() {
+                units.push(Unit::Single(index, job));
+                continue;
+            }
+            match open.entry(job.gang_key()) {
+                std::collections::hash_map::Entry::Occupied(entry) => {
+                    let slot = *entry.get();
+                    let Unit::Gang(group) = &mut units[slot] else {
+                        unreachable!("open gangs index gang units")
+                    };
+                    group.push((index, job));
+                    if group.len() == lanes {
+                        entry.remove();
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(units.len());
+                    units.push(Unit::Gang(vec![(index, job)]));
+                }
+            }
+        }
+        // A gang of one gains nothing from the lane machinery; demote it
+        // to the plain per-job path.
+        for unit in &mut units {
+            if let Unit::Gang(group) = unit {
+                if group.len() == 1 {
+                    let (index, job) = group.pop().expect("len checked");
+                    *unit = Unit::Single(index, job);
+                }
+            }
+        }
+        self.run_units(units, n)
+    }
+
+    /// The worker pool proper: deals `units` round-robin and runs them
+    /// with work-stealing, writing each produced output into its
+    /// submission-indexed slot.
+    fn run_units(&self, units: Vec<Unit>, n_jobs: usize) -> Vec<JobOutput> {
+        if n_jobs == 0 {
             return Vec::new();
         }
-        let workers = self.workers.min(n);
+        let workers = self.workers.min(units.len());
 
-        // Deal jobs round-robin; tag each with its submission index.
-        let mut queues: Vec<VecDeque<(usize, SimJob)>> =
-            (0..workers).map(|_| VecDeque::new()).collect();
-        for (index, job) in jobs.into_iter().enumerate() {
-            queues[index % workers].push_back((index, job));
+        // Deal units round-robin.
+        let mut queues: Vec<VecDeque<Unit>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (at, unit) in units.into_iter().enumerate() {
+            queues[at % workers].push_back(unit);
         }
-        let queues: Vec<Mutex<VecDeque<(usize, SimJob)>>> =
-            queues.into_iter().map(Mutex::new).collect();
+        let queues: Vec<Mutex<VecDeque<Unit>>> = queues.into_iter().map(Mutex::new).collect();
 
         // One result slot per job: completion order writes, submission
         // order reads.
-        let slots: Vec<Mutex<Option<JobOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<JobOutput>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
 
         let start = SpinBarrier::new(workers);
         std::thread::scope(|scope| {
@@ -266,9 +442,13 @@ impl Fleet {
                             }
                         };
                         match task {
-                            Some((index, job)) => {
-                                let output = job.execute(index);
-                                *slots[index].lock().unwrap() = Some(output);
+                            Some(unit) => {
+                                let mut outs = Vec::new();
+                                unit.execute(&mut outs);
+                                for output in outs {
+                                    let slot = output.index;
+                                    *slots[slot].lock().unwrap() = Some(output);
+                                }
                             }
                             None => break,
                         }
@@ -367,6 +547,69 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(Fleet::new(4).run(Vec::new()).is_empty());
+        assert!(Fleet::new(4).run_ganged(Vec::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn oversized_gang_requests_split_instead_of_truncating() {
+        // More compatible jobs than a gang machine can hold: the width
+        // clamps to MAX_LANES and the surplus opens further gangs — every
+        // job still produces its own correct output.
+        let program = counter_program();
+        let core = CoreId::new(0, 0);
+        let n = manticore_machine::MAX_LANES + 7;
+        let jobs: Vec<SimJob> = (0..n)
+            .map(|i| SimJob::new(&program, 5).poke(core, Reg(2), (i + 1) as u16))
+            .collect();
+        let outputs = Fleet::new(2).run_ganged(jobs, n);
+        assert_eq!(outputs.len(), n);
+        for (i, out) in outputs.iter().enumerate() {
+            assert_eq!(out.index, i);
+            assert_eq!(out.machine.read_reg(core, Reg(1)), (5 * (i + 1)) as u16);
+        }
+    }
+
+    #[test]
+    fn ganged_run_matches_solo_run_for_mixed_job_sets() {
+        let program = counter_program();
+        let core = CoreId::new(0, 0);
+        // A deliberately lumpy set: three gangable groups (two budgets x
+        // two engines) plus one non-gangable sharded job, interleaved.
+        let make_jobs = || -> Vec<SimJob> {
+            (0..11)
+                .map(|i| {
+                    let vcycles = if i % 2 == 0 { 10 } else { 7 };
+                    let mut job = SimJob::new(&program, vcycles).poke(core, Reg(2), (i + 1) as u16);
+                    if i % 5 == 3 {
+                        job = job.exec_mode(ExecMode::Parallel { shards: 1 });
+                    }
+                    if i % 3 == 0 {
+                        job = job.replay_engine(ReplayEngine::Tape);
+                    }
+                    job
+                })
+                .collect()
+        };
+        let reference = Fleet::new(1).run(make_jobs());
+        for lanes in [2, 4, 8] {
+            let ganged = Fleet::new(2).run_ganged(make_jobs(), lanes);
+            assert_eq!(ganged.len(), reference.len());
+            for (out, re) in ganged.iter().zip(&reference) {
+                assert_eq!(out.index, re.index, "lanes {lanes}: submission order");
+                assert_eq!(
+                    out.machine.read_reg(core, Reg(1)),
+                    re.machine.read_reg(core, Reg(1)),
+                    "lanes {lanes}: job {} diverged from the solo path",
+                    out.index
+                );
+                assert_eq!(
+                    out.machine.counters(),
+                    re.machine.counters(),
+                    "lanes {lanes}: job {} counters diverged",
+                    out.index
+                );
+            }
+        }
     }
 
     #[test]

@@ -118,6 +118,12 @@ impl AluOp {
     ///
     /// `carry` is meaningful for `Add` (carry-out) and `Sub` (no-borrow);
     /// other ops return `false`.
+    ///
+    /// `#[inline]` matters: every execution engine calls this in its
+    /// hottest loop from another crate, and the gang engine relies on
+    /// constant-receiver calls (`AluOp::Add.eval(..)`) folding to the
+    /// single arm inside its per-lane loops.
+    #[inline]
     pub fn eval(self, a: u16, b: u16) -> (u16, bool) {
         match self {
             AluOp::Add => {

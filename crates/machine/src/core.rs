@@ -88,12 +88,23 @@ impl CoreState {
     /// register lane.
     #[inline]
     pub fn commit_due(&mut self, regs: &mut [u32], now: u64) {
+        self.commit_due_strided(regs, 1, 0, now);
+    }
+
+    /// [`CoreState::commit_due`] over a strided register slab: register
+    /// `r`'s word lives at `r * stride + offset`. The gang engine's
+    /// lane-major layout stores one core's register file as `lanes`
+    /// interleaved copies (`stride = lanes`, `offset = lane`); the
+    /// machine's per-core layout is the `stride = 1, offset = 0` special
+    /// case.
+    #[inline]
+    pub fn commit_due_strided(&mut self, regs: &mut [u32], stride: usize, offset: usize, now: u64) {
         while self.ring_len > 0 {
             let w = self.ring[self.ring_head as usize];
             if w.commit_at > now {
                 break;
             }
-            regs[w.reg as usize] = w.value as u32 | ((w.carry as u32) << 16);
+            regs[w.reg as usize * stride + offset] = w.value as u32 | ((w.carry as u32) << 16);
             self.inflight[w.reg as usize] -= 1;
             self.ring_head = (self.ring_head + 1) & self.ring_mask;
             self.ring_len -= 1;
@@ -110,6 +121,18 @@ impl CoreState {
             self.ring[self.last_writer[i] as usize].value
         } else {
             regs[i] as u16
+        }
+    }
+
+    /// [`CoreState::reg_value_flushed`] with the committed word supplied by
+    /// the caller — the layout-agnostic form the gang engine uses, since
+    /// its lane-major state has no contiguous per-core register slice.
+    #[inline]
+    pub fn reg_value_flushed_word(&self, committed: u32, idx: usize) -> u16 {
+        if self.inflight[idx] > 0 {
+            self.ring[self.last_writer[idx] as usize].value
+        } else {
+            committed as u16
         }
     }
 

@@ -116,11 +116,15 @@ fn global_addr(
 }
 
 /// Services an `Expect` exception: the grid stalls and the host acts on
-/// the descriptor. Shared by the interpreter and the micro-op engine.
+/// the descriptor. Shared by the interpreter, the micro-op engine, and the
+/// lane-batched gang engine. `read_flushed` is the host's view of the
+/// servicing core's registers (pipeline drained) — a closure rather than a
+/// [`CoreView`] because the gang engine's lane-major state has no
+/// contiguous per-core register slice to view.
 pub(crate) fn service_exception(
     exceptions: &[ExceptionDescriptor],
     vcycle: u64,
-    core: &CoreView<'_>,
+    read_flushed: impl Fn(Reg) -> u16,
     eid: u16,
     counters: &mut PerfCounters,
     events: &mut Vec<HostEvent>,
@@ -134,7 +138,7 @@ pub(crate) fn service_exception(
         .clone();
     match desc.kind {
         ExceptionKind::Display { format, args } => {
-            let rendered = render_display(&format, &args, |r| core.reg_value_flushed(r));
+            let rendered = render_display(&format, &args, read_flushed);
             events.push(HostEvent::Display(rendered));
         }
         ExceptionKind::AssertFail { message } => {
@@ -312,20 +316,16 @@ pub(crate) fn exec_instr(
             core.write_reg(now, lat, rd, (v >> offset) & mask, false);
         }
         Instruction::Custom { rd, func, rs } => {
-            let table = *core
-                .prog
-                .custom_functions
-                .get(func as usize)
-                .ok_or_else(|| {
-                    MachineError::Load(format!(
-                        "custom function {func} not programmed on {core_id}"
-                    ))
-                })?;
+            let masks = *core.prog.custom_masks.get(func as usize).ok_or_else(|| {
+                MachineError::Load(format!(
+                    "custom function {func} not programmed on {core_id}"
+                ))
+            })?;
             let a = read_operand(env, core, core_id, rs[0], pos)?;
             let b = read_operand(env, core, core_id, rs[1], pos)?;
             let c = read_operand(env, core, core_id, rs[2], pos)?;
             let d = read_operand(env, core, core_id, rs[3], pos)?;
-            let out = eval_custom(&table, a, b, c, d);
+            let out = eval_custom_masks(&masks, a, b, c, d);
             core.write_reg(now, lat, rd, out, false);
         }
         Instruction::Predicate { rs } => {
@@ -388,16 +388,27 @@ pub(crate) fn exec_instr(
             let a = read_operand(env, core, core_id, rs1, pos)?;
             let b = read_operand(env, core, core_id, rs2, pos)?;
             if a != b {
-                service_exception(env.exceptions, env.vcycle, core, eid, counters, events)?;
+                service_exception(
+                    env.exceptions,
+                    env.vcycle,
+                    |r| core.reg_value_flushed(r),
+                    eid,
+                    counters,
+                    events,
+                )?;
             }
         }
     }
     Ok(())
 }
 
-/// Applies a 4-input LUT truth table across the 16 bit lanes. Shared by
-/// the interpreter and the micro-op engine.
+/// Applies a 4-input LUT truth table across the 16 bit lanes — the
+/// direct bit-at-a-time reference form. Execution engines use the
+/// bitsliced [`eval_custom_masks`] over the load-time-transposed masks;
+/// this form remains the specification it is tested against (hence live
+/// only under `cfg(test)`).
 #[inline]
+#[allow(dead_code)]
 pub(crate) fn eval_custom(table: &[u16; 16], a: u16, b: u16, c: u16, d: u16) -> u16 {
     let mut out = 0u16;
     for (lane, &row) in table.iter().enumerate() {
@@ -408,6 +419,70 @@ pub(crate) fn eval_custom(table: &[u16; 16], a: u16, b: u16, c: u16, d: u16) -> 
         out |= ((row >> sel) & 1) << lane;
     }
     out
+}
+
+/// Transposes a custom-function truth table into its bitsliced mask form:
+/// `masks[s]` holds, across all 16 bit lanes, truth-table entry `s` —
+/// `masks[s] bit j = (table[j] >> s) & 1`. Computed once at load
+/// ([`crate::CompiledProgram`]) so every engine evaluates custom
+/// functions through the branch-free mux tree of [`eval_custom_masks`].
+pub(crate) fn transpose_custom(table: &[u16; 16]) -> [u16; 16] {
+    let mut masks = [0u16; 16];
+    for (j, &row) in table.iter().enumerate() {
+        for (s, mask) in masks.iter_mut().enumerate() {
+            *mask |= ((row >> s) & 1) << j;
+        }
+    }
+    masks
+}
+
+/// The bitsliced mux tree behind [`eval_custom_masks`] /
+/// [`eval_custom_masks_x4`], generic over the word width so the scalar
+/// and the packed forms are one piece of logic: four select levels of
+/// word-wide AND/OR, ~50 branch-free ops instead of the reference
+/// form's 16-iteration bit loop.
+#[inline(always)]
+fn custom_mux_tree<T>(m: &[T; 16], a: T, b: T, c: T, d: T) -> T
+where
+    T: Copy
+        + std::ops::Not<Output = T>
+        + std::ops::BitAnd<Output = T>
+        + std::ops::BitOr<Output = T>,
+{
+    let (na, nb, nc, nd) = (!a, !b, !c, !d);
+    let u0 = (m[0] & na) | (m[1] & a);
+    let u1 = (m[2] & na) | (m[3] & a);
+    let u2 = (m[4] & na) | (m[5] & a);
+    let u3 = (m[6] & na) | (m[7] & a);
+    let u4 = (m[8] & na) | (m[9] & a);
+    let u5 = (m[10] & na) | (m[11] & a);
+    let u6 = (m[12] & na) | (m[13] & a);
+    let u7 = (m[14] & na) | (m[15] & a);
+    let v0 = (u0 & nb) | (u1 & b);
+    let v1 = (u2 & nb) | (u3 & b);
+    let v2 = (u4 & nb) | (u5 & b);
+    let v3 = (u6 & nb) | (u7 & b);
+    let w0 = (v0 & nc) | (v1 & c);
+    let w1 = (v2 & nc) | (v3 & c);
+    (w0 & nd) | (w1 & d)
+}
+
+/// Evaluates a custom function through its bitsliced masks (see
+/// [`transpose_custom`]). Bit-equivalence with [`eval_custom`] is pinned
+/// by `custom_masks_match_reference` in the machine test suite.
+#[inline(always)]
+pub(crate) fn eval_custom_masks(m: &[u16; 16], a: u16, b: u16, c: u16, d: u16) -> u16 {
+    custom_mux_tree(m, a, b, c, d)
+}
+
+/// [`eval_custom_masks`] over four 16-bit lanes packed into one `u64`
+/// (each lane in its own 16-bit slot; `m64` is the mask set broadcast
+/// into all four slots). The mux tree is pure bitwise logic, so packing
+/// is exact — the gang engine uses this to evaluate one custom function
+/// for four lanes per tree.
+#[inline(always)]
+pub(crate) fn eval_custom_masks_x4(m64: &[u64; 16], a: u64, b: u64, c: u64, d: u64) -> u64 {
+    custom_mux_tree(m64, a, b, c, d)
 }
 
 /// Renders a display format string; `{}` placeholders print arguments in

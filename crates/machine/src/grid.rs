@@ -16,7 +16,7 @@ use manticore_isa::{Binary, CoreId, MachineConfig, Reg};
 use crate::cache::{Cache, CacheStats};
 use crate::core::{CoreState, CoreView};
 use crate::exec::{core_id_of, exec_epilogue_slot, exec_instr, step_core, ExecEnv, SendRecord};
-use crate::noc::Noc;
+use crate::noc::{Message, Noc};
 use crate::program::{CompiledProgram, CoreProgram};
 use crate::replay::ReplayTape;
 use crate::uops::run_core_uops;
@@ -292,6 +292,15 @@ pub struct Machine {
     /// the program (other runs may still use it), but *this* run must stay
     /// on the full per-position engines.
     pub(crate) tape_invalidated: bool,
+    /// Reusable per-Vcycle scratch: `Send` records collected during a body
+    /// phase. Hoisted onto the machine so the hot Vcycle loops allocate
+    /// nothing per Vcycle.
+    pub(crate) send_buf: Vec<SendRecord>,
+    /// Reusable per-Vcycle scratch: micro-op engine send values.
+    pub(crate) send_vals_buf: Vec<u16>,
+    /// Reusable per-position scratch: messages due at one compute cycle
+    /// (the interpreter's `take_due` scan).
+    pub(crate) due_buf: Vec<Message>,
 }
 
 impl Machine {
@@ -327,12 +336,23 @@ impl Machine {
         for &(a, v) in &program.init_dram {
             cache.write_dram(a, v);
         }
+        // Zeroed allocations (lazily-faulted pages) plus the sparse init
+        // images: booting a run never copies full-size register or
+        // scratchpad arrays.
+        let mut regs = vec![0u32; program.cores.len() * config.regfile_size];
+        for &(i, v) in &program.init_regs {
+            regs[i as usize] = v;
+        }
+        let mut scratch = vec![0u16; program.cores.len() * config.scratch_words];
+        for &(i, v) in &program.init_scratch {
+            scratch[i as usize] = v;
+        }
         Machine {
             noc: Noc::new(config),
             cache,
             cores,
-            regs: program.init_regs.clone(),
-            scratch: program.init_scratch.clone(),
+            regs,
+            scratch,
             compute_time: 0,
             counters: PerfCounters::default(),
             strict_hazards: true,
@@ -342,6 +362,9 @@ impl Machine {
             replay_enabled: true,
             replay_engine: ReplayEngine::MicroOps,
             tape_invalidated: false,
+            send_buf: Vec::new(),
+            send_vals_buf: Vec::new(),
+            due_buf: Vec::new(),
             program,
         }
     }
@@ -543,20 +566,7 @@ impl Machine {
             if self.finish_requested {
                 break;
             }
-            let res = if self.replay_active() {
-                match self.replay_engine {
-                    // A static cross-boundary hazard needs the tape
-                    // engine's live checks to report the interpreter's
-                    // exact error (no compiled workload has one).
-                    ReplayEngine::MicroOps if !self.uops_defer_to_tape() => {
-                        self.run_one_vcycle_uops()
-                    }
-                    _ => self.run_one_vcycle_replay(),
-                }
-            } else {
-                self.run_one_vcycle()
-            };
-            if let Err(e) = res {
+            if let Err(e) = self.step_vcycle() {
                 self.requeue_displays(outcome.displays);
                 return Err(e);
             }
@@ -570,6 +580,25 @@ impl Machine {
         Ok(outcome)
     }
 
+    /// Executes exactly one Vcycle on the serial engine, dispatching to
+    /// the interpreter (validation / unreplayable programs) or the armed
+    /// replay lowering. Shared by [`Machine::run_vcycles`] and the gang
+    /// engine's per-lane fallback ([`crate::gang`]), so lane-at-a-time
+    /// execution cannot drift from a solo run.
+    pub(crate) fn step_vcycle(&mut self) -> Result<(), MachineError> {
+        if self.replay_active() {
+            match self.replay_engine {
+                // A static cross-boundary hazard needs the tape
+                // engine's live checks to report the interpreter's
+                // exact error (no compiled workload has one).
+                ReplayEngine::MicroOps if !self.uops_defer_to_tape() => self.run_one_vcycle_uops(),
+                _ => self.run_one_vcycle_replay(),
+            }
+        } else {
+            self.run_one_vcycle()
+        }
+    }
+
     /// Puts displays already drained into a partial outcome back at the
     /// front of the event queue, so a failed multi-Vcycle run does not
     /// lose the output that fired before the failure (it stays available
@@ -578,9 +607,8 @@ impl Machine {
         if displays.is_empty() {
             return;
         }
-        let mut evs: Vec<HostEvent> = displays.into_iter().map(HostEvent::Display).collect();
-        evs.append(&mut self.events);
-        self.events = evs;
+        self.events
+            .splice(0..0, displays.into_iter().map(HostEvent::Display));
     }
 
     /// Moves pending host events into `outcome` (both engines call this at
@@ -624,12 +652,19 @@ impl Machine {
             strict_hazards: self.strict_hazards,
             vcycle: self.counters.vcycles,
         };
-        let mut sends: Vec<SendRecord> = Vec::new();
+        // Reusable per-Vcycle scratch (error paths abandon the buffers;
+        // an aborted run never executes another Vcycle that would miss
+        // them).
+        let mut sends = std::mem::take(&mut self.send_buf);
+        let mut due = std::mem::take(&mut self.due_buf);
+        sends.clear();
+        due.clear();
         for pos in 0..program.vcycle_len {
             let now = self.compute_time;
             // Deliver due messages before issue so a slot filled at cycle t
             // is executable at cycle t.
-            for msg in self.noc.take_due(now) {
+            self.noc.take_due_into(now, &mut due);
+            for msg in due.drain(..) {
                 let idx = msg.target.linear(config.grid_width);
                 let core = &mut self.cores[idx];
                 match core.receive(msg.rd, msg.value) {
@@ -694,6 +729,8 @@ impl Machine {
             core.wrap_vcycle();
         }
         self.counters.vcycles += 1;
+        self.send_buf = sends;
+        self.due_buf = due;
         Ok(())
     }
 
@@ -725,6 +762,7 @@ impl Machine {
             counters,
             strict_hazards,
             events,
+            send_buf,
             ..
         } = self;
         let config = &program.config;
@@ -743,8 +781,11 @@ impl Machine {
         let rf = config.regfile_size;
         let sw = config.scratch_words;
 
-        // Body phase: dense, pre-decoded, core-major.
-        let mut sends: Vec<SendRecord> = Vec::with_capacity(tape.sends_per_vcycle);
+        // Body phase: dense, pre-decoded, core-major. The send buffer is
+        // the machine's reusable scratch — no per-Vcycle allocation.
+        let sends = send_buf;
+        sends.clear();
+        sends.reserve(tape.sends_per_vcycle);
         for (idx, ops) in tape.body.iter().enumerate() {
             let mut view = CoreView {
                 cs: &mut cores[idx],
@@ -765,7 +806,7 @@ impl Machine {
                 };
                 exec_instr(
                     &env, &mut view, core_id, pos, now, op.instr, cache_arg, counters, events,
-                    &mut sends,
+                    sends,
                 )?;
             }
         }
@@ -791,6 +832,11 @@ impl Machine {
 
     /// One Vcycle on the fused micro-op stream (see [`crate::uops`]).
     ///
+    /// `pub(crate)` for the gang engine's trusted-validation path: once
+    /// one lane's interpreted validation Vcycle has proven the (data-
+    /// independent) schedule, sibling lanes of the same program run their
+    /// first Vcycle here directly.
+    ///
     /// Identical phase structure to [`Machine::run_one_vcycle_replay`] —
     /// core-major body walk, frozen delivery schedule, dense epilogue —
     /// but the body walk dispatches pre-resolved micro-ops instead of
@@ -800,7 +846,7 @@ impl Machine {
     /// writes commit directly and the epilogue collapses to the
     /// pre-resolved `epi_prog` write list; permissive mode keeps the
     /// pipeline ring for exact stale-read semantics.
-    fn run_one_vcycle_uops(&mut self) -> Result<(), MachineError> {
+    pub(crate) fn run_one_vcycle_uops(&mut self) -> Result<(), MachineError> {
         let Machine {
             program,
             cores,
@@ -811,6 +857,7 @@ impl Machine {
             counters,
             events,
             strict_hazards,
+            send_vals_buf,
             ..
         } = self;
         let config = &program.config;
@@ -830,8 +877,11 @@ impl Machine {
         let sw = config.scratch_words;
         let vcycle = counters.vcycles;
 
-        // Body phase: fused micro-ops, active cores only.
-        let mut send_vals: Vec<u16> = Vec::with_capacity(tape.sends_per_vcycle);
+        // Body phase: fused micro-ops, active cores only. The value buffer
+        // is the machine's reusable scratch — no per-Vcycle allocation.
+        let send_vals = send_vals_buf;
+        send_vals.clear();
+        send_vals.reserve(tape.sends_per_vcycle);
         for &idx in &up.active {
             let idx = idx as usize;
             let mut view = CoreView {
@@ -858,7 +908,7 @@ impl Machine {
                 cache_arg,
                 counters,
                 events,
-                &mut send_vals,
+                send_vals,
             )
             .map_err(|f| f.err)?;
         }

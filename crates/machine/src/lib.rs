@@ -57,6 +57,7 @@
 mod cache;
 mod core;
 mod exec;
+mod gang;
 mod grid;
 mod noc;
 mod parallel;
@@ -65,6 +66,7 @@ mod replay;
 mod uops;
 
 pub use cache::{Cache, CacheStats};
+pub use gang::{GangMachine, MAX_LANES};
 pub use grid::{
     ExecMode, HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome,
 };

@@ -133,16 +133,18 @@ impl Noc {
         Ok(())
     }
 
-    /// Removes and returns all messages due at or before `now`, in arrival
-    /// order (stable for equal times: injection order).
+    /// Removes all messages due at or before `now` into `due`, in arrival
+    /// order (stable for equal times: injection order). `due` must be
+    /// empty; the caller owns it so the per-position scan of a hot Vcycle
+    /// loop can reuse one buffer instead of allocating per position.
     ///
     /// A single stable partition: `retain` keeps the not-yet-due messages
     /// in injection order and hands the due ones over in injection order,
     /// so the stable sort by arrival time preserves injection order among
     /// equal arrivals — O(n + d log d) instead of the O(n·d) that
     /// element-wise `Vec::remove` would cost per position.
-    pub fn take_due(&mut self, now: u64) -> Vec<Message> {
-        let mut due: Vec<Message> = Vec::new();
+    pub fn take_due_into(&mut self, now: u64, due: &mut Vec<Message>) {
+        debug_assert!(due.is_empty(), "take_due_into expects a drained buffer");
         self.in_flight.retain(|m| {
             if m.arrive_at <= now {
                 due.push(*m);
@@ -152,6 +154,12 @@ impl Noc {
             }
         });
         due.sort_by_key(|m| m.arrive_at);
+    }
+
+    /// Allocating convenience form of [`Noc::take_due_into`].
+    pub fn take_due(&mut self, now: u64) -> Vec<Message> {
+        let mut due: Vec<Message> = Vec::new();
+        self.take_due_into(now, &mut due);
         due
     }
 }

@@ -34,8 +34,16 @@ pub(crate) struct CoreProgram {
     pub body: Vec<Instruction>,
     /// Declared number of messages per Vcycle (the epilogue length).
     pub epilogue_len: usize,
-    /// Custom-function truth tables (per-lane, 256 bits each).
+    /// Custom-function truth tables (per-lane, 256 bits each) — the
+    /// loaded form, kept as the reference.
     pub custom_functions: Vec<[u16; 16]>,
+    /// The same tables transposed into bitsliced mask form
+    /// (`crate::exec::transpose_custom`), one entry per table: what the
+    /// engines actually evaluate through.
+    pub custom_masks: Vec<[u16; 16]>,
+    /// `custom_masks` broadcast into all four 16-bit slots of a `u64`,
+    /// for the gang engine's four-lanes-per-tree evaluation.
+    pub custom_masks_x4: Vec<[u64; 16]>,
 }
 
 /// A design compiled, validated, and frozen for execution: share it behind
@@ -49,11 +57,15 @@ pub struct CompiledProgram {
     pub(crate) cores: Vec<CoreProgram>,
     pub(crate) exceptions: Vec<ExceptionDescriptor>,
     pub(crate) vcycle_len: u64,
-    /// Initial SoA register image for the whole grid (`regfile_size`
-    /// consecutive words per core, linear core order).
-    pub(crate) init_regs: Vec<u32>,
-    /// Initial SoA scratchpad image (`scratch_words` per core).
-    pub(crate) init_scratch: Vec<u16>,
+    /// Initial register image for the whole grid, sparse: `(flat SoA
+    /// index, value)` for the non-zero words. Booting a run allocates a
+    /// zeroed file (lazily-faulted pages, no copy) and applies these — a
+    /// full-size dense image would make every boot memcpy megabytes of
+    /// zeros, which dominates compile-once / run-many batches.
+    pub(crate) init_regs: Vec<(u32, u32)>,
+    /// Initial scratchpad image, sparse like
+    /// [`CompiledProgram::init_regs`].
+    pub(crate) init_scratch: Vec<(u32, u16)>,
     /// Initial DRAM contents, applied to each run's fresh cache.
     pub(crate) init_dram: Vec<(u64, u16)>,
     /// The frozen replay tape; `None` when the program cannot be replayed
@@ -102,10 +114,12 @@ impl CompiledProgram {
                 body: Vec::new(),
                 epilogue_len: 0,
                 custom_functions: Vec::new(),
+                custom_masks: Vec::new(),
+                custom_masks_x4: Vec::new(),
             })
             .collect();
-        let mut init_regs = vec![0u32; n * config.regfile_size];
-        let mut init_scratch = vec![0u16; n * config.scratch_words];
+        let mut init_regs: Vec<(u32, u32)> = Vec::new();
+        let mut init_scratch: Vec<(u32, u16)> = Vec::new();
         for image in &binary.cores {
             let idx = image.core.linear(config.grid_width);
             if image.core.x as usize >= config.grid_width
@@ -180,18 +194,37 @@ impl CompiledProgram {
             core.body = image.body.clone();
             core.epilogue_len = image.epilogue_len as usize;
             core.custom_functions = image.custom_functions.clone();
+            core.custom_masks = image
+                .custom_functions
+                .iter()
+                .map(crate::exec::transpose_custom)
+                .collect();
+            core.custom_masks_x4 = core
+                .custom_masks
+                .iter()
+                .map(|m| m.map(|x| x as u64 * 0x0001_0001_0001_0001))
+                .collect();
+            // Last write wins within an image (the dense form's semantics),
+            // and only then are the zero entries dropped — an explicit
+            // trailing zero must still cancel an earlier nonzero init.
+            let mut reg_image: std::collections::BTreeMap<u32, u32> =
+                std::collections::BTreeMap::new();
             for &(r, v) in &image.init_regs {
                 if r.index() >= config.regfile_size {
                     return Err(MachineError::Load(format!("init reg {r} out of range")));
                 }
-                init_regs[idx * config.regfile_size + r.index()] = v as u32;
+                reg_image.insert((idx * config.regfile_size + r.index()) as u32, v as u32);
             }
+            init_regs.extend(reg_image.into_iter().filter(|&(_, v)| v != 0));
+            let mut scratch_image: std::collections::BTreeMap<u32, u16> =
+                std::collections::BTreeMap::new();
             for &(a, v) in &image.init_scratch {
                 if (a as usize) >= config.scratch_words {
                     return Err(MachineError::Load(format!("init scratch {a} out of range")));
                 }
-                init_scratch[idx * config.scratch_words + a as usize] = v;
+                scratch_image.insert((idx * config.scratch_words + a as usize) as u32, v);
             }
+            init_scratch.extend(scratch_image.into_iter().filter(|&(_, v)| v != 0));
         }
         // The replay tape and its micro-op lowering are pure functions of
         // the loaded program and the configuration, so they are frozen

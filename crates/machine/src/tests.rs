@@ -1702,3 +1702,298 @@ mod failed_run_displays {
         }
     }
 }
+
+/// Gang-engine bring-up: the lane-batched lockstep engine against solo
+/// machines on hand-assembled programs (the workload-level equivalence
+/// sweep lives in `tests/gang_equivalence.rs`).
+mod gang_bringup {
+    use super::*;
+    use crate::{CompiledProgram, GangMachine, ReplayEngine};
+    use std::sync::Arc;
+
+    /// `r1 += r2` once per Vcycle; per-lane pokes of `r2` give every lane
+    /// a distinct increment.
+    fn counter_program() -> Arc<CompiledProgram> {
+        let mut binary = empty_binary(1, 1, 4);
+        binary.cores.push(CoreImage {
+            core: CoreId::new(0, 0),
+            body: vec![Instruction::Alu {
+                op: AluOp::Add,
+                rd: r(1),
+                rs1: r(1),
+                rs2: r(2),
+            }],
+            epilogue_len: 0,
+            custom_functions: vec![],
+            init_regs: vec![(r(1), 0), (r(2), 1)],
+            init_scratch: vec![],
+        });
+        CompiledProgram::compile_shared(test_config(1, 1), &binary).unwrap()
+    }
+
+    #[test]
+    fn gang_lanes_match_solo_machines_on_every_engine_knob() {
+        let program = counter_program();
+        let c00 = CoreId::new(0, 0);
+        for (engine, strict) in [
+            (Some(ReplayEngine::MicroOps), true),
+            (Some(ReplayEngine::MicroOps), false),
+            (Some(ReplayEngine::Tape), true),
+            (None, true), // replay disabled: pure solo-fallback gang
+        ] {
+            let lanes = 3;
+            let mut gang = GangMachine::from_program(Arc::clone(&program), lanes);
+            gang.set_strict_hazards(strict);
+            match engine {
+                Some(e) => gang.set_replay_engine(e),
+                None => gang.set_replay(false),
+            }
+            let mut solos: Vec<Machine> = (0..lanes)
+                .map(|lane| {
+                    let mut m = Machine::from_program(Arc::clone(&program));
+                    m.set_strict_hazards(strict);
+                    match engine {
+                        Some(e) => m.set_replay_engine(e),
+                        None => m.set_replay(false),
+                    }
+                    m.poke_reg(c00, r(2), (lane + 1) as u16);
+                    m
+                })
+                .collect();
+            for (lane, _) in solos.iter().enumerate() {
+                gang.poke_reg(lane, c00, r(2), (lane + 1) as u16);
+            }
+            let results = gang.run_vcycles(10);
+            for (lane, solo) in solos.iter_mut().enumerate() {
+                let what = format!("engine {engine:?} strict {strict} lane {lane}");
+                let solo_out = solo.run_vcycles(10).unwrap();
+                let gang_out = results[lane].as_ref().unwrap();
+                assert_eq!(gang_out.vcycles_run, solo_out.vcycles_run, "{what}");
+                assert_eq!(
+                    gang.read_reg(lane, c00, r(1)),
+                    solo.read_reg(c00, r(1)),
+                    "{what}"
+                );
+                assert_eq!(gang.counters(lane), solo.counters(), "{what}");
+            }
+        }
+    }
+
+    /// A program that asserts `r1 != r3` every Vcycle (`Seq` + `Expect`):
+    /// poking `r3` arms a fault at exactly the Vcycle the counter reaches
+    /// it.
+    fn tripwire_program() -> Arc<CompiledProgram> {
+        let mut binary = empty_binary(1, 1, 6);
+        binary.cores.push(CoreImage {
+            core: CoreId::new(0, 0),
+            body: vec![
+                Instruction::Alu {
+                    op: AluOp::Seq,
+                    rd: r(4),
+                    rs1: r(1),
+                    rs2: r(3),
+                },
+                Instruction::Nop,
+                Instruction::Expect {
+                    rs1: r(4),
+                    rs2: r(0),
+                    eid: 7,
+                },
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: r(1),
+                    rs1: r(1),
+                    rs2: r(2),
+                },
+            ],
+            epilogue_len: 0,
+            custom_functions: vec![],
+            // r3 defaults far out of reach; a poke brings it into range.
+            init_regs: vec![(r(1), 0), (r(2), 1), (r(3), 0x7fff)],
+            init_scratch: vec![],
+        });
+        binary.exceptions.push(ExceptionDescriptor {
+            id: ExceptionId(7),
+            kind: ExceptionKind::AssertFail {
+                message: "tripwire".into(),
+            },
+        });
+        CompiledProgram::compile_shared(test_config(1, 1), &binary).unwrap()
+    }
+
+    #[test]
+    fn faulting_lane_parks_while_survivors_run_to_completion() {
+        let program = tripwire_program();
+        let c00 = CoreId::new(0, 0);
+        let lanes = 4;
+        let tripped = 2usize; // lane 2 faults when the counter reaches 5
+        let mut gang = GangMachine::from_program(Arc::clone(&program), lanes);
+        gang.poke_reg(tripped, c00, r(3), 5);
+        let results = gang.run_vcycles(12);
+
+        // The tripped lane reports the solo machine's exact error...
+        let mut solo = Machine::from_program(Arc::clone(&program));
+        solo.poke_reg(c00, r(3), 5);
+        let solo_err = solo.run_vcycles(12).unwrap_err();
+        match (&results[tripped], &solo_err) {
+            (Err(g), s) => assert_eq!(format!("{g}"), format!("{s}")),
+            other => panic!("expected lane {tripped} to fault, got {other:?}"),
+        }
+        // ...with state and counters frozen at the solo abort point.
+        assert_eq!(gang.read_reg(tripped, c00, r(1)), solo.read_reg(c00, r(1)));
+        assert_eq!(gang.counters(tripped), solo.counters());
+
+        // Surviving lanes are untouched by the parked one.
+        let mut clean = Machine::from_program(Arc::clone(&program));
+        let clean_out = clean.run_vcycles(12).unwrap();
+        for lane in (0..lanes).filter(|&l| l != tripped) {
+            let out = results[lane].as_ref().unwrap();
+            assert_eq!(out.vcycles_run, clean_out.vcycles_run, "lane {lane}");
+            assert_eq!(
+                gang.read_reg(lane, c00, r(1)),
+                clean.read_reg(c00, r(1)),
+                "lane {lane}"
+            );
+            assert_eq!(gang.counters(lane), clean.counters(), "lane {lane}");
+        }
+
+        // A later call keeps reporting the recorded fault and runs no
+        // further Vcycles on the parked lane.
+        let frozen = gang.counters(tripped);
+        let again = gang.run_vcycles(3);
+        assert!(again[tripped].is_err());
+        assert_eq!(gang.counters(tripped), frozen);
+    }
+
+    #[test]
+    fn into_machines_yields_resumable_solo_runs() {
+        let program = counter_program();
+        let c00 = CoreId::new(0, 0);
+        let mut gang = GangMachine::from_program(Arc::clone(&program), 2);
+        gang.poke_reg(1, c00, r(2), 3);
+        let results = gang.run_vcycles(4);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let mut machines = gang.into_machines();
+        assert_eq!(machines[0].read_reg(c00, r(1)), 4);
+        assert_eq!(machines[1].read_reg(c00, r(1)), 12);
+        // Resuming an unbundled lane continues exactly where it stopped.
+        machines[1].run_vcycles(2).unwrap();
+        assert_eq!(machines[1].read_reg(c00, r(1)), 18);
+    }
+}
+
+/// The gang's direct-commit ALU word kernels must be bit-equivalent to
+/// `AluOp::eval` composed with the register-word storage format, for
+/// every op and any carry bits on the input words.
+#[test]
+fn alu_word_matches_eval() {
+    use manticore_util::SmallRng;
+    let edges = [0u16, 1, 2, 15, 16, 17, 0x7fff, 0x8000, 0xfffe, 0xffff];
+    let mut cases: Vec<(u32, u32)> = Vec::new();
+    for &a in &edges {
+        for &b in &edges {
+            // Also set carry bits on the inputs: the kernels must mask
+            // them out exactly like `as u16` does in the eval path.
+            cases.push((a as u32, b as u32));
+            cases.push((a as u32 | 1 << 16, b as u32));
+            cases.push((a as u32, b as u32 | 1 << 16));
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(0xa10);
+    for _ in 0..20_000 {
+        let a = rng.gen_range(0..1usize << 17) as u32;
+        let b = rng.gen_range(0..1usize << 17) as u32;
+        cases.push((a, b));
+    }
+    for op in manticore_isa::AluOp::ALL {
+        for &(a, b) in &cases {
+            let (v, c) = op.eval(a as u16, b as u16);
+            let expect = v as u32 | ((c as u32) << 16);
+            assert_eq!(
+                crate::gang::alu_word(op, a, b),
+                expect,
+                "{op:?} a={a:#x} b={b:#x}"
+            );
+        }
+    }
+}
+
+/// The bitsliced custom-function evaluation (transposed masks + mux
+/// tree, and its 4-lane packed form) must match the reference
+/// bit-at-a-time `eval_custom` for random tables and inputs.
+#[test]
+fn custom_masks_match_reference() {
+    use crate::exec::{eval_custom, eval_custom_masks, eval_custom_masks_x4, transpose_custom};
+    use manticore_util::SmallRng;
+    let mut rng = SmallRng::seed_from_u64(0xc057);
+    let r16 = |rng: &mut SmallRng| rng.gen_range(0..0x10000usize) as u16;
+    for _ in 0..200 {
+        let mut table = [0u16; 16];
+        for t in table.iter_mut() {
+            *t = r16(&mut rng);
+        }
+        let masks = transpose_custom(&table);
+        let mut m64 = [0u64; 16];
+        for (packed, &m) in m64.iter_mut().zip(&masks) {
+            *packed = m as u64 * 0x0001_0001_0001_0001;
+        }
+        let mut ins = [0u16; 16];
+        for i in ins.iter_mut() {
+            *i = r16(&mut rng);
+        }
+        for lane4 in ins.chunks_exact(4) {
+            // Scalar bitsliced form.
+            for w in lane4.windows(4) {
+                assert_eq!(
+                    eval_custom_masks(&masks, w[0], w[1], w[2], w[3]),
+                    eval_custom(&table, w[0], w[1], w[2], w[3]),
+                );
+            }
+            // Packed form: 4 independent (a, b, c, d) quads in the slots.
+            let quads: Vec<[u16; 4]> = (0..4)
+                .map(|k| {
+                    [
+                        lane4[k],
+                        lane4[(k + 1) % 4],
+                        lane4[(k + 2) % 4],
+                        lane4[(k + 3) % 4],
+                    ]
+                })
+                .collect();
+            let pack = |sel: usize| -> u64 {
+                quads
+                    .iter()
+                    .enumerate()
+                    .map(|(k, q)| (q[sel] as u64) << (16 * k))
+                    .sum()
+            };
+            let out = eval_custom_masks_x4(&m64, pack(0), pack(1), pack(2), pack(3));
+            for (k, q) in quads.iter().enumerate() {
+                assert_eq!(
+                    ((out >> (16 * k)) & 0xffff) as u16,
+                    eval_custom(&table, q[0], q[1], q[2], q[3]),
+                );
+            }
+        }
+    }
+}
+
+/// Sparse init images keep the dense form's last-write-wins semantics:
+/// an explicit trailing zero cancels an earlier nonzero init.
+#[test]
+fn init_image_last_write_wins_through_sparse_form() {
+    let mut binary = empty_binary(1, 1, 4);
+    binary.cores.push(CoreImage {
+        core: CoreId::new(0, 0),
+        body: vec![Instruction::Nop],
+        epilogue_len: 0,
+        custom_functions: vec![],
+        init_regs: vec![(r(1), 7), (r(1), 0), (r(2), 1), (r(2), 9)],
+        init_scratch: vec![(3, 5), (3, 0), (4, 0), (4, 6)],
+    });
+    let m = Machine::load(test_config(1, 1), &binary).unwrap();
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(1)), 0, "zero overwrites 7");
+    assert_eq!(m.read_reg(CoreId::new(0, 0), r(2)), 9, "9 overwrites 1");
+    assert_eq!(m.read_scratch(CoreId::new(0, 0), 3), 0);
+    assert_eq!(m.read_scratch(CoreId::new(0, 0), 4), 6);
+}

@@ -655,12 +655,12 @@ pub(crate) fn run_core_uops<const DIRECT: bool>(
                 ic += 1;
                 // Validated during the validation Vcycle: an unprogrammed
                 // function index faults there, before replay ever runs.
-                let table = view.prog.custom_functions[func as usize];
+                let masks = view.prog.custom_masks[func as usize];
                 let a = view.regs[rs[0] as usize] as u16;
                 let b = view.regs[rs[1] as usize] as u16;
                 let c = view.regs[rs[2] as usize] as u16;
                 let d = view.regs[rs[3] as usize] as u16;
-                let out = crate::exec::eval_custom(&table, a, b, c, d);
+                let out = crate::exec::eval_custom_masks(&masks, a, b, c, d);
                 write::<DIRECT>(view, now, lat, rd, out, false);
             }
             UOp::Predicate { rs } => {
@@ -719,9 +719,14 @@ pub(crate) fn run_core_uops<const DIRECT: bool>(
                 let a = view.regs[rs1 as usize] as u16;
                 let b = view.regs[rs2 as usize] as u16;
                 if a != b {
-                    if let Err(err) =
-                        service_exception(exceptions, vcycle, view, eid, counters, events)
-                    {
+                    if let Err(err) = service_exception(
+                        exceptions,
+                        vcycle,
+                        |r| view.reg_value_flushed(r),
+                        eid,
+                        counters,
+                        events,
+                    ) {
                         result = Err(UopFault { pos, err });
                         break;
                     }

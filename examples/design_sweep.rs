@@ -1,14 +1,17 @@
 //! Design sweep: compile one workload across grid sizes and both
 //! *predict* (compiler VCPL, as Fig. 7 does) and *measure* (machine
-//! model on the fleet engine) its scaling.
+//! model on the fleet engine, gang-batched) its scaling.
 //!
 //! Each grid size needs its own compilation — the schedule is a function
 //! of the grid — but every simulation of the sweep runs as one batch on
-//! the machine-level fleet: the jobs carry *different* compiled programs,
-//! the work-stealing pool executes them concurrently, and the results
-//! come back in grid order regardless of which worker finished first.
-//! The same sweep run point-by-point re-pays one simulation's wall time
-//! per point; the batch pays roughly the slowest point.
+//! the machine-level fleet, with `SCENARIOS` measurement replicas per
+//! point. The batch goes through `Fleet::run_ganged`: replicas of one
+//! point share a program, so each point's replicas execute as one
+//! lockstep gang (one micro-op fetch per gang), while different points —
+//! different programs — stay separate units that the work-stealing pool
+//! runs concurrently. Results come back in submission order regardless
+//! of which worker finished first, and the replicas double as a
+//! determinism check: every lane of a point must agree bit for bit.
 //!
 //! Run with: `cargo run --release --example design_sweep [workload]`
 
@@ -22,6 +25,8 @@ use manticore::workloads;
 use manticore_fleet::{Fleet, SimJob};
 
 const VCYCLES: u64 = 300;
+/// Measurement replicas per sweep point — one gang per point.
+const SCENARIOS: usize = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "cgra".into());
@@ -63,14 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // --- Run every point as one fleet batch ----------------------------
+    // --- Run every point as one gang-batched fleet batch ---------------
     let fleet = Fleet::new(4);
     let jobs: Vec<SimJob> = points
         .iter()
-        .map(|p| SimJob::new(&p.program, VCYCLES))
+        .flat_map(|p| (0..SCENARIOS).map(|_| SimJob::new(&p.program, VCYCLES)))
         .collect();
     let t = Instant::now();
-    let outputs = fleet.run(jobs);
+    let outputs = fleet.run_ganged(jobs, SCENARIOS);
     let batch_secs = t.elapsed().as_secs_f64();
 
     println!(
@@ -78,10 +83,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cores", "VCPL", "rate (kHz)", "speedup", "sends", "instrs/vcycle"
     );
     let base_vcpl = points.first().map(|p| p.vcpl);
-    for (p, out) in points.iter().zip(&outputs) {
-        let run = out.result.as_ref().expect("sweep point runs clean");
-        assert_eq!(run.vcycles_run, VCYCLES);
-        let counters = out.machine.counters();
+    for (pi, p) in points.iter().enumerate() {
+        let gang = &outputs[pi * SCENARIOS..(pi + 1) * SCENARIOS];
+        let first = gang[0].result.as_ref().expect("sweep point runs clean");
+        assert_eq!(first.vcycles_run, VCYCLES);
+        let counters = gang[0].machine.counters();
+        // The replicas are identical scenarios: every lane of the gang
+        // must land on the same counters (a live determinism check).
+        for out in &gang[1..] {
+            assert_eq!(out.machine.counters(), counters, "gang lanes diverged");
+        }
         println!(
             "{:>6} {:>8} {:>12.1} {:>9.2}x {:>8} {:>14.1}",
             p.grid * p.grid,
@@ -93,9 +104,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!(
-        "\nmeasured {} sweep points x {VCYCLES} vcycles in {batch_secs:.3}s \
-         (one fleet batch, {} workers)",
-        outputs.len(),
+        "\nmeasured {} sweep points x {SCENARIOS} gang lanes x {VCYCLES} vcycles \
+         in {batch_secs:.3}s (one fleet batch, {} workers)",
+        points.len(),
         fleet.workers()
     );
     Ok(())

@@ -1,16 +1,18 @@
 //! Mining rig: the paper's `bc` benchmark as an actual *rig* — one
 //! compiled miner design, many concurrent instances searching disjoint
-//! nonce ranges on the fleet engine (compile-once / run-many).
+//! nonce ranges on the fleet engine (compile-once / run-many) in
+//! lane-batched gangs (fetch-once / run-K).
 //!
 //! The original version of this example compared one miner against the
 //! Verilator-analog baseline the way Table 3 does; that comparison lives
 //! on in `table3_performance`. Here the design is compiled **once**
 //! (binary, replay tape, fused micro-op streams) and shared by every rig:
 //! each job pokes its pipelines' `nonce*` registers to a different
-//! starting range, the fleet's work-stealing pool runs them in parallel,
-//! and results come back in rig order regardless of scheduling.
+//! starting range, and the fleet's work-stealing pool runs the rigs in
+//! lockstep gangs of `lanes` — one micro-op fetch per gang instead of one
+//! per rig — with results back in rig order regardless of scheduling.
 //!
-//! Run with: `cargo run --release --example mining_rig [rigs]`
+//! Run with: `cargo run --release --example mining_rig [rigs] [lanes]`
 
 use manticore::fleet::{FleetJob, FleetSim};
 use manticore::isa::MachineConfig;
@@ -22,6 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nth(1)
         .map(|a| a.parse().expect("rigs must be a number"))
         .unwrap_or(8);
+    let lanes: usize = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("lanes must be a number"))
+        .unwrap_or(4);
     let cycles = 500;
     let pipes = 6; // bc() builds 6 hash pipelines
 
@@ -57,9 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let jobs = jobs?;
 
-    // --- Run the whole rig on the fleet --------------------------------
+    // --- Run the whole rig on the fleet, `lanes` rigs per gang ---------
     let t1 = Instant::now();
-    let runs = fleet.run(jobs);
+    let runs = fleet.run_ganged(jobs, lanes);
     let fleet_secs = t1.elapsed().as_secs_f64();
 
     println!(
@@ -83,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let simulated = rigs * cycles;
     println!(
         "\n{rigs} rigs x {cycles} cycles in {fleet_secs:.3}s on {} workers \
-         ({:.1} rig-kcycles/s), {total_shares} shares found",
+         in gangs of {lanes} ({:.1} rig-kcycles/s), {total_shares} shares found",
         fleet.workers(),
         simulated as f64 / fleet_secs / 1e3,
     );

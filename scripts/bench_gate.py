@@ -19,10 +19,20 @@ What is compared, and why:
   kHz columns are NOT compared because single-workload wall-clock ratios
   can legitimately wobble past 25% on shared CI runners.
 
+With `--fleet-fresh`/`--fleet-baseline`, the gate additionally compares
+the fleet_throughput gang section: `gang.geomean_gang_vs_fleet` (the
+lane-batched gang engine's scenarios/sec over the one-machine-per-
+scenario fleet at equal worker count) within the same tolerance, plus
+the gang geometry (`lanes`, `workers`, `vcycles`) exactly — a geometry
+drift would make the ratio incomparable, not just noisy. Per-workload
+gang ratios are in the JSON for inspection but, like the per-row kHz
+columns, are not gated.
+
 Intentional perf changes (either direction, beyond tolerance) are landed
-by regenerating the committed baseline in the same PR.
+by regenerating the committed baseline(s) in the same PR.
 
 Usage: bench_gate.py FRESH.json BASELINE.json [--tolerance 0.25]
+                     [--fleet-fresh FLEET.json --fleet-baseline BENCH_fleet.json]
 """
 
 import argparse
@@ -49,12 +59,41 @@ def check(label, fresh, base, tolerance, failures):
         failures.append(f"{label}: {base:.3f} -> {fresh:.3f} ({drift * 100:.1f}% > {tolerance * 100:.0f}%)")
 
 
+def check_fleet(fresh_path, base_path, tolerance, failures):
+    with open(fresh_path) as f:
+        fresh = json.load(f).get("gang", {})
+    with open(base_path) as f:
+        base = json.load(f).get("gang", {})
+    if not base:
+        failures.append(f"{base_path}: no gang section in the fleet baseline")
+        return
+    print("fleet gang section:")
+    for field in ("lanes", "workers", "vcycles"):
+        if fresh.get(field) != base.get(field):
+            failures.append(
+                f"gang.{field}: geometry changed ({base.get(field)} -> {fresh.get(field)}); "
+                "ratios are not comparable — regenerate BENCH_fleet.json"
+            )
+    check(
+        "gang.geomean_gang_vs_fleet",
+        fresh.get("geomean_gang_vs_fleet"),
+        base.get("geomean_gang_vs_fleet"),
+        tolerance,
+        failures,
+    )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="JSON from the fresh table3_performance run")
     ap.add_argument("baseline", help="committed baseline (BENCH_table3.json)")
     ap.add_argument("--tolerance", type=float, default=0.25, help="relative tolerance (default 0.25)")
+    ap.add_argument("--fleet-fresh", help="JSON from the fresh fleet_throughput run")
+    ap.add_argument("--fleet-baseline", help="committed fleet baseline (BENCH_fleet.json)")
     args = ap.parse_args()
+    if bool(args.fleet_fresh) != bool(args.fleet_baseline):
+        ap.error("--fleet-fresh and --fleet-baseline must be given together "
+                 "(one alone would silently skip the gang gate)")
 
     with open(args.fresh) as f:
         fresh = json.load(f)
@@ -85,13 +124,17 @@ def main():
             failures,
         )
 
+    if args.fleet_fresh and args.fleet_baseline:
+        check_fleet(args.fleet_fresh, args.fleet_baseline, args.tolerance, failures)
+
     if failures:
         print(f"\nbench gate FAILED ({len(failures)} violation(s)):", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         print(
-            "\nIf this change is intentional, regenerate the baseline:\n"
-            "  cargo run --release -p manticore-bench --bin table3_performance -- --json BENCH_table3.json",
+            "\nIf this change is intentional, regenerate the baseline(s):\n"
+            "  cargo run --release -p manticore-bench --bin table3_performance -- --json BENCH_table3.json\n"
+            "  cargo run --release -p manticore-bench --bin fleet_throughput -- --json BENCH_fleet.json",
             file=sys.stderr,
         )
         return 1
