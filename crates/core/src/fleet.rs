@@ -43,6 +43,7 @@ use std::time::Instant;
 
 use manticore_compiler::{compile, CompileOptions, CompileOutput};
 use manticore_fleet::{CompiledProgram, Fleet, SimJob};
+pub use manticore_fleet::{ExploreConfig, ExploreReport};
 use manticore_isa::{CoreId, MachineConfig, Reg};
 use manticore_machine::{ExecMode, GangMachine, Machine, ReplayEngine, RunOutcome};
 
@@ -249,6 +250,44 @@ impl FleetSim {
     pub fn run_ganged(&self, jobs: Vec<FleetJob>, lanes: usize) -> Vec<FleetRun> {
         let sim_jobs: Vec<SimJob> = jobs.into_iter().map(|j| j.inner).collect();
         self.wrap_outputs(self.fleet.run_ganged(sim_jobs, lanes))
+    }
+
+    /// Coverage-guided scenario-tree exploration over this design
+    /// ([`manticore_fleet::Fleet::explore`] at the netlist level):
+    /// repeatedly checkpoints frontier states, forks each into a gang of
+    /// children with fuzzed stimulus on the named RTL registers, and
+    /// keeps the children that raise toggle coverage. `stimulus` names
+    /// are resolved through the compiler's placement metadata into
+    /// per-word `(core, reg, mask)` triples — fuzz values are masked to
+    /// each register's width, exactly like [`FleetJob::with_reg`] inputs.
+    /// Any stimulus already present in `cfg` is kept.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Assert`] for an unknown stimulus register name, or the
+    /// root warm-up's failure.
+    pub fn explore(
+        &self,
+        stimulus: &[&str],
+        cfg: &ExploreConfig,
+    ) -> Result<ExploreReport, SimError> {
+        let mut cfg = cfg.clone();
+        for name in stimulus {
+            // Resolving with an all-ones value yields each word's width
+            // mask, which is exactly what the fuzzer needs.
+            let words = crate::rtl_reg_words(&self.output, name, u64::MAX).ok_or_else(|| {
+                SimError::Assert(format!(
+                    "exploration stimulus names RTL register `{name}`, which does not \
+                     exist in the optimized design"
+                ))
+            })?;
+            for (core, mreg, mask) in words {
+                cfg.stimulus.push((core, mreg, mask));
+            }
+        }
+        self.fleet
+            .explore(&self.program, &cfg)
+            .map_err(SimError::from)
     }
 
     fn wrap_outputs(&self, outputs: Vec<manticore_fleet::JobOutput>) -> Vec<FleetRun> {

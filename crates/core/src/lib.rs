@@ -62,7 +62,8 @@ pub mod prelude {
     pub use manticore_compiler::{compile, CompileOptions, PartitionStrategy};
     pub use manticore_isa::{CoreId, MachineConfig, Reg};
     pub use manticore_machine::{
-        CompiledProgram, ExecMode, Machine, MachineError, ReplayEngine, RunOutcome,
+        Checkpoint, CompiledProgram, CoverageMap, ExecMode, GangMachine, Machine, MachineError,
+        ReplayEngine, RunOutcome, MAX_LANES,
     };
     pub use manticore_netlist::{eval::Evaluator, NetlistBuilder};
 
@@ -308,6 +309,26 @@ impl ManticoreSim {
     /// The underlying machine (counters, cache stats, raw state).
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// Snapshots the simulation at its current Vcycle boundary — the
+    /// netlist-level face of [`Machine::checkpoint`]. Restore it here
+    /// ([`ManticoreSim::restore`]) or explode it into a gang of divergent
+    /// children (`Checkpoint::fork`).
+    pub fn checkpoint(&self) -> manticore_machine::Checkpoint {
+        self.machine.checkpoint()
+    }
+
+    /// Rewinds the simulation to a previously captured snapshot, engine
+    /// knobs included.
+    ///
+    /// # Errors
+    ///
+    /// [`manticore_machine::MachineError::CheckpointMismatch`] (as
+    /// [`SimError::Machine`]) when the snapshot belongs to a different
+    /// compilation; the simulation is left untouched in that case.
+    pub fn restore(&mut self, cp: &manticore_machine::Checkpoint) -> Result<(), SimError> {
+        self.machine.restore(cp).map_err(SimError::from)
     }
 
     /// Achieved simulation rate in kHz at the configured clock: the

@@ -136,6 +136,26 @@ impl CoreState {
         }
     }
 
+    /// Rewrites every in-flight write to flat register index `reg` to carry
+    /// `value` (carry cleared), leaving commit timing untouched. This is
+    /// what makes a mid-run poke authoritative: the caller overwrites the
+    /// committed word, and any write still in the pipeline — which would
+    /// otherwise clobber the poke with a pre-poke value when it commits a
+    /// few cycles later — now commits the poked value, a no-op. The poke
+    /// thereby behaves exactly as if it had been planted before the
+    /// resumed segment started.
+    #[inline]
+    pub fn override_pending(&mut self, reg: u16, value: u16) {
+        for i in 0..self.ring_len {
+            let slot = ((self.ring_head + i) & self.ring_mask) as usize;
+            let w = &mut self.ring[slot];
+            if w.reg == reg {
+                w.value = value;
+                w.carry = false;
+            }
+        }
+    }
+
     /// True if `r` has an uncommitted in-flight write (a read now would be
     /// a data hazard the compiler should have scheduled around).
     #[inline]

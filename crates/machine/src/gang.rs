@@ -61,6 +61,7 @@ use std::sync::Arc;
 
 use manticore_isa::{AluOp, CoreId, ExceptionDescriptor, Reg};
 
+use crate::checkpoint::Checkpoint;
 use crate::core::CoreState;
 use crate::exec::service_exception;
 use crate::grid::{HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome};
@@ -163,6 +164,42 @@ impl GangMachine {
         }
     }
 
+    /// Explodes a [`Checkpoint`] into a `lanes`-wide gang of initially
+    /// identical children — the scenario-tree fork ([`Checkpoint::fork`]
+    /// delegates here). Every lane resumes from the snapshot's exact state
+    /// with the snapshot's engine knobs; a checkpoint taken from a faulted
+    /// lane yields lanes already parked with that same error, and one from
+    /// a finished run yields finished lanes.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::ForkWidth`] when `lanes` is zero or exceeds
+    /// [`MAX_LANES`] — a fork is an explicit tree edge, so unlike
+    /// [`GangMachine::from_program`] nothing is clamped.
+    pub fn from_checkpoint(cp: &Checkpoint, lanes: usize) -> Result<GangMachine, MachineError> {
+        if lanes == 0 || lanes > MAX_LANES {
+            return Err(MachineError::ForkWidth { requested: lanes });
+        }
+        let machines: Vec<Machine> = (0..lanes).map(|_| cp.boot()).collect();
+        let status = match cp.fault() {
+            Some(e) => LaneStatus::Faulted(e.clone()),
+            None if cp.finish_requested => LaneStatus::Finished,
+            None => LaneStatus::Running,
+        };
+        Ok(GangMachine {
+            lanes,
+            state: LaneState::Solo(machines),
+            lane_status: vec![status; lanes],
+            strict_hazards: cp.strict_hazards,
+            replay_enabled: cp.replay_enabled,
+            replay_engine: cp.replay_engine,
+            tape_invalidated: cp.tape_invalidated,
+            vc_active: Vec::with_capacity(lanes),
+            send_vals: Vec::new(),
+            program: Arc::clone(&cp.program),
+        })
+    }
+
     /// The number of lanes (independent scenarios) in this gang.
     pub fn lanes(&self) -> usize {
         self.lanes
@@ -240,6 +277,10 @@ impl GangMachine {
                 let idx = core.linear(config.grid_width);
                 gs.regs[(idx * config.regfile_size + reg.index()) * self.lanes + lane] =
                     value as u32;
+                // Same pending-write override as the solo path: a resumed
+                // lane may carry a write to this register across the
+                // Vcycle boundary in its pipeline ring.
+                gs.cores[idx * self.lanes + lane].override_pending(reg.0, value);
             }
         }
     }
@@ -266,6 +307,66 @@ impl GangMachine {
             // The scratchpad lives in the shell through the ganged phase.
             LaneState::Ganged(gs) => gs.shells[lane].read_scratch(core, addr),
         }
+    }
+
+    /// Snapshots one lane as a [`Checkpoint`] — the frontier-harvesting
+    /// half of a scenario tree: run a gang, checkpoint the interesting
+    /// lanes, fork each again. The snapshot records the gang's current
+    /// engine knobs, and a parked lane's fault travels with it
+    /// ([`Checkpoint::fault`]), so forking a faulted frontier entry
+    /// faithfully reproduces parked children.
+    pub fn checkpoint_lane(&self, lane: usize) -> Checkpoint {
+        let fault = match &self.lane_status[lane] {
+            LaneStatus::Faulted(e) => Some(e.clone()),
+            _ => None,
+        };
+        let finished = matches!(self.lane_status[lane], LaneStatus::Finished);
+        let mut cp = match &self.state {
+            LaneState::Solo(machines) => machines[lane].checkpoint(),
+            LaneState::Ganged(gs) => {
+                let n = self.program.cores.len();
+                let rf = self.program.config.regfile_size;
+                let lanes = self.lanes;
+                let shell = &gs.shells[lane];
+                // Gather the lane out of the lane-major arrays; everything
+                // else (NoC, cache, counters, scratchpad, events) lives in
+                // the shell, which the ganged loop keeps current.
+                let mut regs = Vec::with_capacity(n * rf);
+                for i in 0..n * rf {
+                    regs.push(gs.regs[i * lanes + lane]);
+                }
+                let cores = (0..n).map(|c| gs.cores[c * lanes + lane].clone()).collect();
+                Checkpoint {
+                    program: Arc::clone(&self.program),
+                    cores,
+                    regs,
+                    scratch: shell.scratch.clone(),
+                    noc: shell.noc.clone(),
+                    cache: shell.cache.clone(),
+                    compute_time: shell.compute_time,
+                    counters: shell.counters,
+                    strict_hazards: self.strict_hazards,
+                    finish_requested: false,
+                    events: shell.events.clone(),
+                    exec_mode: shell.exec_mode,
+                    replay_enabled: self.replay_enabled,
+                    replay_engine: self.replay_engine,
+                    tape_invalidated: self.tape_invalidated,
+                    fault: None,
+                }
+            }
+        };
+        // Solo-phase machines may carry stale per-lane knobs; the gang's
+        // current settings are authoritative (`into_machines` applies the
+        // same rule), and the lane's park status travels with the
+        // snapshot.
+        cp.strict_hazards = self.strict_hazards;
+        cp.replay_enabled = self.replay_enabled;
+        cp.replay_engine = self.replay_engine;
+        cp.tape_invalidated = self.tape_invalidated;
+        cp.finish_requested = finished || cp.finish_requested;
+        cp.fault = fault;
+        cp
     }
 
     /// One lane's performance counters (frozen at its fault or finish).

@@ -174,6 +174,23 @@ pub enum MachineError {
         /// The raised id.
         eid: u16,
     },
+    /// A [`crate::Checkpoint`] was restored onto (or forked against) a
+    /// machine running a different [`crate::CompiledProgram`] than the one
+    /// the snapshot was taken under. The target machine is left untouched.
+    CheckpointMismatch {
+        /// Identity of the program the checkpoint belongs to.
+        expected: u64,
+        /// Identity of the program the target machine runs.
+        got: u64,
+    },
+    /// A fork requested an invalid lane count: zero, or wider than
+    /// [`crate::MAX_LANES`]. Unlike [`crate::GangMachine::from_program`],
+    /// which clamps, a fork is an explicit scenario-tree edge and a silent
+    /// resize would corrupt the tree's bookkeeping.
+    ForkWidth {
+        /// The requested lane count.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -210,6 +227,15 @@ impl fmt::Display for MachineError {
             MachineError::UnknownException { eid } => {
                 write!(f, "unknown exception id {eid}")
             }
+            MachineError::CheckpointMismatch { expected, got } => write!(
+                f,
+                "checkpoint belongs to program #{expected} but the machine runs program #{got}"
+            ),
+            MachineError::ForkWidth { requested } => write!(
+                f,
+                "fork width {requested} outside 1..={} lanes",
+                crate::MAX_LANES
+            ),
         }
     }
 }
@@ -523,14 +549,18 @@ impl Machine {
     }
 
     /// Overwrites a register's architectural value — the way a fleet job
-    /// plants its per-run input vector before the first Vcycle. Writes go
-    /// straight to the committed register file (there is nothing in
-    /// flight before a run starts; mid-run pokes take effect immediately,
-    /// before any still-pending pipeline write to the same register).
+    /// plants its per-run input vector before the first Vcycle, and a
+    /// scenario fork diverges its children before resuming. Writes go to
+    /// the committed register file, and any write still in the pipeline
+    /// ring (a resumed run can carry one across the Vcycle boundary) is
+    /// rewritten to the poked value, so the poke takes effect before the
+    /// first (re)executed Vcycle and is never clobbered by a pre-poke
+    /// value committing later — identical semantics to a fresh run.
     pub fn poke_reg(&mut self, core: CoreId, reg: Reg, value: u16) {
         let config = &self.program.config;
         let idx = core.linear(config.grid_width);
         self.regs[idx * config.regfile_size + reg.index()] = value as u32;
+        self.cores[idx].override_pending(reg.0, value);
     }
 
     /// Reads a scratchpad word.
@@ -538,6 +568,14 @@ impl Machine {
         let config = &self.program.config;
         let idx = core.linear(config.grid_width);
         self.scratch[idx * config.scratch_words + addr]
+    }
+
+    /// One core's whole scratchpad as a slice — the bulk form of
+    /// [`Machine::read_scratch`], for state fingerprinting.
+    pub fn core_scratch(&self, core: CoreId) -> &[u16] {
+        let config = &self.program.config;
+        let idx = core.linear(config.grid_width);
+        &self.scratch[idx * config.scratch_words..(idx + 1) * config.scratch_words]
     }
 
     /// Reads a global-memory word (through the coherent host view).

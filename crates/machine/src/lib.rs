@@ -53,9 +53,19 @@
 //! offsets, dead hazard checks removed, counters bulk-accumulated, and the
 //! measured-hottest adjacent instruction pairs fused into one dispatch
 //! (see the crate-private `replay`/`uops` modules and `ARCHITECTURE.md`).
+//!
+//! Finally, runs are first-class *scenario-tree* nodes: a [`Checkpoint`]
+//! is a serialize-free snapshot of one run at a Vcycle boundary, keyed to
+//! its [`CompiledProgram`]; [`Machine::restore`] rewinds a machine to one,
+//! and [`Checkpoint::fork`] explodes one into a K-lane [`GangMachine`] of
+//! divergent children. [`CoverageMap`] scores the states such trees reach
+//! (per-core toggle coverage plus assert/display tallies) for
+//! coverage-guided exploration drivers.
 
 mod cache;
+mod checkpoint;
 mod core;
+mod coverage;
 mod exec;
 mod gang;
 mod grid;
@@ -66,6 +76,8 @@ mod replay;
 mod uops;
 
 pub use cache::{Cache, CacheStats};
+pub use checkpoint::Checkpoint;
+pub use coverage::CoverageMap;
 pub use gang::{GangMachine, MAX_LANES};
 pub use grid::{
     ExecMode, HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome,

@@ -41,7 +41,7 @@ pub struct Collision {
     pub position: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Noc {
     grid_width: usize,
     grid_height: usize,

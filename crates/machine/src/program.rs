@@ -17,9 +17,14 @@
 //! executes can scribble on the schedule it is replaying, because the
 //! schedule lives on the other side of the `Arc`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use manticore_isa::{Binary, CoreId, ExceptionDescriptor, Instruction, MachineConfig};
+
+/// Monotonic source of [`CompiledProgram::identity`] values. Starts at 1 so
+/// zero can never name a real program.
+static NEXT_IDENTITY: AtomicU64 = AtomicU64::new(1);
 
 use crate::grid::MachineError;
 use crate::replay::ReplayTape;
@@ -73,6 +78,14 @@ pub struct CompiledProgram {
     pub(crate) replay_tape: Option<ReplayTape>,
     /// The fused micro-op lowering; `Some` exactly when `replay_tape` is.
     pub(crate) micro_prog: Option<MicroProgram>,
+    /// Process-unique identity of this compilation, minted at
+    /// [`CompiledProgram::compile`] time. A [`crate::Checkpoint`] records
+    /// the identity of the program it was taken under, and restore/fork
+    /// refuse (with [`MachineError::CheckpointMismatch`]) to apply a
+    /// snapshot to a machine running any other compilation — even a
+    /// byte-identical recompile of the same design, whose tape/micro-op
+    /// artifacts could still legitimately differ.
+    pub(crate) identity: u64,
 }
 
 impl CompiledProgram {
@@ -249,6 +262,7 @@ impl CompiledProgram {
             replay_tape,
             micro_prog,
             config,
+            identity: NEXT_IDENTITY.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -278,6 +292,12 @@ impl CompiledProgram {
     /// Number of cores in the configured grid.
     pub fn num_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Process-unique identity of this compilation: the key a
+    /// [`crate::Checkpoint`] is bound to.
+    pub fn identity(&self) -> u64 {
+        self.identity
     }
 
     /// True when a frozen replay schedule exists for this program (see

@@ -14,6 +14,14 @@
 //! determinism check: every lane of a point must agree bit for bit.
 //!
 //! Run with: `cargo run --release --example design_sweep [workload]`
+//!
+//! **Scenario-tree mode** (`cargo run --release --example design_sweep
+//! [workload] tree`): sweeps the same grid sizes, but instead of fixed
+//! measurement replicas each point runs a coverage-guided exploration —
+//! checkpoint, fork into gangs of fuzzed children, keep the
+//! coverage-raisers — and reports forked scenarios/sec and toggled bits
+//! per grid, i.e. how fast each hardware point turns one simulation into
+//! a tree of divergent ones.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,6 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| panic!("unknown workload `{name}` (try vta, mc, noc, mm, ...)"));
 
     println!("workload: {} ({} nets)", w.name, w.netlist.nets().len());
+
+    if std::env::args().nth(2).as_deref() == Some("tree") {
+        return tree_sweep(&w);
+    }
 
     // --- Compile each grid size (the per-point part) -------------------
     struct Point {
@@ -109,5 +121,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         points.len(),
         fleet.workers()
     );
+    Ok(())
+}
+
+/// Scenario-tree mode: per fitting grid point, a coverage-guided
+/// exploration instead of fixed replicas.
+fn tree_sweep(w: &workloads::Workload) -> Result<(), Box<dyn std::error::Error>> {
+    use manticore::fleet::{ExploreConfig, FleetSim};
+
+    let cfg = ExploreConfig {
+        lanes: 8,
+        rounds: 12,
+        vcycles_per_round: 20,
+        warmup_vcycles: 2,
+        frontier_cap: 4,
+        seed: 0,
+        stimulus: Vec::new(),
+    };
+    println!(
+        "{:>6} {:>10} {:>12} {:>13} {:>9} {:>7}",
+        "cores", "scenarios", "scen/s", "covered bits", "displays", "faults"
+    );
+    for grid in [3usize, 5, 7, 9] {
+        let fleet = match FleetSim::compile(&w.netlist, MachineConfig::with_grid(grid, grid), 4) {
+            Ok(fleet) => fleet,
+            Err(e) => {
+                println!("{:>6} does not fit: {e}", grid * grid);
+                continue;
+            }
+        };
+        // Fuzz the design's first few architectural registers — a
+        // workload-agnostic stimulus that still diverges the datapath.
+        let names: Vec<&str> = fleet
+            .output()
+            .optimized
+            .registers()
+            .iter()
+            .take(4)
+            .map(|r| r.name.as_str())
+            .collect();
+        let t = Instant::now();
+        let report = fleet.explore(&names, &cfg)?;
+        let secs = t.elapsed().as_secs_f64();
+        println!(
+            "{:>6} {:>10} {:>12.0} {:>13} {:>9} {:>7}",
+            grid * grid,
+            report.scenarios,
+            report.scenarios as f64 / secs,
+            report.covered_bits,
+            report.displays,
+            report.asserts + report.faults,
+        );
+    }
     Ok(())
 }

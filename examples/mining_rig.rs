@@ -13,13 +13,24 @@
 //! per rig — with results back in rig order regardless of scheduling.
 //!
 //! Run with: `cargo run --release --example mining_rig [rigs] [lanes]`
+//!
+//! **Scenario-tree mode** (`cargo run --release --example mining_rig
+//! explore [lanes]`): instead of a fixed grid of disjoint ranges, the rig
+//! *searches* nonce space as a coverage-guided tree — one warm miner is
+//! checkpointed, forked into gangs of `lanes` children with fuzzed
+//! `nonce*` registers, and the children that toggle new datapath bits
+//! become the next generation's fork points. Same compiled program, same
+//! fleet pool; the tree replaces the range plan.
 
-use manticore::fleet::{FleetJob, FleetSim};
+use manticore::fleet::{ExploreConfig, FleetJob, FleetSim};
 use manticore::isa::MachineConfig;
 use manticore::workloads;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().nth(1).as_deref() == Some("explore") {
+        return explore();
+    }
     let rigs: u64 = std::env::args()
         .nth(1)
         .map(|a| a.parse().expect("rigs must be a number"))
@@ -97,6 +108,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "compile amortized: once for the whole rig vs {rigs}x under \
          compile-per-instance ({:.2}s saved)",
         compile_secs * (rigs.saturating_sub(1)) as f64
+    );
+    Ok(())
+}
+
+/// Scenario-tree mode: checkpoint/fork exploration of nonce space.
+fn explore() -> Result<(), Box<dyn std::error::Error>> {
+    let lanes: usize = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("lanes must be a number"))
+        .unwrap_or(16);
+
+    let netlist = workloads::bc();
+    let t0 = Instant::now();
+    let fleet = FleetSim::compile(&netlist, MachineConfig::with_grid(6, 6), 4)?;
+    println!(
+        "compiled bc once in {:.2}s; exploring nonce space as a scenario tree",
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Fuzz every pipe's nonce counter; everything else (SHA state, the
+    // round counter the design self-checks) evolves from the fork point.
+    let stimulus: Vec<String> = (0..6).map(|p| format!("nonce{p}")).collect();
+    let stimulus: Vec<&str> = stimulus.iter().map(String::as_str).collect();
+    let cfg = ExploreConfig {
+        lanes,
+        rounds: 40,
+        vcycles_per_round: 25,
+        warmup_vcycles: 2,
+        frontier_cap: 8,
+        seed: 0,
+        stimulus: Vec::new(),
+    };
+
+    let t1 = Instant::now();
+    let report = fleet.explore(&stimulus, &cfg)?;
+    let secs = t1.elapsed().as_secs_f64();
+    println!(
+        "\n{} forked miners over {} rounds in {secs:.3}s \
+         ({:.0} scenarios/s on {} workers)",
+        report.scenarios,
+        report.rounds_run,
+        report.scenarios as f64 / secs,
+        fleet.workers(),
+    );
+    println!(
+        "coverage: {} register bits toggled, {} shares displayed, \
+         {} asserts, {} faults, frontier peak {}",
+        report.covered_bits, report.displays, report.asserts, report.faults, report.frontier_peak,
     );
     Ok(())
 }

@@ -28,11 +28,20 @@ drift would make the ratio incomparable, not just noisy. Per-workload
 gang ratios are in the JSON for inspection but, like the per-row kHz
 columns, are not gated.
 
+With `--explore-fresh`/`--explore-baseline`, the gate additionally
+compares the explore_throughput run: the tree geometry (`lanes`,
+`rounds`, `vcycles`, `frontier`, `seed`) exactly, the per-workload
+`scenarios` and `covered_bits` exactly (exploration is deterministic for
+a fixed seed — stimulus is drawn serially in submission order — so any
+drift at all is a behavior change, not noise), and
+`geomean_scenarios_per_sec` within the tolerance.
+
 Intentional perf changes (either direction, beyond tolerance) are landed
 by regenerating the committed baseline(s) in the same PR.
 
 Usage: bench_gate.py FRESH.json BASELINE.json [--tolerance 0.25]
                      [--fleet-fresh FLEET.json --fleet-baseline BENCH_fleet.json]
+                     [--explore-fresh EXPLORE.json --explore-baseline BENCH_explore.json]
 """
 
 import argparse
@@ -83,6 +92,45 @@ def check_fleet(fresh_path, base_path, tolerance, failures):
     )
 
 
+def check_explore(fresh_path, base_path, tolerance, failures):
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+    print("explore section:")
+    for field in ("lanes", "rounds", "vcycles", "frontier", "seed"):
+        if fresh.get(field) != base.get(field):
+            failures.append(
+                f"explore.{field}: tree geometry changed ({base.get(field)} -> {fresh.get(field)}); "
+                "rates are not comparable — regenerate BENCH_explore.json"
+            )
+    base_rows = {r["name"]: r for r in base.get("rows", [])}
+    fresh_rows = {r["name"]: r for r in fresh.get("rows", [])}
+    missing = sorted(set(base_rows) - set(fresh_rows))
+    if missing:
+        failures.append(f"workloads missing from fresh explore run: {', '.join(missing)}")
+    for name, brow in sorted(base_rows.items()):
+        frow = fresh_rows.get(name)
+        if frow is None:
+            continue
+        # Deterministic tree outputs: compared exactly (tolerance 0).
+        for field in ("scenarios", "covered_bits"):
+            if frow.get(field) != brow.get(field):
+                failures.append(
+                    f"explore.{name}.{field}: {brow.get(field)} -> {frow.get(field)} "
+                    "(exploration is deterministic — this is a behavior change, not noise)"
+                )
+            else:
+                print(f"    ok  explore.{name}.{field:<24} {brow.get(field)}")
+    check(
+        "explore.geomean_scenarios_per_sec",
+        fresh.get("geomean_scenarios_per_sec"),
+        base.get("geomean_scenarios_per_sec"),
+        tolerance,
+        failures,
+    )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="JSON from the fresh table3_performance run")
@@ -90,10 +138,15 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.25, help="relative tolerance (default 0.25)")
     ap.add_argument("--fleet-fresh", help="JSON from the fresh fleet_throughput run")
     ap.add_argument("--fleet-baseline", help="committed fleet baseline (BENCH_fleet.json)")
+    ap.add_argument("--explore-fresh", help="JSON from the fresh explore_throughput run")
+    ap.add_argument("--explore-baseline", help="committed explore baseline (BENCH_explore.json)")
     args = ap.parse_args()
     if bool(args.fleet_fresh) != bool(args.fleet_baseline):
         ap.error("--fleet-fresh and --fleet-baseline must be given together "
                  "(one alone would silently skip the gang gate)")
+    if bool(args.explore_fresh) != bool(args.explore_baseline):
+        ap.error("--explore-fresh and --explore-baseline must be given together "
+                 "(one alone would silently skip the exploration gate)")
 
     with open(args.fresh) as f:
         fresh = json.load(f)
@@ -126,6 +179,8 @@ def main():
 
     if args.fleet_fresh and args.fleet_baseline:
         check_fleet(args.fleet_fresh, args.fleet_baseline, args.tolerance, failures)
+    if args.explore_fresh and args.explore_baseline:
+        check_explore(args.explore_fresh, args.explore_baseline, args.tolerance, failures)
 
     if failures:
         print(f"\nbench gate FAILED ({len(failures)} violation(s)):", file=sys.stderr)
@@ -134,7 +189,8 @@ def main():
         print(
             "\nIf this change is intentional, regenerate the baseline(s):\n"
             "  cargo run --release -p manticore-bench --bin table3_performance -- --json BENCH_table3.json\n"
-            "  cargo run --release -p manticore-bench --bin fleet_throughput -- --json BENCH_fleet.json",
+            "  cargo run --release -p manticore-bench --bin fleet_throughput -- --json BENCH_fleet.json\n"
+            "  cargo run --release -p manticore-bench --bin explore_throughput -- --json BENCH_explore.json",
             file=sys.stderr,
         )
         return 1

@@ -243,3 +243,95 @@ fn fleet_results_independent_of_worker_count_and_submission_order() {
         }
     }
 }
+
+#[test]
+fn resumed_job_pokes_land_before_the_first_resumed_vcycle() {
+    // Regression: `SimJob::poke` on a *resumed* machine used to write
+    // only the committed register word, so a write still in flight in the
+    // pipeline ring from the previous segment would commit on top of the
+    // poke and silently erase it — fresh jobs (whose rings are empty at
+    // submission) never saw this. The contract is symmetric: a poke lands
+    // before the first Vcycle of the segment, resumed or not.
+    use manticore::isa::{AluOp, Binary, CoreId, CoreImage, Instruction, Reg};
+
+    let binary = Binary {
+        grid_width: 1,
+        grid_height: 1,
+        vcycle_len: 4,
+        cores: vec![CoreImage {
+            core: CoreId::new(0, 0),
+            body: vec![Instruction::Alu {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(1),
+                rs2: Reg(2),
+            }],
+            epilogue_len: 0,
+            custom_functions: vec![],
+            init_regs: vec![(Reg(1), 0), (Reg(2), 1)],
+            init_scratch: vec![],
+        }],
+        exceptions: vec![],
+        init_dram: vec![],
+    };
+    // Pipeline exactly as deep as the Vcycle: every segment ends with
+    // its last `r1` write still in the ring, which is the shape that
+    // exposed the bug.
+    let config = manticore::isa::MachineConfig {
+        hazard_latency: 4,
+        ..manticore::isa::MachineConfig::with_grid(1, 1)
+    };
+    let program = manticore::machine::CompiledProgram::compile_shared(config, &binary).unwrap();
+    let core = CoreId::new(0, 0);
+    let fleet = Fleet::new(2);
+
+    // Segment 1: three Vcycles of counting. The Vcycle-3 increment (to 3)
+    // is still in flight when the job returns.
+    let first = fleet.run(vec![SimJob::new(&program, 3).strict_hazards(false)]);
+    let machine = first.into_iter().next().unwrap().machine;
+    assert_eq!(
+        machine.read_reg(core, Reg(1)),
+        3,
+        "flushed view after segment 1"
+    );
+
+    // Segment 2: resume with a poke. The poke must override the in-flight
+    // write too — the broken behavior committed the stale 3 over the 100
+    // and finished at 7 instead of 104.
+    let resumed = fleet.run(vec![SimJob::resume(machine, 4)
+        .poke(core, Reg(1), 100)
+        .strict_hazards(false)]);
+    let resumed_r1 = resumed[0].machine.read_reg(core, Reg(1));
+
+    // Reference: the same poke on a *fresh* job, run for the same number
+    // of Vcycles — the semantics resumed jobs must match.
+    let fresh = fleet.run(vec![SimJob::new(&program, 4)
+        .poke(core, Reg(1), 100)
+        .strict_hazards(false)]);
+    let fresh_r1 = fresh[0].machine.read_reg(core, Reg(1));
+
+    assert_eq!(fresh_r1, 104, "fresh-job poke semantics");
+    assert_eq!(
+        resumed_r1, fresh_r1,
+        "a resumed job's pokes must land before its first Vcycle, like a fresh job's"
+    );
+
+    // Same contract through the gang fork path: pokes planted on forked
+    // lanes override in-flight state from before the fork.
+    let root = fleet.run(vec![SimJob::new(&program, 3).strict_hazards(false)]);
+    let cp = root[0].machine.checkpoint();
+    let mut gang = cp.fork(2).unwrap();
+    gang.poke_reg(1, core, Reg(1), 100);
+    gang.run_vcycles(4);
+    let lanes = gang.into_machines();
+    assert_eq!(
+        lanes[0].read_reg(core, Reg(1)),
+        7,
+        "unpoked lane keeps counting"
+    );
+    assert_eq!(
+        lanes[1].read_reg(core, Reg(1)),
+        fresh_r1,
+        "poked lane matches fresh-job semantics"
+    );
+}
