@@ -57,6 +57,12 @@ impl BitSet {
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
+    /// The backing words (64 indices per word, LSB first) — lets callers
+    /// compute masked popcounts (e.g. weighted union cost) directly.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterates set indices in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {

@@ -1,6 +1,7 @@
 //! The Manticore compiler: netlists → statically-scheduled machine binaries.
 //!
-//! The pipeline mirrors Fig. 4 of the paper:
+//! The pipeline mirrors Fig. 4 of the paper, expressed as an explicit
+//! [`pass::PassManager`] over a shared [`pass::CompileCtx`]:
 //!
 //! 1. **optimize** — netlist-level constant folding, CSE, DCE ([`opt`]);
 //! 2. **lower** — width legalization onto the 16-bit datapath ([`lower`]);
@@ -12,6 +13,14 @@
 //!    NoC-routing models ([`schedule`]);
 //! 7. **register allocation + emission** — persistent/linear-scan
 //!    allocation, current/next coalescing, binary emission ([`regalloc`]).
+//!
+//! The manager wraps every pass with wall-time and IR-size instrumentation
+//! ([`report::PassStat`]). [`CompileOptions::compile_threads`] selects the
+//! pipeline implementation: `1` (the default) is the reference serial
+//! pipeline; `> 1` fans the heavy passes out over a scoped worker pool and
+//! uses restructured inner algorithms whose outputs are **bit-identical**
+//! to the serial pipeline — the compile-determinism suite compares the
+//! emitted binaries byte-for-byte across thread counts.
 //!
 //! Both intermediate representations are executable: the netlist via
 //! `manticore_netlist::eval` and the lower assembly via [`interp`] — the
@@ -43,6 +52,7 @@ pub mod lir_opt;
 pub mod lower;
 pub mod opt;
 pub mod partition;
+pub mod pass;
 pub mod regalloc;
 pub mod report;
 pub mod schedule;
@@ -50,14 +60,15 @@ pub mod schedule;
 #[cfg(test)]
 mod tests;
 
-use std::time::Instant;
-
 use manticore_isa::{Binary, MachineConfig};
 use manticore_netlist::Netlist;
 
 pub use error::CompileError;
 pub use partition::PartitionStrategy;
-pub use report::{CompileReport, CoreBreakdown, MemLocation, Metadata, RegLocation, SplitStats};
+pub use pass::{CompileCtx, Pass, PassManager};
+pub use report::{
+    CompileReport, CoreBreakdown, MemLocation, Metadata, PassStat, RegLocation, SplitStats,
+};
 
 /// Compilation options.
 #[derive(Debug, Clone)]
@@ -70,6 +81,10 @@ pub struct CompileOptions {
     pub custom_functions: bool,
     /// Enable netlist-level optimization.
     pub netlist_opt: bool,
+    /// Compiler worker threads. `1` (the default) runs the reference
+    /// serial pipeline; `> 1` runs the parallel pipeline (bit-identical
+    /// output); `0` resolves to `max(2, available_parallelism)`.
+    pub compile_threads: usize,
 }
 
 impl Default for CompileOptions {
@@ -79,6 +94,22 @@ impl Default for CompileOptions {
             partition: PartitionStrategy::Balanced,
             custom_functions: true,
             netlist_opt: true,
+            compile_threads: 1,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The worker count the pipeline will actually run with: `0` resolves
+    /// to `max(2, available_parallelism)` (auto always picks the parallel
+    /// pipeline — its restructured passes win even on one CPU), any other
+    /// value is taken as-is.
+    pub fn resolved_compile_threads(&self) -> usize {
+        match self.compile_threads {
+            0 => std::thread::available_parallelism()
+                .map_or(2, |n| n.get())
+                .max(2),
+            n => n,
         }
     }
 }
@@ -96,7 +127,7 @@ pub struct CompileOutput {
     pub lir: lir::LirProgram,
     /// Where RTL state lives on the machine.
     pub metadata: Metadata,
-    /// Pass timings and instruction-mix statistics.
+    /// Per-pass timings and instruction-mix statistics.
     pub report: CompileReport,
 }
 
@@ -116,54 +147,15 @@ impl CompileOutput {
 /// (test harnesses must be closed) and resource overflows are reported per
 /// core.
 pub fn compile(netlist: &Netlist, options: &CompileOptions) -> Result<CompileOutput, CompileError> {
-    let mut report = CompileReport::default();
-    let mut stamp = Instant::now();
-    let mut lap = |report: &mut CompileReport, name: &'static str| {
-        let now = Instant::now();
-        report.pass_times.push((name, now - stamp));
-        stamp = now;
-    };
+    let threads = options.resolved_compile_threads();
+    let mut ctx = CompileCtx::new(netlist, options, threads);
+    PassManager::standard().run(&mut ctx)?;
 
-    // 1. Netlist optimization (stands in front of the Yosys boundary).
-    let optimized = if options.netlist_opt {
-        opt::optimize(netlist)
-    } else {
-        netlist.clone()
-    };
-    lap(&mut report, "netlist-opt");
-
-    // 2. Lowering to 16-bit lower assembly (monolithic).
-    let mut mono = lower::lower(&optimized, options.config.scratch_words)?;
-    lap(&mut report, "lower");
-
-    // 3. Lower-assembly optimization.
-    lir_opt::optimize(&mut mono);
-    lap(&mut report, "lir-opt");
-
-    // 4. Partition (split + merge).
-    let mut parted = partition::partition(&mono, options.config.num_cores(), options.partition);
-    report.split = SplitStats {
-        vertices: count_split_units(&mono),
-        edges: count_split_edges(&parted),
-    };
-    lap(&mut report, "partition");
-
-    // 5. Custom-function synthesis.
-    if options.custom_functions {
-        for p in &mut parted.processes {
-            cfu::synthesize(p, options.config.num_custom_functions);
-        }
-        lir_opt::optimize(&mut parted);
-    }
-    lap(&mut report, "custom-functions");
-
-    // 6. Scheduling.
-    let schedule = schedule::schedule(&parted, &options.config)?;
-    lap(&mut report, "schedule");
-
-    // 7. Register allocation + emission.
-    let emitted = regalloc::emit(&parted, &schedule, &options.config)?;
-    lap(&mut report, "regalloc-emit");
+    let parted = ctx.parted.take().expect("pipeline ran");
+    let schedule = ctx.schedule.take().expect("pipeline ran");
+    let emitted = ctx.emitted.take().expect("pipeline ran");
+    let optimized = ctx.optimized.take().expect("pipeline ran");
+    let mut report = ctx.report;
 
     report.vcpl = schedule.vcycle_len;
     report.processes = parted.processes.len();
@@ -184,38 +176,4 @@ pub fn compile(netlist: &Netlist, options: &CompileOptions) -> Result<CompileOut
         metadata: emitted.metadata,
         report,
     })
-}
-
-/// Number of sink seeds in the monolithic program — the vertex count of
-/// the maximal split graph (Table 8's |V|), before affinity merging.
-fn count_split_units(mono: &lir::LirProgram) -> usize {
-    let p = &mono.processes[0];
-    let mut units = 0usize;
-    let mut mems = std::collections::HashSet::new();
-    let mut has_priv = false;
-    for i in &p.instrs {
-        match &i.op {
-            lir::LirOp::CommitLocal { .. } => units += 1,
-            lir::LirOp::LocalStore { mem, .. } | lir::LirOp::GlobalStore { mem, .. } => {
-                mems.insert(mem.0);
-            }
-            lir::LirOp::Expect { .. } => has_priv = true,
-            _ => {}
-        }
-    }
-    units + mems.len() + has_priv as usize
-}
-
-/// Communication edges between merged processes (state producer/consumer
-/// pairs) — an |E| analog after merging.
-fn count_split_edges(parted: &lir::LirProgram) -> usize {
-    let mut edges = std::collections::HashSet::new();
-    for (pi, p) in parted.processes.iter().enumerate() {
-        for instr in &p.instrs {
-            if let lir::LirOp::Send { to_process, .. } = instr.op {
-                edges.insert((pi, to_process));
-            }
-        }
-    }
-    edges.len()
 }

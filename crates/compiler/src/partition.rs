@@ -21,8 +21,32 @@
 //! - [`PartitionStrategy::Lpt`] — the communication-oblivious
 //!   longest-processing-time-first baseline the paper evaluates against
 //!   (Fig. 9 / Table 4).
+//!
+//! # Parallel structure and determinism
+//!
+//! [`partition_threaded`] decomposes the pass into an embarrassingly
+//! parallel cone phase (each seed's fan-in closure is independent given the
+//! def table), a **serial** merge (the greedy loop is a sequential decision
+//! process), and an embarrassingly parallel materialization (each surviving
+//! unit rebuilds its instruction list independently; Sends and the
+//! exception remap are appended serially afterwards). Parallel stages fan
+//! out with [`manticore_util::parallel_map`], which assigns results to
+//! pre-determined slots — output is a pure function of the index, so the
+//! pass is bit-identical at any thread count.
+//!
+//! At `threads > 1` the balanced merge switches to
+//! `merge_balanced_fast`, an incremental-bookkeeping reimplementation
+//! that replays the reference greedy loop's *exact* decision sequence
+//! (same cheapest-unit, partner, and stop decisions, including
+//! first-minimal tie-breaks) while replacing the reference's
+//! O(units² · states) rescans with cached per-unit costs, per-state live
+//! reader counts, and masked-popcount union costs. A unit test checks the
+//! two merges agree on every workload-sized program; the end-to-end
+//! compile-determinism suite checks the emitted binaries byte-for-byte.
 
 use std::collections::{BTreeSet, HashMap};
+
+use manticore_util::parallel_map;
 
 use crate::bitset::BitSet;
 use crate::lir::{LirExceptionKind, LirInstr, LirOp, LirProgram, Process, StateId, VReg};
@@ -50,12 +74,30 @@ struct Unit {
     reads: BTreeSet<StateId>,
 }
 
-/// Splits and merges the monolithic program onto `num_cores` cores.
+/// Splits and merges the monolithic program onto `num_cores` cores using
+/// the reference serial pipeline (`threads = 1`).
 ///
 /// # Panics
 ///
 /// Panics if `prog` is not monolithic (exactly one process).
 pub fn partition(prog: &LirProgram, num_cores: usize, strategy: PartitionStrategy) -> LirProgram {
+    partition_threaded(prog, num_cores, strategy, 1)
+}
+
+/// Splits and merges the monolithic program onto `num_cores` cores,
+/// fanning the cone and materialization phases over `threads` workers and
+/// (for the balanced strategy at `threads > 1`) using the incremental
+/// merge. Output is bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `prog` is not monolithic (exactly one process).
+pub fn partition_threaded(
+    prog: &LirProgram,
+    num_cores: usize,
+    strategy: PartitionStrategy,
+    threads: usize,
+) -> LirProgram {
     assert_eq!(
         prog.processes.len(),
         1,
@@ -85,7 +127,7 @@ pub fn partition(prog: &LirProgram, num_cores: usize, strategy: PartitionStrateg
     }
 
     // ------------------------------------------------------------------
-    // Split: seed groups, grow cones.
+    // Split: seed groups, grow cones (each cone independent — parallel).
     // ------------------------------------------------------------------
     let mut seeds: Vec<Vec<usize>> = Vec::new();
     let mut mem_seed: HashMap<u32, usize> = HashMap::new();
@@ -111,8 +153,8 @@ pub fn partition(prog: &LirProgram, num_cores: usize, strategy: PartitionStrateg
         }
     }
 
-    let mut cones: Vec<BitSet> = Vec::with_capacity(seeds.len());
-    for seed in &seeds {
+    let cones: Vec<BitSet> = parallel_map(seeds.len(), threads, |si| {
+        let seed = &seeds[si];
         let mut cone = BitSet::new(n);
         let mut stack: Vec<usize> = seed.clone();
         for &s in seed {
@@ -128,8 +170,8 @@ pub fn partition(prog: &LirProgram, num_cores: usize, strategy: PartitionStrateg
                 }
             }
         }
-        cones.push(cone);
-    }
+        cone
+    });
 
     // Affinity: cones touching the same memory unite; cones with privileged
     // instructions unite with the privileged cone.
@@ -167,38 +209,48 @@ pub fn partition(prog: &LirProgram, num_cores: usize, strategy: PartitionStrateg
         }
     }
 
-    let make_unit = |set: BitSet| -> Unit {
-        let base_cost = set.iter().map(|i| instr_cost[i]).sum();
-        let mut commits = BTreeSet::new();
-        let mut reads = BTreeSet::new();
-        for i in set.iter() {
-            if let LirOp::CommitLocal { state } = mono.instrs[i].op {
-                commits.insert(state);
-            }
-            for a in &mono.instrs[i].args {
-                if let Some(&s) = vreg_state.get(a) {
-                    reads.insert(s);
+    let units: Vec<Unit> = {
+        let mut unit_sets = unit_sets;
+        parallel_map(unit_sets.len(), threads, |ui| {
+            let set = &unit_sets[ui];
+            let base_cost = set.iter().map(|i| instr_cost[i]).sum();
+            let mut commits = BTreeSet::new();
+            let mut reads = BTreeSet::new();
+            for i in set.iter() {
+                if let LirOp::CommitLocal { state } = mono.instrs[i].op {
+                    commits.insert(state);
+                }
+                for a in &mono.instrs[i].args {
+                    if let Some(&s) = vreg_state.get(a) {
+                        reads.insert(s);
+                    }
                 }
             }
-        }
-        Unit {
-            instrs: set,
+            (base_cost, commits, reads)
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(ui, (base_cost, commits, reads))| Unit {
+            instrs: std::mem::replace(&mut unit_sets[ui], BitSet::new(0)),
             base_cost,
             commits,
             reads,
+        })
+        .collect()
+    };
+
+    // ------------------------------------------------------------------
+    // Merge (inherently serial: a sequential greedy decision process).
+    // ------------------------------------------------------------------
+    let merged_sets = match (strategy, threads > 1) {
+        (PartitionStrategy::Balanced, false) => merge_balanced(units, num_cores, &instr_cost),
+        (PartitionStrategy::Balanced, true) => {
+            merge_balanced_fast(units, num_cores, &instr_cost, prog.states.len())
         }
-    };
-    let units: Vec<Unit> = unit_sets.into_iter().map(make_unit).collect();
-
-    // ------------------------------------------------------------------
-    // Merge.
-    // ------------------------------------------------------------------
-    let merged_sets = match strategy {
-        PartitionStrategy::Balanced => merge_balanced(units, num_cores, &instr_cost),
-        PartitionStrategy::Lpt => merge_lpt(units, num_cores),
+        (PartitionStrategy::Lpt, _) => merge_lpt(units, num_cores),
     };
 
-    materialize(prog, mono, &merged_sets, &def_of, &vreg_state)
+    materialize(prog, mono, &merged_sets, &def_of, &vreg_state, threads)
 }
 
 /// Send count of unit `u` given current ownership: one per (state committed
@@ -215,6 +267,9 @@ fn send_count(u: usize, units: &[Unit], alive: &[bool]) -> usize {
     sends
 }
 
+/// The reference balanced merge: recomputes unit costs and merged costs
+/// from first principles every iteration. Kept verbatim as the serial
+/// pipeline and as the oracle for `merge_balanced_fast`.
 fn merge_balanced(mut units: Vec<Unit>, num_cores: usize, instr_cost: &[usize]) -> Vec<BitSet> {
     let mut alive = vec![true; units.len()];
     loop {
@@ -296,6 +351,192 @@ fn merge_balanced(mut units: Vec<Unit>, num_cores: usize, instr_cost: &[usize]) 
         .collect()
 }
 
+/// The incremental balanced merge: replays [`merge_balanced`]'s exact
+/// decision sequence with cached bookkeeping.
+///
+/// Why the decisions cannot diverge:
+///
+/// - **Unit cost.** The reference's `cost(i) = base_cost(i) + sends(i)`
+///   where `sends(i) = Σ_{s ∈ commits_i} |{v alive, v ≠ i, s ∈ reads_v}|`.
+///   Here `readers_cnt[s]` maintains the number of *live* units reading
+///   `s`, so `sends(i) = Σ_s (readers_cnt[s] − [i reads s])`; `cost[]` is
+///   kept consistent across merges by local updates (below) plus a full
+///   recompute of the merged unit.
+/// - **Cheapest unit.** The reference takes `min_by_key` over live units
+///   in ascending index order, which returns the *first* minimum; the scan
+///   here uses strict `<` over the same order.
+/// - **Partner choice.** The reference minimizes `(merged_cost, v)`
+///   tuples; `merged_cost(v)` = weighted union popcount + chained sends
+///   `Σ_{s ∈ commits_u ∪ commits_v} (readers_cnt[s] − [u reads s] −
+///   [v reads s])` — the same quantity, computed via per-weight word masks
+///   (`popcount(w & mask1) + 2·popcount(w & mask2)`) instead of bit
+///   iteration. Note `commits_u` and `commits_v` are disjoint (each state
+///   has exactly one committer), so the chained iteration counts each
+///   state once, exactly like the reference.
+/// - **Stop rule.** `must_merge` and the straggler bound use the same
+///   cached costs.
+///
+/// On merging `v` into `u`: for each state read by both, the union loses a
+/// duplicate reader, so `readers_cnt[s] -= 1` and the state's live
+/// committer (if distinct from `u`/`v`) loses one send; `v`'s committed
+/// states transfer their committer to `u`; `cost[u]` is recomputed in
+/// full. Everything else is unchanged.
+fn merge_balanced_fast(
+    mut units: Vec<Unit>,
+    num_cores: usize,
+    instr_cost: &[usize],
+    num_states: usize,
+) -> Vec<BitSet> {
+    let nunits = units.len();
+    let mut alive = vec![true; nunits];
+    if nunits == 0 {
+        return Vec::new();
+    }
+
+    // Per-weight word masks over monolithic instruction indices: the
+    // weighted popcount of any instruction set is then two masked
+    // popcounts per word (issue slots are 1 or 2; Consts weigh 0).
+    let nwords = units[0].instrs.words().len();
+    let mut mask1 = vec![0u64; nwords];
+    let mut mask2 = vec![0u64; nwords];
+    for (i, &c) in instr_cost.iter().enumerate() {
+        match c {
+            0 => {}
+            1 => mask1[i / 64] |= 1 << (i % 64),
+            2 => mask2[i / 64] |= 1 << (i % 64),
+            _ => unreachable!("issue slots are 1 or 2"),
+        }
+    }
+    let weighted = |words: &[u64]| -> usize {
+        words
+            .iter()
+            .zip(mask1.iter().zip(&mask2))
+            .map(|(&w, (&m1, &m2))| ((w & m1).count_ones() + 2 * (w & m2).count_ones()) as usize)
+            .sum()
+    };
+    let weighted_union = |a: &BitSet, b: &BitSet| -> usize {
+        a.words()
+            .iter()
+            .zip(b.words())
+            .zip(mask1.iter().zip(&mask2))
+            .map(|((&wa, &wb), (&m1, &m2))| {
+                let w = wa | wb;
+                ((w & m1).count_ones() + 2 * (w & m2).count_ones()) as usize
+            })
+            .sum()
+    };
+
+    // Live-reader counts and (unique) committers per state.
+    let mut readers_cnt = vec![0usize; num_states];
+    let mut committer = vec![usize::MAX; num_states];
+    for (ui, unit) in units.iter().enumerate() {
+        for s in &unit.reads {
+            readers_cnt[s.index()] += 1;
+        }
+        for s in &unit.commits {
+            debug_assert_eq!(committer[s.index()], usize::MAX, "unique committer");
+            committer[s.index()] = ui;
+        }
+    }
+    let full_cost = |u: usize, units: &[Unit], readers_cnt: &[usize]| -> usize {
+        let sends: usize = units[u]
+            .commits
+            .iter()
+            .map(|s| readers_cnt[s.index()] - units[u].reads.contains(s) as usize)
+            .sum();
+        units[u].base_cost + sends
+    };
+    let mut cost: Vec<usize> = (0..nunits)
+        .map(|u| full_cost(u, &units, &readers_cnt))
+        .collect();
+
+    let mut live_count = nunits;
+    while live_count > 1 {
+        let must_merge = live_count > num_cores;
+        // Cheapest live unit: first minimal in ascending index order.
+        let mut u = usize::MAX;
+        for i in 0..nunits {
+            if alive[i] && (u == usize::MAX || cost[i] < cost[u]) {
+                u = i;
+            }
+        }
+        // Communicating partners (same membership test as the reference).
+        let mut candidates: Vec<usize> = (0..nunits)
+            .filter(|&v| {
+                alive[v]
+                    && v != u
+                    && (units[u].commits.iter().any(|s| units[v].reads.contains(s))
+                        || units[v].commits.iter().any(|s| units[u].reads.contains(s)))
+            })
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..nunits).filter(|&v| alive[v] && v != u).collect();
+        }
+        let merged_cost = |v: usize| -> usize {
+            let base = weighted_union(&units[u].instrs, &units[v].instrs);
+            let sends: usize = units[u]
+                .commits
+                .iter()
+                .chain(units[v].commits.iter())
+                .map(|s| {
+                    readers_cnt[s.index()]
+                        - units[u].reads.contains(s) as usize
+                        - units[v].reads.contains(s) as usize
+                })
+                .sum();
+            base + sends
+        };
+        let best = candidates.iter().map(|&v| (merged_cost(v), v)).min();
+        let Some((best_cost, v)) = best else { break };
+        if !must_merge {
+            let straggler = (0..nunits)
+                .filter(|&i| alive[i])
+                .map(|i| cost[i])
+                .max()
+                .unwrap();
+            if best_cost > straggler {
+                break;
+            }
+        }
+
+        // Merge v into u, updating the caches.
+        let vv = std::mem::replace(
+            &mut units[v],
+            Unit {
+                instrs: BitSet::new(0),
+                base_cost: 0,
+                commits: BTreeSet::new(),
+                reads: BTreeSet::new(),
+            },
+        );
+        // Duplicate readers collapse: states read by both lose one live
+        // reader, and their committers (other than u/v) lose one send.
+        for s in vv.reads.intersection(&units[u].reads) {
+            readers_cnt[s.index()] -= 1;
+            let c = committer[s.index()];
+            if c != usize::MAX && c != u && c != v && alive[c] {
+                cost[c] -= 1;
+            }
+        }
+        for s in &vv.commits {
+            committer[s.index()] = u;
+        }
+        units[u].instrs.union_with(&vv.instrs);
+        let merged_base = weighted(units[u].instrs.words());
+        units[u].base_cost = merged_base;
+        units[u].commits.extend(vv.commits.iter().copied());
+        units[u].reads.extend(vv.reads.iter().copied());
+        alive[v] = false;
+        live_count -= 1;
+        cost[u] = full_cost(u, &units, &readers_cnt);
+    }
+    units
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(un, a)| a.then_some(un.instrs))
+        .collect()
+}
+
 fn merge_lpt(units: Vec<Unit>, num_cores: usize) -> Vec<BitSet> {
     let alive = vec![true; units.len()];
     let costs: Vec<usize> = (0..units.len())
@@ -329,17 +570,19 @@ fn merge_lpt(units: Vec<Unit>, num_cores: usize) -> Vec<BitSet> {
 
 /// Rebuilds per-process instruction lists from unit bitsets, renumbers
 /// vregs, threads live-ins through, generates `Send`s, and remaps the
-/// exception table.
+/// exception table. The per-unit rebuild is independent across units and
+/// fans out over the worker pool; Sends and the exception remap run
+/// serially afterwards (they read cross-unit ownership).
 fn materialize(
     prog: &LirProgram,
     mono: &Process,
     units: &[BitSet],
     def_of: &[Option<usize>],
     vreg_state: &HashMap<VReg, StateId>,
+    threads: usize,
 ) -> LirProgram {
-    let mut processes: Vec<Process> = Vec::with_capacity(units.len());
-    let mut vmaps: Vec<HashMap<VReg, VReg>> = Vec::with_capacity(units.len());
-    for unit in units {
+    let rebuilt: Vec<(Process, HashMap<VReg, VReg>)> = parallel_map(units.len(), threads, |ui| {
+        let unit = &units[ui];
         let mut p = Process::default();
         let mut vmap: HashMap<VReg, VReg> = HashMap::new();
         for i in unit.iter() {
@@ -373,9 +616,10 @@ fn materialize(
                 args,
             });
         }
-        processes.push(p);
-        vmaps.push(vmap);
-    }
+        (p, vmap)
+    });
+    let (mut processes, vmaps): (Vec<Process>, Vec<HashMap<VReg, VReg>>) =
+        rebuilt.into_iter().unzip();
 
     // Sends: the owner of each state sends to every other reader process.
     let mut owners = vec![usize::MAX; prog.states.len()];

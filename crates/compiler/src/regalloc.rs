@@ -8,6 +8,28 @@
 //! temporary directly to its home register when no reader of the current
 //! value executes after the producer, eliminating the commit move (§6.3,
 //! citing Wimmer & Franz linear-scan-on-SSA).
+//!
+//! # Parallel structure and determinism
+//!
+//! [`emit_threaded`] keeps the cheap cross-process phases serial —
+//! persistent-register assignment, scratchpad layout, custom-function
+//! tables, the exception table, and metadata — and fans the per-process
+//! work (liveness, coalescing, linear scan, body emission, scratch image)
+//! out over the worker pool. Results land in pre-assigned process slots
+//! and the `Binary`'s core images are assembled in process-index order, so
+//! the output is bit-identical at any thread count.
+//!
+//! At `threads > 1` the allocator switches from the reference hash-map
+//! implementation to a vector-indexed one (`alloc_process_fast`) that
+//! replays the same decision sequence: liveness and coalescing produce the
+//! same per-vreg facts, and the linear scan's free-list (LIFO) and active
+//! list (insertion-ordered `retain`) are plain vectors in both. The two
+//! allocators differ only in lookup structures, never in decisions.
+//!
+//! The scratchpad base table is a `BTreeMap` on purpose: the boot image
+//! `init_scratch` is emitted by iterating it, and a hash map here would
+//! make the binary's byte order run-dependent (the layout itself is
+//! order-insensitive, but the determinism suite compares bytes).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -15,9 +37,10 @@ use manticore_isa::{
     AluOp, Binary, CoreImage, ExceptionDescriptor, ExceptionId, ExceptionKind, Instruction,
     MachineConfig, Reg,
 };
+use manticore_util::parallel_map;
 
 use crate::error::CompileError;
-use crate::lir::{LirExceptionKind, LirOp, LirProgram, MemPlacement, StateId, VReg};
+use crate::lir::{LirExceptionKind, LirOp, LirProgram, MemPlacement, Process, StateId, VReg};
 use crate::report::{CoreBreakdown, MemLocation, Metadata, RegLocation};
 use crate::schedule::Schedule;
 
@@ -33,7 +56,26 @@ pub struct EmitOutput {
     pub per_core: Vec<CoreBreakdown>,
 }
 
-/// Allocates registers and emits the machine binary.
+/// The final vreg → machine-register assignment of one process, behind
+/// either lookup structure (reference hash map vs. fast vector).
+#[derive(Debug, Clone)]
+enum RegView {
+    Map(HashMap<VReg, Reg>),
+    Table(Vec<Option<Reg>>),
+}
+
+impl RegView {
+    #[inline]
+    fn get(&self, v: VReg) -> Reg {
+        match self {
+            RegView::Map(m) => m[&v],
+            RegView::Table(t) => t[v.index()].expect("vreg allocated"),
+        }
+    }
+}
+
+/// Allocates registers and emits the machine binary with the reference
+/// serial pipeline.
 ///
 /// # Errors
 ///
@@ -42,6 +84,23 @@ pub fn emit(
     prog: &LirProgram,
     schedule: &Schedule,
     config: &MachineConfig,
+) -> Result<EmitOutput, CompileError> {
+    emit_threaded(prog, schedule, config, 1)
+}
+
+/// Allocates registers and emits the machine binary, running per-process
+/// allocation and emission on `threads` workers. Output is bit-identical
+/// at any thread count (see the module docs).
+///
+/// # Errors
+///
+/// Register-file or scratchpad overflow (reported for the lowest failing
+/// process index, like the serial pipeline).
+pub fn emit_threaded(
+    prog: &LirProgram,
+    schedule: &Schedule,
+    config: &MachineConfig,
+    threads: usize,
 ) -> Result<EmitOutput, CompileError> {
     let nproc = prog.processes.len();
 
@@ -98,14 +157,10 @@ pub fn emit(
     }
 
     // ------------------------------------------------------------------
-    // Phase B: per-process liveness, coalescing, linear scan, emission.
+    // Scratchpad layout per process. Ordered map: `init_scratch` below is
+    // emitted by iterating it, so its order is part of the binary bytes.
     // ------------------------------------------------------------------
-    let mut images: Vec<CoreImage> = Vec::with_capacity(nproc);
-    let mut per_core: Vec<CoreBreakdown> = Vec::with_capacity(nproc);
-    let mut mem_base: HashMap<u32, (usize, u16)> = HashMap::new(); // mem -> (process, scratch base)
-    let mut vreg_reg_of: Vec<HashMap<VReg, Reg>> = vec![HashMap::new(); nproc];
-
-    // Scratchpad layout per process.
+    let mut mem_base: BTreeMap<u32, (usize, u16)> = BTreeMap::new(); // mem -> (process, scratch base)
     for pi in 0..nproc {
         let p = &prog.processes[pi];
         let mut used: BTreeSet<u32> = BTreeSet::new();
@@ -131,113 +186,7 @@ pub fn emit(
         }
     }
 
-    for pi in 0..nproc {
-        let p = &prog.processes[pi];
-        let slots = &schedule.slots[pi];
-        let _body_len = schedule.body_len[pi];
-
-        // Liveness over scheduled positions.
-        let mut def_slot: HashMap<VReg, usize> = HashMap::new();
-        let mut last_use: HashMap<VReg, usize> = HashMap::new();
-        for (t, slot) in slots.iter().enumerate() {
-            let Some(i) = *slot else { continue };
-            let instr = &p.instrs[i];
-            let read_at = t + instr.op.issue_slots() - 1;
-            for &a in &instr.args {
-                let e = last_use.entry(a).or_insert(read_at);
-                *e = (*e).max(read_at);
-            }
-            if let Some(d) = instr.dest {
-                def_slot.insert(d, t);
-            }
-        }
-
-        // Commit coalescing.
-        let mut elided_commits: BTreeSet<usize> = BTreeSet::new();
-        let mut coalesced: HashMap<VReg, Reg> = HashMap::new();
-        for (t, slot) in slots.iter().enumerate() {
-            let Some(i) = *slot else { continue };
-            let LirOp::CommitLocal { state } = p.instrs[i].op else {
-                continue;
-            };
-            let src = p.instrs[i].args[0];
-            let home = state_reg[pi][&state];
-            // Identity commit: the next value IS the current value.
-            if p.state_reads.get(&state) == Some(&src) {
-                elided_commits.insert(i);
-                continue;
-            }
-            // Coalesce: src is an unpinned temp whose definition runs after
-            // every read of the current value.
-            let is_temp = !pinned[pi].contains_key(&src) && !coalesced.contains_key(&src);
-            if is_temp {
-                let src_def = def_slot.get(&src).copied().unwrap_or(0);
-                let ok = match p.state_reads.get(&state) {
-                    None => true,
-                    Some(lv) => last_use.get(lv).is_none_or(|&lu| lu < src_def),
-                };
-                if ok {
-                    coalesced.insert(src, home);
-                    elided_commits.insert(i);
-                }
-            }
-            let _ = t;
-        }
-
-        // Linear scan for the remaining temporaries.
-        let mut alloc: HashMap<VReg, Reg> = HashMap::new();
-        let mut free: Vec<u16> = Vec::new();
-        let mut next_fresh = temp_base[pi];
-        let mut active: Vec<(usize, VReg, Reg)> = Vec::new(); // (last_use, vreg, reg)
-        let mut max_reg_used = temp_base[pi].saturating_sub(1) as usize;
-        for (t, slot) in slots.iter().enumerate() {
-            let Some(i) = *slot else { continue };
-            let Some(d) = p.instrs[i].dest else { continue };
-            if pinned[pi].contains_key(&d) || coalesced.contains_key(&d) {
-                continue;
-            }
-            // Expire.
-            active.retain(|&(lu, _, r)| {
-                if lu <= t {
-                    free.push(r.0);
-                    false
-                } else {
-                    true
-                }
-            });
-            let lu = last_use.get(&d).copied().unwrap_or(t);
-            let r = match free.pop() {
-                Some(r) => Reg(r),
-                None => {
-                    let r = next_fresh;
-                    next_fresh += 1;
-                    Reg(r)
-                }
-            };
-            max_reg_used = max_reg_used.max(r.index());
-            alloc.insert(d, r);
-            if lu > t {
-                active.push((lu, d, r));
-            } else {
-                free.push(r.0);
-            }
-        }
-        if max_reg_used >= config.regfile_size {
-            return Err(CompileError::RegfileOverflow {
-                needed: max_reg_used + 1,
-                capacity: config.regfile_size,
-            });
-        }
-
-        // Final vreg -> machine reg view.
-        let mut reg_of: HashMap<VReg, Reg> = HashMap::new();
-        reg_of.extend(pinned[pi].iter().map(|(&v, &r)| (v, r)));
-        reg_of.extend(coalesced.iter().map(|(&v, &r)| (v, r)));
-        reg_of.extend(alloc.iter().map(|(&v, &r)| (v, r)));
-        vreg_reg_of[pi] = reg_of;
-    }
-
-    // Custom-function table slots per core.
+    // Custom-function table slots per core (first-appearance order).
     let mut cfu_tables: Vec<Vec<[u16; 16]>> = vec![Vec::new(); nproc];
     for (proc, tables) in prog.processes.iter().zip(cfu_tables.iter_mut()) {
         for instr in &proc.instrs {
@@ -254,156 +203,31 @@ pub fn emit(
     }
 
     // ------------------------------------------------------------------
-    // Emit bodies.
+    // Phase B: per-process liveness, coalescing, linear scan, emission —
+    // independent across processes, fanned out over the pool.
     // ------------------------------------------------------------------
-    for pi in 0..nproc {
+    let per_process = |pi: usize| -> Result<(RegView, CoreImage, CoreBreakdown), CompileError> {
         let p = &prog.processes[pi];
         let slots = &schedule.slots[pi];
-        let body_len = schedule.body_len[pi];
-        let reg = |v: VReg| -> Reg { vreg_reg_of[pi][&v] };
-        let mut body = vec![Instruction::Nop; body_len];
-        let mut breakdown = CoreBreakdown::default();
+        let view = if threads > 1 {
+            alloc_process_fast(p, slots, &pinned[pi], &state_reg[pi], temp_base[pi], config)?
+        } else {
+            alloc_process_ref(p, slots, &pinned[pi], &state_reg[pi], temp_base[pi], config)?
+        };
 
-        // Recompute elided commits (same logic as above, kept in lockstep
-        // by sharing reg_of: a commit is elided iff src's register IS the
-        // state's home register).
-        for (t, slot) in slots.iter().enumerate() {
-            let Some(i) = *slot else { continue };
-            let instr = &p.instrs[i];
-            let a = |k: usize| reg(instr.args[k]);
-            match &instr.op {
-                LirOp::Const(_) => unreachable!("constants are hoisted"),
-                LirOp::Alu(op) => {
-                    body[t] = Instruction::Alu {
-                        op: *op,
-                        rd: reg(instr.dest.unwrap()),
-                        rs1: a(0),
-                        rs2: a(1),
-                    };
-                    breakdown.compute += 1;
-                }
-                LirOp::AddCarry => {
-                    body[t] = Instruction::AddCarry {
-                        rd: reg(instr.dest.unwrap()),
-                        rs1: a(0),
-                        rs2: a(1),
-                        rs_carry: a(2),
-                    };
-                    breakdown.compute += 1;
-                }
-                LirOp::SubBorrow => {
-                    body[t] = Instruction::SubBorrow {
-                        rd: reg(instr.dest.unwrap()),
-                        rs1: a(0),
-                        rs2: a(1),
-                        rs_borrow: a(2),
-                    };
-                    breakdown.compute += 1;
-                }
-                LirOp::Mux => {
-                    body[t] = Instruction::Mux {
-                        rd: reg(instr.dest.unwrap()),
-                        rs_sel: a(0),
-                        rs1: a(1),
-                        rs2: a(2),
-                    };
-                    breakdown.compute += 1;
-                }
-                LirOp::Slice { offset, width } => {
-                    body[t] = Instruction::Slice {
-                        rd: reg(instr.dest.unwrap()),
-                        rs: a(0),
-                        offset: *offset,
-                        width: *width,
-                    };
-                    breakdown.compute += 1;
-                }
-                LirOp::Custom { table } => {
-                    let func = cfu_tables[pi].iter().position(|t2| t2 == table).unwrap();
-                    let mut rs = [Reg::ZERO; 4];
-                    for (k, &arg) in instr.args.iter().enumerate() {
-                        rs[k] = reg(arg);
-                    }
-                    body[t] = Instruction::Custom {
-                        rd: reg(instr.dest.unwrap()),
-                        func: func as u8,
-                        rs,
-                    };
-                    breakdown.compute += 1;
-                    breakdown.custom += 1;
-                }
-                LirOp::LocalLoad { mem, word_offset } => {
-                    let (_, base) = mem_base[&mem.0];
-                    body[t] = Instruction::LocalLoad {
-                        rd: reg(instr.dest.unwrap()),
-                        rs_addr: a(0),
-                        base: base + word_offset,
-                    };
-                    breakdown.compute += 1;
-                }
-                LirOp::LocalStore { mem, word_offset } => {
-                    let (_, base) = mem_base[&mem.0];
-                    body[t] = Instruction::Predicate { rs: a(2) };
-                    body[t + 1] = Instruction::LocalStore {
-                        rs_data: a(0),
-                        rs_addr: a(1),
-                        base: base + word_offset,
-                    };
-                    breakdown.compute += 2;
-                }
-                LirOp::GlobalLoad { .. } => {
-                    body[t] = Instruction::GlobalLoad {
-                        rd: reg(instr.dest.unwrap()),
-                        rs_addr: [a(0), a(1), a(2)],
-                    };
-                    breakdown.compute += 1;
-                }
-                LirOp::GlobalStore { .. } => {
-                    body[t] = Instruction::Predicate { rs: a(4) };
-                    body[t + 1] = Instruction::GlobalStore {
-                        rs_data: a(0),
-                        rs_addr: [a(1), a(2), a(3)],
-                    };
-                    breakdown.compute += 2;
-                }
-                LirOp::Expect { eid } => {
-                    body[t] = Instruction::Expect {
-                        rs1: a(0),
-                        rs2: a(1),
-                        eid: *eid,
-                    };
-                    breakdown.compute += 1;
-                }
-                LirOp::CommitLocal { state } => {
-                    let home = state_reg[pi][state];
-                    let src = reg(instr.args[0]);
-                    if src != home {
-                        body[t] = Instruction::Alu {
-                            op: AluOp::Or,
-                            rd: home,
-                            rs1: src,
-                            rs2: Reg::ZERO,
-                        };
-                        breakdown.compute += 1;
-                    }
-                }
-                LirOp::Send { state, to_process } => {
-                    let target = schedule.core_of_process[*to_process];
-                    let rd_remote = state_reg[*to_process][state];
-                    body[t] = Instruction::Send {
-                        target,
-                        rd_remote,
-                        rs: a(0),
-                    };
-                    breakdown.sends += 1;
-                }
-            }
-        }
+        let (body, mut breakdown) = emit_body(
+            pi,
+            prog,
+            schedule,
+            &view,
+            &state_reg,
+            &cfu_tables[pi],
+            &mem_base,
+        );
         breakdown.epilogue = schedule.epilogue_len[pi] as u64;
         breakdown.nops = schedule.vcycle_len - breakdown.busy();
-        per_core.push(breakdown);
 
-        // Scratchpad image.
+        // Scratchpad image (ordered by memory id via the BTreeMap).
         let mut init_scratch: Vec<(u16, u16)> = Vec::new();
         for (m, &(owner, base)) in &mem_base {
             if owner != pi {
@@ -417,14 +241,29 @@ pub fn emit(
             }
         }
 
-        images.push(CoreImage {
+        let image = CoreImage {
             core: schedule.core_of_process[pi],
             body,
             epilogue_len: schedule.epilogue_len[pi] as u32,
             custom_functions: cfu_tables[pi].clone(),
             init_regs: init_regs[pi].clone(),
             init_scratch,
-        });
+        };
+        Ok((view, image, breakdown))
+    };
+    let results: Vec<Result<(RegView, CoreImage, CoreBreakdown), CompileError>> = if threads > 1 {
+        parallel_map(nproc, threads, per_process)
+    } else {
+        (0..nproc).map(per_process).collect()
+    };
+    let mut views: Vec<RegView> = Vec::with_capacity(nproc);
+    let mut images: Vec<CoreImage> = Vec::with_capacity(nproc);
+    let mut per_core: Vec<CoreBreakdown> = Vec::with_capacity(nproc);
+    for r in results {
+        let (view, image, breakdown) = r?;
+        views.push(view);
+        images.push(image);
+        per_core.push(breakdown);
     }
 
     // ------------------------------------------------------------------
@@ -440,7 +279,7 @@ pub fn emit(
                     format: format.clone(),
                     args: args
                         .iter()
-                        .map(|(regs, w)| (regs.iter().map(|&v| vreg_reg_of[pi][&v]).collect(), *w))
+                        .map(|(regs, w)| (regs.iter().map(|&v| views[pi].get(v)).collect(), *w))
                         .collect(),
                 }
             }
@@ -538,4 +377,381 @@ pub fn emit(
         },
         per_core,
     })
+}
+
+/// Reference per-process allocation: liveness, commit coalescing, linear
+/// scan — hash-map lookup structures, kept verbatim from the serial
+/// pipeline and serving as the oracle for `alloc_process_fast`.
+fn alloc_process_ref(
+    p: &Process,
+    slots: &[Option<usize>],
+    pinned: &HashMap<VReg, Reg>,
+    state_reg: &BTreeMap<StateId, Reg>,
+    temp_base: u16,
+    config: &MachineConfig,
+) -> Result<RegView, CompileError> {
+    // Liveness over scheduled positions.
+    let mut def_slot: HashMap<VReg, usize> = HashMap::new();
+    let mut last_use: HashMap<VReg, usize> = HashMap::new();
+    for (t, slot) in slots.iter().enumerate() {
+        let Some(i) = *slot else { continue };
+        let instr = &p.instrs[i];
+        let read_at = t + instr.op.issue_slots() - 1;
+        for &a in &instr.args {
+            let e = last_use.entry(a).or_insert(read_at);
+            *e = (*e).max(read_at);
+        }
+        if let Some(d) = instr.dest {
+            def_slot.insert(d, t);
+        }
+    }
+
+    // Commit coalescing.
+    let mut elided_commits: BTreeSet<usize> = BTreeSet::new();
+    let mut coalesced: HashMap<VReg, Reg> = HashMap::new();
+    for (t, slot) in slots.iter().enumerate() {
+        let Some(i) = *slot else { continue };
+        let LirOp::CommitLocal { state } = p.instrs[i].op else {
+            continue;
+        };
+        let src = p.instrs[i].args[0];
+        let home = state_reg[&state];
+        // Identity commit: the next value IS the current value.
+        if p.state_reads.get(&state) == Some(&src) {
+            elided_commits.insert(i);
+            continue;
+        }
+        // Coalesce: src is an unpinned temp whose definition runs after
+        // every read of the current value.
+        let is_temp = !pinned.contains_key(&src) && !coalesced.contains_key(&src);
+        if is_temp {
+            let src_def = def_slot.get(&src).copied().unwrap_or(0);
+            let ok = match p.state_reads.get(&state) {
+                None => true,
+                Some(lv) => last_use.get(lv).is_none_or(|&lu| lu < src_def),
+            };
+            if ok {
+                coalesced.insert(src, home);
+                elided_commits.insert(i);
+            }
+        }
+        let _ = t;
+    }
+
+    // Linear scan for the remaining temporaries.
+    let mut alloc: HashMap<VReg, Reg> = HashMap::new();
+    let mut free: Vec<u16> = Vec::new();
+    let mut next_fresh = temp_base;
+    let mut active: Vec<(usize, VReg, Reg)> = Vec::new(); // (last_use, vreg, reg)
+    let mut max_reg_used = temp_base.saturating_sub(1) as usize;
+    for (t, slot) in slots.iter().enumerate() {
+        let Some(i) = *slot else { continue };
+        let Some(d) = p.instrs[i].dest else { continue };
+        if pinned.contains_key(&d) || coalesced.contains_key(&d) {
+            continue;
+        }
+        // Expire.
+        active.retain(|&(lu, _, r)| {
+            if lu <= t {
+                free.push(r.0);
+                false
+            } else {
+                true
+            }
+        });
+        let lu = last_use.get(&d).copied().unwrap_or(t);
+        let r = match free.pop() {
+            Some(r) => Reg(r),
+            None => {
+                let r = next_fresh;
+                next_fresh += 1;
+                Reg(r)
+            }
+        };
+        max_reg_used = max_reg_used.max(r.index());
+        alloc.insert(d, r);
+        if lu > t {
+            active.push((lu, d, r));
+        } else {
+            free.push(r.0);
+        }
+    }
+    if max_reg_used >= config.regfile_size {
+        return Err(CompileError::RegfileOverflow {
+            needed: max_reg_used + 1,
+            capacity: config.regfile_size,
+        });
+    }
+
+    // Final vreg -> machine reg view.
+    let mut reg_of: HashMap<VReg, Reg> = HashMap::new();
+    reg_of.extend(pinned.iter().map(|(&v, &r)| (v, r)));
+    reg_of.extend(coalesced.iter().map(|(&v, &r)| (v, r)));
+    reg_of.extend(alloc.iter().map(|(&v, &r)| (v, r)));
+    Ok(RegView::Map(reg_of))
+}
+
+/// Fast per-process allocation: the same liveness facts, coalescing rules,
+/// and linear-scan decision sequence as [`alloc_process_ref`], with every
+/// hash map replaced by a vreg-indexed vector. The free list (LIFO pop)
+/// and the active list (insertion-ordered `retain`) are plain vectors in
+/// both implementations, so the register choices are identical.
+fn alloc_process_fast(
+    p: &Process,
+    slots: &[Option<usize>],
+    pinned: &HashMap<VReg, Reg>,
+    state_reg: &BTreeMap<StateId, Reg>,
+    temp_base: u16,
+    config: &MachineConfig,
+) -> Result<RegView, CompileError> {
+    let nv = p.num_vregs as usize;
+    let mut pinned_v: Vec<Option<Reg>> = vec![None; nv];
+    for (&v, &r) in pinned {
+        pinned_v[v.index()] = Some(r);
+    }
+
+    // Liveness over scheduled positions.
+    let mut def_slot: Vec<Option<usize>> = vec![None; nv];
+    let mut last_use: Vec<Option<usize>> = vec![None; nv];
+    for (t, slot) in slots.iter().enumerate() {
+        let Some(i) = *slot else { continue };
+        let instr = &p.instrs[i];
+        let read_at = t + instr.op.issue_slots() - 1;
+        for &a in &instr.args {
+            let e = &mut last_use[a.index()];
+            *e = Some(e.map_or(read_at, |lu| lu.max(read_at)));
+        }
+        if let Some(d) = instr.dest {
+            def_slot[d.index()] = Some(t);
+        }
+    }
+
+    // Commit coalescing.
+    let mut coalesced_v: Vec<Option<Reg>> = vec![None; nv];
+    for slot in slots.iter() {
+        let Some(i) = *slot else { continue };
+        let LirOp::CommitLocal { state } = p.instrs[i].op else {
+            continue;
+        };
+        let src = p.instrs[i].args[0];
+        let home = state_reg[&state];
+        if p.state_reads.get(&state) == Some(&src) {
+            continue; // identity commit
+        }
+        let is_temp = pinned_v[src.index()].is_none() && coalesced_v[src.index()].is_none();
+        if is_temp {
+            let src_def = def_slot[src.index()].unwrap_or(0);
+            let ok = match p.state_reads.get(&state) {
+                None => true,
+                Some(lv) => last_use[lv.index()].is_none_or(|lu| lu < src_def),
+            };
+            if ok {
+                coalesced_v[src.index()] = Some(home);
+            }
+        }
+    }
+
+    // Linear scan for the remaining temporaries.
+    let mut alloc_v: Vec<Option<Reg>> = vec![None; nv];
+    let mut free: Vec<u16> = Vec::new();
+    let mut next_fresh = temp_base;
+    let mut active: Vec<(usize, VReg, Reg)> = Vec::new();
+    let mut max_reg_used = temp_base.saturating_sub(1) as usize;
+    for (t, slot) in slots.iter().enumerate() {
+        let Some(i) = *slot else { continue };
+        let Some(d) = p.instrs[i].dest else { continue };
+        if pinned_v[d.index()].is_some() || coalesced_v[d.index()].is_some() {
+            continue;
+        }
+        active.retain(|&(lu, _, r)| {
+            if lu <= t {
+                free.push(r.0);
+                false
+            } else {
+                true
+            }
+        });
+        let lu = last_use[d.index()].unwrap_or(t);
+        let r = match free.pop() {
+            Some(r) => Reg(r),
+            None => {
+                let r = next_fresh;
+                next_fresh += 1;
+                Reg(r)
+            }
+        };
+        max_reg_used = max_reg_used.max(r.index());
+        alloc_v[d.index()] = Some(r);
+        if lu > t {
+            active.push((lu, d, r));
+        } else {
+            free.push(r.0);
+        }
+    }
+    if max_reg_used >= config.regfile_size {
+        return Err(CompileError::RegfileOverflow {
+            needed: max_reg_used + 1,
+            capacity: config.regfile_size,
+        });
+    }
+
+    let view: Vec<Option<Reg>> = (0..nv)
+        .map(|v| alloc_v[v].or(coalesced_v[v]).or(pinned_v[v]))
+        .collect();
+    Ok(RegView::Table(view))
+}
+
+/// Emits one process's body from its schedule and register view — shared
+/// by both pipelines (the view is the only allocation-dependent input).
+fn emit_body(
+    pi: usize,
+    prog: &LirProgram,
+    schedule: &Schedule,
+    view: &RegView,
+    state_reg: &[BTreeMap<StateId, Reg>],
+    cfu_tables: &[[u16; 16]],
+    mem_base: &BTreeMap<u32, (usize, u16)>,
+) -> (Vec<Instruction>, CoreBreakdown) {
+    let p = &prog.processes[pi];
+    let slots = &schedule.slots[pi];
+    let body_len = schedule.body_len[pi];
+    let reg = |v: VReg| -> Reg { view.get(v) };
+    let mut body = vec![Instruction::Nop; body_len];
+    let mut breakdown = CoreBreakdown::default();
+
+    // A commit is elided iff src's register IS the state's home register
+    // (kept in lockstep with coalescing by sharing the view).
+    for (t, slot) in slots.iter().enumerate() {
+        let Some(i) = *slot else { continue };
+        let instr = &p.instrs[i];
+        let a = |k: usize| reg(instr.args[k]);
+        match &instr.op {
+            LirOp::Const(_) => unreachable!("constants are hoisted"),
+            LirOp::Alu(op) => {
+                body[t] = Instruction::Alu {
+                    op: *op,
+                    rd: reg(instr.dest.unwrap()),
+                    rs1: a(0),
+                    rs2: a(1),
+                };
+                breakdown.compute += 1;
+            }
+            LirOp::AddCarry => {
+                body[t] = Instruction::AddCarry {
+                    rd: reg(instr.dest.unwrap()),
+                    rs1: a(0),
+                    rs2: a(1),
+                    rs_carry: a(2),
+                };
+                breakdown.compute += 1;
+            }
+            LirOp::SubBorrow => {
+                body[t] = Instruction::SubBorrow {
+                    rd: reg(instr.dest.unwrap()),
+                    rs1: a(0),
+                    rs2: a(1),
+                    rs_borrow: a(2),
+                };
+                breakdown.compute += 1;
+            }
+            LirOp::Mux => {
+                body[t] = Instruction::Mux {
+                    rd: reg(instr.dest.unwrap()),
+                    rs_sel: a(0),
+                    rs1: a(1),
+                    rs2: a(2),
+                };
+                breakdown.compute += 1;
+            }
+            LirOp::Slice { offset, width } => {
+                body[t] = Instruction::Slice {
+                    rd: reg(instr.dest.unwrap()),
+                    rs: a(0),
+                    offset: *offset,
+                    width: *width,
+                };
+                breakdown.compute += 1;
+            }
+            LirOp::Custom { table } => {
+                let func = cfu_tables.iter().position(|t2| t2 == table).unwrap();
+                let mut rs = [Reg::ZERO; 4];
+                for (k, &arg) in instr.args.iter().enumerate() {
+                    rs[k] = reg(arg);
+                }
+                body[t] = Instruction::Custom {
+                    rd: reg(instr.dest.unwrap()),
+                    func: func as u8,
+                    rs,
+                };
+                breakdown.compute += 1;
+                breakdown.custom += 1;
+            }
+            LirOp::LocalLoad { mem, word_offset } => {
+                let (_, base) = mem_base[&mem.0];
+                body[t] = Instruction::LocalLoad {
+                    rd: reg(instr.dest.unwrap()),
+                    rs_addr: a(0),
+                    base: base + word_offset,
+                };
+                breakdown.compute += 1;
+            }
+            LirOp::LocalStore { mem, word_offset } => {
+                let (_, base) = mem_base[&mem.0];
+                body[t] = Instruction::Predicate { rs: a(2) };
+                body[t + 1] = Instruction::LocalStore {
+                    rs_data: a(0),
+                    rs_addr: a(1),
+                    base: base + word_offset,
+                };
+                breakdown.compute += 2;
+            }
+            LirOp::GlobalLoad { .. } => {
+                body[t] = Instruction::GlobalLoad {
+                    rd: reg(instr.dest.unwrap()),
+                    rs_addr: [a(0), a(1), a(2)],
+                };
+                breakdown.compute += 1;
+            }
+            LirOp::GlobalStore { .. } => {
+                body[t] = Instruction::Predicate { rs: a(4) };
+                body[t + 1] = Instruction::GlobalStore {
+                    rs_data: a(0),
+                    rs_addr: [a(1), a(2), a(3)],
+                };
+                breakdown.compute += 2;
+            }
+            LirOp::Expect { eid } => {
+                body[t] = Instruction::Expect {
+                    rs1: a(0),
+                    rs2: a(1),
+                    eid: *eid,
+                };
+                breakdown.compute += 1;
+            }
+            LirOp::CommitLocal { state } => {
+                let home = state_reg[pi][state];
+                let src = reg(instr.args[0]);
+                if src != home {
+                    body[t] = Instruction::Alu {
+                        op: AluOp::Or,
+                        rd: home,
+                        rs1: src,
+                        rs2: Reg::ZERO,
+                    };
+                    breakdown.compute += 1;
+                }
+            }
+            LirOp::Send { state, to_process } => {
+                let target = schedule.core_of_process[*to_process];
+                let rd_remote = state_reg[*to_process][state];
+                body[t] = Instruction::Send {
+                    target,
+                    rd_remote,
+                    rs: a(0),
+                };
+                breakdown.sends += 1;
+            }
+        }
+    }
+    (body, breakdown)
 }

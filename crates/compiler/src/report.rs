@@ -85,11 +85,33 @@ pub struct SplitStats {
     pub edges: usize,
 }
 
+/// Per-pass instrumentation recorded by the pass manager: wall time and
+/// the IR size the pass left behind (a deterministic compiler output —
+/// unlike the timing, it must reproduce exactly across runs and thread
+/// counts, and the bench gate compares it exactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name, in pipeline order (Fig. 13's bar labels).
+    pub name: &'static str,
+    /// Wall-clock time of this pass alone.
+    pub duration: Duration,
+    /// Size of the IR after the pass ran (nets for the netlist pass,
+    /// instructions for the rest).
+    pub ir_size: usize,
+    /// Worker threads the pass ran with (1 for inherently serial passes
+    /// and for the whole reference pipeline).
+    pub threads: usize,
+}
+
 /// The full compilation report.
 #[derive(Debug, Clone, Default)]
 pub struct CompileReport {
-    /// Wall-clock time of each pass, in pipeline order (Fig. 13).
-    pub pass_times: Vec<(&'static str, Duration)>,
+    /// Per-pass instrumentation, in pipeline order (Fig. 13), recorded by
+    /// the pass manager around each pass.
+    pub passes: Vec<PassStat>,
+    /// Worker threads the pipeline ran with (1 = the serial reference
+    /// pipeline).
+    pub compile_threads: usize,
     /// Virtual critical-path length: machine cycles per RTL cycle. The
     /// simulation rate is `clock / vcpl` (Fig. 7, Table 3).
     pub vcpl: u64,
@@ -123,6 +145,44 @@ impl CompileReport {
 
     /// Total compile time across passes.
     pub fn total_time(&self) -> Duration {
-        self.pass_times.iter().map(|(_, d)| *d).sum()
+        self.passes.iter().map(|p| p.duration).sum()
+    }
+
+    /// The pass that took the longest, if any ran.
+    pub fn dominant_pass(&self) -> Option<&PassStat> {
+        self.passes.iter().max_by_key(|p| p.duration)
+    }
+
+    /// The deterministic portion of the report — everything except wall
+    /// times and the thread count: per-pass IR sizes, VCPL, placement and
+    /// instruction-mix statistics. Two compiles of the same netlist with
+    /// the same options must agree on this **exactly**, at any thread
+    /// count; the compile-determinism suite enforces it.
+    pub fn deterministic_fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for p in &self.passes {
+            let _ = write!(s, "{}={};", p.name, p.ir_size);
+        }
+        let _ = write!(
+            s,
+            "vcpl={};cores={};procs={};split={}/{};sends={};instrs={};custom={};",
+            self.vcpl,
+            self.cores_used,
+            self.processes,
+            self.split.vertices,
+            self.split.edges,
+            self.total_sends,
+            self.total_instructions,
+            self.total_custom
+        );
+        for b in &self.per_core {
+            let _ = write!(
+                s,
+                "[{},{},{},{},{}]",
+                b.compute, b.sends, b.custom, b.epilogue, b.nops
+            );
+        }
+        s
     }
 }

@@ -10,13 +10,34 @@
 //!
 //! Constants are hoisted out before scheduling: they are Vcycle-invariant
 //! and become boot-time register initialization.
+//!
+//! # Parallel structure and determinism
+//!
+//! [`schedule_threaded`] splits the pass into per-process dependency-graph
+//! construction (independent across processes — fans out over the worker
+//! pool) and the global cycle-stepped issue loop, which stays serial in
+//! both pipelines: it *is* the NoC arbitration semantics (cores compete
+//! for link reservations cycle by cycle, in core order), so its decision
+//! order is the specification, not an implementation detail.
+//!
+//! At `threads > 1` graph construction switches from `build_graph_ref`
+//! to `build_graph_fast`, which replaces the reference's O(commits · n)
+//! scan for commit anti-edges with per-vreg use lists and its hash-map def
+//! table with a vector. The two builders can order a node's successor
+//! *list* differently, but they produce the same edge **multiset** — and
+//! every consumer is order-insensitive: `indeg` counts edges, `priority`
+//! and earliest-start times are maxima over predecessors/successors, and
+//! the ready heap pops the unique maximum `(priority, index)` tuple
+//! regardless of insertion order. Hence the issue loop makes identical
+//! decisions and the schedule is bit-identical at any thread count.
 
 use std::collections::HashMap;
 
 use manticore_isa::{CoreId, MachineConfig};
+use manticore_util::{parallel_map, FnvHashMap};
 
 use crate::error::CompileError;
-use crate::lir::{LirOp, LirProgram, StateId, VReg};
+use crate::lir::{LirOp, LirProgram, Process, StateId, VReg};
 
 /// A scheduled program: placement, per-core slot assignment, Vcycle framing.
 #[derive(Debug, Clone)]
@@ -44,13 +65,40 @@ enum Link {
     Delivery(u8, u8),
 }
 
-/// Schedules a partitioned program.
+/// Per-process dependency graph over scheduled (non-`Const`) instructions.
+struct ProcGraph {
+    /// successor lists: (to, latency)
+    succs: Vec<Vec<(usize, u64)>>,
+    indeg: Vec<u32>,
+    priority: Vec<u64>,
+    /// instructions that take part in scheduling (non-Const)
+    active: Vec<bool>,
+    consts: HashMap<VReg, u16>,
+}
+
+/// Schedules a partitioned program with the reference serial pipeline.
 ///
 /// # Errors
 ///
 /// [`CompileError::TooManyProcesses`] if processes exceed cores and
 /// [`CompileError::ImemOverflow`] if a body outgrows instruction memory.
 pub fn schedule(prog: &LirProgram, config: &MachineConfig) -> Result<Schedule, CompileError> {
+    schedule_threaded(prog, config, 1)
+}
+
+/// Schedules a partitioned program, building the per-process dependency
+/// graphs on `threads` workers. Output is bit-identical at any thread
+/// count (see the module docs for why).
+///
+/// # Errors
+///
+/// [`CompileError::TooManyProcesses`] if processes exceed cores and
+/// [`CompileError::ImemOverflow`] if a body outgrows instruction memory.
+pub fn schedule_threaded(
+    prog: &LirProgram,
+    config: &MachineConfig,
+    threads: usize,
+) -> Result<Schedule, CompileError> {
     let ncores = config.num_cores();
     let nproc = prog.processes.len();
     if nproc > ncores {
@@ -85,126 +133,19 @@ pub fn schedule(prog: &LirProgram, config: &MachineConfig) -> Result<Schedule, C
     }
 
     // ------------------------------------------------------------------
-    // Per-process dependency graphs.
+    // Per-process dependency graphs (independent — parallel).
     // ------------------------------------------------------------------
     let lat = config.hazard_latency as u64;
-    struct ProcGraph {
-        /// successor lists: (to, latency)
-        succs: Vec<Vec<(usize, u64)>>,
-        indeg: Vec<u32>,
-        priority: Vec<u64>,
-        /// instructions that take part in scheduling (non-Const)
-        active: Vec<bool>,
-        consts: HashMap<VReg, u16>,
-    }
-    let mut graphs: Vec<ProcGraph> = Vec::with_capacity(nproc);
-    for p in &prog.processes {
-        let n = p.instrs.len();
-        let mut def_of: HashMap<VReg, usize> = HashMap::new();
-        let mut consts: HashMap<VReg, u16> = HashMap::new();
-        let mut active = vec![true; n];
-        for (i, instr) in p.instrs.iter().enumerate() {
-            if let LirOp::Const(v) = instr.op {
-                consts.insert(instr.dest.unwrap(), v);
-                active[i] = false;
-                continue;
-            }
-            if let Some(d) = instr.dest {
-                def_of.insert(d, i);
-            }
-        }
-        let mut succs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
-        let mut indeg = vec![0u32; n];
-        let add_edge = |succs: &mut Vec<Vec<(usize, u64)>>,
-                        indeg: &mut Vec<u32>,
-                        from: usize,
-                        to: usize,
-                        l: u64| {
-            if from != to {
-                succs[from].push((to, l));
-                indeg[to] += 1;
-            }
-        };
-        // Data edges.
-        for (i, instr) in p.instrs.iter().enumerate() {
-            if !active[i] {
-                continue;
-            }
-            for a in &instr.args {
-                if let Some(&d) = def_of.get(a) {
-                    add_edge(&mut succs, &mut indeg, d, i, lat);
-                }
-            }
-        }
-        // Anti edges.
-        let livein_of: HashMap<StateId, VReg> =
-            p.state_reads.iter().map(|(&s, &v)| (s, v)).collect();
-        let mut mem_loads: HashMap<u32, Vec<usize>> = HashMap::new();
-        let mut mem_stores: HashMap<u32, Vec<usize>> = HashMap::new();
-        let mut expects: Vec<usize> = Vec::new();
-        for (i, instr) in p.instrs.iter().enumerate() {
-            if !active[i] {
-                continue;
-            }
-            match &instr.op {
-                LirOp::LocalLoad { mem, .. } | LirOp::GlobalLoad { mem } => {
-                    mem_loads.entry(mem.0).or_default().push(i)
-                }
-                LirOp::LocalStore { mem, .. } | LirOp::GlobalStore { mem } => {
-                    mem_stores.entry(mem.0).or_default().push(i)
-                }
-                LirOp::Expect { .. } => expects.push(i),
-                LirOp::CommitLocal { state } => {
-                    // The commit overwrites the state's home register: it
-                    // must issue after every reader of the current value.
-                    if let Some(lv) = livein_of.get(state) {
-                        for (j, other) in p.instrs.iter().enumerate() {
-                            if j != i && active[j] && other.args.contains(lv) {
-                                add_edge(&mut succs, &mut indeg, j, i, 1);
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        // All loads of a memory before all its stores (reads see pre-cycle
-        // contents); stores keep program order.
-        for (m, stores) in &mem_stores {
-            if let Some(loads) = mem_loads.get(m) {
-                for &l in loads {
-                    for &s in stores {
-                        add_edge(&mut succs, &mut indeg, l, s, 1);
-                    }
-                }
-            }
-            for w in stores.windows(2) {
-                add_edge(&mut succs, &mut indeg, w[0], w[1], 2);
-            }
-        }
-        // Exceptions fire in program order (deterministic $display order).
-        for w in expects.windows(2) {
-            add_edge(&mut succs, &mut indeg, w[0], w[1], 1);
-        }
-
-        // Priority: longest path to any sink (critical-path scheduling).
-        let mut priority = vec![0u64; n];
-        let topo = topo_order(n, &active, &succs, &indeg);
-        for &i in topo.iter().rev() {
-            let mut h = p.instrs[i].op.issue_slots() as u64;
-            for &(s, l) in &succs[i] {
-                h = h.max(priority[s] + l);
-            }
-            priority[i] = h;
-        }
-        graphs.push(ProcGraph {
-            succs,
-            indeg,
-            priority,
-            active,
-            consts,
-        });
-    }
+    let graphs: Vec<ProcGraph> = if threads > 1 {
+        parallel_map(nproc, threads, |pi| {
+            build_graph_fast(&prog.processes[pi], lat)
+        })
+    } else {
+        prog.processes
+            .iter()
+            .map(|p| build_graph_ref(p, lat))
+            .collect()
+    };
 
     // ------------------------------------------------------------------
     // Global cycle-stepped issue.
@@ -233,7 +174,9 @@ pub fn schedule(prog: &LirProgram, config: &MachineConfig) -> Result<Schedule, C
             }
         }
     }
-    let mut links: HashMap<(Link, u64), ()> = HashMap::new();
+    // Link reservations: a set keyed by (link, cycle). The hasher only
+    // affects bucket order, never membership, so it is determinism-safe.
+    let mut links: FnvHashMap<(Link, u64), ()> = FnvHashMap::default();
     let mut arrivals: Vec<Vec<u64>> = vec![Vec::new(); nproc];
     let inj = config.injection_latency as u64;
     let hop = config.hop_latency as u64;
@@ -349,6 +292,237 @@ pub fn schedule(prog: &LirProgram, config: &MachineConfig) -> Result<Schedule, C
         vcycle_len,
         const_vregs: graphs.into_iter().map(|g| g.consts).collect(),
     })
+}
+
+/// Reference graph construction — the serial pipeline's implementation,
+/// kept verbatim and used as the oracle for `build_graph_fast`.
+fn build_graph_ref(p: &Process, lat: u64) -> ProcGraph {
+    let n = p.instrs.len();
+    let mut def_of: HashMap<VReg, usize> = HashMap::new();
+    let mut consts: HashMap<VReg, u16> = HashMap::new();
+    let mut active = vec![true; n];
+    for (i, instr) in p.instrs.iter().enumerate() {
+        if let LirOp::Const(v) = instr.op {
+            consts.insert(instr.dest.unwrap(), v);
+            active[i] = false;
+            continue;
+        }
+        if let Some(d) = instr.dest {
+            def_of.insert(d, i);
+        }
+    }
+    let mut succs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    let mut indeg = vec![0u32; n];
+    let add_edge = |succs: &mut Vec<Vec<(usize, u64)>>,
+                    indeg: &mut Vec<u32>,
+                    from: usize,
+                    to: usize,
+                    l: u64| {
+        if from != to {
+            succs[from].push((to, l));
+            indeg[to] += 1;
+        }
+    };
+    // Data edges.
+    for (i, instr) in p.instrs.iter().enumerate() {
+        if !active[i] {
+            continue;
+        }
+        for a in &instr.args {
+            if let Some(&d) = def_of.get(a) {
+                add_edge(&mut succs, &mut indeg, d, i, lat);
+            }
+        }
+    }
+    // Anti edges.
+    let livein_of: HashMap<StateId, VReg> = p.state_reads.iter().map(|(&s, &v)| (s, v)).collect();
+    let mut mem_loads: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut mem_stores: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut expects: Vec<usize> = Vec::new();
+    for (i, instr) in p.instrs.iter().enumerate() {
+        if !active[i] {
+            continue;
+        }
+        match &instr.op {
+            LirOp::LocalLoad { mem, .. } | LirOp::GlobalLoad { mem } => {
+                mem_loads.entry(mem.0).or_default().push(i)
+            }
+            LirOp::LocalStore { mem, .. } | LirOp::GlobalStore { mem } => {
+                mem_stores.entry(mem.0).or_default().push(i)
+            }
+            LirOp::Expect { .. } => expects.push(i),
+            LirOp::CommitLocal { state } => {
+                // The commit overwrites the state's home register: it
+                // must issue after every reader of the current value.
+                if let Some(lv) = livein_of.get(state) {
+                    for (j, other) in p.instrs.iter().enumerate() {
+                        if j != i && active[j] && other.args.contains(lv) {
+                            add_edge(&mut succs, &mut indeg, j, i, 1);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // All loads of a memory before all its stores (reads see pre-cycle
+    // contents); stores keep program order.
+    for (m, stores) in &mem_stores {
+        if let Some(loads) = mem_loads.get(m) {
+            for &l in loads {
+                for &s in stores {
+                    add_edge(&mut succs, &mut indeg, l, s, 1);
+                }
+            }
+        }
+        for w in stores.windows(2) {
+            add_edge(&mut succs, &mut indeg, w[0], w[1], 2);
+        }
+    }
+    // Exceptions fire in program order (deterministic $display order).
+    for w in expects.windows(2) {
+        add_edge(&mut succs, &mut indeg, w[0], w[1], 1);
+    }
+
+    finish_graph(p, succs, indeg, active, consts)
+}
+
+/// Fast graph construction: vector-indexed def table and per-vreg use
+/// lists. Produces the same edge multiset as `build_graph_ref` — data
+/// edges carry one entry per argument *occurrence* (use lists are built
+/// per occurrence), and commit anti-edges carry one entry per reading
+/// *instruction* (consecutive duplicates in a use list are collapsed;
+/// occurrences of one instruction are adjacent because the list is built
+/// in instruction-then-argument order). Successor-list order may differ;
+/// every consumer is order-insensitive (see module docs).
+fn build_graph_fast(p: &Process, lat: u64) -> ProcGraph {
+    let n = p.instrs.len();
+    let nv = p.num_vregs as usize;
+    let mut def_of: Vec<Option<usize>> = vec![None; nv];
+    let mut consts: HashMap<VReg, u16> = HashMap::new();
+    let mut active = vec![true; n];
+    for (i, instr) in p.instrs.iter().enumerate() {
+        if let LirOp::Const(v) = instr.op {
+            consts.insert(instr.dest.unwrap(), v);
+            active[i] = false;
+            continue;
+        }
+        if let Some(d) = instr.dest {
+            def_of[d.index()] = Some(i);
+        }
+    }
+    // Per-vreg use lists over active instructions, one entry per argument
+    // occurrence, in instruction-then-argument order.
+    let mut uses: Vec<Vec<usize>> = vec![Vec::new(); nv];
+    for (i, instr) in p.instrs.iter().enumerate() {
+        if !active[i] {
+            continue;
+        }
+        for a in &instr.args {
+            uses[a.index()].push(i);
+        }
+    }
+    let mut succs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    let mut indeg = vec![0u32; n];
+    let add_edge = |succs: &mut Vec<Vec<(usize, u64)>>,
+                    indeg: &mut Vec<u32>,
+                    from: usize,
+                    to: usize,
+                    l: u64| {
+        if from != to {
+            succs[from].push((to, l));
+            indeg[to] += 1;
+        }
+    };
+    // Data edges: one per use-list entry (= per argument occurrence).
+    for (v, vuses) in uses.iter().enumerate() {
+        if let Some(d) = def_of[v] {
+            for &i in vuses {
+                add_edge(&mut succs, &mut indeg, d, i, lat);
+            }
+        }
+    }
+    // Anti edges.
+    use std::collections::BTreeMap;
+    let mut mem_loads: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    let mut mem_stores: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    let mut expects: Vec<usize> = Vec::new();
+    for (i, instr) in p.instrs.iter().enumerate() {
+        if !active[i] {
+            continue;
+        }
+        match &instr.op {
+            LirOp::LocalLoad { mem, .. } | LirOp::GlobalLoad { mem } => {
+                mem_loads.entry(mem.0).or_default().push(i)
+            }
+            LirOp::LocalStore { mem, .. } | LirOp::GlobalStore { mem } => {
+                mem_stores.entry(mem.0).or_default().push(i)
+            }
+            LirOp::Expect { .. } => expects.push(i),
+            LirOp::CommitLocal { state } => {
+                // One anti-edge per instruction reading the state's
+                // current value, regardless of how many of its arguments
+                // read it — collapse consecutive duplicates.
+                if let Some(lv) = p.state_reads.get(state) {
+                    let mut last = usize::MAX;
+                    for &j in &uses[lv.index()] {
+                        if j != i && j != last {
+                            add_edge(&mut succs, &mut indeg, j, i, 1);
+                            last = j;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (m, stores) in &mem_stores {
+        if let Some(loads) = mem_loads.get(m) {
+            for &l in loads {
+                for &s in stores {
+                    add_edge(&mut succs, &mut indeg, l, s, 1);
+                }
+            }
+        }
+        for w in stores.windows(2) {
+            add_edge(&mut succs, &mut indeg, w[0], w[1], 2);
+        }
+    }
+    for w in expects.windows(2) {
+        add_edge(&mut succs, &mut indeg, w[0], w[1], 1);
+    }
+
+    finish_graph(p, succs, indeg, active, consts)
+}
+
+/// Critical-path priorities over the built edge set (shared tail of both
+/// graph builders). The longest-path fixpoint is the same for any valid
+/// topological order, so the builders' differing successor orders cannot
+/// change priorities.
+fn finish_graph(
+    p: &Process,
+    succs: Vec<Vec<(usize, u64)>>,
+    indeg: Vec<u32>,
+    active: Vec<bool>,
+    consts: HashMap<VReg, u16>,
+) -> ProcGraph {
+    let n = p.instrs.len();
+    let mut priority = vec![0u64; n];
+    let topo = topo_order(n, &active, &succs, &indeg);
+    for &i in topo.iter().rev() {
+        let mut h = p.instrs[i].op.issue_slots() as u64;
+        for &(s, l) in &succs[i] {
+            h = h.max(priority[s] + l);
+        }
+        priority[i] = h;
+    }
+    ProcGraph {
+        succs,
+        indeg,
+        priority,
+        active,
+        consts,
+    }
 }
 
 fn topo_order(n: usize, active: &[bool], succs: &[Vec<(usize, u64)>], indeg: &[u32]) -> Vec<usize> {

@@ -398,10 +398,55 @@ fn report_is_populated() {
     let out = compile(&n, &options(2)).unwrap();
     assert!(out.report.vcpl > 0);
     assert!(out.report.total_instructions > 0);
-    assert_eq!(out.report.pass_times.len(), 7);
+    assert_eq!(out.report.passes.len(), 7);
+    assert_eq!(
+        out.report.passes.iter().map(|p| p.name).collect::<Vec<_>>(),
+        [
+            "netlist-opt",
+            "lower",
+            "lir-opt",
+            "partition",
+            "custom-functions",
+            "schedule",
+            "regalloc-emit"
+        ]
+    );
+    assert_eq!(out.report.compile_threads, 1);
     assert!(out.report.split.vertices > 0);
     let (_, straggler) = out.report.straggler().unwrap();
     assert!(straggler.busy() > 0);
+}
+
+#[test]
+fn parallel_pipeline_is_bit_identical_and_reports_threads() {
+    // The structural heart of this module's differential tests, in unit
+    // form: serial (reference) vs. parallel (fast) pipelines must agree on
+    // the emitted bytes and the deterministic report fingerprint. The
+    // cross-workload version lives in tests/compile_determinism.rs.
+    for seed in [7u64, 21, 42] {
+        let n = random_netlist(seed, 60);
+        let serial = compile(&n, &options(4)).unwrap();
+        for threads in [2usize, 4] {
+            let mut opts = options(4);
+            opts.compile_threads = threads;
+            let par = compile(&n, &opts).unwrap();
+            assert_eq!(
+                serial.binary.to_bytes(),
+                par.binary.to_bytes(),
+                "seed {seed}: binary differs at {threads} threads"
+            );
+            assert_eq!(
+                serial.report.deterministic_fingerprint(),
+                par.report.deterministic_fingerprint(),
+                "seed {seed}: report fingerprint differs at {threads} threads"
+            );
+            assert_eq!(par.report.compile_threads, threads);
+            assert!(
+                par.report.passes.iter().any(|p| p.threads == threads),
+                "parallel passes should report their thread count"
+            );
+        }
+    }
 }
 
 #[test]

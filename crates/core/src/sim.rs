@@ -356,8 +356,12 @@ pub fn backends(
     threads: usize,
 ) -> Result<Vec<Box<dyn Simulator>>, SimError> {
     // One compilation and one frozen program feed all machine backends.
+    // The compile reuses the same worker count as the execution backends —
+    // the parallel pipeline is bit-identical to the serial one, so every
+    // agreement sweep over `backends` also cross-checks it.
     let options = CompileOptions {
         config: config.clone(),
+        compile_threads: threads.max(1),
         ..Default::default()
     };
     let output = Arc::new(compile(netlist, &options)?);

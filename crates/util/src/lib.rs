@@ -1,12 +1,19 @@
 //! Dependency-free shared utilities for the Manticore workspace.
 //!
-//! Two things live here because more than one crate needs them and neither
+//! These live here because more than one crate needs them and none
 //! belongs to any single layer of the stack:
 //!
 //! - [`spin::SpinBarrier`] — the spinning arrive-await rendezvous used by
 //!   both parallel execution engines: the Verilator-analog macro-task
 //!   executor (`manticore_refsim::parallel`) and the sharded
 //!   bulk-synchronous grid engine (`manticore_machine`);
+//! - [`pool::parallel_map`] / [`pool::parallel_map_mut`] — the scoped,
+//!   index-ordered worker pool behind the compiler's parallel passes:
+//!   results land in pre-assigned slots, so output is bit-identical at
+//!   any thread count;
+//! - [`hash::FnvHasher`] — a fast non-cryptographic hasher for hot
+//!   compiler maps whose keys come from the design, not from untrusted
+//!   input;
 //! - [`rng::SmallRng`] — a tiny deterministic PRNG (SplitMix64 seeding an
 //!   xorshift64* stream) backing the seeded randomized tests across the
 //!   workspace. The test suites are differential (two implementations must
@@ -14,8 +21,12 @@
 //!   statistical sophistication: the same seed always generates the same
 //!   netlist, on every platform.
 
+pub mod hash;
+pub mod pool;
 pub mod rng;
 pub mod spin;
 
+pub use hash::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
+pub use pool::{parallel_map, parallel_map_mut};
 pub use rng::SmallRng;
 pub use spin::{spin_until, SpinBarrier};

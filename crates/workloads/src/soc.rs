@@ -1,0 +1,184 @@
+//! `soc` — a multi-tile RISC-V-class SoC analog: a torus of MiniRV CPU
+//! tiles interleaved (checkerboard) with scratchpad tiles, sized to
+//! stress a 16×16 Manticore grid.
+//!
+//! The existing `rv32r` workload replicates CPUs on a *ring*; real SoC
+//! floorplans are 2-D meshes of cores and SRAM macros. This workload is
+//! the 2-D analog: every tile drives a 16-bit `link` register that its
+//! east/south torus neighbours read, so the communication graph is a
+//! torus NoC rather than a ring. CPU tiles are MiniRV cores (4-bit pc,
+//! 16-entry ROM, 4 registers — the same ISA as `rv32r` plus a
+//! network-combine op); scratchpad tiles are 16-entry×16-bit SRAMs
+//! exercised by an LFSR with a read-back accumulator. Each tile owns at
+//! least one memory, so after memory-affinity merging the partitioner is
+//! left with one-process-per-tile-scale parallelism — the compile-time
+//! stress case the pass-manager benchmarks gate on.
+//!
+//! MiniRV instruction word (16 bits): `op[15:14] rd[13:12] rs[11:10]
+//! imm[9:0]`; ops: 0 `addi rd, rs, imm`; 1 `xori rd, rs, imm`;
+//! 2 `link.send rs` (drive this tile's link register); 3 `net.add rd, rs`
+//! (rd = rs + (west link ^ north link)).
+
+use manticore_bits::Bits;
+use manticore_netlist::{Netlist, NetlistBuilder};
+
+use crate::util::{finish_after, lfsr16};
+
+/// Default: a 12×12 tile torus (72 CPU tiles + 72 scratchpad tiles),
+/// sized so compilation pressure lands on a 16×16-core machine.
+pub fn soc() -> Netlist {
+    soc_sized(12, 12, 2000)
+}
+
+/// A `tx × ty` tile torus. Tiles with even `x+y` are CPU tiles, odd are
+/// scratchpad tiles.
+pub fn soc_sized(tx: usize, ty: usize, cycles: u64) -> Netlist {
+    assert!(tx >= 2 && ty >= 2, "soc needs at least a 2x2 torus");
+    let mut b = NetlistBuilder::new("soc");
+    const ROM: usize = 16;
+
+    let encode = |op: u16, rd: u16, rs: u16, imm: u16| -> Bits {
+        Bits::from_u64(
+            (((op & 3) << 14) | ((rd & 3) << 12) | ((rs & 3) << 10) | (imm & 0x3ff)) as u64,
+            16,
+        )
+    };
+
+    // Link registers first: registers permit forward references, so a tile
+    // can read its torus neighbours' links before those tiles are built.
+    let link: Vec<Vec<_>> = (0..ty)
+        .map(|y| {
+            (0..tx)
+                .map(|x| b.reg(format!("link_{x}_{y}"), 16, ((y * tx + x) as u64) << 3))
+                .collect()
+        })
+        .collect();
+
+    let mut alive_bits = Vec::new();
+    for y in 0..ty {
+        for x in 0..tx {
+            let k = y * tx + x;
+            // Torus inputs: west and north neighbours' link registers.
+            let west = link[y][(x + tx - 1) % tx].q();
+            let north = link[(y + ty - 1) % ty][x].q();
+            let net_in = b.xor(west, north);
+
+            if (x + y) % 2 == 0 {
+                // ---- CPU tile: MiniRV core ----
+                let kk = k as u16;
+                let rom_words: Vec<Bits> = vec![
+                    encode(0, 0, 0, (kk * 37 + 11) & 0x3ff), // addi r0, r0, k1
+                    encode(1, 1, 0, 0x155),                  // xori r1, r0, 0x155
+                    encode(0, 2, 1, (kk * 13 + 5) & 0x3ff),  // addi r2, r1, k2
+                    encode(2, 0, 2, 0),                      // link.send r2
+                    encode(3, 3, 0, 0),                      // net.add r3, r0
+                    encode(1, 0, 3, 0x2aa),                  // xori r0, r3, 0x2aa
+                    encode(0, 1, 2, 1),                      // addi r1, r2, 1
+                    encode(2, 0, 1, 0),                      // link.send r1
+                    encode(3, 2, 1, 0),                      // net.add r2, r1
+                    encode(0, 3, 2, (kk * 7 + 3) & 0x3ff),   // addi r3, r2, k3
+                    encode(1, 2, 3, 0x0f0),                  // xori r2, r3, 0x0f0
+                    encode(2, 0, 3, 0),                      // link.send r3
+                    encode(3, 0, 2, 0),                      // net.add r0, r2
+                    encode(0, 1, 0, (kk * 5 + 1) & 0x3ff),   // addi r1, r0, k4
+                    encode(1, 3, 1, 0x199),                  // xori r3, r1, 0x199
+                    encode(2, 0, 0, 0),                      // link.send r0
+                ];
+                let rom = b.memory_init(format!("rom_{x}_{y}"), ROM, 16, rom_words);
+
+                // Program counter (wraps the 16-entry ROM).
+                let pc = b.reg(format!("pc_{x}_{y}"), 4, 0);
+                let one4 = b.lit(1, 4);
+                let pc_next = b.add(pc.q(), one4);
+                b.set_next(pc, pc_next);
+
+                // Fetch + decode.
+                let instr = b.mem_read(rom, pc.q());
+                let op = b.slice(instr, 14, 2);
+                let rd = b.slice(instr, 12, 2);
+                let rs = b.slice(instr, 10, 2);
+                let imm = b.slice(instr, 0, 10);
+                let imm16 = b.zext(imm, 16);
+
+                // 4-entry register file: mux read, decoded write.
+                let regs: Vec<_> = (0..4)
+                    .map(|i| b.reg(format!("x_{x}_{y}_{i}"), 16, (k * 3 + i + 1) as u64))
+                    .collect();
+                let mut rs_val = regs[0].q();
+                for (i, r) in regs.iter().enumerate().skip(1) {
+                    let i_c = b.lit(i as u64, 2);
+                    let sel = b.eq(rs, i_c);
+                    rs_val = b.mux(sel, r.q(), rs_val);
+                }
+
+                // Execute.
+                let add_res = b.add(rs_val, imm16);
+                let xor_res = b.xor(rs_val, imm16);
+                let net_res = b.add(rs_val, net_in);
+                let c0 = b.lit(0, 2);
+                let c1 = b.lit(1, 2);
+                let c2 = b.lit(2, 2);
+                let is_add = b.eq(op, c0);
+                let is_xor = b.eq(op, c1);
+                let is_send = b.eq(op, c2);
+                let t = b.mux(is_xor, xor_res, net_res);
+                let wb_val = b.mux(is_add, add_res, t);
+                let not_send = b.not(is_send);
+                for (i, r) in regs.iter().enumerate() {
+                    let i_c = b.lit(i as u64, 2);
+                    let is_rd = b.eq(rd, i_c);
+                    let en = b.and(not_send, is_rd);
+                    let next = b.mux(en, wb_val, r.q());
+                    b.set_next(*r, next);
+                }
+
+                // Link output: updated on link.send, else held.
+                let link_next = b.mux(is_send, rs_val, link[y][x].q());
+                b.set_next(link[y][x], link_next);
+
+                let z = b.lit(0, 4);
+                let pc_ok = b.uge(pc.q(), z); // trivially true: pc in range
+                alive_bits.push(pc_ok);
+            } else {
+                // ---- Scratchpad tile: SRAM + LFSR traffic generator ----
+                let mem = b.memory(format!("spad_{x}_{y}"), 16, 16);
+                let rnd = lfsr16(&mut b, &format!("sg_{x}_{y}"), (k as u16) * 31 + 7);
+                let waddr = b.slice(rnd, 0, 4);
+                let raddr = b.slice(rnd, 4, 4);
+                // Write the network input mixed with the stimulus, read an
+                // unrelated address back into the accumulator.
+                let wdata = b.xor(rnd, net_in);
+                let one1 = b.lit(1, 1);
+                b.mem_write(mem, waddr, wdata, one1);
+                let rdata = b.mem_read(mem, raddr);
+
+                let acc = b.reg(format!("acc_{x}_{y}"), 16, (k as u64) * 5 + 1);
+                let acc_next = b.add(acc.q(), rdata);
+                b.set_next(acc, acc_next);
+
+                // The tile's link output is its accumulator state.
+                let mixed = b.xor(acc.q(), rdata);
+                b.set_next(link[y][x], mixed);
+            }
+        }
+    }
+
+    // Driver: XOR-fold of all tile links into a running checksum.
+    let mut fold = link[0][0].q();
+    for r in link.iter().flatten().skip(1) {
+        fold = b.xor(fold, r.q());
+    }
+    let csum = b.reg("soc_csum", 16, 0);
+    let mixed = b.add(csum.q(), fold);
+    b.set_next(csum, mixed);
+    b.output("soc_csum", csum.q());
+
+    let mut ok = alive_bits[0];
+    for &a in &alive_bits[1..] {
+        ok = b.and(ok, a);
+    }
+    b.expect_true(ok, "a SoC tile program counter escaped its ROM");
+
+    finish_after(&mut b, cycles);
+    b.finish_build().expect("soc netlist is structurally valid")
+}

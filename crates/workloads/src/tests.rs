@@ -92,6 +92,43 @@ fn by_name_lookup() {
 }
 
 #[test]
+fn soc_is_closed_self_checking_and_runs_clean() {
+    // `soc` is the compile-stress extra, not one of the nine — it resolves
+    // by name but stays out of `all()` so the evaluation tables keep the
+    // paper's benchmark set.
+    assert!(all().iter().all(|w| w.name != "soc"));
+    let w = by_name("soc").unwrap();
+    assert!(w.netlist.inputs().is_empty(), "soc must be closed");
+    assert!(!w.netlist.expects().is_empty());
+    assert!(!w.netlist.finishes().is_empty());
+
+    // A small torus runs clean and its checksum moves (the links, and
+    // therefore the NoC traffic, are live).
+    let small = crate::soc_sized(4, 3, 200);
+    let mut sim = Evaluator::new(&small);
+    let mut csum_changed = false;
+    let mut last = 0;
+    for cycle in 0..200 {
+        let ev = sim.step();
+        assert!(
+            ev.failed_expects.is_empty(),
+            "soc assertion failed at cycle {cycle}: {:?}",
+            ev.failed_expects
+        );
+        let c = sim.output_value("soc_csum").unwrap().to_u64();
+        csum_changed |= cycle > 0 && c != last;
+        last = c;
+        if ev.finished {
+            break;
+        }
+    }
+    assert!(
+        csum_changed,
+        "soc checksum is frozen — tiles are not mixing"
+    );
+}
+
+#[test]
 fn step_sizes_are_ordered_roughly_like_the_paper() {
     // Table 3 orders benchmarks by step size: vta is the largest, jpeg the
     // smallest. Check the two anchors (the middle order is allowed to

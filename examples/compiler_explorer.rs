@@ -22,8 +22,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = compile(&w.netlist, &options)?;
 
     println!("== compilation report for `{name}` ==");
-    for (pass, t) in &out.report.pass_times {
-        println!("  {pass:<18} {:>8.2} ms", t.as_secs_f64() * 1e3);
+    println!(
+        "  {:<18} {:>8}  {:>10}  {:>7}",
+        "pass", "ms", "ir size", "threads"
+    );
+    for p in &out.report.passes {
+        println!(
+            "  {:<18} {:>8.2}  {:>10}  {:>7}",
+            p.name,
+            p.duration.as_secs_f64() * 1e3,
+            p.ir_size,
+            p.threads
+        );
+    }
+    if let Some(dom) = out.report.dominant_pass() {
+        println!(
+            "  dominant: {} ({:.2} ms of {:.2} ms total)",
+            dom.name,
+            dom.duration.as_secs_f64() * 1e3,
+            out.report.total_time().as_secs_f64() * 1e3
+        );
     }
     println!(
         "  VCPL {} | processes {} | cores {} | sends {} | custom {}",

@@ -36,12 +36,27 @@ a fixed seed — stimulus is drawn serially in submission order — so any
 drift at all is a behavior change, not noise), and
 `geomean_scenarios_per_sec` within the tolerance.
 
+With `--compile-fresh`/`--compile-baseline`, the gate additionally
+compares the table8_compile_times run: the sweep geometry (`threads`,
+`heavy_passes`) exactly; per row, the grid/nets/split sizes and every
+per-pass `ir_size` exactly (these are deterministic compiler outputs —
+a drift is a behavior change, and a thread-count-dependent IR size
+would break the bit-identity contract); and the heavy-pass speedup
+geomeans (`geomean.heavy_speedup_t2/t4`, `geomean.soc_heavy_speedup_t4`)
+as ONE-SIDED floors — a fresh run only fails when it falls below
+`baseline * (1 - tolerance)`, never for being faster, since speedups
+are the thing being protected, not pinned. `soc_heavy_speedup_t4`
+additionally has the absolute acceptance floor of 1.8x: the parallel
+pass pipeline must stay at least 1.8x faster than the serial reference
+on the 16x16 SoC's heavy passes regardless of baseline drift.
+
 Intentional perf changes (either direction, beyond tolerance) are landed
 by regenerating the committed baseline(s) in the same PR.
 
 Usage: bench_gate.py FRESH.json BASELINE.json [--tolerance 0.25]
                      [--fleet-fresh FLEET.json --fleet-baseline BENCH_fleet.json]
                      [--explore-fresh EXPLORE.json --explore-baseline BENCH_explore.json]
+                     [--compile-fresh COMPILE.json --compile-baseline BENCH_compile.json]
 """
 
 import argparse
@@ -131,6 +146,83 @@ def check_explore(fresh_path, base_path, tolerance, failures):
     )
 
 
+SOC_HEAVY_SPEEDUP_FLOOR = 1.8
+
+
+def check_floor(label, fresh, base, tolerance, failures, absolute_floor=None):
+    """One-sided gate for speedup ratios: fail only below the floor."""
+    if fresh is None or base is None:
+        failures.append(f"{label}: missing value (fresh={fresh}, baseline={base})")
+        return
+    floor = base * (1 - tolerance)
+    if absolute_floor is not None:
+        floor = max(floor, absolute_floor)
+    ok = fresh >= floor
+    status = "ok" if ok else "FAIL"
+    print(f"  {status:>4}  {label:<32} baseline {base:>12.3f}  fresh {fresh:>12.3f}  floor {floor:8.3f}")
+    if not ok:
+        failures.append(f"{label}: {fresh:.3f} below floor {floor:.3f} (baseline {base:.3f})")
+
+
+def check_compile(fresh_path, base_path, tolerance, failures):
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+    print("compile section:")
+    for field in ("threads", "heavy_passes"):
+        if fresh.get(field) != base.get(field):
+            failures.append(
+                f"compile.{field}: sweep geometry changed ({base.get(field)} -> {fresh.get(field)}); "
+                "speedups are not comparable — regenerate BENCH_compile.json"
+            )
+    base_rows = {r["name"]: r for r in base.get("rows", [])}
+    fresh_rows = {r["name"]: r for r in fresh.get("rows", [])}
+    missing = sorted(set(base_rows) - set(fresh_rows))
+    if missing:
+        failures.append(f"workloads missing from fresh compile run: {', '.join(missing)}")
+    for name, brow in sorted(base_rows.items()):
+        frow = fresh_rows.get(name)
+        if frow is None:
+            continue
+        # Deterministic compiler outputs: compared exactly (tolerance 0).
+        for field in ("grid", "nets", "split_v", "split_e"):
+            if frow.get(field) != brow.get(field):
+                failures.append(
+                    f"compile.{name}.{field}: {brow.get(field)} -> {frow.get(field)} "
+                    "(deterministic compiler output — this is a behavior change, not noise)"
+                )
+        bsizes = {p["name"]: p["ir_size"] for p in brow.get("passes", [])}
+        fsizes = {p["name"]: p["ir_size"] for p in frow.get("passes", [])}
+        if bsizes != fsizes:
+            diffs = sorted(
+                set(bsizes.items()) ^ set(fsizes.items()) | {(k, None) for k in set(bsizes) ^ set(fsizes)}
+            )
+            failures.append(
+                f"compile.{name}: per-pass IR sizes changed ({diffs}) "
+                "(deterministic — regenerate the baseline if intentional)"
+            )
+        else:
+            print(f"    ok  compile.{name}.ir_sizes{'':<14} {len(fsizes)} passes exact")
+    # Speedup geomeans: one-sided floors (a faster compiler never fails).
+    for field in ("heavy_speedup_t2", "heavy_speedup_t4"):
+        check_floor(
+            f"compile.geomean.{field}",
+            fresh.get("geomean", {}).get(field),
+            base.get("geomean", {}).get(field),
+            tolerance,
+            failures,
+        )
+    check_floor(
+        "compile.geomean.soc_heavy_speedup_t4",
+        fresh.get("geomean", {}).get("soc_heavy_speedup_t4"),
+        base.get("geomean", {}).get("soc_heavy_speedup_t4"),
+        tolerance,
+        failures,
+        absolute_floor=SOC_HEAVY_SPEEDUP_FLOOR,
+    )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="JSON from the fresh table3_performance run")
@@ -140,6 +232,8 @@ def main():
     ap.add_argument("--fleet-baseline", help="committed fleet baseline (BENCH_fleet.json)")
     ap.add_argument("--explore-fresh", help="JSON from the fresh explore_throughput run")
     ap.add_argument("--explore-baseline", help="committed explore baseline (BENCH_explore.json)")
+    ap.add_argument("--compile-fresh", help="JSON from the fresh table8_compile_times run")
+    ap.add_argument("--compile-baseline", help="committed compile baseline (BENCH_compile.json)")
     args = ap.parse_args()
     if bool(args.fleet_fresh) != bool(args.fleet_baseline):
         ap.error("--fleet-fresh and --fleet-baseline must be given together "
@@ -147,6 +241,9 @@ def main():
     if bool(args.explore_fresh) != bool(args.explore_baseline):
         ap.error("--explore-fresh and --explore-baseline must be given together "
                  "(one alone would silently skip the exploration gate)")
+    if bool(args.compile_fresh) != bool(args.compile_baseline):
+        ap.error("--compile-fresh and --compile-baseline must be given together "
+                 "(one alone would silently skip the compile gate)")
 
     with open(args.fresh) as f:
         fresh = json.load(f)
@@ -181,6 +278,8 @@ def main():
         check_fleet(args.fleet_fresh, args.fleet_baseline, args.tolerance, failures)
     if args.explore_fresh and args.explore_baseline:
         check_explore(args.explore_fresh, args.explore_baseline, args.tolerance, failures)
+    if args.compile_fresh and args.compile_baseline:
+        check_compile(args.compile_fresh, args.compile_baseline, args.tolerance, failures)
 
     if failures:
         print(f"\nbench gate FAILED ({len(failures)} violation(s)):", file=sys.stderr)
@@ -190,7 +289,8 @@ def main():
             "\nIf this change is intentional, regenerate the baseline(s):\n"
             "  cargo run --release -p manticore-bench --bin table3_performance -- --json BENCH_table3.json\n"
             "  cargo run --release -p manticore-bench --bin fleet_throughput -- --json BENCH_fleet.json\n"
-            "  cargo run --release -p manticore-bench --bin explore_throughput -- --json BENCH_explore.json",
+            "  cargo run --release -p manticore-bench --bin explore_throughput -- --json BENCH_explore.json\n"
+            "  cargo run --release -p manticore-bench --bin table8_compile_times -- --json BENCH_compile.json",
             file=sys.stderr,
         )
         return 1

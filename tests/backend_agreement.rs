@@ -139,6 +139,54 @@ fn every_simulator_backend_agrees_on_every_workload() {
 }
 
 #[test]
+fn soc_agrees_across_backends() {
+    // The SoC compile-stress workload through every backend — `backends()`
+    // compiles with worker threads, so this also drives the parallel pass
+    // pipeline through a memory-heavy multi-tile design.
+    let netlist = workloads::soc_sized(4, 3, 2000);
+    let config = MachineConfig::with_grid(6, 6);
+    let mut sims = backends(&netlist, config, 2).expect("soc backends");
+    let mut results = Vec::new();
+    for sim in &mut sims {
+        let name = sim.backend();
+        let outcome = sim
+            .run_cycles(24)
+            .unwrap_or_else(|e| panic!("soc: {name} failed: {e}"));
+        results.push((name, outcome));
+    }
+    let (ref_name, ref_outcome) = &results[0];
+    for (name, outcome) in &results[1..] {
+        assert_eq!(
+            &ref_outcome.displays, &outcome.displays,
+            "soc: displays diverged between {ref_name} and {name}"
+        );
+        assert_eq!(
+            ref_outcome.finished, outcome.finished,
+            "soc: finish diverged between {ref_name} and {name}"
+        );
+    }
+    let mut compared = 0usize;
+    for reg in netlist.registers() {
+        let values: Vec<_> = sims.iter().map(|s| s.rtl_reg(&reg.name)).collect();
+        if values.iter().any(|v| v.is_none()) {
+            continue;
+        }
+        compared += 1;
+        for (i, v) in values.iter().enumerate().skip(1) {
+            assert_eq!(
+                values[0].as_ref().unwrap().to_u64(),
+                v.as_ref().unwrap().to_u64(),
+                "soc: register `{}` diverged between {} and {}",
+                reg.name,
+                sims[0].backend(),
+                sims[i].backend()
+            );
+        }
+    }
+    assert!(compared > 0, "soc: no registers were comparable");
+}
+
+#[test]
 fn step_sizes_span_the_expected_range() {
     // The suite must exercise a wide range of granularities for the
     // scaling experiments to be meaningful.
