@@ -33,11 +33,16 @@
 //! - `--seed <n>` — stimulus PRNG seed (default 0);
 //! - `--workers <n>` — worker threads (default 4);
 //! - `--workloads <a,b>` — comma list (default `mm,bc`: both sustain the
-//!   full default depth of 1602 Vcycles without reaching `$finish`).
+//!   full default depth of 1602 Vcycles without reaching `$finish`);
+//! - `--faults <n>` — inject a seeded [`FaultPlan`] of `n` points per
+//!   workload (worker panics, stalls, spurious machine faults) and report
+//!   how many scenarios were killed. The soak smoke in CI runs with a
+//!   nonzero count and must exit 0 — exploration survives injection;
+//! - `--fault-seed <n>` — seed for the injected plan (default 0).
 
 use std::time::Instant;
 
-use manticore::fleet::{ExploreConfig, FleetSim};
+use manticore::fleet::{BatchPolicy, ExploreConfig, FaultPlan, FleetSim};
 use manticore::isa::MachineConfig;
 use manticore::workloads;
 use manticore_bench::{fmt, json::Val, reject_unknown_args, row, take_flag};
@@ -81,6 +86,8 @@ fn main() {
     let seed = parse(take_flag(&mut args, "--seed"), "--seed", 0);
     let workers = parse(take_flag(&mut args, "--workers"), "--workers", 4) as usize;
     let names = take_flag(&mut args, "--workloads").unwrap_or_else(|| "mm,bc".into());
+    let faults = parse(take_flag(&mut args, "--faults"), "--faults", 0) as usize;
+    let fault_seed = parse(take_flag(&mut args, "--fault-seed"), "--fault-seed", 0);
     reject_unknown_args(&args);
 
     let names: Vec<&str> = names.split(',').filter(|s| !s.is_empty()).collect();
@@ -112,6 +119,19 @@ fn main() {
         stimulus: Vec::new(),
     };
 
+    // The soak mode: spread `--faults` seeded injection points over the
+    // tree's child-ordinal space. The headline numbers are only gated on
+    // the clean path (`--faults 0`), where the policy is exactly default.
+    let policy = if faults > 0 {
+        let jobs = 1 + rounds * frontier * lanes;
+        BatchPolicy {
+            faults: FaultPlan::seeded(fault_seed, jobs, vcycles, faults),
+            ..BatchPolicy::default()
+        }
+    } else {
+        BatchPolicy::default()
+    };
+
     let mut json_rows: Vec<Val> = Vec::new();
     let mut log_sum = 0.0f64;
     for name in &names {
@@ -122,9 +142,16 @@ fn main() {
             .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
         let t = Instant::now();
         let report = fleet
-            .explore(&stimulus, &cfg)
+            .explore_with(&stimulus, &cfg, &policy)
             .unwrap_or_else(|e| panic!("{name}: explore failed: {e}"));
         let secs = t.elapsed().as_secs_f64();
+        if faults > 0 {
+            println!(
+                "# {name}: survived a {faults}-point injected plan (seed {fault_seed}): \
+                 {} scenarios killed, {} explored",
+                report.killed, report.scenarios
+            );
+        }
         let rate = report.scenarios as f64 / secs;
         log_sum += rate.ln();
         row(&[

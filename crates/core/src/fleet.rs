@@ -32,7 +32,7 @@
 //! for (i, run) in fleet.run(jobs).into_iter().enumerate() {
 //!     assert_eq!(run.index, i as usize);
 //!     run.result.as_ref().unwrap();
-//!     let count = run.sim.read_rtl_reg_by_name("count").unwrap().to_u64();
+//!     let count = run.sim().read_rtl_reg_by_name("count").unwrap().to_u64();
 //!     assert_eq!(count, i as u64 * 100 + 10);
 //! }
 //! # Ok::<(), manticore::SimError>(())
@@ -42,8 +42,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use manticore_compiler::{compile, CompileOptions, CompileOutput};
+pub use manticore_fleet::{
+    BatchPolicy, ExploreConfig, ExploreReport, FaultKind, FaultPlan, FaultPoint, JobOutcome,
+};
 use manticore_fleet::{CompiledProgram, Fleet, SimJob};
-pub use manticore_fleet::{ExploreConfig, ExploreReport};
 use manticore_isa::{CoreId, MachineConfig, Reg};
 use manticore_machine::{ExecMode, GangMachine, Machine, ReplayEngine, RunOutcome};
 
@@ -136,21 +138,57 @@ impl FleetJob {
         self.inner = self.inner.strict_hazards(strict);
         self
     }
+
+    /// Attaches a wall-clock deadline to this job alone — see
+    /// [`manticore_fleet::SimJob::deadline`]. Combines with a batch
+    /// deadline ([`BatchPolicy::deadline`]) by taking the earlier one.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Instant) -> FleetJob {
+        self.inner = self.inner.deadline(deadline);
+        self
+    }
 }
 
-/// One finished fleet scenario: the submission index, the run result,
-/// and a full [`ManticoreSim`] wrapped around the finished machine —
-/// read registers back, inspect counters, or keep running it.
+/// One finished fleet scenario: the submission index, the typed
+/// [`JobOutcome`], the run result, and a full [`ManticoreSim`] wrapped
+/// around the finished machine — read registers back, inspect counters,
+/// or keep running it.
 #[derive(Debug)]
 pub struct FleetRun {
     /// The job's position in the submitted batch; [`FleetSim::run`]
     /// returns runs sorted by it.
     pub index: usize,
+    /// How the run ended.
+    pub outcome: JobOutcome,
     /// The run outcome, or the failure that aborted it.
     pub result: Result<RunOutcome, SimError>,
     /// The finished simulation (its displays already include this run's
-    /// output, also on the error path).
-    pub sim: ManticoreSim,
+    /// output, also on the error path). `None` only when the job's worker
+    /// panicked ([`JobOutcome::WorkerPanic`]) — unwound state is never
+    /// exposed.
+    pub sim: Option<ManticoreSim>,
+}
+
+impl FleetRun {
+    /// The surviving simulation.
+    ///
+    /// # Panics
+    ///
+    /// If the job's worker panicked ([`JobOutcome::WorkerPanic`]) — check
+    /// [`FleetRun::sim`] when the batch ran under a panic-injecting
+    /// [`FaultPlan`].
+    pub fn sim(&self) -> &ManticoreSim {
+        self.sim
+            .as_ref()
+            .expect("job's worker panicked: no simulation state survives")
+    }
+
+    /// Consumes the run, yielding the surviving simulation; panics like
+    /// [`FleetRun::sim`].
+    pub fn into_sim(self) -> ManticoreSim {
+        self.sim
+            .expect("job's worker panicked: no simulation state survives")
+    }
 }
 
 impl FleetSim {
@@ -240,8 +278,15 @@ impl FleetSim {
     /// submission order** (`runs[i]` belongs to `jobs[i]`), regardless of
     /// worker interleaving.
     pub fn run(&self, jobs: Vec<FleetJob>) -> Vec<FleetRun> {
+        self.run_with(jobs, &BatchPolicy::default())
+    }
+
+    /// [`FleetSim::run`] under a [`BatchPolicy`]: cooperative
+    /// cancellation, a batch deadline, fail-fast, and/or a deterministic
+    /// [`FaultPlan`] — see [`manticore_fleet::Fleet::run_with`].
+    pub fn run_with(&self, jobs: Vec<FleetJob>, policy: &BatchPolicy) -> Vec<FleetRun> {
         let sim_jobs: Vec<SimJob> = jobs.into_iter().map(|j| j.inner).collect();
-        self.wrap_outputs(self.fleet.run(sim_jobs))
+        self.wrap_outputs(self.fleet.run_with(sim_jobs, policy))
     }
 
     /// Like [`FleetSim::run`], with lane batching: compatible jobs (same
@@ -251,8 +296,20 @@ impl FleetSim {
     /// [`FleetSim::run`], still in submission order; see
     /// [`Fleet::run_ganged`].
     pub fn run_ganged(&self, jobs: Vec<FleetJob>, lanes: usize) -> Vec<FleetRun> {
+        self.run_ganged_with(jobs, lanes, &BatchPolicy::default())
+    }
+
+    /// [`FleetSim::run_ganged`] under a [`BatchPolicy`] — see
+    /// [`FleetSim::run_with`]. An injected [`FaultKind::Error`] parks just
+    /// its lane; the lane-mates run to completion.
+    pub fn run_ganged_with(
+        &self,
+        jobs: Vec<FleetJob>,
+        lanes: usize,
+        policy: &BatchPolicy,
+    ) -> Vec<FleetRun> {
         let sim_jobs: Vec<SimJob> = jobs.into_iter().map(|j| j.inner).collect();
-        self.wrap_outputs(self.fleet.run_ganged(sim_jobs, lanes))
+        self.wrap_outputs(self.fleet.run_ganged_with(sim_jobs, lanes, policy))
     }
 
     /// Coverage-guided scenario-tree exploration over this design
@@ -274,6 +331,23 @@ impl FleetSim {
         stimulus: &[&str],
         cfg: &ExploreConfig,
     ) -> Result<ExploreReport, SimError> {
+        self.explore_with(stimulus, cfg, &BatchPolicy::default())
+    }
+
+    /// [`FleetSim::explore`] under a [`BatchPolicy`] — see
+    /// [`manticore_fleet::Fleet::explore_with`] for how cancellation,
+    /// deadlines, and fault injection interact with the tree's
+    /// determinism.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FleetSim::explore`].
+    pub fn explore_with(
+        &self,
+        stimulus: &[&str],
+        cfg: &ExploreConfig,
+        policy: &BatchPolicy,
+    ) -> Result<ExploreReport, SimError> {
         let mut cfg = cfg.clone();
         for name in stimulus {
             // Resolving with an all-ones value yields each word's width
@@ -289,7 +363,7 @@ impl FleetSim {
             }
         }
         self.fleet
-            .explore(&self.program, &cfg)
+            .explore_with(&self.program, &cfg, policy)
             .map_err(SimError::from)
     }
 
@@ -297,7 +371,19 @@ impl FleetSim {
         outputs
             .into_iter()
             .map(|out| {
-                let mut machine = out.machine;
+                let Some(mut machine) = out.machine else {
+                    // The job's worker panicked: there is no machine to
+                    // wrap, only the structured failure.
+                    return FleetRun {
+                        index: out.index,
+                        outcome: out.outcome,
+                        result: Err(out
+                            .result
+                            .expect_err("a panicked job always carries an error")
+                            .into()),
+                        sim: None,
+                    };
+                };
                 let (result, displays) = match out.result {
                     Ok(outcome) => {
                         let displays = outcome.displays.clone();
@@ -309,8 +395,13 @@ impl FleetSim {
                 };
                 FleetRun {
                     index: out.index,
+                    outcome: out.outcome,
                     result,
-                    sim: ManticoreSim::from_existing(machine, Arc::clone(&self.output), displays),
+                    sim: Some(ManticoreSim::from_existing(
+                        machine,
+                        Arc::clone(&self.output),
+                        displays,
+                    )),
                 }
             })
             .collect()
@@ -376,7 +467,11 @@ impl Simulator for FleetBackend {
         let mut outputs = self.fleet.run(vec![SimJob::resume(machine, max_cycles)]);
         self.wall_seconds += start.elapsed().as_secs_f64();
         let out = outputs.pop().expect("one job in, one output out");
-        let mut machine = out.machine;
+        // A single resumed job under the default (empty) fault plan never
+        // panics its worker, so the machine always survives.
+        let mut machine = out
+            .machine
+            .expect("resumed job without injected faults keeps its machine");
         let result = match out.result {
             Ok(outcome) => {
                 self.displays.extend(outcome.displays.iter().cloned());
@@ -545,8 +640,9 @@ mod tests {
         for (i, run) in runs.iter().enumerate() {
             assert_eq!(run.index, i);
             assert!(run.result.is_ok());
+            assert!(!run.outcome.is_failure());
             assert_eq!(
-                run.sim.read_rtl_reg_by_name("count").unwrap().to_u64(),
+                run.sim().read_rtl_reg_by_name("count").unwrap().to_u64(),
                 i as u64 * 1000 + 5
             );
         }

@@ -62,12 +62,15 @@ pub mod prelude {
     pub use manticore_compiler::{compile, CompileOptions, PartitionStrategy};
     pub use manticore_isa::{CoreId, MachineConfig, Reg};
     pub use manticore_machine::{
-        Checkpoint, CompiledProgram, CoverageMap, ExecMode, GangMachine, Machine, MachineError,
-        ReplayEngine, RunOutcome, MAX_LANES,
+        Checkpoint, CompiledProgram, CoverageMap, ExecMode, GangMachine, Interrupt, Machine,
+        MachineError, ReplayEngine, RunOutcome, MAX_LANES,
     };
     pub use manticore_netlist::{eval::Evaluator, NetlistBuilder};
+    pub use manticore_util::CancelToken;
 
-    pub use crate::fleet::{FleetJob, FleetRun, FleetSim};
+    pub use crate::fleet::{
+        BatchPolicy, FaultKind, FaultPlan, FaultPoint, FleetJob, FleetRun, FleetSim, JobOutcome,
+    };
     pub use crate::sim::{Simulator, TapeSim};
     pub use crate::ManticoreSim;
 }

@@ -39,6 +39,18 @@
 //! (the `Arc`'d program is read-only), so scheduling can only change *when*
 //! a job runs, never *what* it computes — the equivalence suite asserts
 //! fleet runs are bit-identical to running each job alone.
+//!
+//! **Fault containment.** A batch is only as useful as its worst job, so
+//! the fleet treats failure as data rather than letting it take the batch
+//! down: a panicking job is caught at the worker
+//! ([`manticore_util::catch_silent`]) and reported as
+//! [`JobOutcome::WorkerPanic`] while its batch-mates complete; every
+//! engine polls a cooperative [`manticore_util::CancelToken`] and
+//! wall-clock deadline at Vcycle boundaries
+//! ([`BatchPolicy`], [`SimJob::deadline`]); and a seeded [`FaultPlan`]
+//! deterministically injects panics, stalls, and spurious machine faults
+//! for the differential fault-tolerance suite. Every output carries a
+//! typed [`JobOutcome`] saying how its run ended.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
@@ -46,11 +58,15 @@ use std::sync::Mutex;
 use manticore_isa::{CoreId, Reg};
 pub use manticore_machine::CompiledProgram;
 use manticore_machine::{
-    Checkpoint, CoverageMap, ExecMode, GangMachine, Machine, MachineError, ReplayEngine,
+    Checkpoint, CoverageMap, ExecMode, GangMachine, Interrupt, Machine, MachineError, ReplayEngine,
     RunOutcome, MAX_LANES,
 };
-use manticore_util::{SmallRng, SpinBarrier};
+use manticore_util::{catch_silent_mut, CancelToken, SmallRng, SpinBarrier};
 use std::sync::Arc;
+
+mod fault;
+
+pub use fault::{BatchPolicy, FaultKind, FaultPlan, FaultPoint};
 
 /// Where a job's machine comes from: a fresh boot of a shared program, or
 /// an existing run handed back to the fleet for another slice.
@@ -75,6 +91,7 @@ pub struct SimJob {
     engine: Option<ReplayEngine>,
     strict: Option<bool>,
     vcycles: u64,
+    deadline: Option<std::time::Instant>,
 }
 
 impl SimJob {
@@ -90,6 +107,7 @@ impl SimJob {
             engine: None,
             strict: None,
             vcycles,
+            deadline: None,
         }
     }
 
@@ -105,6 +123,7 @@ impl SimJob {
             engine: None,
             strict: None,
             vcycles,
+            deadline: None,
         }
     }
 
@@ -145,12 +164,26 @@ impl SimJob {
         self
     }
 
+    /// Attaches a wall-clock deadline to this job alone: the run stops
+    /// cooperatively at the first Vcycle boundary past it, reporting
+    /// [`JobOutcome::Deadline`]. Combines with a batch deadline
+    /// ([`BatchPolicy::deadline`]) by taking whichever is earlier. A
+    /// deadline'd job never joins a gang (lanes run in lockstep, so a
+    /// per-lane clock cannot be honored there).
+    #[must_use]
+    pub fn deadline(mut self, deadline: std::time::Instant) -> SimJob {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// True when this job can join a gang: a fresh boot (no existing
-    /// machine to import) on the serial engine. Which gang it may join is
-    /// decided by [`SimJob::gang_key`].
+    /// machine to import) on the serial engine, with no per-job deadline
+    /// (the gang runs in lockstep under the batch clock only). Which gang
+    /// it may join is decided by [`SimJob::gang_key`].
     fn gangable(&self) -> bool {
         matches!(self.source, JobSource::Fresh(_))
             && matches!(self.exec_mode, None | Some(ExecMode::Serial))
+            && self.deadline.is_none()
     }
 
     /// The compatibility key for gang grouping: jobs in one gang must
@@ -189,7 +222,7 @@ impl SimJob {
     /// This is the entire per-job execution — it touches nothing shared
     /// except the read-only program, which is what makes fleet results
     /// independent of worker interleaving.
-    fn execute(self, index: usize) -> JobOutput {
+    fn execute(self, index: usize, ctx: &RunCtx<'_>) -> JobOutput {
         let mut machine = match self.source {
             JobSource::Fresh(program) => Machine::from_program(program),
             JobSource::Resume(machine) => *machine,
@@ -209,28 +242,217 @@ impl SimJob {
         for &(core, reg, value) in &self.pokes {
             machine.poke_reg(core, reg, value);
         }
-        let result = machine.run_vcycles(self.vcycles);
+        // Per-job deadline and batch deadline combine to the earlier one.
+        let deadline = match (self.deadline, ctx.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        machine.set_cancel_token(ctx.cancel.cloned());
+        machine.set_deadline(deadline);
+        let result = run_solo_with_faults(&mut machine, self.vcycles, ctx.faults.for_job(index));
+        // The controls belong to this batch, not to the machine the
+        // caller may resume later.
+        machine.set_cancel_token(None);
+        machine.set_deadline(None);
+        let outcome = JobOutcome::classify(&result, Some(&machine));
         JobOutput {
             index,
+            outcome,
             result,
-            machine,
+            machine: Some(machine),
         }
     }
 }
 
-/// One job's outcome: its submission index, the run result, and the
-/// finished machine (registers, counters, and pending displays readable).
+/// Runs one solo machine to `budget` Vcycles, firing the job's fault
+/// points at their Vcycle positions. With no points this is exactly one
+/// [`Machine::run_vcycles`] call — the clean path pays nothing. With
+/// points, the run is sliced at each injection Vcycle and the slice
+/// outcomes are stitched back into one [`RunOutcome`], so the
+/// architectural trajectory up to the fault is bit-identical to an
+/// uninjected run.
+fn run_solo_with_faults(
+    machine: &mut Machine,
+    budget: u64,
+    points: &[FaultPoint],
+) -> Result<RunOutcome, MachineError> {
+    if points.is_empty() {
+        return machine.run_vcycles(budget);
+    }
+    let mut acc = RunOutcome::default();
+    let mut done = 0u64;
+    // Stitches one slice's outcome into the accumulator; true while the
+    // run should continue.
+    fn merge(acc: &mut RunOutcome, slice: RunOutcome) -> bool {
+        acc.vcycles_run += slice.vcycles_run;
+        acc.finished |= slice.finished;
+        acc.displays.extend(slice.displays);
+        acc.interrupted = slice.interrupted;
+        !(acc.finished || acc.interrupted.is_some())
+    }
+    for point in points {
+        // Points at or past the budget never fire; duplicates at one
+        // Vcycle all fire (the slice between them is empty).
+        if point.vcycle >= budget {
+            break;
+        }
+        let slice = point.vcycle - done;
+        if slice > 0 {
+            match machine.run_vcycles(slice) {
+                Ok(out) => {
+                    done += out.vcycles_run;
+                    if !merge(&mut acc, out) {
+                        return Ok(acc);
+                    }
+                }
+                Err(e) => {
+                    // Same contract as an unsliced faulting run: displays
+                    // produced before the abort stay pending on the
+                    // machine.
+                    machine.requeue_displays(std::mem::take(&mut acc.displays));
+                    return Err(e);
+                }
+            }
+        }
+        match point.kind {
+            FaultKind::WorkerPanic => {
+                panic!(
+                    "injected worker panic: job {} at vcycle {}",
+                    point.job, point.vcycle
+                );
+            }
+            FaultKind::Stall(millis) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            FaultKind::Error => {
+                machine.inject_fault(MachineError::Injected {
+                    vcycle: machine.counters().vcycles,
+                });
+                machine.requeue_displays(std::mem::take(&mut acc.displays));
+                // The machine is parked; report the planted fault.
+                return Err(machine.fault().cloned().expect("fault just planted"));
+            }
+        }
+    }
+    if done < budget {
+        match machine.run_vcycles(budget - done) {
+            Ok(out) => {
+                merge(&mut acc, out);
+            }
+            Err(e) => {
+                machine.requeue_displays(std::mem::take(&mut acc.displays));
+                return Err(e);
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// How one job's run ended — the typed summary every [`JobOutput`]
+/// carries alongside the raw result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobOutcome {
+    /// The design reached `$finish` within the budget.
+    Complete,
+    /// The Vcycle budget ran out with the design still going — resume it
+    /// with [`SimJob::resume`].
+    BudgetExhausted,
+    /// The run stopped at a Vcycle boundary past its deadline
+    /// ([`SimJob::deadline`] or [`BatchPolicy::deadline`]).
+    Deadline,
+    /// The run observed its [`CancelToken`] (caller-tripped, or batch
+    /// fail-fast) and stopped at a Vcycle boundary.
+    Cancelled,
+    /// The machine aborted on a [`MachineError`] — a real determinism
+    /// violation, a failed assertion, or an injected
+    /// [`MachineError::Injected`] fault. The parked machine is readable.
+    Faulted,
+    /// The worker thread executing the job panicked; the panic was
+    /// contained and the rest of the batch completed. No machine state
+    /// survives ([`JobOutput::machine`] is `None`).
+    WorkerPanic,
+}
+
+impl JobOutcome {
+    /// Derives the outcome label from a run result and (when one
+    /// survived) the machine that produced it.
+    fn classify(
+        result: &Result<RunOutcome, MachineError>,
+        machine: Option<&Machine>,
+    ) -> JobOutcome {
+        match result {
+            Err(MachineError::WorkerPanic { .. }) => JobOutcome::WorkerPanic,
+            Err(_) => JobOutcome::Faulted,
+            Ok(out) => {
+                if out.finished || machine.is_some_and(|m| m.finished()) {
+                    JobOutcome::Complete
+                } else {
+                    match out.interrupted {
+                        Some(Interrupt::Cancelled) => JobOutcome::Cancelled,
+                        Some(Interrupt::Deadline) => JobOutcome::Deadline,
+                        None => JobOutcome::BudgetExhausted,
+                    }
+                }
+            }
+        }
+    }
+
+    /// True for the outcomes that trip a fail-fast batch: the job's run
+    /// is gone for a reason that was not the caller's own control plane.
+    pub fn is_failure(self) -> bool {
+        matches!(self, JobOutcome::Faulted | JobOutcome::WorkerPanic)
+    }
+}
+
+/// One job's outcome: its submission index, the typed outcome label, the
+/// run result, and the finished machine (registers, counters, and pending
+/// displays readable).
 #[derive(Debug)]
 pub struct JobOutput {
     /// The job's position in the submitted batch — [`Fleet::run`] returns
     /// outputs sorted by this, so `outputs[i]` is always job `i`.
     pub index: usize,
+    /// How the run ended.
+    pub outcome: JobOutcome,
     /// The run outcome, or the determinism violation / assertion failure
     /// that aborted it.
     pub result: Result<RunOutcome, MachineError>,
     /// The machine after the run (also the handle to continue it via
-    /// [`SimJob::resume`]).
-    pub machine: Machine,
+    /// [`SimJob::resume`]). `None` only when the worker executing the job
+    /// panicked ([`JobOutcome::WorkerPanic`]) — unwound state is never
+    /// exposed.
+    pub machine: Option<Machine>,
+}
+
+impl JobOutput {
+    /// The surviving machine.
+    ///
+    /// # Panics
+    ///
+    /// If the job's worker panicked ([`JobOutcome::WorkerPanic`]) — check
+    /// [`JobOutput::machine`] when the batch ran under a [`FaultPlan`]
+    /// that injects panics.
+    pub fn machine(&self) -> &Machine {
+        self.machine
+            .as_ref()
+            .expect("job's worker panicked: no machine state survives")
+    }
+
+    /// Consumes the output, yielding the surviving machine; panics like
+    /// [`JobOutput::machine`].
+    pub fn into_machine(self) -> Machine {
+        self.machine
+            .expect("job's worker panicked: no machine state survives")
+    }
+}
+
+/// The per-batch execution context handed down to every unit: the
+/// effective cancel token, the batch deadline, and the fault plan.
+#[derive(Debug, Clone, Copy)]
+struct RunCtx<'a> {
+    cancel: Option<&'a CancelToken>,
+    deadline: Option<std::time::Instant>,
+    faults: &'a FaultPlan,
 }
 
 /// One schedulable unit on the worker pool: a solo job, or a gang of
@@ -242,10 +464,19 @@ enum Unit {
 }
 
 impl Unit {
-    /// Runs the unit to completion, producing one output per job in it.
-    fn execute(self, outs: &mut Vec<JobOutput>) {
+    /// The submission indexes of every job in this unit — captured before
+    /// execution so a panicking unit can still be accounted for.
+    fn job_indexes(&self) -> Vec<usize> {
         match self {
-            Unit::Single(index, job) => outs.push(job.execute(index)),
+            Unit::Single(index, _) => vec![*index],
+            Unit::Gang(group) => group.iter().map(|(index, _)| *index).collect(),
+        }
+    }
+
+    /// Runs the unit to completion, producing one output per job in it.
+    fn execute(self, ctx: &RunCtx<'_>, outs: &mut Vec<JobOutput>) {
+        match self {
+            Unit::Single(index, job) => outs.push(job.execute(index, ctx)),
             Unit::Gang(group) => {
                 // All jobs share a gang key (program, knobs, budget); the
                 // input vectors are per-lane.
@@ -278,18 +509,132 @@ impl Unit {
                         gang.poke_reg(lane, core, reg, value);
                     }
                 }
-                let results = gang.run_vcycles(vcycles);
+                gang.set_cancel_token(ctx.cancel.cloned());
+                gang.set_deadline(ctx.deadline);
+                // Lane -> submission index, for routing per-lane fault
+                // points.
+                let lane_jobs: Vec<usize> = group.iter().map(|(index, _)| *index).collect();
+                let results = run_gang_with_faults(&mut gang, vcycles, &lane_jobs, ctx.faults);
+                gang.set_cancel_token(None);
+                gang.set_deadline(None);
                 let machines = gang.into_machines();
                 for (((index, _), result), machine) in group.iter().zip(results).zip(machines) {
+                    let outcome = JobOutcome::classify(&result, Some(&machine));
                     outs.push(JobOutput {
                         index: *index,
+                        outcome,
                         result,
-                        machine,
+                        machine: Some(machine),
                     });
                 }
             }
         }
     }
+}
+
+/// Runs a gang to `budget` Vcycles, firing its member jobs' fault points
+/// at their (lockstep) Vcycle positions. With no points this is exactly
+/// one [`GangMachine::run_vcycles`] call. With points, the lockstep run
+/// is sliced at each injection Vcycle: an [`FaultKind::Error`] parks just
+/// the targeted lane (its siblings keep running — PR 5's lane-masking
+/// semantics extended to injected faults), a stall delays the whole gang
+/// (lockstep has one clock), and a panic unwinds the worker (the
+/// caller's `catch_unwind` turns the whole gang into
+/// [`JobOutcome::WorkerPanic`] outputs).
+///
+/// `lane_jobs` maps lanes to submitted job indexes: lane `l` runs job
+/// `lane_jobs[l]`.
+fn run_gang_with_faults(
+    gang: &mut GangMachine,
+    budget: u64,
+    lane_jobs: &[usize],
+    faults: &FaultPlan,
+) -> Vec<Result<RunOutcome, MachineError>> {
+    let lanes = lane_jobs.len();
+    // Collect this gang's points as (vcycle, lane, kind), lockstep order.
+    let mut points: Vec<(u64, usize, FaultKind)> = Vec::new();
+    for (lane, &index) in lane_jobs.iter().enumerate() {
+        for p in faults.for_job(index) {
+            if p.vcycle < budget {
+                points.push((p.vcycle, lane, p.kind));
+            }
+        }
+    }
+    if points.is_empty() {
+        return gang.run_vcycles(budget);
+    }
+    points.sort_by_key(|&(vcycle, lane, _)| (vcycle, lane));
+
+    let mut acc: Vec<Result<RunOutcome, MachineError>> =
+        (0..lanes).map(|_| Ok(RunOutcome::default())).collect();
+    // Stitch one slice's per-lane results into the accumulator. A lane
+    // that erred in an earlier slice keeps its first error (the gang
+    // re-reports recorded faults on every call).
+    let merge = |acc: &mut Vec<Result<RunOutcome, MachineError>>,
+                 gang: &mut GangMachine,
+                 slice: Vec<Result<RunOutcome, MachineError>>|
+     -> bool {
+        let mut any_live = false;
+        for (lane, res) in slice.into_iter().enumerate() {
+            match (&mut acc[lane], res) {
+                (Ok(a), Ok(s)) => {
+                    a.vcycles_run += s.vcycles_run;
+                    a.finished |= s.finished;
+                    a.displays.extend(s.displays);
+                    a.interrupted = s.interrupted;
+                    if !(a.finished || a.interrupted.is_some()) {
+                        any_live = true;
+                    }
+                }
+                (slot @ Ok(_), Err(e)) => {
+                    // First error on this lane: displays it accumulated in
+                    // earlier slices go back to the lane's pending queue,
+                    // like an unsliced faulting run.
+                    let Ok(a) = slot else { unreachable!() };
+                    gang.requeue_displays(lane, std::mem::take(&mut a.displays));
+                    *slot = Err(e);
+                }
+                (Err(_), _) => {}
+            }
+        }
+        any_live
+    };
+
+    let mut done = 0u64;
+    for &(vcycle, lane, kind) in &points {
+        let slice = vcycle - done;
+        if slice > 0 {
+            let res = gang.run_vcycles(slice);
+            done = vcycle;
+            if !merge(&mut acc, gang, res) {
+                return acc;
+            }
+        }
+        match kind {
+            FaultKind::WorkerPanic => {
+                panic!(
+                    "injected worker panic: job {} at vcycle {vcycle}",
+                    lane_jobs[lane]
+                );
+            }
+            FaultKind::Stall(millis) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            FaultKind::Error => {
+                gang.park_lane(
+                    lane,
+                    MachineError::Injected {
+                        vcycle: gang.counters(lane).vcycles,
+                    },
+                );
+            }
+        }
+    }
+    if done < budget {
+        let res = gang.run_vcycles(budget - done);
+        merge(&mut acc, gang, res);
+    }
+    acc
 }
 
 /// A fixed-size worker pool executing [`SimJob`] batches with
@@ -323,13 +668,20 @@ impl Fleet {
     /// pseudo-random order. A batch smaller than the pool simply leaves
     /// the surplus workers stealing nothing.
     pub fn run(&self, jobs: Vec<SimJob>) -> Vec<JobOutput> {
+        self.run_with(jobs, &BatchPolicy::default())
+    }
+
+    /// [`Fleet::run`] under a [`BatchPolicy`]: cooperative cancellation,
+    /// a batch deadline, fail-fast, and/or a deterministic [`FaultPlan`].
+    /// With the default policy this is exactly [`Fleet::run`].
+    pub fn run_with(&self, jobs: Vec<SimJob>, policy: &BatchPolicy) -> Vec<JobOutput> {
         let n = jobs.len();
         let units = jobs
             .into_iter()
             .enumerate()
             .map(|(index, job)| Unit::Single(index, job))
             .collect();
-        self.run_units(units, n)
+        self.run_units(units, n, policy)
     }
 
     /// Like [`Fleet::run`], but batches compatible jobs into gangs of up
@@ -345,8 +697,20 @@ impl Fleet {
     /// (`tests/gang_equivalence.rs` holds this to full-regfile
     /// fingerprints).
     pub fn run_ganged(&self, jobs: Vec<SimJob>, lanes: usize) -> Vec<JobOutput> {
+        self.run_ganged_with(jobs, lanes, &BatchPolicy::default())
+    }
+
+    /// [`Fleet::run_ganged`] under a [`BatchPolicy`] — see
+    /// [`Fleet::run_with`]. An [`FaultKind::Error`] aimed at a ganged job
+    /// parks just that lane; its lane-mates run to completion.
+    pub fn run_ganged_with(
+        &self,
+        jobs: Vec<SimJob>,
+        lanes: usize,
+        policy: &BatchPolicy,
+    ) -> Vec<JobOutput> {
         if lanes <= 1 {
-            return self.run(jobs);
+            return self.run_with(jobs, policy);
         }
         // A gang machine holds at most MAX_LANES lanes; wider requests
         // simply open another gang (never truncate a group against a
@@ -390,17 +754,37 @@ impl Fleet {
                 }
             }
         }
-        self.run_units(units, n)
+        self.run_units(units, n, policy)
     }
 
     /// The worker pool proper: deals `units` round-robin and runs them
     /// with work-stealing, writing each produced output into its
-    /// submission-indexed slot.
-    fn run_units(&self, units: Vec<Unit>, n_jobs: usize) -> Vec<JobOutput> {
+    /// submission-indexed slot. Each unit executes under `catch_unwind`:
+    /// a panicking job (injected or genuine) yields
+    /// [`JobOutcome::WorkerPanic`] outputs for the unit's jobs and the
+    /// worker moves on to its next unit — the batch always returns one
+    /// output per job, in submission order.
+    fn run_units(&self, units: Vec<Unit>, n_jobs: usize, policy: &BatchPolicy) -> Vec<JobOutput> {
         if n_jobs == 0 {
             return Vec::new();
         }
         let workers = self.workers.min(units.len());
+
+        // The effective cancel token: fail-fast needs one to trip, and a
+        // caller token must never be tripped by the fleet itself — so
+        // fail-fast on top of a caller token derives a child.
+        let cancel: Option<CancelToken> = match (&policy.cancel, policy.fail_fast) {
+            (Some(token), false) => Some(token.clone()),
+            (Some(token), true) => Some(token.child()),
+            (None, true) => Some(CancelToken::new()),
+            (None, false) => None,
+        };
+        let ctx = RunCtx {
+            cancel: cancel.as_ref(),
+            deadline: policy.deadline,
+            faults: &policy.faults,
+        };
+        let fail_fast = policy.fail_fast;
 
         // Deal units round-robin.
         let mut queues: Vec<VecDeque<Unit>> = (0..workers).map(|_| VecDeque::new()).collect();
@@ -421,8 +805,13 @@ impl Fleet {
                 let start = &start;
                 scope.spawn(move || {
                     // Align the batch start: no worker races ahead while
-                    // its peers are still being spawned.
-                    start.wait();
+                    // its peers are still being spawned. The guard keeps a
+                    // worker that somehow dies here from stranding its
+                    // peers at the rendezvous.
+                    let _guard = start.guard();
+                    if start.wait().is_err() {
+                        return;
+                    }
                     let mut rng = SmallRng::seed_from_u64(w as u64);
                     loop {
                         // Own queue first, front-out (submission order).
@@ -446,11 +835,47 @@ impl Fleet {
                         };
                         match task {
                             Some(unit) => {
+                                // Capture the unit's job indexes before it
+                                // is consumed, so a panic can still be
+                                // pinned to its jobs.
+                                let indexes = unit.job_indexes();
                                 let mut outs = Vec::new();
-                                unit.execute(&mut outs);
+                                let panicked =
+                                    catch_silent_mut(|| unit.execute(&ctx, &mut outs)).err();
+                                let mut failed = false;
+                                let mut produced = vec![false; indexes.len()];
                                 for output in outs {
+                                    failed |= output.outcome.is_failure();
+                                    if let Some(at) =
+                                        indexes.iter().position(|&i| i == output.index)
+                                    {
+                                        produced[at] = true;
+                                    }
                                     let slot = output.index;
                                     *slots[slot].lock().unwrap() = Some(output);
+                                }
+                                // A panic mid-unit: every job the unit did
+                                // not get to report becomes a structured
+                                // WorkerPanic output.
+                                if let Some(message) = panicked {
+                                    failed = true;
+                                    for (&index, _) in
+                                        indexes.iter().zip(&produced).filter(|(_, &done)| !done)
+                                    {
+                                        *slots[index].lock().unwrap() = Some(JobOutput {
+                                            index,
+                                            outcome: JobOutcome::WorkerPanic,
+                                            result: Err(MachineError::WorkerPanic {
+                                                message: message.clone(),
+                                            }),
+                                            machine: None,
+                                        });
+                                    }
+                                }
+                                if fail_fast && failed {
+                                    if let Some(token) = ctx.cancel {
+                                        token.cancel();
+                                    }
                                 }
                             }
                             None => break,
@@ -529,10 +954,21 @@ pub struct ExploreReport {
     pub displays: u64,
     /// Children that aborted on a failed assertion.
     pub asserts: u64,
-    /// Children that aborted on any other [`MachineError`].
+    /// Children that aborted on any other [`MachineError`] (injected
+    /// faults included).
     pub faults: u64,
     /// Children whose design reached `$finish`.
     pub finished: u64,
+    /// Children lost to a worker panic: their whole gang unwound, so they
+    /// were neither scored nor kept — the rest of the round's frontier
+    /// stayed deterministic without them. Always 0 without a
+    /// panic-injecting [`FaultPlan`].
+    pub killed: u64,
+    /// `Some` when the exploration stopped early on the batch policy's
+    /// cancel token or deadline (checked between rounds, never inside
+    /// one, so every completed round is exactly the round an uninterrupted
+    /// run would have produced).
+    pub interrupted: Option<Interrupt>,
 }
 
 impl Fleet {
@@ -562,6 +998,26 @@ impl Fleet {
         program: &Arc<CompiledProgram>,
         cfg: &ExploreConfig,
     ) -> Result<ExploreReport, MachineError> {
+        self.explore_with(program, cfg, &BatchPolicy::default())
+    }
+
+    /// [`Fleet::explore`] under a [`BatchPolicy`]. Cancellation and the
+    /// deadline are honored *between* rounds only — inside a round the
+    /// tree must stay a pure function of `(program, config)`, so every
+    /// completed round is exactly what an uninterrupted run would have
+    /// produced. [`FaultPlan`] points address children by their global
+    /// submission ordinal (round by round, frontier order, lane order):
+    /// an injected error parks that child (tallied in
+    /// [`ExploreReport::faults`], like a real fault), and an injected
+    /// panic loses the child's whole gang ([`ExploreReport::killed`])
+    /// while the frontier deterministically continues from the surviving
+    /// gangs.
+    pub fn explore_with(
+        &self,
+        program: &Arc<CompiledProgram>,
+        cfg: &ExploreConfig,
+        policy: &BatchPolicy,
+    ) -> Result<ExploreReport, MachineError> {
         let lanes = cfg.lanes.clamp(1, MAX_LANES);
         let cap = cfg.frontier_cap.max(1);
         let mut report = ExploreReport::default();
@@ -575,8 +1031,28 @@ impl Fleet {
         let mut frontier: Vec<Checkpoint> = vec![root.checkpoint()];
         report.frontier_peak = 1;
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        // Global child ordinal in submission order — the job index a
+        // FaultPlan addresses.
+        let mut next_child: usize = 0;
 
         for _ in 0..cfg.rounds {
+            // The round boundary is the only interruption point; see the
+            // method docs for why.
+            let stop = if policy.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                Some(Interrupt::Cancelled)
+            } else if policy
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                Some(Interrupt::Deadline)
+            } else {
+                None
+            };
+            if let Some(stop) = stop {
+                report.interrupted = Some(stop);
+                break;
+            }
+
             // Fork the frontier and draw every lane's stimulus serially,
             // in frontier order, so the tree is independent of worker
             // scheduling.
@@ -590,16 +1066,24 @@ impl Fleet {
                 }
                 gangs.push(gang);
             }
+            let round_base = next_child;
+            next_child += gangs.len() * lanes;
 
             // Run the round's gangs across the worker pool (same
-            // slot-per-submission discipline as `run_units`).
+            // slot-per-submission discipline as `run_units`). A gang
+            // whose worker panics (injected faults only — the simulator
+            // itself returns errors) is recorded as lost, not resultless.
             let n = gangs.len();
             let vcycles = cfg.vcycles_per_round.max(1);
-            type GangResult = (GangMachine, Vec<Result<RunOutcome, MachineError>>);
-            let slots: Vec<Mutex<Option<GangResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            enum GangSlot {
+                Done(GangMachine, Vec<Result<RunOutcome, MachineError>>),
+                Lost,
+            }
+            let slots: Vec<Mutex<Option<GangSlot>>> = (0..n).map(|_| Mutex::new(None)).collect();
             let queue: Mutex<Vec<(usize, GangMachine)>> =
                 Mutex::new(gangs.into_iter().enumerate().rev().collect());
             let workers = self.workers.min(n);
+            let faults = &policy.faults;
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let queue = &queue;
@@ -608,8 +1092,26 @@ impl Fleet {
                         let task = queue.lock().unwrap().pop();
                         match task {
                             Some((i, mut gang)) => {
-                                let results = gang.run_vcycles(vcycles);
-                                *slots[i].lock().unwrap() = Some((gang, results));
+                                let filled = if faults.is_empty() {
+                                    let results = gang.run_vcycles(vcycles);
+                                    Some(GangSlot::Done(gang, results))
+                                } else {
+                                    // Children of gang i are ordinals
+                                    // round_base + i*lanes + lane.
+                                    let base = round_base + i * lanes;
+                                    let lane_jobs: Vec<usize> =
+                                        (0..lanes).map(|lane| base + lane).collect();
+                                    catch_silent_mut(|| {
+                                        let results = run_gang_with_faults(
+                                            &mut gang, vcycles, &lane_jobs, faults,
+                                        );
+                                        (gang, results)
+                                    })
+                                    .map(|(gang, results)| GangSlot::Done(gang, results))
+                                    .ok()
+                                    .or(Some(GangSlot::Lost))
+                                };
+                                *slots[i].lock().unwrap() = filled;
                             }
                             None => break,
                         }
@@ -624,10 +1126,17 @@ impl Fleet {
             let mut raisers: Vec<Checkpoint> = Vec::new();
             let mut pad: Vec<Checkpoint> = Vec::new();
             for slot in slots {
-                let (gang, results) = slot
+                let (gang, results) = match slot
                     .into_inner()
                     .unwrap()
-                    .expect("every gang produces a result");
+                    .expect("every gang produces a result")
+                {
+                    GangSlot::Done(gang, results) => (gang, results),
+                    GangSlot::Lost => {
+                        report.killed += lanes as u64;
+                        continue;
+                    }
+                };
                 for (machine, result) in gang.into_machines().into_iter().zip(results) {
                     report.scenarios += 1;
                     let newly = coverage.observe(&machine);
@@ -732,7 +1241,7 @@ mod tests {
                 let run = out.result.as_ref().unwrap();
                 assert_eq!(run.vcycles_run, 10);
                 assert_eq!(
-                    out.machine.read_reg(CoreId::new(0, 0), Reg(1)),
+                    out.machine().read_reg(CoreId::new(0, 0), Reg(1)),
                     (10 * (i + 1)) as u16,
                     "job {i} with {workers} workers"
                 );
@@ -745,11 +1254,11 @@ mod tests {
         let program = counter_program();
         let fleet = Fleet::new(2);
         let first = fleet.run(vec![SimJob::new(&program, 3)]);
-        let machine = first.into_iter().next().unwrap().machine;
+        let machine = first.into_iter().next().unwrap().into_machine();
         assert_eq!(machine.read_reg(CoreId::new(0, 0), Reg(1)), 3);
         let second = fleet.run(vec![SimJob::resume(machine, 4)]);
         assert_eq!(
-            second[0].machine.read_reg(CoreId::new(0, 0), Reg(1)),
+            second[0].machine().read_reg(CoreId::new(0, 0), Reg(1)),
             7,
             "resumed run continues the same state"
         );
@@ -776,7 +1285,7 @@ mod tests {
         assert_eq!(outputs.len(), n);
         for (i, out) in outputs.iter().enumerate() {
             assert_eq!(out.index, i);
-            assert_eq!(out.machine.read_reg(core, Reg(1)), (5 * (i + 1)) as u16);
+            assert_eq!(out.machine().read_reg(core, Reg(1)), (5 * (i + 1)) as u16);
         }
     }
 
@@ -808,14 +1317,14 @@ mod tests {
             for (out, re) in ganged.iter().zip(&reference) {
                 assert_eq!(out.index, re.index, "lanes {lanes}: submission order");
                 assert_eq!(
-                    out.machine.read_reg(core, Reg(1)),
-                    re.machine.read_reg(core, Reg(1)),
+                    out.machine().read_reg(core, Reg(1)),
+                    re.machine().read_reg(core, Reg(1)),
                     "lanes {lanes}: job {} diverged from the solo path",
                     out.index
                 );
                 assert_eq!(
-                    out.machine.counters(),
-                    re.machine.counters(),
+                    out.machine().counters(),
+                    re.machine().counters(),
                     "lanes {lanes}: job {} counters diverged",
                     out.index
                 );
@@ -876,12 +1385,189 @@ mod tests {
             Fleet::new(4).run((0..8).map(|_| SimJob::new(&program, 5)).collect::<Vec<_>>());
         for out in &outputs {
             // Every run executes the same shared artifact...
-            assert!(Arc::ptr_eq(out.machine.program(), &program));
+            assert!(Arc::ptr_eq(out.machine().program(), &program));
             // ...and none of them perturbs another.
-            assert_eq!(out.machine.read_reg(CoreId::new(0, 0), Reg(1)), 5);
+            assert_eq!(out.machine().read_reg(CoreId::new(0, 0), Reg(1)), 5);
         }
         // 8 runs + the original handle + the machines' handles all alias
         // one compilation.
         assert!(Arc::strong_count(&program) >= 9);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_at_least_one() {
+        assert_eq!(Fleet::new(0).workers(), 1);
+        // ...and a zero-worker request still executes a batch.
+        let program = counter_program();
+        let outputs = Fleet::new(0).run(vec![SimJob::new(&program, 4)]);
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].outcome, JobOutcome::BudgetExhausted);
+        assert_eq!(outputs[0].machine().read_reg(CoreId::new(0, 0), Reg(1)), 4);
+    }
+
+    #[test]
+    fn resumed_faulted_machine_reports_faulted_without_rerunning() {
+        let program = counter_program();
+        let fleet = Fleet::new(2);
+        let mut machine = fleet
+            .run(vec![SimJob::new(&program, 3)])
+            .into_iter()
+            .next()
+            .unwrap()
+            .into_machine();
+        machine.inject_fault(MachineError::Injected { vcycle: 3 });
+        let vcycles_before = machine.counters().vcycles;
+        let out = fleet
+            .run(vec![SimJob::resume(machine, 10)])
+            .into_iter()
+            .next()
+            .unwrap();
+        assert_eq!(out.outcome, JobOutcome::Faulted);
+        assert!(matches!(
+            out.result,
+            Err(MachineError::Injected { vcycle: 3 })
+        ));
+        assert_eq!(
+            out.machine().counters().vcycles,
+            vcycles_before,
+            "a parked machine must not execute further Vcycles"
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_contained_to_its_job() {
+        let program = counter_program();
+        let core = CoreId::new(0, 0);
+        let policy = BatchPolicy {
+            faults: FaultPlan::none().panic_at(2, 3),
+            ..BatchPolicy::default()
+        };
+        for workers in [1, 4] {
+            let jobs: Vec<SimJob> = (0..6)
+                .map(|i| SimJob::new(&program, 8).poke(core, Reg(2), (i + 1) as u16))
+                .collect();
+            let outputs = Fleet::new(workers).run_with(jobs, &policy);
+            assert_eq!(outputs.len(), 6);
+            for (i, out) in outputs.iter().enumerate() {
+                assert_eq!(out.index, i);
+                if i == 2 {
+                    assert_eq!(out.outcome, JobOutcome::WorkerPanic);
+                    assert!(out.machine.is_none());
+                    assert!(matches!(out.result, Err(MachineError::WorkerPanic { .. })));
+                } else {
+                    assert_eq!(out.outcome, JobOutcome::BudgetExhausted);
+                    assert_eq!(
+                        out.machine().read_reg(core, Reg(1)),
+                        (8 * (i + 1)) as u16,
+                        "job {i}: survivors must be identical to a clean run"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_batch_stops_every_job_before_its_first_vcycle() {
+        let program = counter_program();
+        let token = CancelToken::new();
+        token.cancel();
+        let policy = BatchPolicy {
+            cancel: Some(token),
+            ..BatchPolicy::default()
+        };
+        let jobs: Vec<SimJob> = (0..4).map(|_| SimJob::new(&program, 50)).collect();
+        for outputs in [
+            Fleet::new(2).run_with((0..4).map(|_| SimJob::new(&program, 50)).collect(), &policy),
+            Fleet::new(2).run_ganged_with(jobs, 4, &policy),
+        ] {
+            for out in &outputs {
+                assert_eq!(out.outcome, JobOutcome::Cancelled);
+                assert_eq!(out.result.as_ref().unwrap().vcycles_run, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_deterministically() {
+        let program = counter_program();
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        // Per-job deadline...
+        let out = Fleet::new(1)
+            .run(vec![SimJob::new(&program, 50).deadline(past)])
+            .pop()
+            .unwrap();
+        assert_eq!(out.outcome, JobOutcome::Deadline);
+        assert_eq!(out.result.as_ref().unwrap().vcycles_run, 0);
+        // ...and batch deadline, which also stops gangs.
+        let policy = BatchPolicy {
+            deadline: Some(past),
+            ..BatchPolicy::default()
+        };
+        let outputs = Fleet::new(2).run_ganged_with(
+            (0..4).map(|_| SimJob::new(&program, 50)).collect(),
+            4,
+            &policy,
+        );
+        for out in &outputs {
+            assert_eq!(out.outcome, JobOutcome::Deadline);
+            assert_eq!(out.result.as_ref().unwrap().vcycles_run, 0);
+        }
+    }
+
+    #[test]
+    fn fail_fast_cancels_the_survivors_without_tripping_the_caller_token() {
+        let program = counter_program();
+        let caller = CancelToken::new();
+        let policy = BatchPolicy {
+            cancel: Some(caller.clone()),
+            fail_fast: true,
+            // Job 0 faults immediately; with one worker the remaining
+            // jobs observe the cancellation before they start.
+            faults: FaultPlan::none().error_at(0, 0),
+            ..BatchPolicy::default()
+        };
+        let jobs: Vec<SimJob> = (0..5).map(|_| SimJob::new(&program, 1_000)).collect();
+        let outputs = Fleet::new(1).run_with(jobs, &policy);
+        assert_eq!(outputs[0].outcome, JobOutcome::Faulted);
+        for out in &outputs[1..] {
+            assert_eq!(out.outcome, JobOutcome::Cancelled);
+            assert_eq!(out.result.as_ref().unwrap().vcycles_run, 0);
+        }
+        assert!(
+            !caller.is_cancelled(),
+            "fail-fast must trip a child token, never the caller's"
+        );
+    }
+
+    #[test]
+    fn injected_gang_fault_parks_one_lane_and_its_siblings_survive() {
+        let program = counter_program();
+        let core = CoreId::new(0, 0);
+        let policy = BatchPolicy {
+            faults: FaultPlan::none().error_at(1, 4),
+            ..BatchPolicy::default()
+        };
+        let jobs: Vec<SimJob> = (0..4)
+            .map(|i| SimJob::new(&program, 10).poke(core, Reg(2), (i + 1) as u16))
+            .collect();
+        let outputs = Fleet::new(2).run_ganged_with(jobs, 4, &policy);
+        for (i, out) in outputs.iter().enumerate() {
+            if i == 1 {
+                assert_eq!(out.outcome, JobOutcome::Faulted);
+                assert!(matches!(
+                    out.result,
+                    Err(MachineError::Injected { vcycle: 4 })
+                ));
+                // The lane froze at the injection point.
+                assert_eq!(out.machine().read_reg(core, Reg(1)), (4 * (i + 1)) as u16);
+            } else {
+                assert_eq!(out.outcome, JobOutcome::BudgetExhausted);
+                assert_eq!(
+                    out.machine().read_reg(core, Reg(1)),
+                    (10 * (i + 1)) as u16,
+                    "lane {i} must run to its full budget"
+                );
+            }
+        }
     }
 }

@@ -56,9 +56,10 @@ pub struct Checkpoint {
     pub(crate) replay_engine: ReplayEngine,
     pub(crate) tape_invalidated: bool,
     /// `Some` when the snapshot was taken from a parked (faulted) gang
-    /// lane: forking it reproduces lanes parked with this exact error,
-    /// and [`Checkpoint::boot`] yields the machine frozen at the abort
-    /// point (see [`GangMachine::checkpoint_lane`]).
+    /// lane or a parked machine: forking it reproduces lanes parked with
+    /// this exact error, and [`Checkpoint::boot`] yields the machine
+    /// frozen at the abort point (see [`GangMachine::checkpoint_lane`],
+    /// [`Machine::fault`]).
     pub(crate) fault: Option<MachineError>,
 }
 
@@ -89,9 +90,9 @@ impl Checkpoint {
     /// Boots a standalone [`Machine`] from this snapshot: fresh scratch
     /// buffers, everything else an exact copy of the captured state
     /// (including engine knobs), sharing the compiled program. If the
-    /// snapshot came from a faulted lane, the machine is the state frozen
-    /// at the abort point; the fault itself is a lane-level notion and is
-    /// reported by [`Checkpoint::fault`] / [`Checkpoint::fork`].
+    /// snapshot came from a faulted lane or a parked machine, the boot is
+    /// the state frozen at the abort point, still parked with the
+    /// recorded fault ([`Machine::fault`]).
     pub fn boot(&self) -> Machine {
         Machine {
             program: Arc::clone(&self.program),
@@ -112,6 +113,9 @@ impl Checkpoint {
             send_buf: Vec::new(),
             send_vals_buf: Vec::new(),
             due_buf: Vec::new(),
+            fault: self.fault.clone(),
+            // Host-side run control is not part of a snapshot.
+            control: None,
         }
     }
 
@@ -151,7 +155,7 @@ impl Machine {
             replay_enabled: self.replay_enabled,
             replay_engine: self.replay_engine,
             tape_invalidated: self.tape_invalidated,
-            fault: None,
+            fault: self.fault.clone(),
         }
     }
 
@@ -188,6 +192,9 @@ impl Machine {
         self.send_buf.clear();
         self.send_vals_buf.clear();
         self.due_buf.clear();
+        // The fault is part of the restored state (rewinding to a clean
+        // snapshot un-parks a faulted machine); run control is not.
+        self.fault = cp.fault.clone();
         Ok(())
     }
 

@@ -64,7 +64,9 @@ use manticore_isa::{AluOp, CoreId, ExceptionDescriptor, Reg};
 use crate::checkpoint::Checkpoint;
 use crate::core::CoreState;
 use crate::exec::service_exception;
-use crate::grid::{HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome};
+use crate::grid::{
+    HostEvent, Interrupt, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome,
+};
 use crate::program::{CompiledProgram, CoreProgram};
 use crate::uops::{MicroOp, UOp};
 
@@ -132,6 +134,11 @@ pub struct GangMachine {
     replay_enabled: bool,
     replay_engine: ReplayEngine,
     tape_invalidated: bool,
+    /// Cooperative cancellation, polled between lockstep Vcycles —
+    /// [`Machine::set_cancel_token`] for the whole gang.
+    cancel: Option<manticore_util::CancelToken>,
+    /// Wall-clock deadline, polled between lockstep Vcycles.
+    deadline: Option<std::time::Instant>,
     // ---- reusable buffers: nothing below allocates per Vcycle ----
     /// Lanes running in the current ganged Vcycle; shrinks when a lane
     /// faults mid-Vcycle.
@@ -158,6 +165,8 @@ impl GangMachine {
             replay_enabled: true,
             replay_engine: ReplayEngine::MicroOps,
             tape_invalidated: false,
+            cancel: None,
+            deadline: None,
             vc_active: Vec::with_capacity(lanes),
             send_vals: Vec::new(),
             program,
@@ -194,6 +203,8 @@ impl GangMachine {
             replay_enabled: cp.replay_enabled,
             replay_engine: cp.replay_engine,
             tape_invalidated: cp.tape_invalidated,
+            cancel: None,
+            deadline: None,
             vc_active: Vec::with_capacity(lanes),
             send_vals: Vec::new(),
             program: Arc::clone(&cp.program),
@@ -259,6 +270,43 @@ impl GangMachine {
     /// The currently selected replay lowering.
     pub fn replay_engine(&self) -> ReplayEngine {
         self.replay_engine
+    }
+
+    /// Installs (or clears) the cooperative cancellation token the gang
+    /// polls between lockstep Vcycles — [`Machine::set_cancel_token`] for
+    /// the whole gang.
+    pub fn set_cancel_token(&mut self, token: Option<manticore_util::CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Installs (or clears) the wall-clock deadline the gang polls between
+    /// lockstep Vcycles — [`Machine::set_deadline`] for the whole gang.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Parks one running lane with an error, exactly as if the lane had
+    /// faulted on its own: subsequent [`GangMachine::run_vcycles`] calls
+    /// report the error without executing the lane, and the survivors keep
+    /// running. Finished or already-faulted lanes are left untouched. This
+    /// is the fleet's fault-injection hook.
+    pub fn park_lane(&mut self, lane: usize, err: MachineError) {
+        // At a Vcycle boundary no ganged bookkeeping is needed: the inner
+        // loop recomputes `vc_active` from `lane_status` every Vcycle.
+        if matches!(self.lane_status[lane], LaneStatus::Running) {
+            self.lane_status[lane] = LaneStatus::Faulted(err);
+        }
+    }
+
+    /// Splices `$display` lines back onto the front of a lane's pending
+    /// event queue — the per-lane [`Machine::requeue_displays`], used by
+    /// the fleet when a sliced run accumulates displays before a fault.
+    pub fn requeue_displays(&mut self, lane: usize, displays: Vec<String>) {
+        if displays.is_empty() {
+            return;
+        }
+        self.lane_events_mut(lane)
+            .splice(0..0, displays.into_iter().map(HostEvent::Display));
     }
 
     /// True when replay is enabled and a frozen tape exists — mirrors
@@ -422,6 +470,27 @@ impl GangMachine {
             {
                 break;
             }
+            // Cooperative interruption, polled at the lockstep Vcycle
+            // boundary: every still-running lane reports the interrupt
+            // (the gang advances as one, so they all stop together).
+            let stop = if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                Some(Interrupt::Cancelled)
+            } else if self
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                Some(Interrupt::Deadline)
+            } else {
+                None
+            };
+            if let Some(stop) = stop {
+                for (l, s) in self.lane_status.iter().enumerate() {
+                    if matches!(s, LaneStatus::Running) {
+                        outcomes[l].interrupted = Some(stop);
+                    }
+                }
+                break;
+            }
             if self.gang_replay_ready() {
                 if matches!(self.state, LaneState::Solo(_)) {
                     self.interleave();
@@ -548,6 +617,12 @@ impl GangMachine {
             m.replay_engine = self.replay_engine;
             m.tape_invalidated = self.tape_invalidated;
             m.finish_requested = matches!(self.lane_status[lane], LaneStatus::Finished);
+            // A parked lane unbundles into a parked machine carrying the
+            // same fault ([`Machine::fault`]).
+            m.fault = match &self.lane_status[lane] {
+                LaneStatus::Faulted(e) => Some(e.clone()),
+                _ => None,
+            };
         }
         machines
     }

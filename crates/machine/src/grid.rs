@@ -85,6 +85,18 @@ pub enum HostEvent {
     Finish,
 }
 
+/// Why a run stopped early at a Vcycle boundary without an error: a
+/// cooperative interrupt, observed by the engines between Vcycles (see
+/// [`Machine::set_cancel_token`] / [`Machine::set_deadline`]). The machine
+/// state is consistent — the run can be checkpointed or resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The attached [`manticore_util::CancelToken`] tripped.
+    Cancelled,
+    /// The attached wall-clock deadline passed.
+    Deadline,
+}
+
 /// Outcome of a [`Machine::run_vcycles`] call.
 #[derive(Debug, Clone, Default)]
 pub struct RunOutcome {
@@ -95,6 +107,10 @@ pub struct RunOutcome {
     pub finished: bool,
     /// Rendered `$display` output in order.
     pub displays: Vec<String>,
+    /// `Some` when the run stopped early on a cooperative interrupt
+    /// (cancellation or deadline) rather than finishing or exhausting its
+    /// Vcycle budget.
+    pub interrupted: Option<Interrupt>,
 }
 
 /// Errors: load-time validation failures and runtime determinism
@@ -191,6 +207,21 @@ pub enum MachineError {
         /// The requested lane count.
         requested: usize,
     },
+    /// A spurious fault planted by the fault-injection plane
+    /// ([`Machine::inject_fault`], `manticore_fleet`'s `FaultPlan`). Real
+    /// execution never produces this variant, so a harness can always tell
+    /// injected failures from genuine determinism violations.
+    Injected {
+        /// Vcycle boundary the fault was planted at.
+        vcycle: u64,
+    },
+    /// The host-side worker driving this job panicked; the job's state was
+    /// discarded. Produced by the fleet's panic isolation, never by the
+    /// machine itself.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -236,6 +267,12 @@ impl fmt::Display for MachineError {
                 "fork width {requested} outside 1..={} lanes",
                 crate::MAX_LANES
             ),
+            MachineError::Injected { vcycle } => {
+                write!(f, "injected fault at Vcycle {vcycle}")
+            }
+            MachineError::WorkerPanic { message } => {
+                write!(f, "worker panicked: {message}")
+            }
         }
     }
 }
@@ -327,6 +364,23 @@ pub struct Machine {
     /// Reusable per-position scratch: messages due at one compute cycle
     /// (the interpreter's `take_due` scan).
     pub(crate) due_buf: Vec<Message>,
+    /// The first error this run hit, recorded so a faulted machine keeps
+    /// reporting it instead of re-executing from corrupt-adjacent state
+    /// (and so the fleet can classify a resumed faulted job without
+    /// running it).
+    pub(crate) fault: Option<MachineError>,
+    /// Cooperative run control (cancellation token, wall-clock deadline).
+    /// Boxed behind an `Option` so the common uncontrolled run pays one
+    /// null check per Vcycle and nothing else.
+    pub(crate) control: Option<Box<RunControl>>,
+}
+
+/// Cooperative controls checked at Vcycle boundaries. Host-side only:
+/// never part of the architectural state, never captured by checkpoints.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RunControl {
+    pub(crate) cancel: Option<manticore_util::CancelToken>,
+    pub(crate) deadline: Option<std::time::Instant>,
 }
 
 impl Machine {
@@ -391,6 +445,8 @@ impl Machine {
             send_buf: Vec::new(),
             send_vals_buf: Vec::new(),
             due_buf: Vec::new(),
+            fault: None,
+            control: None,
             program,
         }
     }
@@ -583,25 +639,112 @@ impl Machine {
         self.cache.peek(addr)
     }
 
+    /// Attaches (or with `None` detaches) a cooperative cancellation
+    /// token: every engine polls it between Vcycles and stops with
+    /// [`RunOutcome::interrupted`] = [`Interrupt::Cancelled`] once it
+    /// trips. Host-side control only — never captured by checkpoints.
+    pub fn set_cancel_token(&mut self, token: Option<manticore_util::CancelToken>) {
+        self.control_mut().cancel = token;
+        self.trim_control();
+    }
+
+    /// Attaches (or with `None` detaches) a wall-clock deadline: every
+    /// engine polls it between Vcycles and stops with
+    /// [`RunOutcome::interrupted`] = [`Interrupt::Deadline`] once it
+    /// passes. A deadline already in the past stops the run before its
+    /// first Vcycle, deterministically.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.control_mut().deadline = deadline;
+        self.trim_control();
+    }
+
+    fn control_mut(&mut self) -> &mut RunControl {
+        self.control.get_or_insert_with(Box::default)
+    }
+
+    /// Drops the control block again when both knobs are off, restoring
+    /// the zero-cost (single null check) uncontrolled fast path.
+    fn trim_control(&mut self) {
+        if self
+            .control
+            .as_ref()
+            .is_some_and(|c| c.cancel.is_none() && c.deadline.is_none())
+        {
+            self.control = None;
+        }
+    }
+
+    /// The interrupt the next Vcycle boundary would observe, if any.
+    /// Cancellation wins over an expired deadline (it is the stronger,
+    /// caller-initiated signal).
+    #[inline]
+    pub(crate) fn check_interrupt(&self) -> Option<Interrupt> {
+        let ctl = self.control.as_deref()?;
+        if ctl.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            return Some(Interrupt::Cancelled);
+        }
+        if ctl.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            return Some(Interrupt::Deadline);
+        }
+        None
+    }
+
+    /// True once `$finish` fired: further [`Machine::run_vcycles`] calls
+    /// return immediately with zero Vcycles run.
+    pub fn finished(&self) -> bool {
+        self.finish_requested
+    }
+
+    /// The error that aborted this run, if any. A faulted machine is
+    /// parked: [`Machine::run_vcycles`] keeps returning the recorded error
+    /// without executing further Vcycles.
+    pub fn fault(&self) -> Option<&MachineError> {
+        self.fault.as_ref()
+    }
+
+    /// Plants `err` as this run's fault: the next [`Machine::run_vcycles`]
+    /// call reports it without executing. The fault-injection plane's
+    /// entry point (spurious [`MachineError::Injected`] faults), also
+    /// usable to park a machine deliberately.
+    pub fn inject_fault(&mut self, err: MachineError) {
+        if self.fault.is_none() {
+            self.fault = Some(err);
+        }
+    }
+
     /// Runs up to `max_vcycles` virtual cycles on the engine selected by
     /// [`Machine::set_exec_mode`].
     ///
     /// # Errors
     ///
-    /// Any determinism violation or assertion failure aborts the run.
+    /// Any determinism violation or assertion failure aborts the run and
+    /// parks the machine: the error is recorded ([`Machine::fault`]) and
+    /// re-reported by subsequent calls without executing further Vcycles —
+    /// mirroring a parked gang lane.
     pub fn run_vcycles(&mut self, max_vcycles: u64) -> Result<RunOutcome, MachineError> {
-        match self.exec_mode {
+        if let Some(err) = &self.fault {
+            return Err(err.clone());
+        }
+        let result = match self.exec_mode {
             ExecMode::Serial => self.run_vcycles_serial(max_vcycles),
             ExecMode::Parallel { shards } => {
                 crate::parallel::run_vcycles_parallel(self, max_vcycles, shards)
             }
+        };
+        if let Err(e) = &result {
+            self.fault = Some(e.clone());
         }
+        result
     }
 
     fn run_vcycles_serial(&mut self, max_vcycles: u64) -> Result<RunOutcome, MachineError> {
         let mut outcome = RunOutcome::default();
         for _ in 0..max_vcycles {
             if self.finish_requested {
+                break;
+            }
+            if let Some(stop) = self.check_interrupt() {
+                outcome.interrupted = Some(stop);
                 break;
             }
             if let Err(e) = self.step_vcycle() {
@@ -640,8 +783,10 @@ impl Machine {
     /// Puts displays already drained into a partial outcome back at the
     /// front of the event queue, so a failed multi-Vcycle run does not
     /// lose the output that fired before the failure (it stays available
-    /// via [`Machine::drain_pending_displays`]).
-    pub(crate) fn requeue_displays(&mut self, displays: Vec<String>) {
+    /// via [`Machine::drain_pending_displays`]). Public for drivers that
+    /// slice a budget across several `run_vcycles` calls (the fleet's
+    /// fault-injection plane) and hit an error mid-slice.
+    pub fn requeue_displays(&mut self, displays: Vec<String>) {
         if displays.is_empty() {
             return;
         }

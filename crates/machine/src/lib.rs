@@ -80,7 +80,7 @@ pub use checkpoint::Checkpoint;
 pub use coverage::CoverageMap;
 pub use gang::{GangMachine, MAX_LANES};
 pub use grid::{
-    ExecMode, HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome,
+    ExecMode, HostEvent, Interrupt, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome,
 };
 pub use program::CompiledProgram;
 

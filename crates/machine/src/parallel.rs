@@ -59,7 +59,9 @@ use manticore_util::SpinBarrier;
 use crate::cache::Cache;
 use crate::core::{CoreState, CoreView};
 use crate::exec::{core_id_of, exec_epilogue_slot, exec_instr, step_core, ExecEnv, SendRecord};
-use crate::grid::{HostEvent, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome};
+use crate::grid::{
+    HostEvent, Interrupt, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome,
+};
 use crate::program::CoreProgram;
 use crate::replay::ReplayTape;
 use crate::uops::{run_core_uops, MicroProgram};
@@ -451,6 +453,10 @@ pub(crate) fn run_vcycles_parallel(
     let config = &program.config;
     let exceptions = &program.exceptions[..];
     let progs = &program.cores[..];
+    // Cooperative controls, copied out before the split borrows (the
+    // token is an `Arc` clone, the deadline is `Copy`).
+    let cancel = m.control.as_deref().and_then(|c| c.cancel.clone());
+    let deadline = m.control.as_deref().and_then(|c| c.deadline);
     let noc = &mut m.noc;
     let cache = &mut m.cache;
     let counters = &mut m.counters;
@@ -500,36 +506,49 @@ pub(crate) fn run_vcycles_parallel(
             let sid = w + 1;
             let ctl = &ctl;
             let scratches = &scratches;
-            scope.spawn(move || loop {
-                ctl.barrier.wait();
-                match ctl.cmd.load(Ordering::Acquire) {
-                    CMD_BODY => {
-                        let vstart = ctl.vstart.load(Ordering::Acquire);
-                        let vcycle = ctl.vcycle.load(Ordering::Acquire);
-                        let tape = replay_tape.filter(|_| vcycle > 0);
-                        let uprog = micro_prog.filter(|_| vcycle > 0);
-                        let mut sc = scratches[sid].lock().unwrap();
-                        body_phase(
-                            config, exceptions, strict, vcycle, vcl, &mut chunk, vstart, None,
-                            tape, uprog, &mut sc,
-                        );
+            scope.spawn(move || {
+                // If any participant (a sibling shard or the main thread)
+                // panics, its guard poisons the barrier and every wait
+                // errors out — workers exit instead of spinning forever on
+                // a rendezvous that can never complete.
+                let _guard = ctl.barrier.guard();
+                loop {
+                    if ctl.barrier.wait().is_err() {
+                        break;
                     }
-                    CMD_EPILOGUE => {
-                        let vstart = ctl.vstart.load(Ordering::Acquire);
-                        let vcycle = ctl.vcycle.load(Ordering::Acquire);
-                        let tape = replay_tape.filter(|_| vcycle > 0);
-                        let uprog = micro_prog.filter(|_| vcycle > 0);
-                        let mut sc = scratches[sid].lock().unwrap();
-                        epilogue_phase(
-                            config, exceptions, strict, vcycle, &mut chunk, vstart, vcl, tape,
-                            uprog, &mut sc,
-                        );
+                    match ctl.cmd.load(Ordering::Acquire) {
+                        CMD_BODY => {
+                            let vstart = ctl.vstart.load(Ordering::Acquire);
+                            let vcycle = ctl.vcycle.load(Ordering::Acquire);
+                            let tape = replay_tape.filter(|_| vcycle > 0);
+                            let uprog = micro_prog.filter(|_| vcycle > 0);
+                            let mut sc = scratches[sid].lock().unwrap();
+                            body_phase(
+                                config, exceptions, strict, vcycle, vcl, &mut chunk, vstart, None,
+                                tape, uprog, &mut sc,
+                            );
+                        }
+                        CMD_EPILOGUE => {
+                            let vstart = ctl.vstart.load(Ordering::Acquire);
+                            let vcycle = ctl.vcycle.load(Ordering::Acquire);
+                            let tape = replay_tape.filter(|_| vcycle > 0);
+                            let uprog = micro_prog.filter(|_| vcycle > 0);
+                            let mut sc = scratches[sid].lock().unwrap();
+                            epilogue_phase(
+                                config, exceptions, strict, vcycle, &mut chunk, vstart, vcl, tape,
+                                uprog, &mut sc,
+                            );
+                        }
+                        _ => break,
                     }
-                    _ => break,
+                    if ctl.barrier.wait().is_err() {
+                        break;
+                    }
                 }
-                ctl.barrier.wait();
             });
         }
+        // Main thread participates in the same panic protocol.
+        let _main_guard = ctl.barrier.guard();
 
         let mut outcome = RunOutcome::default();
         let mut fatal: Option<MachineError> = None;
@@ -554,6 +573,14 @@ pub(crate) fn run_vcycles_parallel(
             if *finish_requested {
                 break;
             }
+            if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                outcome.interrupted = Some(Interrupt::Cancelled);
+                break;
+            }
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                outcome.interrupted = Some(Interrupt::Deadline);
+                break;
+            }
             let vstart = *compute_time;
             let validate = counters.vcycles == 0;
             let tape = replay_tape.filter(|_| !validate);
@@ -563,7 +590,9 @@ pub(crate) fn run_vcycles_parallel(
             ctl.vstart.store(vstart, Ordering::Release);
             ctl.vcycle.store(counters.vcycles, Ordering::Release);
             ctl.cmd.store(CMD_BODY, Ordering::Release);
-            ctl.barrier.wait();
+            if ctl.barrier.wait().is_err() {
+                break 'vcycles;
+            }
             {
                 let mut sc = scratches[0].lock().unwrap();
                 body_phase(
@@ -580,7 +609,9 @@ pub(crate) fn run_vcycles_parallel(
                     &mut sc,
                 );
             }
-            ctl.barrier.wait();
+            if ctl.barrier.wait().is_err() {
+                break 'vcycles;
+            }
 
             // ---- NoC commit (serial): merge scratch, replay the NoC ----
             let mut pending_err: Option<RankedError> = None;
@@ -749,7 +780,9 @@ pub(crate) fn run_vcycles_parallel(
 
             // ---- epilogue phase (parallel) ----
             ctl.cmd.store(CMD_EPILOGUE, Ordering::Release);
-            ctl.barrier.wait();
+            if ctl.barrier.wait().is_err() {
+                break 'vcycles;
+            }
             {
                 let mut sc = scratches[0].lock().unwrap();
                 epilogue_phase(
@@ -765,7 +798,9 @@ pub(crate) fn run_vcycles_parallel(
                     &mut sc,
                 );
             }
-            ctl.barrier.wait();
+            if ctl.barrier.wait().is_err() {
+                break 'vcycles;
+            }
             for mx in scratches.iter() {
                 let mut sc = mx.lock().unwrap();
                 counters.merge_from(&sc.counters);
@@ -810,7 +845,10 @@ pub(crate) fn run_vcycles_parallel(
         }
 
         ctl.cmd.store(CMD_EXIT, Ordering::Release);
-        ctl.barrier.wait();
+        // On a poisoned barrier the workers have already exited; the error
+        // is deliberately ignored (the panic that caused it propagates
+        // through the scope join below).
+        let _ = ctl.barrier.wait();
         match fatal {
             Some(e) => {
                 // Keep pre-failure displays reachable, as the serial

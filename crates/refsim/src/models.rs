@@ -125,9 +125,9 @@ fn thread_body(barrier: &SpinBarrier, kernels: u64, cycles: u64, footprint_per_i
             }
         }
         // Barrier at end of computation...
-        barrier.wait();
+        barrier.wait().expect("model barrier is never poisoned");
         // ...and at end of (zero-cost) communication.
-        barrier.wait();
+        barrier.wait().expect("model barrier is never poisoned");
     }
     // Defeat optimization.
     std::hint::black_box((&state, &footprint));

@@ -334,20 +334,20 @@ impl MacroTaskPlan {
                 let b_start = &b_start;
                 let b_end = &b_end;
                 scope.spawn(move || loop {
-                    b_start.wait();
+                    b_start.wait().expect("tape barrier is never poisoned");
                     if stop.load(Ordering::Acquire) {
                         break;
                     }
                     run_tasks(tape, tasks, my_tasks, pending, shared);
-                    b_end.wait();
+                    b_end.wait().expect("tape barrier is never poisoned");
                 });
             }
             // Main thread drives cycles and the serial phase.
             let mut finished = false;
             for _ in 0..max_cycles {
-                b_start.wait();
+                b_start.wait().expect("tape barrier is never poisoned");
                 run_tasks(tape, &self.tasks, &self.assignment[0], &pending, shared);
-                b_end.wait();
+                b_end.wait().expect("tape barrier is never poisoned");
                 // Serial phase: checks, commit, counter reset (the second
                 // rendezvous of the cycle).
                 let ev: SimEvents = run_checks(&tape.checks, values);
@@ -367,7 +367,7 @@ impl MacroTaskPlan {
             }
             stats.finished = finished;
             stop.store(true, Ordering::Release);
-            b_start.wait(); // release workers into exit
+            b_start.wait().expect("tape barrier is never poisoned"); // release workers into exit
         });
         stats.seconds = start.elapsed().as_secs_f64();
         *cycle += stats.cycles;

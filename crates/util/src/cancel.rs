@@ -1,0 +1,115 @@
+//! Cooperative cancellation: a cheap, cloneable flag checked at safe
+//! points (Vcycle boundaries, round boundaries) by long-running work.
+//!
+//! Cancellation here is *cooperative* and *one-way*: once a token is
+//! cancelled it stays cancelled, and the work observes it only at the
+//! granularity it chooses to poll. That is exactly the right contract for
+//! the simulation engines — a Vcycle is the atomic unit of progress, so a
+//! cancelled run always stops on a Vcycle boundary with consistent state
+//! that can be checkpointed or resumed later.
+//!
+//! Tokens form a tree: [`CancelToken::child`] creates a token that trips
+//! when *either* it or its parent is cancelled. The fleet uses this for
+//! batch-level fail-fast — each batch gets a child of the caller's token,
+//! so the pool can abandon a batch without cancelling the caller's wider
+//! campaign, while the caller can still pull the plug on everything.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct CancelInner {
+    flag: AtomicBool,
+    parent: Option<CancelToken>,
+}
+
+/// A cloneable cancellation flag. All clones observe the same state;
+/// children additionally observe their parent.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token: tripped when either it or `self` is cancelled.
+    /// Cancelling the child does *not* cancel the parent.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Trips the token (and therefore every clone and descendant).
+    /// Idempotent.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on this token,
+    /// any clone of it, or any ancestor.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match &self.inner.parent {
+            Some(p) => p.is_cancelled(),
+            None => false,
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CancelToken;
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn child_observes_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel must not leak up");
+
+        let parent = CancelToken::new();
+        let child = parent.child();
+        parent.cancel();
+        assert!(child.is_cancelled(), "parent cancel propagates down");
+    }
+
+    #[test]
+    fn grandchildren_observe_the_root() {
+        let root = CancelToken::new();
+        let leaf = root.child().child();
+        root.cancel();
+        assert!(leaf.is_cancelled());
+    }
+}

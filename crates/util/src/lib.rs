@@ -19,14 +19,23 @@
 //!   workspace. The test suites are differential (two implementations must
 //!   agree on random inputs), so reproducibility matters more than
 //!   statistical sophistication: the same seed always generates the same
-//!   netlist, on every platform.
+//!   netlist, on every platform;
+//! - [`cancel::CancelToken`] — the cooperative cancellation flag every
+//!   engine polls at Vcycle boundaries, and the fleet's batch fail-fast
+//!   primitive;
+//! - [`panic::catch_silent`] — panic containment without backtrace spam,
+//!   behind the fleet's per-job isolation.
 
+pub mod cancel;
 pub mod hash;
+pub mod panic;
 pub mod pool;
 pub mod rng;
 pub mod spin;
 
+pub use cancel::CancelToken;
 pub use hash::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
+pub use panic::{catch_silent, catch_silent_mut};
 pub use pool::{parallel_map, parallel_map_mut};
 pub use rng::SmallRng;
-pub use spin::{spin_until, SpinBarrier};
+pub use spin::{spin_until, BarrierPoisoned, SpinBarrier};

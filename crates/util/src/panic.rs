@@ -1,0 +1,108 @@
+//! Panic containment: run a closure, converting a panic into an error
+//! message instead of unwinding into the caller — without spamming the
+//! process-wide panic hook's backtrace for panics that are *expected* to
+//! be caught (injected faults, isolated worker jobs).
+//!
+//! `std::panic::catch_unwind` alone still runs the default hook, so every
+//! contained panic would print a backtrace to stderr even though the
+//! caller handles it. [`catch_silent`] suppresses the hook for panics on
+//! the calling thread while it runs, delegating to the previously
+//! installed hook for every other thread — so a genuine, uncontained
+//! panic elsewhere in the process still reports normally.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe, UnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    /// True while the current thread is inside [`catch_silent`].
+    static SUPPRESS_HOOK: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// panics the current thread has asked to contain, and delegates to the
+/// previous hook otherwise.
+fn install_silencing_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if SUPPRESS_HOOK.with(Cell::get) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, catching any panic on this thread and returning its message
+/// as `Err` — without the default hook printing a backtrace for it.
+///
+/// The guard is a thread-local flag, so nested calls and panics on other
+/// threads behave correctly: only panics that unwind *into this call* are
+/// silenced.
+pub fn catch_silent<R>(f: impl FnOnce() -> R + UnwindSafe) -> Result<R, String> {
+    install_silencing_hook();
+    let was = SUPPRESS_HOOK.with(|s| s.replace(true));
+    let result = panic::catch_unwind(f);
+    SUPPRESS_HOOK.with(|s| s.set(was));
+    result.map_err(payload_message)
+}
+
+/// [`catch_silent`] for closures over `&mut` state. The caller asserts
+/// unwind safety: the fleet discards (or marks poisoned) any state a
+/// panicking job may have half-written.
+pub fn catch_silent_mut<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    catch_silent(AssertUnwindSafe(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{catch_silent, catch_silent_mut};
+
+    #[test]
+    fn ok_path_passes_the_value_through() {
+        assert_eq!(catch_silent(|| 7), Ok(7));
+    }
+
+    #[test]
+    fn panic_becomes_its_message() {
+        let err = catch_silent(|| -> u32 { panic!("boom {}", 3) }).unwrap_err();
+        assert_eq!(err, "boom 3");
+    }
+
+    #[test]
+    fn mut_state_survives_a_contained_panic() {
+        let mut v = vec![1, 2];
+        let err = catch_silent_mut(|| {
+            v.push(3);
+            panic!("mid-update");
+        })
+        .unwrap_err();
+        assert_eq!(err, "mid-update");
+        // The caller sees the half-applied update and decides what to do.
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_catches_restore_suppression() {
+        let outer = catch_silent_mut(|| {
+            let inner = catch_silent_mut(|| -> u32 { panic!("inner") });
+            assert_eq!(inner.unwrap_err(), "inner");
+            panic!("outer");
+        });
+        assert_eq!(outer.unwrap_err(), "outer");
+    }
+}

@@ -99,11 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let gang = &outputs[pi * SCENARIOS..(pi + 1) * SCENARIOS];
         let first = gang[0].result.as_ref().expect("sweep point runs clean");
         assert_eq!(first.vcycles_run, VCYCLES);
-        let counters = gang[0].machine.counters();
+        let counters = gang[0].machine().counters();
         // The replicas are identical scenarios: every lane of the gang
         // must land on the same counters (a live determinism check).
         for out in &gang[1..] {
-            assert_eq!(out.machine.counters(), counters, "gang lanes diverged");
+            assert_eq!(out.machine().counters(), counters, "gang lanes diverged");
         }
         println!(
             "{:>6} {:>8} {:>12.1} {:>9.2}x {:>8} {:>14.1}",

@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total_shares = 0usize;
     for run in &runs {
         let outcome = run.result.as_ref().expect("rig run succeeds");
-        let csum = run.sim.read_rtl_reg_by_name("csum").unwrap().to_u64();
+        let csum = run.sim().read_rtl_reg_by_name("csum").unwrap().to_u64();
         total_shares += outcome.displays.len();
         println!(
             "{:>4} {:>12x} {:>8} {:>14x}",

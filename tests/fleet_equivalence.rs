@@ -114,11 +114,11 @@ fn fleet_jobs_are_bit_identical_to_alone_runs() {
                 (f, s) => panic!("{what}: outcome kind diverged: {f:?} vs {s:?}"),
             }
             assert_eq!(
-                run.sim.machine().counters(),
+                run.sim().machine().counters(),
                 solo.machine().counters(),
                 "{what}: PerfCounters diverged"
             );
-            let f_regs = rtl_regs(run.sim.machine(), &output);
+            let f_regs = rtl_regs(run.sim().machine(), &output);
             let s_regs = rtl_regs(solo.machine(), &output);
             for (ri, reg) in output.optimized.registers().iter().enumerate() {
                 assert_eq!(
@@ -163,7 +163,7 @@ fn machine_job_set(
 /// file of every core (read through the flushed host view).
 fn fingerprint(out: &JobOutput, regfile_size: usize, grid: usize) -> Vec<u64> {
     let mut fp = Vec::new();
-    let c = out.machine.counters();
+    let c = out.machine().counters();
     fp.extend_from_slice(&[
         c.compute_cycles,
         c.vcycles,
@@ -175,7 +175,7 @@ fn fingerprint(out: &JobOutput, regfile_size: usize, grid: usize) -> Vec<u64> {
     for y in 0..grid {
         for x in 0..grid {
             for r in 0..regfile_size {
-                fp.push(out.machine.read_reg(
+                fp.push(out.machine().read_reg(
                     manticore::isa::CoreId::new(x as u8, y as u8),
                     manticore::isa::Reg(r as u16),
                 ) as u64);
@@ -288,7 +288,7 @@ fn resumed_job_pokes_land_before_the_first_resumed_vcycle() {
     // Segment 1: three Vcycles of counting. The Vcycle-3 increment (to 3)
     // is still in flight when the job returns.
     let first = fleet.run(vec![SimJob::new(&program, 3).strict_hazards(false)]);
-    let machine = first.into_iter().next().unwrap().machine;
+    let machine = first.into_iter().next().unwrap().into_machine();
     assert_eq!(
         machine.read_reg(core, Reg(1)),
         3,
@@ -301,14 +301,14 @@ fn resumed_job_pokes_land_before_the_first_resumed_vcycle() {
     let resumed = fleet.run(vec![SimJob::resume(machine, 4)
         .poke(core, Reg(1), 100)
         .strict_hazards(false)]);
-    let resumed_r1 = resumed[0].machine.read_reg(core, Reg(1));
+    let resumed_r1 = resumed[0].machine().read_reg(core, Reg(1));
 
     // Reference: the same poke on a *fresh* job, run for the same number
     // of Vcycles — the semantics resumed jobs must match.
     let fresh = fleet.run(vec![SimJob::new(&program, 4)
         .poke(core, Reg(1), 100)
         .strict_hazards(false)]);
-    let fresh_r1 = fresh[0].machine.read_reg(core, Reg(1));
+    let fresh_r1 = fresh[0].machine().read_reg(core, Reg(1));
 
     assert_eq!(fresh_r1, 104, "fresh-job poke semantics");
     assert_eq!(
@@ -319,7 +319,7 @@ fn resumed_job_pokes_land_before_the_first_resumed_vcycle() {
     // Same contract through the gang fork path: pokes planted on forked
     // lanes override in-flight state from before the fork.
     let root = fleet.run(vec![SimJob::new(&program, 3).strict_hazards(false)]);
-    let cp = root[0].machine.checkpoint();
+    let cp = root[0].machine().checkpoint();
     let mut gang = cp.fork(2).unwrap();
     gang.poke_reg(1, core, Reg(1), 100);
     gang.run_vcycles(4);

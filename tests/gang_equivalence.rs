@@ -122,7 +122,7 @@ fn gang_lanes_bit_identical_to_solo_runs() {
                         (g, s) => panic!("{what} lane {lane}: outcome kind: {g:?} vs {s:?}"),
                     }
                     assert_eq!(
-                        fingerprint(run.sim.machine(), rf, GRID),
+                        fingerprint(run.sim().machine(), rf, GRID),
                         fingerprint(solo.machine(), rf, GRID),
                         "{what} lane {lane}: full-regfile fingerprint diverged"
                     );
@@ -182,7 +182,7 @@ fn faulting_lane_is_masked_while_survivors_finish_unchanged() {
         Ok(o) => panic!("tripped lane should fault, ran {} vcycles", o.vcycles_run),
     }
     assert_eq!(
-        fingerprint(runs[tripped].sim.machine(), rf, 2),
+        fingerprint(runs[tripped].sim().machine(), rf, 2),
         fingerprint(tripped_solo.machine(), rf, 2),
         "tripped lane: state frozen at the solo abort point"
     );
@@ -201,7 +201,7 @@ fn faulting_lane_is_masked_while_survivors_finish_unchanged() {
         });
         assert_eq!(outcome.vcycles_run, VCYCLES, "lane {lane}");
         assert_eq!(
-            fingerprint(run.sim.machine(), rf, 2),
+            fingerprint(run.sim().machine(), rf, 2),
             fingerprint(clean.machine(), rf, 2),
             "surviving lane {lane} perturbed by the parked lane"
         );
@@ -240,11 +240,11 @@ fn wide_register_gang_pokes_mask_and_zero_extend_per_lane() {
         run.result.as_ref().unwrap();
         let lane = lane as u64;
         assert_eq!(
-            run.sim.read_rtl_reg_by_name("r40").unwrap().to_u64(),
+            run.sim().read_rtl_reg_by_name("r40").unwrap().to_u64(),
             0xFF_FFFF_FF00 | lane,
             "lane {lane}: out-of-width bits must be truncated"
         );
-        let r80 = run.sim.read_rtl_reg_by_name("r80").unwrap();
+        let r80 = run.sim().read_rtl_reg_by_name("r80").unwrap();
         assert_eq!(
             r80.to_u128(),
             (u64::MAX - lane) as u128,
