@@ -42,12 +42,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use manticore_compiler::{compile, CompileOptions, CompileOutput};
+use manticore_fleet::CompiledProgram;
 pub use manticore_fleet::{
-    BatchPolicy, ExploreConfig, ExploreReport, FaultKind, FaultPlan, FaultPoint, JobOutcome,
+    BatchPolicy, ExploreConfig, ExploreReport, FaultKind, FaultPlan, FaultPoint, Fleet, JobOutcome,
+    JobOutput, SimJob,
 };
-use manticore_fleet::{CompiledProgram, Fleet, SimJob};
 use manticore_isa::{CoreId, MachineConfig, Reg};
 use manticore_machine::{ExecMode, GangMachine, Machine, ReplayEngine, RunOutcome};
+use manticore_util::CancelToken;
 
 use crate::sim::{SimOutcome, SimPerf, Simulator};
 use crate::{ManticoreSim, SimError};
@@ -146,6 +148,24 @@ impl FleetJob {
     pub fn deadline(mut self, deadline: Instant) -> FleetJob {
         self.inner = self.inner.deadline(deadline);
         self
+    }
+
+    /// Attaches a cancellation token to this job alone — see
+    /// [`manticore_fleet::SimJob::cancel_token`]. Tripping it stops this
+    /// run at the next Vcycle boundary without touching its batch-mates;
+    /// it combines with a batch token ([`BatchPolicy::cancel`]) so
+    /// whichever trips first wins.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> FleetJob {
+        self.inner = self.inner.cancel_token(token);
+        self
+    }
+
+    /// Unwraps the machine-level [`SimJob`], discarding the placement
+    /// metadata handle — for callers that mix jobs from several designs
+    /// into one [`Fleet`] batch (each `SimJob` carries its own program).
+    pub fn into_sim_job(self) -> SimJob {
+        self.inner
     }
 }
 
@@ -289,6 +309,22 @@ impl FleetSim {
         self.wrap_outputs(self.fleet.run_with(sim_jobs, policy))
     }
 
+    /// [`FleetSim::run_with`], streaming: each [`FleetRun`] is handed to
+    /// `sink` **as its job finishes** (completion order — reorder by
+    /// [`FleetRun::index`] if needed) instead of being held until the
+    /// batch barrier. See [`manticore_fleet::Fleet::run_stream`]; results
+    /// are bit-identical to [`FleetSim::run_with`].
+    pub fn run_stream(
+        &self,
+        jobs: Vec<FleetJob>,
+        policy: &BatchPolicy,
+        sink: &(dyn Fn(FleetRun) + Sync),
+    ) {
+        let sim_jobs: Vec<SimJob> = jobs.into_iter().map(|j| j.inner).collect();
+        self.fleet
+            .run_stream(sim_jobs, policy, &|out| sink(self.wrap_output(out)));
+    }
+
     /// Like [`FleetSim::run`], with lane batching: compatible jobs (same
     /// knobs and budget — the input vectors may differ freely) execute up
     /// to `lanes` at a time in lockstep on a gang machine, one micro-op
@@ -367,44 +403,46 @@ impl FleetSim {
             .map_err(SimError::from)
     }
 
-    fn wrap_outputs(&self, outputs: Vec<manticore_fleet::JobOutput>) -> Vec<FleetRun> {
+    fn wrap_outputs(&self, outputs: Vec<JobOutput>) -> Vec<FleetRun> {
         outputs
             .into_iter()
-            .map(|out| {
-                let Some(mut machine) = out.machine else {
-                    // The job's worker panicked: there is no machine to
-                    // wrap, only the structured failure.
-                    return FleetRun {
-                        index: out.index,
-                        outcome: out.outcome,
-                        result: Err(out
-                            .result
-                            .expect_err("a panicked job always carries an error")
-                            .into()),
-                        sim: None,
-                    };
-                };
-                let (result, displays) = match out.result {
-                    Ok(outcome) => {
-                        let displays = outcome.displays.clone();
-                        (Ok(outcome), displays)
-                    }
-                    // Keep displays observable on the error path, the way
-                    // `ManticoreSim::run` does.
-                    Err(e) => (Err(e.into()), machine.drain_pending_displays()),
-                };
-                FleetRun {
-                    index: out.index,
-                    outcome: out.outcome,
-                    result,
-                    sim: Some(ManticoreSim::from_existing(
-                        machine,
-                        Arc::clone(&self.output),
-                        displays,
-                    )),
-                }
-            })
+            .map(|out| self.wrap_output(out))
             .collect()
+    }
+
+    fn wrap_output(&self, out: JobOutput) -> FleetRun {
+        let Some(mut machine) = out.machine else {
+            // The job's worker panicked: there is no machine to wrap,
+            // only the structured failure.
+            return FleetRun {
+                index: out.index,
+                outcome: out.outcome,
+                result: Err(out
+                    .result
+                    .expect_err("a panicked job always carries an error")
+                    .into()),
+                sim: None,
+            };
+        };
+        let (result, displays) = match out.result {
+            Ok(outcome) => {
+                let displays = outcome.displays.clone();
+                (Ok(outcome), displays)
+            }
+            // Keep displays observable on the error path, the way
+            // `ManticoreSim::run` does.
+            Err(e) => (Err(e.into()), machine.drain_pending_displays()),
+        };
+        FleetRun {
+            index: out.index,
+            outcome: out.outcome,
+            result,
+            sim: Some(ManticoreSim::from_existing(
+                machine,
+                Arc::clone(&self.output),
+                displays,
+            )),
+        }
     }
 }
 

@@ -69,7 +69,8 @@ pub mod prelude {
     pub use manticore_util::CancelToken;
 
     pub use crate::fleet::{
-        BatchPolicy, FaultKind, FaultPlan, FaultPoint, FleetJob, FleetRun, FleetSim, JobOutcome,
+        BatchPolicy, FaultKind, FaultPlan, FaultPoint, Fleet, FleetJob, FleetRun, FleetSim,
+        JobOutcome, JobOutput, SimJob,
     };
     pub use crate::sim::{Simulator, TapeSim};
     pub use crate::ManticoreSim;
@@ -346,8 +347,28 @@ impl ManticoreSim {
 /// Reads RTL register `name` back through `output`'s placement metadata,
 /// with the machine-register reads supplied by `read` — the one read-side
 /// resolver, shared by [`ManticoreSim::read_rtl_reg_by_name`], the fleet
-/// backend, and the gang backend (whose lanes are not `Machine`s).
-pub(crate) fn rtl_reg_read(
+/// backend, the gang backend (whose lanes are not `Machine`s), and any
+/// service that holds a finished machine plus the compilation it ran.
+/// Returns `None` if the optimized design has no register named `name`.
+///
+/// ```
+/// # use manticore::prelude::*;
+/// # let mut b = NetlistBuilder::new("c");
+/// # let r = b.reg("count", 16, 0);
+/// # let one = b.lit(1, 16);
+/// # let next = b.add(r.q(), one);
+/// # b.set_next(r, next);
+/// # b.output("count", r.q());
+/// # let n = b.finish_build().unwrap();
+/// # let mut sim = ManticoreSim::compile(&n, MachineConfig::with_grid(2, 2)).unwrap();
+/// # sim.run(3).unwrap();
+/// # let (machine, output) = (sim.machine(), sim.compile_output());
+/// let bits = manticore::rtl_reg_read(output, "count", |core, reg| {
+///     machine.read_reg(core, reg)
+/// });
+/// assert_eq!(bits.unwrap().to_u64(), 3);
+/// ```
+pub fn rtl_reg_read(
     output: &CompileOutput,
     name: &str,
     read: impl Fn(manticore_isa::CoreId, manticore_isa::Reg) -> u16,
@@ -367,8 +388,9 @@ pub(crate) fn rtl_reg_read(
 }
 
 /// Reads RTL register `name` back out of `machine` — the backend-agnostic
-/// form of [`ManticoreSim::read_rtl_reg_by_name`].
-pub(crate) fn rtl_reg_of(machine: &Machine, output: &CompileOutput, name: &str) -> Option<Bits> {
+/// form of [`ManticoreSim::read_rtl_reg_by_name`]. `None` if the
+/// optimized design has no register named `name`.
+pub fn rtl_reg_of(machine: &Machine, output: &CompileOutput, name: &str) -> Option<Bits> {
     rtl_reg_read(output, name, |core, mreg| machine.read_reg(core, mreg))
 }
 
@@ -377,9 +399,10 @@ pub(crate) fn rtl_reg_of(machine: &Machine, output: &CompileOutput, name: &str) 
 /// the register it actually holds (so out-of-width bits are truncated,
 /// not injected into the datapath), and words beyond `value`'s 64 bits
 /// cleared. `None` if the optimized design has no such register. The one
-/// write-side resolver, shared by [`ManticoreSim::write_rtl_reg_by_name`]
-/// and the fleet job input vectors.
-pub(crate) fn rtl_reg_words(
+/// write-side resolver, shared by [`ManticoreSim::write_rtl_reg_by_name`],
+/// the fleet job input vectors, and any service that builds
+/// machine-level pokes from named RTL registers.
+pub fn rtl_reg_words(
     output: &CompileOutput,
     name: &str,
     value: u64,

@@ -68,6 +68,10 @@ mod fault;
 
 pub use fault::{BatchPolicy, FaultKind, FaultPlan, FaultPoint};
 
+/// The gang-compatibility key: program pointer, replay/engine/strict
+/// knobs, Vcycle budget, and cancellation-domain identity.
+type GangKey = (usize, u8, u8, u8, u64, usize);
+
 /// Where a job's machine comes from: a fresh boot of a shared program, or
 /// an existing run handed back to the fleet for another slice.
 #[derive(Debug)]
@@ -92,6 +96,7 @@ pub struct SimJob {
     strict: Option<bool>,
     vcycles: u64,
     deadline: Option<std::time::Instant>,
+    cancel: Option<CancelToken>,
 }
 
 impl SimJob {
@@ -108,6 +113,7 @@ impl SimJob {
             strict: None,
             vcycles,
             deadline: None,
+            cancel: None,
         }
     }
 
@@ -124,6 +130,7 @@ impl SimJob {
             strict: None,
             vcycles,
             deadline: None,
+            cancel: None,
         }
     }
 
@@ -176,6 +183,22 @@ impl SimJob {
         self
     }
 
+    /// Attaches a cancellation token to this job alone: tripping it stops
+    /// *this* run at the next Vcycle boundary ([`JobOutcome::Cancelled`])
+    /// without touching its batch-mates — how a server cancels one
+    /// client's work when that client disconnects. Combines with a batch
+    /// token ([`BatchPolicy::cancel`]) so whichever trips first stops the
+    /// run; neither cancellation leaks into the other's domain.
+    ///
+    /// Jobs carrying a token still gang, but only with jobs sharing the
+    /// *same* token (same [`CancelToken::id`]) — a lockstep gang has one
+    /// control plane, so it must belong to one cancellation domain.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> SimJob {
+        self.cancel = Some(token);
+        self
+    }
+
     /// True when this job can join a gang: a fresh boot (no existing
     /// machine to import) on the serial engine, with no per-job deadline
     /// (the gang runs in lockstep under the batch clock only). Which gang
@@ -187,10 +210,12 @@ impl SimJob {
     }
 
     /// The compatibility key for gang grouping: jobs in one gang must
-    /// share the program (pointer identity), every engine knob, and the
-    /// Vcycle budget — everything except the input vector, which is
-    /// per-lane by design. Only meaningful for [`SimJob::gangable`] jobs.
-    fn gang_key(&self) -> (usize, u8, u8, u8, u64) {
+    /// share the program (pointer identity), every engine knob, the
+    /// Vcycle budget, and the cancellation domain (per-job token
+    /// identity, 0 when none) — everything except the input vector, which
+    /// is per-lane by design. Only meaningful for [`SimJob::gangable`]
+    /// jobs.
+    fn gang_key(&self) -> GangKey {
         let JobSource::Fresh(program) = &self.source else {
             unreachable!("gang_key is only asked of gangable jobs")
         };
@@ -215,7 +240,20 @@ impl SimJob {
             engine,
             strict,
             self.vcycles,
+            self.cancel.as_ref().map_or(0, CancelToken::id),
         )
+    }
+
+    /// The effective cancellation token for this run: the per-job token,
+    /// the batch token, or (when both are present) a two-parent merge
+    /// tripped by whichever fires first.
+    fn effective_cancel(&self, batch: Option<&CancelToken>) -> Option<CancelToken> {
+        match (&self.cancel, batch) {
+            (Some(job), Some(batch)) => Some(CancelToken::either(job, batch)),
+            (Some(job), None) => Some(job.clone()),
+            (None, Some(batch)) => Some(batch.clone()),
+            (None, None) => None,
+        }
     }
 
     /// Boots (or unwraps) the machine and runs the job to its budget.
@@ -223,6 +261,7 @@ impl SimJob {
     /// except the read-only program, which is what makes fleet results
     /// independent of worker interleaving.
     fn execute(self, index: usize, ctx: &RunCtx<'_>) -> JobOutput {
+        let cancel = self.effective_cancel(ctx.cancel);
         let mut machine = match self.source {
             JobSource::Fresh(program) => Machine::from_program(program),
             JobSource::Resume(machine) => *machine,
@@ -247,7 +286,7 @@ impl SimJob {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        machine.set_cancel_token(ctx.cancel.cloned());
+        machine.set_cancel_token(cancel);
         machine.set_deadline(deadline);
         let result = run_solo_with_faults(&mut machine, self.vcycles, ctx.faults.for_job(index));
         // The controls belong to this batch, not to the machine the
@@ -360,8 +399,9 @@ pub enum JobOutcome {
     /// The run stopped at a Vcycle boundary past its deadline
     /// ([`SimJob::deadline`] or [`BatchPolicy::deadline`]).
     Deadline,
-    /// The run observed its [`CancelToken`] (caller-tripped, or batch
-    /// fail-fast) and stopped at a Vcycle boundary.
+    /// The run observed its [`CancelToken`] (the caller's batch token,
+    /// the job's own [`SimJob::cancel_token`], or batch fail-fast) and
+    /// stopped at a Vcycle boundary.
     Cancelled,
     /// The machine aborted on a [`MachineError`] — a real determinism
     /// violation, a failed assertion, or an injected
@@ -509,7 +549,10 @@ impl Unit {
                         gang.poke_reg(lane, core, reg, value);
                     }
                 }
-                gang.set_cancel_token(ctx.cancel.cloned());
+                // All lanes share one cancellation domain (the gang key
+                // includes the token identity), so lane 0's effective
+                // token is the whole gang's.
+                gang.set_cancel_token(group[0].1.effective_cancel(ctx.cancel));
                 gang.set_deadline(ctx.deadline);
                 // Lane -> submission index, for routing per-lane fault
                 // points.
@@ -681,7 +724,32 @@ impl Fleet {
             .enumerate()
             .map(|(index, job)| Unit::Single(index, job))
             .collect();
-        self.run_units(units, n, policy)
+        collect_in_order(n, |sink| self.run_units(units, policy, sink))
+    }
+
+    /// [`Fleet::run_with`], streaming: every [`JobOutput`] is handed to
+    /// `sink` **as its job finishes**, in completion order, instead of
+    /// being held until the batch barrier. `sink` is called from worker
+    /// threads (hence `Sync`) and must be cheap — it runs on the worker's
+    /// time. Outputs carry their [`JobOutput::index`], so a caller that
+    /// wants submission order can reorder; a caller that wants latency
+    /// (a server streaming results to clients as they land, a frontier
+    /// loop scoring children while their siblings still run) consumes
+    /// them as they come. The results themselves are bit-identical to
+    /// [`Fleet::run_with`] — streaming changes *when* an output is
+    /// observable, never what it contains.
+    pub fn run_stream(
+        &self,
+        jobs: Vec<SimJob>,
+        policy: &BatchPolicy,
+        sink: &(dyn Fn(JobOutput) + Sync),
+    ) {
+        let units = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(index, job)| Unit::Single(index, job))
+            .collect();
+        self.run_units(units, policy, sink);
     }
 
     /// Like [`Fleet::run`], but batches compatible jobs into gangs of up
@@ -709,19 +777,33 @@ impl Fleet {
         lanes: usize,
         policy: &BatchPolicy,
     ) -> Vec<JobOutput> {
+        let n = jobs.len();
+        collect_in_order(n, |sink| self.run_ganged_stream(jobs, lanes, policy, sink))
+    }
+
+    /// [`Fleet::run_ganged_with`], streaming — the lane-batched
+    /// counterpart of [`Fleet::run_stream`]. A gang's outputs are emitted
+    /// together when the gang finishes (lanes run in lockstep, so they
+    /// finish together); solo jobs stream individually.
+    pub fn run_ganged_stream(
+        &self,
+        jobs: Vec<SimJob>,
+        lanes: usize,
+        policy: &BatchPolicy,
+        sink: &(dyn Fn(JobOutput) + Sync),
+    ) {
         if lanes <= 1 {
-            return self.run_with(jobs, policy);
+            return self.run_stream(jobs, policy, sink);
         }
         // A gang machine holds at most MAX_LANES lanes; wider requests
         // simply open another gang (never truncate a group against a
         // silently-clamped machine).
         let lanes = lanes.min(manticore_machine::MAX_LANES);
-        let n = jobs.len();
         let mut units: Vec<Unit> = Vec::new();
         // Open (not yet full) gang per compatibility key, as an index
         // into `units`. Scanning in submission order keeps the grouping
         // deterministic for any job set.
-        let mut open: HashMap<(usize, u8, u8, u8, u64), usize> = HashMap::new();
+        let mut open: HashMap<GangKey, usize> = HashMap::new();
         for (index, job) in jobs.into_iter().enumerate() {
             if !job.gangable() {
                 units.push(Unit::Single(index, job));
@@ -754,19 +836,19 @@ impl Fleet {
                 }
             }
         }
-        self.run_units(units, n, policy)
+        self.run_units(units, policy, sink);
     }
 
     /// The worker pool proper: deals `units` round-robin and runs them
-    /// with work-stealing, writing each produced output into its
-    /// submission-indexed slot. Each unit executes under `catch_unwind`:
+    /// with work-stealing, handing each produced output to `sink` the
+    /// moment its unit finishes. Each unit executes under `catch_unwind`:
     /// a panicking job (injected or genuine) yields
     /// [`JobOutcome::WorkerPanic`] outputs for the unit's jobs and the
-    /// worker moves on to its next unit — the batch always returns one
-    /// output per job, in submission order.
-    fn run_units(&self, units: Vec<Unit>, n_jobs: usize, policy: &BatchPolicy) -> Vec<JobOutput> {
-        if n_jobs == 0 {
-            return Vec::new();
+    /// worker moves on to its next unit — the batch always emits exactly
+    /// one output per job.
+    fn run_units(&self, units: Vec<Unit>, policy: &BatchPolicy, sink: &(dyn Fn(JobOutput) + Sync)) {
+        if units.is_empty() {
+            return;
         }
         let workers = self.workers.min(units.len());
 
@@ -793,15 +875,10 @@ impl Fleet {
         }
         let queues: Vec<Mutex<VecDeque<Unit>>> = queues.into_iter().map(Mutex::new).collect();
 
-        // One result slot per job: completion order writes, submission
-        // order reads.
-        let slots: Vec<Mutex<Option<JobOutput>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
-
         let start = SpinBarrier::new(workers);
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let queues = &queues;
-                let slots = &slots;
                 let start = &start;
                 scope.spawn(move || {
                     // Align the batch start: no worker races ahead while
@@ -851,8 +928,7 @@ impl Fleet {
                                     {
                                         produced[at] = true;
                                     }
-                                    let slot = output.index;
-                                    *slots[slot].lock().unwrap() = Some(output);
+                                    sink(output);
                                 }
                                 // A panic mid-unit: every job the unit did
                                 // not get to report becomes a structured
@@ -862,7 +938,7 @@ impl Fleet {
                                     for (&index, _) in
                                         indexes.iter().zip(&produced).filter(|(_, &done)| !done)
                                     {
-                                        *slots[index].lock().unwrap() = Some(JobOutput {
+                                        sink(JobOutput {
                                             index,
                                             outcome: JobOutcome::WorkerPanic,
                                             result: Err(MachineError::WorkerPanic {
@@ -884,16 +960,27 @@ impl Fleet {
                 });
             }
         });
-
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap()
-                    .expect("every submitted job produces exactly one output")
-            })
-            .collect()
     }
+}
+
+/// Drives a streaming run and collects its outputs back into
+/// submission-order slots — how the batch APIs are built on the streaming
+/// one. `n` is the number of submitted jobs; the run must emit exactly
+/// one output per job.
+fn collect_in_order(n: usize, run: impl FnOnce(&(dyn Fn(JobOutput) + Sync))) -> Vec<JobOutput> {
+    let slots: Vec<Mutex<Option<JobOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    run(&|output: JobOutput| {
+        let index = output.index;
+        *slots[index].lock().unwrap() = Some(output);
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every submitted job produces exactly one output")
+        })
+        .collect()
 }
 
 /// Configuration for [`Fleet::explore`]: the shape of the scenario tree
@@ -1069,32 +1156,40 @@ impl Fleet {
             let round_base = next_child;
             next_child += gangs.len() * lanes;
 
-            // Run the round's gangs across the worker pool (same
-            // slot-per-submission discipline as `run_units`). A gang
-            // whose worker panics (injected faults only — the simulator
-            // itself returns errors) is recorded as lost, not resultless.
+            // Run the round's gangs across the worker pool. Workers send
+            // each finished gang down a channel the moment it completes;
+            // the merge below consumes them *as they finish*, holding
+            // early finishers in a reorder buffer so scoring still
+            // happens in submission order (the tree stays a pure function
+            // of `(program, config)`) while later gangs are still
+            // running. A gang whose worker panics (injected faults only —
+            // the simulator itself returns errors) is recorded as lost,
+            // not resultless.
             let n = gangs.len();
             let vcycles = cfg.vcycles_per_round.max(1);
             enum GangSlot {
                 Done(GangMachine, Vec<Result<RunOutcome, MachineError>>),
                 Lost,
             }
-            let slots: Vec<Mutex<Option<GangSlot>>> = (0..n).map(|_| Mutex::new(None)).collect();
             let queue: Mutex<Vec<(usize, GangMachine)>> =
                 Mutex::new(gangs.into_iter().enumerate().rev().collect());
             let workers = self.workers.min(n);
             let faults = &policy.faults;
+            report.rounds_run += 1;
+            let mut raisers: Vec<Checkpoint> = Vec::new();
+            let mut pad: Vec<Checkpoint> = Vec::new();
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, GangSlot)>();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let queue = &queue;
-                    let slots = &slots;
+                    let tx = tx.clone();
                     scope.spawn(move || loop {
                         let task = queue.lock().unwrap().pop();
                         match task {
                             Some((i, mut gang)) => {
                                 let filled = if faults.is_empty() {
                                     let results = gang.run_vcycles(vcycles);
-                                    Some(GangSlot::Done(gang, results))
+                                    GangSlot::Done(gang, results)
                                 } else {
                                     // Children of gang i are ordinals
                                     // round_base + i*lanes + lane.
@@ -1108,66 +1203,72 @@ impl Fleet {
                                         (gang, results)
                                     })
                                     .map(|(gang, results)| GangSlot::Done(gang, results))
-                                    .ok()
-                                    .or(Some(GangSlot::Lost))
+                                    .unwrap_or(GangSlot::Lost)
                                 };
-                                *slots[i].lock().unwrap() = filled;
+                                if tx.send((i, filled)).is_err() {
+                                    break;
+                                }
                             }
                             None => break,
                         }
                     });
                 }
-            });
+                // The workers hold the clones; dropping the original lets
+                // the receive loop end when the last worker exits.
+                drop(tx);
 
-            // Merge in submission order: score every child against the
-            // shared map, keep coverage-raisers for the next frontier,
-            // pad with the earliest still-running children.
-            report.rounds_run += 1;
-            let mut raisers: Vec<Checkpoint> = Vec::new();
-            let mut pad: Vec<Checkpoint> = Vec::new();
-            for slot in slots {
-                let (gang, results) = match slot
-                    .into_inner()
-                    .unwrap()
-                    .expect("every gang produces a result")
-                {
-                    GangSlot::Done(gang, results) => (gang, results),
-                    GangSlot::Lost => {
-                        report.killed += lanes as u64;
-                        continue;
-                    }
-                };
-                for (machine, result) in gang.into_machines().into_iter().zip(results) {
-                    report.scenarios += 1;
-                    let newly = coverage.observe(&machine);
-                    let running = match &result {
-                        Ok(outcome) => {
-                            coverage.record_events(outcome.displays.len() as u64, 0);
-                            if outcome.finished {
-                                report.finished += 1;
+                // Merge in submission order as gangs finish: score every
+                // child against the shared map, keep coverage-raisers for
+                // the next frontier, pad with the round's earliest
+                // still-running children.
+                let mut pending: std::collections::BTreeMap<usize, GangSlot> =
+                    std::collections::BTreeMap::new();
+                let mut next_gang = 0usize;
+                for (i, slot) in rx {
+                    pending.insert(i, slot);
+                    while let Some(slot) = pending.remove(&next_gang) {
+                        next_gang += 1;
+                        let (gang, results) = match slot {
+                            GangSlot::Done(gang, results) => (gang, results),
+                            GangSlot::Lost => {
+                                report.killed += lanes as u64;
+                                continue;
                             }
-                            !outcome.finished
+                        };
+                        for (machine, result) in gang.into_machines().into_iter().zip(results) {
+                            report.scenarios += 1;
+                            let newly = coverage.observe(&machine);
+                            let running = match &result {
+                                Ok(outcome) => {
+                                    coverage.record_events(outcome.displays.len() as u64, 0);
+                                    if outcome.finished {
+                                        report.finished += 1;
+                                    }
+                                    !outcome.finished
+                                }
+                                Err(MachineError::AssertFailed { .. }) => {
+                                    coverage.record_events(0, 1);
+                                    report.asserts += 1;
+                                    false
+                                }
+                                Err(_) => {
+                                    report.faults += 1;
+                                    false
+                                }
+                            };
+                            if !running {
+                                continue;
+                            }
+                            if newly > 0 && raisers.len() < cap {
+                                raisers.push(machine.checkpoint());
+                            } else if pad.len() < cap {
+                                pad.push(machine.checkpoint());
+                            }
                         }
-                        Err(MachineError::AssertFailed { .. }) => {
-                            coverage.record_events(0, 1);
-                            report.asserts += 1;
-                            false
-                        }
-                        Err(_) => {
-                            report.faults += 1;
-                            false
-                        }
-                    };
-                    if !running {
-                        continue;
-                    }
-                    if newly > 0 && raisers.len() < cap {
-                        raisers.push(machine.checkpoint());
-                    } else if pad.len() < cap {
-                        pad.push(machine.checkpoint());
                     }
                 }
-            }
+                assert_eq!(next_gang, n, "every gang produces a result");
+            });
             let mut next = raisers;
             for cp in pad {
                 if next.len() >= cap {
@@ -1537,6 +1638,119 @@ mod tests {
             !caller.is_cancelled(),
             "fail-fast must trip a child token, never the caller's"
         );
+    }
+
+    #[test]
+    fn per_job_cancel_stops_only_that_job() {
+        let program = counter_program();
+        let core = CoreId::new(0, 0);
+        let token = CancelToken::new();
+        token.cancel();
+        let jobs: Vec<SimJob> = (0..4)
+            .map(|i| {
+                let job = SimJob::new(&program, 6).poke(core, Reg(2), (i + 1) as u16);
+                if i == 1 {
+                    job.cancel_token(token.clone())
+                } else {
+                    job
+                }
+            })
+            .collect();
+        let outputs = Fleet::new(2).run(jobs);
+        for (i, out) in outputs.iter().enumerate() {
+            if i == 1 {
+                assert_eq!(out.outcome, JobOutcome::Cancelled);
+                assert_eq!(out.result.as_ref().unwrap().vcycles_run, 0);
+            } else {
+                assert_eq!(out.outcome, JobOutcome::BudgetExhausted, "job {i}");
+                assert_eq!(out.machine().read_reg(core, Reg(1)), (6 * (i + 1)) as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn gangs_never_cross_cancellation_domains() {
+        // Jobs 0–1 share a tripped token; jobs 2–3 share a live one. If
+        // grouping ignored token identity, all four would join one gang
+        // whose single control plane would cancel the live pair too.
+        let program = counter_program();
+        let core = CoreId::new(0, 0);
+        let dead = CancelToken::new();
+        dead.cancel();
+        let live = CancelToken::new();
+        let jobs: Vec<SimJob> = (0..4)
+            .map(|i| {
+                let token = if i < 2 { &dead } else { &live };
+                SimJob::new(&program, 5)
+                    .poke(core, Reg(2), (i + 1) as u16)
+                    .cancel_token(token.clone())
+            })
+            .collect();
+        let outputs = Fleet::new(2).run_ganged(jobs, 4);
+        for (i, out) in outputs.iter().enumerate() {
+            if i < 2 {
+                assert_eq!(out.outcome, JobOutcome::Cancelled, "job {i}");
+                assert_eq!(out.result.as_ref().unwrap().vcycles_run, 0);
+            } else {
+                assert_eq!(out.outcome, JobOutcome::BudgetExhausted, "job {i}");
+                assert_eq!(out.machine().read_reg(core, Reg(1)), (5 * (i + 1)) as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_delivers_every_output_with_results_identical_to_run() {
+        let program = counter_program();
+        let core = CoreId::new(0, 0);
+        let make_jobs = || -> Vec<SimJob> {
+            (0..9)
+                .map(|i| SimJob::new(&program, 7).poke(core, Reg(2), (i + 1) as u16))
+                .collect()
+        };
+        let reference = Fleet::new(1).run(make_jobs());
+        for workers in [1, 3] {
+            let streamed: Mutex<Vec<JobOutput>> = Mutex::new(Vec::new());
+            Fleet::new(workers).run_stream(make_jobs(), &BatchPolicy::default(), &|out| {
+                streamed.lock().unwrap().push(out)
+            });
+            let mut streamed = streamed.into_inner().unwrap();
+            assert_eq!(streamed.len(), reference.len());
+            // Completion order may differ from submission order; the
+            // index on each output recovers it.
+            streamed.sort_by_key(|out| out.index);
+            for (out, re) in streamed.iter().zip(&reference) {
+                assert_eq!(out.index, re.index);
+                assert_eq!(
+                    out.machine().read_reg(core, Reg(1)),
+                    re.machine().read_reg(core, Reg(1)),
+                    "{workers} workers: streamed job {} diverged",
+                    out.index
+                );
+            }
+        }
+        // The ganged streamer delivers the same set too.
+        let streamed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        Fleet::new(2).run_ganged_stream(make_jobs(), 4, &BatchPolicy::default(), &|out| {
+            streamed.lock().unwrap().push(out.index)
+        });
+        let mut indexes = streamed.into_inner().unwrap();
+        indexes.sort_unstable();
+        assert_eq!(indexes, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streaming_outputs_arrive_before_later_jobs_run() {
+        // One worker executes jobs in submission order; the sink sees job
+        // 0's output before job 1 has run at all — the opposite of the
+        // old batch barrier, which held everything to the end.
+        let program = counter_program();
+        let seen = Mutex::new(Vec::new());
+        Fleet::new(1).run_stream(
+            (0..3).map(|_| SimJob::new(&program, 4)).collect(),
+            &BatchPolicy::default(),
+            &|out| seen.lock().unwrap().push(out.index),
+        );
+        assert_eq!(seen.into_inner().unwrap(), vec![0, 1, 2]);
     }
 
     #[test]

@@ -639,6 +639,46 @@ impl Machine {
         self.cache.peek(addr)
     }
 
+    /// An FNV-1a fingerprint of the run's full architectural state at a
+    /// Vcycle boundary: the seven performance counters, every register of
+    /// every core through the flushed host view ([`Machine::read_reg`]),
+    /// every scratchpad word, and the finished flag. Two runs of one
+    /// program are bit-identical exactly when their fingerprints agree —
+    /// the summary the simulation service returns per job so a client (or
+    /// the differential test suites) can hold a served result against a
+    /// direct run without shipping megabytes of state.
+    pub fn state_fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| h = (h ^ v).wrapping_mul(PRIME);
+        let c = self.counters();
+        for v in [
+            c.compute_cycles,
+            c.stall_cycles,
+            c.vcycles,
+            c.instructions,
+            c.sends,
+            c.messages_delivered,
+            c.exceptions,
+        ] {
+            mix(v);
+        }
+        let config = &self.program.config;
+        for y in 0..config.grid_height {
+            for x in 0..config.grid_width {
+                let core = CoreId::new(x as u8, y as u8);
+                for r in 0..config.regfile_size {
+                    mix(self.read_reg(core, Reg(r as u16)) as u64);
+                }
+                for &w in self.core_scratch(core) {
+                    mix(w as u64);
+                }
+            }
+        }
+        mix(self.finished() as u64);
+        h
+    }
+
     /// Attaches (or with `None` detaches) a cooperative cancellation
     /// token: every engine polls it between Vcycles and stops with
     /// [`RunOutcome::interrupted`] = [`Interrupt::Cancelled`] once it

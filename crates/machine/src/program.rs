@@ -306,6 +306,37 @@ impl CompiledProgram {
         self.replay_tape.is_some()
     }
 
+    /// Approximate resident size of this frozen artifact in bytes: the
+    /// per-core program bodies and custom-function tables, the sparse
+    /// boot images, the replay tape, and the micro-op streams. This is an
+    /// accounting figure for caches that bound themselves by bytes (the
+    /// simulation service's compiled-program cache evicts by it), not an
+    /// allocator-exact measurement — it deliberately ignores per-`Vec`
+    /// overhead and padding, which are noise at the scale of real
+    /// programs.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<CompiledProgram>();
+        for core in &self.cores {
+            bytes += core.body.len() * size_of::<Instruction>();
+            // The three custom-function forms: loaded, bitsliced, x4.
+            bytes += core.custom_functions.len() * size_of::<[u16; 16]>();
+            bytes += core.custom_masks.len() * size_of::<[u16; 16]>();
+            bytes += core.custom_masks_x4.len() * size_of::<[u64; 16]>();
+        }
+        bytes += self.exceptions.len() * size_of::<ExceptionDescriptor>();
+        bytes += self.init_regs.len() * size_of::<(u32, u32)>();
+        bytes += self.init_scratch.len() * size_of::<(u32, u16)>();
+        bytes += self.init_dram.len() * size_of::<(u64, u16)>();
+        if let Some(tape) = &self.replay_tape {
+            bytes += tape.approx_bytes();
+        }
+        if let Some(prog) = &self.micro_prog {
+            bytes += prog.approx_bytes();
+        }
+        bytes
+    }
+
     /// Micro-op stream statistics, when a micro program exists:
     /// `(micro_ops, fused_pairs)` summed over the grid. `fused_pairs`
     /// counts adjacent tape-entry pairs absorbed into a single dispatch.

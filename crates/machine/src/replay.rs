@@ -94,6 +94,20 @@ struct SendSite {
 }
 
 impl ReplayTape {
+    /// Approximate heap footprint of the frozen tape, in bytes. An
+    /// accounting figure for cache budgeting, not an allocator-exact
+    /// measurement.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Self>();
+        for body in &self.body {
+            bytes += body.len() * size_of::<TapeOp>();
+        }
+        bytes += self.epi_exec.len() * size_of::<usize>();
+        bytes += self.deliveries.len() * size_of::<ReplayDelivery>();
+        bytes
+    }
+
     /// Freezes the replay schedule for a loaded program, or `None` when the
     /// program cannot be replayed:
     ///

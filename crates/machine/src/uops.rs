@@ -358,6 +358,20 @@ fn fuse(a: &MicroOp, b: &MicroOp) -> Option<UOp> {
 }
 
 impl MicroProgram {
+    /// Approximate heap footprint of the compiled streams, in bytes. An
+    /// accounting figure for cache budgeting, not an allocator-exact
+    /// measurement.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Self>();
+        for stream in &self.streams {
+            bytes += stream.len() * size_of::<MicroOp>();
+        }
+        bytes += self.active.len() * size_of::<u32>();
+        bytes += self.epi_prog.len() * size_of::<EpiEntry>();
+        bytes
+    }
+
     /// Compiles the frozen tape into fused micro-op streams.
     pub fn compile(
         tape: &ReplayTape,

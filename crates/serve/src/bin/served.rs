@@ -1,0 +1,73 @@
+//! `manticore-served` — the standalone simulation-service daemon.
+//!
+//! Binds the requested address and serves jobs until killed (or until a
+//! client sends the `shutdown` op). See SERVING.md for the protocol and
+//! a runbook.
+//!
+//! ```text
+//! manticore-served [--addr HOST:PORT] [--workers N] [--lanes N]
+//!                  [--cache-mb N] [--compile-slots N]
+//!                  [--queue-high-water N] [--session-ttl-secs N]
+//! ```
+
+use std::time::Duration;
+
+use manticore_serve::server::{Server, ServerConfig};
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    if pos < args.len() {
+        Some(args.remove(pos))
+    } else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: String) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{value}`");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = take_opt(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:9118".to_string());
+    let mut cfg = ServerConfig::default();
+    if let Some(v) = take_opt(&mut args, "--workers") {
+        cfg.workers = parse("--workers", v);
+    }
+    if let Some(v) = take_opt(&mut args, "--lanes") {
+        cfg.lanes = parse("--lanes", v);
+    }
+    if let Some(v) = take_opt(&mut args, "--cache-mb") {
+        cfg.cache_bytes = parse::<usize>("--cache-mb", v) << 20;
+    }
+    if let Some(v) = take_opt(&mut args, "--compile-slots") {
+        cfg.compile_slots = parse("--compile-slots", v);
+    }
+    if let Some(v) = take_opt(&mut args, "--queue-high-water") {
+        cfg.queue_high_water = parse("--queue-high-water", v);
+    }
+    if let Some(v) = take_opt(&mut args, "--session-ttl-secs") {
+        cfg.session_ttl = Duration::from_secs(parse("--session-ttl-secs", v));
+    }
+    if !args.is_empty() {
+        eprintln!("unknown arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    let mut server = match Server::bind(&addr, cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("manticore-served listening on {}", server.local_addr());
+    // Serve until a client's `shutdown` op trips the token; the join
+    // inside `shutdown` returns once the service threads exit.
+    server.shutdown_when_requested();
+}

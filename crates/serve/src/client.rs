@@ -1,0 +1,95 @@
+//! A blocking client for the serve protocol — the reference
+//! implementation of the wire format, used by the integration suite, the
+//! soak harness, and the worked examples in SERVING.md.
+//!
+//! The protocol is asynchronous: submissions are pipelined and results
+//! stream back in *completion* order, correlated by the `id` each
+//! request carries. [`Client::recv`] returns the next reply, whatever
+//! job it belongs to; [`Client::call`] is the synchronous convenience
+//! for one-at-a-time use.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::json::Value;
+use crate::proto::{read_frame, write_frame, Reply, Request};
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request without waiting for anything — the pipelining
+    /// primitive.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure (the server hung up, typically).
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        write_frame(&mut self.writer, &request.to_value())
+    }
+
+    /// Receives the next reply, in the server's completion order.
+    /// `Ok(None)` when the server closed the connection.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a frame that does not parse as a reply.
+    pub fn recv(&mut self) -> std::io::Result<Option<Reply>> {
+        let Some(frame) = read_frame(&mut self.reader)? else {
+            return Ok(None);
+        };
+        Reply::from_value(&frame)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends `request` and blocks for the next reply — correct only when
+    /// no other request of this client is still in flight.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or the server closing before replying.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Reply> {
+        self.send(request)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            )
+        })
+    }
+
+    /// Fetches the server's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a non-stats reply arriving first (don't mix with
+    /// in-flight jobs).
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(v) => Ok(v),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected stats, got {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # Simulation as a service
+//!
+//! A long-lived job server over the [`manticore`] fleet: clients connect
+//! over TCP, stream in simulation jobs against named catalog designs,
+//! and stream results back as each job finishes. The expensive artifact
+//! — the statically scheduled compilation — is cached and shared across
+//! jobs, connections, and time: the first request for a design compiles
+//! it, every later request is two `Arc` clones.
+//!
+//! The daemon turns the paper's compile-once / run-many economics into a
+//! service boundary. One compilation of a design amortizes across every
+//! scenario any client ever submits for it, the way one FPGA bitstream
+//! amortizes across every run of the imaged design; admission control
+//! and deficit-round-robin scheduling keep one greedy client from
+//! starving the rest; resumable sessions let a client park a simulation
+//! mid-flight and continue it later without replaying.
+//!
+//! ## Module map
+//!
+//! - [`json`] — the dependency-light JSON value, parser, and renderer;
+//! - [`proto`] — length-prefixed frames and the typed request/reply
+//!   vocabulary (SERVING.md documents the bytes);
+//! - [`catalog`] — the servable designs and the (netlist, config) cache
+//!   key;
+//! - [`cache`] — single-flight compiled-program cache with a byte budget
+//!   and LRU eviction;
+//! - [`session`] — parked machines, resumable by id, reaped when idle;
+//! - [`server`] — the accept/reader/writer/dispatcher/reaper threads;
+//! - [`client`] — the blocking reference client.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use manticore_serve::client::Client;
+//! use manticore_serve::proto::{Reply, Request, SubmitReq};
+//! use manticore_serve::server::{Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let reply = client.call(&Request::Submit(SubmitReq {
+//!     id: 1,
+//!     design: "counter".into(),
+//!     grid: None,
+//!     vcycles: 10,
+//!     pokes: vec![("count".into(), 100)],
+//!     reads: vec!["count".into()],
+//!     deadline_ms: None,
+//!     park: false,
+//! }))?;
+//! match reply {
+//!     Reply::Result(r) => {
+//!         assert_eq!(r.outcome, "budget");
+//!         assert_eq!(r.regs, vec![("count".into(), 110)]);
+//!     }
+//!     other => panic!("unexpected reply: {other:?}"),
+//! }
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod session;

@@ -1,0 +1,735 @@
+//! The job server: accept connections, admit jobs, schedule them fairly
+//! onto a shared fleet, and stream results back as they finish.
+//!
+//! ## Thread anatomy
+//!
+//! One **accept** thread takes connections. Each connection gets a
+//! **reader** (parses frames, runs admission — including the compile on
+//! a cache miss — and enqueues) and a **writer** (drains a channel of
+//! reply frames; results are pushed to it from whatever thread finished
+//! the job). One **dispatcher** thread assembles batches with deficit
+//! round robin across connections and runs them on the fleet via the
+//! streaming path, so each result is written back the moment its job
+//! finishes — not at the batch barrier. One **reaper** thread drops idle
+//! parked sessions.
+//!
+//! ## Fairness, backpressure, cancellation
+//!
+//! Admission rejects (with a retry hint) once the total queued work
+//! passes the high-water mark — the client, not an unbounded queue,
+//! holds the overload. Dispatch is deficit round robin: each connection
+//! accrues `drr_quantum` Vcycles of credit per round and dispatches jobs
+//! while its credit covers their cost, so a flood of cheap jobs from one
+//! client cannot starve another's. Every job carries its connection's
+//! cancel token: a disconnect trips it, stopping that client's running
+//! jobs at their next Vcycle boundary and discarding its queued ones,
+//! while everyone else's work is untouched.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use manticore::compiler::{compile, CompileOptions, CompileOutput};
+use manticore::fleet::{BatchPolicy, Fleet, JobOutcome, JobOutput, SimJob};
+use manticore::machine::CompiledProgram;
+use manticore_util::CancelToken;
+
+use crate::cache::{CacheEntry, CacheStats, ProgramCache};
+use crate::catalog;
+use crate::json::Value;
+use crate::proto::{read_frame, write_frame, JobResult, Reply, Request, ResumeReq, SubmitReq};
+use crate::session::{ParkedSession, SessionStats, SessionTable};
+
+/// Server tuning knobs. `Default` is sized for a small host (the CI
+/// runner): two fleet workers, a 64 MiB cache, one compile slot.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fleet worker threads executing jobs.
+    pub workers: usize,
+    /// Gang lanes: compatible same-program jobs from one connection run
+    /// in lockstep, up to this many per gang.
+    pub lanes: usize,
+    /// Compiled-program cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Concurrent compilations allowed (cache misses beyond this queue).
+    pub compile_slots: usize,
+    /// Total queued jobs (across all connections) beyond which admission
+    /// rejects with a retry hint.
+    pub queue_high_water: usize,
+    /// Milliseconds clients are told to back off when rejected.
+    pub retry_after_ms: u64,
+    /// Most jobs dispatched to the fleet in one batch.
+    pub batch_max: usize,
+    /// Vcycles of credit each connection accrues per scheduling round.
+    pub drr_quantum: u64,
+    /// Idle time after which a parked session is reaped.
+    pub session_ttl: Duration,
+    /// How often the reaper scans the session table.
+    pub reaper_period: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            lanes: 4,
+            cache_bytes: 64 << 20,
+            compile_slots: 1,
+            queue_high_water: 1024,
+            retry_after_ms: 20,
+            batch_max: 256,
+            drr_quantum: 50_000,
+            session_ttl: Duration::from_secs(30),
+            reaper_period: Duration::from_millis(500),
+        }
+    }
+}
+
+/// One admitted job waiting for dispatch.
+struct PendingJob {
+    job: SimJob,
+    meta: JobMeta,
+    /// DRR cost: the job's Vcycle budget (minimum 1).
+    cost: u64,
+}
+
+/// Everything needed to turn a finished [`JobOutput`] into a reply.
+struct JobMeta {
+    id: u64,
+    reads: Vec<String>,
+    output: Arc<CompileOutput>,
+    park: bool,
+    /// Reply channel of the submitting connection. Held per-job so a
+    /// disconnect (which removes the connection's queue) cannot strand
+    /// an in-flight job's reply path.
+    tx: Sender<Value>,
+}
+
+struct ConnQueue {
+    queue: VecDeque<PendingJob>,
+    deficit: u64,
+    cancel: CancelToken,
+}
+
+#[derive(Default)]
+struct Sched {
+    conns: HashMap<u64, ConnQueue>,
+    /// Total queued jobs across all connections.
+    queued: usize,
+    /// Where the next DRR round starts, for rotating first-served.
+    cursor: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    conns_opened: AtomicU64,
+    conns_closed: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    fleet: Fleet,
+    cache: ProgramCache,
+    sessions: SessionTable,
+    shutdown: CancelToken,
+    sched: Mutex<Sched>,
+    work: Condvar,
+    counters: Counters,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// the accept loop, the dispatcher, and the reaper; queued jobs that have
+/// not been dispatched are discarded.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failure.
+    pub fn bind(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            fleet: Fleet::new(cfg.workers),
+            cache: ProgramCache::new(cfg.cache_bytes, cfg.compile_slots),
+            sessions: SessionTable::new(cfg.session_ttl),
+            shutdown: CancelToken::new(),
+            sched: Mutex::new(Sched::default()),
+            work: Condvar::new(),
+            counters: Counters::default(),
+            cfg,
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(listener, shared)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || dispatch_loop(shared)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || reaper_loop(shared)));
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound address — connect clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Compiled-program cache counters (for harnesses and tests; clients
+    /// get the same numbers via the `stats` op).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Session table counters.
+    pub fn session_stats(&self) -> SessionStats {
+        self.shared.sessions.stats()
+    }
+
+    /// Blocks until something trips the shutdown token — a client's
+    /// `shutdown` op, typically — then joins the service threads. The
+    /// daemon binary's main loop.
+    pub fn shutdown_when_requested(&mut self) {
+        while !self.shared.shutdown.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        self.shutdown();
+    }
+
+    /// Stops the server: trips the shutdown token, wakes every service
+    /// thread, and joins them. Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.cancel();
+        self.shared.work.notify_all();
+        // The accept loop is blocked in `accept`; a throwaway connection
+        // makes it observe the tripped token.
+        let _ = TcpStream::connect(self.local_addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut next_conn: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.shutdown.is_cancelled() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        next_conn += 1;
+        let conn_id = next_conn;
+        shared.counters.conns_opened.fetch_add(1, Ordering::Relaxed);
+
+        let (tx, rx) = std::sync::mpsc::channel::<Value>();
+        let cancel = CancelToken::new();
+        {
+            let mut sched = shared.sched.lock().expect("sched lock poisoned");
+            sched.conns.insert(
+                conn_id,
+                ConnQueue {
+                    queue: VecDeque::new(),
+                    deficit: 0,
+                    cancel: cancel.clone(),
+                },
+            );
+        }
+
+        let write_half = stream.try_clone().ok();
+        if let Some(write_half) = write_half {
+            // Writer and reader are detached: they exit when the client
+            // disconnects (reader EOF drops the queue and the reply
+            // senders; the writer drains and sees the channel close).
+            std::thread::spawn(move || writer_loop(write_half, rx));
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                reader_loop(stream, conn_id, tx, cancel, &shared);
+                disconnect(conn_id, &shared);
+            });
+        } else {
+            let mut sched = shared.sched.lock().expect("sched lock poisoned");
+            sched.conns.remove(&conn_id);
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Value>) {
+    for value in rx {
+        if write_frame(&mut stream, &value).is_err() {
+            break;
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Tears down a connection: trips its cancel token (stopping its running
+/// jobs at the next Vcycle boundary) and discards its queued jobs. Other
+/// connections' work is untouched.
+fn disconnect(conn_id: u64, shared: &Shared) {
+    let mut sched = shared.sched.lock().expect("sched lock poisoned");
+    if let Some(conn) = sched.conns.remove(&conn_id) {
+        conn.cancel.cancel();
+        sched.queued -= conn.queue.len();
+    }
+    drop(sched);
+    shared.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    conn_id: u64,
+    tx: Sender<Value>,
+    cancel: CancelToken,
+    shared: &Shared,
+) {
+    let mut reader = std::io::BufReader::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean close, I/O error, or garbage framing: either way the
+            // conversation is over.
+            Ok(None) | Err(_) => return,
+        };
+        let request = match Request::from_value(&frame) {
+            Ok(request) => request,
+            Err(message) => {
+                let id = frame.get("id").and_then(Value::as_u64);
+                let _ = tx.send(Reply::Error { id, message }.to_value());
+                continue;
+            }
+        };
+        match request {
+            Request::Submit(req) => {
+                let reply = admit_submit(&req, conn_id, &tx, &cancel, shared);
+                if let Some(reply) = reply {
+                    let _ = tx.send(reply.to_value());
+                }
+            }
+            Request::Resume(req) => {
+                let reply = admit_resume(&req, conn_id, &tx, &cancel, shared);
+                if let Some(reply) = reply {
+                    let _ = tx.send(reply.to_value());
+                }
+            }
+            Request::DropSession { session } => {
+                let existed = shared.sessions.drop_session(&session);
+                let _ = tx.send(Reply::Dropped { session, existed }.to_value());
+            }
+            Request::Stats => {
+                let _ = tx.send(Reply::Stats(stats_value(shared)).to_value());
+            }
+            Request::Shutdown => {
+                // Final counters first — harnesses use them — then stop
+                // the service threads.
+                let _ = tx.send(Reply::Stats(stats_value(shared)).to_value());
+                shared.shutdown.cancel();
+                shared.work.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// Admits a submission: resolve the design through the cache, build the
+/// input vector, and enqueue — or explain why not. `None` means the job
+/// was enqueued (its reply comes later, from the dispatcher's sink).
+fn admit_submit(
+    req: &SubmitReq,
+    conn_id: u64,
+    tx: &Sender<Value>,
+    cancel: &CancelToken,
+    shared: &Shared,
+) -> Option<Reply> {
+    let err = |message: String| {
+        Some(Reply::Error {
+            id: Some(req.id),
+            message,
+        })
+    };
+    let Some((netlist, config)) = catalog::lookup(&req.design, req.grid) else {
+        return err(format!("unknown design `{}`", req.design));
+    };
+    let key = catalog::netlist_hash(&netlist, &config);
+    // Miss path: compile on this reader thread, bounded by the cache's
+    // compile slots; concurrent requests for the same key wait and share.
+    let entry = shared.cache.get_or_compile(key, || {
+        let options = CompileOptions {
+            config: config.clone(),
+            ..Default::default()
+        };
+        let output = Arc::new(compile(&netlist, &options).map_err(|e| e.to_string())?);
+        let program = CompiledProgram::compile_shared(config.clone(), &output.binary)
+            .map_err(|e| e.to_string())?;
+        let bytes = program.approx_bytes() + output.binary.total_instructions() * 8;
+        Ok(CacheEntry {
+            output,
+            program,
+            bytes,
+        })
+    });
+    let entry = match entry {
+        Ok(entry) => entry,
+        Err(e) => return err(format!("compile failed for `{}`: {e}", req.design)),
+    };
+
+    let mut job = SimJob::new(&entry.program, req.vcycles).cancel_token(cancel.clone());
+    for (name, value) in &req.pokes {
+        let Some(words) = manticore::rtl_reg_words(&entry.output, name, *value) else {
+            return err(format!("no register `{name}` in `{}`", req.design));
+        };
+        for (core, mreg, word) in words {
+            job = job.poke(core, mreg, word);
+        }
+    }
+    for name in &req.reads {
+        if !entry
+            .output
+            .optimized
+            .registers()
+            .iter()
+            .any(|r| &r.name == name)
+        {
+            return err(format!("no register `{name}` in `{}`", req.design));
+        }
+    }
+    if let Some(ms) = req.deadline_ms {
+        job = job.deadline(Instant::now() + Duration::from_millis(ms));
+    }
+
+    enqueue(
+        PendingJob {
+            job,
+            meta: JobMeta {
+                id: req.id,
+                reads: req.reads.clone(),
+                output: Arc::clone(&entry.output),
+                park: req.park,
+                tx: tx.clone(),
+            },
+            cost: req.vcycles.max(1),
+        },
+        conn_id,
+        shared,
+    )
+}
+
+/// Admits a resume: take the parked machine and enqueue its next slice.
+fn admit_resume(
+    req: &ResumeReq,
+    conn_id: u64,
+    tx: &Sender<Value>,
+    cancel: &CancelToken,
+    shared: &Shared,
+) -> Option<Reply> {
+    let err = |message: String| {
+        Some(Reply::Error {
+            id: Some(req.id),
+            message,
+        })
+    };
+    let Some(parked) = shared.sessions.resume(&req.session) else {
+        return err(format!(
+            "no parked session `{}` (never parked, already resumed, or reaped)",
+            req.session
+        ));
+    };
+    let ParkedSession { machine, output } = parked;
+    let mut job = SimJob::resume(machine, req.vcycles).cancel_token(cancel.clone());
+    for (name, value) in &req.pokes {
+        let Some(words) = manticore::rtl_reg_words(&output, name, *value) else {
+            return err(format!("no register `{name}` in session `{}`", req.session));
+        };
+        for (core, mreg, word) in words {
+            job = job.poke(core, mreg, word);
+        }
+    }
+    enqueue(
+        PendingJob {
+            job,
+            meta: JobMeta {
+                id: req.id,
+                reads: req.reads.clone(),
+                output,
+                park: req.park,
+                tx: tx.clone(),
+            },
+            cost: req.vcycles.max(1),
+        },
+        conn_id,
+        shared,
+    )
+}
+
+/// Queues an admitted job, or bounces it off the high-water mark.
+fn enqueue(pending: PendingJob, conn_id: u64, shared: &Shared) -> Option<Reply> {
+    let mut sched = shared.sched.lock().expect("sched lock poisoned");
+    if sched.queued >= shared.cfg.queue_high_water {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return Some(Reply::Reject {
+            id: pending.meta.id,
+            reason: "queue_full".to_string(),
+            retry_after_ms: shared.cfg.retry_after_ms,
+        });
+    }
+    let Some(conn) = sched.conns.get_mut(&conn_id) else {
+        // The connection vanished between read and enqueue; nobody is
+        // left to hear a reply.
+        return None;
+    };
+    conn.queue.push_back(pending);
+    sched.queued += 1;
+    drop(sched);
+    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.work.notify_all();
+    None
+}
+
+/// The dispatcher: DRR batch assembly, then a streaming fleet run whose
+/// sink writes each reply the moment its job finishes.
+fn dispatch_loop(shared: Arc<Shared>) {
+    loop {
+        let Some(batch) = next_batch(&shared) else {
+            return;
+        };
+        let (jobs, metas): (Vec<SimJob>, Vec<JobMeta>) =
+            batch.into_iter().map(|p| (p.job, p.meta)).unzip();
+        let policy = BatchPolicy {
+            cancel: Some(shared.shutdown.clone()),
+            ..BatchPolicy::default()
+        };
+        shared
+            .fleet
+            .run_ganged_stream(jobs, shared.cfg.lanes, &policy, &|out: JobOutput| {
+                let meta = &metas[out.index];
+                let reply = finish_job(meta, out, &shared);
+                // A send failure means the client is gone; its work was
+                // already cancelled by the disconnect path.
+                let _ = meta.tx.send(reply.to_value());
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            });
+    }
+}
+
+/// Assembles the next batch with deficit round robin, blocking until
+/// there is work. `None` on shutdown.
+fn next_batch(shared: &Shared) -> Option<Vec<PendingJob>> {
+    let mut sched = shared.sched.lock().expect("sched lock poisoned");
+    loop {
+        if shared.shutdown.is_cancelled() {
+            return None;
+        }
+        if sched.queued == 0 {
+            sched = shared.work.wait(sched).expect("sched lock poisoned");
+            continue;
+        }
+        let mut batch = Vec::new();
+        // Rounds continue until something dispatches: every round adds a
+        // quantum to each backlogged connection, so even a job costing
+        // many quanta eventually accrues the credit to run.
+        while batch.len() < shared.cfg.batch_max && sched.queued > 0 {
+            let mut ids: Vec<u64> = sched.conns.keys().copied().collect();
+            ids.sort_unstable();
+            if ids.is_empty() {
+                break;
+            }
+            // Rotate who goes first so low conn ids get no edge.
+            let start = sched.cursor % ids.len();
+            ids.rotate_left(start);
+            sched.cursor = sched.cursor.wrapping_add(1);
+            for id in ids {
+                let Some(conn) = sched.conns.get_mut(&id) else {
+                    continue;
+                };
+                if conn.queue.is_empty() {
+                    // An idle connection banks no credit.
+                    conn.deficit = 0;
+                    continue;
+                }
+                conn.deficit = conn.deficit.saturating_add(shared.cfg.drr_quantum);
+                let mut popped = 0;
+                while batch.len() < shared.cfg.batch_max {
+                    let Some(front) = conn.queue.front() else {
+                        conn.deficit = 0;
+                        break;
+                    };
+                    // Clamp the charge to one quantum (the classic DRR
+                    // requirement): a job dearer than the quantum costs
+                    // a full round's credit, not an unbounded wait.
+                    let cost = front.cost.clamp(1, shared.cfg.drr_quantum);
+                    if cost > conn.deficit {
+                        break;
+                    }
+                    conn.deficit -= cost;
+                    let pending = conn.queue.pop_front().expect("front just observed");
+                    popped += 1;
+                    batch.push(pending);
+                }
+                sched.queued -= popped;
+            }
+        }
+        if !batch.is_empty() {
+            return Some(batch);
+        }
+    }
+}
+
+/// Renders one finished job into its reply: read back the requested
+/// registers, fingerprint the state, and park it if asked.
+fn finish_job(meta: &JobMeta, out: JobOutput, shared: &Shared) -> Reply {
+    let outcome = outcome_label(out.outcome).to_string();
+    let (vcycles_run, mut displays, error) = match &out.result {
+        Ok(run) => (run.vcycles_run, run.displays.clone(), None),
+        Err(e) => (0, Vec::new(), Some(e.to_string())),
+    };
+    let Some(mut machine) = out.machine else {
+        // Worker panic: no state survives, only the structured failure.
+        return Reply::Result(JobResult {
+            id: meta.id,
+            outcome,
+            vcycles_run,
+            regs: Vec::new(),
+            fingerprint: "0x0".to_string(),
+            displays,
+            session: None,
+            error,
+        });
+    };
+    if out.result.is_err() {
+        displays = machine.drain_pending_displays();
+    }
+    let regs = meta
+        .reads
+        .iter()
+        .filter_map(|name| {
+            manticore::rtl_reg_read(&meta.output, name, |core, mreg| {
+                machine.read_reg(core, mreg)
+            })
+            .map(|bits| (name.clone(), bits.to_u64()))
+        })
+        .collect();
+    let fingerprint = format!("{:#018x}", machine.state_fingerprint());
+    let session = if meta.park {
+        Some(shared.sessions.park(ParkedSession {
+            machine,
+            output: Arc::clone(&meta.output),
+        }))
+    } else {
+        None
+    };
+    Reply::Result(JobResult {
+        id: meta.id,
+        outcome,
+        vcycles_run,
+        regs,
+        fingerprint,
+        displays,
+        session,
+        error,
+    })
+}
+
+fn outcome_label(outcome: JobOutcome) -> &'static str {
+    match outcome {
+        JobOutcome::Complete => "complete",
+        JobOutcome::BudgetExhausted => "budget",
+        JobOutcome::Deadline => "deadline",
+        JobOutcome::Cancelled => "cancelled",
+        JobOutcome::Faulted => "faulted",
+        JobOutcome::WorkerPanic => "panic",
+    }
+}
+
+/// The stats payload: every counter an operator needs to see queue
+/// pressure, cache health, and session churn at a glance.
+fn stats_value(shared: &Shared) -> Value {
+    let cache = shared.cache.stats();
+    let sessions = shared.sessions.stats();
+    let queued = shared.sched.lock().expect("sched lock poisoned").queued;
+    let c = &shared.counters;
+    Value::obj(vec![
+        (
+            "jobs_submitted",
+            Value::Int(c.submitted.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_completed",
+            Value::Int(c.completed.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_rejected",
+            Value::Int(c.rejected.load(Ordering::Relaxed)),
+        ),
+        ("queued", Value::Int(queued as u64)),
+        (
+            "conns_opened",
+            Value::Int(c.conns_opened.load(Ordering::Relaxed)),
+        ),
+        (
+            "conns_closed",
+            Value::Int(c.conns_closed.load(Ordering::Relaxed)),
+        ),
+        (
+            "cache",
+            Value::obj(vec![
+                ("hits", Value::Int(cache.hits)),
+                ("misses", Value::Int(cache.misses)),
+                ("evictions", Value::Int(cache.evictions)),
+                ("entries", Value::Int(cache.entries as u64)),
+                ("bytes", Value::Int(cache.bytes as u64)),
+            ]),
+        ),
+        (
+            "sessions",
+            Value::obj(vec![
+                ("live", Value::Int(sessions.live as u64)),
+                ("parked", Value::Int(sessions.parked)),
+                ("resumed", Value::Int(sessions.resumed)),
+                ("reaped", Value::Int(sessions.reaped)),
+            ]),
+        ),
+    ])
+}
+
+fn reaper_loop(shared: Arc<Shared>) {
+    while !shared.shutdown.is_cancelled() {
+        shared.sessions.reap();
+        // Sleep in short slices so shutdown is prompt even with a long
+        // reaper period.
+        let mut remaining = shared.cfg.reaper_period;
+        while !remaining.is_zero() && !shared.shutdown.is_cancelled() {
+            let slice = remaining.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}

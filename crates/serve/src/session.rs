@@ -1,0 +1,179 @@
+//! Resumable sessions: park a finished machine server-side, hand the
+//! client an id, and continue the run later without replaying.
+//!
+//! A parked session owns the full `Machine` (architectural state,
+//! counters, engine knobs) plus the compilation it ran, so a resume is a
+//! [`manticore::fleet::SimJob::resume`] — no recompile, no re-run, and
+//! the continued trajectory is bit-identical to a single uninterrupted
+//! run (the integration suite asserts this by state fingerprint).
+//!
+//! Sessions are leases, not persistent state: a reaper drops any session
+//! idle past the configured TTL so abandoned clients cannot pin machines
+//! forever. Resuming *removes* the session from the table (the machine
+//! is on a worker); a job that parks again re-inserts under a fresh id.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use manticore::compiler::CompileOutput;
+use manticore::machine::Machine;
+
+/// A parked run: the machine mid-flight and the compilation that made
+/// it (needed to resolve register names on later slices).
+#[derive(Debug)]
+pub struct ParkedSession {
+    /// The machine, stopped at a Vcycle boundary.
+    pub machine: Machine,
+    /// The compilation the machine is executing.
+    pub output: Arc<CompileOutput>,
+}
+
+struct Entry {
+    session: ParkedSession,
+    last_used: Instant,
+}
+
+/// Counter snapshot for the stats endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions currently parked.
+    pub live: usize,
+    /// Sessions ever parked.
+    pub parked: u64,
+    /// Sessions resumed by a client.
+    pub resumed: u64,
+    /// Sessions dropped by the idle reaper.
+    pub reaped: u64,
+}
+
+/// The server-wide table of parked sessions.
+pub struct SessionTable {
+    inner: Mutex<Inner>,
+    ttl: Duration,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    next_id: u64,
+    parked: u64,
+    resumed: u64,
+    reaped: u64,
+}
+
+impl SessionTable {
+    /// A table whose reaper drops sessions idle longer than `ttl`.
+    pub fn new(ttl: Duration) -> SessionTable {
+        SessionTable {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                next_id: 0,
+                parked: 0,
+                resumed: 0,
+                reaped: 0,
+            }),
+            ttl,
+        }
+    }
+
+    /// Parks `session` and returns its fresh id (`s-<n>`, unique for the
+    /// server's lifetime).
+    pub fn park(&self, session: ParkedSession) -> String {
+        let mut inner = self.inner.lock().expect("session lock poisoned");
+        inner.next_id += 1;
+        inner.parked += 1;
+        let id = format!("s-{}", inner.next_id);
+        inner.entries.insert(
+            id.clone(),
+            Entry {
+                session,
+                last_used: Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// Takes the session out of the table for resumption. `None` when the
+    /// id is unknown — never parked, already resumed, or reaped.
+    pub fn resume(&self, id: &str) -> Option<ParkedSession> {
+        let mut inner = self.inner.lock().expect("session lock poisoned");
+        let entry = inner.entries.remove(id)?;
+        inner.resumed += 1;
+        Some(entry.session)
+    }
+
+    /// Drops a session without running it. Returns whether it existed.
+    pub fn drop_session(&self, id: &str) -> bool {
+        let mut inner = self.inner.lock().expect("session lock poisoned");
+        inner.entries.remove(id).is_some()
+    }
+
+    /// Drops every session idle longer than the TTL; returns how many.
+    /// Called periodically by the server's reaper thread.
+    pub fn reap(&self) -> usize {
+        let mut inner = self.inner.lock().expect("session lock poisoned");
+        let ttl = self.ttl;
+        let before = inner.entries.len();
+        inner.entries.retain(|_, e| e.last_used.elapsed() <= ttl);
+        let dropped = before - inner.entries.len();
+        inner.reaped += dropped as u64;
+        dropped
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> SessionStats {
+        let inner = self.inner.lock().expect("session lock poisoned");
+        SessionStats {
+            live: inner.entries.len(),
+            parked: inner.parked,
+            resumed: inner.resumed,
+            reaped: inner.reaped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manticore::prelude::*;
+
+    fn parked() -> ParkedSession {
+        let mut b = NetlistBuilder::new("c");
+        let r = b.reg("count", 16, 0);
+        let one = b.lit(1, 16);
+        let next = b.add(r.q(), one);
+        b.set_next(r, next);
+        b.output("count", r.q());
+        let n = b.finish_build().unwrap();
+        let fleet = FleetSim::compile(&n, MachineConfig::with_grid(2, 2), 1).unwrap();
+        let output = std::sync::Arc::clone(fleet.output());
+        let mut machine = Machine::from_program(std::sync::Arc::clone(fleet.program()));
+        machine.run_vcycles(3).unwrap();
+        ParkedSession { machine, output }
+    }
+
+    #[test]
+    fn park_resume_is_single_use_and_drop_is_idempotent() {
+        let table = SessionTable::new(Duration::from_secs(60));
+        let id = table.park(parked());
+        assert!(table.resume(&id).is_some());
+        assert!(table.resume(&id).is_none(), "resume consumes the session");
+        let id2 = table.park(parked());
+        assert_ne!(id, id2, "ids are never reused");
+        assert!(table.drop_session(&id2));
+        assert!(!table.drop_session(&id2));
+        let stats = table.stats();
+        assert_eq!((stats.parked, stats.resumed, stats.live), (2, 1, 0));
+    }
+
+    #[test]
+    fn reaper_drops_only_idle_sessions() {
+        let table = SessionTable::new(Duration::from_millis(30));
+        let id = table.park(parked());
+        assert_eq!(table.reap(), 0, "fresh session survives");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(table.reap(), 1);
+        assert!(table.resume(&id).is_none());
+        assert_eq!(table.stats().reaped, 1);
+    }
+}

@@ -13,6 +13,11 @@
 //! batch-level fail-fast — each batch gets a child of the caller's token,
 //! so the pool can abandon a batch without cancelling the caller's wider
 //! campaign, while the caller can still pull the plug on everything.
+//! [`CancelToken::either`] generalizes the tree to a DAG: a token with
+//! *two* parents, tripped by whichever fires first — how a fleet job
+//! combines its own per-job token (e.g. "this client disconnected") with
+//! the batch-wide one ("this batch was abandoned") without letting either
+//! cancellation leak into the other's domain.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -20,7 +25,7 @@ use std::sync::Arc;
 #[derive(Debug)]
 struct CancelInner {
     flag: AtomicBool,
-    parent: Option<CancelToken>,
+    parents: Box<[CancelToken]>,
 }
 
 /// A cloneable cancellation flag. All clones observe the same state;
@@ -36,7 +41,7 @@ impl CancelToken {
         CancelToken {
             inner: Arc::new(CancelInner {
                 flag: AtomicBool::new(false),
-                parent: None,
+                parents: Box::new([]),
             }),
         }
     }
@@ -47,7 +52,21 @@ impl CancelToken {
         CancelToken {
             inner: Arc::new(CancelInner {
                 flag: AtomicBool::new(false),
-                parent: Some(self.clone()),
+                parents: Box::new([self.clone()]),
+            }),
+        }
+    }
+
+    /// A token with two parents: tripped when `a`, `b`, or itself is
+    /// cancelled, whichever happens first. Cancelling the merged token
+    /// does not cancel either parent. This is how a fleet job watches
+    /// both its own cancellation domain (a client connection) and the
+    /// batch-wide one at a single poll site.
+    pub fn either(a: &CancelToken, b: &CancelToken) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                parents: Box::new([a.clone(), b.clone()]),
             }),
         }
     }
@@ -65,10 +84,15 @@ impl CancelToken {
         if self.inner.flag.load(Ordering::Acquire) {
             return true;
         }
-        match &self.inner.parent {
-            Some(p) => p.is_cancelled(),
-            None => false,
-        }
+        self.inner.parents.iter().any(|p| p.is_cancelled())
+    }
+
+    /// A stable identity for this token's shared state: clones report the
+    /// same id, distinct tokens report distinct ids. Used by the fleet's
+    /// gang grouping — jobs may share a lockstep gang only when they share
+    /// one cancellation domain, which is exactly "same token identity".
+    pub fn id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
     }
 }
 
@@ -111,5 +135,39 @@ mod tests {
         let leaf = root.child().child();
         root.cancel();
         assert!(leaf.is_cancelled());
+    }
+
+    #[test]
+    fn either_trips_on_whichever_parent_fires_first() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let merged = CancelToken::either(&a, &b);
+        assert!(!merged.is_cancelled());
+        b.cancel();
+        assert!(merged.is_cancelled());
+        assert!(!a.is_cancelled(), "merge must not leak into a parent");
+
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let merged = CancelToken::either(&a, &b);
+        a.cancel();
+        assert!(merged.is_cancelled());
+        assert!(!b.is_cancelled());
+
+        // Cancelling the merged token leaks into neither parent.
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let merged = CancelToken::either(&a, &b);
+        merged.cancel();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+    }
+
+    #[test]
+    fn identity_is_shared_by_clones_only() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert_eq!(t.id(), c.id());
+        assert_ne!(t.id(), CancelToken::new().id());
+        assert_ne!(t.id(), t.child().id(), "a child is a distinct domain");
     }
 }

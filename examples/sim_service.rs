@@ -1,0 +1,104 @@
+//! Simulation as a service: boot the job server in-process, talk to it
+//! over a real loopback socket, and exercise the three request shapes —
+//! fire-and-forget submissions, a park/resume session, and a stats
+//! probe — before a clean shutdown.
+//!
+//! Run with: `cargo run --example sim_service`
+//!
+//! In production the server runs standalone (`manticore-served`), and
+//! clients connect from other processes; the wire protocol is the same
+//! 4-byte length-prefixed JSON either way (see SERVING.md).
+
+use manticore_serve::client::Client;
+use manticore_serve::proto::{Reply, Request, ResumeReq, SubmitReq};
+use manticore_serve::server::{Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Boot a server on an ephemeral loopback port. Two fleet workers
+    //    and four gang lanes is plenty for a demo; `manticore-served`
+    //    exposes the same knobs as CLI flags.
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            lanes: 4,
+            ..ServerConfig::default()
+        },
+    )?;
+    println!("serving on {}", server.local_addr());
+
+    // 2. Submit a batch of jobs on one connection. Replies stream back
+    //    as jobs finish; the `id` ties each reply to its submission.
+    let mut client = Client::connect(server.local_addr())?;
+    for id in 0..4u64 {
+        client.send(&Request::Submit(SubmitReq {
+            id,
+            design: "counter".into(),
+            grid: None,
+            vcycles: 100,
+            pokes: vec![("count".into(), id * 1_000)],
+            reads: vec!["count".into()],
+            deadline_ms: None,
+            park: false,
+        }))?;
+    }
+    for _ in 0..4 {
+        match client.recv()?.expect("server open") {
+            Reply::Result(r) => {
+                let (name, value) = &r.regs[0];
+                println!(
+                    "job {}: outcome={} after {} Vcycles, {name}={value}, state {}",
+                    r.id, r.outcome, r.vcycles_run, r.fingerprint
+                );
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    // 3. Park a machine server-side mid-run, then resume it. The split
+    //    run is bit-identical to one uninterrupted run — the session
+    //    holds the booted machine, not a snapshot.
+    let parked = match client.call(&Request::Submit(SubmitReq {
+        id: 10,
+        design: "accum".into(),
+        grid: None,
+        vcycles: 30,
+        pokes: vec![("step".into(), 3)],
+        reads: vec!["acc".into()],
+        deadline_ms: None,
+        park: true,
+    }))? {
+        Reply::Result(r) => r,
+        other => panic!("unexpected reply: {other:?}"),
+    };
+    let session = parked.session.expect("parked jobs return a session id");
+    println!(
+        "parked after 30 Vcycles as {session}, acc = {}",
+        parked.regs[0].1
+    );
+
+    match client.call(&Request::Resume(ResumeReq {
+        id: 11,
+        session,
+        vcycles: 70,
+        pokes: vec![],
+        reads: vec!["acc".into()],
+        park: false,
+    }))? {
+        Reply::Result(r) => println!(
+            "resumed +70 Vcycles: acc = {}, state {}",
+            r.regs[0].1, r.fingerprint
+        ),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // 4. Ask the server for its counters: cache hits/misses, queue
+    //    depth, sessions, jobs by outcome.
+    let stats = client.stats()?;
+    println!("stats: {}", stats.render());
+
+    drop(client);
+    server.shutdown();
+    println!("server drained and stopped");
+    Ok(())
+}

@@ -50,6 +50,18 @@ additionally has the absolute acceptance floor of 1.8x: the parallel
 pass pipeline must stay at least 1.8x faster than the serial reference
 on the 16x16 SoC's heavy passes regardless of baseline drift.
 
+With `--serve-fresh`/`--serve-baseline`, the gate additionally compares
+a serve_soak run: the load geometry (`conns`, `vcycles`, `workers`,
+`lanes`) exactly — job count may differ, since CI smokes at 10^3 jobs
+against the committed 10^5-job baseline, and throughput/hit-rate/RSS
+bounds all hold at either scale; `cache_misses` exactly (the compile
+count equals the design count by construction — one extra miss means
+the cache or its single-flight dedup broke, not noise);
+`cache_hit_rate` against the absolute 0.90 acceptance floor;
+`geomean_jobs_per_sec` as a one-sided floor vs the baseline; and
+`rss_growth` against the absolute 1.10 flatness ceiling (final RSS
+within 10% of the post-warm-up plateau — a leaky server fails here).
+
 Intentional perf changes (either direction, beyond tolerance) are landed
 by regenerating the committed baseline(s) in the same PR.
 
@@ -57,6 +69,7 @@ Usage: bench_gate.py FRESH.json BASELINE.json [--tolerance 0.25]
                      [--fleet-fresh FLEET.json --fleet-baseline BENCH_fleet.json]
                      [--explore-fresh EXPLORE.json --explore-baseline BENCH_explore.json]
                      [--compile-fresh COMPILE.json --compile-baseline BENCH_compile.json]
+                     [--serve-fresh SERVE.json --serve-baseline BENCH_serve.json]
 """
 
 import argparse
@@ -223,6 +236,60 @@ def check_compile(fresh_path, base_path, tolerance, failures):
     )
 
 
+SERVE_HIT_RATE_FLOOR = 0.90
+SERVE_RSS_GROWTH_CEILING = 1.10
+
+
+def check_serve(fresh_path, base_path, tolerance, failures):
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+    print("serve section:")
+    # Job count may legitimately differ (CI smokes at a lower --jobs);
+    # everything gated below is scale-independent. The rest of the load
+    # geometry must match for the throughput floor to mean anything.
+    for field in ("conns", "vcycles", "workers", "lanes"):
+        if fresh.get(field) != base.get(field):
+            failures.append(
+                f"serve.{field}: load geometry changed ({base.get(field)} -> {fresh.get(field)}); "
+                "rates are not comparable — regenerate BENCH_serve.json"
+            )
+    # The compile count is deterministic: one miss per catalog design,
+    # every later job a hit. Any extra miss is a cache/single-flight
+    # regression, not noise.
+    if fresh.get("cache_misses") != base.get("cache_misses"):
+        failures.append(
+            f"serve.cache_misses: {base.get('cache_misses')} -> {fresh.get('cache_misses')} "
+            "(compiles are deterministic — the program cache or its dedup broke)"
+        )
+    else:
+        print(f"    ok  serve.cache_misses{'':<13} {fresh.get('cache_misses')} exact")
+    hit_rate = fresh.get("cache_hit_rate")
+    if hit_rate is None or hit_rate < SERVE_HIT_RATE_FLOOR:
+        failures.append(
+            f"serve.cache_hit_rate: {hit_rate} below the {SERVE_HIT_RATE_FLOOR} acceptance floor"
+        )
+    else:
+        print(f"    ok  serve.cache_hit_rate{'':<11} {hit_rate:.4f} >= {SERVE_HIT_RATE_FLOOR}")
+    # Throughput: one-sided — a faster server never fails the gate.
+    check_floor(
+        "serve.geomean_jobs_per_sec",
+        fresh.get("geomean_jobs_per_sec"),
+        base.get("geomean_jobs_per_sec"),
+        tolerance,
+        failures,
+    )
+    rss_growth = fresh.get("rss_growth")
+    if rss_growth is None or rss_growth > SERVE_RSS_GROWTH_CEILING:
+        failures.append(
+            f"serve.rss_growth: {rss_growth} over the {SERVE_RSS_GROWTH_CEILING} flatness "
+            "ceiling (final RSS must stay within 10% of the warm plateau)"
+        )
+    else:
+        print(f"    ok  serve.rss_growth{'':<14} {rss_growth:.3f} <= {SERVE_RSS_GROWTH_CEILING}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="JSON from the fresh table3_performance run")
@@ -234,6 +301,8 @@ def main():
     ap.add_argument("--explore-baseline", help="committed explore baseline (BENCH_explore.json)")
     ap.add_argument("--compile-fresh", help="JSON from the fresh table8_compile_times run")
     ap.add_argument("--compile-baseline", help="committed compile baseline (BENCH_compile.json)")
+    ap.add_argument("--serve-fresh", help="JSON from the fresh serve_soak run")
+    ap.add_argument("--serve-baseline", help="committed serve baseline (BENCH_serve.json)")
     args = ap.parse_args()
     if bool(args.fleet_fresh) != bool(args.fleet_baseline):
         ap.error("--fleet-fresh and --fleet-baseline must be given together "
@@ -244,6 +313,9 @@ def main():
     if bool(args.compile_fresh) != bool(args.compile_baseline):
         ap.error("--compile-fresh and --compile-baseline must be given together "
                  "(one alone would silently skip the compile gate)")
+    if bool(args.serve_fresh) != bool(args.serve_baseline):
+        ap.error("--serve-fresh and --serve-baseline must be given together "
+                 "(one alone would silently skip the serve gate)")
 
     with open(args.fresh) as f:
         fresh = json.load(f)
@@ -280,6 +352,8 @@ def main():
         check_explore(args.explore_fresh, args.explore_baseline, args.tolerance, failures)
     if args.compile_fresh and args.compile_baseline:
         check_compile(args.compile_fresh, args.compile_baseline, args.tolerance, failures)
+    if args.serve_fresh and args.serve_baseline:
+        check_serve(args.serve_fresh, args.serve_baseline, args.tolerance, failures)
 
     if failures:
         print(f"\nbench gate FAILED ({len(failures)} violation(s)):", file=sys.stderr)
@@ -290,7 +364,8 @@ def main():
             "  cargo run --release -p manticore-bench --bin table3_performance -- --json BENCH_table3.json\n"
             "  cargo run --release -p manticore-bench --bin fleet_throughput -- --json BENCH_fleet.json\n"
             "  cargo run --release -p manticore-bench --bin explore_throughput -- --json BENCH_explore.json\n"
-            "  cargo run --release -p manticore-bench --bin table8_compile_times -- --json BENCH_compile.json",
+            "  cargo run --release -p manticore-bench --bin table8_compile_times -- --json BENCH_compile.json\n"
+            "  cargo run --release -p manticore-bench --bin serve_soak -- --json BENCH_serve.json",
             file=sys.stderr,
         )
         return 1
