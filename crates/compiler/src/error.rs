@@ -39,6 +39,22 @@ pub enum CompileError {
         /// Cores available.
         cores: usize,
     },
+    /// The compile's wall-clock deadline passed before the pipeline
+    /// finished. The pipeline polls between passes and inside the
+    /// partition merge loop (the one pass that can run long), so a huge
+    /// or hostile design stops at a poll point instead of pinning the
+    /// compiling thread indefinitely.
+    DeadlineExceeded {
+        /// The pass that was about to run (or running) when the deadline
+        /// was observed.
+        pass: &'static str,
+    },
+    /// The compile's [`crate::CompileControl`] cancel token was tripped.
+    Cancelled {
+        /// The pass that was about to run (or running) when cancellation
+        /// was observed.
+        pass: &'static str,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -64,6 +80,12 @@ impl fmt::Display for CompileError {
                 f,
                 "partitioning produced {processes} processes for {cores} cores"
             ),
+            CompileError::DeadlineExceeded { pass } => {
+                write!(f, "compile deadline exceeded during `{pass}`")
+            }
+            CompileError::Cancelled { pass } => {
+                write!(f, "compile cancelled during `{pass}`")
+            }
         }
     }
 }

@@ -65,7 +65,7 @@ use manticore_netlist::Netlist;
 
 pub use error::CompileError;
 pub use partition::PartitionStrategy;
-pub use pass::{CompileCtx, Pass, PassManager};
+pub use pass::{CompileControl, CompileCtx, Pass, PassManager};
 pub use report::{
     CompileReport, CoreBreakdown, MemLocation, Metadata, PassStat, RegLocation, SplitStats,
 };
@@ -147,8 +147,28 @@ impl CompileOutput {
 /// (test harnesses must be closed) and resource overflows are reported per
 /// core.
 pub fn compile(netlist: &Netlist, options: &CompileOptions) -> Result<CompileOutput, CompileError> {
+    compile_controlled(netlist, options, &CompileControl::default())
+}
+
+/// [`compile`] under a [`CompileControl`]: the pipeline polls the control
+/// between passes and inside the partition merge loop, so a tripped
+/// deadline or cancel token stops the compile with a structured
+/// [`CompileError::DeadlineExceeded`] / [`CompileError::Cancelled`]
+/// instead of running a huge or hostile design to completion. The serving
+/// layer uses this to bound how long one untrusted netlist can hold a
+/// compile slot.
+///
+/// # Errors
+///
+/// Everything [`compile`] reports, plus the control's interruptions.
+pub fn compile_controlled(
+    netlist: &Netlist,
+    options: &CompileOptions,
+    control: &CompileControl,
+) -> Result<CompileOutput, CompileError> {
     let threads = options.resolved_compile_threads();
     let mut ctx = CompileCtx::new(netlist, options, threads);
+    ctx.control = control.clone();
     PassManager::standard().run(&mut ctx)?;
 
     let parted = ctx.parted.take().expect("pipeline ran");

@@ -49,7 +49,14 @@ use std::collections::{BTreeSet, HashMap};
 use manticore_util::parallel_map;
 
 use crate::bitset::BitSet;
+use crate::error::CompileError;
 use crate::lir::{LirExceptionKind, LirInstr, LirOp, LirProgram, Process, StateId, VReg};
+use crate::pass::CompileControl;
+
+/// How many merge iterations run between [`CompileControl`] polls. The
+/// greedy loop retires one unit per iteration, so even a huge design
+/// observes a tripped deadline within a bounded amount of work.
+const MERGE_POLL_PERIOD: usize = 64;
 
 /// Which merge strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +105,36 @@ pub fn partition_threaded(
     strategy: PartitionStrategy,
     threads: usize,
 ) -> LirProgram {
+    partition_controlled(
+        prog,
+        num_cores,
+        strategy,
+        threads,
+        &CompileControl::default(),
+    )
+    .expect("unconstrained partition cannot be interrupted")
+}
+
+/// [`partition_threaded`] with a [`CompileControl`]: the serial merge loop
+/// polls the control every `MERGE_POLL_PERIOD` iterations, so a tripped
+/// deadline or cancel token stops the pass with a structured error
+/// instead of running the (potentially quadratic) merge to completion.
+///
+/// # Errors
+///
+/// [`CompileError::DeadlineExceeded`] / [`CompileError::Cancelled`] when
+/// the control fires mid-merge.
+///
+/// # Panics
+///
+/// Panics if `prog` is not monolithic (exactly one process).
+pub fn partition_controlled(
+    prog: &LirProgram,
+    num_cores: usize,
+    strategy: PartitionStrategy,
+    threads: usize,
+    control: &CompileControl,
+) -> Result<LirProgram, CompileError> {
     assert_eq!(
         prog.processes.len(),
         1,
@@ -243,14 +280,23 @@ pub fn partition_threaded(
     // Merge (inherently serial: a sequential greedy decision process).
     // ------------------------------------------------------------------
     let merged_sets = match (strategy, threads > 1) {
-        (PartitionStrategy::Balanced, false) => merge_balanced(units, num_cores, &instr_cost),
+        (PartitionStrategy::Balanced, false) => {
+            merge_balanced(units, num_cores, &instr_cost, control)?
+        }
         (PartitionStrategy::Balanced, true) => {
-            merge_balanced_fast(units, num_cores, &instr_cost, prog.states.len())
+            merge_balanced_fast(units, num_cores, &instr_cost, prog.states.len(), control)?
         }
         (PartitionStrategy::Lpt, _) => merge_lpt(units, num_cores),
     };
 
-    materialize(prog, mono, &merged_sets, &def_of, &vreg_state, threads)
+    Ok(materialize(
+        prog,
+        mono,
+        &merged_sets,
+        &def_of,
+        &vreg_state,
+        threads,
+    ))
 }
 
 /// Send count of unit `u` given current ownership: one per (state committed
@@ -270,9 +316,19 @@ fn send_count(u: usize, units: &[Unit], alive: &[bool]) -> usize {
 /// The reference balanced merge: recomputes unit costs and merged costs
 /// from first principles every iteration. Kept verbatim as the serial
 /// pipeline and as the oracle for `merge_balanced_fast`.
-fn merge_balanced(mut units: Vec<Unit>, num_cores: usize, instr_cost: &[usize]) -> Vec<BitSet> {
+fn merge_balanced(
+    mut units: Vec<Unit>,
+    num_cores: usize,
+    instr_cost: &[usize],
+    control: &CompileControl,
+) -> Result<Vec<BitSet>, CompileError> {
     let mut alive = vec![true; units.len()];
+    let mut iterations = 0usize;
     loop {
+        if iterations.is_multiple_of(MERGE_POLL_PERIOD) {
+            control.check("partition")?;
+        }
+        iterations += 1;
         let live: Vec<usize> = (0..units.len()).filter(|&i| alive[i]).collect();
         if live.len() <= 1 {
             break;
@@ -344,11 +400,11 @@ fn merge_balanced(mut units: Vec<Unit>, num_cores: usize, instr_cost: &[usize]) 
         units[u].reads.extend(vv.reads.iter().copied());
         alive[v] = false;
     }
-    units
+    Ok(units
         .into_iter()
         .zip(alive)
         .filter_map(|(un, a)| a.then_some(un.instrs))
-        .collect()
+        .collect())
 }
 
 /// The incremental balanced merge: replays [`merge_balanced`]'s exact
@@ -386,11 +442,12 @@ fn merge_balanced_fast(
     num_cores: usize,
     instr_cost: &[usize],
     num_states: usize,
-) -> Vec<BitSet> {
+    control: &CompileControl,
+) -> Result<Vec<BitSet>, CompileError> {
     let nunits = units.len();
     let mut alive = vec![true; nunits];
     if nunits == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     // Per-weight word masks over monolithic instruction indices: the
@@ -451,7 +508,12 @@ fn merge_balanced_fast(
         .collect();
 
     let mut live_count = nunits;
+    let mut iterations = 0usize;
     while live_count > 1 {
+        if iterations.is_multiple_of(MERGE_POLL_PERIOD) {
+            control.check("partition")?;
+        }
+        iterations += 1;
         let must_merge = live_count > num_cores;
         // Cheapest live unit: first minimal in ascending index order.
         let mut u = usize::MAX;
@@ -530,11 +592,11 @@ fn merge_balanced_fast(
         live_count -= 1;
         cost[u] = full_cost(u, &units, &readers_cnt);
     }
-    units
+    Ok(units
         .into_iter()
         .zip(alive)
         .filter_map(|(un, a)| a.then_some(un.instrs))
-        .collect()
+        .collect())
 }
 
 fn merge_lpt(units: Vec<Unit>, num_cores: usize) -> Vec<BitSet> {

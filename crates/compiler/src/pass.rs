@@ -28,10 +28,67 @@
 use std::time::Instant;
 
 use manticore_netlist::Netlist;
+use manticore_util::CancelToken;
 
 use crate::error::CompileError;
 use crate::report::{CompileReport, PassStat, SplitStats};
 use crate::{cfu, lir, lir_opt, lower, opt, partition, regalloc, schedule, CompileOptions};
+
+/// Host-side control over one compilation: a cooperative cancel token
+/// and/or a wall-clock deadline, polled between passes and inside the
+/// partition merge loop. The default is unconstrained (every check is a
+/// no-op), so callers that never set one pay nothing.
+///
+/// This mirrors the machine's run-control machinery: tripping either
+/// signal stops the compile at the next poll point with a structured
+/// [`CompileError::Cancelled`] / [`CompileError::DeadlineExceeded`]
+/// naming the pass it interrupted, instead of wedging the compiling
+/// thread on a huge or hostile design.
+#[derive(Debug, Clone, Default)]
+pub struct CompileControl {
+    /// Cooperative cancellation; tripping it stops the compile at the
+    /// next poll point.
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock deadline; the compile stops at the first poll point at
+    /// or past it.
+    pub deadline: Option<Instant>,
+}
+
+impl CompileControl {
+    /// A control with only a deadline.
+    pub fn with_deadline(deadline: Instant) -> CompileControl {
+        CompileControl {
+            cancel: None,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// True when either signal is set (the unconstrained default makes
+    /// every poll a pair of `None` checks).
+    pub fn is_constrained(&self) -> bool {
+        self.cancel.is_some() || self.deadline.is_some()
+    }
+
+    /// One poll point: returns the structured interruption error if
+    /// either signal has fired, attributing it to `pass`.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Cancelled`] or [`CompileError::DeadlineExceeded`].
+    pub fn check(&self, pass: &'static str) -> Result<(), CompileError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(CompileError::Cancelled { pass });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(CompileError::DeadlineExceeded { pass });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Shared state threaded through the pipeline: the inputs, the worker
 /// count, each stage's IR once produced, and the accumulating report.
@@ -55,6 +112,8 @@ pub struct CompileCtx<'a> {
     pub emitted: Option<regalloc::EmitOutput>,
     /// Pass instrumentation and compile statistics.
     pub report: CompileReport,
+    /// Cancellation/deadline control; unconstrained by default.
+    pub control: CompileControl,
 }
 
 impl<'a> CompileCtx<'a> {
@@ -74,6 +133,7 @@ impl<'a> CompileCtx<'a> {
             schedule: None,
             emitted: None,
             report,
+            control: CompileControl::default(),
         }
     }
 }
@@ -136,6 +196,7 @@ impl PassManager {
     /// The first failing pass's [`CompileError`].
     pub fn run(&self, ctx: &mut CompileCtx) -> Result<(), CompileError> {
         for pass in &self.passes {
+            ctx.control.check(pass.name())?;
             let start = Instant::now();
             pass.run(ctx)?;
             ctx.report.passes.push(PassStat {
@@ -220,12 +281,13 @@ impl Pass for PartitionPass {
     }
     fn run(&self, ctx: &mut CompileCtx) -> Result<(), CompileError> {
         let mono = ctx.mono.as_ref().expect("lir-opt ran");
-        let parted = partition::partition_threaded(
+        let parted = partition::partition_controlled(
             mono,
             ctx.options.config.num_cores(),
             ctx.options.partition,
             ctx.threads,
-        );
+            &ctx.control,
+        )?;
         ctx.report.split = SplitStats {
             vertices: count_split_units(mono),
             edges: count_split_edges(&parted),

@@ -34,22 +34,23 @@ impl CacheStats {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+pub(crate) struct Line {
+    pub(crate) tag: u64,
+    pub(crate) valid: bool,
+    pub(crate) dirty: bool,
 }
 
 /// Direct-mapped write-allocate write-back cache over a sparse word-addressed
-/// DRAM.
+/// DRAM. Fields are `pub(crate)` for the persistence layer, which must
+/// round-trip the full residency state (lines, data, DRAM image, counters).
 #[derive(Debug, Clone)]
 pub struct Cache {
-    config: CacheConfig,
-    lines: Vec<Line>,
+    pub(crate) config: CacheConfig,
+    pub(crate) lines: Vec<Line>,
     /// Cached data, indexed `line * line_words + offset`.
-    data: Vec<u16>,
-    dram: HashMap<u64, u16>,
-    stats: CacheStats,
+    pub(crate) data: Vec<u16>,
+    pub(crate) dram: HashMap<u64, u16>,
+    pub(crate) stats: CacheStats,
 }
 
 impl Cache {

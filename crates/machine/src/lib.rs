@@ -71,6 +71,7 @@ mod gang;
 mod grid;
 mod noc;
 mod parallel;
+mod persist;
 mod program;
 mod replay;
 mod uops;
@@ -82,6 +83,7 @@ pub use gang::{GangMachine, MAX_LANES};
 pub use grid::{
     ExecMode, HostEvent, Interrupt, Machine, MachineError, PerfCounters, ReplayEngine, RunOutcome,
 };
+pub use persist::{load_checkpoint, save_checkpoint, PersistError};
 pub use program::CompiledProgram;
 
 #[cfg(test)]

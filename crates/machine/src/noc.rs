@@ -48,8 +48,10 @@ pub(crate) struct Noc {
     hop_latency: u64,
     injection_latency: u64,
     /// Link reservations keyed by `(link, position-in-vcycle)`; only
-    /// populated during the validation (first) Vcycle.
-    reservations: HashMap<(LinkId, u64), CoreId>,
+    /// populated during the validation (first) Vcycle. `pub(crate)` so
+    /// the persistence layer can carry them across a save/load (a
+    /// recovered machine must not re-validate links it already reserved).
+    pub(crate) reservations: HashMap<(LinkId, u64), CoreId>,
     /// Messages in flight, sorted by arrival through BinaryHeap-free scan
     /// (counts are tiny per cycle).
     pub in_flight: Vec<Message>,

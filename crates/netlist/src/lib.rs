@@ -50,11 +50,16 @@ pub mod eval;
 pub mod ir;
 pub mod stats;
 pub mod topo;
+pub mod validate;
 pub mod vcd;
 
 pub use builder::{BuildError, MemHandle, NetlistBuilder, RegHandle};
-pub use ir::{CellOp, Memory, MemoryId, Net, NetId, Netlist, RegId, Register};
+pub use ir::{
+    CellOp, DisplayCell, ExpectCell, FinishCell, MemWrite, Memory, MemoryId, Net, NetId, Netlist,
+    RegId, Register,
+};
 pub use stats::NetlistStats;
+pub use validate::{NetlistParts, ValidateError};
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,644 @@
+//! A validating constructor for deserialized netlists.
+//!
+//! [`NetlistBuilder`](crate::NetlistBuilder) enforces the IR's structural
+//! invariants with assertions — the right contract for programmatic
+//! construction, where a width mismatch is a bug in the calling code. A
+//! netlist decoded from an *untrusted* source (the serve crate's wire
+//! format) must not be able to reach those assertions: a hostile payload
+//! panicking the decoding thread is a denial of service. This module is
+//! the panic-free counterpart: [`Netlist::from_parts`] takes raw IR
+//! pieces, checks every invariant the builder asserts (id validity,
+//! operand counts, width rules, register/memory wiring, acyclicity), and
+//! returns a typed [`ValidateError`] instead of panicking.
+//!
+//! The invariants checked here are exactly the ones the rest of the stack
+//! (the evaluator, the compiler's lowering pass) relies on; a netlist
+//! accepted by `from_parts` is as trustworthy as one built with the DSL.
+
+use std::fmt;
+
+use manticore_bits::MAX_WIDTH;
+
+use crate::ir::{
+    CellOp, DisplayCell, ExpectCell, FinishCell, Memory, Net, NetId, Netlist, Register,
+};
+use crate::topo;
+
+/// Why a deserialized netlist was rejected. Indices identify the
+/// offending element; `detail` is a human-readable explanation suitable
+/// for echoing back to the submitting client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A net is structurally invalid (bad width, bad operand reference,
+    /// wrong operand count, width-rule violation).
+    BadNet {
+        /// Index of the offending net.
+        net: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A register is mis-wired (bad width, init mismatch, dangling or
+    /// mismatched `next`/`q` nets).
+    BadRegister {
+        /// Index of the offending register.
+        register: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A memory is structurally invalid (bad geometry, init overflow,
+    /// mis-wired write port).
+    BadMemory {
+        /// Index of the offending memory.
+        memory: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A testbench cell or named port references a missing or wrongly
+    /// sized net.
+    BadPort {
+        /// Which cell family (`output`, `input`, `display`, `expect`,
+        /// `finish`).
+        kind: &'static str,
+        /// Index within that family.
+        index: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// The combinational logic contains a cycle.
+    CombinationalLoop {
+        /// One net on the cycle.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadNet { net, detail } => write!(f, "net {net}: {detail}"),
+            ValidateError::BadRegister { register, detail } => {
+                write!(f, "register {register}: {detail}")
+            }
+            ValidateError::BadMemory { memory, detail } => write!(f, "memory {memory}: {detail}"),
+            ValidateError::BadPort {
+                kind,
+                index,
+                detail,
+            } => write!(f, "{kind} {index}: {detail}"),
+            ValidateError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net {}", net.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// The raw pieces of a netlist, as a decoder produces them. All ids are
+/// plain indices into the sibling vectors; nothing is trusted until
+/// [`Netlist::from_parts`] has checked it.
+#[derive(Debug, Clone, Default)]
+pub struct NetlistParts {
+    /// Design name (free-form; used in diagnostics only).
+    pub name: String,
+    /// All nets; [`Net::args`] reference indices in this vector.
+    pub nets: Vec<Net>,
+    /// All registers; their `next`/`q` fields reference `nets`.
+    pub registers: Vec<Register>,
+    /// All memories; write ports reference `nets`.
+    pub memories: Vec<Memory>,
+    /// Primary inputs as `(name, net)` pairs.
+    pub inputs: Vec<(String, NetId)>,
+    /// Named observation points as `(name, net)` pairs.
+    pub outputs: Vec<(String, NetId)>,
+    /// `$display` cells.
+    pub displays: Vec<DisplayCell>,
+    /// Assertion cells.
+    pub expects: Vec<ExpectCell>,
+    /// `$finish` cells.
+    pub finishes: Vec<FinishCell>,
+}
+
+impl Netlist {
+    /// Builds a [`Netlist`] from untrusted raw parts, verifying every
+    /// structural invariant the builder asserts: net widths in
+    /// `1..=MAX_WIDTH`, operand counts and width rules per [`CellOp`],
+    /// id validity everywhere, register `next`/`q` wiring, memory
+    /// geometry and write-port widths, 1-bit testbench conditions, and
+    /// combinational acyclicity. Never panics on any input.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ValidateError`] found, in net / register / memory /
+    /// port / cycle order.
+    pub fn from_parts(parts: NetlistParts) -> Result<Netlist, ValidateError> {
+        let NetlistParts {
+            name,
+            nets,
+            registers,
+            memories,
+            inputs,
+            outputs,
+            displays,
+            expects,
+            finishes,
+        } = parts;
+
+        let bad_net = |net: usize, detail: String| ValidateError::BadNet { net, detail };
+        let width_of = |id: NetId| nets[id.index()].width;
+
+        for (i, net) in nets.iter().enumerate() {
+            if net.width == 0 || net.width > MAX_WIDTH {
+                return Err(bad_net(
+                    i,
+                    format!("width {} outside 1..={MAX_WIDTH}", net.width),
+                ));
+            }
+            for &arg in &net.args {
+                if arg.index() >= nets.len() {
+                    return Err(bad_net(
+                        i,
+                        format!("operand {} out of range ({} nets)", arg.0, nets.len()),
+                    ));
+                }
+            }
+            let want_args = match net.op {
+                CellOp::Const(_) | CellOp::Input | CellOp::RegQ(_) => 0,
+                CellOp::Not
+                | CellOp::Slice { .. }
+                | CellOp::ZExt
+                | CellOp::SExt
+                | CellOp::RedOr
+                | CellOp::RedAnd
+                | CellOp::RedXor
+                | CellOp::MemRead(_) => 1,
+                CellOp::And
+                | CellOp::Or
+                | CellOp::Xor
+                | CellOp::Add
+                | CellOp::Sub
+                | CellOp::Mul
+                | CellOp::Eq
+                | CellOp::Ult
+                | CellOp::Slt
+                | CellOp::Shl
+                | CellOp::Shr
+                | CellOp::Ashr
+                | CellOp::Concat => 2,
+                CellOp::Mux => 3,
+            };
+            if net.args.len() != want_args {
+                return Err(bad_net(
+                    i,
+                    format!(
+                        "`{}` takes {want_args} operand(s), got {}",
+                        net.op.mnemonic(),
+                        net.args.len()
+                    ),
+                ));
+            }
+            match &net.op {
+                CellOp::Const(bits) => {
+                    if bits.width() != net.width {
+                        return Err(bad_net(
+                            i,
+                            format!(
+                                "constant is {} bits but the net is {}",
+                                bits.width(),
+                                net.width
+                            ),
+                        ));
+                    }
+                }
+                CellOp::Input => {}
+                CellOp::RegQ(r) => {
+                    let Some(reg) = registers.get(r.index()) else {
+                        return Err(bad_net(
+                            i,
+                            format!("references register {} of {}", r.0, registers.len()),
+                        ));
+                    };
+                    if reg.width != net.width {
+                        return Err(bad_net(
+                            i,
+                            format!(
+                                "register is {} bits but the q net is {}",
+                                reg.width, net.width
+                            ),
+                        ));
+                    }
+                }
+                CellOp::MemRead(m) => {
+                    let Some(mem) = memories.get(m.index()) else {
+                        return Err(bad_net(
+                            i,
+                            format!("references memory {} of {}", m.0, memories.len()),
+                        ));
+                    };
+                    if mem.width != net.width {
+                        return Err(bad_net(
+                            i,
+                            format!(
+                                "memory words are {} bits but the read net is {}",
+                                mem.width, net.width
+                            ),
+                        ));
+                    }
+                }
+                CellOp::And
+                | CellOp::Or
+                | CellOp::Xor
+                | CellOp::Add
+                | CellOp::Sub
+                | CellOp::Mul => {
+                    let (a, b) = (width_of(net.args[0]), width_of(net.args[1]));
+                    if a != net.width || b != net.width {
+                        return Err(bad_net(
+                            i,
+                            format!(
+                                "operand widths {a}/{b} must equal the net width {}",
+                                net.width
+                            ),
+                        ));
+                    }
+                }
+                CellOp::Not => {
+                    let a = width_of(net.args[0]);
+                    if a != net.width {
+                        return Err(bad_net(
+                            i,
+                            format!("operand width {a} must equal the net width {}", net.width),
+                        ));
+                    }
+                }
+                CellOp::Eq | CellOp::Ult | CellOp::Slt => {
+                    let (a, b) = (width_of(net.args[0]), width_of(net.args[1]));
+                    if a != b {
+                        return Err(bad_net(i, format!("comparison operand widths {a} != {b}")));
+                    }
+                    if net.width != 1 {
+                        return Err(bad_net(
+                            i,
+                            format!("comparison result must be 1 bit, got {}", net.width),
+                        ));
+                    }
+                }
+                CellOp::Shl | CellOp::Shr | CellOp::Ashr => {
+                    let a = width_of(net.args[0]);
+                    if a != net.width {
+                        return Err(bad_net(
+                            i,
+                            format!("shifted value is {a} bits but the net is {}", net.width),
+                        ));
+                    }
+                }
+                CellOp::Slice { offset } => {
+                    let a = width_of(net.args[0]);
+                    if offset.checked_add(net.width).is_none_or(|end| end > a) {
+                        return Err(bad_net(
+                            i,
+                            format!(
+                                "slice [{offset} +: {}] exceeds the {a}-bit operand",
+                                net.width
+                            ),
+                        ));
+                    }
+                }
+                CellOp::Concat => {
+                    let (lo, hi) = (width_of(net.args[0]), width_of(net.args[1]));
+                    if lo + hi != net.width {
+                        return Err(bad_net(
+                            i,
+                            format!("concat of {lo}+{hi} bits must be {} wide", lo + hi),
+                        ));
+                    }
+                }
+                CellOp::ZExt | CellOp::SExt => {
+                    let a = width_of(net.args[0]);
+                    if net.width < a {
+                        return Err(bad_net(
+                            i,
+                            format!("extension from {a} to {} bits shrinks", net.width),
+                        ));
+                    }
+                }
+                CellOp::Mux => {
+                    let sel = width_of(net.args[0]);
+                    let (t, f_) = (width_of(net.args[1]), width_of(net.args[2]));
+                    if sel != 1 {
+                        return Err(bad_net(i, format!("mux select must be 1 bit, got {sel}")));
+                    }
+                    if t != net.width || f_ != net.width {
+                        return Err(bad_net(
+                            i,
+                            format!("mux arms {t}/{f_} must equal the net width {}", net.width),
+                        ));
+                    }
+                }
+                CellOp::RedOr | CellOp::RedAnd | CellOp::RedXor => {
+                    if net.width != 1 {
+                        return Err(bad_net(
+                            i,
+                            format!("reduction result must be 1 bit, got {}", net.width),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let check_id = |id: NetId| id.index() < nets.len();
+        for (ri, reg) in registers.iter().enumerate() {
+            let bad = |detail: String| ValidateError::BadRegister {
+                register: ri,
+                detail,
+            };
+            if reg.width == 0 || reg.width > MAX_WIDTH {
+                return Err(bad(format!("width {} outside 1..={MAX_WIDTH}", reg.width)));
+            }
+            if reg.init.width() != reg.width {
+                return Err(bad(format!(
+                    "init value is {} bits for a {}-bit register",
+                    reg.init.width(),
+                    reg.width
+                )));
+            }
+            if !check_id(reg.next) {
+                return Err(bad(format!("next net {} out of range", reg.next.0)));
+            }
+            if width_of(reg.next) != reg.width {
+                return Err(bad(format!(
+                    "next net is {} bits for a {}-bit register",
+                    width_of(reg.next),
+                    reg.width
+                )));
+            }
+            if !check_id(reg.q) {
+                return Err(bad(format!("q net {} out of range", reg.q.0)));
+            }
+            let q_op = &nets[reg.q.index()].op;
+            if !matches!(q_op, CellOp::RegQ(r) if r.index() == ri) {
+                return Err(bad(format!(
+                    "q net {} is `{}`, not this register's regq",
+                    reg.q.0,
+                    q_op.mnemonic()
+                )));
+            }
+        }
+
+        for (mi, mem) in memories.iter().enumerate() {
+            let bad = |detail: String| ValidateError::BadMemory { memory: mi, detail };
+            if mem.width == 0 || mem.width > MAX_WIDTH {
+                return Err(bad(format!("width {} outside 1..={MAX_WIDTH}", mem.width)));
+            }
+            if mem.depth == 0 {
+                return Err(bad("depth must be at least 1".to_string()));
+            }
+            if mem.init.len() > mem.depth {
+                return Err(bad(format!(
+                    "{} init words for a {}-deep memory",
+                    mem.init.len(),
+                    mem.depth
+                )));
+            }
+            for (wi, word) in mem.init.iter().enumerate() {
+                if word.width() != mem.width {
+                    return Err(bad(format!(
+                        "init word {wi} is {} bits for a {}-bit memory",
+                        word.width(),
+                        mem.width
+                    )));
+                }
+            }
+            for (pi, port) in mem.writes.iter().enumerate() {
+                if !check_id(port.addr) || !check_id(port.data) || !check_id(port.en) {
+                    return Err(bad(format!("write port {pi} references a missing net")));
+                }
+                if width_of(port.data) != mem.width {
+                    return Err(bad(format!(
+                        "write port {pi} data is {} bits for a {}-bit memory",
+                        width_of(port.data),
+                        mem.width
+                    )));
+                }
+                if width_of(port.en) != 1 {
+                    return Err(bad(format!(
+                        "write port {pi} enable must be 1 bit, got {}",
+                        width_of(port.en)
+                    )));
+                }
+            }
+        }
+
+        let check_port =
+            |kind: &'static str, index: usize, id: NetId| -> Result<(), ValidateError> {
+                if !check_id(id) {
+                    return Err(ValidateError::BadPort {
+                        kind,
+                        index,
+                        detail: format!("net {} out of range", id.0),
+                    });
+                }
+                Ok(())
+            };
+        let check_cond =
+            |kind: &'static str, index: usize, id: NetId| -> Result<(), ValidateError> {
+                check_port(kind, index, id)?;
+                if width_of(id) != 1 {
+                    return Err(ValidateError::BadPort {
+                        kind,
+                        index,
+                        detail: format!("condition must be 1 bit, got {}", width_of(id)),
+                    });
+                }
+                Ok(())
+            };
+        for (i, (_, id)) in inputs.iter().enumerate() {
+            check_port("input", i, *id)?;
+        }
+        for (i, (_, id)) in outputs.iter().enumerate() {
+            check_port("output", i, *id)?;
+        }
+        for (i, d) in displays.iter().enumerate() {
+            check_cond("display", i, d.cond)?;
+            for &arg in &d.args {
+                check_port("display", i, arg)?;
+            }
+        }
+        for (i, e) in expects.iter().enumerate() {
+            check_cond("expect", i, e.cond)?;
+        }
+        for (i, f_) in finishes.iter().enumerate() {
+            check_cond("finish", i, f_.cond)?;
+        }
+
+        let netlist = Netlist {
+            name,
+            nets,
+            registers,
+            memories,
+            inputs,
+            outputs,
+            displays,
+            expects,
+            finishes,
+        };
+        topo::topological_order(&netlist)
+            .map_err(|net| ValidateError::CombinationalLoop { net })?;
+        Ok(netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+    use manticore_bits::Bits;
+
+    /// Decomposes a builder-made netlist into parts (what a decoder would
+    /// produce) for round-trip checks.
+    fn parts_of(n: &Netlist) -> NetlistParts {
+        NetlistParts {
+            name: n.name().to_string(),
+            nets: n.nets().to_vec(),
+            registers: n.registers().to_vec(),
+            memories: n.memories().to_vec(),
+            inputs: n.inputs().to_vec(),
+            outputs: n.outputs().to_vec(),
+            displays: n.displays().to_vec(),
+            expects: n.expects().to_vec(),
+            finishes: n.finishes().to_vec(),
+        }
+    }
+
+    fn counter() -> Netlist {
+        let mut b = NetlistBuilder::new("counter");
+        let r = b.reg("count", 16, 7);
+        let one = b.lit(1, 16);
+        let next = b.add(r.q(), one);
+        b.set_next(r, next);
+        b.output("count", r.q());
+        b.finish_build().unwrap()
+    }
+
+    #[test]
+    fn builder_output_round_trips_through_from_parts() {
+        let n = counter();
+        let back = Netlist::from_parts(parts_of(&n)).unwrap();
+        assert_eq!(back.nets().len(), n.nets().len());
+        assert_eq!(back.registers().len(), n.registers().len());
+    }
+
+    #[test]
+    fn width_mismatches_are_typed_errors_not_panics() {
+        // An add whose operands disagree with the net width.
+        let mut parts = parts_of(&counter());
+        let add = parts
+            .nets
+            .iter()
+            .position(|n| matches!(n.op, CellOp::Add))
+            .unwrap();
+        parts.nets[add].width = 8;
+        assert!(matches!(
+            Netlist::from_parts(parts),
+            Err(ValidateError::BadNet { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let mut parts = parts_of(&counter());
+        let add = parts
+            .nets
+            .iter()
+            .position(|n| matches!(n.op, CellOp::Add))
+            .unwrap();
+        parts.nets[add].args[0] = NetId(u32::MAX);
+        assert!(matches!(
+            Netlist::from_parts(parts),
+            Err(ValidateError::BadNet { .. })
+        ));
+    }
+
+    #[test]
+    fn miswired_register_q_is_rejected() {
+        let mut parts = parts_of(&counter());
+        // Point q at the add net instead of the regq net.
+        let add = parts
+            .nets
+            .iter()
+            .position(|n| matches!(n.op, CellOp::Add))
+            .unwrap();
+        parts.registers[0].q = NetId(add as u32);
+        assert!(matches!(
+            Netlist::from_parts(parts),
+            Err(ValidateError::BadRegister { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_const_and_bad_init_are_rejected() {
+        let mut parts = parts_of(&counter());
+        let c = parts
+            .nets
+            .iter()
+            .position(|n| matches!(n.op, CellOp::Const(_)))
+            .unwrap();
+        parts.nets[c].op = CellOp::Const(Bits::from_u64(1, 4));
+        assert!(Netlist::from_parts(parts).is_err());
+
+        let mut parts = parts_of(&counter());
+        parts.registers[0].init = Bits::from_u64(0, 3);
+        assert!(matches!(
+            Netlist::from_parts(parts),
+            Err(ValidateError::BadRegister { .. })
+        ));
+    }
+
+    #[test]
+    fn combinational_loops_are_rejected() {
+        // a = not b; b = not a — a 2-net cycle with consistent widths.
+        let parts = NetlistParts {
+            name: "loop".into(),
+            nets: vec![
+                Net {
+                    op: CellOp::Not,
+                    args: vec![NetId(1)],
+                    width: 1,
+                },
+                Net {
+                    op: CellOp::Not,
+                    args: vec![NetId(0)],
+                    width: 1,
+                },
+            ],
+            ..NetlistParts::default()
+        };
+        assert!(matches!(
+            Netlist::from_parts(parts),
+            Err(ValidateError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn slice_overflow_cannot_wrap() {
+        let parts = NetlistParts {
+            name: "slice".into(),
+            nets: vec![
+                Net {
+                    op: CellOp::Const(Bits::from_u64(0, 8)),
+                    args: vec![],
+                    width: 8,
+                },
+                Net {
+                    op: CellOp::Slice { offset: usize::MAX },
+                    args: vec![NetId(0)],
+                    width: 2,
+                },
+            ],
+            ..NetlistParts::default()
+        };
+        assert!(matches!(
+            Netlist::from_parts(parts),
+            Err(ValidateError::BadNet { .. })
+        ));
+    }
+}

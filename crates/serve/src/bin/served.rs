@@ -8,7 +8,14 @@
 //! manticore-served [--addr HOST:PORT] [--workers N] [--lanes N]
 //!                  [--cache-mb N] [--compile-slots N]
 //!                  [--queue-high-water N] [--session-ttl-secs N]
+//!                  [--session-dir PATH] [--compile-deadline-ms N]
+//!                  [--conn-netlist-mb N] [--untrusted-compile-slots N]
 //! ```
+//!
+//! `--session-dir` makes parked sessions crash-safe: they spill to the
+//! directory and a restarted daemon recovers them under their original
+//! ids. `--compile-deadline-ms 0` disables the untrusted-compile
+//! deadline (trusted deployments only).
 
 use std::time::Duration;
 
@@ -53,6 +60,19 @@ fn main() {
     }
     if let Some(v) = take_opt(&mut args, "--session-ttl-secs") {
         cfg.session_ttl = Duration::from_secs(parse("--session-ttl-secs", v));
+    }
+    if let Some(v) = take_opt(&mut args, "--session-dir") {
+        cfg.session_dir = Some(std::path::PathBuf::from(v));
+    }
+    if let Some(v) = take_opt(&mut args, "--compile-deadline-ms") {
+        let ms: u64 = parse("--compile-deadline-ms", v);
+        cfg.compile_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(v) = take_opt(&mut args, "--conn-netlist-mb") {
+        cfg.conn_netlist_bytes = parse::<u64>("--conn-netlist-mb", v) << 20;
+    }
+    if let Some(v) = take_opt(&mut args, "--untrusted-compile-slots") {
+        cfg.untrusted_compile_slots = parse("--untrusted-compile-slots", v);
     }
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}");

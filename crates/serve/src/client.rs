@@ -10,9 +10,63 @@
 
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use manticore_util::SmallRng;
 
 use crate::json::Value;
 use crate::proto::{read_frame, write_frame, Reply, Request};
+
+/// Backoff policy for [`Client::call_with_retry`]: capped exponential
+/// backoff seeded for deterministic jitter.
+///
+/// The server's `retry_after_ms` hint is the *floor* for each wait; the
+/// exponential term (doubling from `base_ms`, capped at `cap_ms`) takes
+/// over when the server keeps saying no, and the jitter term spreads
+/// synchronized clients so they do not re-arrive as the same thundering
+/// herd that got them rejected in the first place.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Transient rejects tolerated before giving up.
+    pub max_retries: u32,
+    /// First backoff, before the server hint and jitter.
+    pub base_ms: u64,
+    /// Ceiling on any single wait.
+    pub cap_ms: u64,
+    /// Jitter seed; equal seeds produce equal wait sequences.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            base_ms: 10,
+            cap_ms: 2_000,
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry `attempt` (0-based) of a reject hinting
+    /// `retry_after_ms`: `max(hint, base << attempt)`, capped, plus up
+    /// to 50% seeded jitter, capped again.
+    fn backoff_ms(&self, attempt: u32, retry_after_ms: u64, rng: &mut SmallRng) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.cap_ms);
+        let wait = exp.max(retry_after_ms);
+        let jitter = if wait == 0 {
+            0
+        } else {
+            rng.next_u64() % (wait / 2 + 1)
+        };
+        wait.saturating_add(jitter)
+            .min(self.cap_ms.max(retry_after_ms))
+    }
+}
 
 /// A connected client.
 pub struct Client {
@@ -77,6 +131,59 @@ impl Client {
         })
     }
 
+    /// Sends an arbitrary frame payload — well-formed or not — and
+    /// blocks for the reply. The protocol-hardening harness's hook for
+    /// sending frames [`Request`] cannot express.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or the server closing before replying (which is a
+    /// legitimate answer to a hostile frame).
+    pub fn call_value(&mut self, value: &Value) -> std::io::Result<Reply> {
+        write_frame(&mut self.writer, value)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            )
+        })
+    }
+
+    /// [`Client::call`], but transient rejects are retried under
+    /// `policy`.
+    ///
+    /// A [`Reply::Reject`] with non-zero `retry_after_ms` is server
+    /// backpressure: wait (honoring the hint, growing exponentially,
+    /// jittered) and resend. A reject with `retry_after_ms == 0` is
+    /// *permanent* — the request violated a limit or quota and will
+    /// never be admitted as-is — so it is returned immediately, as is
+    /// any other reply. Exhausting `max_retries` returns the last
+    /// reject.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or the server closing before replying.
+    pub fn call_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Reply> {
+        let mut rng = SmallRng::seed_from_u64(policy.seed);
+        let mut attempt = 0u32;
+        loop {
+            let reply = self.call(request)?;
+            let Reply::Reject { retry_after_ms, .. } = &reply else {
+                return Ok(reply);
+            };
+            if *retry_after_ms == 0 || attempt >= policy.max_retries {
+                return Ok(reply);
+            }
+            let wait = policy.backoff_ms(attempt, *retry_after_ms, &mut rng);
+            std::thread::sleep(Duration::from_millis(wait));
+            attempt += 1;
+        }
+    }
+
     /// Fetches the server's counter snapshot.
     ///
     /// # Errors
@@ -91,5 +198,117 @@ impl Client {
                 format!("expected stats, got {other:?}"),
             )),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A one-connection server that answers each incoming frame with the
+    /// next scripted reply, whatever the request was.
+    fn scripted_server(replies: Vec<Reply>) -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            for reply in replies {
+                if !matches!(read_frame(&mut reader), Ok(Some(_))) {
+                    return;
+                }
+                if write_frame(&mut stream, &reply.to_value()).is_err() {
+                    return;
+                }
+            }
+        });
+        addr
+    }
+
+    fn transient(ms: u64) -> Reply {
+        Reply::Reject {
+            id: 1,
+            reason: "queue_full".into(),
+            retry_after_ms: ms,
+            limit: None,
+        }
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            base_ms: 1,
+            cap_ms: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn transient_rejects_are_retried_until_the_server_relents() {
+        let addr = scripted_server(vec![
+            transient(1),
+            transient(1),
+            Reply::Stats(Value::obj(vec![])),
+        ]);
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client
+            .call_with_retry(&Request::Stats, &fast_policy())
+            .unwrap();
+        assert!(matches!(reply, Reply::Stats(_)));
+    }
+
+    #[test]
+    fn permanent_rejects_are_returned_immediately_not_retried() {
+        // Only ONE scripted reply: a second call would hang, so getting
+        // the reject back proves there was no retry.
+        let addr = scripted_server(vec![Reply::Reject {
+            id: 1,
+            reason: "netlist_limit".into(),
+            retry_after_ms: 0,
+            limit: None,
+        }]);
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client
+            .call_with_retry(&Request::Stats, &fast_policy())
+            .unwrap();
+        assert!(
+            matches!(reply, Reply::Reject { retry_after_ms: 0, ref reason, .. } if reason == "netlist_limit")
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_return_the_last_reject() {
+        let mut policy = fast_policy();
+        policy.max_retries = 2;
+        // 1 initial call + 2 retries = 3 scripted rejects.
+        let addr = scripted_server(vec![transient(1), transient(1), transient(1)]);
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.call_with_retry(&Request::Stats, &policy).unwrap();
+        assert!(matches!(reply, Reply::Reject { .. }));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_floored_by_the_hint_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_ms: 10,
+            cap_ms: 100,
+            seed: 42,
+        };
+        let seq = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..6)
+                .map(|a| policy.backoff_ms(a, 25, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(42), seq(42), "equal seeds, equal waits");
+        for (attempt, &wait) in seq(42).iter().enumerate() {
+            assert!(wait >= 25, "attempt {attempt}: hint is the floor");
+            assert!(wait <= 100, "attempt {attempt}: cap holds");
+        }
+        // A hint above the cap still wins: the server knows best.
+        let mut rng = SmallRng::seed_from_u64(42);
+        assert!(policy.backoff_ms(0, 5_000, &mut rng) >= 5_000);
     }
 }

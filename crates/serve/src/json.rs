@@ -147,7 +147,7 @@ impl Value {
     pub fn parse(text: &str) -> Result<Value, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing garbage at byte {pos}"));
@@ -178,7 +178,17 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+/// Maximum container nesting depth. The parser recurses per `[`/`{`, so
+/// without a cap a frame of a few hundred KiB of `[[[[…` would overflow
+/// the reader thread's stack and abort the whole process — the cheapest
+/// possible remote kill. No legitimate protocol shape nests deeper than a
+/// handful of levels.
+pub const MAX_DEPTH: usize = 64;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(bytes, pos);
     let Some(&b) = bytes.get(*pos) else {
         return Err("unexpected end of input".into());
@@ -197,7 +207,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
                 return Ok(Value::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -225,7 +235,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
                     return Err(format!("expected ':' at byte {pos}"));
                 }
                 *pos += 1;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 fields.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -382,5 +392,22 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\"1}", "tru", "\"\\q\"", "1 2"] {
             assert!(Value::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // A megabyte of `[` used to recurse once per byte and abort the
+        // process; now it must return an error well within the cap.
+        let deep = "[".repeat(1 << 20);
+        assert!(Value::parse(&deep).is_err());
+        let deep_obj = "{\"a\":".repeat(1 << 18);
+        assert!(Value::parse(&deep_obj).is_err());
+        // Nesting at the cap still parses.
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(super::MAX_DEPTH),
+            "]".repeat(super::MAX_DEPTH)
+        );
+        assert!(Value::parse(&ok).is_ok());
     }
 }

@@ -24,9 +24,15 @@
 //!   key;
 //! - [`cache`] — single-flight compiled-program cache with a byte budget
 //!   and LRU eviction;
+//! - [`wire`] — the untrusted-netlist wire encoding and its resource
+//!   limits (the trust boundary for `submit_netlist`);
 //! - [`session`] — parked machines, resumable by id, reaped when idle;
+//! - [`durable`] — crash-safe on-disk spill of parked sessions, recovered
+//!   on restart;
 //! - [`server`] — the accept/reader/writer/dispatcher/reaper threads;
-//! - [`client`] — the blocking reference client.
+//! - [`client`] — the blocking reference client, with reject-aware retry;
+//! - [`fuzz`] — the deterministic protocol fuzzer the hardening harness
+//!   drives against a live server.
 //!
 //! ## Quick start
 //!
@@ -62,7 +68,10 @@
 pub mod cache;
 pub mod catalog;
 pub mod client;
+pub mod durable;
+pub mod fuzz;
 pub mod json;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod wire;

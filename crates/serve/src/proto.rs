@@ -13,6 +13,7 @@
 //! [`Reply`]; both directions go through the same types, so the client
 //! helper and the server can never disagree about a field name.
 
+use std::fmt;
 use std::io::{Read, Write};
 
 use crate::json::Value;
@@ -21,6 +22,48 @@ use crate::json::Value;
 /// vocabulary comes close, so a bigger length prefix means a confused or
 /// hostile peer, and the connection is dropped before allocating.
 pub const MAX_FRAME: usize = 1 << 24;
+
+/// Most one `reserve` call will pre-allocate for an incoming frame. The
+/// length prefix is attacker-controlled until the payload bytes actually
+/// arrive, so [`read_frame`] never sizes a buffer from it directly: the
+/// buffer grows as bytes are read, and a peer that advertises 16 MiB but
+/// sends nothing costs 64 KiB, not 16 MiB.
+const READ_RESERVE: usize = 64 * 1024;
+
+/// A typed framing violation, carried inside the [`std::io::Error`] that
+/// [`read_frame`] returns (downcast via
+/// [`std::io::Error::get_ref`]/`downcast`). The server logs these
+/// distinctly from transport failures; tests assert on the variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversize {
+        /// The advertised payload length.
+        len: usize,
+    },
+    /// The stream ended inside a frame.
+    Truncated {
+        /// Bytes the prefix promised.
+        expected: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversize { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Truncated { expected, got } => {
+                write!(f, "frame truncated: {got} of {expected} payload bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
 
 /// Writes `value` as one length-prefixed frame.
 ///
@@ -56,11 +99,24 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Value>> {
     if len > MAX_FRAME {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+            FrameError::Oversize { len },
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    // Never `vec![0; len]` here: `len` is attacker-controlled until the
+    // bytes arrive. `take` + `read_to_end` grows the buffer only as data
+    // shows up, with at most READ_RESERVE pre-reserved.
+    let mut payload = Vec::new();
+    payload.reserve_exact(len.min(READ_RESERVE));
+    r.by_ref().take(len as u64).read_to_end(&mut payload)?;
+    if payload.len() < len {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            FrameError::Truncated {
+                expected: len,
+                got: payload.len(),
+            },
+        ));
+    }
     let text = String::from_utf8(payload)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
     Value::parse(&text)
@@ -116,11 +172,41 @@ pub struct ResumeReq {
     pub park: bool,
 }
 
+/// A job submission carrying the client's *own* netlist instead of a
+/// catalog name (`{"op":"submit_netlist",...}`). The netlist travels as
+/// the [`crate::wire`] JSON encoding and is kept as a raw [`Value`] here:
+/// decoding and resource-limit validation happen at admission, where a
+/// violation turns into a typed reject naming the limit rather than a
+/// parse error at the framing layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitNetlistReq {
+    /// Client-chosen correlation id, echoed on the reply.
+    pub id: u64,
+    /// The [`crate::wire`]-encoded netlist, undecoded.
+    pub netlist: Value,
+    /// Grid side; `None` uses the server's default for untrusted designs.
+    pub grid: Option<usize>,
+    /// Vcycle budget for the run.
+    pub vcycles: u64,
+    /// Registers to overwrite before the first Vcycle, as in
+    /// [`SubmitReq`].
+    pub pokes: Vec<(String, u64)>,
+    /// Registers to read back after the run.
+    pub reads: Vec<String>,
+    /// Wall-clock deadline for the *run*, as in [`SubmitReq`] (the
+    /// compile has its own server-configured deadline).
+    pub deadline_ms: Option<u64>,
+    /// Park the finished machine and return a session id.
+    pub park: bool,
+}
+
 /// Everything a client can ask of the server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run a job (`{"op":"submit",...}`).
     Submit(SubmitReq),
+    /// Run a client-supplied netlist (`{"op":"submit_netlist",...}`).
+    SubmitNetlist(SubmitNetlistReq),
     /// Continue a parked session (`{"op":"resume",...}`).
     Resume(ResumeReq),
     /// Drop a parked session without running it
@@ -160,6 +246,16 @@ impl Request {
                 deadline_ms: opt_u64(v, "deadline_ms")?,
                 park: v.get("park").and_then(Value::as_bool).unwrap_or(false),
             })),
+            "submit_netlist" => Ok(Request::SubmitNetlist(SubmitNetlistReq {
+                id: req_u64(v, "id")?,
+                netlist: v.get("netlist").cloned().ok_or("missing `netlist`")?,
+                grid: opt_u64(v, "grid")?.map(|g| g as usize),
+                vcycles: req_u64(v, "vcycles")?,
+                pokes: pokes_of(v)?,
+                reads: reads_of(v)?,
+                deadline_ms: opt_u64(v, "deadline_ms")?,
+                park: v.get("park").and_then(Value::as_bool).unwrap_or(false),
+            })),
             "resume" => Ok(Request::Resume(ResumeReq {
                 id: req_u64(v, "id")?,
                 session: req_str(v, "session")?,
@@ -186,6 +282,30 @@ impl Request {
                     ("op", Value::Str("submit".into())),
                     ("id", Value::Int(s.id)),
                     ("design", Value::Str(s.design.clone())),
+                    ("vcycles", Value::Int(s.vcycles)),
+                ];
+                if let Some(grid) = s.grid {
+                    fields.push(("grid", Value::Int(grid as u64)));
+                }
+                if !s.pokes.is_empty() {
+                    fields.push(("pokes", pokes_value(&s.pokes)));
+                }
+                if !s.reads.is_empty() {
+                    fields.push(("reads", reads_value(&s.reads)));
+                }
+                if let Some(ms) = s.deadline_ms {
+                    fields.push(("deadline_ms", Value::Int(ms)));
+                }
+                if s.park {
+                    fields.push(("park", Value::Bool(true)));
+                }
+                Value::obj(fields)
+            }
+            Request::SubmitNetlist(s) => {
+                let mut fields = vec![
+                    ("op", Value::Str("submit_netlist".into())),
+                    ("id", Value::Int(s.id)),
+                    ("netlist", s.netlist.clone()),
                     ("vcycles", Value::Int(s.vcycles)),
                 ];
                 if let Some(grid) = s.grid {
@@ -325,20 +445,40 @@ pub struct JobResult {
     pub error: Option<String>,
 }
 
+/// The violated limit named by a permanent [`Reply::Reject`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectLimit {
+    /// Stable limit name (e.g. `grid_cores`, `nets`, `registers`,
+    /// `memory_words`, `netlist_bytes`, `conn_netlist_bytes`).
+    pub limit: String,
+    /// The configured maximum.
+    pub max: u64,
+    /// The value the request asked for.
+    pub got: u64,
+}
+
 /// Everything the server can say to a client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
     /// A finished job (`{"type":"result",...}`).
     Result(JobResult),
-    /// The job was not admitted; retry after the hinted delay
-    /// (`{"type":"reject",...}`).
+    /// The job was not admitted (`{"type":"reject",...}`). A non-zero
+    /// `retry_after_ms` is transient backpressure (`queue_full`,
+    /// `compile_busy`) — wait and retry. A zero `retry_after_ms` is
+    /// *permanent*: the request violated a resource limit or quota and
+    /// will never be admitted as-is; `limit` names what was violated.
     Reject {
         /// Correlation id of the rejected request.
         id: u64,
-        /// Why (`queue_full` is the one the admission layer emits).
+        /// Why: `queue_full`, `compile_busy`, `compile_deadline`,
+        /// `netlist_limit`, `netlist_quota`.
         reason: String,
-        /// Backpressure hint: milliseconds to wait before retrying.
+        /// Backpressure hint: milliseconds to wait before retrying;
+        /// `0` means the rejection is permanent.
         retry_after_ms: u64,
+        /// For limit rejections: which limit, its cap, and the offending
+        /// value.
+        limit: Option<RejectLimit>,
     },
     /// The request itself was invalid — unknown design, bad field, dead
     /// session (`{"type":"error",...}`).
@@ -399,12 +539,21 @@ impl Reply {
                 id,
                 reason,
                 retry_after_ms,
-            } => Value::obj(vec![
-                ("type", Value::Str("reject".into())),
-                ("id", Value::Int(*id)),
-                ("reason", Value::Str(reason.clone())),
-                ("retry_after_ms", Value::Int(*retry_after_ms)),
-            ]),
+                limit,
+            } => {
+                let mut fields = vec![
+                    ("type", Value::Str("reject".into())),
+                    ("id", Value::Int(*id)),
+                    ("reason", Value::Str(reason.clone())),
+                    ("retry_after_ms", Value::Int(*retry_after_ms)),
+                ];
+                if let Some(l) = limit {
+                    fields.push(("limit", Value::Str(l.limit.clone())));
+                    fields.push(("max", Value::Int(l.max)));
+                    fields.push(("got", Value::Int(l.got)));
+                }
+                Value::obj(fields)
+            }
             Reply::Error { id, message } => {
                 let mut fields = vec![("type", Value::Str("error".into()))];
                 if let Some(id) = id {
@@ -480,6 +629,14 @@ impl Reply {
                 id: req_u64(v, "id")?,
                 reason: req_str(v, "reason")?,
                 retry_after_ms: req_u64(v, "retry_after_ms")?,
+                limit: match v.get("limit").and_then(Value::as_str) {
+                    Some(name) => Some(RejectLimit {
+                        limit: name.to_string(),
+                        max: opt_u64(v, "max")?.unwrap_or(0),
+                        got: opt_u64(v, "got")?.unwrap_or(0),
+                    }),
+                    None => None,
+                },
             }),
             "error" => Ok(Reply::Error {
                 id: opt_u64(v, "id")?,
@@ -540,6 +697,17 @@ mod tests {
                 id: 9,
                 reason: "queue_full".into(),
                 retry_after_ms: 40,
+                limit: None,
+            },
+            Reply::Reject {
+                id: 10,
+                reason: "netlist_limit".into(),
+                retry_after_ms: 0,
+                limit: Some(RejectLimit {
+                    limit: "grid_cores".into(),
+                    max: 256,
+                    got: 1024,
+                }),
             },
             Reply::Error {
                 id: None,
@@ -552,13 +720,47 @@ mod tests {
         }
     }
 
+    /// The typed [`FrameError`] carried by a framing io::Error, if any.
+    fn frame_error(e: &std::io::Error) -> Option<FrameError> {
+        e.get_ref()
+            .and_then(|inner| inner.downcast_ref::<FrameError>())
+            .cloned()
+    }
+
     #[test]
     fn oversized_frames_are_rejected_without_allocating() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
-        buf.extend_from_slice(b"whatever");
+        // Hostile length prefixes from u32::MAX down to just over the cap:
+        // all must yield a typed Oversize error before reading (or
+        // allocating for) any payload.
+        for len in [u32::MAX, (MAX_FRAME as u32) + 1, 0x8000_0000] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&len.to_be_bytes());
+            buf.extend_from_slice(b"whatever");
+            let mut r = &buf[..];
+            let err = read_frame(&mut r).unwrap_err();
+            assert_eq!(
+                frame_error(&err),
+                Some(FrameError::Oversize { len: len as usize }),
+            );
+        }
+    }
+
+    #[test]
+    fn a_large_prefix_with_no_payload_does_not_preallocate() {
+        // The prefix promises MAX_FRAME bytes but the stream ends
+        // immediately. The reader must report truncation (having grown
+        // its buffer only as far as data arrived), not allocate 16 MiB
+        // up front. The typed error records both sides of the shortfall.
+        let buf = (MAX_FRAME as u32).to_be_bytes().to_vec();
         let mut r = &buf[..];
-        assert!(read_frame(&mut r).is_err());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(
+            frame_error(&err),
+            Some(FrameError::Truncated {
+                expected: MAX_FRAME,
+                got: 0
+            }),
+        );
     }
 
     #[test]
@@ -567,6 +769,37 @@ mod tests {
         write_frame(&mut buf, &Value::Int(1)).unwrap();
         buf.truncate(buf.len() - 1);
         let mut r = &buf[..];
-        assert!(read_frame(&mut r).is_err());
+        let err = read_frame(&mut r).unwrap_err();
+        assert!(matches!(
+            frame_error(&err),
+            Some(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error() {
+        // One to three bytes of prefix then EOF: inside-a-frame EOF, not
+        // a clean close.
+        for n in 1..4 {
+            let buf = vec![0u8; n];
+            let mut r = &buf[..];
+            assert!(read_frame(&mut r).is_err(), "{n}-byte prefix must error");
+        }
+    }
+
+    #[test]
+    fn submit_netlist_round_trips() {
+        let req = Request::SubmitNetlist(SubmitNetlistReq {
+            id: 11,
+            netlist: Value::obj(vec![("version", Value::Int(1))]),
+            grid: Some(2),
+            vcycles: 64,
+            pokes: vec![("count".into(), 3)],
+            reads: vec!["count".into()],
+            deadline_ms: None,
+            park: true,
+        });
+        let back = Request::from_value(&req.to_value()).unwrap();
+        assert_eq!(back, req);
     }
 }

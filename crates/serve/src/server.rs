@@ -25,24 +25,35 @@
 //! jobs at their next Vcycle boundary and discarding its queued ones,
 //! while everyone else's work is untouched.
 
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use manticore::compiler::{compile, CompileOptions, CompileOutput};
+use manticore::compiler::{
+    compile, compile_controlled, CompileControl, CompileError, CompileOptions, CompileOutput,
+};
 use manticore::fleet::{BatchPolicy, Fleet, JobOutcome, JobOutput, SimJob};
-use manticore::machine::CompiledProgram;
-use manticore_util::CancelToken;
+use manticore::isa::MachineConfig;
+use manticore::machine::{load_checkpoint, save_checkpoint, CompiledProgram};
+use manticore::netlist::Netlist;
+use manticore_util::{catch_silent_mut, CancelToken};
 
 use crate::cache::{CacheEntry, CacheStats, ProgramCache};
 use crate::catalog;
+use crate::durable::{DurableStore, Envelope};
 use crate::json::Value;
-use crate::proto::{read_frame, write_frame, JobResult, Reply, Request, ResumeReq, SubmitReq};
-use crate::session::{ParkedSession, SessionStats, SessionTable};
+use crate::proto::{
+    read_frame, write_frame, JobResult, RejectLimit, Reply, Request, ResumeReq, SubmitNetlistReq,
+    SubmitReq,
+};
+use crate::session::{ParkedSession, SessionSource, SessionStats, SessionTable};
+use crate::wire::{self, WireError, WireLimits};
 
 /// Server tuning knobs. `Default` is sized for a small host (the CI
 /// runner): two fleet workers, a 64 MiB cache, one compile slot.
@@ -70,6 +81,25 @@ pub struct ServerConfig {
     pub session_ttl: Duration,
     /// How often the reaper scans the session table.
     pub reaper_period: Duration,
+    /// Wall-clock budget for compiling an untrusted (`submit_netlist`)
+    /// design; exceeding it is a permanent `compile_deadline` reject.
+    /// `None` disables the deadline (trusted deployments only).
+    pub compile_deadline: Option<Duration>,
+    /// Lifetime cap on netlist bytes one connection may submit for
+    /// compilation; past it every `submit_netlist` is a permanent
+    /// `netlist_quota` reject. Reconnecting resets the quota — the cap
+    /// bounds damage per connection, not per client.
+    pub conn_netlist_bytes: u64,
+    /// Untrusted compilations allowed at once, across all connections.
+    /// Beyond this, `submit_netlist` gets a transient `compile_busy`
+    /// reject instead of queueing unbounded compile work.
+    pub untrusted_compile_slots: u64,
+    /// Resource limits applied to every submitted netlist before it is
+    /// decoded or compiled.
+    pub wire_limits: WireLimits,
+    /// When set, parked sessions also spill to this directory and a
+    /// restarted server recovers them (see [`crate::durable`]).
+    pub session_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +115,11 @@ impl Default for ServerConfig {
             drr_quantum: 50_000,
             session_ttl: Duration::from_secs(30),
             reaper_period: Duration::from_millis(500),
+            compile_deadline: Some(Duration::from_secs(10)),
+            conn_netlist_bytes: 16 << 20,
+            untrusted_compile_slots: 1,
+            wire_limits: WireLimits::default(),
+            session_dir: None,
         }
     }
 }
@@ -103,6 +138,9 @@ struct JobMeta {
     reads: Vec<String>,
     output: Arc<CompileOutput>,
     park: bool,
+    /// The design's provenance — carried so a park can spill a
+    /// recompilable record to the durable store.
+    source: SessionSource,
     /// Reply channel of the submitting connection. Held per-job so a
     /// disconnect (which removes the connection's queue) cannot strand
     /// an in-flight job's reply path.
@@ -131,6 +169,9 @@ struct Counters {
     rejected: AtomicU64,
     conns_opened: AtomicU64,
     conns_closed: AtomicU64,
+    /// Durable session files skipped at recovery (failed checksum,
+    /// undecodable source, checkpoint/program mismatch).
+    durable_corrupt: AtomicU64,
 }
 
 struct Shared {
@@ -138,10 +179,14 @@ struct Shared {
     fleet: Fleet,
     cache: ProgramCache,
     sessions: SessionTable,
+    durable: Option<DurableStore>,
     shutdown: CancelToken,
     sched: Mutex<Sched>,
     work: Condvar,
     counters: Counters,
+    /// Gauge of untrusted compiles currently running, bounded by
+    /// [`ServerConfig::untrusted_compile_slots`].
+    untrusted_compiling: AtomicU64,
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops
@@ -163,16 +208,26 @@ impl Server {
     pub fn bind(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let durable = match &cfg.session_dir {
+            Some(dir) => Some(DurableStore::open(dir)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             fleet: Fleet::new(cfg.workers),
             cache: ProgramCache::new(cfg.cache_bytes, cfg.compile_slots),
             sessions: SessionTable::new(cfg.session_ttl),
+            durable,
             shutdown: CancelToken::new(),
             sched: Mutex::new(Sched::default()),
             work: Condvar::new(),
             counters: Counters::default(),
+            untrusted_compiling: AtomicU64::new(0),
             cfg,
         });
+        // Recover spilled sessions before serving a single request, so a
+        // client that reconnects immediately after a restart finds its
+        // parked sessions already re-adopted under their original ids.
+        recover_sessions(&shared);
 
         let mut threads = Vec::new();
         {
@@ -313,6 +368,9 @@ fn reader_loop(
     shared: &Shared,
 ) {
     let mut reader = std::io::BufReader::new(stream);
+    // Lifetime quota of netlist bytes this connection may submit for
+    // compilation; lives on the reader so no lock is needed.
+    let mut netlist_bytes_used: u64 = 0;
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
@@ -335,6 +393,19 @@ fn reader_loop(
                     let _ = tx.send(reply.to_value());
                 }
             }
+            Request::SubmitNetlist(req) => {
+                let reply = admit_submit_netlist(
+                    &req,
+                    conn_id,
+                    &tx,
+                    &cancel,
+                    &mut netlist_bytes_used,
+                    shared,
+                );
+                if let Some(reply) = reply {
+                    let _ = tx.send(reply.to_value());
+                }
+            }
             Request::Resume(req) => {
                 let reply = admit_resume(&req, conn_id, &tx, &cancel, shared);
                 if let Some(reply) = reply {
@@ -343,6 +414,9 @@ fn reader_loop(
             }
             Request::DropSession { session } => {
                 let existed = shared.sessions.drop_session(&session);
+                if let Some(store) = &shared.durable {
+                    store.remove(&session);
+                }
                 let _ = tx.send(Reply::Dropped { session, existed }.to_value());
             }
             Request::Stats => {
@@ -434,6 +508,229 @@ fn admit_submit(
                 reads: req.reads.clone(),
                 output: Arc::clone(&entry.output),
                 park: req.park,
+                source: SessionSource::Catalog {
+                    name: req.design.clone(),
+                    grid: config.grid_width,
+                },
+                tx: tx.clone(),
+            },
+            cost: req.vcycles.max(1),
+        },
+        conn_id,
+        shared,
+    )
+}
+
+/// How an untrusted compile failed — deadlines get a structured reject,
+/// everything else an error reply.
+enum UntrustedCompileError {
+    /// The compile hit the server's deadline (or the connection's cancel
+    /// token) at a pass-manager poll point.
+    Deadline,
+    /// Compiler error or panic, with the message.
+    Other(String),
+}
+
+/// Compiles an untrusted netlist through the shared cache, under the
+/// server's compile deadline and the connection's cancel token. Panics
+/// inside the compiler are caught *inside* the build closure — a panic
+/// that escaped `get_or_compile` would strand the key in `Building` and
+/// hang every waiter, which is exactly the failure mode a hostile
+/// netlist would aim for.
+fn compile_untrusted(
+    netlist: &Netlist,
+    config: &MachineConfig,
+    cancel: &CancelToken,
+    shared: &Shared,
+) -> Result<Arc<CacheEntry>, UntrustedCompileError> {
+    let key = catalog::netlist_hash(netlist, config);
+    let deadline_hit = Cell::new(false);
+    let entry = shared.cache.get_or_compile(key, || {
+        catch_silent_mut(|| {
+            let options = CompileOptions {
+                config: config.clone(),
+                ..Default::default()
+            };
+            let control = CompileControl {
+                cancel: Some(cancel.clone()),
+                deadline: shared.cfg.compile_deadline.map(|d| Instant::now() + d),
+            };
+            let output = compile_controlled(netlist, &options, &control).map_err(|e| {
+                if matches!(
+                    e,
+                    CompileError::DeadlineExceeded { .. } | CompileError::Cancelled { .. }
+                ) {
+                    deadline_hit.set(true);
+                }
+                e.to_string()
+            })?;
+            let output = Arc::new(output);
+            let program = CompiledProgram::compile_shared(config.clone(), &output.binary)
+                .map_err(|e| e.to_string())?;
+            let bytes = program.approx_bytes() + output.binary.total_instructions() * 8;
+            Ok(CacheEntry {
+                output,
+                program,
+                bytes,
+            })
+        })
+        .unwrap_or_else(|panic| Err(format!("compiler panicked: {panic}")))
+    });
+    entry.map_err(|e| {
+        if deadline_hit.get() {
+            UntrustedCompileError::Deadline
+        } else {
+            UntrustedCompileError::Other(e)
+        }
+    })
+}
+
+/// Admits a client-supplied netlist. The full gauntlet, cheapest checks
+/// first: connection byte quota, grid limit, wire decode under the
+/// resource limits (counts checked before elements), structural
+/// validation, then a deadline-bounded compile in a bounded slot. Only
+/// a design that survives all of it touches the fleet.
+fn admit_submit_netlist(
+    req: &SubmitNetlistReq,
+    conn_id: u64,
+    tx: &Sender<Value>,
+    cancel: &CancelToken,
+    netlist_bytes_used: &mut u64,
+    shared: &Shared,
+) -> Option<Reply> {
+    let err = |message: String| {
+        Some(Reply::Error {
+            id: Some(req.id),
+            message,
+        })
+    };
+    let reject = |reason: &str, retry_after_ms: u64, limit: Option<RejectLimit>| {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        Some(Reply::Reject {
+            id: req.id,
+            reason: reason.to_string(),
+            retry_after_ms,
+            limit,
+        })
+    };
+    let limits = &shared.cfg.wire_limits;
+
+    // The byte quota is charged on the rendered size of what the client
+    // actually sent, before any decode work happens on its behalf.
+    let bytes = req.netlist.render().len() as u64;
+    if bytes > limits.netlist_bytes as u64 {
+        return reject(
+            "netlist_limit",
+            0,
+            Some(RejectLimit {
+                limit: "netlist_bytes".into(),
+                max: limits.netlist_bytes as u64,
+                got: bytes,
+            }),
+        );
+    }
+    let charged = netlist_bytes_used.saturating_add(bytes);
+    if charged > shared.cfg.conn_netlist_bytes {
+        return reject(
+            "netlist_quota",
+            0,
+            Some(RejectLimit {
+                limit: "conn_netlist_bytes".into(),
+                max: shared.cfg.conn_netlist_bytes,
+                got: charged,
+            }),
+        );
+    }
+
+    let side = req.grid.unwrap_or(4);
+    match wire::check_grid(side, limits) {
+        Ok(()) => {}
+        Err(WireError::Limit { limit, max, got }) => {
+            return reject(
+                "netlist_limit",
+                0,
+                Some(RejectLimit {
+                    limit: limit.into(),
+                    max,
+                    got,
+                }),
+            );
+        }
+        Err(e) => return err(format!("netlist rejected: {e}")),
+    }
+    let netlist = match wire::decode_netlist(&req.netlist, limits) {
+        Ok(netlist) => netlist,
+        Err(WireError::Limit { limit, max, got }) => {
+            return reject(
+                "netlist_limit",
+                0,
+                Some(RejectLimit {
+                    limit: limit.into(),
+                    max,
+                    got,
+                }),
+            );
+        }
+        Err(e) => return err(format!("netlist rejected: {e}")),
+    };
+    *netlist_bytes_used = charged;
+
+    // Bounded compile concurrency for untrusted work: no free slot means
+    // a transient reject, not an unbounded queue of compile jobs.
+    let slots = shared.cfg.untrusted_compile_slots.max(1);
+    let acquired = shared
+        .untrusted_compiling
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < slots).then_some(n + 1)
+        })
+        .is_ok();
+    if !acquired {
+        return reject("compile_busy", shared.cfg.retry_after_ms.max(1), None);
+    }
+    let config = MachineConfig::with_grid(side, side);
+    let compiled = compile_untrusted(&netlist, &config, cancel, shared);
+    shared.untrusted_compiling.fetch_sub(1, Ordering::AcqRel);
+    let entry = match compiled {
+        Ok(entry) => entry,
+        Err(UntrustedCompileError::Deadline) => return reject("compile_deadline", 0, None),
+        Err(UntrustedCompileError::Other(e)) => return err(format!("compile failed: {e}")),
+    };
+
+    let mut job = SimJob::new(&entry.program, req.vcycles).cancel_token(cancel.clone());
+    for (name, value) in &req.pokes {
+        let Some(words) = manticore::rtl_reg_words(&entry.output, name, *value) else {
+            return err(format!("no register `{name}` in submitted netlist"));
+        };
+        for (core, mreg, word) in words {
+            job = job.poke(core, mreg, word);
+        }
+    }
+    for name in &req.reads {
+        if !entry
+            .output
+            .optimized
+            .registers()
+            .iter()
+            .any(|r| &r.name == name)
+        {
+            return err(format!("no register `{name}` in submitted netlist"));
+        }
+    }
+    if let Some(ms) = req.deadline_ms {
+        job = job.deadline(Instant::now() + Duration::from_millis(ms));
+    }
+    enqueue(
+        PendingJob {
+            job,
+            meta: JobMeta {
+                id: req.id,
+                reads: req.reads.clone(),
+                output: Arc::clone(&entry.output),
+                park: req.park,
+                source: SessionSource::Wire {
+                    netlist: req.netlist.clone(),
+                    grid: side,
+                },
                 tx: tx.clone(),
             },
             cost: req.vcycles.max(1),
@@ -463,7 +760,16 @@ fn admit_resume(
             req.session
         ));
     };
-    let ParkedSession { machine, output } = parked;
+    // The machine is live again; its spilled file no longer describes
+    // anything (a re-park writes a fresh one under a fresh id).
+    if let Some(store) = &shared.durable {
+        store.remove(&req.session);
+    }
+    let ParkedSession {
+        machine,
+        output,
+        source,
+    } = parked;
     let mut job = SimJob::resume(machine, req.vcycles).cancel_token(cancel.clone());
     for (name, value) in &req.pokes {
         let Some(words) = manticore::rtl_reg_words(&output, name, *value) else {
@@ -481,6 +787,7 @@ fn admit_resume(
                 reads: req.reads.clone(),
                 output,
                 park: req.park,
+                source,
                 tx: tx.clone(),
             },
             cost: req.vcycles.max(1),
@@ -499,6 +806,7 @@ fn enqueue(pending: PendingJob, conn_id: u64, shared: &Shared) -> Option<Reply> 
             id: pending.meta.id,
             reason: "queue_full".to_string(),
             retry_after_ms: shared.cfg.retry_after_ms,
+            limit: None,
         });
     }
     let Some(conn) = sched.conns.get_mut(&conn_id) else {
@@ -639,10 +947,30 @@ fn finish_job(meta: &JobMeta, out: JobOutput, shared: &Shared) -> Reply {
         .collect();
     let fingerprint = format!("{:#018x}", machine.state_fingerprint());
     let session = if meta.park {
-        Some(shared.sessions.park(ParkedSession {
+        // Serialize *before* the park moves the machine; the spill is
+        // written after the park so the file name carries the final id.
+        let spill = shared
+            .durable
+            .as_ref()
+            .map(|_| save_checkpoint(&machine.checkpoint()));
+        let id = shared.sessions.park(ParkedSession {
             machine,
             output: Arc::clone(&meta.output),
-        }))
+            source: meta.source.clone(),
+        });
+        if let (Some(store), Some(checkpoint)) = (&shared.durable, spill) {
+            let env = Envelope {
+                id: id.clone(),
+                source: meta.source.clone(),
+                checkpoint,
+            };
+            if let Err(e) = store.save(&env) {
+                // Durability degrades to memory-only; the session itself
+                // stays usable.
+                eprintln!("manticore-served: session `{id}` not spilled: {e}");
+            }
+        }
+        Some(id)
     } else {
         None
     };
@@ -715,14 +1043,82 @@ fn stats_value(shared: &Shared) -> Value {
                 ("parked", Value::Int(sessions.parked)),
                 ("resumed", Value::Int(sessions.resumed)),
                 ("reaped", Value::Int(sessions.reaped)),
+                ("recovered", Value::Int(sessions.recovered)),
             ]),
+        ),
+        (
+            "durable_corrupt",
+            Value::Int(c.durable_corrupt.load(Ordering::Relaxed)),
         ),
     ])
 }
 
+/// Re-adopts every session the durable store can produce. Runs once, in
+/// `bind`, before the accept loop starts. Unrecoverable files (corrupt,
+/// source no longer decodable, checkpoint/program mismatch) are removed
+/// and counted — a bad file must not fail recovery of the good ones,
+/// and must not fail again on every future restart.
+fn recover_sessions(shared: &Shared) {
+    let Some(store) = &shared.durable else { return };
+    let (envelopes, corrupt) = store.load_all();
+    shared
+        .counters
+        .durable_corrupt
+        .fetch_add(corrupt as u64, Ordering::Relaxed);
+    for env in envelopes {
+        if let Err(e) = recover_one(&env, shared) {
+            eprintln!(
+                "manticore-served: dropping unrecoverable session `{}`: {e}",
+                env.id
+            );
+            store.remove(&env.id);
+            shared
+                .counters
+                .durable_corrupt
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One session's recovery: recompile its recorded source (deterministic,
+/// so the program is bit-identical to the pre-crash one), rebind the
+/// checkpoint — which re-verifies the structural shape — and re-park
+/// under the original id.
+fn recover_one(env: &Envelope, shared: &Shared) -> Result<(), String> {
+    let (netlist, config) = match &env.source {
+        SessionSource::Catalog { name, grid } => catalog::lookup(name, Some(*grid))
+            .ok_or_else(|| format!("unknown catalog design `{name}`"))?,
+        SessionSource::Wire { netlist, grid } => {
+            let decoded = wire::decode_netlist(netlist, &shared.cfg.wire_limits)
+                .map_err(|e| e.to_string())?;
+            (decoded, MachineConfig::with_grid(*grid, *grid))
+        }
+    };
+    let never_cancelled = CancelToken::new();
+    let entry =
+        compile_untrusted(&netlist, &config, &never_cancelled, shared).map_err(|e| match e {
+            UntrustedCompileError::Deadline => "compile deadline at recovery".to_string(),
+            UntrustedCompileError::Other(msg) => msg,
+        })?;
+    let checkpoint = load_checkpoint(&env.checkpoint, &entry.program).map_err(|e| e.to_string())?;
+    shared.sessions.adopt(
+        &env.id,
+        ParkedSession {
+            machine: checkpoint.boot(),
+            output: Arc::clone(&entry.output),
+            source: env.source.clone(),
+        },
+    );
+    Ok(())
+}
+
 fn reaper_loop(shared: Arc<Shared>) {
     while !shared.shutdown.is_cancelled() {
-        shared.sessions.reap();
+        for id in shared.sessions.reap() {
+            if let Some(store) = &shared.durable {
+                store.remove(&id);
+            }
+        }
         // Sleep in short slices so shutdown is prompt even with a long
         // reaper period.
         let mut remaining = shared.cfg.reaper_period;

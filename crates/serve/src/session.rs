@@ -19,6 +19,31 @@ use std::time::{Duration, Instant};
 use manticore::compiler::CompileOutput;
 use manticore::machine::Machine;
 
+use crate::json::Value;
+
+/// Where a parked session's design came from — enough to recompile it
+/// deterministically after a restart. The durable store persists this
+/// next to the checkpoint; recovery recompiles the source (the compiler
+/// is bit-deterministic, so the recompile is the same program) and
+/// rebinds the checkpoint to the fresh compilation.
+#[derive(Debug, Clone)]
+pub enum SessionSource {
+    /// A catalog design, by name, at the given grid side.
+    Catalog {
+        /// Catalog design name.
+        name: String,
+        /// Grid side the design was compiled at.
+        grid: usize,
+    },
+    /// A client-supplied netlist, kept in its wire encoding.
+    Wire {
+        /// The [`crate::wire`]-encoded netlist.
+        netlist: Value,
+        /// Grid side the design was compiled at.
+        grid: usize,
+    },
+}
+
 /// A parked run: the machine mid-flight and the compilation that made
 /// it (needed to resolve register names on later slices).
 #[derive(Debug)]
@@ -27,6 +52,8 @@ pub struct ParkedSession {
     pub machine: Machine,
     /// The compilation the machine is executing.
     pub output: Arc<CompileOutput>,
+    /// The design's provenance, for the durable spill.
+    pub source: SessionSource,
 }
 
 struct Entry {
@@ -45,6 +72,8 @@ pub struct SessionStats {
     pub resumed: u64,
     /// Sessions dropped by the idle reaper.
     pub reaped: u64,
+    /// Sessions re-adopted from the durable store after a restart.
+    pub recovered: u64,
 }
 
 /// The server-wide table of parked sessions.
@@ -59,6 +88,7 @@ struct Inner {
     parked: u64,
     resumed: u64,
     reaped: u64,
+    recovered: u64,
 }
 
 impl SessionTable {
@@ -71,6 +101,7 @@ impl SessionTable {
                 parked: 0,
                 resumed: 0,
                 reaped: 0,
+                recovered: 0,
             }),
             ttl,
         }
@@ -93,6 +124,25 @@ impl SessionTable {
         id
     }
 
+    /// Re-parks a recovered session under its *original* id, so clients
+    /// holding ids from before a crash keep working. Bumps the id
+    /// allocator past the adopted id's sequence number, so later parks
+    /// can never collide with recovered sessions.
+    pub fn adopt(&self, id: &str, session: ParkedSession) {
+        let mut inner = self.inner.lock().expect("session lock poisoned");
+        if let Some(n) = id.strip_prefix("s-").and_then(|n| n.parse::<u64>().ok()) {
+            inner.next_id = inner.next_id.max(n);
+        }
+        inner.recovered += 1;
+        inner.entries.insert(
+            id.to_string(),
+            Entry {
+                session,
+                last_used: Instant::now(),
+            },
+        );
+    }
+
     /// Takes the session out of the table for resumption. `None` when the
     /// id is unknown — never parked, already resumed, or reaped.
     pub fn resume(&self, id: &str) -> Option<ParkedSession> {
@@ -108,15 +158,21 @@ impl SessionTable {
         inner.entries.remove(id).is_some()
     }
 
-    /// Drops every session idle longer than the TTL; returns how many.
-    /// Called periodically by the server's reaper thread.
-    pub fn reap(&self) -> usize {
+    /// Drops every session idle longer than the TTL and returns their
+    /// ids (so the caller can also reap any durable spill). Called
+    /// periodically by the server's reaper thread.
+    pub fn reap(&self) -> Vec<String> {
         let mut inner = self.inner.lock().expect("session lock poisoned");
         let ttl = self.ttl;
-        let before = inner.entries.len();
-        inner.entries.retain(|_, e| e.last_used.elapsed() <= ttl);
-        let dropped = before - inner.entries.len();
-        inner.reaped += dropped as u64;
+        let mut dropped = Vec::new();
+        inner.entries.retain(|id, e| {
+            let keep = e.last_used.elapsed() <= ttl;
+            if !keep {
+                dropped.push(id.clone());
+            }
+            keep
+        });
+        inner.reaped += dropped.len() as u64;
         dropped
     }
 
@@ -128,6 +184,7 @@ impl SessionTable {
             parked: inner.parked,
             resumed: inner.resumed,
             reaped: inner.reaped,
+            recovered: inner.recovered,
         }
     }
 }
@@ -149,7 +206,25 @@ mod tests {
         let output = std::sync::Arc::clone(fleet.output());
         let mut machine = Machine::from_program(std::sync::Arc::clone(fleet.program()));
         machine.run_vcycles(3).unwrap();
-        ParkedSession { machine, output }
+        ParkedSession {
+            machine,
+            output,
+            source: SessionSource::Catalog {
+                name: "c".into(),
+                grid: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn adopt_restores_the_original_id_and_advances_the_allocator() {
+        let table = SessionTable::new(Duration::from_secs(60));
+        table.adopt("s-7", parked());
+        // A fresh park must not collide with the adopted id space.
+        let fresh = table.park(parked());
+        assert_eq!(fresh, "s-8");
+        assert!(table.resume("s-7").is_some());
+        assert_eq!(table.stats().recovered, 1);
     }
 
     #[test]
@@ -170,9 +245,9 @@ mod tests {
     fn reaper_drops_only_idle_sessions() {
         let table = SessionTable::new(Duration::from_millis(30));
         let id = table.park(parked());
-        assert_eq!(table.reap(), 0, "fresh session survives");
+        assert!(table.reap().is_empty(), "fresh session survives");
         std::thread::sleep(Duration::from_millis(60));
-        assert_eq!(table.reap(), 1);
+        assert_eq!(table.reap(), vec![id.clone()]);
         assert!(table.resume(&id).is_none());
         assert_eq!(table.stats().reaped, 1);
     }

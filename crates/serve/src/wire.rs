@@ -1,0 +1,746 @@
+//! Wire encoding for client-supplied netlists, with hard resource limits.
+//!
+//! Catalog designs are trusted — the server built them itself. A netlist
+//! arriving over the wire is not: it is attacker-controlled JSON that, if
+//! handed to the in-process `NetlistBuilder`, could
+//! panic the reader thread on any width mismatch, and if handed to the
+//! compiler unchecked, could pin a compile slot for minutes with a huge
+//! design. This module is the trust boundary:
+//!
+//! 1. **Framing**: a versioned JSON shape (`{"version":1,...}`), decoded
+//!    field by field with every id and width checked for range before use.
+//! 2. **Resource limits** ([`WireLimits`]): hard caps on grid size, net /
+//!    register / memory counts, and total memory-image words, checked on
+//!    the *counts* before any per-element work — a violation is a typed
+//!    [`WireError::Limit`] naming the limit, sent back as a permanent
+//!    reject.
+//! 3. **Structural validation**: the decoded parts go through
+//!    [`Netlist::from_parts`], which re-checks every invariant the
+//!    builder would have asserted (operand widths, wiring, acyclicity)
+//!    and returns a typed error instead of panicking.
+//!
+//! A netlist that makes it through all three is as trustworthy as a
+//! catalog design; the compile deadline then bounds what its *size in
+//! work* can cost. [`encode_netlist`] is the inverse, used by clients and
+//! the durable-session store.
+//!
+//! Primary inputs are not part of the wire format: Manticore runs closed
+//! test harnesses (the compiler rejects inputs), so the decoder rejects
+//! `input` cells outright rather than round-tripping a shape that can
+//! never compile.
+
+use std::fmt;
+
+use manticore::bits::{Bits, MAX_WIDTH};
+use manticore::netlist::{
+    CellOp, DisplayCell, ExpectCell, FinishCell, MemWrite, Memory, MemoryId, Net, NetId, Netlist,
+    NetlistParts, RegId, Register, ValidateError,
+};
+
+use crate::json::Value;
+
+/// Wire-format version this build reads and writes.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Hard resource limits applied to untrusted netlists *before*
+/// compilation. Each is a cap on a count the decoder can read cheaply;
+/// together they bound the compiler's input size, so the compile deadline
+/// only has to cover honest-sized designs.
+#[derive(Debug, Clone)]
+pub struct WireLimits {
+    /// Maximum cores in the requested grid (`side * side`). The paper's
+    /// largest grid is 15×15 = 225; 256 (16×16) is the serving cap.
+    pub grid_cores: usize,
+    /// Maximum nets (bounds compiled instruction count).
+    pub nets: usize,
+    /// Maximum registers.
+    pub registers: usize,
+    /// Maximum memory banks.
+    pub memories: usize,
+    /// Maximum total memory-image words (`Σ depth`) across all banks —
+    /// bounds both the scratchpad placement problem and the DRAM image.
+    pub memory_words: usize,
+    /// Maximum named outputs.
+    pub outputs: usize,
+    /// Maximum `$display` cells.
+    pub displays: usize,
+    /// Maximum assertion cells.
+    pub expects: usize,
+    /// Maximum `$finish` cells.
+    pub finishes: usize,
+    /// Maximum bytes of the rendered netlist JSON (checked by the server
+    /// against the request's actual frame payload).
+    pub netlist_bytes: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        WireLimits {
+            grid_cores: 256,
+            nets: 65_536,
+            registers: 4_096,
+            memories: 256,
+            memory_words: 1 << 20,
+            outputs: 1_024,
+            displays: 256,
+            expects: 1_024,
+            finishes: 64,
+            netlist_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Why an untrusted netlist was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// A resource limit was exceeded. Permanent: resubmitting the same
+    /// netlist will never succeed.
+    Limit {
+        /// Stable limit name (matches the [`WireLimits`] field).
+        limit: &'static str,
+        /// The configured cap.
+        max: u64,
+        /// The offending value.
+        got: u64,
+    },
+    /// The JSON shape is wrong (missing field, bad type, unknown op,
+    /// unsupported version).
+    Malformed(String),
+    /// The shape decoded but the netlist is structurally invalid.
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Limit { limit, max, got } => {
+                write!(f, "netlist exceeds the `{limit}` limit: {got} > {max}")
+            }
+            WireError::Malformed(m) => write!(f, "malformed netlist: {m}"),
+            WireError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn malformed(m: impl Into<String>) -> WireError {
+    WireError::Malformed(m.into())
+}
+
+fn check_limit(limit: &'static str, max: usize, got: usize) -> Result<(), WireError> {
+    if got > max {
+        return Err(WireError::Limit {
+            limit,
+            max: max as u64,
+            got: got as u64,
+        });
+    }
+    Ok(())
+}
+
+/// Checks a requested grid side against the core-count limit.
+///
+/// # Errors
+///
+/// [`WireError::Limit`] with limit name `grid_cores`.
+pub fn check_grid(side: usize, limits: &WireLimits) -> Result<(), WireError> {
+    let cores = side.saturating_mul(side);
+    check_limit("grid_cores", limits.grid_cores, cores)?;
+    if side == 0 {
+        return Err(malformed("grid side must be at least 1"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Encode.
+
+fn bits_value(bits: &Bits) -> Value {
+    Value::Arr(
+        bits.to_words16()
+            .into_iter()
+            .map(|w| Value::Int(w as u64))
+            .collect(),
+    )
+}
+
+fn ids_value(ids: &[NetId]) -> Value {
+    Value::Arr(ids.iter().map(|id| Value::Int(id.0 as u64)).collect())
+}
+
+/// Renders a netlist in the wire format. Inverse of [`decode_netlist`]
+/// for every netlist the decoder accepts.
+pub fn encode_netlist(netlist: &Netlist) -> Value {
+    let nets = netlist
+        .nets()
+        .iter()
+        .map(|net| {
+            let mut fields = vec![
+                ("op", Value::Str(net.op.mnemonic().into())),
+                ("width", Value::Int(net.width as u64)),
+            ];
+            if !net.args.is_empty() {
+                fields.push(("args", ids_value(&net.args)));
+            }
+            match &net.op {
+                CellOp::Const(bits) => fields.push(("bits", bits_value(bits))),
+                CellOp::RegQ(r) => fields.push(("reg", Value::Int(r.0 as u64))),
+                CellOp::MemRead(m) => fields.push(("mem", Value::Int(m.0 as u64))),
+                CellOp::Slice { offset } => fields.push(("offset", Value::Int(*offset as u64))),
+                _ => {}
+            }
+            Value::obj(fields)
+        })
+        .collect();
+    let registers = netlist
+        .registers()
+        .iter()
+        .map(|reg| {
+            Value::obj(vec![
+                ("name", Value::Str(reg.name.clone())),
+                ("width", Value::Int(reg.width as u64)),
+                ("init", bits_value(&reg.init)),
+                ("next", Value::Int(reg.next.0 as u64)),
+                ("q", Value::Int(reg.q.0 as u64)),
+            ])
+        })
+        .collect();
+    let memories = netlist
+        .memories()
+        .iter()
+        .map(|mem| {
+            Value::obj(vec![
+                ("name", Value::Str(mem.name.clone())),
+                ("width", Value::Int(mem.width as u64)),
+                ("depth", Value::Int(mem.depth as u64)),
+                (
+                    "init",
+                    Value::Arr(mem.init.iter().map(bits_value).collect()),
+                ),
+                (
+                    "writes",
+                    Value::Arr(
+                        mem.writes
+                            .iter()
+                            .map(|w| {
+                                Value::obj(vec![
+                                    ("addr", Value::Int(w.addr.0 as u64)),
+                                    ("data", Value::Int(w.data.0 as u64)),
+                                    ("en", Value::Int(w.en.0 as u64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let outputs = netlist
+        .outputs()
+        .iter()
+        .map(|(name, id)| Value::Arr(vec![Value::Str(name.clone()), Value::Int(id.0 as u64)]))
+        .collect();
+    let displays = netlist
+        .displays()
+        .iter()
+        .map(|d| {
+            Value::obj(vec![
+                ("cond", Value::Int(d.cond.0 as u64)),
+                ("format", Value::Str(d.format.clone())),
+                ("args", ids_value(&d.args)),
+            ])
+        })
+        .collect();
+    let expects = netlist
+        .expects()
+        .iter()
+        .map(|e| {
+            Value::obj(vec![
+                ("cond", Value::Int(e.cond.0 as u64)),
+                ("id", Value::Int(e.id as u64)),
+                ("message", Value::Str(e.message.clone())),
+            ])
+        })
+        .collect();
+    let finishes = netlist
+        .finishes()
+        .iter()
+        .map(|f_| Value::obj(vec![("cond", Value::Int(f_.cond.0 as u64))]))
+        .collect();
+
+    Value::obj(vec![
+        ("version", Value::Int(WIRE_VERSION)),
+        ("name", Value::Str(netlist.name().to_string())),
+        ("nets", Value::Arr(nets)),
+        ("registers", Value::Arr(registers)),
+        ("memories", Value::Arr(memories)),
+        ("outputs", Value::Arr(outputs)),
+        ("displays", Value::Arr(displays)),
+        ("expects", Value::Arr(expects)),
+        ("finishes", Value::Arr(finishes)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Decode.
+
+fn field<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, WireError> {
+    v.get(key)
+        .ok_or_else(|| malformed(format!("{what} has no `{key}`")))
+}
+
+fn field_u64(v: &Value, key: &str, what: &str) -> Result<u64, WireError> {
+    field(v, key, what)?
+        .as_u64()
+        .ok_or_else(|| malformed(format!("{what} `{key}` is not an unsigned integer")))
+}
+
+fn field_usize(v: &Value, key: &str, what: &str) -> Result<usize, WireError> {
+    usize::try_from(field_u64(v, key, what)?)
+        .map_err(|_| malformed(format!("{what} `{key}` exceeds usize")))
+}
+
+fn field_str(v: &Value, key: &str, what: &str) -> Result<String, WireError> {
+    field(v, key, what)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| malformed(format!("{what} `{key}` is not a string")))
+}
+
+fn field_arr<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a [Value], WireError> {
+    field(v, key, what)?
+        .as_arr()
+        .ok_or_else(|| malformed(format!("{what} `{key}` is not an array")))
+}
+
+fn net_id(v: &Value, what: &str) -> Result<NetId, WireError> {
+    let raw = v
+        .as_u64()
+        .ok_or_else(|| malformed(format!("{what} is not an unsigned integer")))?;
+    u32::try_from(raw)
+        .map(NetId)
+        .map_err(|_| malformed(format!("{what} {raw} exceeds the id range")))
+}
+
+/// Decodes a `width`-bit value from an array of 16-bit words. Width must
+/// already be range-checked; the word count must match exactly.
+fn bits_of(v: &Value, width: usize, what: &str) -> Result<Bits, WireError> {
+    let words = v
+        .as_arr()
+        .ok_or_else(|| malformed(format!("{what} is not a word array")))?;
+    let expect = width.div_ceil(16);
+    if words.len() != expect {
+        return Err(malformed(format!(
+            "{what} has {} words for {width} bits (need {expect})",
+            words.len()
+        )));
+    }
+    let mut decoded = Vec::with_capacity(words.len());
+    for w in words {
+        let raw = w
+            .as_u64()
+            .ok_or_else(|| malformed(format!("{what} word is not an integer")))?;
+        let word =
+            u16::try_from(raw).map_err(|_| malformed(format!("{what} word {raw} exceeds u16")))?;
+        decoded.push(word);
+    }
+    Ok(Bits::from_words16(&decoded, width))
+}
+
+/// A width already checked against `1..=MAX_WIDTH`, safe to hand to
+/// [`Bits`] constructors.
+fn checked_width(v: &Value, what: &str) -> Result<usize, WireError> {
+    let width = field_usize(v, "width", what)?;
+    if width == 0 || width > MAX_WIDTH {
+        return Err(malformed(format!(
+            "{what} width {width} outside 1..={MAX_WIDTH}"
+        )));
+    }
+    Ok(width)
+}
+
+/// Decodes and fully validates an untrusted wire netlist.
+///
+/// # Errors
+///
+/// [`WireError::Limit`] when a resource cap is exceeded (checked on the
+/// counts before any per-element decode), [`WireError::Malformed`] for
+/// shape errors, [`WireError::Invalid`] when the decoded structure fails
+/// [`Netlist::from_parts`] validation. Never panics on any input.
+pub fn decode_netlist(v: &Value, limits: &WireLimits) -> Result<Netlist, WireError> {
+    let version = field_u64(v, "version", "netlist")?;
+    if version != WIRE_VERSION {
+        return Err(malformed(format!(
+            "unsupported netlist version {version} (this server speaks {WIRE_VERSION})"
+        )));
+    }
+    let name = field_str(v, "name", "netlist")?;
+    let nets_v = field_arr(v, "nets", "netlist")?;
+    let registers_v = field_arr(v, "registers", "netlist")?;
+    let memories_v = field_arr(v, "memories", "netlist")?;
+    let outputs_v = field_arr(v, "outputs", "netlist")?;
+    let displays_v = match v.get("displays") {
+        None | Some(Value::Null) => &[][..],
+        Some(val) => val
+            .as_arr()
+            .ok_or_else(|| malformed("`displays` is not an array"))?,
+    };
+    let expects_v = match v.get("expects") {
+        None | Some(Value::Null) => &[][..],
+        Some(val) => val
+            .as_arr()
+            .ok_or_else(|| malformed("`expects` is not an array"))?,
+    };
+    let finishes_v = match v.get("finishes") {
+        None | Some(Value::Null) => &[][..],
+        Some(val) => val
+            .as_arr()
+            .ok_or_else(|| malformed("`finishes` is not an array"))?,
+    };
+
+    // Limits on the raw counts, before any per-element decode.
+    check_limit("nets", limits.nets, nets_v.len())?;
+    check_limit("registers", limits.registers, registers_v.len())?;
+    check_limit("memories", limits.memories, memories_v.len())?;
+    check_limit("outputs", limits.outputs, outputs_v.len())?;
+    check_limit("displays", limits.displays, displays_v.len())?;
+    check_limit("expects", limits.expects, expects_v.len())?;
+    check_limit("finishes", limits.finishes, finishes_v.len())?;
+
+    let mut nets = Vec::with_capacity(nets_v.len());
+    for (i, nv) in nets_v.iter().enumerate() {
+        let what = format!("net {i}");
+        let width = checked_width(nv, &what)?;
+        let op_name = field_str(nv, "op", &what)?;
+        let mut args = Vec::new();
+        if let Some(raw_args) = nv.get("args") {
+            let items = raw_args
+                .as_arr()
+                .ok_or_else(|| malformed(format!("{what} `args` is not an array")))?;
+            // Per-op arity is validated by `from_parts`; cap the raw count
+            // here so a hostile frame can't make one net carry millions
+            // of operands.
+            if items.len() > 3 {
+                return Err(malformed(format!(
+                    "{what} has {} operands; no op takes more than 3",
+                    items.len()
+                )));
+            }
+            for a in items {
+                args.push(net_id(a, &format!("{what} operand"))?);
+            }
+        }
+        let op = match op_name.as_str() {
+            "const" => CellOp::Const(bits_of(
+                field(nv, "bits", &what)?,
+                width,
+                &format!("{what} `bits`"),
+            )?),
+            "input" => {
+                return Err(malformed(
+                    "`input` cells are not supported: Manticore runs closed harnesses \
+                     (drive stimulus from registers instead)",
+                ))
+            }
+            "regq" => {
+                let raw = field_u64(nv, "reg", &what)?;
+                let id = u32::try_from(raw)
+                    .map_err(|_| malformed(format!("{what} `reg` {raw} exceeds the id range")))?;
+                CellOp::RegQ(RegId(id))
+            }
+            "memread" => {
+                let raw = field_u64(nv, "mem", &what)?;
+                let id = u32::try_from(raw)
+                    .map_err(|_| malformed(format!("{what} `mem` {raw} exceeds the id range")))?;
+                CellOp::MemRead(MemoryId(id))
+            }
+            "slice" => CellOp::Slice {
+                offset: field_usize(nv, "offset", &what)?,
+            },
+            "and" => CellOp::And,
+            "or" => CellOp::Or,
+            "xor" => CellOp::Xor,
+            "not" => CellOp::Not,
+            "add" => CellOp::Add,
+            "sub" => CellOp::Sub,
+            "mul" => CellOp::Mul,
+            "eq" => CellOp::Eq,
+            "ult" => CellOp::Ult,
+            "slt" => CellOp::Slt,
+            "shl" => CellOp::Shl,
+            "shr" => CellOp::Shr,
+            "ashr" => CellOp::Ashr,
+            "concat" => CellOp::Concat,
+            "zext" => CellOp::ZExt,
+            "sext" => CellOp::SExt,
+            "mux" => CellOp::Mux,
+            "redor" => CellOp::RedOr,
+            "redand" => CellOp::RedAnd,
+            "redxor" => CellOp::RedXor,
+            other => return Err(malformed(format!("{what} has unknown op `{other}`"))),
+        };
+        nets.push(Net { op, args, width });
+    }
+
+    let mut registers = Vec::with_capacity(registers_v.len());
+    for (i, rv) in registers_v.iter().enumerate() {
+        let what = format!("register {i}");
+        let width = checked_width(rv, &what)?;
+        registers.push(Register {
+            name: field_str(rv, "name", &what)?,
+            width,
+            init: bits_of(field(rv, "init", &what)?, width, &format!("{what} `init`"))?,
+            next: net_id(field(rv, "next", &what)?, &format!("{what} `next`"))?,
+            q: net_id(field(rv, "q", &what)?, &format!("{what} `q`"))?,
+        });
+    }
+
+    let mut memories = Vec::with_capacity(memories_v.len());
+    let mut total_words = 0usize;
+    for (i, mv) in memories_v.iter().enumerate() {
+        let what = format!("memory {i}");
+        let width = checked_width(mv, &what)?;
+        let depth = field_usize(mv, "depth", &what)?;
+        total_words = total_words.saturating_add(depth);
+        // Checked as banks accumulate so a single absurd `depth` field
+        // fails fast, before its (empty) init image is even looked at.
+        check_limit("memory_words", limits.memory_words, total_words)?;
+        let init_v = field_arr(mv, "init", &what)?;
+        if init_v.len() > depth {
+            return Err(malformed(format!(
+                "{what} has {} init words for depth {depth}",
+                init_v.len()
+            )));
+        }
+        let mut init = Vec::with_capacity(init_v.len());
+        for (w, wv) in init_v.iter().enumerate() {
+            init.push(bits_of(wv, width, &format!("{what} init word {w}"))?);
+        }
+        let writes_v = field_arr(mv, "writes", &what)?;
+        if writes_v.len() > 16 {
+            return Err(malformed(format!(
+                "{what} has {} write ports; the cap is 16",
+                writes_v.len()
+            )));
+        }
+        let mut writes = Vec::with_capacity(writes_v.len());
+        for wv in writes_v {
+            writes.push(MemWrite {
+                addr: net_id(field(wv, "addr", &what)?, &format!("{what} write `addr`"))?,
+                data: net_id(field(wv, "data", &what)?, &format!("{what} write `data`"))?,
+                en: net_id(field(wv, "en", &what)?, &format!("{what} write `en`"))?,
+            });
+        }
+        memories.push(Memory {
+            name: field_str(mv, "name", &what)?,
+            depth,
+            width,
+            init,
+            writes,
+        });
+    }
+
+    let mut outputs = Vec::with_capacity(outputs_v.len());
+    for (i, ov) in outputs_v.iter().enumerate() {
+        let what = format!("output {i}");
+        let pair = ov
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| malformed(format!("{what} is not a [name, net] pair")))?;
+        let name = pair[0]
+            .as_str()
+            .ok_or_else(|| malformed(format!("{what} name is not a string")))?;
+        outputs.push((name.to_string(), net_id(&pair[1], &format!("{what} net"))?));
+    }
+
+    let mut displays = Vec::with_capacity(displays_v.len());
+    for (i, dv) in displays_v.iter().enumerate() {
+        let what = format!("display {i}");
+        let args_v = field_arr(dv, "args", &what)?;
+        let mut args = Vec::with_capacity(args_v.len());
+        for a in args_v {
+            args.push(net_id(a, &format!("{what} arg"))?);
+        }
+        displays.push(DisplayCell {
+            cond: net_id(field(dv, "cond", &what)?, &format!("{what} `cond`"))?,
+            format: field_str(dv, "format", &what)?,
+            args,
+        });
+    }
+
+    let mut expects = Vec::with_capacity(expects_v.len());
+    for (i, ev) in expects_v.iter().enumerate() {
+        let what = format!("expect {i}");
+        let raw_id = field_u64(ev, "id", &what)?;
+        expects.push(ExpectCell {
+            cond: net_id(field(ev, "cond", &what)?, &format!("{what} `cond`"))?,
+            id: u32::try_from(raw_id)
+                .map_err(|_| malformed(format!("{what} id {raw_id} exceeds u32")))?,
+            message: field_str(ev, "message", &what)?,
+        });
+    }
+
+    let mut finishes = Vec::with_capacity(finishes_v.len());
+    for (i, fv) in finishes_v.iter().enumerate() {
+        let what = format!("finish {i}");
+        finishes.push(FinishCell {
+            cond: net_id(field(fv, "cond", &what)?, &format!("{what} `cond`"))?,
+        });
+    }
+
+    Netlist::from_parts(NetlistParts {
+        name,
+        nets,
+        registers,
+        memories,
+        inputs: Vec::new(),
+        outputs,
+        displays,
+        expects,
+        finishes,
+    })
+    .map_err(WireError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manticore::netlist::NetlistBuilder;
+
+    fn counter() -> Netlist {
+        let mut b = NetlistBuilder::new("wire_counter");
+        let r = b.reg("count", 16, 0);
+        let one = b.lit(1, 16);
+        let next = b.add(r.q(), one);
+        b.set_next(r, next);
+        b.output("count", r.q());
+        b.finish_build().unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let n = counter();
+        let encoded = encode_netlist(&n);
+        // Survive an actual render/parse cycle, as on the wire.
+        let rendered = encoded.render();
+        let parsed = Value::parse(&rendered).unwrap();
+        let back = decode_netlist(&parsed, &WireLimits::default()).unwrap();
+        assert_eq!(back.nets().len(), n.nets().len());
+        assert_eq!(back.registers().len(), n.registers().len());
+        assert_eq!(back.outputs().len(), n.outputs().len());
+        // The round-tripped netlist is the same design: identical debug
+        // rendering means identical cache key.
+        assert_eq!(format!("{back:?}"), format!("{n:?}"));
+    }
+
+    #[test]
+    fn count_limits_reject_before_decoding_elements() {
+        let limits = WireLimits {
+            nets: 2,
+            ..WireLimits::default()
+        };
+        let v = encode_netlist(&counter());
+        let err = decode_netlist(&v, &limits).unwrap_err();
+        assert!(
+            matches!(err, WireError::Limit { limit: "nets", .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn memory_words_limit_uses_depth_not_init_len() {
+        // A tiny frame declaring a gigantic empty memory must trip the
+        // limit: depth is the resource, not the init image.
+        let v = Value::obj(vec![
+            ("version", Value::Int(1)),
+            ("name", Value::Str("huge".into())),
+            ("nets", Value::Arr(vec![])),
+            ("registers", Value::Arr(vec![])),
+            (
+                "memories",
+                Value::Arr(vec![Value::obj(vec![
+                    ("name", Value::Str("m".into())),
+                    ("width", Value::Int(16)),
+                    ("depth", Value::Int(u32::MAX as u64)),
+                    ("init", Value::Arr(vec![])),
+                    ("writes", Value::Arr(vec![])),
+                ])]),
+            ),
+            ("outputs", Value::Arr(vec![])),
+        ]);
+        let err = decode_netlist(&v, &WireLimits::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::Limit {
+                    limit: "memory_words",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn structural_violations_are_typed_not_panics() {
+        // Point the register's next net out of range.
+        let mut v = encode_netlist(&counter());
+        if let Value::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "registers" {
+                    if let Value::Arr(regs) = val {
+                        if let Value::Obj(reg) = &mut regs[0] {
+                            for (rk, rv) in reg.iter_mut() {
+                                if rk == "next" {
+                                    *rv = Value::Int(9999);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = decode_netlist(&v, &WireLimits::default()).unwrap_err();
+        assert!(matches!(err, WireError::Invalid(_)), "{err:?}");
+    }
+
+    #[test]
+    fn input_cells_and_unknown_ops_are_rejected() {
+        for op in ["input", "frobnicate"] {
+            let v = Value::obj(vec![
+                ("version", Value::Int(1)),
+                ("name", Value::Str("bad".into())),
+                (
+                    "nets",
+                    Value::Arr(vec![Value::obj(vec![
+                        ("op", Value::Str(op.into())),
+                        ("width", Value::Int(1)),
+                    ])]),
+                ),
+                ("registers", Value::Arr(vec![])),
+                ("memories", Value::Arr(vec![])),
+                ("outputs", Value::Arr(vec![])),
+            ]);
+            let err = decode_netlist(&v, &WireLimits::default()).unwrap_err();
+            assert!(matches!(err, WireError::Malformed(_)), "{op}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn grid_limit_is_cores_not_side() {
+        let limits = WireLimits::default();
+        assert!(check_grid(16, &limits).is_ok());
+        assert!(matches!(
+            check_grid(17, &limits),
+            Err(WireError::Limit {
+                limit: "grid_cores",
+                max: 256,
+                got: 289,
+            })
+        ));
+        assert!(check_grid(0, &limits).is_err());
+        // usize overflow in side*side must not wrap to a small number.
+        assert!(check_grid(usize::MAX, &limits).is_err());
+    }
+}

@@ -62,6 +62,19 @@ the cache or its single-flight dedup broke, not noise);
 `rss_growth` against the absolute 1.10 flatness ceiling (final RSS
 within 10% of the post-warm-up plateau — a leaky server fails here).
 
+With `--recovery-fresh`/`--recovery-baseline`, the gate additionally
+compares a serve_recovery crash-recovery run: the scenario geometry
+(`sessions`, `vcycles_before`, `vcycles_after`, `workers`) exactly;
+`recovered` and `bit_identical` exactly equal to `sessions` (recovery
+and determinism are all-or-nothing — a single lost or diverged session
+is a durability bug, not noise); and `recovery_ms` as a one-sided
+CEILING — a fresh run fails only when restart-to-recovered exceeds
+`max(baseline * (1 + tolerance), 1000 ms)`. The absolute 1 s grace
+exists because the committed baseline is tens of milliseconds, where
+the relative band is narrower than scheduler noise on shared runners;
+what the gate protects against is recovery becoming accidentally
+quadratic or synchronous-per-session, not a 5 ms wobble.
+
 Intentional perf changes (either direction, beyond tolerance) are landed
 by regenerating the committed baseline(s) in the same PR.
 
@@ -70,6 +83,7 @@ Usage: bench_gate.py FRESH.json BASELINE.json [--tolerance 0.25]
                      [--explore-fresh EXPLORE.json --explore-baseline BENCH_explore.json]
                      [--compile-fresh COMPILE.json --compile-baseline BENCH_compile.json]
                      [--serve-fresh SERVE.json --serve-baseline BENCH_serve.json]
+                     [--recovery-fresh RECOVERY.json --recovery-baseline BENCH_recovery.json]
 """
 
 import argparse
@@ -290,6 +304,55 @@ def check_serve(fresh_path, base_path, tolerance, failures):
         print(f"    ok  serve.rss_growth{'':<14} {rss_growth:.3f} <= {SERVE_RSS_GROWTH_CEILING}")
 
 
+RECOVERY_MS_GRACE = 1000.0
+
+
+def check_recovery(fresh_path, base_path, tolerance, failures):
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+    print("recovery section:")
+    for field in ("sessions", "vcycles_before", "vcycles_after", "workers"):
+        if fresh.get(field) != base.get(field):
+            failures.append(
+                f"recovery.{field}: scenario geometry changed ({base.get(field)} -> {fresh.get(field)}); "
+                "recovery times are not comparable — regenerate BENCH_recovery.json"
+            )
+    # All-or-nothing: every parked session recovers, every resume is
+    # bit-identical. One short is a durability bug, not noise.
+    sessions = fresh.get("sessions")
+    for field in ("recovered", "bit_identical"):
+        if fresh.get(field) != sessions:
+            failures.append(
+                f"recovery.{field}: {fresh.get(field)} of {sessions} sessions "
+                "(crash recovery is all-or-nothing — this is a durability bug)"
+            )
+        else:
+            print(f"    ok  recovery.{field:<22} {fresh.get(field)}/{sessions}")
+    # Latency: one-sided ceiling. Fast recovery never fails; the grace
+    # floor keeps a tens-of-ms baseline from gating on scheduler noise.
+    fresh_ms = fresh.get("recovery_ms")
+    base_ms = base.get("recovery_ms")
+    if fresh_ms is None or base_ms is None:
+        failures.append(
+            f"recovery.recovery_ms: missing value (fresh={fresh_ms}, baseline={base_ms})"
+        )
+        return
+    ceiling = max(base_ms * (1 + tolerance), RECOVERY_MS_GRACE)
+    ok = fresh_ms <= ceiling
+    status = "ok" if ok else "FAIL"
+    print(
+        f"  {status:>4}  {'recovery.recovery_ms':<32} baseline {base_ms:>12.3f}  "
+        f"fresh {fresh_ms:>12.3f}  ceiling {ceiling:8.3f}"
+    )
+    if not ok:
+        failures.append(
+            f"recovery.recovery_ms: {fresh_ms:.1f} ms over the {ceiling:.1f} ms ceiling "
+            f"(baseline {base_ms:.1f} ms)"
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="JSON from the fresh table3_performance run")
@@ -303,6 +366,8 @@ def main():
     ap.add_argument("--compile-baseline", help="committed compile baseline (BENCH_compile.json)")
     ap.add_argument("--serve-fresh", help="JSON from the fresh serve_soak run")
     ap.add_argument("--serve-baseline", help="committed serve baseline (BENCH_serve.json)")
+    ap.add_argument("--recovery-fresh", help="JSON from the fresh serve_recovery run")
+    ap.add_argument("--recovery-baseline", help="committed recovery baseline (BENCH_recovery.json)")
     args = ap.parse_args()
     if bool(args.fleet_fresh) != bool(args.fleet_baseline):
         ap.error("--fleet-fresh and --fleet-baseline must be given together "
@@ -316,6 +381,9 @@ def main():
     if bool(args.serve_fresh) != bool(args.serve_baseline):
         ap.error("--serve-fresh and --serve-baseline must be given together "
                  "(one alone would silently skip the serve gate)")
+    if bool(args.recovery_fresh) != bool(args.recovery_baseline):
+        ap.error("--recovery-fresh and --recovery-baseline must be given together "
+                 "(one alone would silently skip the recovery gate)")
 
     with open(args.fresh) as f:
         fresh = json.load(f)
@@ -354,6 +422,8 @@ def main():
         check_compile(args.compile_fresh, args.compile_baseline, args.tolerance, failures)
     if args.serve_fresh and args.serve_baseline:
         check_serve(args.serve_fresh, args.serve_baseline, args.tolerance, failures)
+    if args.recovery_fresh and args.recovery_baseline:
+        check_recovery(args.recovery_fresh, args.recovery_baseline, args.tolerance, failures)
 
     if failures:
         print(f"\nbench gate FAILED ({len(failures)} violation(s)):", file=sys.stderr)
@@ -365,7 +435,8 @@ def main():
             "  cargo run --release -p manticore-bench --bin fleet_throughput -- --json BENCH_fleet.json\n"
             "  cargo run --release -p manticore-bench --bin explore_throughput -- --json BENCH_explore.json\n"
             "  cargo run --release -p manticore-bench --bin table8_compile_times -- --json BENCH_compile.json\n"
-            "  cargo run --release -p manticore-bench --bin serve_soak -- --json BENCH_serve.json",
+            "  cargo run --release -p manticore-bench --bin serve_soak -- --json BENCH_serve.json\n"
+            "  cargo run --release -p manticore-bench --bin serve_recovery -- --json BENCH_recovery.json",
             file=sys.stderr,
         )
         return 1

@@ -194,6 +194,7 @@ fn admission_rejects_past_high_water_and_the_retry_succeeds() {
                 id,
                 reason,
                 retry_after_ms,
+                ..
             } => {
                 assert_eq!(reason, "queue_full");
                 assert!(retry_after_ms > 0, "the hint must be usable");
